@@ -1,0 +1,42 @@
+# fspnet — reproduction of Kanellakis & Smolka, PODC 1985.
+
+GO ?= go
+
+.PHONY: all build test bench experiments vet cover examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-verbose:
+	$(GO) test -count=1 -v ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+experiments:
+	$(GO) run ./cmd/fspbench
+
+experiments-quick:
+	$(GO) run ./cmd/fspbench -quick
+
+cover:
+	$(GO) test -cover ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/protocol
+	$(GO) run ./examples/philosophers
+	$(GO) run ./examples/satgadget
+	$(GO) run ./examples/adversary
+	$(GO) run ./examples/unarychain
+
+clean:
+	$(GO) clean ./...

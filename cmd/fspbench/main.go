@@ -1,0 +1,51 @@
+// Command fspbench regenerates every experiment table of EXPERIMENTS.md:
+// one scaling study per complexity claim of Kanellakis & Smolka (PODC
+// 1985), cross-validated against independent oracles where they exist.
+//
+// Usage:
+//
+//	fspbench [-quick] [-only E5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fspnet/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fspbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fspbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		quick = fs.Bool("quick", false, "smaller instance sizes")
+		only  = fs.String("only", "", "run a single experiment (e.g. E5)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *only == "" {
+		return bench.RunAll(stdout, *quick)
+	}
+	for _, e := range bench.All() {
+		if e.ID != *only {
+			continue
+		}
+		t, err := e.Run(*quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		t.Caption = e.ID + ": " + e.Claim
+		return t.Render(stdout)
+	}
+	return fmt.Errorf("unknown experiment %q", *only)
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunOnly(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== E1:") {
+		t.Errorf("missing E1 table:\n%s", out.String())
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "E99"}, &out); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

@@ -1,0 +1,375 @@
+// Command fspc analyzes a network of communicating finite state processes
+// written in the fsplang notation: it classifies the network, decides the
+// three success predicates of Kanellakis & Smolka (unavoidable success,
+// success in adversity, success with collaboration) for a distinguished
+// process, and optionally emits Graphviz renderings.
+//
+// Usage:
+//
+//	fspc [-p N] [-algo auto|reference|tree|linear|unary] [-dot] file.fsp
+//
+// With "-" as the file, input is read from stdin.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsplang"
+	"fspnet/internal/game"
+	"fspnet/internal/linear"
+	"fspnet/internal/network"
+	"fspnet/internal/poss"
+	"fspnet/internal/success"
+	"fspnet/internal/treesolve"
+	"fspnet/internal/unary"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fspc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fspc", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		dist = fs.Int("p", 0, "index of the distinguished process")
+		algo = fs.String("algo", "auto",
+			"decision algorithm: auto, reference, tree (Theorem 3), linear (Proposition 1), unary (Theorem 4), poss (Lemmas 3–4)")
+		dot      = fs.Bool("dot", false, "emit Graphviz for every process instead of analyzing")
+		all      = fs.Bool("all", false, "analyze every process (concurrently) instead of just -p")
+		jsonOut  = fs.Bool("json", false, "emit a machine-readable JSON report (reference algorithm)")
+		witness  = fs.Bool("witness", false, "print collaboration and blocking traces (acyclic networks)")
+		strategy = fs.Bool("strategy", false, "print a winning strategy for the adversity game when one exists")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one input file, got %d", fs.NArg())
+	}
+	var src io.Reader
+	if fs.Arg(0) == "-" {
+		src = stdin
+	} else {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	n, err := fsplang.Parse(src)
+	if err != nil {
+		return err
+	}
+	if *dist < 0 || *dist >= n.Len() {
+		return fmt.Errorf("process index %d out of range [0,%d)", *dist, n.Len())
+	}
+	if *dot {
+		for i := 0; i < n.Len(); i++ {
+			if err := n.Process(i).WriteDOT(stdout); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if *jsonOut {
+		return jsonReport(stdout, n, *dist, *all)
+	}
+	describe(stdout, n, *dist)
+	if *all {
+		return analyzeAll(stdout, n)
+	}
+	if err := analyze(stdout, n, *dist, *algo); err != nil {
+		return err
+	}
+	if *witness {
+		if err := printWitnesses(stdout, n, *dist); err != nil {
+			return err
+		}
+	}
+	if *strategy {
+		if err := printStrategy(stdout, n, *dist); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// analyzeAll runs the concurrent whole-network analysis.
+func analyzeAll(w io.Writer, n *network.Network) error {
+	cyclic := n.MaxClass() == fsp.ClassCyclic
+	results, err := success.AnalyzeAll(context.Background(), n, cyclic, 0)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%-12s error: %v\n", r.Name, r.Err)
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %s\n", r.Name, r.Verdict)
+	}
+	return nil
+}
+
+// printWitnesses prints a collaboration schedule and, if one exists, a
+// blocking trace for the distinguished process.
+func printWitnesses(w io.Writer, n *network.Network, dist int) error {
+	cyclic := n.MaxClass() == fsp.ClassCyclic
+	if cyclic {
+		tr, ok, err := success.BlockingWitnessCyclicNet(n, dist)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Fprintln(w, "no blocking trace: S_u holds")
+			return nil
+		}
+		fmt.Fprintln(w, "blocking trace (¬S_u):")
+		fmt.Fprint(w, tr)
+		return nil
+	}
+	tr, ok, err := success.CollaborationWitnessNet(n, dist)
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Fprintln(w, "collaboration schedule (S_c):")
+		fmt.Fprint(w, tr)
+	} else {
+		fmt.Fprintln(w, "no collaboration schedule: S_c fails")
+	}
+	btr, blocked, err := success.BlockingWitnessNet(n, dist)
+	if err != nil {
+		return err
+	}
+	if blocked {
+		fmt.Fprintln(w, "blocking trace (¬S_u):")
+		fmt.Fprint(w, btr)
+	} else {
+		fmt.Fprintln(w, "no blocking trace: S_u holds")
+	}
+	return nil
+}
+
+// printStrategy prints a winning strategy for the adversity game.
+func printStrategy(w io.Writer, n *network.Network, dist int) error {
+	q, err := n.Context(dist, false)
+	if err != nil {
+		return err
+	}
+	win, strat, err := game.AcyclicStrategy(n.Process(dist), q)
+	if err != nil {
+		return err
+	}
+	if !win {
+		fmt.Fprintln(w, "no winning strategy: S_a fails")
+		return nil
+	}
+	if len(strat) == 0 {
+		fmt.Fprintln(w, "winning strategy: trivial (start state is a leaf)")
+		return nil
+	}
+	fmt.Fprintln(w, "winning strategy (S_a):")
+	fmt.Fprint(w, strat)
+	return nil
+}
+
+func describe(w io.Writer, n *network.Network, dist int) {
+	fmt.Fprintf(w, "network: %d processes, size %d\n", n.Len(), n.Size())
+	g := n.Graph()
+	shape := "general"
+	switch {
+	case g.IsTree():
+		shape = "tree"
+	case g.IsRing():
+		shape = "ring"
+	}
+	fmt.Fprintf(w, "C_N: %s (%d edges, largest biconnected block %d)\n",
+		shape, g.NumEdges(), g.MaxBlockSize())
+	for i := 0; i < n.Len(); i++ {
+		p := n.Process(i)
+		marker := " "
+		if i == dist {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "%s %-12s %-8s states=%-4d trans=%-4d Σ=%v\n",
+			marker, p.Name(), p.Classify(), p.NumStates(), p.NumTransitions(), p.Alphabet())
+	}
+}
+
+func analyze(w io.Writer, n *network.Network, dist int, algo string) error {
+	cyclic := n.MaxClass() == fsp.ClassCyclic
+	switch algo {
+	case "auto":
+		switch {
+		case !cyclic && n.MaxClass() == fsp.ClassLinear:
+			algo = "linear"
+		case !cyclic && n.MaxClass().AtMost(fsp.ClassTree) && n.Graph().IsTree() && tauFree(n.Process(dist)):
+			algo = "tree"
+		default:
+			algo = "reference"
+		}
+		fmt.Fprintf(w, "algorithm: %s (auto)\n", algo)
+	default:
+		fmt.Fprintf(w, "algorithm: %s\n", algo)
+	}
+	switch algo {
+	case "linear":
+		ok, err := linear.Analyze(n, dist)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Proposition 1: S_u = S_a = S_c = %t\n", ok)
+	case "tree":
+		v, err := treesolve.Analyze(n, dist, treesolve.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Theorem 3: %s\n", v)
+	case "unary":
+		sc, err := unary.Collaboration(n, dist)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Theorem 4: S_c = %t\n", sc)
+	case "poss":
+		q, err := n.Context(dist, false)
+		if err != nil {
+			return err
+		}
+		sc, err := success.CollaborationLemma3(n.Process(dist), q, 0)
+		if err != nil {
+			return err
+		}
+		su, err := success.UnavoidableLemma4(n.Process(dist), q, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Lemmas 3–4 (possibility calculus): S_u=%t S_c=%t\n", su, sc)
+		if s, x, y, ok, err := success.Lemma4Witness(n.Process(dist), q, 0); err != nil {
+			return err
+		} else if ok {
+			fmt.Fprintf(w, "Lemma 4 blocking witness: s=%s X=%s Y=%s\n",
+				poss.StringOfActions(s), fsp.ActionSetString(x), fsp.ActionSetString(y))
+		}
+	case "reference":
+		if cyclic {
+			v, err := success.AnalyzeCyclic(n, dist)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "reference (cyclic, §4): %s\n", v)
+		} else {
+			v, err := success.AnalyzeAcyclic(n, dist)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "reference (acyclic, §3): %s\n", v)
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return nil
+}
+
+func tauFree(p *fsp.FSP) bool {
+	for _, t := range p.Transitions() {
+		if t.Label == fsp.Tau {
+			return false
+		}
+	}
+	return true
+}
+
+// report is the machine-readable (-json) output schema.
+type report struct {
+	Processes []processInfo  `json:"processes"`
+	CN        graphInfo      `json:"communicationGraph"`
+	Algorithm string         `json:"algorithm"`
+	Results   []verdictEntry `json:"results"`
+}
+
+type processInfo struct {
+	Name        string   `json:"name"`
+	Class       string   `json:"class"`
+	States      int      `json:"states"`
+	Transitions int      `json:"transitions"`
+	Alphabet    []string `json:"alphabet"`
+}
+
+type graphInfo struct {
+	Tree     bool `json:"tree"`
+	Ring     bool `json:"ring"`
+	Edges    int  `json:"edges"`
+	MaxBlock int  `json:"maxBiconnectedBlock"`
+}
+
+type verdictEntry struct {
+	Process string `json:"process"`
+	Su      *bool  `json:"unavoidable,omitempty"`
+	Sa      *bool  `json:"adversity,omitempty"`
+	Sc      *bool  `json:"collaboration,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// jsonReport analyzes with the reference procedures and emits the report.
+func jsonReport(w io.Writer, n *network.Network, dist int, all bool) error {
+	rep := report{Algorithm: "reference"}
+	for i := 0; i < n.Len(); i++ {
+		p := n.Process(i)
+		alpha := make([]string, 0, len(p.Alphabet()))
+		for _, a := range p.Alphabet() {
+			alpha = append(alpha, string(a))
+		}
+		rep.Processes = append(rep.Processes, processInfo{
+			Name:        p.Name(),
+			Class:       p.Classify().String(),
+			States:      p.NumStates(),
+			Transitions: p.NumTransitions(),
+			Alphabet:    alpha,
+		})
+	}
+	g := n.Graph()
+	rep.CN = graphInfo{Tree: g.IsTree(), Ring: g.IsRing(), Edges: g.NumEdges(), MaxBlock: g.MaxBlockSize()}
+	cyclic := n.MaxClass() == fsp.ClassCyclic
+	targets := []int{dist}
+	if all {
+		targets = nil
+		for i := 0; i < n.Len(); i++ {
+			targets = append(targets, i)
+		}
+	}
+	for _, i := range targets {
+		entry := verdictEntry{Process: n.Process(i).Name()}
+		var (
+			v   success.Verdict
+			err error
+		)
+		if cyclic {
+			v, err = success.AnalyzeCyclic(n, i)
+		} else {
+			v, err = success.AnalyzeAcyclic(n, i)
+		}
+		if err != nil {
+			entry.Error = err.Error()
+		} else {
+			su, sa, sc := v.Su, v.Sa, v.Sc
+			entry.Su, entry.Sa, entry.Sc = &su, &sa, &sc
+		}
+		rep.Results = append(rep.Results, entry)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

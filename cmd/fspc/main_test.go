@@ -1,0 +1,251 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const figure3 = `
+process P { start s1; s1 a s2 }
+process Q { start t1; t1 a t2; t1 tau t3 }
+`
+
+const linearChain = `
+process P0 { start a0; a0 x a1 }
+process P1 { start b0; b0 x b1; b1 y b2 }
+process P2 { start c0; c0 y c1 }
+`
+
+const cyclicPair = `
+process P { start s0; s0 a s0 }
+process Q { start t0; t0 a t0 }
+`
+
+func runFspc(t *testing.T, stdin string, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, strings.NewReader(stdin), &out)
+	return out.String(), err
+}
+
+func TestRunStdinReference(t *testing.T) {
+	out, err := runFspc(t, figure3, "-algo", "reference", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "S_u=false S_a=false S_c=true") {
+		t.Errorf("unexpected verdict output:\n%s", out)
+	}
+	if !strings.Contains(out, "C_N: tree") {
+		t.Errorf("missing C_N description:\n%s", out)
+	}
+}
+
+func TestRunAutoPicksLinear(t *testing.T) {
+	out, err := runFspc(t, linearChain, "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "algorithm: linear (auto)") {
+		t.Errorf("auto must pick linear:\n%s", out)
+	}
+	if !strings.Contains(out, "S_u = S_a = S_c = true") {
+		t.Errorf("chain must succeed:\n%s", out)
+	}
+}
+
+func TestRunTreeAlgo(t *testing.T) {
+	out, err := runFspc(t, figure3, "-algo", "tree", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Theorem 3: S_u=false S_a=false S_c=true") {
+		t.Errorf("tree verdict missing:\n%s", out)
+	}
+}
+
+func TestRunCyclicReference(t *testing.T) {
+	out, err := runFspc(t, cyclicPair, "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cyclic, §4") || !strings.Contains(out, "S_u=true S_a=true S_c=true") {
+		t.Errorf("cyclic verdict missing:\n%s", out)
+	}
+}
+
+func TestRunUnary(t *testing.T) {
+	out, err := runFspc(t, cyclicPair, "-algo", "unary", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Theorem 4: S_c = true") {
+		t.Errorf("unary verdict missing:\n%s", out)
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	out, err := runFspc(t, figure3, "-dot", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "digraph") != 2 {
+		t.Errorf("expected two digraphs:\n%s", out)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.fsp")
+	if err := os.WriteFile(path, []byte(figure3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runFspc(t, "", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "network: 2 processes") {
+		t.Errorf("file input failed:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := runFspc(t, figure3, "-p", "9", "-"); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+	if _, err := runFspc(t, "", "/does/not/exist.fsp"); err == nil {
+		t.Error("missing file must fail")
+	}
+	if _, err := runFspc(t, figure3); err == nil {
+		t.Error("missing positional argument must fail")
+	}
+	if _, err := runFspc(t, figure3, "-algo", "nope", "-"); err == nil {
+		t.Error("unknown algorithm must fail")
+	}
+	if _, err := runFspc(t, "process P {", "-"); err == nil {
+		t.Error("syntax error must fail")
+	}
+	twoSymbols := "process P { start s0; s0 a s1; s1 b s2 } process Q { start t0; t0 a t1; t1 b t2 }"
+	if _, err := runFspc(t, twoSymbols, "-algo", "unary", "-"); err == nil {
+		t.Error("unary on a two-symbol edge must fail")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	out, err := runFspc(t, linearChain, "-all", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"P0", "P1", "P2"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing %s in -all output:\n%s", name, out)
+		}
+	}
+}
+
+func TestRunWitness(t *testing.T) {
+	out, err := runFspc(t, figure3, "-algo", "reference", "-witness", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "collaboration schedule") || !strings.Contains(out, "blocking trace") {
+		t.Errorf("witness output:\n%s", out)
+	}
+	if !strings.Contains(out, "P⇄Q: a") {
+		t.Errorf("missing handshake step:\n%s", out)
+	}
+}
+
+func TestRunWitnessCyclic(t *testing.T) {
+	out, err := runFspc(t, cyclicPair, "-witness", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no blocking trace: S_u holds") {
+		t.Errorf("cyclic witness output:\n%s", out)
+	}
+}
+
+func TestRunStrategy(t *testing.T) {
+	// P branches on a; only the right branch wins.
+	src := `
+process P { start r; r a l; r a rr; l c d }
+process Q { start q0; q0 a q1; q1 c q2; q1 tau q3 }
+`
+	out, err := runFspc(t, src, "-algo", "reference", "-strategy", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "winning strategy (S_a):") || !strings.Contains(out, "on a go to rr") {
+		t.Errorf("strategy output:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out, err := runFspc(t, figure3, "-json", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]interface{}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if _, ok := rep["results"]; !ok {
+		t.Errorf("missing results key:\n%s", out)
+	}
+	if !strings.Contains(out, `"collaboration": true`) {
+		t.Errorf("expected collaboration=true:\n%s", out)
+	}
+}
+
+func TestRunJSONAll(t *testing.T) {
+	out, err := runFspc(t, linearChain, "-json", "-all", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, `"process":`) != 3 {
+		t.Errorf("expected 3 result entries:\n%s", out)
+	}
+}
+
+func TestRunPossAlgo(t *testing.T) {
+	out, err := runFspc(t, figure3, "-algo", "poss", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Lemmas 3–4 (possibility calculus): S_u=false S_c=true") {
+		t.Errorf("poss algo output:\n%s", out)
+	}
+	if !strings.Contains(out, "Lemma 4 blocking witness: s=ε") {
+		t.Errorf("missing Lemma 4 witness:\n%s", out)
+	}
+}
+
+func TestRunTestdataCorpus(t *testing.T) {
+	tests := []struct {
+		file string
+		args []string
+		want string
+	}{
+		{"figure3.fsp", []string{"-algo", "reference"}, "S_u=false S_a=false S_c=true"},
+		{"crossing.fsp", nil, "S_u = S_a = S_c = false"},
+		{"philosophers2.fsp", nil, "S_u=false S_a=false S_c=true"},
+		{"protocol.fsp", []string{"-algo", "tree"}, "S_u=false S_a=false S_c=true"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.file, func(t *testing.T) {
+			args := append(append([]string{}, tt.args...), filepath.Join("../../testdata", tt.file))
+			out, err := runFspc(t, "", args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out, tt.want) {
+				t.Errorf("missing %q in:\n%s", tt.want, out)
+			}
+		})
+	}
+}

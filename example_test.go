@@ -1,0 +1,85 @@
+package fspnet_test
+
+import (
+	"fmt"
+
+	"fspnet"
+)
+
+// The paper's Figure 3: P wants one a-handshake, Q may silently defect.
+func ExampleAnalyzeAcyclic() {
+	p := fspnet.Linear("P", "a")
+	b := fspnet.NewBuilder("Q")
+	q1, q2, q3 := b.State("1"), b.State("2"), b.State("3")
+	b.Add(q1, "a", q2)
+	b.AddTau(q1, q3)
+	n, _ := fspnet.NewNetwork(p, b.MustBuild())
+	v, _ := fspnet.AnalyzeAcyclic(n, 0)
+	fmt.Println(v)
+	// Output: S_u=false S_a=false S_c=true
+}
+
+// Possibilities make the verdict explainable: (ε, {}) is Q's defection.
+func ExamplePoss() {
+	b := fspnet.NewBuilder("Q")
+	q1, q2, q3 := b.State("1"), b.State("2"), b.State("3")
+	b.Add(q1, "a", q2)
+	b.AddTau(q1, q3)
+	set, _ := fspnet.Poss(b.MustBuild(), 0)
+	fmt.Println(set)
+	// Output: {(ε, {}), (a, {})}
+}
+
+// Composition hides the handshake between its operands.
+func ExampleCompose() {
+	p := fspnet.Linear("P", "a", "b")
+	q := fspnet.Linear("Q", "a", "c")
+	comp := fspnet.Compose(p, q)
+	fmt.Println(comp.Alphabet())
+	// Output: [b c]
+}
+
+// The trie normal form realizes a possibility set as a process —
+// Theorem 3's reduction step.
+func ExampleNormalForm() {
+	p := fspnet.TreeFromPaths("P", []fspnet.Action{"a", "b"}, []fspnet.Action{"a", "c"})
+	set, _ := fspnet.Poss(p, 0)
+	nf, _ := fspnet.NormalForm("NF", set)
+	fmt.Println(fspnet.PossEquivalent(p, nf))
+	// Output: true
+}
+
+// A deadlock trace is a first-class artifact, not just a boolean.
+func ExampleBlockingWitness() {
+	n, _ := fspnet.ParseNetworkString(`
+process P { start s1; s1 a s2 }
+process Q { start t1; t1 a t2; t1 tau t3 }
+`)
+	tr, ok, _ := fspnet.BlockingWitness(n, 0)
+	fmt.Println(ok, len(tr), tr[0].Kind == fspnet.StepTauQ)
+	// Output: true 1 true
+}
+
+// Theorem 4's numeric normal form: a chain of m doublers gives 3·2^m.
+func ExampleUnaryInterface() {
+	src := `
+process P  { start p0; p0 x0 p0 }
+process M0 { start m0; m0 x1 m1; m1 x0 m2; m2 x0 m0 }
+process B  { start b0; b0 x1 b1; b1 x1 b2; b2 x1 b3 }
+`
+	n, _ := fspnet.ParseNetworkString(src)
+	iface, _ := fspnet.UnaryInterface(n, 0)
+	fmt.Println(iface["x0"])
+	// Output: 6
+}
+
+// Proposition 1's matched-pair algorithm on a crossing deadlock.
+func ExampleAnalyzeLinear() {
+	n, _ := fspnet.ParseNetworkString(`
+process P1 { start s0; s0 a s1; s1 b s2 }
+process P2 { start t0; t0 b t1; t1 a t2 }
+`)
+	ok, _ := fspnet.AnalyzeLinear(n, 0)
+	fmt.Println(ok)
+	// Output: false
+}

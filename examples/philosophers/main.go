@@ -1,0 +1,98 @@
+// Dining philosophers as a network of communicating FSPs: m philosophers
+// and m forks form a 2m-ring in the communication graph. The analysis of
+// philosopher 0 under the Section 4 (cyclic) semantics shows:
+//
+//   - S_c holds: the table can cooperate so that philosopher 0 eats
+//     forever;
+//   - S_u fails: the rest of the table can deadlock (everyone grabs their
+//     left fork) or simply starve philosopher 0 — the τ-loop of the
+//     context turns into a defection leaf under the cyclic composition;
+//   - S_a fails: an adversarial table exercises exactly that option.
+//
+// The asymmetric "polite" fix (philosopher 0 grabs its right fork first)
+// removes the global deadlock but not philosopher 0's starvation, and the
+// verdict explains why: potential blocking is about the distinguished
+// process, not the system as a whole.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fspnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+const tableSize = 3
+
+func run() error {
+	for _, polite := range []bool{false, true} {
+		n, err := table(tableSize, polite)
+		if err != nil {
+			return err
+		}
+		name := "greedy"
+		if polite {
+			name = "polite"
+		}
+		g := n.Graph()
+		fmt.Printf("%s table: %d processes, C_N ring=%v, largest block=%d\n",
+			name, n.Len(), g.IsRing(), g.MaxBlockSize())
+		v, err := fspnet.AnalyzeCyclic(n, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  philosopher 0: %v\n", v)
+	}
+	fmt.Println("\nS_c=true: the table can feed philosopher 0 forever.")
+	fmt.Println("S_u=false: potential blocking — deadlock or starvation is reachable.")
+	fmt.Println("S_a=false: an antagonistic table starves philosopher 0 at will.")
+	return nil
+}
+
+// table builds m philosophers and m forks. Philosopher i takes fork i
+// (left), then fork i+1 mod m (right), then releases both; when polite,
+// philosopher 0 takes its right fork first (the classic deadlock fix).
+func table(m int, polite bool) (*fspnet.Network, error) {
+	take := func(i, j int) fspnet.Action { return fspnet.Action(fmt.Sprintf("take%d_%d", i, j)) }
+	rel := func(i, j int) fspnet.Action { return fspnet.Action(fmt.Sprintf("rel%d_%d", i, j)) }
+	var procs []*fspnet.FSP
+	for i := 0; i < m; i++ {
+		left, right := i, (i+1)%m
+		first, second := left, right
+		if polite && i == 0 {
+			first, second = right, left
+		}
+		b := fspnet.NewBuilder(fmt.Sprintf("Phil%d", i))
+		s0, s1, s2, s3 := b.State("think"), b.State("one"), b.State("eat"), b.State("rel")
+		b.Add(s0, take(i, first), s1)
+		b.Add(s1, take(i, second), s2)
+		b.Add(s2, rel(i, first), s3)
+		b.Add(s3, rel(i, second), s0)
+		p, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, p)
+	}
+	for j := 0; j < m; j++ {
+		b := fspnet.NewBuilder(fmt.Sprintf("Fork%d", j))
+		free := b.State("free")
+		for _, i := range []int{j, (j + m - 1) % m} {
+			held := b.State(fmt.Sprintf("held%d", i))
+			b.Add(free, take(i, j), held)
+			b.Add(held, rel(i, j), free)
+		}
+		f, err := b.Build()
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, f)
+	}
+	return fspnet.NewNetwork(procs...)
+}

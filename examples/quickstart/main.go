@@ -1,0 +1,67 @@
+// Quickstart: build the two-process network of the paper's Figure 3 and
+// decide the three notions of success for the distinguished process P.
+//
+// P wants one a-handshake; Q either offers it or silently defects by a
+// τ-move. Collaboration succeeds, but neither unavoidable success nor
+// success in adversity holds — Q's defection blocks P.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fspnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// P: 1 -a-> 2.
+	p := fspnet.Linear("P", "a")
+
+	// Q: 1 -a-> 2, 1 -τ-> 3.
+	b := fspnet.NewBuilder("Q")
+	q1, q2, q3 := b.State("1"), b.State("2"), b.State("3")
+	b.Add(q1, "a", q2)
+	b.AddTau(q1, q3)
+	q, err := b.Build()
+	if err != nil {
+		return err
+	}
+
+	n, err := fspnet.NewNetwork(p, q)
+	if err != nil {
+		return err
+	}
+	fmt.Println("network (fsplang):")
+	fmt.Print(fspnet.FormatNetwork(n))
+
+	v, err := fspnet.AnalyzeAcyclic(n, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nreference analysis of P:", v)
+
+	// The same verdict through the Theorem 3 possibility machinery.
+	tv, err := fspnet.AnalyzeTree(n, 0, fspnet.TreeOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Theorem 3 analysis of P:", tv)
+
+	// The possibilities of Q explain the verdict: (ε, ∅) lets Q defect.
+	set, err := fspnet.Poss(q, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nPoss(Q) =", set)
+	fmt.Println("\nThe possibility (ε, {}) is Q's silent defection: it makes")
+	fmt.Println("potential blocking real (¬S_u, Lemma 4) and defeats P in the")
+	fmt.Println("game (¬S_a, Lemma 5). Collaboration survives by Lemma 3: the")
+	fmt.Println("string a is in Lang(Q) and (a, {}) ∈ Poss(P) drives P to its leaf.")
+	return nil
+}

@@ -1,0 +1,93 @@
+// The Theorem 1 reduction made executable: turn a 3SAT formula into a
+// network of communicating processes whose potential-termination question
+// is the satisfiability question, decide both sides independently, and
+// watch them agree.
+//
+// The formula is the paper's running example (x1 ∨ ¬x2 ∨ x3) ∧
+// (x1 ∨ x2 ∨ ¬x3), plus an unsatisfiable control.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fspnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	formulas := []struct {
+		name string
+		f    *fspnet.CNF
+	}{
+		{
+			name: "paper example (satisfiable)",
+			f: &fspnet.CNF{Vars: 3, Clauses: []fspnet.Clause{
+				{1, -2, 3},
+				{1, 2, -3},
+			}},
+		},
+		{
+			name: "(x1) ∧ (¬x1) (unsatisfiable)",
+			f: &fspnet.CNF{Vars: 1, Clauses: []fspnet.Clause{
+				{1},
+				{-1},
+			}},
+		},
+	}
+	for _, tc := range formulas {
+		fmt.Printf("%s: %s\n", tc.name, tc.f)
+		satisfiable, model := fspnet.SolveSAT(tc.f)
+		fmt.Printf("  DPLL:      satisfiable=%v", satisfiable)
+		if satisfiable {
+			fmt.Printf("  model=%v", model[1:])
+		}
+		fmt.Println()
+
+		// Case (1): tree C_N, one non-linear process, unary edge symbols.
+		n, err := fspnet.SatGadgetCase1(tc.f)
+		if err != nil {
+			return err
+		}
+		sc, err := fspnet.Collaboration(n, 0)
+		if err != nil {
+			return err
+		}
+		bn, err := fspnet.BlockingGadgetCase1(tc.f)
+		if err != nil {
+			return err
+		}
+		su, err := fspnet.Unavoidable(bn, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  gadget(1): S_c(P)=%v  ¬S_u(P′)=%v  (%d processes, size %d, C_N tree=%v)\n",
+			sc, !su, n.Len(), n.Size(), n.Graph().IsTree())
+		if sc != satisfiable || !su != satisfiable {
+			return fmt.Errorf("case-1 reduction disagreed with DPLL on %s", tc.name)
+		}
+
+		// Case (2): every process an O(1) tree.
+		n2, err := fspnet.SatGadgetCase2(tc.f)
+		if err != nil {
+			return err
+		}
+		sc2, err := fspnet.Collaboration(n2, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  gadget(2): S_c(P)=%v  (all %d processes are O(1) trees)\n",
+			sc2, n2.Len())
+		if sc2 != satisfiable {
+			return fmt.Errorf("case-2 reduction disagreed with DPLL on %s", tc.name)
+		}
+	}
+	fmt.Println("\nBoth gadgets agree with DPLL: deciding potential termination or")
+	fmt.Println("potential blocking for such networks is exactly as hard as SAT.")
+	return nil
+}

@@ -1,0 +1,375 @@
+// Package fspnet is a Go implementation of the process algebra and the
+// decision procedures of Kanellakis & Smolka, "On the Analysis of
+// Cooperation and Antagonism in Networks of Communicating Processes"
+// (PODC 1985).
+//
+// The model is a closed network of finite state processes (FSPs) whose
+// actions are point-to-point handshakes; composition ‖ hides the
+// handshakes between its operands, and the analysis of a distinguished
+// process P in its context Q asks three questions:
+//
+//   - unavoidable success S_u — must P reach a leaf however the system
+//     evolves? (its negation is potential blocking / deadlock exposure)
+//   - success in adversity S_a — can P guarantee reaching a leaf against
+//     an antagonistic, fully-informed context? (the no-lockout game)
+//   - success with collaboration S_c — can the network cooperate to drive
+//     P to a leaf? (potential termination)
+//
+// The package provides the paper's reference procedures (explicit global
+// search and a belief-set game solver), its efficient algorithms
+// (Proposition 1 for all-linear networks, Theorem 3's possibility normal
+// forms for tree and k-tree networks, Theorem 4's numeric normal forms
+// for unary cyclic tree networks), the Section 4 cyclic generalization,
+// and executable versions of the NP/PSPACE hardness gadgets of Theorems 1
+// and 2, cross-validated against built-in SAT and QBF solvers.
+//
+// # Quick start
+//
+//	p := fspnet.Linear("P", "a")
+//	b := fspnet.NewBuilder("Q")
+//	q1, q2, q3 := b.State("1"), b.State("2"), b.State("3")
+//	b.Add(q1, "a", q2)
+//	b.AddTau(q1, q3)
+//	n, _ := fspnet.NewNetwork(p, b.MustBuild())
+//	v, _ := fspnet.AnalyzeAcyclic(n, 0)
+//	fmt.Println(v) // S_u=false S_a=false S_c=true
+package fspnet
+
+import (
+	"context"
+	"io"
+
+	"fspnet/internal/bisim"
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsplang"
+	"fspnet/internal/game"
+	"fspnet/internal/linear"
+	"fspnet/internal/network"
+	"fspnet/internal/poss"
+	"fspnet/internal/reduce"
+	"fspnet/internal/sat"
+	"fspnet/internal/success"
+	"fspnet/internal/symmetric"
+	"fspnet/internal/treesolve"
+	"fspnet/internal/unary"
+)
+
+// Core model types (Definitions 1–3 of the paper).
+type (
+	// FSP is a finite state process ⟨K, p, Σ, Δ⟩.
+	FSP = fsp.FSP
+	// Action is a handshake symbol; Tau is the unobservable action.
+	Action = fsp.Action
+	// State indexes a process state.
+	State = fsp.State
+	// Transition is one arc of the transition relation.
+	Transition = fsp.Transition
+	// Builder assembles FSPs.
+	Builder = fsp.Builder
+	// Class is the linear / tree / acyclic / cyclic hierarchy.
+	Class = fsp.Class
+	// Network is a closed system of FSPs (Definition 2).
+	Network = network.Network
+	// Graph is the communication graph C_N.
+	Graph = network.Graph
+	// Verdict carries S_u, S_a, S_c for one distinguished process.
+	Verdict = success.Verdict
+	// Possibility is a pair (s, Z) of Definition 4.
+	Possibility = poss.Possibility
+	// PossibilitySet is a canonical set of possibilities.
+	PossibilitySet = poss.Set
+	// TreeOptions configures the Theorem 3 solver.
+	TreeOptions = treesolve.Options
+	// UnaryCount is ℕ ∪ {∞}, the Theorem 4 numeric normal form.
+	UnaryCount = unary.Count
+	// CNF is a propositional formula in conjunctive normal form.
+	CNF = sat.CNF
+	// Clause is a CNF clause.
+	Clause = sat.Clause
+	// Lit is a literal (±variable).
+	Lit = sat.Lit
+	// QBF is a prenex quantified boolean formula.
+	QBF = sat.QBF
+	// Quantifier is ∃ or ∀.
+	Quantifier = sat.Quantifier
+)
+
+// Tau is the unobservable action τ.
+const Tau = fsp.Tau
+
+// Structural classes.
+const (
+	ClassLinear  = fsp.ClassLinear
+	ClassTree    = fsp.ClassTree
+	ClassAcyclic = fsp.ClassAcyclic
+	ClassCyclic  = fsp.ClassCyclic
+)
+
+// Quantifiers.
+const (
+	Exists = sat.Exists
+	ForAll = sat.ForAll
+)
+
+// NewBuilder returns a builder for a process with the given name.
+func NewBuilder(name string) *Builder { return fsp.NewBuilder(name) }
+
+// Linear builds the linear FSP executing the given actions in order.
+func Linear(name string, actions ...Action) *FSP { return fsp.Linear(name, actions...) }
+
+// TreeFromPaths builds a tree FSP as the prefix trie of the given paths.
+func TreeFromPaths(name string, paths ...[]Action) *FSP {
+	return fsp.TreeFromPaths(name, paths...)
+}
+
+// Product returns P1 × P2 of Definition 3 (the full product; its
+// unreachable part is discarded by Intersect).
+func Product(p1, p2 *FSP) *FSP { return fsp.Product(p1, p2) }
+
+// Intersect returns P1 ∩ P2: the reachable product with handshakes
+// visible.
+func Intersect(p1, p2 *FSP) *FSP { return fsp.Intersect(p1, p2) }
+
+// Compose returns the composition P1 ‖ P2 with shared actions hidden.
+func Compose(p1, p2 *FSP) *FSP { return fsp.Compose(p1, p2) }
+
+// ComposeCyclic returns the Section 4 composition, which adds an escape
+// leaf below every state that can silently diverge.
+func ComposeCyclic(p1, p2 *FSP) *FSP { return fsp.ComposeCyclic(p1, p2) }
+
+// NewNetwork validates Definition 2 (every action owned by exactly two
+// processes) and returns the network.
+func NewNetwork(procs ...*FSP) (*Network, error) { return network.New(procs...) }
+
+// RingPartition folds a ring of m processes into a path of classes of
+// size ≤ 2 (Figure 8a), witnessing rings as 2-trees.
+func RingPartition(m int) [][]int { return network.RingPartition(m) }
+
+// ParseNetwork reads a network in the fsplang notation (see package
+// documentation of internal/fsplang for the grammar).
+func ParseNetwork(r io.Reader) (*Network, error) { return fsplang.Parse(r) }
+
+// ParseNetworkString parses a network description from a string.
+func ParseNetworkString(src string) (*Network, error) { return fsplang.ParseString(src) }
+
+// FormatNetwork renders a network in the fsplang notation.
+func FormatNetwork(n *Network) string { return fsplang.Format(n) }
+
+// AnalyzeAcyclic decides S_u, S_a, S_c for process i of an acyclic
+// network by the reference (global state space) procedures of Section 3.
+func AnalyzeAcyclic(n *Network, i int) (Verdict, error) {
+	return success.AnalyzeAcyclic(n, i)
+}
+
+// AnalyzeCyclic decides the Section 4 cyclic predicates for process i.
+func AnalyzeCyclic(n *Network, i int) (Verdict, error) {
+	return success.AnalyzeCyclic(n, i)
+}
+
+// Unavoidable decides S_u alone for process i of an acyclic network; it
+// tolerates τ-moves in the distinguished process.
+func Unavoidable(n *Network, i int) (bool, error) {
+	return success.UnavoidableAcyclicNet(n, i)
+}
+
+// Collaboration decides S_c alone for process i of an acyclic network; it
+// tolerates τ-moves in the distinguished process.
+func Collaboration(n *Network, i int) (bool, error) {
+	return success.CollaborationAcyclicNet(n, i)
+}
+
+// Adversity decides S_a alone for process i of an acyclic network; the
+// distinguished process must be τ-free (Figure 4).
+func Adversity(n *Network, i int) (bool, error) {
+	return success.AdversityAcyclicNet(n, i)
+}
+
+// UnavoidableCyclic, CollaborationCyclic and AdversityCyclic are the
+// Section 4 counterparts of the per-predicate entry points.
+func UnavoidableCyclic(n *Network, i int) (bool, error) {
+	return success.UnavoidableCyclicNet(n, i)
+}
+
+// CollaborationCyclic decides the Section 4 S_c alone for process i.
+func CollaborationCyclic(n *Network, i int) (bool, error) {
+	return success.CollaborationCyclicNet(n, i)
+}
+
+// AdversityCyclic decides the Section 4 S_a alone for process i.
+func AdversityCyclic(n *Network, i int) (bool, error) {
+	return success.AdversityCyclicNet(n, i)
+}
+
+// AnalyzeLinear decides the common value of S_u = S_a = S_c for process i
+// of an all-linear network in near-linear time (Proposition 1).
+func AnalyzeLinear(n *Network, i int) (bool, error) { return linear.Analyze(n, i) }
+
+// AnalyzeTree decides the three predicates for process i of a tree
+// network of acyclic processes via possibility normal forms (Theorem 3).
+func AnalyzeTree(n *Network, i int, opts TreeOptions) (Verdict, error) {
+	return treesolve.Analyze(n, i, opts)
+}
+
+// AnalyzeKTree is AnalyzeTree after composing the classes of a k-tree
+// partition (the distinguished class must be the singleton {i}).
+func AnalyzeKTree(n *Network, i int, partition [][]int, opts TreeOptions) (Verdict, error) {
+	return treesolve.AnalyzeKTree(n, i, partition, opts)
+}
+
+// UnaryCollaboration decides S_c for process i of a tree network with
+// unary edge alphabets via numeric normal forms and integer programming
+// (Theorem 4).
+func UnaryCollaboration(n *Network, i int) (bool, error) { return unary.Collaboration(n, i) }
+
+// UnaryInterface returns the numeric normal forms of the subtrees around
+// process i: for each incident edge action, the maximum number of
+// handshakes the subtree behind it supports (∞ when unbounded).
+func UnaryInterface(n *Network, i int) (map[Action]UnaryCount, error) {
+	return unary.Interface(n, i)
+}
+
+// Poss enumerates the possibility set of an acyclic process (Definition
+// 4) within the given budget (≤ 0 means the default budget).
+func Poss(p *FSP, budget int) (*PossibilitySet, error) {
+	if budget <= 0 {
+		budget = poss.DefaultBudget
+	}
+	return poss.Of(p, budget)
+}
+
+// PossEquivalent reports possibility equivalence of two processes (any
+// class, exponential worst case — the problem is PSPACE-complete for
+// cyclic processes).
+func PossEquivalent(p, q *FSP) bool { return poss.Equivalent(p, q) }
+
+// LangEquivalent reports language equivalence of two processes.
+func LangEquivalent(p, q *FSP) bool { return poss.LangEquivalent(p, q) }
+
+// NormalForm realizes a possibility set as an FSP whose possibility set
+// equals it — the Theorem 3 reduction step.
+func NormalForm(name string, set *PossibilitySet) (*FSP, error) {
+	return poss.NormalForm(name, set)
+}
+
+// SolveSAT runs the built-in DPLL solver.
+func SolveSAT(f *CNF) (bool, []bool) { return sat.Solve(f) }
+
+// SolveQBF decides validity of a prenex QBF.
+func SolveQBF(q *QBF) (bool, error) { return sat.SolveQBF(q) }
+
+// SatGadgetCase1 builds the Theorem 1 case (1) network: S_c of process 0
+// holds iff f is satisfiable.
+func SatGadgetCase1(f *CNF) (*Network, error) { return reduce.SatGadgetCase1(f) }
+
+// BlockingGadgetCase1 builds the Theorem 1 case (1) blocking network:
+// ¬S_u of process 0 holds iff f is satisfiable.
+func BlockingGadgetCase1(f *CNF) (*Network, error) { return reduce.BlockingGadgetCase1(f) }
+
+// SatGadgetCase2 builds the Theorem 1 case (2) network of O(1) tree FSPs.
+func SatGadgetCase2(f *CNF) (*Network, error) { return reduce.SatGadgetCase2(f) }
+
+// BlockingGadgetCase2 is the case (2) blocking variant.
+func BlockingGadgetCase2(f *CNF) (*Network, error) { return reduce.BlockingGadgetCase2(f) }
+
+// QbfGadget builds the Theorem 2 network: S_a of process 0 holds iff the
+// QBF is valid.
+func QbfGadget(q *QBF) (*Network, error) { return reduce.QbfGadget(q) }
+
+// Diagnostics: traces and strategies.
+type (
+	// Trace is a run of the global system witnessing a predicate.
+	Trace = success.Trace
+	// Step is one move of a Trace.
+	Step = success.Step
+	// StepKind classifies a Step.
+	StepKind = success.StepKind
+	// Strategy is a winning strategy for the success-in-adversity game.
+	Strategy = game.Strategy
+	// Decision is one row of a Strategy.
+	Decision = game.Decision
+	// Result is a per-process outcome of AnalyzeAll.
+	Result = success.Result
+)
+
+// Step kinds.
+const (
+	StepTauP      = success.StepTauP
+	StepTauQ      = success.StepTauQ
+	StepHandshake = success.StepHandshake
+)
+
+// CollaborationWitness returns a schedule certifying S_c for process i of
+// an acyclic network, or ok=false when S_c fails.
+func CollaborationWitness(n *Network, i int) (Trace, bool, error) {
+	return success.CollaborationWitnessNet(n, i)
+}
+
+// BlockingWitness returns a deadlock trace certifying ¬S_u for process i
+// of an acyclic network, or ok=false when the network is blocking-free.
+func BlockingWitness(n *Network, i int) (Trace, bool, error) {
+	return success.BlockingWitnessNet(n, i)
+}
+
+// BlockingWitnessCyclic is BlockingWitness under the Section 4 semantics.
+func BlockingWitnessCyclic(n *Network, i int) (Trace, bool, error) {
+	return success.BlockingWitnessCyclicNet(n, i)
+}
+
+// WinningStrategy solves the success-in-adversity game for process i of
+// an acyclic network and, when P wins, returns a winning strategy.
+func WinningStrategy(n *Network, i int) (bool, Strategy, error) {
+	q, err := n.Context(i, false)
+	if err != nil {
+		return false, nil, err
+	}
+	return game.AcyclicStrategy(n.Process(i), q)
+}
+
+// AnalyzeAll analyzes every process of the network concurrently; cyclic
+// selects the Section 4 semantics and workers bounds concurrency (≤ 0
+// means GOMAXPROCS).
+func AnalyzeAll(ctx context.Context, n *Network, cyclic bool, workers int) ([]Result, error) {
+	return success.AnalyzeAll(ctx, n, cyclic, workers)
+}
+
+// The Section 5 generalization: a distinguished *group* of processes.
+type (
+	// GroupVerdict carries the generalized S_u and S_c of a process group
+	// (the paper's open problem; success in adversity has no canonical
+	// group notion).
+	GroupVerdict = symmetric.Verdict
+)
+
+// AnalyzeGroup decides the generalized S_u and S_c for the group of
+// process indices; cyclic selects the Section 4 semantics.
+func AnalyzeGroup(n *Network, group []int, cyclic bool) (GroupVerdict, error) {
+	return symmetric.Analyze(n, group, cyclic)
+}
+
+// JointAdversity decides the joint-knowledge group game (an upper bound
+// for any distributed notion of group strategy); the group members must
+// not communicate with one another.
+func JointAdversity(n *Network, group []int) (bool, error) {
+	return symmetric.JointAdversity(n, group)
+}
+
+// StronglyBisimilar reports strong bisimulation equivalence of the two
+// processes' start states.
+func StronglyBisimilar(p, q *FSP) bool { return bisim.Strong(p, q) }
+
+// WeaklyBisimilar reports weak (observational) bisimulation equivalence.
+// On acyclic processes it implies possibility equivalence, which implies
+// failure equivalence, which implies language equivalence — the strict
+// spectrum the paper situates Poss(·) in.
+func WeaklyBisimilar(p, q *FSP) bool { return bisim.Weak(p, q) }
+
+// WinningStrategyCyclic solves the Section 4 game for process i and, when
+// the process can keep moving forever, returns a positional winning
+// strategy over the reachable game positions.
+func WinningStrategyCyclic(n *Network, i int) (bool, Strategy, error) {
+	q, err := n.Context(i, true)
+	if err != nil {
+		return false, nil, err
+	}
+	return game.CyclicStrategy(n.Process(i), q)
+}

@@ -1,0 +1,294 @@
+package fspnet_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"fspnet"
+)
+
+func TestPublicQuickStart(t *testing.T) {
+	p := fspnet.Linear("P", "a")
+	b := fspnet.NewBuilder("Q")
+	q1, q2, q3 := b.State("1"), b.State("2"), b.State("3")
+	b.Add(q1, "a", q2)
+	b.AddTau(q1, q3)
+	n, err := fspnet.NewNetwork(p, b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := fspnet.AnalyzeAcyclic(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "S_u=false S_a=false S_c=true" {
+		t.Errorf("verdict = %v", v)
+	}
+}
+
+func TestPublicComposition(t *testing.T) {
+	p := fspnet.Linear("P", "a", "b")
+	q := fspnet.Linear("Q", "a", "c")
+	if got := fspnet.Product(p, q).NumStates(); got != 9 {
+		t.Errorf("Product states = %d, want 9", got)
+	}
+	if fspnet.Compose(p, q).HasAction("a") {
+		t.Error("Compose must hide the shared action")
+	}
+	if !fspnet.Intersect(p, q).HasAction("a") {
+		t.Error("Intersect must keep the shared action visible")
+	}
+}
+
+func TestPublicPossAndNormalForm(t *testing.T) {
+	p := fspnet.TreeFromPaths("P", []fspnet.Action{"a", "b"}, []fspnet.Action{"a", "c"})
+	set, err := fspnet.Poss(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := fspnet.NormalForm("NF", set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fspnet.PossEquivalent(p, nf) {
+		t.Error("normal form must be possibility-equivalent")
+	}
+	if !fspnet.LangEquivalent(p, nf) {
+		t.Error("normal form must be language-equivalent")
+	}
+}
+
+func TestPublicParseFormat(t *testing.T) {
+	src := "process P { start s0; s0 a s1 } process Q { start t0; t0 a t1 }"
+	n, err := fspnet.ParseNetworkString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := fspnet.FormatNetwork(n)
+	if !strings.Contains(out, "process P {") {
+		t.Errorf("Format output:\n%s", out)
+	}
+	n2, err := fspnet.ParseNetwork(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2.Len() != 2 {
+		t.Error("round trip lost processes")
+	}
+}
+
+func TestPublicTreeAndLinear(t *testing.T) {
+	n, err := fspnet.ParseNetworkString(
+		"process P0 { start a0; a0 x a1 } " +
+			"process P1 { start b0; b0 x b1; b1 y b2 } " +
+			"process P2 { start c0; c0 y c1 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := fspnet.AnalyzeLinear(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("chain must succeed")
+	}
+	v, err := fspnet.AnalyzeTree(n, 0, fspnet.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Su || !v.Sa || !v.Sc {
+		t.Errorf("tree verdict = %v", v)
+	}
+}
+
+func TestPublicGadgetsAndSolvers(t *testing.T) {
+	f := &fspnet.CNF{Vars: 2, Clauses: []fspnet.Clause{{1, -2}, {-1, 2}}}
+	satisfiable, _ := fspnet.SolveSAT(f)
+	if !satisfiable {
+		t.Fatal("formula is satisfiable")
+	}
+	n, err := fspnet.SatGadgetCase1(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := fspnet.AnalyzeAcyclic(n, 1) // clause counter view is cheap
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = v
+	q := &fspnet.QBF{
+		Prefix: []fspnet.Quantifier{fspnet.ForAll, fspnet.Exists},
+		Matrix: *f,
+	}
+	valid, err := fspnet.SolveQBF(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid {
+		t.Error("∀x∃y (x∨¬y)∧(¬x∨y) is valid")
+	}
+	if _, err := fspnet.QbfGadget(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fspnet.SatGadgetCase2(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fspnet.BlockingGadgetCase1(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fspnet.BlockingGadgetCase2(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicCyclicAndUnary(t *testing.T) {
+	src := "process P { start s0; s0 x s0 } process Q { start t0; t0 x t0 }"
+	n, err := fspnet.ParseNetworkString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := fspnet.AnalyzeCyclic(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Su || !v.Sa || !v.Sc {
+		t.Errorf("cyclic verdict = %v", v)
+	}
+	sc, err := fspnet.UnaryCollaboration(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc {
+		t.Error("unary S_c must hold")
+	}
+	iface, err := fspnet.UnaryInterface(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := iface["x"]; !got.Inf {
+		t.Errorf("interface = %v, want ∞", got)
+	}
+}
+
+func TestPublicRingPartition(t *testing.T) {
+	parts := fspnet.RingPartition(5)
+	if len(parts) != 3 {
+		t.Errorf("RingPartition(5) = %v", parts)
+	}
+}
+
+func TestPublicClasses(t *testing.T) {
+	if fspnet.Linear("L", "a").Classify() != fspnet.ClassLinear {
+		t.Error("class constants broken")
+	}
+	if fspnet.Tau != "τ" {
+		t.Error("Tau constant broken")
+	}
+}
+
+func TestPublicWitnessAndStrategy(t *testing.T) {
+	n, err := fspnet.ParseNetworkString(
+		"process P { start s1; s1 a s2 } process Q { start t1; t1 a t2; t1 tau t3 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok, err := fspnet.CollaborationWitness(n, 0)
+	if err != nil || !ok {
+		t.Fatalf("witness: ok=%v err=%v", ok, err)
+	}
+	if got := tr.Actions(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("witness actions = %v", got)
+	}
+	btr, blocked, err := fspnet.BlockingWitness(n, 0)
+	if err != nil || !blocked || len(btr) != 1 {
+		t.Fatalf("blocking witness: %v %v %v", btr, blocked, err)
+	}
+	win, _, err := fspnet.WinningStrategy(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win {
+		t.Error("Figure 3's P loses the game")
+	}
+}
+
+func TestPublicAnalyzeAll(t *testing.T) {
+	n, err := fspnet.ParseNetworkString(
+		"process P0 { start a0; a0 x a1 } process P1 { start b0; b0 x b1 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := fspnet.AnalyzeAll(context.Background(), n, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestPublicGroupAnalysis(t *testing.T) {
+	n, err := fspnet.ParseNetworkString(
+		"process P0 { start a0; a0 x a1 } " +
+			"process P1 { start b0; b0 x b1; b1 y b2 } " +
+			"process P2 { start c0; c0 y c1 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := fspnet.AnalyzeGroup(n, []int{0, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Su || !v.Sc {
+		t.Errorf("group verdict = %v", v)
+	}
+	win, err := fspnet.JointAdversity(n, []int{0, 2})
+	if err != nil || !win {
+		t.Errorf("joint adversity: %v %v", win, err)
+	}
+}
+
+func TestPublicBisimulation(t *testing.T) {
+	p := fspnet.Linear("P", "a", "b")
+	q := fspnet.Linear("Q", "a", "b")
+	if !fspnet.StronglyBisimilar(p, q) || !fspnet.WeaklyBisimilar(p, q) {
+		t.Error("identical chains are bisimilar")
+	}
+	r := fspnet.Linear("R", "a", "c")
+	if fspnet.StronglyBisimilar(p, r) || fspnet.WeaklyBisimilar(p, r) {
+		t.Error("different chains are not bisimilar")
+	}
+}
+
+func TestPublicCyclicExtras(t *testing.T) {
+	// Mutual loop: everything succeeds forever.
+	n, err := fspnet.ParseNetworkString(
+		"process P { start s0; s0 x s0 } process Q { start t0; t0 x t0 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := fspnet.UnavoidableCyclic(n, 0)
+	if err != nil || !su {
+		t.Errorf("S_u = %v, %v", su, err)
+	}
+	sa, err := fspnet.AdversityCyclic(n, 0)
+	if err != nil || !sa {
+		t.Errorf("S_a = %v, %v", sa, err)
+	}
+	_, blocked, err := fspnet.BlockingWitnessCyclic(n, 0)
+	if err != nil || blocked {
+		t.Errorf("blocked = %v, %v", blocked, err)
+	}
+	win, strat, err := fspnet.WinningStrategyCyclic(n, 0)
+	if err != nil || !win || len(strat) == 0 {
+		t.Errorf("cyclic strategy: win=%v |strat|=%d err=%v", win, len(strat), err)
+	}
+	// The Section 4 composition at the public surface.
+	p := n.Process(0)
+	q := n.Process(1)
+	comp := fspnet.ComposeCyclic(p, q)
+	if len(comp.Leaves()) != 1 {
+		t.Errorf("cyclic composition must add the divergence leaf, got %v", comp.Leaves())
+	}
+}

@@ -1,0 +1,3 @@
+module fspnet
+
+go 1.22

@@ -1,0 +1,163 @@
+package fspnet_test
+
+// Cross-decider integration fuzz: every algorithm that claims to decide a
+// predicate must agree with every other one on the networks in its
+// domain, and every boolean verdict must be backed by (or refuted by) its
+// witness artifact. This is the whole-repository consistency net on top
+// of the per-package tests.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fspnet"
+	"fspnet/internal/bench"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/network"
+)
+
+func TestIntegrationTreeNetworksAllDeciders(t *testing.T) {
+	r := rand.New(rand.NewSource(1201))
+	for i := 0; i < 80; i++ {
+		cfg := fsptest.NetConfig{
+			Procs:          2 + r.Intn(4),
+			ActionsPerEdge: 1,
+			MaxStates:      4,
+			TauProb:        0.2,
+		}
+		n := fsptest.TreeNetwork(r, cfg)
+
+		ref, err := fspnet.AnalyzeAcyclic(n, 0)
+		if err != nil {
+			t.Fatalf("iter %d: reference: %v", i, err)
+		}
+		tree, err := fspnet.AnalyzeTree(n, 0, fspnet.TreeOptions{})
+		if err != nil {
+			t.Fatalf("iter %d: treesolve: %v", i, err)
+		}
+		if ref != tree {
+			t.Fatalf("iter %d: reference %v vs treesolve %v", i, ref, tree)
+		}
+
+		// Per-predicate entry points must agree with the bundle.
+		su, err := fspnet.Unavoidable(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := fspnet.Collaboration(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := fspnet.Adversity(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if su != ref.Su || sc != ref.Sc || sa != ref.Sa {
+			t.Fatalf("iter %d: per-predicate (%v,%v,%v) vs bundle %v", i, su, sa, sc, ref)
+		}
+
+		// Witness artifacts must back the booleans.
+		_, haveSchedule, err := fspnet.CollaborationWitness(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if haveSchedule != ref.Sc {
+			t.Fatalf("iter %d: schedule=%v but S_c=%v", i, haveSchedule, ref.Sc)
+		}
+		_, blocked, err := fspnet.BlockingWitness(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blocked == ref.Su {
+			t.Fatalf("iter %d: blocking witness=%v but S_u=%v", i, blocked, ref.Su)
+		}
+		win, strat, err := fspnet.WinningStrategy(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if win != ref.Sa {
+			t.Fatalf("iter %d: strategy win=%v but S_a=%v", i, win, ref.Sa)
+		}
+		if win && !n.Process(0).IsLeaf(n.Process(0).Start()) && len(strat) == 0 &&
+			len(n.Process(0).Alphabet()) > 0 {
+			t.Fatalf("iter %d: winning but empty strategy", i)
+		}
+
+		// The singleton group analysis must agree on S_u and S_c.
+		gv, err := fspnet.AnalyzeGroup(n, []int{0}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gv.Su != ref.Su || gv.Sc != ref.Sc {
+			t.Fatalf("iter %d: group %v vs %v", i, gv, ref)
+		}
+	}
+}
+
+func TestIntegrationUnaryVsCyclicReference(t *testing.T) {
+	// Doubling chains at sizes where the explicit composition is feasible.
+	for m := 0; m <= 6; m++ {
+		for _, inf := range []bool{false, true} {
+			n := bench.DoublingChain(m, 2, inf)
+			fast, err := fspnet.UnaryCollaboration(n, 0)
+			if err != nil {
+				t.Fatalf("m=%d inf=%v: unary: %v", m, inf, err)
+			}
+			slow, err := fspnet.CollaborationCyclic(n, 0)
+			if err != nil {
+				t.Fatalf("m=%d inf=%v: reference: %v", m, inf, err)
+			}
+			if fast != slow {
+				t.Fatalf("m=%d inf=%v: unary=%v reference=%v", m, inf, fast, slow)
+			}
+			if fast != inf {
+				t.Fatalf("m=%d: S_c=%v, want %v (finite budgets end the loop)", m, fast, inf)
+			}
+		}
+	}
+}
+
+func TestIntegrationRingFoldings(t *testing.T) {
+	r := rand.New(rand.NewSource(1203))
+	for i := 0; i < 20; i++ {
+		m := 4 + r.Intn(4)
+		n := bench.RingNetwork(int64(777+i), m)
+		folded, err := fspnet.AnalyzeKTree(n, 0, network.RingPartition(m), fspnet.TreeOptions{})
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		ref, err := fspnet.AnalyzeAcyclic(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if folded != ref {
+			t.Fatalf("iter %d (m=%d): folded %v vs reference %v", i, m, folded, ref)
+		}
+	}
+}
+
+func TestIntegrationFsplangRoundTripPreservesVerdicts(t *testing.T) {
+	r := rand.New(rand.NewSource(1207))
+	for i := 0; i < 30; i++ {
+		cfg := fsptest.NetConfig{
+			Procs: 2 + r.Intn(3), ActionsPerEdge: 1, MaxStates: 4, TauProb: 0.2,
+		}
+		n := fsptest.TreeNetwork(r, cfg)
+		src := fspnet.FormatNetwork(n)
+		n2, err := fspnet.ParseNetworkString(src)
+		if err != nil {
+			t.Fatalf("iter %d: re-parse: %v\n%s", i, err, src)
+		}
+		v1, err := fspnet.AnalyzeAcyclic(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := fspnet.AnalyzeAcyclic(n2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1 != v2 {
+			t.Fatalf("iter %d: verdict changed across round trip: %v vs %v", i, v1, v2)
+		}
+	}
+}

@@ -1,0 +1,452 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/game"
+	"fspnet/internal/linear"
+	"fspnet/internal/network"
+	"fspnet/internal/poss"
+	"fspnet/internal/reduce"
+	"fspnet/internal/sat"
+	"fspnet/internal/success"
+	"fspnet/internal/treesolve"
+	"fspnet/internal/unary"
+)
+
+// Experiment is one claim-reproduction run.
+type Experiment struct {
+	ID    string
+	Claim string
+	Run   func(quick bool) (*Table, error)
+}
+
+// All returns the experiments in EXPERIMENTS.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Proposition 1: all-linear networks decided in near-linear time", E1},
+		{"E2", "Theorem 1(1): S_c/¬S_u ≡ 3SAT on tree networks with one non-linear FSP", E2},
+		{"E3", "Theorem 1(2): S_c/¬S_u ≡ 3SAT on networks of O(1) tree FSPs", E3},
+		{"E4", "Theorem 2: S_a ≡ QBF validity (game of partial information)", E4},
+		{"E5", "Theorem 3: possibility normal forms vs global search on tree networks", E5},
+		{"E6", "Theorem 3 at k=2: rings folded per Figure 8a", E6},
+		{"E7", "Section 4: cyclic analysis and the dⁿ game bound (dining philosophers)", E7},
+		{"E8", "Theorem 4: unary numeric normal forms vs explicit composition", E8},
+		{"E9", "Lemma 2: normal-form sizes and congruence throughput", E9},
+		{"E10", "Ablation: Theorem 3 with vs without the possibility normal form", E10},
+	}
+}
+
+// RunAll renders every experiment table to w.
+func RunAll(w io.Writer, quick bool) error {
+	for _, e := range All() {
+		t, err := e.Run(quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		t.Caption = e.ID + ": " + e.Claim
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// E1 times Proposition 1 on growing all-linear chains.
+func E1(quick bool) (*Table, error) {
+	sizes := []int{10, 100, 1000, 10000}
+	if quick {
+		sizes = []int{10, 100, 1000}
+	}
+	t := &Table{Header: []string{"processes", "network size", "verdict", "linear algo", "ns per size unit"}}
+	for _, m := range sizes {
+		n := LinearChain(m, 2)
+		var verdict bool
+		d, err := timed(func() error {
+			var err error
+			verdict, err = linear.Analyze(n, 0)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(m, n.Size(), verdict, d, float64(d.Nanoseconds())/float64(n.Size()))
+	}
+	return t, nil
+}
+
+// E2 cross-validates the case (1) gadgets against DPLL and times the
+// reference decision as formulas grow.
+func E2(quick bool) (*Table, error) {
+	return satExperiment(quick, reduce.SatGadgetCase1, reduce.BlockingGadgetCase1)
+}
+
+// E3 is E2 for the case (2) gadgets. The case (2) network has one process
+// per variable AND per clause, so its global state space outgrows the
+// case (1) star much sooner; the sweep stays below that wall.
+func E3(quick bool) (*Table, error) {
+	sizes := []int{2, 3, 4, 5, 6}
+	if quick {
+		sizes = []int{2, 3, 4}
+	}
+	return satExperimentSizes(sizes, reduce.SatGadgetCase2, reduce.BlockingGadgetCase2)
+}
+
+func satExperiment(quick bool,
+	satGadget, blockGadget func(*sat.CNF) (*network.Network, error)) (*Table, error) {
+
+	varSizes := []int{2, 4, 6, 8, 10}
+	if quick {
+		varSizes = []int{2, 4, 6}
+	}
+	return satExperimentSizes(varSizes, satGadget, blockGadget)
+}
+
+func satExperimentSizes(varSizes []int,
+	satGadget, blockGadget func(*sat.CNF) (*network.Network, error)) (*Table, error) {
+	t := &Table{Header: []string{
+		"vars", "clauses", "net size", "SAT", "S_c", "¬S_u", "agree", "S_c time", "DPLL time"}}
+	for i, vars := range varSizes {
+		f := SatInstance(int64(1000+i), vars)
+		want, _ := sat.Solve(f)
+		var dpllTime time.Duration
+		dpllTime, _ = timed(func() error { _, _ = sat.Solve(f); return nil })
+
+		n, err := satGadget(f)
+		if err != nil {
+			return nil, err
+		}
+		q, err := n.Context(0, false)
+		if err != nil {
+			return nil, err
+		}
+		var sc bool
+		scTime, err := timed(func() error {
+			var err error
+			sc, err = success.CollaborationAcyclic(n.Process(0), q)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		bn, err := blockGadget(f)
+		if err != nil {
+			return nil, err
+		}
+		bq, err := bn.Context(0, false)
+		if err != nil {
+			return nil, err
+		}
+		su, err := success.UnavoidableAcyclic(bn.Process(0), bq)
+		if err != nil {
+			return nil, err
+		}
+		agree := sc == want && !su == want
+		t.Add(vars, len(f.Clauses), n.Size(), want, sc, !su, agree, scTime, dpllTime)
+	}
+	return t, nil
+}
+
+// E4 cross-validates the QBF gadget against the QBF solver and times the
+// belief-set game.
+func E4(quick bool) (*Table, error) {
+	varSizes := []int{2, 3, 4, 5}
+	if quick {
+		varSizes = []int{2, 3}
+	}
+	t := &Table{Header: []string{
+		"vars", "net size", "ctx states", "valid", "S_a", "agree", "game pairs", "game time", "QBF time"}}
+	for i, vars := range varSizes {
+		q := QbfInstance(int64(2000+i), vars)
+		want, err := sat.SolveQBF(q)
+		if err != nil {
+			return nil, err
+		}
+		qbfTime, _ := timed(func() error { _, err := sat.SolveQBF(q); return err })
+		n, err := reduce.QbfGadget(q)
+		if err != nil {
+			return nil, err
+		}
+		ctx, err := n.Context(0, false)
+		if err != nil {
+			return nil, err
+		}
+		var sa bool
+		gameTime, err := timed(func() error {
+			var err error
+			sa, err = success.AdversityAcyclic(n.Process(0), ctx)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := game.ReachablePairs(n.Process(0), ctx)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(vars, n.Size(), ctx.NumStates(), want, sa, sa == want, pairs, gameTime, qbfTime)
+	}
+	return t, nil
+}
+
+// E5 compares the Theorem 3 solver with the global reference on growing
+// tree networks.
+func E5(quick bool) (*Table, error) {
+	sizes := []int{3, 5, 7, 9, 11}
+	if quick {
+		sizes = []int{3, 5, 7}
+	}
+	t := &Table{Header: []string{
+		"processes", "net size", "treesolve", "reference", "match", "treesolve time", "reference time"}}
+	for i, m := range sizes {
+		n := TreeNetwork(int64(3000+i), m)
+		var tv success.Verdict
+		treeTime, err := timed(func() error {
+			var err error
+			tv, err = treesolve.Analyze(n, 0, treesolve.Options{})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var rv success.Verdict
+		refTime, err := timed(func() error {
+			var err error
+			rv, err = success.AnalyzeAcyclic(n, 0)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(m, n.Size(), tv, rv, tv == rv, treeTime, refTime)
+	}
+	return t, nil
+}
+
+// E6 analyzes rings through the Figure 8a folding (k = 2).
+func E6(quick bool) (*Table, error) {
+	sizes := []int{4, 6, 8, 10}
+	if quick {
+		sizes = []int{4, 6}
+	}
+	t := &Table{Header: []string{
+		"ring size", "classes", "ktree verdict", "reference", "match", "ktree time", "reference time"}}
+	for i, m := range sizes {
+		n := RingNetwork(int64(4000+i), m)
+		partition := network.RingPartition(m)
+		var kv success.Verdict
+		kTime, err := timed(func() error {
+			var err error
+			kv, err = treesolve.AnalyzeKTree(n, 0, partition, treesolve.Options{})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		var rv success.Verdict
+		rTime, err := timed(func() error {
+			var err error
+			rv, err = success.AnalyzeAcyclic(n, 0)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(m, len(partition), kv, rv, kv == rv, kTime, rTime)
+	}
+	return t, nil
+}
+
+// E7 analyzes dining-philosopher rings: the greedy ring deadlocks
+// (potential blocking), the asymmetric fix removes it, and the game's
+// pair count grows exponentially (the dⁿ bound of Proposition 2).
+func E7(quick bool) (*Table, error) {
+	sizes := []int{2, 3, 4, 5}
+	if quick {
+		sizes = []int{2, 3}
+	}
+	t := &Table{Header: []string{
+		"philosophers", "variant", "S_u", "S_a", "S_c", "game pairs", "analysis time"}}
+	for _, m := range sizes {
+		for _, variant := range []string{"greedy", "polite"} {
+			var n *network.Network
+			if variant == "greedy" {
+				n = Philosophers(m)
+			} else {
+				n = PhilosophersPolite(m)
+			}
+			var v success.Verdict
+			d, err := timed(func() error {
+				var err error
+				v, err = success.AnalyzeCyclic(n, 0)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			q, err := n.Context(0, true)
+			if err != nil {
+				return nil, err
+			}
+			pairs, err := game.ReachablePairs(n.Process(0), q)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(m, variant, v.Su, v.Sa, v.Sc, pairs, d)
+		}
+	}
+	return t, nil
+}
+
+// E8 compares the Theorem 4 numeric reduction with the explicit cyclic
+// composition on multiply-by-2 chains (budgets of 2^m need binary coding).
+func E8(quick bool) (*Table, error) {
+	sizes := []int{2, 4, 8, 16, 32}
+	if quick {
+		sizes = []int{2, 4, 8}
+	}
+	refLimit := 8 // the explicit composition blows up beyond this
+	t := &Table{Header: []string{
+		"chain length", "root budget", "S_c (unary)", "unary time", "S_c (reference)", "reference time"}}
+	for _, m := range sizes {
+		n := DoublingChain(m, 3, false)
+		var (
+			sc    bool
+			iface map[string]string
+		)
+		_ = iface
+		uTime, err := timed(func() error {
+			var err error
+			sc, err = unary.Collaboration(n, 0)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		counts, err := unary.Interface(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		budget := counts["x0"].String()
+		refCell, refTime := "skipped", "-"
+		if m <= refLimit {
+			q, err := n.Context(0, true)
+			if err != nil {
+				return nil, err
+			}
+			var rsc bool
+			d, err := timed(func() error {
+				var err error
+				rsc, err = success.CollaborationCyclic(n.Process(0), q)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			refCell = fmt.Sprint(rsc)
+			refTime = formatDuration(d)
+		}
+		t.Add(m, budget, sc, uTime, refCell, refTime)
+	}
+	return t, nil
+}
+
+// E9 measures possibility-set sizes and normal-form construction
+// throughput (the Lemma 2 machinery).
+func E9(quick bool) (*Table, error) {
+	sizes := []int{4, 8, 12, 16}
+	if quick {
+		sizes = []int{4, 8}
+	}
+	t := &Table{Header: []string{
+		"max states", "|Poss(Q)|", "NF states", "NF time", "congruence holds"}}
+	for i, maxStates := range sizes {
+		p, q := RandomAcyclicPair(int64(5000+i), maxStates)
+		set, err := poss.Of(q, poss.DefaultBudget)
+		if err != nil {
+			return nil, err
+		}
+		var nfStates int
+		d, err := timed(func() error {
+			nf, err := poss.NormalForm("NF", set)
+			if err != nil {
+				return err
+			}
+			nfStates = nf.NumStates()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		nf, err := poss.NormalForm("NF", set)
+		if err != nil {
+			return nil, err
+		}
+		congruent := poss.Equivalent(
+			composeForTest(p, q), composeForTest(p, nf))
+		t.Add(maxStates, set.Len(), nfStates, d, congruent)
+	}
+	return t, nil
+}
+
+// composeForTest wraps fsp.Compose for E9.
+func composeForTest(p, q *fsp.FSP) *fsp.FSP { return fsp.Compose(p, q) }
+
+// E10 is the normal-form ablation: Theorem 3 with and without the
+// possibility normal form on deep chains, where the raw subtree
+// composition grows with depth but the interface behavior does not.
+func E10(quick bool) (*Table, error) {
+	sizes := []int{4, 8, 12, 16}
+	if quick {
+		sizes = []int{4, 8}
+	}
+	t := &Table{Header: []string{
+		"chain length", "leaf size (NF)", "leaf size (raw)", "verdict match",
+		"time (NF)", "time (raw)"}}
+	for i, m := range sizes {
+		n := DeepChain(int64(6000+i), m)
+		var vNF, vRaw success.Verdict
+		star, err := treesolve.Reduce(n, 0, treesolve.Options{})
+		if err != nil {
+			return nil, err
+		}
+		nfSize := sum(star.LeafSizes())
+		dNF, err := timed(func() error {
+			var err error
+			vNF, err = treesolve.Analyze(n, 0, treesolve.Options{})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		rawStar, err := treesolve.Reduce(n, 0, treesolve.Options{NoNormalForm: true})
+		if err != nil {
+			return nil, err
+		}
+		rawSize := sum(rawStar.LeafSizes())
+		dRaw, err := timed(func() error {
+			var err error
+			vRaw, err = treesolve.Analyze(n, 0, treesolve.Options{NoNormalForm: true})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Add(m, nfSize, rawSize, vNF == vRaw, dNF, dRaw)
+	}
+	return t, nil
+}
+
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,205 @@
+// Package bisim implements strong and weak (observational) bisimulation
+// equivalence for FSPs by partition refinement. The paper's possibility
+// equivalence sits strictly between failure equivalence and observational
+// equivalence; this package supplies the top of that spectrum, following
+// the equivalence taxonomy of the authors' companion paper [KS]
+// ("CCS Expressions, Finite State Processes, and Three Problems of
+// Equivalence", PODC 1983).
+package bisim
+
+import (
+	"sort"
+
+	"fspnet/internal/fsp"
+)
+
+// Strong reports whether the start states of p and q are strongly
+// bisimilar: every transition (including τ) of one can be matched by an
+// identical-label transition of the other into bisimilar states.
+func Strong(p, q *fsp.FSP) bool {
+	u := newUnion(p, q)
+	return u.equivalent(strongSteps(u))
+}
+
+// Weak reports whether the start states are weakly (observationally)
+// bisimilar: visible moves are matched up to τ-closure (⇒ᵃ), and τ-moves
+// by possibly-empty τ-sequences. Computed as strong bisimulation on the
+// saturated (double-arrow) transition systems, with ε-self-loops making
+// τ-matching optional.
+func Weak(p, q *fsp.FSP) bool {
+	u := newUnion(p, q)
+	return u.equivalent(weakSteps(u))
+}
+
+// union is the disjoint union of two FSPs: states of q are shifted by
+// p.NumStates().
+type union struct {
+	p, q   *fsp.FSP
+	shift  int
+	total  int
+	labels []fsp.Action // sorted label universe (τ first when present)
+}
+
+func newUnion(p, q *fsp.FSP) *union {
+	u := &union{p: p, q: q, shift: p.NumStates(), total: p.NumStates() + q.NumStates()}
+	seen := map[fsp.Action]bool{}
+	add := func(as []fsp.Action) {
+		for _, a := range as {
+			if !seen[a] {
+				seen[a] = true
+				u.labels = append(u.labels, a)
+			}
+		}
+	}
+	add(p.Alphabet())
+	add(q.Alphabet())
+	sort.Slice(u.labels, func(i, j int) bool { return u.labels[i] < u.labels[j] })
+	u.labels = append([]fsp.Action{fsp.Tau}, u.labels...)
+	return u
+}
+
+// steps maps (state, labelIndex) to the sorted successor set in the union
+// numbering.
+type steps func(state, label int) []int
+
+// strongSteps is the plain one-step transition function.
+func strongSteps(u *union) steps {
+	return func(s, li int) []int {
+		lbl := u.labels[li]
+		var out []int
+		if s < u.shift {
+			for _, t := range u.p.Out(fsp.State(s)) {
+				if t.Label == lbl {
+					out = append(out, int(t.To))
+				}
+			}
+		} else {
+			for _, t := range u.q.Out(fsp.State(s - u.shift)) {
+				if t.Label == lbl {
+					out = append(out, int(t.To)+u.shift)
+				}
+			}
+		}
+		sort.Ints(out)
+		return dedupInts(out)
+	}
+}
+
+// weakSteps is the saturated transition function: ⇒ᵃ for visible a, and
+// ⇒ᵋ (including staying put) for τ.
+func weakSteps(u *union) steps {
+	return func(s, li int) []int {
+		lbl := u.labels[li]
+		var out []int
+		if s < u.shift {
+			if lbl == fsp.Tau {
+				for _, t := range u.p.TauClosure([]fsp.State{fsp.State(s)}) {
+					out = append(out, int(t))
+				}
+			} else {
+				for _, t := range u.p.Step([]fsp.State{fsp.State(s)}, lbl) {
+					out = append(out, int(t))
+				}
+			}
+		} else {
+			base := fsp.State(s - u.shift)
+			if lbl == fsp.Tau {
+				for _, t := range u.q.TauClosure([]fsp.State{base}) {
+					out = append(out, int(t)+u.shift)
+				}
+			} else {
+				for _, t := range u.q.Step([]fsp.State{base}, lbl) {
+					out = append(out, int(t)+u.shift)
+				}
+			}
+		}
+		sort.Ints(out)
+		return dedupInts(out)
+	}
+}
+
+// equivalent runs naive partition refinement over the union under the
+// given step function and checks the two start states land in one class.
+// For the weak case the ε-closure is already folded into the steps, so a
+// τ-move can always be matched by "staying" (the closure contains the
+// state itself).
+func (u *union) equivalent(st steps) bool {
+	// class[s] = current block id.
+	class := make([]int, u.total)
+	numClasses := 1
+	for changed := true; changed; {
+		changed = false
+		// Signature: for each label, the sorted set of successor classes.
+		type sig string
+		index := make(map[sig]int)
+		next := make([]int, u.total)
+		nextCount := 0
+		for s := 0; s < u.total; s++ {
+			key := signature(u, st, class, s)
+			id, ok := index[sig(key)]
+			if !ok {
+				id = nextCount
+				nextCount++
+				index[sig(key)] = id
+			}
+			next[s] = id
+		}
+		if nextCount != numClasses {
+			changed = true
+		} else {
+			for s := 0; s < u.total; s++ {
+				if next[s] != class[s] {
+					changed = true
+					break
+				}
+			}
+		}
+		class = next
+		numClasses = nextCount
+	}
+	return class[int(u.p.Start())] == class[int(u.q.Start())+u.shift]
+}
+
+// signature canonicalizes a state's per-label successor-class sets,
+// prefixed with the class it currently belongs to so refinement is
+// monotone.
+func signature(u *union, st steps, class []int, s int) string {
+	out := []byte{byte('0' + class[s]%10)}
+	out = appendInt(out, class[s])
+	for li := range u.labels {
+		out = append(out, '|')
+		succ := st(s, li)
+		classes := make([]int, 0, len(succ))
+		for _, t := range succ {
+			classes = append(classes, class[t])
+		}
+		sort.Ints(classes)
+		classes = dedupInts(classes)
+		for _, c := range classes {
+			out = appendInt(out, c)
+			out = append(out, ',')
+		}
+	}
+	return string(out)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v >= 10 {
+		b = appendInt(b, v/10)
+	}
+	return append(b, byte('0'+v%10))
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	w := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[w-1] {
+			xs[w] = xs[i]
+			w++
+		}
+	}
+	return xs[:w]
+}

@@ -1,0 +1,206 @@
+package bisim
+
+import (
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/lang"
+	"fspnet/internal/poss"
+)
+
+func TestStrongBasics(t *testing.T) {
+	p := fsp.Linear("P", "a", "b")
+	q := fsp.Linear("Q", "a", "b")
+	if !Strong(p, q) {
+		t.Error("identical chains are strongly bisimilar")
+	}
+	r := fsp.Linear("R", "a", "c")
+	if Strong(p, r) {
+		t.Error("different labels are not bisimilar")
+	}
+	// Nondeterministic duplicate branch is still strongly bisimilar.
+	b := fsp.NewBuilder("D")
+	s0, s1a, s1b, s2 := b.State("0"), b.State("1a"), b.State("1b"), b.State("2")
+	b.Add(s0, "a", s1a)
+	b.Add(s0, "a", s1b)
+	b.Add(s1a, "b", s2)
+	b.Add(s1b, "b", s2)
+	if !Strong(p, b.MustBuild()) {
+		t.Error("duplicated branch is strongly bisimilar to the chain")
+	}
+}
+
+// TestClassicCounterexample: a·(b+c) vs a·b + a·c are language-equivalent
+// but not bisimilar (the classic branching-time distinction).
+func TestClassicCounterexample(t *testing.T) {
+	outer := fsp.TreeFromPaths("Outer", []fsp.Action{"a", "b"}, []fsp.Action{"a", "c"})
+	// Outer shares the a-prefix: a·(b+c). Inner splits at the root.
+	b := fsp.NewBuilder("Inner")
+	s0 := b.State("0")
+	l, r := b.State("l"), b.State("r")
+	b.Add(s0, "a", l)
+	b.Add(s0, "a", r)
+	b.Add(l, "b", b.State("lb"))
+	b.Add(r, "c", b.State("rc"))
+	inner := b.MustBuild()
+
+	if !lang.LangEquivalent(outer, inner) {
+		t.Fatal("the two processes are language-equivalent")
+	}
+	if Strong(outer, inner) {
+		t.Error("a·(b+c) vs a·b + a·c must not be strongly bisimilar")
+	}
+	if Weak(outer, inner) {
+		t.Error("a·(b+c) vs a·b + a·c must not be weakly bisimilar")
+	}
+	// They differ already at the possibility level.
+	if poss.Equivalent(outer, inner) {
+		t.Error("possibility sets must differ")
+	}
+}
+
+func TestWeakAbsorbsStuttering(t *testing.T) {
+	p := fsp.Linear("P", "a", "b")
+	st := stutter(p)
+	if Strong(p, st) {
+		t.Error("stuttered chain is not strongly bisimilar (extra τ states)")
+	}
+	if !Weak(p, st) {
+		t.Error("stuttered chain must be weakly bisimilar")
+	}
+}
+
+// TestFigure2NotBisimilar: the paper's Figure 2 pair is failure-equivalent
+// but not possibility-equivalent, hence not weakly bisimilar — the
+// hierarchy is strict at every level.
+func TestFigure2NotBisimilar(t *testing.T) {
+	build := func(name string, withBoth bool) *fsp.FSP {
+		b := fsp.NewBuilder(name)
+		s0 := b.State("0")
+		end := b.State("end")
+		for _, branch := range []fsp.Action{"b", "c"} {
+			mid := b.State("mid" + string(branch))
+			b.AddTau(s0, mid)
+			b.Add(mid, branch, end)
+		}
+		if withBoth {
+			mid := b.State("midbc")
+			b.AddTau(s0, mid)
+			b.Add(mid, "b", end)
+			b.Add(mid, "c", end)
+		}
+		return b.MustBuild()
+	}
+	p := build("P", true)
+	q := build("Q", false)
+	if Weak(p, q) {
+		t.Error("Figure 2 pair must not be weakly bisimilar")
+	}
+}
+
+// stutter inserts a fresh τ-hop behind every transition.
+func stutter(p *fsp.FSP) *fsp.FSP {
+	b := fsp.NewBuilder(p.Name() + "·st")
+	for s := 0; s < p.NumStates(); s++ {
+		b.State(p.StateName(fsp.State(s)))
+	}
+	b.SetStart(p.Start())
+	for i, t := range p.Transitions() {
+		mid := b.State(p.StateName(t.From) + "·" + string(rune('0'+i%10)))
+		b.Add(t.From, t.Label, mid)
+		b.AddTau(mid, t.To)
+	}
+	return b.MustBuild()
+}
+
+// unroll2 duplicates every state with a parity bit — strongly bisimilar to
+// the original.
+func unroll2(p *fsp.FSP) *fsp.FSP {
+	b := fsp.NewBuilder(p.Name() + "×2").AllowUnreachable()
+	n := p.NumStates()
+	for par := 0; par < 2; par++ {
+		for s := 0; s < n; s++ {
+			b.State(p.StateName(fsp.State(s)))
+		}
+	}
+	b.SetStart(p.Start())
+	for _, t := range p.Transitions() {
+		b.Add(t.From, t.Label, fsp.State(n+int(t.To)))
+		b.Add(fsp.State(n+int(t.From)), t.Label, t.To)
+	}
+	return b.MustBuild().Trim()
+}
+
+// TestHierarchy: strong ⇒ weak ⇒ possibility ⇒ failure ⇒ language, on
+// constructions guaranteeing the antecedents and on random pairs.
+func TestHierarchy(t *testing.T) {
+	r := rand.New(rand.NewSource(941))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 60; i++ {
+		p := fsptest.Acyclic(r, "P", cfg)
+
+		// Unrolling: strongly bisimilar.
+		u := unroll2(p)
+		if !Strong(p, u) {
+			t.Fatalf("iter %d: unrolling not strongly bisimilar", i)
+		}
+		if !Weak(p, u) {
+			t.Fatalf("iter %d: strong must imply weak", i)
+		}
+
+		// Stuttering: weakly bisimilar.
+		st := stutter(p)
+		if !Weak(p, st) {
+			t.Fatalf("iter %d: stuttering not weakly bisimilar", i)
+		}
+		if !poss.Equivalent(p, st) {
+			t.Fatalf("iter %d: weak bisimilarity must imply possibility equivalence (acyclic)", i)
+		}
+		failEq, err := poss.FailEquivalent(p, st, poss.DefaultBudget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !failEq {
+			t.Fatalf("iter %d: possibility equivalence must imply failure equivalence", i)
+		}
+		if !lang.LangEquivalent(p, st) {
+			t.Fatalf("iter %d: failure equivalence must imply language equivalence", i)
+		}
+
+		// Random pair: check the implications hold whenever the stronger
+		// relation happens to hold.
+		q := fsptest.Acyclic(r, "Q", cfg)
+		if Weak(p, q) && !poss.Equivalent(p, q) {
+			t.Fatalf("iter %d: weak ⇒ possibility violated on random pair", i)
+		}
+		if poss.Equivalent(p, q) && !lang.LangEquivalent(p, q) {
+			t.Fatalf("iter %d: possibility ⇒ language violated on random pair", i)
+		}
+	}
+}
+
+func TestWeakCyclic(t *testing.T) {
+	// a-loop vs its two-state unrolling: weakly (and strongly) bisimilar.
+	b1 := fsp.NewBuilder("L1")
+	s0 := b1.State("0")
+	b1.Add(s0, "a", s0)
+	l1 := b1.MustBuild()
+	l2 := unroll2(l1)
+	if !Strong(l1, l2) || !Weak(l1, l2) {
+		t.Error("loop unrolling must be bisimilar")
+	}
+	// a-loop vs a-loop with τ-detour: weakly but not strongly bisimilar.
+	b3 := fsp.NewBuilder("L3")
+	t0, t1 := b3.State("0"), b3.State("1")
+	b3.AddTau(t0, t1)
+	b3.Add(t1, "a", t0)
+	l3 := b3.MustBuild()
+	if Strong(l1, l3) {
+		t.Error("τ-detour loop is not strongly bisimilar")
+	}
+	if !Weak(l1, l3) {
+		t.Error("τ-detour loop must be weakly bisimilar")
+	}
+}

@@ -1,0 +1,219 @@
+package fsp
+
+import (
+	"fmt"
+)
+
+// Builder assembles an FSP incrementally. The zero value is not usable; use
+// NewBuilder. The first state added becomes the start state unless SetStart
+// is called.
+type Builder struct {
+	name             string
+	names            []string
+	trans            []Transition
+	start            State
+	startSet         bool
+	allowUnreachable bool
+}
+
+// NewBuilder returns a builder for a process with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// State adds a state with the given display name and returns its index.
+// Display names need not be unique.
+func (b *Builder) State(name string) State {
+	b.names = append(b.names, name)
+	return State(len(b.names) - 1)
+}
+
+// States adds n states named by their indices and returns the first index.
+func (b *Builder) States(n int) State {
+	first := State(len(b.names))
+	for i := 0; i < n; i++ {
+		b.names = append(b.names, fmt.Sprintf("%d", len(b.names)))
+	}
+	return first
+}
+
+// SetStart designates s as the start state.
+func (b *Builder) SetStart(s State) {
+	b.start = s
+	b.startSet = true
+}
+
+// Add records a transition from → to labeled a (a may be Tau).
+func (b *Builder) Add(from State, a Action, to State) {
+	b.trans = append(b.trans, Transition{From: from, Label: a, To: to})
+}
+
+// AddTau records a τ-move from → to.
+func (b *Builder) AddTau(from, to State) { b.Add(from, Tau, to) }
+
+// AllowUnreachable disables the every-state-reachable validation. It exists
+// for the raw product × of Definition 3, whose unreachable part is only
+// discarded by the ∩ step.
+func (b *Builder) AllowUnreachable() *Builder {
+	b.allowUnreachable = true
+	return b
+}
+
+// Build validates the accumulated definition and returns the immutable FSP.
+func (b *Builder) Build() (*FSP, error) {
+	n := len(b.names)
+	if n == 0 {
+		return nil, fmt.Errorf("%s: %w", b.name, ErrNoStates)
+	}
+	start := b.start
+	if !b.startSet {
+		start = 0
+	}
+	if int(start) < 0 || int(start) >= n {
+		return nil, fmt.Errorf("%s: start %d: %w", b.name, start, ErrBadState)
+	}
+	out := make([][]Transition, n)
+	alpha := make(map[Action]struct{})
+	for _, t := range b.trans {
+		if int(t.From) < 0 || int(t.From) >= n || int(t.To) < 0 || int(t.To) >= n {
+			return nil, fmt.Errorf("%s: transition %v: %w", b.name, t, ErrBadState)
+		}
+		if t.Label == "" {
+			return nil, fmt.Errorf("%s: transition %v: %w", b.name, t, ErrBadAction)
+		}
+		out[t.From] = append(out[t.From], t)
+		if t.Label != Tau {
+			alpha[t.Label] = struct{}{}
+		}
+	}
+	for s := range out {
+		sortTransitions(out[s])
+		// Drop exact duplicate transitions so Δ is a set.
+		w := 0
+		for i, t := range out[s] {
+			if i == 0 || t != out[s][i-1] {
+				out[s][w] = t
+				w++
+			}
+		}
+		out[s] = out[s][:w]
+	}
+	p := &FSP{
+		name:  b.name,
+		start: start,
+		names: append([]string(nil), b.names...),
+		out:   out,
+	}
+	for a := range alpha {
+		p.alphabet = append(p.alphabet, a)
+	}
+	p.alphabet = dedupActions(p.alphabet)
+	if !b.allowUnreachable {
+		if bad := p.unreachableStates(); len(bad) > 0 {
+			return nil, fmt.Errorf("%s: state %q: %w", b.name, p.names[bad[0]], ErrUnreachable)
+		}
+	}
+	return p, nil
+}
+
+// MustBuild is Build for static definitions that cannot fail; it panics on
+// error and is intended for tests, examples, and compiled-in gadgets.
+func (b *Builder) MustBuild() *FSP {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// unreachableStates returns states not reachable from the start.
+func (p *FSP) unreachableStates() []State {
+	seen := make([]bool, p.NumStates())
+	stack := []State{p.start}
+	seen[p.start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range p.out[s] {
+			if !seen[t.To] {
+				seen[t.To] = true
+				stack = append(stack, t.To)
+			}
+		}
+	}
+	var bad []State
+	for s, ok := range seen {
+		if !ok {
+			bad = append(bad, State(s))
+		}
+	}
+	return bad
+}
+
+// Trim returns the restriction of p to states reachable from the start, the
+// ∩ step of Definition 3 applied to an arbitrary process.
+func (p *FSP) Trim() *FSP {
+	unreachable := p.unreachableStates()
+	if len(unreachable) == 0 {
+		return p
+	}
+	drop := make(map[State]bool, len(unreachable))
+	for _, s := range unreachable {
+		drop[s] = true
+	}
+	b := NewBuilder(p.name)
+	remap := make([]State, p.NumStates())
+	for s := 0; s < p.NumStates(); s++ {
+		if drop[State(s)] {
+			remap[s] = -1
+			continue
+		}
+		remap[s] = b.State(p.names[s])
+	}
+	b.SetStart(remap[p.start])
+	for _, t := range p.Transitions() {
+		if remap[t.From] >= 0 && remap[t.To] >= 0 {
+			b.Add(remap[t.From], t.Label, remap[t.To])
+		}
+	}
+	return b.MustBuild()
+}
+
+// Linear builds the linear FSP with the given action sequence:
+// s0 -a1-> s1 -a2-> ... -an-> sn.
+func Linear(name string, actions ...Action) *FSP {
+	b := NewBuilder(name)
+	prev := b.State("0")
+	for i, a := range actions {
+		next := b.State(fmt.Sprintf("%d", i+1))
+		b.Add(prev, a, next)
+		prev = next
+	}
+	return b.MustBuild()
+}
+
+// TreeFromPaths builds a tree FSP as the prefix trie of the given action
+// sequences. Paths sharing a prefix share the corresponding states.
+func TreeFromPaths(name string, paths ...[]Action) *FSP {
+	b := NewBuilder(name)
+	root := b.State("ε")
+	type key struct {
+		s State
+		a Action
+	}
+	edge := make(map[key]State)
+	for _, path := range paths {
+		cur := root
+		for _, a := range path {
+			k := key{cur, a}
+			next, ok := edge[k]
+			if !ok {
+				next = b.State(b.names[cur] + "·" + string(a))
+				edge[k] = next
+				b.Add(cur, a, next)
+			}
+			cur = next
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,259 @@
+package fsp
+
+// Class is the structural classification of an FSP's transition graph used
+// throughout the paper: a path is linear, a tree rooted at the start state
+// is a tree, a single-rooted DAG is acyclic, and anything else is cyclic.
+type Class int
+
+const (
+	// ClassLinear means the graph is a simple path from the start state.
+	ClassLinear Class = iota + 1
+	// ClassTree means the graph is a tree rooted at the start state.
+	ClassTree
+	// ClassAcyclic means the graph is a DAG rooted at the start state but
+	// not a tree (some state has several incoming arcs).
+	ClassAcyclic
+	// ClassCyclic means the graph contains a directed cycle.
+	ClassCyclic
+)
+
+// String returns the paper's name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassLinear:
+		return "linear"
+	case ClassTree:
+		return "tree"
+	case ClassAcyclic:
+		return "acyclic"
+	case ClassCyclic:
+		return "cyclic"
+	default:
+		return "unknown"
+	}
+}
+
+// AtMost reports whether c is at most d in the hierarchy
+// linear ⊂ tree ⊂ acyclic ⊂ cyclic.
+func (c Class) AtMost(d Class) bool { return c <= d }
+
+// Classify returns the structural class of p.
+func (p *FSP) Classify() Class {
+	if !p.IsAcyclic() {
+		return ClassCyclic
+	}
+	indeg := make([]int, p.NumStates())
+	maxOut := 0
+	for s := 0; s < p.NumStates(); s++ {
+		if len(p.out[s]) > maxOut {
+			maxOut = len(p.out[s])
+		}
+		for _, t := range p.out[s] {
+			indeg[t.To]++
+		}
+	}
+	isTree := indeg[p.start] == 0
+	for s := 0; s < p.NumStates(); s++ {
+		if State(s) != p.start && indeg[s] != 1 {
+			isTree = false
+		}
+	}
+	if !isTree {
+		return ClassAcyclic
+	}
+	if maxOut <= 1 {
+		return ClassLinear
+	}
+	return ClassTree
+}
+
+// IsAcyclic reports whether the transition graph has no directed cycle.
+func (p *FSP) IsAcyclic() bool {
+	return !p.hasCycle(func(Transition) bool { return true })
+}
+
+// HasTauCycle reports whether the graph restricted to τ-moves has a cycle.
+// Cyclic composition (Section 4) treats such cycles as silent divergence.
+func (p *FSP) HasTauCycle() bool {
+	return p.hasCycle(func(t Transition) bool { return t.Label == Tau })
+}
+
+// hasCycle runs a colored DFS over the transitions accepted by keep.
+func (p *FSP) hasCycle(keep func(Transition) bool) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, p.NumStates())
+	type frame struct {
+		s State
+		i int
+	}
+	for root := 0; root < p.NumStates(); root++ {
+		if color[root] != white {
+			continue
+		}
+		stack := []frame{{State(root), 0}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			ts := p.out[f.s]
+			advanced := false
+			for f.i < len(ts) {
+				t := ts[f.i]
+				f.i++
+				if !keep(t) {
+					continue
+				}
+				switch color[t.To] {
+				case gray:
+					return true
+				case white:
+					color[t.To] = gray
+					stack = append(stack, frame{t.To, 0})
+					advanced = true
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced && f.i >= len(ts) {
+				color[f.s] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return false
+}
+
+// TauDivergentStates returns, in increasing order, the states from which a
+// τ-labeled path leads into a τ-cycle. These are the states the Section 4
+// composition augments with an escape to a fresh leaf.
+func (p *FSP) TauDivergentStates() []State {
+	n := p.NumStates()
+	// Tarjan SCC over the τ-subgraph; a state is on a τ-cycle iff its SCC
+	// has size > 1 or it has a τ self-loop.
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var (
+		stack   []State
+		next    int
+		ncomp   int
+		tarStk  []tarFrame
+		onCycle = make([]bool, n)
+	)
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		tarStk = append(tarStk[:0], tarFrame{State(root), 0})
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, State(root))
+		onStack[root] = true
+		for len(tarStk) > 0 {
+			f := &tarStk[len(tarStk)-1]
+			recursed := false
+			ts := p.out[f.s]
+			for f.i < len(ts) {
+				t := ts[f.i]
+				f.i++
+				if t.Label != Tau {
+					continue
+				}
+				if index[t.To] == -1 {
+					index[t.To], low[t.To] = next, next
+					next++
+					stack = append(stack, t.To)
+					onStack[t.To] = true
+					tarStk = append(tarStk, tarFrame{t.To, 0})
+					recursed = true
+					break
+				}
+				if onStack[t.To] && low[f.s] > index[t.To] {
+					low[f.s] = index[t.To]
+				}
+			}
+			if recursed {
+				continue
+			}
+			if low[f.s] == index[f.s] {
+				size := 0
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					size++
+					if w == f.s {
+						break
+					}
+				}
+				if size > 1 {
+					markComponentCyclic(p, comp, ncomp, onCycle)
+				} else {
+					// Singleton: cyclic only with a τ self-loop.
+					for _, t := range p.out[f.s] {
+						if t.Label == Tau && t.To == f.s {
+							onCycle[f.s] = true
+						}
+					}
+				}
+				ncomp++
+			}
+			tarStk = tarStk[:len(tarStk)-1]
+			if len(tarStk) > 0 {
+				g := &tarStk[len(tarStk)-1]
+				if low[g.s] > low[f.s] {
+					low[g.s] = low[f.s]
+				}
+			}
+		}
+	}
+	// Backward propagation over τ-edges: a state diverges if it is on a
+	// τ-cycle or has a τ-edge to a divergent state.
+	diverge := append([]bool(nil), onCycle...)
+	changed := true
+	for changed {
+		changed = false
+		for s := 0; s < n; s++ {
+			if diverge[s] {
+				continue
+			}
+			for _, t := range p.out[s] {
+				if t.Label == Tau && diverge[t.To] {
+					diverge[s] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var res []State
+	for s := 0; s < n; s++ {
+		if diverge[s] {
+			res = append(res, State(s))
+		}
+	}
+	return res
+}
+
+type tarFrame struct {
+	s State
+	i int
+}
+
+func markComponentCyclic(p *FSP, comp []int, id int, onCycle []bool) {
+	for s := 0; s < p.NumStates(); s++ {
+		if comp[s] == id {
+			onCycle[s] = true
+		}
+	}
+}

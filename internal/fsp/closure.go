@@ -1,0 +1,80 @@
+package fsp
+
+// TauClosure returns the sorted set of states reachable from any state in
+// set using zero or more τ-moves (the ⇒ᵋ relation of Section 2.1).
+func (p *FSP) TauClosure(set []State) []State {
+	seen := make([]bool, p.NumStates())
+	var stack []State
+	for _, s := range set {
+		if !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	res := append([]State(nil), stack...)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range p.out[s] {
+			if t.Label == Tau && !seen[t.To] {
+				seen[t.To] = true
+				stack = append(stack, t.To)
+				res = append(res, t.To)
+			}
+		}
+	}
+	return dedupStates(res)
+}
+
+// Step returns the sorted set of states q with s ⇒ᵃ q for some s in set:
+// τ-closure, one a-labeled move, τ-closure.
+func (p *FSP) Step(set []State, a Action) []State {
+	pre := p.TauClosure(set)
+	var mid []State
+	for _, s := range pre {
+		for _, t := range p.out[s] {
+			if t.Label == a {
+				mid = append(mid, t.To)
+			}
+		}
+	}
+	if len(mid) == 0 {
+		return nil
+	}
+	return p.TauClosure(dedupStates(mid))
+}
+
+// ReachableVia returns the sorted set of states q with start ⇒ˢ q for the
+// action string s. An empty result means s ∉ Lang(p).
+func (p *FSP) ReachableVia(s []Action) []State {
+	cur := p.TauClosure([]State{p.start})
+	for _, a := range s {
+		cur = p.Step(cur, a)
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// Accepts reports whether s ∈ Lang(p), i.e. some state is reachable from
+// the start via s.
+func (p *FSP) Accepts(s []Action) bool { return len(p.ReachableVia(s)) > 0 }
+
+// StableStates filters set to its stable members (no outgoing τ). Combined
+// with TauClosure it yields the states at which possibilities are observed.
+func (p *FSP) StableStates(set []State) []State {
+	var res []State
+	for _, s := range set {
+		if p.IsStable(s) {
+			res = append(res, s)
+		}
+	}
+	return res
+}
+
+// Dead reports s ⇒ᵃ dead: no state is reachable from s via action a
+// (Section 2.1). Fail(p) is built from this predicate.
+func (p *FSP) Dead(s State, a Action) bool {
+	return len(p.Step([]State{s}, a)) == 0
+}

@@ -1,0 +1,157 @@
+package fsp
+
+import "fmt"
+
+// Product returns P1 × P2 of Definition 3 over the full state set K1 × K2:
+// independent moves on private actions and τ, simultaneous moves
+// (handshakes) on shared actions. The result may contain unreachable
+// states; Intersect applies the ∩ restriction.
+func Product(p1, p2 *FSP) *FSP {
+	shared := sharedAlphabet(p1, p2)
+	n1, n2 := p1.NumStates(), p2.NumStates()
+	b := NewBuilder("(" + p1.name + "×" + p2.name + ")").AllowUnreachable()
+	for s1 := 0; s1 < n1; s1++ {
+		for s2 := 0; s2 < n2; s2++ {
+			b.State("(" + p1.names[s1] + "," + p2.names[s2] + ")")
+		}
+	}
+	pair := func(s1, s2 State) State { return State(int(s1)*n2 + int(s2)) }
+	b.SetStart(pair(p1.start, p2.start))
+	for s1 := 0; s1 < n1; s1++ {
+		for s2 := 0; s2 < n2; s2++ {
+			from := pair(State(s1), State(s2))
+			for _, t := range p1.out[s1] {
+				if t.Label == Tau || !shared[t.Label] {
+					b.Add(from, t.Label, pair(t.To, State(s2)))
+				}
+			}
+			for _, t := range p2.out[s2] {
+				if t.Label == Tau || !shared[t.Label] {
+					b.Add(from, t.Label, pair(State(s1), t.To))
+				}
+			}
+			for _, t1 := range p1.out[s1] {
+				if t1.Label == Tau || !shared[t1.Label] {
+					continue
+				}
+				for _, t2 := range p2.out[s2] {
+					if t2.Label == t1.Label {
+						b.Add(from, t1.Label, pair(t1.To, t2.To))
+					}
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Intersect returns P1 ∩ P2: the product restricted to states reachable
+// from the start, with handshakes still visible under their shared labels.
+func Intersect(p1, p2 *FSP) *FSP {
+	q := Product(p1, p2).Trim()
+	return q.Rename("(" + p1.name + "∩" + p2.name + ")")
+}
+
+// Compose returns the composition P1 ‖ P2: the reachable product with every
+// shared action hidden as τ. It is commutative and, in a network whose
+// actions are owned by exactly two processes, associative (Lemma 1).
+func Compose(p1, p2 *FSP) *FSP {
+	shared := sharedAlphabet(p1, p2)
+	q := Intersect(p1, p2)
+	b := NewBuilder("(" + p1.name + "‖" + p2.name + ")")
+	for _, nm := range q.names {
+		b.State(nm)
+	}
+	b.SetStart(q.start)
+	for _, t := range q.Transitions() {
+		lbl := t.Label
+		if lbl != Tau && shared[lbl] {
+			lbl = Tau
+		}
+		b.Add(t.From, lbl, t.To)
+	}
+	return b.MustBuild()
+}
+
+// DivergenceLeafName is the display name of the fresh leaf that
+// ComposeCyclic adds below every τ-divergent state (Section 4).
+const DivergenceLeafName = "⊥"
+
+// ComposeCyclic returns the Section 4 composition for cyclic processes:
+// Compose(p1, p2) augmented, for every state from which τ-moves can enter a
+// τ-loop, with a τ-move to a fresh leaf. The leaf makes silent divergence —
+// "Q chooses to stay in the loop forever" — visible as the possibility
+// (s, ∅), restoring Lemma 2′ and the Poss ⇒ Lang implication.
+func ComposeCyclic(p1, p2 *FSP) *FSP {
+	return AddDivergenceLeaf(Compose(p1, p2))
+}
+
+// AddDivergenceLeaf returns p augmented with a τ-move to a fresh shared
+// leaf from every τ-divergent state, or p itself when none exist.
+func AddDivergenceLeaf(p *FSP) *FSP {
+	div := p.TauDivergentStates()
+	if len(div) == 0 {
+		return p
+	}
+	b := NewBuilder(p.name)
+	for _, nm := range p.names {
+		b.State(nm)
+	}
+	leaf := b.State(DivergenceLeafName)
+	b.SetStart(p.start)
+	for _, t := range p.Transitions() {
+		b.Add(t.From, t.Label, t.To)
+	}
+	for _, s := range div {
+		b.AddTau(s, leaf)
+	}
+	return b.MustBuild()
+}
+
+// ComposeAll folds Compose over the processes in order. By Lemma 1 the
+// result is independent of the order when the processes come from a
+// network (each action owned by exactly two of them).
+func ComposeAll(ps ...*FSP) (*FSP, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("fsp: ComposeAll: %w", ErrNoStates)
+	}
+	acc := ps[0]
+	for _, p := range ps[1:] {
+		acc = Compose(acc, p)
+	}
+	return acc, nil
+}
+
+// ComposeAllCyclic folds ComposeCyclic over the processes in order.
+func ComposeAllCyclic(ps ...*FSP) (*FSP, error) {
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("fsp: ComposeAllCyclic: %w", ErrNoStates)
+	}
+	acc := ps[0]
+	for _, p := range ps[1:] {
+		acc = ComposeCyclic(acc, p)
+	}
+	return acc, nil
+}
+
+// SharedActions returns the sorted shared alphabet Σ1 ∩ Σ2.
+func SharedActions(p1, p2 *FSP) []Action {
+	shared := sharedAlphabet(p1, p2)
+	var as []Action
+	for _, a := range p1.alphabet {
+		if shared[a] {
+			as = append(as, a)
+		}
+	}
+	return as
+}
+
+func sharedAlphabet(p1, p2 *FSP) map[Action]bool {
+	m := make(map[Action]bool)
+	for _, a := range p1.alphabet {
+		if p2.HasAction(a) {
+			m[a] = true
+		}
+	}
+	return m
+}

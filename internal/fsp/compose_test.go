@@ -1,0 +1,223 @@
+package fsp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	. "fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+)
+
+// twoHandshakers returns P = 0 -a-> 1 -b-> 2 and Q = 0 -a-> 1 -c-> 2 with
+// shared action a.
+func twoHandshakers() (*FSP, *FSP) {
+	return Linear("P", "a", "b"), Linear("Q", "a", "c")
+}
+
+func TestProductKeepsFullStateSpace(t *testing.T) {
+	p, q := twoHandshakers()
+	prod := Product(p, q)
+	if got, want := prod.NumStates(), p.NumStates()*q.NumStates(); got != want {
+		t.Errorf("Product states = %d, want %d", got, want)
+	}
+}
+
+func TestIntersectRestrictsToReachable(t *testing.T) {
+	p, q := twoHandshakers()
+	inter := Intersect(p, q)
+	// Reachable: (0,0) -a-> (1,1), then b and c interleave: (2,1), (1,2), (2,2).
+	if got := inter.NumStates(); got != 5 {
+		t.Errorf("Intersect states = %d, want 5", got)
+	}
+	if !inter.HasAction("a") {
+		t.Error("Intersect must keep handshakes visible")
+	}
+}
+
+func TestComposeHidesHandshakes(t *testing.T) {
+	p, q := twoHandshakers()
+	comp := Compose(p, q)
+	if comp.HasAction("a") {
+		t.Error("Compose must hide the shared action a")
+	}
+	got := comp.Alphabet()
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("Compose alphabet = %v, want [b c] (symmetric difference)", got)
+	}
+	// The a-handshake must appear as a τ-move from the start.
+	foundTau := false
+	for _, tr := range comp.Out(comp.Start()) {
+		if tr.Label == Tau {
+			foundTau = true
+		}
+	}
+	if !foundTau {
+		t.Error("hidden handshake must be a τ-move from the start state")
+	}
+}
+
+func TestComposeSynchronizesOnShared(t *testing.T) {
+	// P does a then b; Q only knows a. Shared {a}: one handshake, then P's
+	// private b: (0,0) -τ-> (1,1) -b-> (2,1).
+	p := Linear("P", "a", "b")
+	q := Linear("Q", "a")
+	comp := Compose(p, q)
+	if comp.NumStates() != 3 {
+		t.Errorf("states = %d, want 3", comp.NumStates())
+	}
+	if comp.HasAction("a") {
+		t.Error("shared a must be hidden")
+	}
+	q2 := Linear("Q2", "b")
+	comp2 := Compose(p, q2)
+	// Shared {b}: P cannot move (a is private? no: a ∉ Σ_Q2, so P moves alone).
+	// P does private a, then handshake b.
+	if comp2.HasAction("a") != true {
+		t.Error("a is private to P and must remain visible")
+	}
+}
+
+func TestComposeAll(t *testing.T) {
+	p1 := Linear("P1", "a")
+	p2 := Linear("P2", "a", "b")
+	p3 := Linear("P3", "b")
+	g, err := ComposeAll(p1, p2, p3)
+	if err != nil {
+		t.Fatalf("ComposeAll: %v", err)
+	}
+	if len(g.Alphabet()) != 0 {
+		t.Errorf("global alphabet = %v, want empty (all hidden)", g.Alphabet())
+	}
+	if _, err := ComposeAll(); err == nil {
+		t.Error("ComposeAll() with no processes must fail")
+	}
+}
+
+func TestComposeCyclicAddsDivergenceLeaf(t *testing.T) {
+	// P and Q handshake on a forever: the composition is a pure τ-cycle, so
+	// cyclic composition must add an escape leaf.
+	b1 := NewBuilder("P")
+	p0, p1 := b1.State("0"), b1.State("1")
+	b1.Add(p0, "a", p1)
+	b1.Add(p1, "a", p0)
+	p := b1.MustBuild()
+	b2 := NewBuilder("Q")
+	q0 := b2.State("0")
+	b2.Add(q0, "a", q0)
+	q := b2.MustBuild()
+
+	plain := Compose(p, q)
+	if !plain.HasTauCycle() {
+		t.Fatal("composition must be a τ-cycle")
+	}
+	cyc := ComposeCyclic(p, q)
+	if got, want := cyc.NumStates(), plain.NumStates()+1; got != want {
+		t.Errorf("cyclic composition states = %d, want %d", got, want)
+	}
+	leaves := cyc.Leaves()
+	if len(leaves) != 1 || cyc.StateName(leaves[0]) != DivergenceLeafName {
+		t.Errorf("expected a single %q leaf, got %v", DivergenceLeafName, leaves)
+	}
+}
+
+func TestAddDivergenceLeafNoop(t *testing.T) {
+	p := Linear("P", "a")
+	if got := AddDivergenceLeaf(p); got != p {
+		t.Error("AddDivergenceLeaf must return p unchanged when no τ-cycles exist")
+	}
+}
+
+func TestSharedActions(t *testing.T) {
+	p, q := twoHandshakers()
+	if got := SharedActions(p, q); len(got) != 1 || got[0] != "a" {
+		t.Errorf("SharedActions = %v, want [a]", got)
+	}
+}
+
+// TestFigure1 reproduces the Figure 1 construction: a tree network
+// {P1, P2, P3} with P1 a tree, P2 acyclic, P3 cyclic, and checks the
+// structural claims the paper makes about P1×P2, P1∩P2, and P1‖P2 (the
+// original figure artwork is not in the text, so the machines here are
+// representative instances of the stated classes).
+func TestFigure1(t *testing.T) {
+	p1 := TreeFromPaths("P1", []Action{"a", "b"}, []Action{"a", "c"}) // tree
+	b2 := NewBuilder("P2")                                            // acyclic, not a tree
+	q0, q1, q2 := b2.State("0"), b2.State("1"), b2.State("2")
+	b2.Add(q0, "a", q1)
+	b2.Add(q0, "x", q1) // second in-edge for q1 makes P2 a DAG
+	b2.Add(q1, "b", q2)
+	b2.Add(q1, "c", q2)
+	p2 := b2.MustBuild()
+	b3 := NewBuilder("P3") // cyclic
+	r0 := b3.State("0")
+	b3.Add(r0, "x", r0)
+	p3 := b3.MustBuild()
+
+	if p1.Classify() != ClassTree || p2.Classify() != ClassAcyclic || p3.Classify() != ClassCyclic {
+		t.Fatalf("classes: %v %v %v", p1.Classify(), p2.Classify(), p3.Classify())
+	}
+
+	prod := Product(p1, p2)
+	if prod.NumStates() != p1.NumStates()*p2.NumStates() {
+		t.Errorf("P1×P2 has %d states, want %d", prod.NumStates(), p1.NumStates()*p2.NumStates())
+	}
+	inter := Intersect(p1, p2)
+	if inter.NumStates() >= prod.NumStates() {
+		t.Errorf("P1∩P2 must drop unreachable product states (%d vs %d)",
+			inter.NumStates(), prod.NumStates())
+	}
+	comp := Compose(p1, p2)
+	// Handshakes a, b, c are hidden; the network edge to P3 (action x) stays.
+	if comp.HasAction("a") || comp.HasAction("b") || comp.HasAction("c") {
+		t.Error("P1‖P2 must hide the P1–P2 handshakes")
+	}
+	if !comp.HasAction("x") {
+		t.Error("P1‖P2 must keep the P2–P3 actions visible (C_N edge survives)")
+	}
+}
+
+func TestComposeCommutativeShape(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 60; i++ {
+		p := fsptest.Acyclic(r, "P", cfg)
+		q := fsptest.Acyclic(r, "Q", cfg)
+		pq := Compose(p, q)
+		qp := Compose(q, p)
+		if pq.NumStates() != qp.NumStates() || pq.NumTransitions() != qp.NumTransitions() {
+			t.Fatalf("iter %d: ‖ not commutative in shape: %v vs %v", i, pq, qp)
+		}
+		ab := pq.Alphabet()
+		ba := qp.Alphabet()
+		if len(ab) != len(ba) {
+			t.Fatalf("iter %d: alphabets differ: %v vs %v", i, ab, ba)
+		}
+		for j := range ab {
+			if ab[j] != ba[j] {
+				t.Fatalf("iter %d: alphabets differ: %v vs %v", i, ab, ba)
+			}
+		}
+	}
+}
+
+func TestComposeAlphabetIsSymmetricDifference(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 60; i++ {
+		p := fsptest.Acyclic(r, "P", cfg)
+		q := fsptest.Acyclic(r, "Q", cfg)
+		comp := Compose(p, q)
+		shared := make(map[Action]bool)
+		for _, a := range SharedActions(p, q) {
+			shared[a] = true
+		}
+		for _, a := range comp.Alphabet() {
+			if shared[a] {
+				t.Fatalf("iter %d: shared action %q leaked into composition", i, a)
+			}
+			if !p.HasAction(a) && !q.HasAction(a) {
+				t.Fatalf("iter %d: alien action %q in composition", i, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package fsp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the process as a Graphviz digraph. The start state is
+// drawn with a double circle; τ-moves are dashed.
+func (p *FSP) WriteDOT(w io.Writer) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", p.name)
+	sb.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for s := 0; s < p.NumStates(); s++ {
+		shape := "circle"
+		if State(s) == p.start {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q shape=%s];\n", s, p.names[s], shape)
+	}
+	for _, t := range p.Transitions() {
+		style := ""
+		if t.Label == Tau {
+			style = " style=dashed"
+		}
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=%q%s];\n", t.From, t.To, string(t.Label), style)
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// DOT returns the Graphviz rendering as a string.
+func (p *FSP) DOT() string {
+	var sb strings.Builder
+	_ = p.WriteDOT(&sb) // strings.Builder never errors
+	return sb.String()
+}

@@ -1,0 +1,259 @@
+// Package fsp implements the finite state process (FSP) model of
+// Kanellakis & Smolka (PODC 1985): nondeterministic finite-state machines
+// whose actions are point-to-point handshakes, with a distinguished
+// unobservable action τ, together with the composition operators of the
+// paper (product ×, reachable restriction ∩, composition ‖, and the
+// Section 4 cyclic variant of ‖).
+package fsp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Action is a handshake symbol. The reserved value Tau denotes the
+// unobservable internal action and is never a member of an FSP's alphabet.
+type Action string
+
+// Tau is the unobservable action τ of the model. It labels internal moves
+// and the hidden handshakes produced by composition.
+const Tau Action = "τ"
+
+// State identifies a state of an FSP. States are dense indices in
+// [0, NumStates()); the start state need not be 0.
+type State int
+
+// Transition is a single labeled arc of an FSP's transition relation Δ.
+type Transition struct {
+	From  State
+	Label Action
+	To    State
+}
+
+// FSP is a finite state process ⟨K, p, Σ, Δ⟩ (Definition 1 of the paper):
+// a finite set of states K, a start state p, an alphabet Σ of actions
+// (excluding τ), and a transition relation Δ ⊆ K × (Σ ∪ {τ}) × K.
+// Unless built with AllowUnreachable, every state is reachable from the
+// start state. FSP values are immutable once built.
+type FSP struct {
+	name     string
+	start    State
+	names    []string       // state names, len == NumStates
+	out      [][]Transition // outgoing transitions per state, sorted
+	alphabet []Action       // sorted, excludes Tau
+}
+
+var (
+	// ErrNoStates reports an attempt to build an FSP with no states.
+	ErrNoStates = errors.New("fsp: process has no states")
+	// ErrUnreachable reports states not reachable from the start state.
+	ErrUnreachable = errors.New("fsp: state unreachable from start")
+	// ErrBadState reports a transition endpoint outside the state set.
+	ErrBadState = errors.New("fsp: transition references unknown state")
+	// ErrBadAction reports an empty action label.
+	ErrBadAction = errors.New("fsp: empty action label")
+)
+
+// Name returns the process name.
+func (p *FSP) Name() string { return p.name }
+
+// NumStates returns |K|.
+func (p *FSP) NumStates() int { return len(p.out) }
+
+// Start returns the start state.
+func (p *FSP) Start() State { return p.start }
+
+// StateName returns the human-readable name of state s.
+func (p *FSP) StateName(s State) string { return p.names[int(s)] }
+
+// Alphabet returns a copy of Σ in sorted order. τ is never included.
+func (p *FSP) Alphabet() []Action {
+	return append([]Action(nil), p.alphabet...)
+}
+
+// HasAction reports whether a belongs to Σ.
+func (p *FSP) HasAction(a Action) bool {
+	i := sort.Search(len(p.alphabet), func(i int) bool { return p.alphabet[i] >= a })
+	return i < len(p.alphabet) && p.alphabet[i] == a
+}
+
+// Out returns the outgoing transitions of s in a fixed (label, target)
+// order. The returned slice must not be modified.
+func (p *FSP) Out(s State) []Transition { return p.out[int(s)] }
+
+// Transitions returns a copy of Δ in (from, label, to) order.
+func (p *FSP) Transitions() []Transition {
+	var all []Transition
+	for _, ts := range p.out {
+		all = append(all, ts...)
+	}
+	return all
+}
+
+// NumTransitions returns |Δ|.
+func (p *FSP) NumTransitions() int {
+	n := 0
+	for _, ts := range p.out {
+		n += len(ts)
+	}
+	return n
+}
+
+// Size returns |K| + |Δ|, the size measure used by the paper's bounds.
+func (p *FSP) Size() int { return p.NumStates() + p.NumTransitions() }
+
+// IsLeaf reports whether s has no outgoing transitions (a "leaf" in the
+// paper's terminology, regardless of the graph being a tree).
+func (p *FSP) IsLeaf(s State) bool { return len(p.out[int(s)]) == 0 }
+
+// Leaves returns all leaf states in increasing order.
+func (p *FSP) Leaves() []State {
+	var ls []State
+	for s := range p.out {
+		if len(p.out[s]) == 0 {
+			ls = append(ls, State(s))
+		}
+	}
+	return ls
+}
+
+// IsStable reports whether s has no outgoing τ-moves. Possibilities
+// (Definition 4) are observed only at stable states.
+func (p *FSP) IsStable(s State) bool {
+	for _, t := range p.out[int(s)] {
+		if t.Label == Tau {
+			return false
+		}
+	}
+	return true
+}
+
+// ActionsAt returns the sorted set of non-τ labels on transitions leaving
+// s directly (no τ-closure).
+func (p *FSP) ActionsAt(s State) []Action {
+	var as []Action
+	for _, t := range p.out[int(s)] {
+		if t.Label != Tau && (len(as) == 0 || as[len(as)-1] != t.Label) {
+			as = append(as, t.Label)
+		}
+	}
+	return as
+}
+
+// Succ returns the sorted set of states reachable from s by one transition
+// labeled a (a may be Tau). No closure is applied.
+func (p *FSP) Succ(s State, a Action) []State {
+	var ss []State
+	for _, t := range p.out[int(s)] {
+		if t.Label == a {
+			ss = append(ss, t.To)
+		}
+	}
+	return dedupStates(ss)
+}
+
+// String returns a one-line summary of the process.
+func (p *FSP) String() string {
+	return fmt.Sprintf("%s{states=%d, trans=%d, |Σ|=%d, start=%s}",
+		p.name, p.NumStates(), p.NumTransitions(), len(p.alphabet), p.names[p.start])
+}
+
+// Rename returns a copy of p with name newName.
+func (p *FSP) Rename(newName string) *FSP {
+	q := *p
+	q.name = newName
+	return &q
+}
+
+// RelabelActions returns a copy of p in which every action a is replaced by
+// m[a] when present in m (τ is never relabeled). Distinct actions must not
+// be mapped to the same target.
+func (p *FSP) RelabelActions(m map[Action]Action) (*FSP, error) {
+	seen := make(map[Action]Action, len(m))
+	for from, to := range m {
+		if to == "" || to == Tau {
+			return nil, fmt.Errorf("fsp: relabel %q -> %q: %w", from, to, ErrBadAction)
+		}
+		if prev, ok := seen[to]; ok && prev != from {
+			return nil, fmt.Errorf("fsp: relabel collision on %q", to)
+		}
+		seen[to] = from
+	}
+	b := NewBuilder(p.name)
+	for _, nm := range p.names {
+		b.State(nm)
+	}
+	b.SetStart(p.start)
+	for _, t := range p.Transitions() {
+		lbl := t.Label
+		if lbl != Tau {
+			if to, ok := m[lbl]; ok {
+				lbl = to
+			}
+		}
+		b.Add(t.From, lbl, t.To)
+	}
+	return b.Build()
+}
+
+// sortTransitions orders transitions by (label, target) with τ first, which
+// fixes deterministic iteration order across the library.
+func sortTransitions(ts []Transition) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		ai, bi := a.Label == Tau, b.Label == Tau
+		if ai != bi {
+			return ai
+		}
+		if a.Label != b.Label {
+			return a.Label < b.Label
+		}
+		return a.To < b.To
+	})
+}
+
+func dedupStates(ss []State) []State {
+	if len(ss) < 2 {
+		return ss
+	}
+	sort.Slice(ss, func(i, j int) bool { return ss[i] < ss[j] })
+	w := 1
+	for i := 1; i < len(ss); i++ {
+		if ss[i] != ss[w-1] {
+			ss[w] = ss[i]
+			w++
+		}
+	}
+	return ss[:w]
+}
+
+func dedupActions(as []Action) []Action {
+	if len(as) < 2 {
+		return as
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i] < as[j] })
+	w := 1
+	for i := 1; i < len(as); i++ {
+		if as[i] != as[w-1] {
+			as[w] = as[i]
+			w++
+		}
+	}
+	return as[:w]
+}
+
+// ActionSetString renders a sorted action set as "{a,b,c}".
+func ActionSetString(as []Action) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, a := range as {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(string(a))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

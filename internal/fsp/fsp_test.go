@@ -1,0 +1,309 @@
+package fsp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder("P")
+	s0 := b.State("0")
+	s1 := b.State("1")
+	s2 := b.State("2")
+	b.Add(s0, "a", s1)
+	b.Add(s1, "b", s2)
+	b.AddTau(s0, s2)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := p.NumStates(); got != 3 {
+		t.Errorf("NumStates = %d, want 3", got)
+	}
+	if got := p.NumTransitions(); got != 3 {
+		t.Errorf("NumTransitions = %d, want 3", got)
+	}
+	if got := p.Alphabet(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Alphabet = %v, want [a b]", got)
+	}
+	if p.HasAction(Tau) {
+		t.Error("τ must not be in the alphabet")
+	}
+	if p.Start() != s0 {
+		t.Errorf("Start = %v, want %v", p.Start(), s0)
+	}
+	if p.Size() != 6 {
+		t.Errorf("Size = %d, want 6", p.Size())
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func() (*FSP, error)
+		want  error
+	}{
+		{
+			name:  "no states",
+			build: func() (*FSP, error) { return NewBuilder("P").Build() },
+			want:  ErrNoStates,
+		},
+		{
+			name: "unreachable",
+			build: func() (*FSP, error) {
+				b := NewBuilder("P")
+				b.State("0")
+				b.State("orphan")
+				return b.Build()
+			},
+			want: ErrUnreachable,
+		},
+		{
+			name: "bad state",
+			build: func() (*FSP, error) {
+				b := NewBuilder("P")
+				s := b.State("0")
+				b.Add(s, "a", State(7))
+				return b.Build()
+			},
+			want: ErrBadState,
+		},
+		{
+			name: "empty label",
+			build: func() (*FSP, error) {
+				b := NewBuilder("P")
+				s := b.State("0")
+				b.Add(s, "", s)
+				return b.Build()
+			},
+			want: ErrBadAction,
+		},
+		{
+			name: "bad start",
+			build: func() (*FSP, error) {
+				b := NewBuilder("P")
+				b.State("0")
+				b.SetStart(State(3))
+				return b.Build()
+			},
+			want: ErrBadState,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.build()
+			if !errors.Is(err, tt.want) {
+				t.Errorf("Build err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestBuilderAllowUnreachable(t *testing.T) {
+	b := NewBuilder("P").AllowUnreachable()
+	b.State("0")
+	b.State("orphan")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if p.NumStates() != 2 {
+		t.Fatalf("NumStates = %d, want 2", p.NumStates())
+	}
+	trimmed := p.Trim()
+	if trimmed.NumStates() != 1 {
+		t.Errorf("Trim states = %d, want 1", trimmed.NumStates())
+	}
+}
+
+func TestBuilderDedupsTransitions(t *testing.T) {
+	b := NewBuilder("P")
+	s0 := b.State("0")
+	s1 := b.State("1")
+	b.Add(s0, "a", s1)
+	b.Add(s0, "a", s1)
+	p := b.MustBuild()
+	if p.NumTransitions() != 1 {
+		t.Errorf("NumTransitions = %d, want 1 after dedup", p.NumTransitions())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	linear := Linear("L", "a", "b", "c")
+	tree := TreeFromPaths("T", []Action{"a", "b"}, []Action{"a", "c"}, []Action{"d"})
+	dagB := NewBuilder("D")
+	d0, d1, d2 := dagB.State("0"), dagB.State("1"), dagB.State("2")
+	dagB.Add(d0, "a", d1)
+	dagB.Add(d0, "b", d2)
+	dagB.Add(d1, "c", d2)
+	dag := dagB.MustBuild()
+	cycB := NewBuilder("C")
+	c0, c1 := cycB.State("0"), cycB.State("1")
+	cycB.Add(c0, "a", c1)
+	cycB.Add(c1, "b", c0)
+	cyc := cycB.MustBuild()
+
+	tests := []struct {
+		p    *FSP
+		want Class
+	}{
+		{linear, ClassLinear},
+		{tree, ClassTree},
+		{dag, ClassAcyclic},
+		{cyc, ClassCyclic},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Classify(); got != tt.want {
+			t.Errorf("%s: Classify = %v, want %v", tt.p.Name(), got, tt.want)
+		}
+	}
+	if !ClassLinear.AtMost(ClassTree) || ClassCyclic.AtMost(ClassAcyclic) {
+		t.Error("AtMost ordering broken")
+	}
+	for _, tt := range tests {
+		if tt.want.String() == "unknown" {
+			t.Errorf("missing String for %v", tt.want)
+		}
+	}
+}
+
+func TestLeavesAndStability(t *testing.T) {
+	b := NewBuilder("P")
+	s0, s1, s2 := b.State("0"), b.State("1"), b.State("2")
+	b.Add(s0, "a", s1)
+	b.AddTau(s0, s2)
+	p := b.MustBuild()
+	if got := p.Leaves(); len(got) != 2 || got[0] != s1 || got[1] != s2 {
+		t.Errorf("Leaves = %v, want [1 2]", got)
+	}
+	if p.IsStable(s0) {
+		t.Error("s0 has a τ-move and must be unstable")
+	}
+	if !p.IsStable(s1) || !p.IsStable(s2) {
+		t.Error("leaves are stable")
+	}
+	if got := p.ActionsAt(s0); len(got) != 1 || got[0] != "a" {
+		t.Errorf("ActionsAt(s0) = %v, want [a]", got)
+	}
+}
+
+func TestClosureAndStep(t *testing.T) {
+	// 0 -τ-> 1 -a-> 2 -τ-> 3, 0 -b-> 3
+	b := NewBuilder("P")
+	s0, s1, s2, s3 := b.State("0"), b.State("1"), b.State("2"), b.State("3")
+	b.AddTau(s0, s1)
+	b.Add(s1, "a", s2)
+	b.AddTau(s2, s3)
+	b.Add(s0, "b", s3)
+	p := b.MustBuild()
+
+	if got := p.TauClosure([]State{s0}); len(got) != 2 || got[0] != s0 || got[1] != s1 {
+		t.Errorf("TauClosure(0) = %v, want [0 1]", got)
+	}
+	if got := p.Step([]State{s0}, "a"); len(got) != 2 || got[0] != s2 || got[1] != s3 {
+		t.Errorf("Step(0,a) = %v, want [2 3]", got)
+	}
+	if got := p.Step([]State{s0}, "z"); got != nil {
+		t.Errorf("Step(0,z) = %v, want nil", got)
+	}
+	if !p.Accepts([]Action{"a"}) || !p.Accepts([]Action{"b"}) || !p.Accepts(nil) {
+		t.Error("Accepts a, b, ε expected")
+	}
+	if p.Accepts([]Action{"a", "a"}) {
+		t.Error("aa must be rejected")
+	}
+	if !p.Dead(s3, "a") || p.Dead(s0, "a") {
+		t.Error("Dead predicate wrong")
+	}
+	if got := p.StableStates([]State{s0, s1, s2, s3}); len(got) != 2 || got[0] != s1 || got[1] != s3 {
+		t.Errorf("StableStates = %v, want [1 3]", got)
+	}
+}
+
+func TestTauDivergentStates(t *testing.T) {
+	// 0 -τ-> 1 -τ-> 2 -τ-> 1 (τ-cycle {1,2}); 0 -a-> 3 -τ-> 4.
+	b := NewBuilder("P")
+	s0, s1, s2, s3, s4 := b.State("0"), b.State("1"), b.State("2"), b.State("3"), b.State("4")
+	b.AddTau(s0, s1)
+	b.AddTau(s1, s2)
+	b.AddTau(s2, s1)
+	b.Add(s0, "a", s3)
+	b.AddTau(s3, s4)
+	p := b.MustBuild()
+	got := p.TauDivergentStates()
+	want := []State{s0, s1, s2}
+	if len(got) != len(want) {
+		t.Fatalf("TauDivergentStates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TauDivergentStates = %v, want %v", got, want)
+		}
+	}
+	if p.HasTauCycle() != true {
+		t.Error("HasTauCycle = false, want true")
+	}
+
+	selfB := NewBuilder("S")
+	u := selfB.State("u")
+	selfB.AddTau(u, u)
+	self := selfB.MustBuild()
+	if got := self.TauDivergentStates(); len(got) != 1 || got[0] != u {
+		t.Errorf("self-loop divergence = %v, want [u]", got)
+	}
+
+	noTau := Linear("L", "a", "b")
+	if got := noTau.TauDivergentStates(); got != nil {
+		t.Errorf("linear divergence = %v, want nil", got)
+	}
+}
+
+func TestRelabelActions(t *testing.T) {
+	p := Linear("L", "a", "b")
+	q, err := p.RelabelActions(map[Action]Action{"a": "x"})
+	if err != nil {
+		t.Fatalf("RelabelActions: %v", err)
+	}
+	if got := q.Alphabet(); len(got) != 2 || got[0] != "b" || got[1] != "x" {
+		t.Errorf("Alphabet = %v, want [b x]", got)
+	}
+	if _, err := p.RelabelActions(map[Action]Action{"a": "b", "b": "b"}); err == nil {
+		t.Error("collision relabel must fail")
+	}
+	if _, err := p.RelabelActions(map[Action]Action{"a": Tau}); err == nil {
+		t.Error("relabel to τ must fail")
+	}
+}
+
+func TestLinearAndTreeFromPaths(t *testing.T) {
+	l := Linear("L", "a", "b", "c")
+	if l.Classify() != ClassLinear || l.NumStates() != 4 {
+		t.Errorf("Linear: class=%v states=%d", l.Classify(), l.NumStates())
+	}
+	tr := TreeFromPaths("T", []Action{"a", "b"}, []Action{"a", "c"})
+	if tr.Classify() != ClassTree {
+		t.Errorf("TreeFromPaths: class = %v, want tree", tr.Classify())
+	}
+	// Shared prefix "a" means 4 states: ε, a, ab, ac.
+	if tr.NumStates() != 4 {
+		t.Errorf("TreeFromPaths states = %d, want 4", tr.NumStates())
+	}
+}
+
+func TestDOT(t *testing.T) {
+	p := Linear("L", "a")
+	dot := p.DOT()
+	for _, want := range []string{"digraph", "doublecircle", `label="a"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	p := Linear("L", "a")
+	if got := p.String(); !strings.Contains(got, "L{") || !strings.Contains(got, "states=2") {
+		t.Errorf("String = %q", got)
+	}
+}

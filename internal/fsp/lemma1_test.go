@@ -1,0 +1,91 @@
+package fsp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	. "fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/poss"
+)
+
+// triple generates three processes whose pairwise alphabets are disjoint
+// (a-actions between P1–P2, b-actions between P2–P3, c-actions between
+// P1–P3), the network discipline under which Lemma 1 holds.
+func triple(r *rand.Rand) (p1, p2, p3 *FSP) {
+	mk := func(name string, acts []Action) *FSP {
+		cfg := fsptest.DefaultConfig()
+		cfg.MaxStates = 4
+		cfg.Actions = acts
+		return fsptest.Acyclic(r, name, cfg)
+	}
+	p1 = mk("P1", []Action{"a1", "a2", "c1", "c2"})
+	p2 = mk("P2", []Action{"a1", "a2", "b1", "b2"})
+	p3 = mk("P3", []Action{"b1", "b2", "c1", "c2"})
+	return p1, p2, p3
+}
+
+// TestLemma1Associativity: (P1‖P2)‖P3 and P1‖(P2‖P3) are possibility- and
+// language-equivalent when every action is shared by exactly two of the
+// three processes — the paper's Lemma 1 (associativity fails without that
+// discipline, as the paper notes after the lemma).
+func TestLemma1Associativity(t *testing.T) {
+	r := rand.New(rand.NewSource(1501))
+	for i := 0; i < 60; i++ {
+		p1, p2, p3 := triple(r)
+		left := Compose(Compose(p1, p2), p3)
+		right := Compose(p1, Compose(p2, p3))
+		if !poss.Equivalent(left, right) {
+			t.Fatalf("iter %d: ‖ not associative under possibility equivalence\nP1=%s\nP2=%s\nP3=%s",
+				i, p1.DOT(), p2.DOT(), p3.DOT())
+		}
+		if !poss.LangEquivalent(left, right) {
+			t.Fatalf("iter %d: ‖ not associative under language equivalence", i)
+		}
+	}
+}
+
+// TestLemma1Commutativity: P‖Q and Q‖P are possibility-equivalent.
+func TestLemma1Commutativity(t *testing.T) {
+	r := rand.New(rand.NewSource(1503))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 60; i++ {
+		p := fsptest.Acyclic(r, "P", cfg)
+		q := fsptest.Acyclic(r, "Q", cfg)
+		if !poss.Equivalent(Compose(p, q), Compose(q, p)) {
+			t.Fatalf("iter %d: ‖ not commutative under possibility equivalence", i)
+		}
+	}
+}
+
+// TestLemma1CyclicVariant: the Section 4 composition keeps commutativity
+// and associativity (for the network alphabet discipline) as the paper
+// claims ("the new ‖ is still associative and commutative").
+func TestLemma1CyclicVariant(t *testing.T) {
+	r := rand.New(rand.NewSource(1507))
+	for i := 0; i < 40; i++ {
+		p1, p2, p3 := tripleCyclic(r)
+		left := ComposeCyclic(ComposeCyclic(p1, p2), p3)
+		right := ComposeCyclic(p1, ComposeCyclic(p2, p3))
+		if !poss.LangEquivalent(left, right) {
+			t.Fatalf("iter %d: cyclic ‖ not associative under language equivalence", i)
+		}
+		if !poss.Equivalent(ComposeCyclic(p1, p2), ComposeCyclic(p2, p1)) {
+			t.Fatalf("iter %d: cyclic ‖ not commutative", i)
+		}
+	}
+}
+
+func tripleCyclic(r *rand.Rand) (p1, p2, p3 *FSP) {
+	mk := func(name string, acts []Action) *FSP {
+		cfg := fsptest.DefaultConfig()
+		cfg.MaxStates = 3
+		cfg.Actions = acts
+		cfg.Cyclic = true
+		return fsptest.Cyclic(r, name, cfg)
+	}
+	p1 = mk("P1", []Action{"a1", "c1"})
+	p2 = mk("P2", []Action{"a1", "b1"})
+	p3 = mk("P3", []Action{"b1", "c1"})
+	return p1, p2, p3
+}

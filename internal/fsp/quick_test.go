@@ -1,0 +1,211 @@
+package fsp_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	. "fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+)
+
+// genFSP is a quick.Generator wrapper drawing a random FSP.
+type genFSP struct {
+	P *FSP
+}
+
+// Generate implements quick.Generator.
+func (genFSP) Generate(r *rand.Rand, size int) reflect.Value {
+	cfg := fsptest.DefaultConfig()
+	cfg.MaxStates = 2 + size%6
+	cfg.Cyclic = r.Intn(2) == 0
+	return reflect.ValueOf(genFSP{P: fsptest.Gen(r, "G", cfg)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 120}
+
+// TestQuickEveryStateReachable: the builder invariant — every state of a
+// generated process is reachable, so Trim is the identity.
+func TestQuickEveryStateReachable(t *testing.T) {
+	f := func(g genFSP) bool {
+		return g.P.Trim().NumStates() == g.P.NumStates()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAlphabetMatchesTransitions: Σ is exactly the set of non-τ
+// labels occurring in Δ.
+func TestQuickAlphabetMatchesTransitions(t *testing.T) {
+	f := func(g genFSP) bool {
+		seen := make(map[Action]bool)
+		for _, tr := range g.P.Transitions() {
+			if tr.Label != Tau {
+				seen[tr.Label] = true
+			}
+		}
+		alpha := g.P.Alphabet()
+		if len(alpha) != len(seen) {
+			return false
+		}
+		for _, a := range alpha {
+			if !seen[a] {
+				return false
+			}
+			if !g.P.HasAction(a) {
+				return false
+			}
+		}
+		return !g.P.HasAction(Tau)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTauClosureIdempotent: τ-closure is a closure operator —
+// idempotent, extensive, monotone in its seed.
+func TestQuickTauClosureIdempotent(t *testing.T) {
+	f := func(g genFSP, seed uint8) bool {
+		s := State(int(seed) % g.P.NumStates())
+		once := g.P.TauClosure([]State{s})
+		twice := g.P.TauClosure(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		// Extensive: the seed is in its own closure.
+		for _, x := range once {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStepSubsetOfClosure: every state returned by Step is stable
+// under further τ-closure (Step returns τ-closed sets).
+func TestQuickStepSubsetOfClosure(t *testing.T) {
+	f := func(g genFSP, pick uint8) bool {
+		alpha := g.P.Alphabet()
+		if len(alpha) == 0 {
+			return true
+		}
+		a := alpha[int(pick)%len(alpha)]
+		set := g.P.Step([]State{g.P.Start()}, a)
+		closed := g.P.TauClosure(set)
+		if len(set) != len(closed) {
+			return false
+		}
+		for i := range set {
+			if set[i] != closed[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProductSize: |K(P×Q)| = |K(P)|·|K(Q)| and Intersect never
+// exceeds it (Definition 3).
+func TestQuickProductSize(t *testing.T) {
+	f := func(a, b genFSP) bool {
+		prod := Product(a.P, b.P)
+		if prod.NumStates() != a.P.NumStates()*b.P.NumStates() {
+			return false
+		}
+		inter := Intersect(a.P, b.P)
+		return inter.NumStates() <= prod.NumStates() && inter.NumStates() >= 1
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickComposeHidesExactlyShared: Σ(P‖Q) ∩ (Σ(P) ∩ Σ(Q)) = ∅ and
+// Σ(P‖Q) ⊆ Σ(P) ⊕ Σ(Q).
+func TestQuickComposeHidesExactlyShared(t *testing.T) {
+	f := func(a, b genFSP) bool {
+		comp := Compose(a.P, b.P)
+		for _, s := range SharedActions(a.P, b.P) {
+			if comp.HasAction(s) {
+				return false
+			}
+		}
+		for _, x := range comp.Alphabet() {
+			if !a.P.HasAction(x) && !b.P.HasAction(x) {
+				return false
+			}
+			if a.P.HasAction(x) && b.P.HasAction(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCyclicComposeLeafEscape: after the Section 4 composition, every
+// τ-divergent state of the result can reach a leaf — silent divergence
+// always has the defection escape.
+func TestQuickCyclicComposeLeafEscape(t *testing.T) {
+	f := func(a, b genFSP) bool {
+		comp := ComposeCyclic(a.P, b.P)
+		leafReach := make([]bool, comp.NumStates())
+		for _, l := range comp.Leaves() {
+			leafReach[l] = true
+		}
+		// Backward fixpoint over all transitions.
+		for changed := true; changed; {
+			changed = false
+			for _, tr := range comp.Transitions() {
+				if leafReach[tr.To] && !leafReach[tr.From] {
+					leafReach[tr.From] = true
+					changed = true
+				}
+			}
+		}
+		for _, s := range comp.TauDivergentStates() {
+			if !leafReach[s] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClassifyConsistency: classification agrees with IsAcyclic and
+// the class hierarchy.
+func TestQuickClassifyConsistency(t *testing.T) {
+	f := func(g genFSP) bool {
+		c := g.P.Classify()
+		if g.P.IsAcyclic() != (c != ClassCyclic) {
+			return false
+		}
+		if c == ClassLinear && g.P.NumTransitions() >= g.P.NumStates() {
+			return false // a linear graph has exactly n−1 arcs
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package fsplang implements a small textual notation for FSP networks,
+// used by the fspc command and the examples:
+//
+//	# dining pair
+//	process P {
+//	    start s0
+//	    s0 a s1      # transition: FROM LABEL TO
+//	    s1 tau s0    # "tau" (or "τ") is the unobservable action
+//	}
+//	process Q {
+//	    start t0
+//	    t0 a t0
+//	}
+//
+// Statements are separated by newlines or semicolons; '#' starts a
+// comment. The first process is the distinguished process by default; the
+// first state mentioned in a process is its start state unless a start
+// statement overrides it.
+package fsplang
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+)
+
+// ErrSyntax reports a parse failure with position information.
+var ErrSyntax = errors.New("fsplang: syntax error")
+
+// Parse reads a network description.
+func Parse(r io.Reader) (*network.Network, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("fsplang: read: %w", err)
+	}
+	return ParseString(string(data))
+}
+
+// ParseString parses a network description from a string.
+func ParseString(src string) (*network.Network, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var procs []*fsp.FSP
+	for !p.done() {
+		proc, err := p.process()
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, proc)
+	}
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("no processes: %w", ErrSyntax)
+	}
+	return network.New(procs...)
+}
+
+// token is a lexeme with its source line.
+type token struct {
+	text string
+	line int
+}
+
+// lex splits the source into word / brace tokens, dropping comments and
+// treating ';' as whitespace.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r' || c == ';':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{' || c == '}':
+			toks = append(toks, token{string(c), line})
+			i++
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\r\n;#{}", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{src[i:j], line})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() (token, bool) {
+	if p.done() {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, error) {
+	t, ok := p.peek()
+	if !ok {
+		return token{}, fmt.Errorf("unexpected end of input: %w", ErrSyntax)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expect(text string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.text != text {
+		return fmt.Errorf("line %d: expected %q, found %q: %w", t.line, text, t.text, ErrSyntax)
+	}
+	return nil
+}
+
+// process parses one "process NAME { … }" block.
+func (p *parser) process() (*fsp.FSP, error) {
+	if err := p.expect("process"); err != nil {
+		return nil, err
+	}
+	name, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if name.text == "{" || name.text == "}" {
+		return nil, fmt.Errorf("line %d: process name missing: %w", name.line, ErrSyntax)
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := fsp.NewBuilder(name.text)
+	states := make(map[string]fsp.State)
+	stateOf := func(nm string) fsp.State {
+		if s, ok := states[nm]; ok {
+			return s
+		}
+		s := b.State(nm)
+		states[nm] = s
+		return s
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("line %d: unterminated process %s: %w",
+				name.line, name.text, ErrSyntax)
+		}
+		if t.text == "}" {
+			p.pos++
+			break
+		}
+		if t.text == "start" {
+			p.pos++
+			st, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			b.SetStart(stateOf(st.text))
+			continue
+		}
+		// Transition: FROM LABEL TO.
+		from, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		label, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		to, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		for _, tk := range []token{label, to} {
+			if tk.text == "{" || tk.text == "}" || tk.text == "start" {
+				return nil, fmt.Errorf("line %d: malformed transition: %w", tk.line, ErrSyntax)
+			}
+		}
+		lbl := fsp.Action(label.text)
+		if label.text == "tau" || label.text == string(fsp.Tau) {
+			lbl = fsp.Tau
+		}
+		b.Add(stateOf(from.text), lbl, stateOf(to.text))
+	}
+	proc, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("line %d: %w", name.line, err)
+	}
+	return proc, nil
+}
+
+// Format renders a network in the fsplang notation; Parse(Format(n)) is
+// equivalent to n.
+func Format(n *network.Network) string {
+	var sb strings.Builder
+	for i := 0; i < n.Len(); i++ {
+		p := n.Process(i)
+		useNames := uniqueStateNames(p)
+		stateToken := func(s fsp.State) string {
+			if useNames {
+				return p.StateName(s)
+			}
+			return fmt.Sprintf("s%d", s)
+		}
+		fmt.Fprintf(&sb, "process %s {\n", sanitizeName(p.Name()))
+		fmt.Fprintf(&sb, "    start %s\n", stateToken(p.Start()))
+		trans := p.Transitions()
+		sort.Slice(trans, func(a, b int) bool {
+			x, y := trans[a], trans[b]
+			if x.From != y.From {
+				return x.From < y.From
+			}
+			if x.Label != y.Label {
+				return x.Label < y.Label
+			}
+			return x.To < y.To
+		})
+		for _, t := range trans {
+			lbl := string(t.Label)
+			if t.Label == fsp.Tau {
+				lbl = "tau"
+			}
+			fmt.Fprintf(&sb, "    %s %s %s\n", stateToken(t.From), lbl, stateToken(t.To))
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+// uniqueStateNames reports whether every state name is a distinct lone
+// word usable as a token; otherwise Format falls back to s<index> names.
+func uniqueStateNames(p *fsp.FSP) bool {
+	seen := make(map[string]bool, p.NumStates())
+	for s := 0; s < p.NumStates(); s++ {
+		nm := p.StateName(fsp.State(s))
+		if nm == "" || nm == "start" || strings.ContainsAny(nm, " \t\r\n;#{}") || seen[nm] {
+			return false
+		}
+		seen[nm] = true
+	}
+	return true
+}
+
+func sanitizeName(nm string) string {
+	if nm != "" && !strings.ContainsAny(nm, " \t\r\n;#{}") {
+		return nm
+	}
+	return strings.Map(func(r rune) rune {
+		if strings.ContainsRune(" \t\r\n;#{}", r) {
+			return '_'
+		}
+		return r
+	}, nm)
+}

@@ -1,0 +1,154 @@
+package fsplang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+	"fspnet/internal/poss"
+)
+
+const figure3Src = `
+# Figure 3 of the paper.
+process P {
+    start s1
+    s1 a s2
+}
+process Q {
+    start t1
+    t1 a t2
+    t1 tau t3   # Q may silently defect
+}
+`
+
+func TestParseFigure3(t *testing.T) {
+	n, err := ParseString(figure3Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", n.Len())
+	}
+	p, q := n.Process(0), n.Process(1)
+	if p.Name() != "P" || q.Name() != "Q" {
+		t.Errorf("names = %q, %q", p.Name(), q.Name())
+	}
+	if p.NumStates() != 2 || q.NumStates() != 3 {
+		t.Errorf("states = %d, %d", p.NumStates(), q.NumStates())
+	}
+	if !q.HasAction("a") || q.NumTransitions() != 2 {
+		t.Errorf("Q = %v", q)
+	}
+	// The τ-transition must be parsed as τ.
+	tauSeen := false
+	for _, tr := range q.Transitions() {
+		if tr.Label == fsp.Tau {
+			tauSeen = true
+		}
+	}
+	if !tauSeen {
+		t.Error("tau keyword not parsed as τ")
+	}
+}
+
+func TestParseSemicolonsAndUnicodeTau(t *testing.T) {
+	src := "process P { start a; a x b; b τ c } process Q { start u; u x u }"
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Process(0).NumStates() != 3 {
+		t.Errorf("states = %d, want 3", n.Process(0).NumStates())
+	}
+}
+
+func TestParseDefaultStart(t *testing.T) {
+	// Without a start statement, the first state mentioned is the start.
+	src := "process P { s0 a s1 } process Q { t0 a t0 }"
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Process(0).StateName(n.Process(0).Start()); got != "s0" {
+		t.Errorf("start = %q, want s0", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no brace", "process P start s0"},
+		{"unterminated", "process P { s0 a s1"},
+		{"missing name", "process { s0 a s1 }"},
+		{"malformed transition", "process P { s0 a } process Q { t0 b t0 }"},
+		{"truncated transition", "process P { s0"},
+		{"unreachable state", "process P { start s0; s1 a s2 } process Q { t0 a t0 }"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseString(tt.src); err == nil {
+				t.Errorf("ParseString(%q) succeeded, want error", tt.src)
+			}
+		})
+	}
+	if _, err := ParseString("process P { s0 a s1 }"); !errors.Is(err, network.ErrActionOwners) {
+		t.Errorf("single-owner action: err = %v, want ErrActionOwners", err)
+	}
+	if _, err := ParseString("x"); !errors.Is(err, ErrSyntax) {
+		t.Errorf("err = %v, want ErrSyntax", err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	n, err := ParseString(figure3Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := Format(n)
+	n2, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, src)
+	}
+	if n2.Len() != n.Len() {
+		t.Fatalf("round trip changed process count")
+	}
+	for i := 0; i < n.Len(); i++ {
+		if !poss.Equivalent(n.Process(i), n2.Process(i)) {
+			t.Errorf("process %d not possibility-equivalent after round trip", i)
+		}
+	}
+}
+
+func TestFormatFallsBackOnBadNames(t *testing.T) {
+	// Composite state names contain parentheses/commas but remain single
+	// words; duplicate names force the s<index> fallback.
+	b := fsp.NewBuilder("P")
+	s0 := b.State("dup")
+	s1 := b.State("dup")
+	b.Add(s0, "x", s1)
+	p := b.MustBuild()
+	q := fsp.Linear("Q", "x")
+	n := network.MustNew(p, q)
+	src := Format(n)
+	if !strings.Contains(src, "s0 x s1") {
+		t.Errorf("expected s<index> fallback:\n%s", src)
+	}
+	if _, err := ParseString(src); err != nil {
+		t.Errorf("fallback output must re-parse: %v", err)
+	}
+}
+
+func TestParseReader(t *testing.T) {
+	n, err := Parse(strings.NewReader(figure3Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Len() != 2 {
+		t.Errorf("Len = %d", n.Len())
+	}
+}

@@ -1,0 +1,110 @@
+// Package fsptest provides deterministic random generators of FSPs and
+// networks for property-based tests and benchmarks. All generators take an
+// explicit *rand.Rand so callers control seeding.
+package fsptest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fspnet/internal/fsp"
+)
+
+// Config bounds the shape of generated processes.
+type Config struct {
+	MaxStates int          // ≥ 1; number of states drawn in [1, MaxStates]
+	Actions   []fsp.Action // alphabet to draw labels from
+	TauProb   float64      // probability a transition is labeled τ
+	EdgeProb  float64      // per-pair probability of an extra edge (DAG/cyclic)
+	Cyclic    bool         // allow back edges
+}
+
+// DefaultConfig is a small, branchy configuration suitable for quick tests.
+func DefaultConfig() Config {
+	return Config{
+		MaxStates: 6,
+		Actions:   []fsp.Action{"a", "b", "c"},
+		TauProb:   0.2,
+		EdgeProb:  0.3,
+	}
+}
+
+// label draws a transition label.
+func (c Config) label(r *rand.Rand) fsp.Action {
+	if r.Float64() < c.TauProb {
+		return fsp.Tau
+	}
+	return c.Actions[r.Intn(len(c.Actions))]
+}
+
+// Tree generates a random tree FSP: every non-root state has exactly one
+// incoming transition from an earlier state.
+func Tree(r *rand.Rand, name string, c Config) *fsp.FSP {
+	n := 1 + r.Intn(c.MaxStates)
+	b := fsp.NewBuilder(name)
+	b.States(n)
+	for s := 1; s < n; s++ {
+		parent := fsp.State(r.Intn(s))
+		b.Add(parent, c.label(r), fsp.State(s))
+	}
+	return b.MustBuild()
+}
+
+// Acyclic generates a random single-rooted DAG FSP (a tree plus extra
+// forward edges drawn with EdgeProb).
+func Acyclic(r *rand.Rand, name string, c Config) *fsp.FSP {
+	n := 1 + r.Intn(c.MaxStates)
+	b := fsp.NewBuilder(name)
+	b.States(n)
+	for s := 1; s < n; s++ {
+		parent := fsp.State(r.Intn(s))
+		b.Add(parent, c.label(r), fsp.State(s))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < c.EdgeProb {
+				b.Add(fsp.State(u), c.label(r), fsp.State(v))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Cyclic generates a random FSP that may contain cycles. Every state keeps
+// a spanning in-edge so the process stays fully reachable.
+func Cyclic(r *rand.Rand, name string, c Config) *fsp.FSP {
+	n := 1 + r.Intn(c.MaxStates)
+	b := fsp.NewBuilder(name)
+	b.States(n)
+	for s := 1; s < n; s++ {
+		parent := fsp.State(r.Intn(s))
+		b.Add(parent, c.label(r), fsp.State(s))
+	}
+	extra := r.Intn(n*2 + 1)
+	for i := 0; i < extra; i++ {
+		b.Add(fsp.State(r.Intn(n)), c.label(r), fsp.State(r.Intn(n)))
+	}
+	return b.MustBuild()
+}
+
+// Gen draws a process according to c (cyclic when c.Cyclic, acyclic
+// otherwise).
+func Gen(r *rand.Rand, name string, c Config) *fsp.FSP {
+	if c.Cyclic {
+		return Cyclic(r, name, c)
+	}
+	return Acyclic(r, name, c)
+}
+
+// DisjointActions returns n·k fresh actions partitioned into n groups of k,
+// suitable for building networks with per-edge private alphabets.
+func DisjointActions(prefix string, n, k int) [][]fsp.Action {
+	groups := make([][]fsp.Action, n)
+	for i := range groups {
+		groups[i] = make([]fsp.Action, k)
+		for j := range groups[i] {
+			groups[i][j] = fsp.Action(fmt.Sprintf("%s%d_%d", prefix, i, j))
+		}
+	}
+	return groups
+}

@@ -1,0 +1,164 @@
+package fsptest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+)
+
+// NetConfig bounds random network generation.
+type NetConfig struct {
+	Procs          int     // number of processes (≥ 1)
+	ActionsPerEdge int     // actions labeling each C_N edge (≥ 1)
+	MaxStates      int     // per-process state bound
+	TauProb        float64 // τ probability for non-distinguished processes
+	Cyclic         bool    // generate leafless cyclic processes (Section 4)
+}
+
+// DefaultNetConfig is a small tree-network configuration.
+func DefaultNetConfig() NetConfig {
+	return NetConfig{Procs: 3, ActionsPerEdge: 2, MaxStates: 5, TauProb: 0.2}
+}
+
+// TwoProcessClosed generates a pair (P, Q) forming a closed two-process
+// network: equal alphabets, P τ-free. Actions each process does not use
+// are patched in as extra leaf transitions, so Definition 2 holds.
+func TwoProcessClosed(r *rand.Rand, cfg Config) (p, q *fsp.FSP) {
+	pCfg := cfg
+	pCfg.TauProb = 0
+	p = Gen(r, "P", pCfg)
+	q = Gen(r, "Q", cfg)
+	p = patchUnusedActions(r, p, cfg.Actions, false)
+	q = patchUnusedActions(r, q, cfg.Actions, false)
+	return p, q
+}
+
+// TwoProcessClosedCyclic is TwoProcessClosed for leafless cyclic pairs.
+func TwoProcessClosedCyclic(r *rand.Rand, cfg Config) (p, q *fsp.FSP) {
+	pCfg := cfg
+	pCfg.TauProb = 0
+	pCfg.Cyclic = true
+	qCfg := cfg
+	qCfg.Cyclic = true
+	p = makeLeafless(r, Gen(r, "P", pCfg), cfg.Actions)
+	q = makeLeafless(r, Gen(r, "Q", qCfg), cfg.Actions)
+	p = patchUnusedActions(r, p, cfg.Actions, true)
+	q = patchUnusedActions(r, q, cfg.Actions, true)
+	return p, q
+}
+
+// patchUnusedActions ensures the process uses every action in pool. When
+// cyclic is false each missing action is added as a fresh leaf child of a
+// random state; when cyclic is true it is added as a back edge to keep the
+// process leafless.
+func patchUnusedActions(r *rand.Rand, p *fsp.FSP, pool []fsp.Action, cyclic bool) *fsp.FSP {
+	missing := missingActions(p, pool)
+	if len(missing) == 0 {
+		return p
+	}
+	b := fsp.NewBuilder(p.Name())
+	for s := 0; s < p.NumStates(); s++ {
+		b.State(p.StateName(fsp.State(s)))
+	}
+	b.SetStart(p.Start())
+	for _, t := range p.Transitions() {
+		b.Add(t.From, t.Label, t.To)
+	}
+	for _, a := range missing {
+		from := fsp.State(r.Intn(p.NumStates()))
+		if cyclic {
+			b.Add(from, a, fsp.State(r.Intn(p.NumStates())))
+		} else {
+			leaf := b.State(fmt.Sprintf("+%s", a))
+			b.Add(from, a, leaf)
+		}
+	}
+	return b.MustBuild()
+}
+
+func missingActions(p *fsp.FSP, pool []fsp.Action) []fsp.Action {
+	var missing []fsp.Action
+	for _, a := range pool {
+		if !p.HasAction(a) {
+			missing = append(missing, a)
+		}
+	}
+	return missing
+}
+
+// makeLeafless adds, from every leaf, a transition back to the start state
+// with a random pool action, producing a leafless (Section 4) process.
+func makeLeafless(r *rand.Rand, p *fsp.FSP, pool []fsp.Action) *fsp.FSP {
+	leaves := p.Leaves()
+	if len(leaves) == 0 {
+		return p
+	}
+	b := fsp.NewBuilder(p.Name())
+	for s := 0; s < p.NumStates(); s++ {
+		b.State(p.StateName(fsp.State(s)))
+	}
+	b.SetStart(p.Start())
+	for _, t := range p.Transitions() {
+		b.Add(t.From, t.Label, t.To)
+	}
+	for _, leaf := range leaves {
+		b.Add(leaf, pool[r.Intn(len(pool))], p.Start())
+	}
+	return b.MustBuild()
+}
+
+// TreeNetwork generates a random tree network: a random tree topology over
+// cfg.Procs processes, fresh actions per edge, and per-process random tree
+// FSPs over their incident alphabets. Process 0 (the distinguished P) is
+// τ-free; every edge action is used by both endpoints.
+func TreeNetwork(r *rand.Rand, cfg NetConfig) *network.Network {
+	m := cfg.Procs
+	parent := make([]int, m)
+	edgeActs := make([][]fsp.Action, m) // actions of edge (parent[i], i)
+	incident := make([][]fsp.Action, m)
+	next := 0
+	for i := 1; i < m; i++ {
+		parent[i] = r.Intn(i)
+		edgeActs[i] = make([]fsp.Action, cfg.ActionsPerEdge)
+		for j := range edgeActs[i] {
+			edgeActs[i][j] = fsp.Action(fmt.Sprintf("e%d_%d", next, j))
+		}
+		next++
+		incident[i] = append(incident[i], edgeActs[i]...)
+		incident[parent[i]] = append(incident[parent[i]], edgeActs[i]...)
+	}
+	procs := make([]*fsp.FSP, m)
+	for i := 0; i < m; i++ {
+		pc := Config{
+			MaxStates: cfg.MaxStates,
+			Actions:   incident[i],
+			TauProb:   cfg.TauProb,
+			Cyclic:    cfg.Cyclic,
+		}
+		if i == 0 {
+			pc.TauProb = 0
+		}
+		if len(pc.Actions) == 0 {
+			// Single-process network: a lone state.
+			b := fsp.NewBuilder("P0")
+			b.State("0")
+			procs[i] = b.MustBuild()
+			continue
+		}
+		name := fmt.Sprintf("P%d", i)
+		var p *fsp.FSP
+		if cfg.Cyclic {
+			p = makeLeafless(r, Gen(r, name, pc), pc.Actions)
+		} else {
+			p = Tree(r, name, pc)
+		}
+		procs[i] = patchUnusedActions(r, p, pc.Actions, cfg.Cyclic)
+	}
+	n, err := network.New(procs...)
+	if err != nil {
+		panic(err) // generator invariant violated
+	}
+	return n
+}

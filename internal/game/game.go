@@ -1,0 +1,230 @@
+// Package game solves Game(P, Q) of Figure 4: the partial-information game
+// that defines success in adversity. Player Q knows the global state and
+// picks both the next action and its own next state; player P sees only
+// the action sequence and picks its own next state. Both players must play
+// when they can (the continuity rule).
+//
+// Because P's only information is the action history, the game is solved
+// on pairs (P-state, belief), where the belief is the τ-closed set of
+// states Q could have reached on that history. Q blocks P when the belief
+// contains a stable state offering nothing P can match; Q forces P when it
+// can offer an action all of whose P-responses lose.
+//
+// The acyclic game (P wins by reaching a leaf) is solved by memoized
+// recursion; the cyclic game (P wins by playing forever, Section 4) by a
+// greatest-fixpoint iteration. Both are exponential in |Q| in the worst
+// case — the upper bound of Proposition 2.
+package game
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"fspnet/internal/fsp"
+)
+
+// ErrTauMoves reports that the distinguished process P has τ-moves, which
+// the game of Figure 4 disallows ("The FSP P has no τ-moves").
+var ErrTauMoves = errors.New("game: distinguished process P must have no τ-moves")
+
+// ErrBudget reports that the explored pair graph exceeded the node budget.
+var ErrBudget = errors.New("game: state budget exhausted")
+
+// DefaultBudget bounds the number of (P-state, belief) pairs explored.
+const DefaultBudget = 1 << 22
+
+// checkP validates the Figure 4 assumption on P.
+func checkP(p *fsp.FSP) error {
+	for _, t := range p.Transitions() {
+		if t.Label == fsp.Tau {
+			return fmt.Errorf("%s: %w", p.Name(), ErrTauMoves)
+		}
+	}
+	return nil
+}
+
+// node is a game position: P in state p with belief set b over Q's states.
+type node struct {
+	p   fsp.State
+	key string // canonical belief key
+}
+
+type solver struct {
+	p, q    *fsp.FSP
+	budget  int
+	beliefs map[string][]fsp.State
+}
+
+func beliefKey(set []fsp.State) string {
+	var sb strings.Builder
+	for i, s := range set {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", s)
+	}
+	return sb.String()
+}
+
+func (sv *solver) intern(set []fsp.State) (key0 string, states []fsp.State) {
+	key := beliefKey(set)
+	if _, ok := sv.beliefs[key]; !ok {
+		sv.beliefs[key] = set
+	}
+	return key, sv.beliefs[key]
+}
+
+// blocked reports whether the belief contains a stable Q-state offering no
+// action in A — Q can steer there and stop the game.
+func (sv *solver) blocked(belief []fsp.State, a []fsp.Action) bool {
+	for _, q := range belief {
+		if !sv.q.IsStable(q) {
+			continue
+		}
+		if !intersects(sv.q.ActionsAt(q), a) {
+			return true
+		}
+	}
+	return false
+}
+
+func intersects(xs, ys []fsp.Action) bool {
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		switch {
+		case xs[i] == ys[j]:
+			return true
+		case xs[i] < ys[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// SolveAcyclic decides the acyclic game: P wins iff it has a strategy
+// guaranteeing it reaches one of its leaves. Both processes must be
+// acyclic and P τ-free.
+func SolveAcyclic(p, q *fsp.FSP) (bool, error) {
+	if err := checkP(p); err != nil {
+		return false, err
+	}
+	if !p.IsAcyclic() || !q.IsAcyclic() {
+		return false, fmt.Errorf("game: SolveAcyclic needs acyclic processes (P %s, Q %s)",
+			p.Classify(), q.Classify())
+	}
+	sv := &solver{p: p, q: q, budget: DefaultBudget, beliefs: make(map[string][]fsp.State)}
+	memo := make(map[node]bool)
+	startKey, startBelief := sv.intern(q.TauClosure([]fsp.State{q.Start()}))
+	win, err := sv.winAcyclic(p.Start(), startKey, startBelief, memo)
+	if err != nil {
+		return false, err
+	}
+	return win, nil
+}
+
+func (sv *solver) winAcyclic(p fsp.State, key string, belief []fsp.State, memo map[node]bool) (bool, error) {
+	nd := node{p: p, key: key}
+	if v, ok := memo[nd]; ok {
+		return v, nil
+	}
+	if len(memo) >= sv.budget {
+		return false, ErrBudget
+	}
+	if sv.p.IsLeaf(p) {
+		memo[nd] = true
+		return true, nil
+	}
+	a := sv.p.ActionsAt(p)
+	if sv.blocked(belief, a) {
+		memo[nd] = false
+		return false, nil
+	}
+	// Pre-set to false to keep recursion well-founded; acyclic P cannot
+	// revisit nd anyway.
+	memo[nd] = false
+	result := true
+	for _, act := range a {
+		next := sv.q.Step(belief, act)
+		if len(next) == 0 {
+			continue // Q cannot offer act on this history
+		}
+		nkey, nbelief := sv.intern(next)
+		anyGood := false
+		for _, succ := range sv.p.Succ(p, act) {
+			good, err := sv.winAcyclic(succ, nkey, nbelief, memo)
+			if err != nil {
+				return false, err
+			}
+			if good {
+				anyGood = true
+				break
+			}
+		}
+		if !anyGood {
+			result = false // Q forces act, every response loses
+			break
+		}
+	}
+	memo[nd] = result
+	return result, nil
+}
+
+// SolveCyclic decides the Section 4 game: P wins iff it can keep the game
+// going forever against adversarial Q. P must be τ-free. Q is typically
+// the cyclic composition of the rest of the network, so its silent
+// divergence options appear as leaves. The solution is the greatest
+// fixpoint over the reachable pair graph: positions are removed while they
+// are blocked, stuck, or forceable into removed positions.
+func SolveCyclic(p, q *fsp.FSP) (bool, error) {
+	if err := checkP(p); err != nil {
+		return false, err
+	}
+	sv := &solver{p: p, q: q, budget: DefaultBudget, beliefs: make(map[string][]fsp.State)}
+	win, _, _, err := sv.cyclicFixpoint()
+	if err != nil {
+		return false, err
+	}
+	startKey, _ := sv.intern(q.TauClosure([]fsp.State{q.Start()}))
+	return win[node{p: p.Start(), key: startKey}], nil
+}
+
+// ReachablePairs returns the number of explored (P-state, belief) game
+// positions for the cyclic game — a measure of the d^n bound of
+// Proposition 2, used by the benchmark harness.
+func ReachablePairs(p, q *fsp.FSP) (int, error) {
+	if err := checkP(p); err != nil {
+		return 0, err
+	}
+	sv := &solver{p: p, q: q, budget: DefaultBudget, beliefs: make(map[string][]fsp.State)}
+	startKey, _ := sv.intern(q.TauClosure([]fsp.State{q.Start()}))
+	start := node{p: p.Start(), key: startKey}
+	queue := []node{start}
+	seen := map[node]bool{start: true}
+	count := 0
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		count++
+		if count > sv.budget {
+			return count, ErrBudget
+		}
+		for _, act := range sv.p.ActionsAt(nd.p) {
+			next := sv.q.Step(sv.beliefs[nd.key], act)
+			if len(next) == 0 {
+				continue
+			}
+			nkey, _ := sv.intern(next)
+			for _, succ := range sv.p.Succ(nd.p, act) {
+				d := node{p: succ, key: nkey}
+				if !seen[d] {
+					seen[d] = true
+					queue = append(queue, d)
+				}
+			}
+		}
+	}
+	return count, nil
+}

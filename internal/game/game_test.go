@@ -1,0 +1,140 @@
+package game
+
+import (
+	"errors"
+	"testing"
+
+	"fspnet/internal/fsp"
+)
+
+func TestSolveAcyclicTrivialWin(t *testing.T) {
+	// P is a lone leaf: it has already succeeded.
+	b := fsp.NewBuilder("P")
+	b.State("0")
+	p := b.MustBuild()
+	q := fsp.Linear("Q", "a")
+	win, err := SolveAcyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win {
+		t.Error("leaf P wins immediately")
+	}
+}
+
+func TestSolveAcyclicBranchChoice(t *testing.T) {
+	// P must pick the correct a-successor: one branch needs b (which Q may
+	// withhold), the other is a leaf.
+	bp := fsp.NewBuilder("P")
+	r0, l, rr, d := bp.State("r"), bp.State("l"), bp.State("rr"), bp.State("d")
+	bp.Add(r0, "a", l)
+	bp.Add(r0, "a", rr)
+	bp.Add(l, "b", d)
+	p := bp.MustBuild()
+
+	bq := fsp.NewBuilder("Q")
+	q0, q1, q2, q3 := bq.State("0"), bq.State("1"), bq.State("2"), bq.State("3")
+	bq.Add(q0, "a", q1)
+	bq.Add(q1, "b", q2)
+	bq.AddTau(q1, q3)
+	q := bq.MustBuild()
+
+	win, err := SolveAcyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win {
+		t.Error("P wins by right-branching on a")
+	}
+}
+
+func TestSolveAcyclicForcedLoss(t *testing.T) {
+	// Q can offer only b after a; P's only a-successor needs c.
+	bp := fsp.NewBuilder("P")
+	r0, l, d := bp.State("r"), bp.State("l"), bp.State("d")
+	bp.Add(r0, "a", l)
+	bp.Add(l, "c", d)
+	p := bp.MustBuild()
+	q := fsp.Linear("Q", "a", "b")
+	win, err := SolveAcyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win {
+		t.Error("P cannot match Q's b and loses")
+	}
+}
+
+func TestSolveAcyclicRejectsCyclic(t *testing.T) {
+	b := fsp.NewBuilder("C")
+	s0 := b.State("0")
+	b.Add(s0, "a", s0)
+	cyc := b.MustBuild()
+	if _, err := SolveAcyclic(cyc, fsp.Linear("Q", "a")); err == nil {
+		t.Error("cyclic P must be rejected")
+	}
+	if _, err := SolveAcyclic(fsp.Linear("P", "a"), cyc); err == nil {
+		t.Error("cyclic Q must be rejected")
+	}
+}
+
+func TestSolveCyclicLoop(t *testing.T) {
+	b1 := fsp.NewBuilder("P")
+	s0 := b1.State("0")
+	b1.Add(s0, "a", s0)
+	p := b1.MustBuild()
+	b2 := fsp.NewBuilder("Q")
+	t0 := b2.State("0")
+	b2.Add(t0, "a", t0)
+	q := b2.MustBuild()
+	win, err := SolveCyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win {
+		t.Error("mutual a-loop lets P play forever")
+	}
+}
+
+func TestSolveCyclicLeafLoses(t *testing.T) {
+	p := fsp.Linear("P", "a") // reaches a leaf: loses the infinite game
+	b2 := fsp.NewBuilder("Q")
+	t0 := b2.State("0")
+	b2.Add(t0, "a", t0)
+	q := b2.MustBuild()
+	win, err := SolveCyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win {
+		t.Error("P that stops moving loses the cyclic game")
+	}
+}
+
+func TestErrTauMoves(t *testing.T) {
+	b := fsp.NewBuilder("P")
+	s0, s1 := b.State("0"), b.State("1")
+	b.AddTau(s0, s1)
+	p := b.MustBuild()
+	if _, err := SolveAcyclic(p, fsp.Linear("Q", "a")); !errors.Is(err, ErrTauMoves) {
+		t.Errorf("err = %v, want ErrTauMoves", err)
+	}
+	if _, err := SolveCyclic(p, fsp.Linear("Q", "a")); !errors.Is(err, ErrTauMoves) {
+		t.Errorf("err = %v, want ErrTauMoves", err)
+	}
+	if _, err := ReachablePairs(p, fsp.Linear("Q", "a")); !errors.Is(err, ErrTauMoves) {
+		t.Errorf("err = %v, want ErrTauMoves", err)
+	}
+}
+
+func TestReachablePairs(t *testing.T) {
+	p := fsp.Linear("P", "a", "b")
+	q := fsp.Linear("Q", "a", "b")
+	n, err := ReachablePairs(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("ReachablePairs = %d, want 3 (one per P depth)", n)
+	}
+}

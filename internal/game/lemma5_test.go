@@ -1,0 +1,83 @@
+package game
+
+import (
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/lang"
+	"fspnet/internal/poss"
+)
+
+// lemma5Win decides the acyclic game by the literal recursion in the
+// proof of Lemma 5, phrased over explicit possibility sets and the
+// language DFA of Q — an implementation independent of the belief-set
+// solver, used as a differential oracle.
+func lemma5Win(t *testing.T, p, q *fsp.FSP) bool {
+	t.Helper()
+	setQ := poss.MustOf(q)
+	langQ := lang.LangDFA(q)
+	memo := make(map[string]bool)
+
+	var win func(s []fsp.Action, pp fsp.State) bool
+	win = func(s []fsp.Action, pp fsp.State) bool {
+		key := poss.StringOfActions(s) + "|" + p.StateName(pp)
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		if p.IsLeaf(pp) {
+			memo[key] = true
+			return true
+		}
+		a := p.ActionsAt(pp)
+		// Blocking: some (s, Z) ∈ Poss(Q) with Z ∩ A = ∅.
+		for _, z := range setQ.At(s) {
+			if !intersects(z, a) {
+				memo[key] = false
+				return false
+			}
+		}
+		// Forcing: some offerable σ whose every response loses.
+		res := true
+		for _, act := range a {
+			ext := append(append([]fsp.Action(nil), s...), act)
+			if !langQ.Accepts(ext) {
+				continue
+			}
+			anyGood := false
+			for _, succ := range p.Succ(pp, act) {
+				if win(ext, succ) {
+					anyGood = true
+					break
+				}
+			}
+			if !anyGood {
+				res = false
+				break
+			}
+		}
+		memo[key] = res
+		return res
+	}
+	return win(nil, p.Start())
+}
+
+// TestSolverMatchesLemma5Recursion: the belief-set solver and the literal
+// Lemma 5 recursion must agree on random closed pairs.
+func TestSolverMatchesLemma5Recursion(t *testing.T) {
+	r := rand.New(rand.NewSource(1401))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 100; i++ {
+		p, q := fsptest.TwoProcessClosed(r, cfg)
+		belief, err := SolveAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		literal := lemma5Win(t, p, q)
+		if belief != literal {
+			t.Fatalf("iter %d: belief solver=%v, Lemma 5 recursion=%v\nP=%s\nQ=%s",
+				i, belief, literal, p.DOT(), q.DOT())
+		}
+	}
+}

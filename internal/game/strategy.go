@@ -1,0 +1,249 @@
+package game
+
+import (
+	"fmt"
+	"strings"
+
+	"fspnet/internal/fsp"
+)
+
+// Decision is one row of a winning strategy for player P: after observing
+// the action trail Trail and sitting in state PState, if the adversary
+// offers Offered, P moves to Next.
+type Decision struct {
+	Trail   []fsp.Action // one action trail reaching the position (display)
+	PState  string       // P's current state name
+	Belief  string       // opaque identifier of P's knowledge at this position
+	Offered fsp.Action   // the adversary's action
+	Next    string       // the state P should choose
+}
+
+// String renders the decision.
+func (d Decision) String() string {
+	trail := "ε"
+	if len(d.Trail) > 0 {
+		parts := make([]string, len(d.Trail))
+		for i, a := range d.Trail {
+			parts[i] = string(a)
+		}
+		trail = strings.Join(parts, "·")
+	}
+	return fmt.Sprintf("after %s at %s: on %s go to %s", trail, d.PState, d.Offered, d.Next)
+}
+
+// Strategy is a winning strategy as a finite decision list, covering every
+// position reachable when P follows it.
+type Strategy []Decision
+
+// String renders the strategy one decision per line.
+func (s Strategy) String() string {
+	var sb strings.Builder
+	for _, d := range s {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// AcyclicStrategy solves the acyclic game and, when P wins, extracts a
+// winning strategy: for every position reachable under it and every action
+// the adversary can legally offer there, the P-response that stays inside
+// the winning region. The strategy is empty when P wins without ever
+// moving (its start state is a leaf).
+func AcyclicStrategy(p, q *fsp.FSP) (win bool, strat Strategy, err error) {
+	if err := checkP(p); err != nil {
+		return false, nil, err
+	}
+	if !p.IsAcyclic() || !q.IsAcyclic() {
+		return false, nil, fmt.Errorf("game: AcyclicStrategy needs acyclic processes (P %s, Q %s)",
+			p.Classify(), q.Classify())
+	}
+	sv := &solver{p: p, q: q, budget: DefaultBudget, beliefs: make(map[string][]fsp.State)}
+	memo := make(map[node]bool)
+	startKey, startBelief := sv.intern(q.TauClosure([]fsp.State{q.Start()}))
+	win, err = sv.winAcyclic(p.Start(), startKey, startBelief, memo)
+	if err != nil || !win {
+		return win, nil, err
+	}
+
+	type item struct {
+		p     fsp.State
+		key   string
+		trail []fsp.Action
+	}
+	seen := map[node]bool{{p.Start(), startKey}: true}
+	queue := []item{{p.Start(), startKey, nil}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if p.IsLeaf(it.p) {
+			continue
+		}
+		belief := sv.beliefs[it.key]
+		for _, act := range p.ActionsAt(it.p) {
+			next := q.Step(belief, act)
+			if len(next) == 0 {
+				continue // the adversary cannot offer act here
+			}
+			nkey, _ := sv.intern(next)
+			chosen := fsp.State(-1)
+			for _, succ := range p.Succ(it.p, act) {
+				if memo[node{succ, nkey}] {
+					chosen = succ
+					break
+				}
+			}
+			if chosen < 0 {
+				// Unreachable for a winning position: winAcyclic guarantees
+				// some response wins for every offerable action.
+				return false, nil, fmt.Errorf("game: winning position without winning response at %s on %s",
+					p.StateName(it.p), act)
+			}
+			trail := append(append([]fsp.Action(nil), it.trail...), act)
+			strat = append(strat, Decision{
+				Trail:   it.trail,
+				PState:  p.StateName(it.p),
+				Belief:  it.key,
+				Offered: act,
+				Next:    p.StateName(chosen),
+			})
+			nd := node{chosen, nkey}
+			if !seen[nd] {
+				seen[nd] = true
+				queue = append(queue, item{chosen, nkey, trail})
+			}
+		}
+	}
+	return true, strat, nil
+}
+
+// CyclicStrategy solves the Section 4 game and, when P wins, extracts a
+// positional winning strategy over the reachable winning positions: for
+// every position and offerable adversary action, a response that stays in
+// the winning region. Following it keeps the play inside the region, so P
+// never stops moving. Decisions carry no trails (plays are infinite);
+// Belief identifies the position.
+func CyclicStrategy(p, q *fsp.FSP) (win bool, strat Strategy, err error) {
+	if err := checkP(p); err != nil {
+		return false, nil, err
+	}
+	// Run the fixpoint, then read off one winning response per
+	// (position, action).
+	sv := &solver{p: p, q: q, budget: DefaultBudget, beliefs: make(map[string][]fsp.State)}
+	winSet, _, adjacency, err := sv.cyclicFixpoint()
+	if err != nil {
+		return false, nil, err
+	}
+	startKey, _ := sv.intern(q.TauClosure([]fsp.State{q.Start()}))
+	start := node{p: p.Start(), key: startKey}
+	if !winSet[start] {
+		return false, nil, nil
+	}
+	seen := map[node]bool{start: true}
+	queue := []node{start}
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		for _, e := range adjacency[nd] {
+			chosen := node{p: -1}
+			for _, d := range e.dest {
+				if winSet[d] {
+					chosen = d
+					break
+				}
+			}
+			if chosen.p < 0 {
+				return false, nil, fmt.Errorf("game: winning cyclic position without winning response at %s on %s",
+					p.StateName(nd.p), e.act)
+			}
+			strat = append(strat, Decision{
+				PState:  p.StateName(nd.p),
+				Belief:  nd.key,
+				Offered: e.act,
+				Next:    p.StateName(chosen.p),
+			})
+			if !seen[chosen] {
+				seen[chosen] = true
+				queue = append(queue, chosen)
+			}
+		}
+	}
+	return true, strat, nil
+}
+
+// gameEdge mirrors SolveCyclic's edge type for reuse by CyclicStrategy.
+type gameEdge struct {
+	act  fsp.Action
+	dest []node
+}
+
+// cyclicFixpoint builds the reachable position graph and runs the
+// greatest-fixpoint elimination, returning the winning set.
+func (sv *solver) cyclicFixpoint() (map[node]bool, []node, map[node][]gameEdge, error) {
+	adjacency := make(map[node][]gameEdge)
+	var order []node
+	startKey, _ := sv.intern(sv.q.TauClosure([]fsp.State{sv.q.Start()}))
+	start := node{p: sv.p.Start(), key: startKey}
+	queue := []node{start}
+	seen := map[node]bool{start: true}
+	for len(queue) > 0 {
+		nd := queue[0]
+		queue = queue[1:]
+		order = append(order, nd)
+		if len(order) > sv.budget {
+			return nil, nil, nil, ErrBudget
+		}
+		for _, act := range sv.p.ActionsAt(nd.p) {
+			next := sv.q.Step(sv.beliefs[nd.key], act)
+			if len(next) == 0 {
+				continue
+			}
+			nkey, _ := sv.intern(next)
+			var dests []node
+			for _, succ := range sv.p.Succ(nd.p, act) {
+				d := node{p: succ, key: nkey}
+				dests = append(dests, d)
+				if !seen[d] {
+					seen[d] = true
+					queue = append(queue, d)
+				}
+			}
+			adjacency[nd] = append(adjacency[nd], gameEdge{act: act, dest: dests})
+		}
+	}
+	win := make(map[node]bool, len(order))
+	for _, nd := range order {
+		win[nd] = true
+	}
+	losing := func(nd node) bool {
+		if sv.p.IsLeaf(nd.p) {
+			return true
+		}
+		if sv.blocked(sv.beliefs[nd.key], sv.p.ActionsAt(nd.p)) {
+			return true
+		}
+		for _, e := range adjacency[nd] {
+			anyGood := false
+			for _, d := range e.dest {
+				if win[d] {
+					anyGood = true
+					break
+				}
+			}
+			if !anyGood {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, nd := range order {
+			if win[nd] && losing(nd) {
+				win[nd] = false
+				changed = true
+			}
+		}
+	}
+	return win, order, adjacency, nil
+}

@@ -1,0 +1,216 @@
+package game
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+)
+
+func TestAcyclicStrategyBranching(t *testing.T) {
+	// P must right-branch on a (the Figure 9 commentary example).
+	bp := fsp.NewBuilder("P")
+	r0, l, rr, d := bp.State("r"), bp.State("l"), bp.State("rr"), bp.State("d")
+	bp.Add(r0, "a", l)
+	bp.Add(r0, "a", rr)
+	bp.Add(l, "c", d)
+	p := bp.MustBuild()
+	bq := fsp.NewBuilder("Q")
+	q0, q1, q2, q3 := bq.State("0"), bq.State("1"), bq.State("2"), bq.State("3")
+	bq.Add(q0, "a", q1)
+	bq.Add(q1, "c", q2)
+	bq.AddTau(q1, q3)
+	q := bq.MustBuild()
+
+	win, strat, err := AcyclicStrategy(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win {
+		t.Fatal("P wins by right-branching")
+	}
+	if len(strat) != 1 {
+		t.Fatalf("strategy = %v, want a single decision", strat)
+	}
+	dec := strat[0]
+	if dec.Offered != "a" || dec.Next != "rr" {
+		t.Errorf("decision = %v, want: on a go to rr", dec)
+	}
+	if !strings.Contains(strat.String(), "on a go to rr") {
+		t.Errorf("rendering: %s", strat)
+	}
+}
+
+func TestAcyclicStrategyLosingGame(t *testing.T) {
+	p := fsp.Linear("P", "a")
+	bq := fsp.NewBuilder("Q")
+	q0, q1 := bq.State("0"), bq.State("1")
+	bq.AddTau(q0, q1) // Q defects immediately
+	q := bq.MustBuild()
+	win, strat, err := AcyclicStrategy(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win || strat != nil {
+		t.Errorf("win=%v strat=%v, want losing game", win, strat)
+	}
+}
+
+func TestAcyclicStrategyTrivialWin(t *testing.T) {
+	b := fsp.NewBuilder("P")
+	b.State("0")
+	p := b.MustBuild()
+	win, strat, err := AcyclicStrategy(p, fsp.Linear("Q", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win || len(strat) != 0 {
+		t.Errorf("win=%v |strat|=%d, want trivial empty strategy", win, len(strat))
+	}
+}
+
+// TestStrategyAgreesWithSolver: strategy extraction reports the same
+// winner as the plain solver and, when winning, covers the start position.
+func TestStrategyAgreesWithSolver(t *testing.T) {
+	r := rand.New(rand.NewSource(831))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 60; i++ {
+		p, q := fsptest.TwoProcessClosed(r, cfg)
+		win1, err := SolveAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		win2, strat, err := AcyclicStrategy(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if win1 != win2 {
+			t.Fatalf("iter %d: solver=%v strategy=%v", i, win1, win2)
+		}
+		if win2 && !p.IsLeaf(p.Start()) && len(strat) == 0 {
+			t.Fatalf("iter %d: non-trivial win with empty strategy", i)
+		}
+	}
+}
+
+// TestStrategyReplays: following the extracted strategy against every
+// adversary playout keeps P winning (reaches a leaf).
+func TestStrategyReplays(t *testing.T) {
+	r := rand.New(rand.NewSource(839))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 40; i++ {
+		p, q := fsptest.TwoProcessClosed(r, cfg)
+		win, strat, err := AcyclicStrategy(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !win {
+			continue
+		}
+		// Index decisions by (state name, trail, action).
+		type key struct {
+			state, belief string
+			act           fsp.Action
+		}
+		index := make(map[key]string)
+		for _, d := range strat {
+			index[key{d.PState, d.Belief, d.Offered}] = d.Next
+		}
+		// Exhaustively play every adversary action sequence.
+		var play func(pp fsp.State, belief []fsp.State, depth int) bool
+		play = func(pp fsp.State, belief []fsp.State, depth int) bool {
+			if depth > 32 {
+				return false
+			}
+			if p.IsLeaf(pp) {
+				return true
+			}
+			acts := p.ActionsAt(pp)
+			// Blocking adversary option: stable belief state with no act.
+			for _, qs := range belief {
+				if q.IsStable(qs) && !intersects(q.ActionsAt(qs), acts) {
+					return false
+				}
+			}
+			for _, act := range acts {
+				next := q.Step(belief, act)
+				if len(next) == 0 {
+					continue
+				}
+				nextName, ok := index[key{p.StateName(pp), beliefKey(belief), act}]
+				if !ok {
+					return false // strategy has a hole
+				}
+				var chosen fsp.State = -1
+				for _, succ := range p.Succ(pp, act) {
+					if p.StateName(succ) == nextName {
+						chosen = succ
+						break
+					}
+				}
+				if chosen < 0 {
+					return false
+				}
+				if !play(chosen, next, depth+1) {
+					return false
+				}
+			}
+			return true
+		}
+		start := q.TauClosure([]fsp.State{q.Start()})
+		if !play(p.Start(), start, 0) {
+			t.Fatalf("iter %d: strategy fails under some adversary playout\nP=%s\nQ=%s\n%s",
+				i, p.DOT(), q.DOT(), strat)
+		}
+	}
+}
+
+func TestCyclicStrategyLoop(t *testing.T) {
+	// P alternates a/b with two a-successors, only one of which continues.
+	bp := fsp.NewBuilder("P")
+	s0, good, dead := bp.State("0"), bp.State("good"), bp.State("dead")
+	bp.Add(s0, "a", good)
+	bp.Add(s0, "a", dead)
+	bp.Add(good, "b", s0)
+	p := bp.MustBuild()
+	bq := fsp.NewBuilder("Q")
+	t0, t1 := bq.State("0"), bq.State("1")
+	bq.Add(t0, "a", t1)
+	bq.Add(t1, "b", t0)
+	q := bq.MustBuild()
+
+	win, strat, err := CyclicStrategy(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win {
+		t.Fatal("P wins by always picking the good a-successor")
+	}
+	for _, d := range strat {
+		if d.Offered == "a" && d.Next != "good" {
+			t.Errorf("strategy picks %q on a, want good", d.Next)
+		}
+	}
+	// Agreement with the solver.
+	solved, err := SolveCyclic(p, q)
+	if err != nil || solved != win {
+		t.Errorf("solver=%v strategy=%v err=%v", solved, win, err)
+	}
+}
+
+func TestCyclicStrategyLosing(t *testing.T) {
+	p := fsp.Linear("P", "a") // stops after one move: loses the cyclic game
+	bq := fsp.NewBuilder("Q")
+	t0 := bq.State("0")
+	bq.Add(t0, "a", t0)
+	q := bq.MustBuild()
+	win, strat, err := CyclicStrategy(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win || strat != nil {
+		t.Errorf("win=%v strat=%v, want losing", win, strat)
+	}
+}

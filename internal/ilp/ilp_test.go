@@ -1,0 +1,225 @@
+package ilp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func mustProblem(t *testing.T, c []int64, a [][]int64, b []int64) *Problem {
+	t.Helper()
+	p, err := NewProblemInt64(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func ratEq(v *big.Rat, num, den int64) bool { return v.Cmp(big.NewRat(num, den)) == 0 }
+
+func TestSolveLPBasic(t *testing.T) {
+	// max x+y s.t. x ≤ 2, y ≤ 3, x+y ≤ 4 → 4.
+	p := mustProblem(t,
+		[]int64{1, 1},
+		[][]int64{{1, 0}, {0, 1}, {1, 1}},
+		[]int64{2, 3, 4})
+	r, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !ratEq(r.Value, 4, 1) {
+		t.Fatalf("LP = %v value %v, want optimal 4", r.Status, r.Value)
+	}
+}
+
+func TestSolveLPFractionalOptimum(t *testing.T) {
+	// max x s.t. 2x ≤ 3 → 3/2.
+	p := mustProblem(t, []int64{1}, [][]int64{{2}}, []int64{3})
+	r, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !ratEq(r.Value, 3, 2) {
+		t.Fatalf("LP value = %v, want 3/2", r.Value)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	// max x with no constraints binding it.
+	p := mustProblem(t, []int64{1, 0}, [][]int64{{0, 1}}, []int64{5})
+	r, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Unbounded {
+		t.Fatalf("LP status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	// x ≤ 1 and −x ≤ −2 (x ≥ 2).
+	p := mustProblem(t, []int64{1}, [][]int64{{1}, {-1}}, []int64{1, -2})
+	r, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Infeasible {
+		t.Fatalf("LP status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestSolveLPPhase1(t *testing.T) {
+	// Needs phase 1: x ≥ 1 (as −x ≤ −1), x ≤ 3; max −x → value −1 at x=1.
+	p := mustProblem(t, []int64{-1}, [][]int64{{-1}, {1}}, []int64{-1, 3})
+	r, err := SolveLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !ratEq(r.Value, -1, 1) {
+		t.Fatalf("LP = %v value %v, want optimal −1", r.Status, r.Value)
+	}
+	if !ratEq(r.X[0], 1, 1) {
+		t.Fatalf("x = %v, want 1", r.X[0])
+	}
+}
+
+func TestSolveIPKnapsack(t *testing.T) {
+	// max 5x+4y s.t. 6x+5y ≤ 17, x,y ≥ 0 integers.
+	// LP optimum is fractional; IP optimum is x=2,y=1 → 14.
+	p := mustProblem(t, []int64{5, 4}, [][]int64{{6, 5}}, []int64{17})
+	r, err := SolveIP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || !ratEq(r.Value, 14, 1) {
+		t.Fatalf("IP = %v value %v, want optimal 14", r.Status, r.Value)
+	}
+}
+
+func TestSolveIPInfeasible(t *testing.T) {
+	// 2x ≤ 3 and −2x ≤ −1 → 1/2 ≤ x ≤ 3/2: LP feasible, no integer
+	// point... x=1 is integral and feasible; tighten: 4x ≤ 3, −4x ≤ −1 →
+	// 1/4 ≤ x ≤ 3/4: no integer.
+	p := mustProblem(t, []int64{1}, [][]int64{{4}, {-4}}, []int64{3, -1})
+	r, err := SolveIP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Infeasible {
+		t.Fatalf("IP status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestSolveIPUnbounded(t *testing.T) {
+	p := mustProblem(t, []int64{1, 1}, [][]int64{{1, -1}}, []int64{0})
+	r, err := SolveIP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Unbounded {
+		t.Fatalf("IP status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestSolveIPAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + r.Intn(3)
+		m := 1 + r.Intn(3)
+		c := make([]int64, n)
+		for i := range c {
+			c[i] = int64(r.Intn(11) - 5)
+		}
+		a := make([][]int64, m)
+		b := make([]int64, m)
+		for i := range a {
+			a[i] = make([]int64, n)
+			for j := range a[i] {
+				a[i][j] = int64(r.Intn(7) - 2)
+			}
+			b[i] = int64(r.Intn(12))
+		}
+		// Box to keep everything bounded and brute-forceable: x_j ≤ 6.
+		for j := 0; j < n; j++ {
+			row := make([]int64, n)
+			row[j] = 1
+			a = append(a, row)
+			b = append(b, 6)
+		}
+		p := mustProblem(t, c, a, b)
+		got, err := SolveIP(p)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		wantVal, found := bruteForceIP(c, a, b, n, 6)
+		if !found {
+			if got.Status != Infeasible {
+				t.Fatalf("iter %d: status %v, brute force found nothing", iter, got.Status)
+			}
+			continue
+		}
+		if got.Status != Optimal {
+			t.Fatalf("iter %d: status %v, want optimal (brute=%d)", iter, got.Status, wantVal)
+		}
+		if !ratEq(got.Value, wantVal, 1) {
+			t.Fatalf("iter %d: IP value %v, brute force %d\n%v", iter, got.Value, wantVal, p)
+		}
+		// The returned point must be feasible and achieve the value.
+		var achieve int64
+		for j := 0; j < n; j++ {
+			achieve += c[j] * got.X[j].Int64()
+		}
+		if achieve != wantVal {
+			t.Fatalf("iter %d: point value %d ≠ optimum %d", iter, achieve, wantVal)
+		}
+	}
+}
+
+func bruteForceIP(c []int64, a [][]int64, b []int64, n int, box int64) (int64, bool) {
+	best := int64(0)
+	found := false
+	x := make([]int64, n)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			for i := range a {
+				var lhs int64
+				for k := 0; k < n; k++ {
+					lhs += a[i][k] * x[k]
+				}
+				if lhs > b[i] {
+					return
+				}
+			}
+			var val int64
+			for k := 0; k < n; k++ {
+				val += c[k] * x[k]
+			}
+			if !found || val > best {
+				best, found = val, true
+			}
+			return
+		}
+		for v := int64(0); v <= box; v++ {
+			x[j] = v
+			rec(j + 1)
+		}
+	}
+	rec(0)
+	return best, found
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Problem{C: []*big.Rat{rat(1)}, A: [][]*big.Rat{{rat(1), rat(2)}}, B: []*big.Rat{rat(1)}}
+	if err := bad.Validate(); err == nil {
+		t.Error("mismatched row width must fail validation")
+	}
+	bad2 := &Problem{C: []*big.Rat{rat(1)}, A: [][]*big.Rat{{rat(1)}}, B: nil}
+	if err := bad2.Validate(); err == nil {
+		t.Error("mismatched bounds must fail validation")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" {
+		t.Error("Status String broken")
+	}
+}

@@ -1,0 +1,169 @@
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// IPResult is the outcome of an integer solve.
+type IPResult struct {
+	Status Status
+	X      []*big.Int // length n when Optimal
+	Value  *big.Rat   // objective value when Optimal
+}
+
+// ErrNodeBudget reports that branch and bound exceeded its node budget.
+var ErrNodeBudget = errors.New("ilp: branch-and-bound node budget exhausted")
+
+// DefaultNodes bounds the branch-and-bound tree.
+const DefaultNodes = 1 << 18
+
+// SolveIP maximizes C·x over integer points of A·x ≤ B, x ≥ 0, by
+// depth-first branch and bound over the exact LP relaxation. When the
+// relaxation is unbounded the result is Unbounded (for rational data the
+// feasible cone contains an integer ray whenever it contains a rational
+// one, and x = 0 is feasible in the paper's instances).
+func SolveIP(p *Problem) (*IPResult, error) {
+	return SolveIPBudget(p, DefaultNodes)
+}
+
+// SolveIPBudget is SolveIP with an explicit node budget.
+func SolveIPBudget(p *Problem, nodes int) (*IPResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	root, err := SolveLP(p)
+	if err != nil {
+		return nil, err
+	}
+	switch root.Status {
+	case Infeasible:
+		return &IPResult{Status: Infeasible}, nil
+	case Unbounded:
+		return &IPResult{Status: Unbounded}, nil
+	}
+
+	var (
+		best      *IPResult
+		remaining = nodes
+	)
+	// branch explores the subproblem `sub` whose LP optimum is `lp`.
+	var branch func(sub *Problem, lp *LPResult) error
+	branch = func(sub *Problem, lp *LPResult) error {
+		remaining--
+		if remaining < 0 {
+			return ErrNodeBudget
+		}
+		if best != nil && lp.Value.Cmp(best.Value) <= 0 {
+			return nil // bound: relaxation cannot beat the incumbent
+		}
+		frac := fractionalIndex(lp.X)
+		if frac == -1 {
+			// Integral optimum of the subproblem.
+			x := make([]*big.Int, len(lp.X))
+			for i, v := range lp.X {
+				x[i] = new(big.Int).Set(v.Num()) // v is integral: Denom == 1
+			}
+			best = &IPResult{Status: Optimal, X: x, Value: new(big.Rat).Set(lp.Value)}
+			return nil
+		}
+		floor := ratFloor(lp.X[frac])
+		// Down branch: x_frac ≤ floor.
+		down := addBound(sub, frac, floor, false)
+		if r, err := SolveLP(down); err != nil {
+			return err
+		} else if r.Status == Optimal {
+			if err := branch(down, r); err != nil {
+				return err
+			}
+		}
+		// Up branch: x_frac ≥ floor+1, encoded as −x_frac ≤ −(floor+1).
+		up := addBound(sub, frac, new(big.Int).Add(floor, big.NewInt(1)), true)
+		if r, err := SolveLP(up); err != nil {
+			return err
+		} else if r.Status == Optimal {
+			return branch(up, r)
+		}
+		return nil
+	}
+	if err := branch(p, root); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return &IPResult{Status: Infeasible}, nil
+	}
+	return best, nil
+}
+
+// fractionalIndex returns the first non-integral coordinate, or −1.
+func fractionalIndex(x []*big.Rat) int {
+	for i, v := range x {
+		if !v.IsInt() {
+			return i
+		}
+	}
+	return -1
+}
+
+// ratFloor returns ⌊v⌋ as a big.Int.
+func ratFloor(v *big.Rat) *big.Int {
+	q := new(big.Int)
+	m := new(big.Int)
+	q.QuoRem(v.Num(), v.Denom(), m)
+	if m.Sign() < 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q
+}
+
+// addBound returns sub with the extra constraint x_i ≤ bound (lower=false)
+// or x_i ≥ bound (lower=true).
+func addBound(sub *Problem, i int, bound *big.Int, lower bool) *Problem {
+	n := len(sub.C)
+	row := make([]*big.Rat, n)
+	for j := range row {
+		row[j] = rat(0)
+	}
+	b := new(big.Rat).SetInt(bound)
+	if lower {
+		row[i] = rat(-1)
+		b.Neg(b)
+	} else {
+		row[i] = rat(1)
+	}
+	out := &Problem{
+		C: sub.C,
+		A: append(append([][]*big.Rat(nil), sub.A...), row),
+		B: append(append([]*big.Rat(nil), sub.B...), b),
+	}
+	return out
+}
+
+// NewProblemInt64 builds a Problem from int64 data, a convenience for
+// callers with small coefficients.
+func NewProblemInt64(c []int64, a [][]int64, b []int64) (*Problem, error) {
+	p := &Problem{}
+	for _, v := range c {
+		p.C = append(p.C, rat(v))
+	}
+	for _, row := range a {
+		var rrow []*big.Rat
+		for _, v := range row {
+			rrow = append(rrow, rat(v))
+		}
+		p.A = append(p.A, rrow)
+	}
+	for _, v := range b {
+		p.B = append(p.B, rat(v))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// String renders the problem compactly for diagnostics.
+func (p *Problem) String() string {
+	return fmt.Sprintf("ilp{vars=%d, constraints=%d}", len(p.C), len(p.A))
+}

@@ -1,0 +1,323 @@
+// Package ilp is an exact linear and integer programming solver over
+// rationals (math/big.Rat): a two-phase dictionary simplex with Bland's
+// anti-cycling rule and a branch-and-bound integer solver. It substitutes
+// for the Lenstra fixed-dimension algorithm [Le] that Theorem 4 invokes —
+// the paper only needs exact optima of integer programs with a constant
+// number of variables.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Status classifies a solve outcome.
+type Status int
+
+const (
+	// Optimal means a finite optimum was found.
+	Optimal Status = iota + 1
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective is unbounded above on the feasible
+	// region.
+	Unbounded
+)
+
+// String renders the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "unknown"
+	}
+}
+
+// Problem is: maximize C·x subject to A·x ≤ B, x ≥ 0.
+type Problem struct {
+	C []*big.Rat   // length n
+	A [][]*big.Rat // m rows of length n
+	B []*big.Rat   // length m
+}
+
+// ErrShape reports inconsistent dimensions.
+var ErrShape = errors.New("ilp: inconsistent problem dimensions")
+
+// Validate checks the problem dimensions.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("%d rows vs %d bounds: %w", len(p.A), len(p.B), ErrShape)
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("row %d has %d of %d columns: %w", i, len(row), n, ErrShape)
+		}
+	}
+	return nil
+}
+
+// LPResult is the outcome of an LP solve.
+type LPResult struct {
+	Status Status
+	X      []*big.Rat // length n when Optimal
+	Value  *big.Rat   // objective value when Optimal
+}
+
+// dict is a simplex dictionary: each basic variable equals
+// rows[i][0] + Σ_j rows[i][j+1]·x_{nonbasic[j]}, and the objective is
+// obj[0] + Σ_j obj[j+1]·x_{nonbasic[j]}.
+type dict struct {
+	rows     [][]*big.Rat
+	obj      []*big.Rat
+	basic    []int
+	nonbasic []int
+}
+
+func rat(i int64) *big.Rat { return big.NewRat(i, 1) }
+
+// newDict builds the slack-form dictionary of the problem: slack i is
+// variable n+i.
+func newDict(p *Problem) *dict {
+	n := len(p.C)
+	m := len(p.A)
+	d := &dict{}
+	for j := 0; j < n; j++ {
+		d.nonbasic = append(d.nonbasic, j)
+	}
+	for i := 0; i < m; i++ {
+		row := make([]*big.Rat, n+1)
+		row[0] = new(big.Rat).Set(p.B[i])
+		for j := 0; j < n; j++ {
+			row[j+1] = new(big.Rat).Neg(p.A[i][j])
+		}
+		d.rows = append(d.rows, row)
+		d.basic = append(d.basic, n+i)
+	}
+	d.obj = make([]*big.Rat, n+1)
+	d.obj[0] = rat(0)
+	for j := 0; j < n; j++ {
+		d.obj[j+1] = new(big.Rat).Set(p.C[j])
+	}
+	return d
+}
+
+// pivot swaps basic row r with nonbasic column c (1-based into rows).
+func (d *dict) pivot(r, c int) {
+	row := d.rows[r]
+	coef := row[c]
+	// Solve for the entering variable: x_enter = (…)/(-coef).
+	inv := new(big.Rat).Inv(new(big.Rat).Neg(coef))
+	newRow := make([]*big.Rat, len(row))
+	for j := range row {
+		if j == c {
+			newRow[j] = new(big.Rat).Neg(inv) // coefficient of the leaving var
+			continue
+		}
+		newRow[j] = new(big.Rat).Mul(row[j], inv)
+	}
+	d.basic[r], d.nonbasic[c-1] = d.nonbasic[c-1], d.basic[r]
+	d.rows[r] = newRow
+	// Substitute into the other rows and the objective.
+	subst := func(target []*big.Rat) {
+		k := new(big.Rat).Set(target[c])
+		if k.Sign() == 0 {
+			return
+		}
+		for j := range target {
+			if j == c {
+				target[j] = new(big.Rat).Mul(k, newRow[c])
+				continue
+			}
+			target[j] = new(big.Rat).Add(target[j], new(big.Rat).Mul(k, newRow[j]))
+		}
+	}
+	for i := range d.rows {
+		if i != r {
+			subst(d.rows[i])
+		}
+	}
+	subst(d.obj)
+}
+
+// chooseEntering returns the 1-based column of the entering variable under
+// Bland's rule (smallest variable index with positive objective
+// coefficient), or 0 when optimal.
+func (d *dict) chooseEntering() int {
+	best, bestVar := 0, -1
+	for j := 1; j < len(d.obj); j++ {
+		if d.obj[j].Sign() > 0 {
+			v := d.nonbasic[j-1]
+			if bestVar == -1 || v < bestVar {
+				best, bestVar = j, v
+			}
+		}
+	}
+	return best
+}
+
+// chooseLeaving returns the row limiting the entering column's increase
+// (Bland tie-break on the basic variable index), or −1 when unbounded.
+func (d *dict) chooseLeaving(c int) int {
+	r, rVar := -1, -1
+	var bound *big.Rat
+	for i, row := range d.rows {
+		if row[c].Sign() >= 0 {
+			continue // this row does not limit the increase
+		}
+		// Limit: rows[i][0] / (−rows[i][c]).
+		lim := new(big.Rat).Quo(row[0], new(big.Rat).Neg(row[c]))
+		switch {
+		case r == -1 || lim.Cmp(bound) < 0:
+			r, rVar, bound = i, d.basic[i], lim
+		case lim.Cmp(bound) == 0 && d.basic[i] < rVar:
+			r, rVar = i, d.basic[i]
+		}
+	}
+	return r
+}
+
+// run iterates pivots to optimality; returns false on unboundedness.
+func (d *dict) run() bool {
+	for {
+		c := d.chooseEntering()
+		if c == 0 {
+			return true
+		}
+		r := d.chooseLeaving(c)
+		if r == -1 {
+			return false
+		}
+		d.pivot(r, c)
+	}
+}
+
+// SolveLP solves the LP relaxation exactly.
+func SolveLP(p *Problem) (*LPResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.C)
+	d := newDict(p)
+
+	// Phase 1 if any bound is negative: auxiliary variable x_aux (index
+	// n+m) enters every row; maximize −x_aux.
+	needPhase1 := false
+	for _, row := range d.rows {
+		if row[0].Sign() < 0 {
+			needPhase1 = true
+			break
+		}
+	}
+	if needPhase1 {
+		aux := n + len(d.rows)
+		d.obj = make([]*big.Rat, len(d.obj))
+		for j := range d.obj {
+			d.obj[j] = rat(0)
+		}
+		// Append x_aux as a new nonbasic column with coefficient +1 in
+		// every row and −1 in the objective.
+		d.nonbasic = append(d.nonbasic, aux)
+		for i := range d.rows {
+			d.rows[i] = append(d.rows[i], rat(1))
+		}
+		d.obj = append(d.obj, rat(-1))
+		// Make the dictionary feasible: pivot x_aux into the most negative
+		// row.
+		worst := 0
+		for i, row := range d.rows {
+			if row[0].Cmp(d.rows[worst][0]) < 0 {
+				worst = i
+			}
+		}
+		d.pivot(worst, len(d.rows[worst])-1)
+		if !d.run() {
+			return nil, errors.New("ilp: phase-1 auxiliary problem unbounded")
+		}
+		if d.obj[0].Sign() != 0 {
+			return &LPResult{Status: Infeasible}, nil
+		}
+		// Drop x_aux. If basic (degenerate), pivot it out first.
+		for i, v := range d.basic {
+			if v == aux {
+				col := 0
+				for j := 1; j < len(d.rows[i]); j++ {
+					if d.rows[i][j].Sign() != 0 {
+						col = j
+						break
+					}
+				}
+				if col == 0 {
+					// Row is 0 = 0; x_aux stays at zero, replace the row's
+					// basic var by removing the row entirely.
+					d.rows = append(d.rows[:i], d.rows[i+1:]...)
+					d.basic = append(d.basic[:i], d.basic[i+1:]...)
+				} else {
+					d.pivot(i, col)
+				}
+				break
+			}
+		}
+		col := -1
+		for j, v := range d.nonbasic {
+			if v == aux {
+				col = j
+				break
+			}
+		}
+		if col >= 0 {
+			d.nonbasic = append(d.nonbasic[:col], d.nonbasic[col+1:]...)
+			for i := range d.rows {
+				d.rows[i] = append(d.rows[i][:col+1], d.rows[i][col+2:]...)
+			}
+		}
+		// Restore the original objective expressed over the current basis.
+		d.obj = d.restoreObjective(p)
+	}
+
+	if !d.run() {
+		return &LPResult{Status: Unbounded}, nil
+	}
+	x := make([]*big.Rat, n)
+	for j := range x {
+		x[j] = rat(0)
+	}
+	for i, v := range d.basic {
+		if v < n {
+			x[v] = new(big.Rat).Set(d.rows[i][0])
+		}
+	}
+	return &LPResult{Status: Optimal, X: x, Value: new(big.Rat).Set(d.obj[0])}, nil
+}
+
+// restoreObjective re-expresses the original objective C over the current
+// dictionary's nonbasic variables.
+func (d *dict) restoreObjective(p *Problem) []*big.Rat {
+	n := len(p.C)
+	obj := make([]*big.Rat, len(d.nonbasic)+1)
+	for j := range obj {
+		obj[j] = rat(0)
+	}
+	// Nonbasic original variables contribute directly.
+	for j, v := range d.nonbasic {
+		if v < n {
+			obj[j+1] = new(big.Rat).Add(obj[j+1], p.C[v])
+		}
+	}
+	// Basic original variables contribute through their rows.
+	for i, v := range d.basic {
+		if v >= n || p.C[v].Sign() == 0 {
+			continue
+		}
+		for j := range d.rows[i] {
+			obj[j] = new(big.Rat).Add(obj[j], new(big.Rat).Mul(p.C[v], d.rows[i][j]))
+		}
+	}
+	return obj
+}

@@ -1,0 +1,169 @@
+package ilp
+
+import (
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genProblem draws a small random boxed IP instance (always bounded, so
+// every solve terminates with Optimal or Infeasible).
+type genProblem struct {
+	P   *Problem
+	box int64
+	n   int
+	c   []int64
+	a   [][]int64
+	b   []int64
+}
+
+// Generate implements quick.Generator.
+func (genProblem) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(3)
+	m := 1 + r.Intn(3)
+	g := genProblem{box: 5, n: n}
+	g.c = make([]int64, n)
+	for i := range g.c {
+		g.c[i] = int64(r.Intn(9) - 4)
+	}
+	for i := 0; i < m; i++ {
+		row := make([]int64, n)
+		for j := range row {
+			row[j] = int64(r.Intn(7) - 3)
+		}
+		g.a = append(g.a, row)
+		g.b = append(g.b, int64(r.Intn(10)-2))
+	}
+	for j := 0; j < n; j++ {
+		row := make([]int64, n)
+		row[j] = 1
+		g.a = append(g.a, row)
+		g.b = append(g.b, g.box)
+	}
+	p, err := NewProblemInt64(g.c, g.a, g.b)
+	if err != nil {
+		panic(err)
+	}
+	g.P = p
+	return reflect.ValueOf(g)
+}
+
+var quickCfg = &quick.Config{MaxCount: 60}
+
+// feasible reports whether the integer point x satisfies the instance.
+func (g genProblem) feasible(x []int64) bool {
+	for i := range g.a {
+		var lhs int64
+		for j := 0; j < g.n; j++ {
+			lhs += g.a[i][j] * x[j]
+		}
+		if lhs > g.b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickLPUpperBoundsIP: the LP relaxation optimum is always ≥ the IP
+// optimum (weak duality of relaxation).
+func TestQuickLPUpperBoundsIP(t *testing.T) {
+	f := func(g genProblem) bool {
+		lp, err := SolveLP(g.P)
+		if err != nil {
+			return false
+		}
+		ip, err := SolveIP(g.P)
+		if err != nil {
+			return false
+		}
+		switch ip.Status {
+		case Infeasible:
+			return true // LP may still be feasible fractionally
+		case Optimal:
+			return lp.Status == Optimal && lp.Value.Cmp(ip.Value) >= 0
+		default:
+			return false // boxed instances are never unbounded
+		}
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIPPointFeasibleAndUnbeaten: the IP optimum point is feasible
+// and no random feasible integer point beats it.
+func TestQuickIPPointFeasibleAndUnbeaten(t *testing.T) {
+	f := func(g genProblem, probes [8]uint8) bool {
+		ip, err := SolveIP(g.P)
+		if err != nil {
+			return false
+		}
+		if ip.Status == Infeasible {
+			// The all-zero point must then be infeasible too.
+			zero := make([]int64, g.n)
+			return !g.feasible(zero)
+		}
+		x := make([]int64, g.n)
+		var val int64
+		for j := 0; j < g.n; j++ {
+			x[j] = ip.X[j].Int64()
+			val += g.c[j] * x[j]
+		}
+		if !g.feasible(x) {
+			return false
+		}
+		if ip.Value.Cmp(new(big.Rat).SetInt64(val)) != 0 {
+			return false
+		}
+		// Random probes must not beat the reported optimum.
+		probe := make([]int64, g.n)
+		for k := 0; k+g.n <= len(probes); k += g.n {
+			var pv int64
+			for j := 0; j < g.n; j++ {
+				probe[j] = int64(probes[k+j]) % (g.box + 1)
+				pv += g.c[j] * probe[j]
+			}
+			if g.feasible(probe) && pv > val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLPFeasiblePointSatisfiesConstraints: the LP optimum point
+// satisfies every constraint exactly (rational arithmetic, no tolerance).
+func TestQuickLPFeasiblePointSatisfiesConstraints(t *testing.T) {
+	f := func(g genProblem) bool {
+		lp, err := SolveLP(g.P)
+		if err != nil {
+			return false
+		}
+		if lp.Status != Optimal {
+			return true
+		}
+		for i := range g.P.A {
+			lhs := new(big.Rat)
+			for j := range g.P.A[i] {
+				lhs.Add(lhs, new(big.Rat).Mul(g.P.A[i][j], lp.X[j]))
+			}
+			if lhs.Cmp(g.P.B[i]) > 0 {
+				return false
+			}
+		}
+		for _, x := range lp.X {
+			if x.Sign() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

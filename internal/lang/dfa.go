@@ -1,0 +1,258 @@
+// Package lang is a regular-language toolkit over FSPs: subset
+// construction, Hopcroft minimization, equivalence, inclusion, emptiness,
+// and finiteness. It is the substrate behind Lang(·) equality, the cyclic
+// success-with-collaboration test (Lang(P) ∩ Lang(Q) infinite), and the
+// marker-automaton encoding of possibility equivalence.
+package lang
+
+import (
+	"sort"
+	"strings"
+
+	"fspnet/internal/fsp"
+)
+
+// DFA is a deterministic finite automaton over an explicit alphabet.
+// Missing transitions are represented by the value -1 and denote a dead
+// (rejecting, absorbing) state.
+type DFA struct {
+	alphabet []fsp.Action // sorted
+	delta    [][]int32    // delta[state][symbolIndex] = target or -1
+	accept   []bool
+	start    int
+}
+
+// NumStates returns the number of live states.
+func (d *DFA) NumStates() int { return len(d.delta) }
+
+// Alphabet returns the alphabet in sorted order. The result is shared and
+// must not be modified.
+func (d *DFA) Alphabet() []fsp.Action { return d.alphabet }
+
+// Start returns the start state index.
+func (d *DFA) Start() int { return d.start }
+
+// Accepting reports whether state s accepts.
+func (d *DFA) Accepting(s int) bool { return d.accept[s] }
+
+// symbolIndex returns the index of a in the alphabet, or -1.
+func (d *DFA) symbolIndex(a fsp.Action) int {
+	i := sort.Search(len(d.alphabet), func(i int) bool { return d.alphabet[i] >= a })
+	if i < len(d.alphabet) && d.alphabet[i] == a {
+		return i
+	}
+	return -1
+}
+
+// Accepts reports whether the DFA accepts the given string. Symbols outside
+// the alphabet reject immediately.
+func (d *DFA) Accepts(s []fsp.Action) bool {
+	cur := d.start
+	for _, a := range s {
+		k := d.symbolIndex(a)
+		if k < 0 {
+			return false
+		}
+		nxt := d.delta[cur][k]
+		if nxt < 0 {
+			return false
+		}
+		cur = int(nxt)
+	}
+	return d.accept[cur]
+}
+
+// AcceptingAll reports acceptance predicates for every state of p; used as
+// the accepting set for Lang(·), where every state accepts (prefix-closed
+// languages).
+func AcceptingAll(fsp.State) bool { return true }
+
+// Determinize builds the DFA of the NFA view of p (τ as ε) with the given
+// accepting predicate over p's states. The subset construction explores
+// only reachable subsets; state 0 of the result is the τ-closure of p's
+// start state.
+func Determinize(p *fsp.FSP, accepting func(fsp.State) bool) *DFA {
+	alpha := p.Alphabet()
+	d := &DFA{alphabet: alpha}
+	index := make(map[string]int)
+	var queue [][]fsp.State
+
+	add := func(set []fsp.State) int {
+		key := subsetKey(set)
+		if id, ok := index[key]; ok {
+			return id
+		}
+		id := len(d.delta)
+		index[key] = id
+		row := make([]int32, len(alpha))
+		for i := range row {
+			row[i] = -1
+		}
+		d.delta = append(d.delta, row)
+		acc := false
+		for _, s := range set {
+			if accepting(s) {
+				acc = true
+				break
+			}
+		}
+		d.accept = append(d.accept, acc)
+		queue = append(queue, set)
+		return id
+	}
+
+	start := p.TauClosure([]fsp.State{p.Start()})
+	d.start = add(start)
+	for head := 0; head < len(queue); head++ {
+		set := queue[head]
+		from := head
+		for k, a := range alpha {
+			next := p.Step(set, a)
+			if len(next) == 0 {
+				continue
+			}
+			d.delta[from][k] = int32(add(next))
+		}
+	}
+	return d
+}
+
+// subsetKey canonicalizes a sorted state set as a map key.
+func subsetKey(set []fsp.State) string {
+	var sb strings.Builder
+	for i, s := range set {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		writeInt(&sb, int(s))
+	}
+	return sb.String()
+}
+
+func writeInt(sb *strings.Builder, v int) {
+	if v >= 10 {
+		writeInt(sb, v/10)
+	}
+	sb.WriteByte(byte('0' + v%10))
+}
+
+// Empty reports whether the accepted language is empty.
+func (d *DFA) Empty() bool {
+	seen := make([]bool, d.NumStates())
+	stack := []int{d.start}
+	seen[d.start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.accept[s] {
+			return false
+		}
+		for _, nxt := range d.delta[s] {
+			if nxt >= 0 && !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, int(nxt))
+			}
+		}
+	}
+	return true
+}
+
+// Infinite reports whether the accepted language is infinite: some useful
+// state (reachable from the start and co-reachable to an accepting state)
+// lies on a cycle of useful states.
+func (d *DFA) Infinite() bool {
+	n := d.NumStates()
+	reach := make([]bool, n)
+	stack := []int{d.start}
+	reach[d.start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nxt := range d.delta[s] {
+			if nxt >= 0 && !reach[nxt] {
+				reach[nxt] = true
+				stack = append(stack, int(nxt))
+			}
+		}
+	}
+	// Reverse edges for co-reachability.
+	rev := make([][]int, n)
+	for s := 0; s < n; s++ {
+		for _, nxt := range d.delta[s] {
+			if nxt >= 0 {
+				rev[nxt] = append(rev[nxt], s)
+			}
+		}
+	}
+	co := make([]bool, n)
+	stack = stack[:0]
+	for s := 0; s < n; s++ {
+		if d.accept[s] {
+			co[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, prev := range rev[s] {
+			if !co[prev] {
+				co[prev] = true
+				stack = append(stack, prev)
+			}
+		}
+	}
+	useful := func(s int) bool { return reach[s] && co[s] }
+	// Cycle detection restricted to useful states.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, n)
+	type frame struct {
+		s, i int
+	}
+	for root := 0; root < n; root++ {
+		if !useful(root) || color[root] != white {
+			continue
+		}
+		st := []frame{{root, 0}}
+		color[root] = gray
+		for len(st) > 0 {
+			f := &st[len(st)-1]
+			advanced := false
+			for f.i < len(d.delta[f.s]) {
+				nxt := d.delta[f.s][f.i]
+				f.i++
+				if nxt < 0 || !useful(int(nxt)) {
+					continue
+				}
+				if color[nxt] == gray {
+					return true
+				}
+				if color[nxt] == white {
+					color[nxt] = gray
+					st = append(st, frame{int(nxt), 0})
+					advanced = true
+					break
+				}
+			}
+			if !advanced && f.i >= len(d.delta[f.s]) {
+				color[f.s] = black
+				st = st[:len(st)-1]
+			}
+		}
+	}
+	return false
+}
+
+// Step returns the successor of state s on symbol a, or −1 when the move
+// is dead (missing transition or foreign symbol).
+func (d *DFA) Step(s int, a fsp.Action) int {
+	k := d.symbolIndex(a)
+	if k < 0 {
+		return -1
+	}
+	return int(d.delta[s][k])
+}

@@ -1,0 +1,104 @@
+package lang
+
+import (
+	"sort"
+
+	"fspnet/internal/fsp"
+)
+
+// Equivalent reports whether two DFAs accept the same language. The check
+// runs a synchronized BFS over the pair graph (the Hopcroft–Karp
+// equivalence test without the union-find refinement), using the union of
+// the two alphabets and treating missing transitions as a dead state.
+func Equivalent(a, b *DFA) bool {
+	alpha := unionAlphabet(a.alphabet, b.alphabet)
+	type pair struct{ x, y int } // -1 encodes the dead state
+	seen := map[pair]bool{{a.start, b.start}: true}
+	queue := []pair{{a.start, b.start}}
+	acc := func(d *DFA, s int) bool { return s >= 0 && d.accept[s] }
+	step := func(d *DFA, s int, sym fsp.Action) int {
+		if s < 0 {
+			return -1
+		}
+		k := d.symbolIndex(sym)
+		if k < 0 {
+			return -1
+		}
+		return int(d.delta[s][k])
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if acc(a, p.x) != acc(b, p.y) {
+			return false
+		}
+		if p.x < 0 && p.y < 0 {
+			continue
+		}
+		for _, sym := range alpha {
+			np := pair{step(a, p.x, sym), step(b, p.y, sym)}
+			if np.x < 0 && np.y < 0 {
+				continue
+			}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return true
+}
+
+// Included reports whether Lang(a) ⊆ Lang(b).
+func Included(a, b *DFA) bool {
+	alpha := unionAlphabet(a.alphabet, b.alphabet)
+	type pair struct{ x, y int }
+	seen := map[pair]bool{{a.start, b.start}: true}
+	queue := []pair{{a.start, b.start}}
+	step := func(d *DFA, s int, sym fsp.Action) int {
+		if s < 0 {
+			return -1
+		}
+		k := d.symbolIndex(sym)
+		if k < 0 {
+			return -1
+		}
+		return int(d.delta[s][k])
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if p.x >= 0 && a.accept[p.x] && !(p.y >= 0 && b.accept[p.y]) {
+			return false
+		}
+		if p.x < 0 {
+			continue // nothing left of Lang(a) along this branch
+		}
+		for _, sym := range alpha {
+			np := pair{step(a, p.x, sym), step(b, p.y, sym)}
+			if np.x < 0 {
+				continue
+			}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return true
+}
+
+func unionAlphabet(a, b []fsp.Action) []fsp.Action {
+	out := make([]fsp.Action, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, x := range out {
+		if i == 0 || x != out[w-1] {
+			out[w] = x
+			w++
+		}
+	}
+	return out[:w]
+}

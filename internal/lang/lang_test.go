@@ -1,0 +1,256 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+)
+
+func mustFSP(t *testing.T, build func(b *fsp.Builder)) *fsp.FSP {
+	t.Helper()
+	b := fsp.NewBuilder("P")
+	build(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDeterminizeAcceptsLang(t *testing.T) {
+	// 0 -τ-> 1 -a-> 2, 0 -b-> 2, 2 -a-> 0 (cyclic, nondeterministic via τ).
+	p := mustFSP(t, func(b *fsp.Builder) {
+		s0, s1, s2 := b.State("0"), b.State("1"), b.State("2")
+		b.AddTau(s0, s1)
+		b.Add(s1, "a", s2)
+		b.Add(s0, "b", s2)
+		b.Add(s2, "a", s0)
+	})
+	d := LangDFA(p)
+	tests := []struct {
+		give []fsp.Action
+		want bool
+	}{
+		{nil, true},
+		{[]fsp.Action{"a"}, true},
+		{[]fsp.Action{"b"}, true},
+		{[]fsp.Action{"a", "a"}, true},
+		{[]fsp.Action{"a", "a", "b"}, true},
+		{[]fsp.Action{"b", "b"}, false},
+		{[]fsp.Action{"c"}, false},
+	}
+	for _, tt := range tests {
+		if got := d.Accepts(tt.give); got != tt.want {
+			t.Errorf("Accepts(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestDeterminizeMatchesNFAMembership(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cfg := fsptest.DefaultConfig()
+	cfg.Cyclic = true
+	actions := cfg.Actions
+	for i := 0; i < 40; i++ {
+		p := fsptest.Gen(r, "P", cfg)
+		d := LangDFA(p)
+		for j := 0; j < 25; j++ {
+			s := make([]fsp.Action, r.Intn(5))
+			for k := range s {
+				s[k] = actions[r.Intn(len(actions))]
+			}
+			if got, want := d.Accepts(s), p.Accepts(s); got != want {
+				t.Fatalf("iter %d: DFA.Accepts(%v)=%v, NFA=%v", i, s, got, want)
+			}
+		}
+	}
+}
+
+func TestMinimizePreservesLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	cfg := fsptest.DefaultConfig()
+	cfg.Cyclic = true
+	for i := 0; i < 50; i++ {
+		p := fsptest.Gen(r, "P", cfg)
+		d := LangDFA(p)
+		m := d.Minimize()
+		if !Equivalent(d, m) {
+			t.Fatalf("iter %d: Minimize changed the language", i)
+		}
+		if m.NumStates() > d.NumStates() {
+			t.Fatalf("iter %d: Minimize grew the DFA: %d > %d", i, m.NumStates(), d.NumStates())
+		}
+		// Minimizing twice is a fixpoint in size.
+		if mm := m.Minimize(); mm.NumStates() != m.NumStates() {
+			t.Fatalf("iter %d: Minimize not idempotent: %d vs %d", i, mm.NumStates(), m.NumStates())
+		}
+	}
+}
+
+func TestMinimizeCanonical(t *testing.T) {
+	// Two structurally different FSPs with the same language {ε,a,ab}.
+	p := mustFSP(t, func(b *fsp.Builder) {
+		s0, s1, s2 := b.State("0"), b.State("1"), b.State("2")
+		b.Add(s0, "a", s1)
+		b.Add(s1, "b", s2)
+	})
+	q := mustFSP(t, func(b *fsp.Builder) {
+		s0, s1a, s1b, s2 := b.State("0"), b.State("1a"), b.State("1b"), b.State("2")
+		b.Add(s0, "a", s1a)
+		b.Add(s0, "a", s1b)
+		b.Add(s1a, "b", s2)
+	})
+	mp := LangDFA(p).Minimize()
+	mq := LangDFA(q).Minimize()
+	if mp.NumStates() != mq.NumStates() {
+		t.Errorf("minimal sizes differ: %d vs %d", mp.NumStates(), mq.NumStates())
+	}
+	if !Equivalent(mp, mq) {
+		t.Error("languages must be equal")
+	}
+}
+
+func TestEquivalentAndIncluded(t *testing.T) {
+	p := fsp.Linear("P", "a", "b")
+	q := fsp.Linear("Q", "a", "b")
+	shorter := fsp.Linear("S", "a")
+	other := fsp.Linear("O", "a", "c")
+
+	if !LangEquivalent(p, q) {
+		t.Error("identical chains must be Lang-equivalent")
+	}
+	if LangEquivalent(p, shorter) {
+		t.Error("prefix chain is not Lang-equivalent")
+	}
+	if !LangIncluded(shorter, p) {
+		t.Error("Lang(shorter) ⊆ Lang(p)")
+	}
+	if LangIncluded(p, shorter) {
+		t.Error("Lang(p) ⊄ Lang(shorter)")
+	}
+	if LangEquivalent(p, other) {
+		t.Error("ab-chain vs ac-chain must differ")
+	}
+}
+
+func TestEmptyAndInfinite(t *testing.T) {
+	finite := fsp.Linear("F", "a", "b")
+	if LangDFA(finite).Empty() {
+		t.Error("Lang always contains ε, never empty")
+	}
+	if !LangFinite(finite) {
+		t.Error("acyclic process has finite language")
+	}
+	loop := mustFSP(t, func(b *fsp.Builder) {
+		s0 := b.State("0")
+		b.Add(s0, "a", s0)
+	})
+	if LangFinite(loop) {
+		t.Error("a* is infinite")
+	}
+	// A cyclic graph whose cycle is pure τ has a finite language.
+	tauLoop := mustFSP(t, func(b *fsp.Builder) {
+		s0, s1 := b.State("0"), b.State("1")
+		b.AddTau(s0, s0)
+		b.Add(s0, "a", s1)
+	})
+	if !LangFinite(tauLoop) {
+		t.Error("τ-loop does not make the language infinite")
+	}
+}
+
+func TestIntersectDFA(t *testing.T) {
+	// Lang(p) = prefixes of a·b, Lang(q) = prefixes of a·c ∪ a·b? Build
+	// q = a then (b or c): intersection = {ε, a, ab}.
+	p := fsp.Linear("P", "a", "b")
+	q := fsp.TreeFromPaths("Q", []fsp.Action{"a", "b"}, []fsp.Action{"a", "c"})
+	in := IntersectDFA(LangDFA(p), LangDFA(q))
+	tests := []struct {
+		give []fsp.Action
+		want bool
+	}{
+		{nil, true},
+		{[]fsp.Action{"a"}, true},
+		{[]fsp.Action{"a", "b"}, true},
+		{[]fsp.Action{"a", "c"}, false},
+	}
+	for _, tt := range tests {
+		if got := in.Accepts(tt.give); got != tt.want {
+			t.Errorf("∩ Accepts(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestLangIntersectionInfinite(t *testing.T) {
+	loopA := mustFSP(t, func(b *fsp.Builder) {
+		s0 := b.State("0")
+		b.Add(s0, "a", s0)
+	})
+	loopAB := mustFSP(t, func(b *fsp.Builder) {
+		s0, s1 := b.State("0"), b.State("1")
+		b.Add(s0, "a", s1)
+		b.Add(s1, "b", s0)
+	})
+	if !LangIntersectionInfinite(loopA, loopA) {
+		t.Error("a* ∩ a* is infinite")
+	}
+	// a* ∩ prefixes((ab)*) = {ε, a}: finite.
+	if LangIntersectionInfinite(loopA, loopAB) {
+		t.Error("a* ∩ prefix((ab)*) is finite")
+	}
+	finite := fsp.Linear("F", "a")
+	if LangIntersectionInfinite(loopA, finite) {
+		t.Error("intersection with finite language is finite")
+	}
+}
+
+func TestMinimizeEmptyLanguage(t *testing.T) {
+	// Accepting predicate rejecting everything yields the empty language.
+	p := fsp.Linear("P", "a")
+	d := Determinize(p, func(fsp.State) bool { return false })
+	if !d.Empty() {
+		t.Fatal("language must be empty")
+	}
+	m := d.Minimize()
+	if !m.Empty() || m.NumStates() != 1 {
+		t.Errorf("minimal empty DFA: states=%d empty=%v", m.NumStates(), m.Empty())
+	}
+	if m.Infinite() {
+		t.Error("empty language is finite")
+	}
+}
+
+func TestEquivalentRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	cfg := fsptest.DefaultConfig()
+	cfg.Cyclic = true
+	for i := 0; i < 40; i++ {
+		p := fsptest.Gen(r, "P", cfg)
+		// A process is always Lang-equivalent to itself post-minimization,
+		// and equivalence is symmetric.
+		d := LangDFA(p)
+		if !Equivalent(d, d.Minimize()) {
+			t.Fatalf("iter %d: p not equivalent to its minimization", i)
+		}
+		q := fsptest.Gen(r, "Q", cfg)
+		if Equivalent(LangDFA(p), LangDFA(q)) != Equivalent(LangDFA(q), LangDFA(p)) {
+			t.Fatalf("iter %d: equivalence not symmetric", i)
+		}
+	}
+}
+
+func TestDFAStep(t *testing.T) {
+	d := LangDFA(fsp.Linear("P", "a", "b"))
+	s1 := d.Step(d.Start(), "a")
+	if s1 < 0 || !d.Accepting(s1) {
+		t.Fatalf("Step(start, a) = %d", s1)
+	}
+	if d.Step(d.Start(), "b") != -1 {
+		t.Error("b is dead at the start")
+	}
+	if d.Step(d.Start(), "zzz") != -1 {
+		t.Error("foreign symbols are dead")
+	}
+}

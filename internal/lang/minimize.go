@@ -1,0 +1,181 @@
+package lang
+
+import "sort"
+
+// Minimize returns the minimal DFA accepting the same language, computed by
+// completing the automaton with an explicit dead state, running Hopcroft's
+// partition refinement, and dropping the dead class again. The result's
+// state numbering is canonical (BFS order from the start), so two calls on
+// language-equal DFAs over the same alphabet yield identical structures.
+func (d *DFA) Minimize() *DFA {
+	n := d.NumStates() + 1 // +1 explicit dead state
+	dead := n - 1
+	k := len(d.alphabet)
+
+	// Completed transition function and its inverse.
+	delta := make([][]int32, n)
+	rev := make([][][]int32, n) // rev[target][symbol] = sources
+	for s := 0; s < n; s++ {
+		delta[s] = make([]int32, k)
+		rev[s] = make([][]int32, k)
+	}
+	for s := 0; s < n; s++ {
+		for c := 0; c < k; c++ {
+			t := int32(dead)
+			if s != dead && d.delta[s][c] >= 0 {
+				t = d.delta[s][c]
+			}
+			delta[s][c] = t
+			rev[t][c] = append(rev[t][c], int32(s))
+		}
+	}
+
+	// Hopcroft refinement. partition: class id per state.
+	class := make([]int, n)
+	var accepting, rejecting []int32
+	for s := 0; s < n; s++ {
+		if s != dead && d.accept[s] {
+			class[s] = 1
+			accepting = append(accepting, int32(s))
+		} else {
+			rejecting = append(rejecting, int32(s))
+		}
+	}
+	classes := [][]int32{rejecting}
+	if len(accepting) > 0 {
+		classes = append(classes, accepting)
+	} else {
+		for s := range class {
+			class[s] = 0
+		}
+	}
+
+	type work struct {
+		class, sym int
+	}
+	var worklist []work
+	inWork := make(map[work]bool)
+	push := func(c, sym int) {
+		w := work{c, sym}
+		if !inWork[w] {
+			inWork[w] = true
+			worklist = append(worklist, w)
+		}
+	}
+	for c := range classes {
+		for sym := 0; sym < k; sym++ {
+			push(c, sym)
+		}
+	}
+
+	for len(worklist) > 0 {
+		w := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		delete(inWork, w)
+
+		// X = states with a `w.sym` transition into class w.class.
+		var x []int32
+		for _, t := range classes[w.class] {
+			x = append(x, rev[t][w.sym]...)
+		}
+		if len(x) == 0 {
+			continue
+		}
+		inX := make(map[int32]bool, len(x))
+		for _, s := range x {
+			inX[s] = true
+		}
+		// Group members of X by their current class and split.
+		touched := make(map[int]bool)
+		for _, s := range x {
+			touched[class[s]] = true
+		}
+		tc := make([]int, 0, len(touched))
+		for c := range touched {
+			tc = append(tc, c)
+		}
+		sort.Ints(tc)
+		for _, c := range tc {
+			var in, out []int32
+			for _, s := range classes[c] {
+				if inX[s] {
+					in = append(in, s)
+				} else {
+					out = append(out, s)
+				}
+			}
+			if len(in) == 0 || len(out) == 0 {
+				continue
+			}
+			// Replace class c by `out`; new class gets `in`.
+			classes[c] = out
+			newID := len(classes)
+			classes = append(classes, in)
+			for _, s := range in {
+				class[s] = newID
+			}
+			for sym := 0; sym < k; sym++ {
+				if inWork[work{c, sym}] {
+					push(newID, sym)
+				} else if len(in) <= len(out) {
+					push(newID, sym)
+				} else {
+					push(c, sym)
+				}
+			}
+		}
+	}
+
+	// Assemble the quotient, renumbering classes in BFS order from the
+	// start class and omitting the dead class.
+	deadClass := class[dead]
+	renum := make(map[int]int)
+	var order []int
+	startClass := class[d.start]
+	if startClass != deadClass {
+		renum[startClass] = 0
+		order = append(order, startClass)
+	}
+	for head := 0; head < len(order); head++ {
+		c := order[head]
+		repr := classes[c][0]
+		for sym := 0; sym < k; sym++ {
+			t := class[delta[repr][sym]]
+			if t == deadClass {
+				continue
+			}
+			if _, ok := renum[t]; !ok {
+				renum[t] = len(order)
+				order = append(order, t)
+			}
+		}
+	}
+
+	out := &DFA{alphabet: d.alphabet, start: 0}
+	if len(order) == 0 {
+		// Language is empty: a single rejecting state.
+		out.delta = [][]int32{make([]int32, k)}
+		for c := 0; c < k; c++ {
+			out.delta[0][c] = -1
+		}
+		out.accept = []bool{false}
+		return out
+	}
+	out.delta = make([][]int32, len(order))
+	out.accept = make([]bool, len(order))
+	for i, c := range order {
+		row := make([]int32, k)
+		repr := classes[c][0]
+		for sym := 0; sym < k; sym++ {
+			t := class[delta[repr][sym]]
+			if t == deadClass {
+				row[sym] = -1
+			} else {
+				row[sym] = int32(renum[t])
+			}
+		}
+		out.delta[i] = row
+		out.accept[i] = int(repr) != dead && d.accept[repr]
+	}
+	return out
+}

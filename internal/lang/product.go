@@ -1,0 +1,72 @@
+package lang
+
+import (
+	"fspnet/internal/fsp"
+)
+
+// IntersectDFA returns a DFA for Lang(a) ∩ Lang(b) over the intersection
+// of the two alphabets (symbols outside either alphabet cannot occur in a
+// common string).
+func IntersectDFA(a, b *DFA) *DFA {
+	var alpha []fsp.Action
+	for _, sym := range a.alphabet {
+		if b.symbolIndex(sym) >= 0 {
+			alpha = append(alpha, sym)
+		}
+	}
+	out := &DFA{alphabet: alpha}
+	type pair struct{ x, y int }
+	index := map[pair]int{}
+	var queue []pair
+	add := func(p pair) int {
+		if id, ok := index[p]; ok {
+			return id
+		}
+		id := len(out.delta)
+		index[p] = id
+		row := make([]int32, len(alpha))
+		for i := range row {
+			row[i] = -1
+		}
+		out.delta = append(out.delta, row)
+		out.accept = append(out.accept, a.accept[p.x] && b.accept[p.y])
+		queue = append(queue, p)
+		return id
+	}
+	out.start = add(pair{a.start, b.start})
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
+		for k, sym := range alpha {
+			na := a.delta[p.x][a.symbolIndex(sym)]
+			nb := b.delta[p.y][b.symbolIndex(sym)]
+			if na < 0 || nb < 0 {
+				continue
+			}
+			out.delta[head][k] = int32(add(pair{int(na), int(nb)}))
+		}
+	}
+	return out
+}
+
+// LangDFA returns the DFA of Lang(p) — the prefix-closed language of all
+// strings some state is reachable by (every state accepting).
+func LangDFA(p *fsp.FSP) *DFA { return Determinize(p, AcceptingAll) }
+
+// LangEquivalent reports Lang(p) = Lang(q).
+func LangEquivalent(p, q *fsp.FSP) bool {
+	return Equivalent(LangDFA(p), LangDFA(q))
+}
+
+// LangIncluded reports Lang(p) ⊆ Lang(q).
+func LangIncluded(p, q *fsp.FSP) bool {
+	return Included(LangDFA(p), LangDFA(q))
+}
+
+// LangFinite reports whether Lang(p) is finite.
+func LangFinite(p *fsp.FSP) bool { return !LangDFA(p).Infinite() }
+
+// LangIntersectionInfinite reports whether Lang(p) ∩ Lang(q) is infinite —
+// the cyclic success-with-collaboration predicate of Section 4.
+func LangIntersectionInfinite(p, q *fsp.FSP) bool {
+	return IntersectDFA(LangDFA(p), LangDFA(q)).Infinite()
+}

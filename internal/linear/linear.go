@@ -1,0 +1,238 @@
+// Package linear implements Proposition 1: for networks in which every
+// process is a linear FSP, the three success predicates coincide and can
+// be decided in near-linear time via the matched-pair construction on the
+// graph H of non-τ transitions.
+package linear
+
+import (
+	"errors"
+	"fmt"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+)
+
+// ErrNotLinear reports a process that is not a linear FSP.
+var ErrNotLinear = errors.New("linear: process is not linear")
+
+// Analyze decides the common value of S_u = S_a = S_c for the
+// distinguished process dist of an all-linear network.
+//
+// Following the proof of Proposition 1: build H (one linear order of non-τ
+// transitions per process), match the t-th occurrence of each action in
+// one owner with the t-th occurrence in the other, iteratively delete
+// unmatched transitions together with their successors, and finally test
+// the matched-pair dependency graph H′ (restricted to predecessors of the
+// distinguished process's pairs) for acyclicity.
+func Analyze(n *network.Network, dist int) (bool, error) {
+	m := n.Len()
+	if dist < 0 || dist >= m {
+		return false, fmt.Errorf("linear: distinguished index %d: %w", dist, network.ErrBadIndex)
+	}
+	// Extract per-process action sequences.
+	seqs := make([][]fsp.Action, m)
+	for i := 0; i < m; i++ {
+		p := n.Process(i)
+		if c := p.Classify(); c != fsp.ClassLinear {
+			return false, fmt.Errorf("%s is %s: %w", p.Name(), c, ErrNotLinear)
+		}
+		seqs[i] = linearSequence(p)
+	}
+	// partner[a] = the two owners of action a.
+	partner := make(map[fsp.Action][2]int)
+	for i := 0; i < m; i++ {
+		for _, a := range n.Process(i).Alphabet() {
+			pr, ok := partner[a]
+			if !ok {
+				partner[a] = [2]int{i, -1}
+			} else {
+				pr[1] = i
+				partner[a] = pr
+			}
+		}
+	}
+	other := func(a fsp.Action, i int) int {
+		pr := partner[a]
+		if pr[0] == i {
+			return pr[1]
+		}
+		return pr[0]
+	}
+
+	// Deletion phase: alive[i] is the surviving prefix length of process i.
+	alive := make([]int, m)
+	for i := range alive {
+		alive[i] = len(seqs[i])
+	}
+	countIn := func(i int, a fsp.Action, upto int) int {
+		c := 0
+		for k := 0; k < upto; k++ {
+			if seqs[i][k] == a {
+				c++
+			}
+		}
+		return c
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < m; i++ {
+			occ := make(map[fsp.Action]int)
+			for k := 0; k < alive[i]; k++ {
+				a := seqs[i][k]
+				t := occ[a]
+				occ[a] = t + 1
+				j := other(a, i)
+				if j < 0 || countIn(j, a, alive[j]) <= t {
+					// Unmatched: delete this node and all successors.
+					alive[i] = k
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// S_c fails outright if any transition of the distinguished process
+	// was deleted.
+	if alive[dist] < len(seqs[dist]) {
+		return false, nil
+	}
+	if len(seqs[dist]) == 0 {
+		return true, nil // P is a lone leaf: trivially successful
+	}
+
+	// Build H′ on matched pairs. pairID[(i,k)] identifies the pair of the
+	// k-th alive transition of process i; both owners share the ID.
+	type slot struct{ i, k int }
+	pairID := make(map[slot]int)
+	nextID := 0
+	for i := 0; i < m; i++ {
+		occ := make(map[fsp.Action]int)
+		for k := 0; k < alive[i]; k++ {
+			a := seqs[i][k]
+			t := occ[a]
+			occ[a] = t + 1
+			j := other(a, i)
+			if j < i {
+				continue // pair created from the smaller-index owner
+			}
+			id := nextID
+			nextID++
+			pairID[slot{i, k}] = id
+			// t-th occurrence of a in j (within its alive prefix).
+			kt := occurrencePosition(seqs[j], alive[j], a, t)
+			pairID[slot{j, kt}] = id
+		}
+	}
+	// Edges: consecutive alive transitions within each process.
+	adj := make([][]int, nextID)
+	radj := make([][]int, nextID)
+	for i := 0; i < m; i++ {
+		for k := 0; k+1 < alive[i]; k++ {
+			u := pairID[slot{i, k}]
+			v := pairID[slot{i, k + 1}]
+			adj[u] = append(adj[u], v)
+			radj[v] = append(radj[v], u)
+		}
+	}
+	// Keep only pairs that are (reflexive-transitive) predecessors of a
+	// pair involving the distinguished process.
+	keep := make([]bool, nextID)
+	var stack []int
+	for k := 0; k < alive[dist]; k++ {
+		id := pairID[slot{dist, k}]
+		if !keep[id] {
+			keep[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range radj[v] {
+			if !keep[u] {
+				keep[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	// H′ acyclic ⇔ success.
+	return acyclicSub(adj, keep), nil
+}
+
+// linearSequence returns the non-τ action sequence along the unique path
+// of a linear FSP.
+func linearSequence(p *fsp.FSP) []fsp.Action {
+	var seq []fsp.Action
+	s := p.Start()
+	for {
+		out := p.Out(s)
+		if len(out) == 0 {
+			return seq
+		}
+		t := out[0]
+		if t.Label != fsp.Tau {
+			seq = append(seq, t.Label)
+		}
+		s = t.To
+	}
+}
+
+// occurrencePosition returns the index of the t-th occurrence of a within
+// the first upto entries of seq; it panics if absent, which the matching
+// phase guarantees cannot happen.
+func occurrencePosition(seq []fsp.Action, upto int, a fsp.Action, t int) int {
+	c := 0
+	for k := 0; k < upto; k++ {
+		if seq[k] == a {
+			if c == t {
+				return k
+			}
+			c++
+		}
+	}
+	panic("linear: matched occurrence not found")
+}
+
+// acyclicSub reports whether the subgraph induced by keep is acyclic.
+func acyclicSub(adj [][]int, keep []bool) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(adj))
+	type frame struct{ v, i int }
+	for root := range adj {
+		if !keep[root] || color[root] != white {
+			continue
+		}
+		stack := []frame{{root, 0}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.i < len(adj[f.v]) {
+				w := adj[f.v][f.i]
+				f.i++
+				if !keep[w] {
+					continue
+				}
+				if color[w] == gray {
+					return false
+				}
+				if color[w] == white {
+					color[w] = gray
+					stack = append(stack, frame{w, 0})
+					advanced = true
+					break
+				}
+			}
+			if !advanced && f.i >= len(adj[f.v]) {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,151 @@
+package linear
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+	"fspnet/internal/success"
+)
+
+func TestAnalyzeHappyChain(t *testing.T) {
+	// P0 -x- P1 -y- P2, every handshake possible in order.
+	n := network.MustNew(
+		fsp.Linear("P0", "x"),
+		fsp.Linear("P1", "x", "y"),
+		fsp.Linear("P2", "y"),
+	)
+	ok, err := Analyze(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("chain must succeed")
+	}
+}
+
+func TestAnalyzeCrossingDeadlock(t *testing.T) {
+	// P1 wants a then b; P2 wants b then a: classic circular wait.
+	n := network.MustNew(
+		fsp.Linear("P1", "a", "b"),
+		fsp.Linear("P2", "b", "a"),
+	)
+	ok, err := Analyze(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("crossing handshakes deadlock: success must fail")
+	}
+}
+
+func TestAnalyzeUnmatchedDeletion(t *testing.T) {
+	// P1 wants two a-handshakes but P2 offers only one: the second is
+	// deleted and P1 cannot finish.
+	n := network.MustNew(
+		fsp.Linear("P1", "a", "a"),
+		fsp.Linear("P2", "a"),
+	)
+	ok, err := Analyze(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("P1's second a is unmatched: success must fail")
+	}
+	// From P2's side everything it wants does happen.
+	ok2, err := Analyze(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok2 {
+		t.Error("P2's single a is matched: success must hold")
+	}
+}
+
+func TestAnalyzeEmptyDistinguished(t *testing.T) {
+	b := fsp.NewBuilder("P0")
+	b.State("0")
+	p0 := b.MustBuild()
+	n := network.MustNew(p0, fsp.Linear("P1", "z"), fsp.Linear("P2", "z"))
+	ok, err := Analyze(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("a lone leaf succeeds trivially")
+	}
+}
+
+func TestAnalyzeRejectsNonLinear(t *testing.T) {
+	tree := fsp.TreeFromPaths("T", []fsp.Action{"a"}, []fsp.Action{"b"})
+	n := network.MustNew(tree, fsp.Linear("P1", "a", "b"))
+	if _, err := Analyze(n, 0); !errors.Is(err, ErrNotLinear) {
+		t.Errorf("err = %v, want ErrNotLinear", err)
+	}
+	if _, err := Analyze(n, 7); !errors.Is(err, network.ErrBadIndex) {
+		t.Errorf("err = %v, want ErrBadIndex", err)
+	}
+}
+
+// randomLinearNetwork builds a random all-linear tree network: random tree
+// topology, one action per edge, each process a random interleaving of its
+// incident actions (each used ≥ 1 times).
+func randomLinearNetwork(r *rand.Rand, m int) *network.Network {
+	parent := make([]int, m)
+	incident := make([][]fsp.Action, m)
+	for i := 1; i < m; i++ {
+		parent[i] = r.Intn(i)
+		a := fsp.Action(fmt.Sprintf("e%d", i))
+		incident[i] = append(incident[i], a)
+		incident[parent[i]] = append(incident[parent[i]], a)
+	}
+	procs := make([]*fsp.FSP, m)
+	for i := 0; i < m; i++ {
+		var seq []fsp.Action
+		// Random multiset: every incident action 1–3 times, shuffled.
+		for _, a := range incident[i] {
+			for k := 0; k < 1+r.Intn(3); k++ {
+				seq = append(seq, a)
+			}
+		}
+		r.Shuffle(len(seq), func(x, y int) { seq[x], seq[y] = seq[y], seq[x] })
+		procs[i] = fsp.Linear(fmt.Sprintf("P%d", i), seq...)
+	}
+	return network.MustNew(procs...)
+}
+
+func TestAnalyzeAgainstReference(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	for i := 0; i < 60; i++ {
+		m := 2 + r.Intn(3)
+		n := randomLinearNetwork(r, m)
+		dist := r.Intn(m)
+		got, err := Analyze(n, dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := success.AnalyzeAcyclic(n, dist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Su != want.Sa || want.Sa != want.Sc {
+			t.Fatalf("iter %d: Proposition 1 equality violated by reference: %v", i, want)
+		}
+		if got != want.Sc {
+			t.Fatalf("iter %d: Analyze=%v reference=%v (dist=%d)\n%s",
+				i, got, want, dist, dumpNetwork(n))
+		}
+	}
+}
+
+func dumpNetwork(n *network.Network) string {
+	out := ""
+	for i := 0; i < n.Len(); i++ {
+		out += n.Process(i).DOT()
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fspnet/internal/fsp"
+)
+
+// Graph is the labeled undirected communication graph C_N: one node per
+// process, an edge {i, j} iff Σᵢ ∩ Σⱼ ≠ ∅, labeled by the shared alphabet.
+type Graph struct {
+	n      int
+	adj    [][]int // sorted neighbor lists, no duplicates, no self-loops
+	labels map[[2]int][]fsp.Action
+}
+
+// Graph builds C_N for the network.
+func (n *Network) Graph() *Graph {
+	g := newGraph(len(n.procs))
+	g.labels = make(map[[2]int][]fsp.Action)
+	for i := 0; i < len(n.procs); i++ {
+		for j := i + 1; j < len(n.procs); j++ {
+			shared := fsp.SharedActions(n.procs[i], n.procs[j])
+			if len(shared) == 0 {
+				continue
+			}
+			g.addEdge(i, j)
+			g.labels[[2]int{i, j}] = shared
+		}
+	}
+	return g
+}
+
+func newGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+func (g *Graph) addEdge(a, b int) {
+	if a == b {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	for _, x := range g.adj[a] {
+		if x == b {
+			return
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	sort.Ints(g.adj[a])
+	sort.Ints(g.adj[b])
+}
+
+// NumNodes returns the number of processes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// Degree returns the degree of node i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// Neighbors returns the sorted neighbors of i; the slice is shared.
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// EdgeLabel returns Σᵢ ∩ Σⱼ for the edge {i, j}, or nil.
+func (g *Graph) EdgeLabel(i, j int) []fsp.Action {
+	if i > j {
+		i, j = j, i
+	}
+	return g.labels[[2]int{i, j}]
+}
+
+// Edges returns all edges {i, j} with i < j in sorted order.
+func (g *Graph) Edges() [][2]int {
+	var es [][2]int
+	for a := 0; a < g.n; a++ {
+		for _, b := range g.adj[a] {
+			if a < b {
+				es = append(es, [2]int{a, b})
+			}
+		}
+	}
+	return es
+}
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.Edges()) }
+
+// Connected reports whether the graph is connected (vacuously true for a
+// single node).
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range g.adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// IsTree reports whether C_N is a tree: connected with n−1 edges.
+func (g *Graph) IsTree() bool {
+	return g.Connected() && g.NumEdges() == g.n-1
+}
+
+// IsRing reports whether C_N is a simple cycle through all nodes.
+func (g *Graph) IsRing() bool {
+	if g.n < 3 || !g.Connected() {
+		return false
+	}
+	for i := 0; i < g.n; i++ {
+		if len(g.adj[i]) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// BiconnectedComponents returns the node sets of the biconnected components
+// (blocks) of the graph, each sorted, in discovery order. Bridges form
+// two-node blocks; isolated nodes form singleton blocks.
+func (g *Graph) BiconnectedComponents() [][]int {
+	var (
+		blocks  [][]int
+		num     = make([]int, g.n)
+		low     = make([]int, g.n)
+		counter = 0
+		stack   [][2]int // edge stack
+	)
+	for i := range num {
+		num[i] = -1
+	}
+	type frame struct {
+		v, parent, i int
+	}
+	popBlock := func(u, v int) {
+		nodes := map[int]bool{}
+		for len(stack) > 0 {
+			e := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nodes[e[0]] = true
+			nodes[e[1]] = true
+			if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) {
+				break
+			}
+		}
+		var b []int
+		for x := range nodes {
+			b = append(b, x)
+		}
+		sort.Ints(b)
+		blocks = append(blocks, b)
+	}
+	for root := 0; root < g.n; root++ {
+		if num[root] != -1 {
+			continue
+		}
+		if len(g.adj[root]) == 0 {
+			blocks = append(blocks, []int{root})
+			num[root] = counter
+			counter++
+			continue
+		}
+		fstack := []frame{{root, -1, 0}}
+		num[root], low[root] = counter, counter
+		counter++
+		for len(fstack) > 0 {
+			f := &fstack[len(fstack)-1]
+			if f.i < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.i]
+				f.i++
+				if w == f.parent {
+					continue
+				}
+				if num[w] == -1 {
+					stack = append(stack, [2]int{f.v, w})
+					num[w], low[w] = counter, counter
+					counter++
+					fstack = append(fstack, frame{w, f.v, 0})
+				} else if num[w] < num[f.v] {
+					stack = append(stack, [2]int{f.v, w})
+					if num[w] < low[f.v] {
+						low[f.v] = num[w]
+					}
+				}
+				continue
+			}
+			// Done with f.v; propagate low and detect articulation.
+			child := f.v
+			fstack = fstack[:len(fstack)-1]
+			if len(fstack) == 0 {
+				break
+			}
+			p := &fstack[len(fstack)-1]
+			if low[child] < low[p.v] {
+				low[p.v] = low[child]
+			}
+			if low[child] >= num[p.v] {
+				popBlock(p.v, child)
+			}
+		}
+	}
+	return blocks
+}
+
+// MaxBlockSize returns the size (node count) of the largest biconnected
+// component — the k for which the paper's "largest biconnected component
+// has size k ⇒ k-tree" observation applies.
+func (g *Graph) MaxBlockSize() int {
+	max := 0
+	for _, b := range g.BiconnectedComponents() {
+		if len(b) > max {
+			max = len(b)
+		}
+	}
+	return max
+}
+
+// BlockCutPartition returns a k-tree partition derived from the block–cut
+// tree: blocks are visited in BFS order from block 0, and each class is a
+// block minus the nodes already assigned to earlier classes. For a
+// connected graph the quotient over this partition is a tree and every
+// class has at most MaxBlockSize nodes.
+func (g *Graph) BlockCutPartition() [][]int {
+	blocks := g.BiconnectedComponents()
+	if len(blocks) == 0 {
+		return nil
+	}
+	// Build block adjacency through shared cut vertices.
+	byNode := make(map[int][]int)
+	for bi, b := range blocks {
+		for _, v := range b {
+			byNode[v] = append(byNode[v], bi)
+		}
+	}
+	visited := make([]bool, len(blocks))
+	assigned := make([]bool, g.n)
+	var partition [][]int
+	var order []int
+	for start := 0; start < len(blocks); start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		order = append(order[:0], start)
+		for head := 0; head < len(order); head++ {
+			bi := order[head]
+			var class []int
+			for _, v := range blocks[bi] {
+				if !assigned[v] {
+					assigned[v] = true
+					class = append(class, v)
+				}
+			}
+			if len(class) > 0 {
+				partition = append(partition, class)
+			}
+			for _, v := range blocks[bi] {
+				for _, nb := range byNode[v] {
+					if !visited[nb] {
+						visited[nb] = true
+						order = append(order, nb)
+					}
+				}
+			}
+		}
+	}
+	return partition
+}
+
+// DOT renders the communication graph C_N in Graphviz format, labeling
+// each edge with its shared alphabet.
+func (n *Network) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("graph C_N {\n  layout=circo;\n")
+	for i := 0; i < len(n.procs); i++ {
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", i, n.procs[i].Name())
+	}
+	g := n.Graph()
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  n%d -- n%d [label=%q];\n",
+			e[0], e[1], fsp.ActionSetString(g.EdgeLabel(e[0], e[1])))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,256 @@
+// Package network implements networks of communicating FSPs
+// (Definition 2): closed systems in which every action symbol is owned by
+// exactly two processes, together with the communication graph C_N and its
+// structural analysis (trees, rings, k-trees, biconnected components).
+package network
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fspnet/internal/fsp"
+)
+
+var (
+	// ErrEmpty reports a network with no processes.
+	ErrEmpty = errors.New("network: no processes")
+	// ErrActionOwners reports an action not shared by exactly two
+	// processes, violating Definition 2.
+	ErrActionOwners = errors.New("network: action must belong to exactly two processes")
+	// ErrBadPartition reports a partition that is not a valid k-tree
+	// decomposition of the communication graph.
+	ErrBadPartition = errors.New("network: invalid k-tree partition")
+	// ErrBadIndex reports a process index out of range.
+	ErrBadIndex = errors.New("network: process index out of range")
+)
+
+// Network is a closed system of communicating FSPs.
+type Network struct {
+	procs []*fsp.FSP
+}
+
+// New validates Definition 2 and returns the network: at least one process,
+// and every action owned by exactly two processes.
+func New(procs ...*fsp.FSP) (*Network, error) {
+	if len(procs) == 0 {
+		return nil, ErrEmpty
+	}
+	owners := make(map[fsp.Action][]int)
+	for i, p := range procs {
+		for _, a := range p.Alphabet() {
+			owners[a] = append(owners[a], i)
+		}
+	}
+	var actions []fsp.Action
+	for a := range owners {
+		actions = append(actions, a)
+	}
+	sort.Slice(actions, func(i, j int) bool { return actions[i] < actions[j] })
+	for _, a := range actions {
+		if len(owners[a]) != 2 {
+			names := make([]string, len(owners[a]))
+			for i, idx := range owners[a] {
+				names[i] = procs[idx].Name()
+			}
+			return nil, fmt.Errorf("action %q owned by %v: %w", a, names, ErrActionOwners)
+		}
+	}
+	return &Network{procs: append([]*fsp.FSP(nil), procs...)}, nil
+}
+
+// MustNew is New for static definitions; it panics on error.
+func MustNew(procs ...*fsp.FSP) *Network {
+	n, err := New(procs...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Len returns the number of processes m.
+func (n *Network) Len() int { return len(n.procs) }
+
+// Process returns the i-th process.
+func (n *Network) Process(i int) *fsp.FSP { return n.procs[i] }
+
+// Processes returns a copy of the process list.
+func (n *Network) Processes() []*fsp.FSP {
+	return append([]*fsp.FSP(nil), n.procs...)
+}
+
+// Size returns Σᵢ |Kᵢ| + |Δᵢ|, the network size measure n of the paper.
+func (n *Network) Size() int {
+	total := 0
+	for _, p := range n.procs {
+		total += p.Size()
+	}
+	return total
+}
+
+// MaxClass returns the coarsest structural class among the processes
+// (e.g. ClassTree when every process is linear or a tree).
+func (n *Network) MaxClass() fsp.Class {
+	c := fsp.ClassLinear
+	for _, p := range n.procs {
+		if pc := p.Classify(); pc > c {
+			c = pc
+		}
+	}
+	return c
+}
+
+// Global composes all processes with ‖ into the global FSP G, which has
+// only τ-moves. The continuity rule drives G until it reaches a leaf.
+func (n *Network) Global() (*fsp.FSP, error) {
+	return fsp.ComposeAll(n.procs...)
+}
+
+// GlobalCyclic composes all processes with the Section 4 cyclic ‖.
+func (n *Network) GlobalCyclic() (*fsp.FSP, error) {
+	return fsp.ComposeAllCyclic(n.procs...)
+}
+
+// Context composes every process except i — the context Q that the
+// distinguished process P = Pᵢ views as a single process. cyclic selects
+// the Section 4 composition.
+func (n *Network) Context(i int, cyclic bool) (*fsp.FSP, error) {
+	if i < 0 || i >= len(n.procs) {
+		return nil, fmt.Errorf("context %d of %d: %w", i, len(n.procs), ErrBadIndex)
+	}
+	if len(n.procs) == 1 {
+		// A lone process has an empty context: a single-state FSP.
+		b := fsp.NewBuilder("Q∅")
+		b.State("0")
+		return b.Build()
+	}
+	rest := make([]*fsp.FSP, 0, len(n.procs)-1)
+	for j, p := range n.procs {
+		if j != i {
+			rest = append(rest, p)
+		}
+	}
+	if cyclic {
+		return fsp.ComposeAllCyclic(rest...)
+	}
+	return fsp.ComposeAll(rest...)
+}
+
+// ComposeClasses returns the network obtained by composing each class of
+// the partition into a single process (the first step of Theorem 3 for
+// k-trees). Intra-class actions are hidden by ‖; inter-class actions keep
+// exactly two owners, so the result is again a valid network. classOf maps
+// old process indices to new ones.
+func (n *Network) ComposeClasses(partition [][]int, cyclic bool) (*Network, []int, error) {
+	if err := n.CheckPartition(partition); err != nil {
+		return nil, nil, err
+	}
+	classOf := make([]int, len(n.procs))
+	var composed []*fsp.FSP
+	for ci, class := range partition {
+		ps := make([]*fsp.FSP, len(class))
+		for i, idx := range class {
+			ps[i] = n.procs[idx]
+			classOf[idx] = ci
+		}
+		var (
+			c   *fsp.FSP
+			err error
+		)
+		if cyclic {
+			c, err = fsp.ComposeAllCyclic(ps...)
+		} else {
+			c, err = fsp.ComposeAll(ps...)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		composed = append(composed, c.Rename(fmt.Sprintf("C%d", ci)))
+	}
+	out, err := New(composed...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, classOf, nil
+}
+
+// CheckPartition verifies that partition is a partition of the process
+// indices into non-empty classes.
+func (n *Network) CheckPartition(partition [][]int) error {
+	seen := make([]bool, len(n.procs))
+	count := 0
+	for _, class := range partition {
+		if len(class) == 0 {
+			return fmt.Errorf("empty class: %w", ErrBadPartition)
+		}
+		for _, idx := range class {
+			if idx < 0 || idx >= len(n.procs) {
+				return fmt.Errorf("index %d: %w", idx, ErrBadIndex)
+			}
+			if seen[idx] {
+				return fmt.Errorf("index %d repeated: %w", idx, ErrBadPartition)
+			}
+			seen[idx] = true
+			count++
+		}
+	}
+	if count != len(n.procs) {
+		return fmt.Errorf("partition covers %d of %d processes: %w",
+			count, len(n.procs), ErrBadPartition)
+	}
+	return nil
+}
+
+// IsKTreePartition reports whether partition witnesses the network as a
+// k-tree: every class has at most k processes and the quotient graph is a
+// tree (Definition of k-tree in Section 2.1).
+func (n *Network) IsKTreePartition(partition [][]int, k int) error {
+	if err := n.CheckPartition(partition); err != nil {
+		return err
+	}
+	classOf := make([]int, len(n.procs))
+	for ci, class := range partition {
+		if len(class) > k {
+			return fmt.Errorf("class %d has %d > k=%d processes: %w",
+				ci, len(class), k, ErrBadPartition)
+		}
+		for _, idx := range class {
+			classOf[idx] = ci
+		}
+	}
+	// Quotient graph on classes.
+	g := n.Graph()
+	q := newGraph(len(partition))
+	for _, e := range g.Edges() {
+		a, b := classOf[e[0]], classOf[e[1]]
+		if a != b {
+			q.addEdge(a, b)
+		}
+	}
+	if !q.IsTree() {
+		return fmt.Errorf("quotient graph is not a tree: %w", ErrBadPartition)
+	}
+	return nil
+}
+
+// RingPartition returns the Figure 8a folding of a ring 0,1,…,m−1 into a
+// path of classes of size ≤ 2: {0}, {1, m−1}, {2, m−2}, …. The quotient of
+// a ring network under this partition is a path (hence a tree), witnessing
+// rings as 2-trees.
+func RingPartition(m int) [][]int {
+	if m <= 0 {
+		return nil
+	}
+	partition := [][]int{{0}}
+	for j := 1; j <= (m-1)/2; j++ {
+		if j == m-j {
+			partition = append(partition, []int{j})
+		} else {
+			partition = append(partition, []int{j, m - j})
+		}
+	}
+	if m%2 == 0 && m >= 2 {
+		partition = append(partition, []int{m / 2})
+	}
+	return partition
+}

@@ -1,0 +1,265 @@
+package network
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"fspnet/internal/fsp"
+)
+
+// chainNetwork builds m linear processes in a path: Pᵢ shares action xᵢ
+// with Pᵢ₊₁.
+func chainNetwork(m int) *Network {
+	procs := make([]*fsp.FSP, m)
+	for i := 0; i < m; i++ {
+		var actions []fsp.Action
+		if i > 0 {
+			actions = append(actions, fsp.Action(rune('a'+i-1)))
+		}
+		if i < m-1 {
+			actions = append(actions, fsp.Action(rune('a'+i)))
+		}
+		procs[i] = fsp.Linear(actionName("P", i), actions...)
+	}
+	return MustNew(procs...)
+}
+
+// ringNetwork builds m processes in a cycle: Pᵢ shares action xᵢ with
+// Pᵢ₊₁ mod m.
+func ringNetwork(m int) *Network {
+	procs := make([]*fsp.FSP, m)
+	for i := 0; i < m; i++ {
+		left := fsp.Action(actionName("x", (i+m-1)%m))
+		right := fsp.Action(actionName("x", i))
+		procs[i] = fsp.Linear(actionName("P", i), left, right)
+	}
+	return MustNew(procs...)
+}
+
+func actionName(prefix string, i int) string {
+	return prefix + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("New() err = %v, want ErrEmpty", err)
+	}
+	// Action a owned once.
+	if _, err := New(fsp.Linear("P", "a")); !errors.Is(err, ErrActionOwners) {
+		t.Errorf("single owner err = %v, want ErrActionOwners", err)
+	}
+	// Action a owned three times.
+	_, err := New(fsp.Linear("P1", "a"), fsp.Linear("P2", "a"), fsp.Linear("P3", "a"))
+	if !errors.Is(err, ErrActionOwners) {
+		t.Errorf("triple owner err = %v, want ErrActionOwners", err)
+	}
+	// Proper pairing passes.
+	if _, err := New(fsp.Linear("P1", "a"), fsp.Linear("P2", "a")); err != nil {
+		t.Errorf("valid network err = %v", err)
+	}
+}
+
+func TestGraphShapes(t *testing.T) {
+	chain := chainNetwork(4)
+	g := chain.Graph()
+	if !g.IsTree() || g.IsRing() {
+		t.Errorf("chain: IsTree=%v IsRing=%v", g.IsTree(), g.IsRing())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("chain edges = %d, want 3", g.NumEdges())
+	}
+	ring := ringNetwork(5)
+	rg := ring.Graph()
+	if rg.IsTree() || !rg.IsRing() {
+		t.Errorf("ring: IsTree=%v IsRing=%v", rg.IsTree(), rg.IsRing())
+	}
+	if lbl := rg.EdgeLabel(0, 1); len(lbl) != 1 || lbl[0] != "x00" {
+		t.Errorf("EdgeLabel(0,1) = %v, want [x00]", lbl)
+	}
+	if rg.EdgeLabel(0, 2) != nil {
+		t.Error("no edge between 0 and 2 in a 5-ring")
+	}
+	if got := rg.Degree(0); got != 2 {
+		t.Errorf("ring degree = %d, want 2", got)
+	}
+}
+
+func TestGlobalHasOnlyTauMoves(t *testing.T) {
+	n := chainNetwork(3)
+	g, err := n.Global()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Alphabet()) != 0 {
+		t.Errorf("global alphabet = %v, want empty", g.Alphabet())
+	}
+}
+
+func TestContext(t *testing.T) {
+	n := chainNetwork(3)
+	q, err := n.Context(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Context of P0 hides the P1–P2 action but keeps the P0–P1 action.
+	if !q.HasAction("a") {
+		t.Error("context must keep the action shared with P0")
+	}
+	if q.HasAction("b") {
+		t.Error("context must hide the intra-context action")
+	}
+	if _, err := n.Context(9, false); !errors.Is(err, ErrBadIndex) {
+		t.Errorf("err = %v, want ErrBadIndex", err)
+	}
+	single := MustNew(mustNoActions(t))
+	q0, err := single.Context(0, false)
+	if err != nil || q0.NumStates() != 1 {
+		t.Errorf("singleton context: %v %v", q0, err)
+	}
+}
+
+func mustNoActions(t *testing.T) *fsp.FSP {
+	t.Helper()
+	b := fsp.NewBuilder("P")
+	b.State("0")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBiconnectedComponents(t *testing.T) {
+	// Chain: every edge is its own block of size 2.
+	g := chainNetwork(4).Graph()
+	blocks := g.BiconnectedComponents()
+	if len(blocks) != 3 {
+		t.Fatalf("chain blocks = %v, want 3 bridges", blocks)
+	}
+	if g.MaxBlockSize() != 2 {
+		t.Errorf("chain MaxBlockSize = %d, want 2", g.MaxBlockSize())
+	}
+	// Ring: a single block containing everything.
+	rg := ringNetwork(5).Graph()
+	rblocks := rg.BiconnectedComponents()
+	if len(rblocks) != 1 || len(rblocks[0]) != 5 {
+		t.Fatalf("ring blocks = %v, want one block of 5", rblocks)
+	}
+	if rg.MaxBlockSize() != 5 {
+		t.Errorf("ring MaxBlockSize = %d, want 5", rg.MaxBlockSize())
+	}
+}
+
+func TestBlockCutPartition(t *testing.T) {
+	n := chainNetwork(5)
+	g := n.Graph()
+	partition := g.BlockCutPartition()
+	if err := n.IsKTreePartition(partition, g.MaxBlockSize()); err != nil {
+		t.Errorf("block-cut partition rejected: %v", err)
+	}
+}
+
+func TestIsKTreePartitionErrors(t *testing.T) {
+	n := chainNetwork(3)
+	if err := n.IsKTreePartition([][]int{{0, 1, 2}}, 2); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("oversized class err = %v", err)
+	}
+	if err := n.IsKTreePartition([][]int{{0}, {1}}, 1); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("missing index err = %v", err)
+	}
+	if err := n.IsKTreePartition([][]int{{0}, {0}, {1}, {2}}, 1); !errors.Is(err, ErrBadPartition) {
+		t.Errorf("repeated index err = %v", err)
+	}
+	if err := n.IsKTreePartition([][]int{{0}, {1}, {2}}, 1); err != nil {
+		t.Errorf("chain is a 1-tree: %v", err)
+	}
+}
+
+// TestFigure8Ring checks the Figure 8a transformation: folding a ring into
+// a path of pairwise-composed processes yields a valid 2-tree whose
+// quotient is a tree, and composing the classes gives a tree network.
+func TestFigure8Ring(t *testing.T) {
+	for _, m := range []int{3, 4, 5, 6, 7, 8} {
+		n := ringNetwork(m)
+		partition := RingPartition(m)
+		if err := n.IsKTreePartition(partition, 2); err != nil {
+			t.Fatalf("m=%d: RingPartition rejected: %v", m, err)
+		}
+		folded, classOf, err := n.ComposeClasses(partition, false)
+		if err != nil {
+			t.Fatalf("m=%d: ComposeClasses: %v", m, err)
+		}
+		if len(classOf) != m {
+			t.Fatalf("m=%d: classOf length %d", m, len(classOf))
+		}
+		if !folded.Graph().IsTree() {
+			t.Errorf("m=%d: folded network is not a tree", m)
+		}
+	}
+}
+
+func TestComposeClassesKeepsNetworkValid(t *testing.T) {
+	n := chainNetwork(6)
+	partition := [][]int{{0, 1}, {2, 3}, {4, 5}}
+	folded, _, err := n.ComposeClasses(partition, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded.Len() != 3 {
+		t.Errorf("folded Len = %d, want 3", folded.Len())
+	}
+	if !folded.Graph().IsTree() {
+		t.Error("folded chain must remain a tree")
+	}
+}
+
+func TestMaxClassAndSize(t *testing.T) {
+	n := chainNetwork(3)
+	if got := n.MaxClass(); got != fsp.ClassLinear {
+		t.Errorf("MaxClass = %v, want linear", got)
+	}
+	if n.Size() <= 0 {
+		t.Error("Size must be positive")
+	}
+}
+
+func TestRingPartitionSmall(t *testing.T) {
+	tests := []struct {
+		m    int
+		want int // number of classes
+	}{
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{5, 3},
+		{6, 4},
+	}
+	for _, tt := range tests {
+		got := RingPartition(tt.m)
+		if len(got) != tt.want {
+			t.Errorf("RingPartition(%d) = %v, want %d classes", tt.m, got, tt.want)
+		}
+		total := 0
+		for _, c := range got {
+			if len(c) > 2 {
+				t.Errorf("RingPartition(%d): class %v exceeds size 2", tt.m, c)
+			}
+			total += len(c)
+		}
+		if total != tt.m {
+			t.Errorf("RingPartition(%d) covers %d nodes", tt.m, total)
+		}
+	}
+}
+
+func TestNetworkDOT(t *testing.T) {
+	n := chainNetwork(3)
+	dot := n.DOT()
+	for _, want := range []string{"graph C_N", "--", `label="{a}"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package poss
+
+import (
+	"strings"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/lang"
+)
+
+// markerPrefix starts every synthetic marker action; real alphabets must
+// not use it.
+const markerPrefix = "⟨"
+
+// Marker returns the synthetic action encoding a stable state's outgoing
+// set Z, e.g. ⟨a,b⟩.
+func Marker(z []fsp.Action) fsp.Action {
+	parts := make([]string, len(z))
+	for i, a := range z {
+		parts[i] = string(a)
+	}
+	return fsp.Action(markerPrefix + strings.Join(parts, ",") + "⟩")
+}
+
+// markedFSP returns p extended with, for every stable state q, a
+// Marker(act(q))-labeled transition to a fresh sink, plus the predicate
+// accepting exactly the sink. The accepted language of the marked automaton
+// is { s·Marker(Z) : (s, Z) ∈ Poss(p) }.
+func markedFSP(p *fsp.FSP) (*fsp.FSP, func(fsp.State) bool) {
+	b := fsp.NewBuilder(p.Name() + "#marked")
+	for s := 0; s < p.NumStates(); s++ {
+		b.State(p.StateName(fsp.State(s)))
+	}
+	sink := b.State("#poss")
+	b.SetStart(p.Start())
+	for _, t := range p.Transitions() {
+		b.Add(t.From, t.Label, t.To)
+	}
+	for s := 0; s < p.NumStates(); s++ {
+		st := fsp.State(s)
+		if p.IsStable(st) {
+			b.Add(st, Marker(p.ActionsAt(st)), sink)
+		}
+	}
+	return b.MustBuild(), func(s fsp.State) bool { return s == sink }
+}
+
+// PossDFA returns a DFA whose language is the marker encoding of Poss(p).
+// It is defined for every FSP, including cyclic ones, where the possibility
+// set itself may be infinite.
+func PossDFA(p *fsp.FSP) *lang.DFA {
+	m, accept := markedFSP(p)
+	return lang.Determinize(m, accept)
+}
+
+// Equivalent reports Poss(p) = Poss(q) for arbitrary FSPs via the marker
+// encoding. The problem is PSPACE-complete for cyclic processes [KS], so
+// worst-case cost is exponential; it is intended as a specification-level
+// oracle and for moderate inputs.
+func Equivalent(p, q *fsp.FSP) bool {
+	return lang.Equivalent(PossDFA(p), PossDFA(q))
+}
+
+// LangEquivalent reports Lang(p) = Lang(q) (re-exported here for symmetry
+// with the paper's Lemma 2 statement).
+func LangEquivalent(p, q *fsp.FSP) bool { return lang.LangEquivalent(p, q) }
+
+// ParseMarker decodes a synthetic marker action back into its sorted
+// action set; ok is false for ordinary actions.
+func ParseMarker(a fsp.Action) (z []fsp.Action, ok bool) {
+	s := string(a)
+	if !strings.HasPrefix(s, markerPrefix) || !strings.HasSuffix(s, "⟩") {
+		return nil, false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(s, markerPrefix), "⟩")
+	if body == "" {
+		return nil, true
+	}
+	for _, part := range strings.Split(body, ",") {
+		z = append(z, fsp.Action(part))
+	}
+	return z, true
+}

@@ -1,0 +1,168 @@
+package poss
+
+import (
+	"fmt"
+	"sort"
+
+	"fspnet/internal/fsp"
+)
+
+// InFail reports (s, Z) ∈ Fail(p): some state reachable via s refuses every
+// action of Z (Section 2.1, after [HBR]).
+func InFail(p *fsp.FSP, s []fsp.Action, z []fsp.Action) bool {
+	states := p.ReachableVia(s)
+	for _, q := range states {
+		refusesAll := true
+		for _, a := range z {
+			if !p.Dead(q, a) {
+				refusesAll = false
+				break
+			}
+		}
+		if refusesAll {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxRefusals returns, for each state reachable via s, its maximal refusal
+// set over the alphabet sigma, deduplicated and sorted. Fail(p) restricted
+// to string s is the downward closure of this family.
+func MaxRefusals(p *fsp.FSP, s []fsp.Action, sigma []fsp.Action) [][]fsp.Action {
+	states := p.ReachableVia(s)
+	seen := make(map[string]bool)
+	var out [][]fsp.Action
+	for _, q := range states {
+		var ref []fsp.Action
+		for _, a := range sigma {
+			if p.Dead(q, a) {
+				ref = append(ref, a)
+			}
+		}
+		key := fsp.ActionSetString(ref)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, ref)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return compareActions(out[i], out[j]) < 0 })
+	return out
+}
+
+// FailEquivalent reports Fail(p) = Fail(q) for acyclic processes by
+// comparing, string by string, the downward closures of maximal refusal
+// families over the union alphabet. budget bounds the number of strings
+// examined (strings of acyclic processes are finitely many but possibly
+// exponentially so).
+func FailEquivalent(p, q *fsp.FSP, budget int) (bool, error) {
+	if !p.IsAcyclic() || !q.IsAcyclic() {
+		return false, fmt.Errorf("FailEquivalent(%s, %s): %w", p.Name(), q.Name(), ErrCyclic)
+	}
+	sigma := unionActions(p.Alphabet(), q.Alphabet())
+	strs, err := allStrings(p, budget)
+	if err != nil {
+		return false, err
+	}
+	strsQ, err := allStrings(q, budget)
+	if err != nil {
+		return false, err
+	}
+	strs = append(strs, strsQ...)
+	seen := make(map[string]bool)
+	for _, s := range strs {
+		key := StringOfActions(s)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if p.Accepts(s) != q.Accepts(s) {
+			return false, nil // (s, ∅) in one Fail set only
+		}
+		if !p.Accepts(s) {
+			continue
+		}
+		if !refusalFamiliesEqual(MaxRefusals(p, s, sigma), MaxRefusals(q, s, sigma)) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// refusalFamiliesEqual compares downward closures: every maximal refusal of
+// one family must be contained in some refusal of the other, both ways.
+func refusalFamiliesEqual(a, b [][]fsp.Action) bool {
+	return coveredBy(a, b) && coveredBy(b, a)
+}
+
+func coveredBy(a, b [][]fsp.Action) bool {
+	for _, x := range a {
+		ok := false
+		for _, y := range b {
+			if subsetActions(x, y) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func subsetActions(x, y []fsp.Action) bool {
+	i := 0
+	for _, a := range x {
+		for i < len(y) && y[i] < a {
+			i++
+		}
+		if i >= len(y) || y[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// allStrings enumerates Lang(p) for acyclic p up to the budget.
+func allStrings(p *fsp.FSP, budget int) ([][]fsp.Action, error) {
+	var (
+		out  [][]fsp.Action
+		work int
+	)
+	var walk func(s []fsp.Action, set []fsp.State) error
+	walk = func(s []fsp.Action, set []fsp.State) error {
+		work++
+		if work > budget {
+			return fmt.Errorf("%s: %w", p.Name(), ErrBudget)
+		}
+		out = append(out, append([]fsp.Action(nil), s...))
+		for _, a := range availableActions(p, set) {
+			next := p.Step(set, a)
+			if len(next) == 0 {
+				continue
+			}
+			if err := walk(append(s, a), next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(nil, p.TauClosure([]fsp.State{p.Start()})); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func unionActions(a, b []fsp.Action) []fsp.Action {
+	out := append(append([]fsp.Action(nil), a...), b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, x := range out {
+		if i == 0 || x != out[w-1] {
+			out[w] = x
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -1,0 +1,85 @@
+package poss
+
+import (
+	"errors"
+	"fmt"
+
+	"fspnet/internal/fsp"
+)
+
+// ErrIncoherent reports that a possibility set cannot come from any acyclic
+// FSP and therefore has no normal form: either some prefix of a possibility
+// string carries no possibility of its own, or some possibility offers an
+// action whose extension string is absent.
+var ErrIncoherent = errors.New("poss: possibility set is not coherent")
+
+// NormalForm realizes a possibility set as an FSP N with Poss(N) equal to
+// the set — the normal-form step of Theorem 3. The construction is a trie
+// over the possibility strings: the node for s is unstable, holding one
+// τ-edge per distinct (s, Z) to a stable state whose outgoing set is
+// exactly Z, each z ∈ Z re-entering the trie at s·z. Its size is linear in
+// the total length of the set, so for tree processes the normal form is no
+// larger than the original (the paper's size bound).
+func NormalForm(name string, set *Set) (*fsp.FSP, error) {
+	b := fsp.NewBuilder(name)
+
+	// Trie over all prefixes of possibility strings.
+	type nodeKey = string
+	trie := make(map[nodeKey]fsp.State)
+	hasPoss := make(map[nodeKey]bool)
+	root := b.State("ε")
+	trie[StringOfActions(nil)] = root
+
+	ensure := func(s []fsp.Action) fsp.State {
+		cur := root
+		for i := range s {
+			key := StringOfActions(s[:i+1])
+			next, ok := trie[key]
+			if !ok {
+				next = b.State(key)
+				trie[key] = next
+				parentKey := StringOfActions(s[:i])
+				b.Add(trie[parentKey], s[i], next)
+			}
+			cur = next
+		}
+		return cur
+	}
+
+	// First pass: trie skeleton.
+	for _, p := range set.Items() {
+		ensure(p.S)
+		hasPoss[StringOfActions(p.S)] = true
+	}
+
+	// Coherence: every trie node must itself carry at least one
+	// possibility (prefixes of Lang strings are Lang strings with
+	// possibilities, for acyclic sources).
+	for key := range trie {
+		if !hasPoss[key] {
+			return nil, fmt.Errorf("prefix %s has no possibility: %w", key, ErrIncoherent)
+		}
+	}
+
+	// Second pass: one stable state per possibility.
+	for _, p := range set.Items() {
+		node := ensure(p.S)
+		stable := b.State(p.String())
+		b.AddTau(node, stable)
+		for _, z := range p.Z {
+			extKey := StringOfActions(append(append([]fsp.Action(nil), p.S...), z))
+			target, ok := trie[extKey]
+			if !ok {
+				return nil, fmt.Errorf("possibility %s offers %q but %s is not in the set: %w",
+					p, z, extKey, ErrIncoherent)
+			}
+			b.Add(stable, z, target)
+		}
+	}
+
+	nf, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("poss: normal form: %w", err)
+	}
+	return nf, nil
+}

@@ -1,0 +1,240 @@
+// Package poss implements the possibility calculus of Kanellakis & Smolka:
+// Poss(P), Lang(P) and Fail(P) of Definition 4, possibility equivalence
+// (the paper's refinement of HBR failure equivalence), and the
+// possibility-preserving normal form at the core of Theorem 3.
+//
+// A possibility (s, Z) records that the string s can drive the process to a
+// stable state (no outgoing τ) whose outgoing action set is exactly Z.
+package poss
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"fspnet/internal/fsp"
+)
+
+var (
+	// ErrCyclic reports that possibility enumeration was asked for a
+	// process with a directed cycle, whose possibility set may be infinite.
+	ErrCyclic = errors.New("poss: process is cyclic")
+	// ErrBudget reports that enumeration exceeded the caller's budget. For
+	// general acyclic processes the possibility set can be exponential in
+	// the process size — this is exactly the hardness source of Theorem 1,
+	// surfaced in the API rather than hidden.
+	ErrBudget = errors.New("poss: enumeration budget exhausted")
+)
+
+// DefaultBudget bounds possibility enumeration when callers have no better
+// estimate. Tree processes never get near it (|Poss| ≤ |K|).
+const DefaultBudget = 1 << 20
+
+// Possibility is a pair (s, Z) of Definition 4.
+type Possibility struct {
+	S []fsp.Action // the driving string
+	Z []fsp.Action // the exact outgoing action set of the stable state, sorted
+}
+
+// String renders the possibility as "(a·b, {x,y})".
+func (p Possibility) String() string {
+	return "(" + StringOfActions(p.S) + ", " + fsp.ActionSetString(p.Z) + ")"
+}
+
+// StringOfActions renders an action string as "a·b·c" ("ε" when empty).
+func StringOfActions(s []fsp.Action) string {
+	if len(s) == 0 {
+		return "ε"
+	}
+	parts := make([]string, len(s))
+	for i, a := range s {
+		parts[i] = string(a)
+	}
+	return strings.Join(parts, "·")
+}
+
+// Set is a canonical (sorted, duplicate-free) set of possibilities.
+type Set struct {
+	items []Possibility
+}
+
+// Items returns the possibilities in canonical order. The slice is shared
+// and must not be modified.
+func (s *Set) Items() []Possibility { return s.items }
+
+// Len returns the number of possibilities.
+func (s *Set) Len() int { return len(s.items) }
+
+// String renders the whole set.
+func (s *Set) String() string {
+	parts := make([]string, len(s.items))
+	for i, p := range s.items {
+		parts[i] = p.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Equal reports set equality — possibility equivalence when both sets were
+// fully enumerated.
+func (s *Set) Equal(t *Set) bool {
+	if len(s.items) != len(t.items) {
+		return false
+	}
+	for i := range s.items {
+		if !equalActions(s.items[i].S, t.items[i].S) || !equalActions(s.items[i].Z, t.items[i].Z) {
+			return false
+		}
+	}
+	return true
+}
+
+// Strings returns the distinct driving strings of the set in canonical
+// order; for a complete set this is Lang restricted to possibility strings.
+func (s *Set) Strings() [][]fsp.Action {
+	var out [][]fsp.Action
+	for i, p := range s.items {
+		if i == 0 || !equalActions(p.S, s.items[i-1].S) {
+			out = append(out, p.S)
+		}
+	}
+	return out
+}
+
+// At returns the action sets Z with (s, Z) in the set.
+func (s *Set) At(str []fsp.Action) [][]fsp.Action {
+	var out [][]fsp.Action
+	for _, p := range s.items {
+		if equalActions(p.S, str) {
+			out = append(out, p.Z)
+		}
+	}
+	return out
+}
+
+// NewSet canonicalizes the given possibilities into a Set.
+func NewSet(items []Possibility) *Set {
+	cp := make([]Possibility, len(items))
+	copy(cp, items)
+	sortPossibilities(cp)
+	w := 0
+	for i, p := range cp {
+		if i == 0 || !equalActions(p.S, cp[w-1].S) || !equalActions(p.Z, cp[w-1].Z) {
+			cp[w] = p
+			w++
+		}
+	}
+	return &Set{items: cp[:w]}
+}
+
+// Of enumerates Poss(p) for an acyclic process. budget bounds the total
+// number of enumerated strings plus possibilities; use DefaultBudget when
+// in doubt. Returns ErrCyclic for cyclic processes and ErrBudget when the
+// bound is exceeded.
+func Of(p *fsp.FSP, budget int) (*Set, error) {
+	if !p.IsAcyclic() {
+		return nil, fmt.Errorf("%s: %w", p.Name(), ErrCyclic)
+	}
+	var (
+		items []Possibility
+		work  int
+	)
+	var walk func(s []fsp.Action, set []fsp.State) error
+	walk = func(s []fsp.Action, set []fsp.State) error {
+		work++
+		if work > budget {
+			return fmt.Errorf("%s: %w", p.Name(), ErrBudget)
+		}
+		seenZ := make(map[string]bool)
+		for _, q := range set {
+			if !p.IsStable(q) {
+				continue
+			}
+			z := p.ActionsAt(q)
+			key := fsp.ActionSetString(z)
+			if seenZ[key] {
+				continue
+			}
+			seenZ[key] = true
+			items = append(items, Possibility{S: append([]fsp.Action(nil), s...), Z: z})
+			work++
+			if work > budget {
+				return fmt.Errorf("%s: %w", p.Name(), ErrBudget)
+			}
+		}
+		for _, a := range availableActions(p, set) {
+			next := p.Step(set, a)
+			if len(next) == 0 {
+				continue
+			}
+			if err := walk(append(s, a), next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	start := p.TauClosure([]fsp.State{p.Start()})
+	if err := walk(nil, start); err != nil {
+		return nil, err
+	}
+	return NewSet(items), nil
+}
+
+// MustOf is Of with DefaultBudget for processes known to be small; it
+// panics on error and is intended for tests and examples.
+func MustOf(p *fsp.FSP) *Set {
+	s, err := Of(p, DefaultBudget)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// availableActions returns the sorted non-τ actions leaving any state of
+// the (τ-closed) set.
+func availableActions(p *fsp.FSP, set []fsp.State) []fsp.Action {
+	seen := make(map[fsp.Action]bool)
+	var out []fsp.Action
+	for _, q := range set {
+		for _, t := range p.Out(q) {
+			if t.Label != fsp.Tau && !seen[t.Label] {
+				seen[t.Label] = true
+				out = append(out, t.Label)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortPossibilities(ps []Possibility) {
+	sort.Slice(ps, func(i, j int) bool {
+		c := compareActions(ps[i].S, ps[j].S)
+		if c != 0 {
+			return c < 0
+		}
+		return compareActions(ps[i].Z, ps[j].Z) < 0
+	})
+}
+
+func compareActions(a, b []fsp.Action) int {
+	// Shortlex: length first, then lexicographic. Keeps prefixes before
+	// extensions, which the normal-form builder relies on.
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+func equalActions(a, b []fsp.Action) bool { return compareActions(a, b) == 0 }

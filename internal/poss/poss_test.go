@@ -1,0 +1,373 @@
+package poss
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+)
+
+func acts(ss ...string) []fsp.Action {
+	out := make([]fsp.Action, len(ss))
+	for i, s := range ss {
+		out[i] = fsp.Action(s)
+	}
+	return out
+}
+
+func TestOfLinear(t *testing.T) {
+	p := fsp.Linear("P", "a", "b")
+	set := MustOf(p)
+	want := NewSet([]Possibility{
+		{S: nil, Z: acts("a")},
+		{S: acts("a"), Z: acts("b")},
+		{S: acts("a", "b"), Z: nil},
+	})
+	if !set.Equal(want) {
+		t.Errorf("Poss = %v, want %v", set, want)
+	}
+}
+
+func TestOfWithTau(t *testing.T) {
+	// 0 -τ-> 1 -a-> 2, 0 -b-> 3. State 0 is unstable; possibilities at ε
+	// come only from stable state 1.
+	b := fsp.NewBuilder("P")
+	s0, s1, s2, s3 := b.State("0"), b.State("1"), b.State("2"), b.State("3")
+	b.AddTau(s0, s1)
+	b.Add(s1, "a", s2)
+	b.Add(s0, "b", s3)
+	p := b.MustBuild()
+	set := MustOf(p)
+	want := NewSet([]Possibility{
+		{S: nil, Z: acts("a")},
+		{S: acts("a"), Z: nil},
+		{S: acts("b"), Z: nil},
+	})
+	if !set.Equal(want) {
+		t.Errorf("Poss = %v, want %v", set, want)
+	}
+}
+
+func TestOfCyclicRejected(t *testing.T) {
+	b := fsp.NewBuilder("C")
+	s0 := b.State("0")
+	b.Add(s0, "a", s0)
+	if _, err := Of(b.MustBuild(), DefaultBudget); !errors.Is(err, ErrCyclic) {
+		t.Errorf("err = %v, want ErrCyclic", err)
+	}
+}
+
+func TestOfBudget(t *testing.T) {
+	p := fsp.Linear("P", "a", "b", "c", "d")
+	if _, err := Of(p, 2); !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestPossImpliesLangAndFail(t *testing.T) {
+	// (s, Z) ∈ Poss(P) implies s ∈ Lang(P) and (s, Σ−Z) ∈ Fail(P)
+	// (Section 2.2).
+	r := rand.New(rand.NewSource(21))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 40; i++ {
+		p := fsptest.Acyclic(r, "P", cfg)
+		set := MustOf(p)
+		sigma := p.Alphabet()
+		for _, item := range set.Items() {
+			if !p.Accepts(item.S) {
+				t.Fatalf("iter %d: possibility string %v not in Lang", i, item.S)
+			}
+			var complement []fsp.Action
+			for _, a := range sigma {
+				if !containsAction(item.Z, a) {
+					complement = append(complement, a)
+				}
+			}
+			if !InFail(p, item.S, complement) {
+				t.Fatalf("iter %d: (s, Σ−Z) ∉ Fail for %v", i, item)
+			}
+		}
+	}
+}
+
+func containsAction(zs []fsp.Action, a fsp.Action) bool {
+	for _, z := range zs {
+		if z == a {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFigure2 reproduces the paper's Figure 2(b) phenomenon: two processes
+// with equal failure sets but different possibility sets, witnessing that
+// possibility equivalence strictly refines failure equivalence.
+func TestFigure2(t *testing.T) {
+	// P: ε -τ-> {b-branch}, ε -τ-> {c-branch}, ε -τ-> {b,c-branch}.
+	bp := fsp.NewBuilder("P")
+	p0 := bp.State("0")
+	pb, pc, pbc := bp.State("b!"), bp.State("c!"), bp.State("bc!")
+	bp.AddTau(p0, pb)
+	bp.AddTau(p0, pc)
+	bp.AddTau(p0, pbc)
+	pEnd := bp.State("end")
+	bp.Add(pb, "b", pEnd)
+	bp.Add(pc, "c", pEnd)
+	pEnd2 := bp.State("end2")
+	bp.Add(pbc, "b", pEnd2)
+	bp.Add(pbc, "c", pEnd2)
+	p := bp.MustBuild()
+
+	// Q: same but without the {b,c} branch.
+	bq := fsp.NewBuilder("Q")
+	q0 := bq.State("0")
+	qb, qc := bq.State("b!"), bq.State("c!")
+	bq.AddTau(q0, qb)
+	bq.AddTau(q0, qc)
+	qEnd := bq.State("end")
+	bq.Add(qb, "b", qEnd)
+	bq.Add(qc, "c", qEnd)
+	q := bq.MustBuild()
+
+	failEq, err := FailEquivalent(p, q, DefaultBudget)
+	if err != nil {
+		t.Fatalf("FailEquivalent: %v", err)
+	}
+	if !failEq {
+		t.Error("Fail(P) must equal Fail(Q)")
+	}
+	if Equivalent(p, q) {
+		t.Error("Poss(P) must differ from Poss(Q)")
+	}
+	// The distinguishing possibility is (ε, {b,c}).
+	setP, setQ := MustOf(p), MustOf(q)
+	if len(setP.At(nil)) != 3 || len(setQ.At(nil)) != 2 {
+		t.Errorf("possibilities at ε: P=%v Q=%v", setP.At(nil), setQ.At(nil))
+	}
+}
+
+func TestPossEquivalenceRefinesFailEquivalence(t *testing.T) {
+	// Poss(P) = Poss(Q) implies Fail(P) = Fail(Q) for acyclic FSPs
+	// (Section 2.2).
+	r := rand.New(rand.NewSource(33))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 40; i++ {
+		p := fsptest.Acyclic(r, "P", cfg)
+		q := fsptest.Acyclic(r, "Q", cfg)
+		if Equivalent(p, q) {
+			eq, err := FailEquivalent(p, q, DefaultBudget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				t.Fatalf("iter %d: Poss equal but Fail differs", i)
+			}
+		}
+	}
+}
+
+func TestEquivalentMarkerVsSets(t *testing.T) {
+	// The marker-DFA equivalence must agree with explicit set equality on
+	// acyclic processes.
+	r := rand.New(rand.NewSource(17))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 60; i++ {
+		p := fsptest.Acyclic(r, "P", cfg)
+		q := fsptest.Acyclic(r, "Q", cfg)
+		setEq := MustOf(p).Equal(MustOf(q))
+		markEq := Equivalent(p, q)
+		if setEq != markEq {
+			t.Fatalf("iter %d: set equality %v, marker equality %v\nP=%v\nQ=%v",
+				i, setEq, markEq, MustOf(p), MustOf(q))
+		}
+	}
+}
+
+func TestEquivalentCyclic(t *testing.T) {
+	// Two unrollings of the same cycle are possibility-equivalent.
+	b1 := fsp.NewBuilder("R1")
+	s0 := b1.State("0")
+	b1.Add(s0, "a", s0)
+	r1 := b1.MustBuild()
+	b2 := fsp.NewBuilder("R2")
+	t0, t1 := b2.State("0"), b2.State("1")
+	b2.Add(t0, "a", t1)
+	b2.Add(t1, "a", t0)
+	r2 := b2.MustBuild()
+	if !Equivalent(r1, r2) {
+		t.Error("unrolled a-loops must be possibility-equivalent")
+	}
+	b3 := fsp.NewBuilder("R3")
+	u0, u1 := b3.State("0"), b3.State("1")
+	b3.Add(u0, "a", u1)
+	b3.Add(u1, "b", u0)
+	r3 := b3.MustBuild()
+	if Equivalent(r1, r3) {
+		t.Error("a-loop vs ab-loop must differ")
+	}
+}
+
+func TestNormalFormRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 80; i++ {
+		p := fsptest.Acyclic(r, "P", cfg)
+		set := MustOf(p)
+		nf, err := NormalForm("NF", set)
+		if err != nil {
+			t.Fatalf("iter %d: NormalForm: %v\nset=%v", i, err, set)
+		}
+		if !MustOf(nf).Equal(set) {
+			t.Fatalf("iter %d: Poss(NF) = %v, want %v", i, MustOf(nf), set)
+		}
+		if !Equivalent(p, nf) {
+			t.Fatalf("iter %d: NF not possibility-equivalent to source", i)
+		}
+		if !LangEquivalent(p, nf) {
+			t.Fatalf("iter %d: NF changed the language", i)
+		}
+	}
+}
+
+func TestNormalFormSizeBoundForTrees(t *testing.T) {
+	// For tree processes the normal form must stay linear in the source
+	// size (Theorem 3's reduction-step bound). The trie has at most one
+	// node per source state plus one stable state per possibility.
+	r := rand.New(rand.NewSource(43))
+	cfg := fsptest.DefaultConfig()
+	cfg.MaxStates = 12
+	for i := 0; i < 60; i++ {
+		p := fsptest.Tree(r, "P", cfg)
+		set := MustOf(p)
+		nf, err := NormalForm("NF", set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nf.NumStates() > 2*p.NumStates()+1 {
+			t.Fatalf("iter %d: normal form size %d exceeds 2·|P|+1 = %d",
+				i, nf.NumStates(), 2*p.NumStates()+1)
+		}
+	}
+}
+
+func TestNormalFormIncoherent(t *testing.T) {
+	// Offering an action with no extension string is incoherent.
+	bad := NewSet([]Possibility{{S: nil, Z: acts("a")}})
+	if _, err := NormalForm("NF", bad); !errors.Is(err, ErrIncoherent) {
+		t.Errorf("err = %v, want ErrIncoherent", err)
+	}
+	// A prefix without its own possibility is incoherent.
+	bad2 := NewSet([]Possibility{
+		{S: nil, Z: acts("a")},
+		{S: acts("a", "b"), Z: nil},
+	})
+	if _, err := NormalForm("NF", bad2); !errors.Is(err, ErrIncoherent) {
+		t.Errorf("err = %v, want ErrIncoherent", err)
+	}
+}
+
+// TestLemma2Congruence checks the congruence property of Lemma 2:
+// Poss(P1) = Poss(P2) implies Poss(P‖P1) = Poss(P‖P2), instantiated with
+// P2 = NormalForm(Poss(P1)), which is possibility-equal by construction.
+func TestLemma2Congruence(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 60; i++ {
+		p := fsptest.Acyclic(r, "P", cfg)
+		p1 := fsptest.Acyclic(r, "P1", cfg)
+		p2, err := NormalForm("P2", MustOf(p1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		left := fsp.Compose(p, p1)
+		right := fsp.Compose(p, p2)
+		if !Equivalent(left, right) {
+			t.Fatalf("iter %d: Lemma 2 violated:\nPoss(P‖P1)=%v\nPoss(P‖P2)=%v",
+				i, MustOf(left), MustOf(right))
+		}
+		if !LangEquivalent(left, right) {
+			t.Fatalf("iter %d: Lemma 2 (language half) violated", i)
+		}
+	}
+}
+
+// TestLemma2PrimeCongruence checks Lemma 2′: the cyclic composition
+// preserves possibility equivalence for cyclic operands.
+func TestLemma2PrimeCongruence(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	cfg := fsptest.DefaultConfig()
+	cfg.Cyclic = true
+	cfg.TauProb = 0 // Section 4 assumes network processes have no τ-moves
+	for i := 0; i < 40; i++ {
+		p := fsptest.Cyclic(r, "P", cfg)
+		// Equivalent unrolling of r1: duplicate every state.
+		r1 := fsptest.Cyclic(r, "R1", cfg)
+		r2 := unroll2(r1)
+		if !Equivalent(r1, r2) {
+			continue // unrolling should always be equivalent; skip defensively
+		}
+		left := fsp.ComposeCyclic(p, r1)
+		right := fsp.ComposeCyclic(p, r2)
+		if !Equivalent(left, right) {
+			t.Fatalf("iter %d: Lemma 2′ violated", i)
+		}
+		if !LangEquivalent(left, right) {
+			t.Fatalf("iter %d: Lemma 2′ (language half) violated", i)
+		}
+	}
+}
+
+// unroll2 duplicates the state space of p: states (s, parity), flipping
+// parity on every transition. The result is language- and
+// possibility-equivalent to p.
+func unroll2(p *fsp.FSP) *fsp.FSP {
+	b := fsp.NewBuilder(p.Name() + "×2").AllowUnreachable()
+	n := p.NumStates()
+	for par := 0; par < 2; par++ {
+		for s := 0; s < n; s++ {
+			b.State(p.StateName(fsp.State(s)))
+		}
+	}
+	b.SetStart(p.Start())
+	for _, t := range p.Transitions() {
+		b.Add(t.From, t.Label, fsp.State(n+int(t.To)))
+		b.Add(fsp.State(n+int(t.From)), t.Label, t.To)
+	}
+	return b.MustBuild().Trim()
+}
+
+func TestSetAccessors(t *testing.T) {
+	set := NewSet([]Possibility{
+		{S: acts("a"), Z: acts("b")},
+		{S: acts("a"), Z: acts("c")},
+		{S: nil, Z: acts("a")},
+		{S: nil, Z: acts("a")}, // duplicate
+	})
+	if set.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (dedup)", set.Len())
+	}
+	if got := set.Strings(); len(got) != 2 {
+		t.Errorf("Strings = %v, want 2 distinct", got)
+	}
+	if got := set.At(acts("a")); len(got) != 2 {
+		t.Errorf("At(a) = %v, want 2 sets", got)
+	}
+	if s := set.String(); s == "" {
+		t.Error("String must render")
+	}
+}
+
+func TestParseMarker(t *testing.T) {
+	z, ok := ParseMarker(Marker(acts("a", "b")))
+	if !ok || len(z) != 2 || z[0] != "a" || z[1] != "b" {
+		t.Errorf("ParseMarker round trip = %v %v", z, ok)
+	}
+	if z, ok := ParseMarker(Marker(nil)); !ok || len(z) != 0 {
+		t.Errorf("empty marker = %v %v", z, ok)
+	}
+	if _, ok := ParseMarker("a"); ok {
+		t.Error("ordinary action must not parse as marker")
+	}
+}

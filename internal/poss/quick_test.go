@@ -1,0 +1,154 @@
+package poss
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/lang"
+)
+
+// genAcyclic draws a random acyclic FSP for quick.Check.
+type genAcyclic struct {
+	P *fsp.FSP
+}
+
+// Generate implements quick.Generator.
+func (genAcyclic) Generate(r *rand.Rand, size int) reflect.Value {
+	cfg := fsptest.DefaultConfig()
+	cfg.MaxStates = 2 + size%6
+	return reflect.ValueOf(genAcyclic{P: fsptest.Acyclic(r, "G", cfg)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 80}
+
+// TestQuickPossNonEmpty: an acyclic process always has at least one
+// possibility per language string — in particular Poss ≠ ∅ (Section 2.2).
+func TestQuickPossNonEmpty(t *testing.T) {
+	f := func(g genAcyclic) bool {
+		set := MustOf(g.P)
+		if set.Len() == 0 {
+			return false
+		}
+		// Every possibility string is in the language and vice versa:
+		// strings of the set, being prefixes of Lang, must be accepted.
+		for _, s := range set.Strings() {
+			if !g.P.Accepts(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPossDeterminesLang: the possibility strings generate exactly
+// Lang(P) for acyclic P (every Lang string carries a possibility).
+func TestQuickPossDeterminesLang(t *testing.T) {
+	f := func(g genAcyclic) bool {
+		set := MustOf(g.P)
+		nf, err := NormalForm("NF", set)
+		if err != nil {
+			return false
+		}
+		return lang.LangEquivalent(g.P, nf)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMarkerEquivalenceReflexiveAndStable: the marker-DFA
+// equivalence is reflexive and invariant under normal-forming.
+func TestQuickMarkerEquivalence(t *testing.T) {
+	f := func(g genAcyclic) bool {
+		if !Equivalent(g.P, g.P) {
+			return false
+		}
+		nf, err := NormalForm("NF", MustOf(g.P))
+		if err != nil {
+			return false
+		}
+		return Equivalent(g.P, nf) && Equivalent(nf, g.P)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNormalFormIdempotent: NF(Poss(NF(Poss(P)))) has the same
+// possibility set — normal-forming is idempotent up to set equality.
+func TestQuickNormalFormIdempotent(t *testing.T) {
+	f := func(g genAcyclic) bool {
+		set := MustOf(g.P)
+		nf1, err := NormalForm("NF1", set)
+		if err != nil {
+			return false
+		}
+		nf2, err := NormalForm("NF2", MustOf(nf1))
+		if err != nil {
+			return false
+		}
+		return MustOf(nf2).Equal(set)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFailDownwardClosed: failures are downward closed — dropping a
+// refused action keeps the pair in Fail (HBR axiom).
+func TestQuickFailDownwardClosed(t *testing.T) {
+	f := func(g genAcyclic, pick uint8) bool {
+		set := MustOf(g.P)
+		items := set.Items()
+		it := items[int(pick)%len(items)]
+		sigma := g.P.Alphabet()
+		var complement []fsp.Action
+		for _, a := range sigma {
+			if !containsAction(it.Z, a) {
+				complement = append(complement, a)
+			}
+		}
+		if !InFail(g.P, it.S, complement) {
+			return false
+		}
+		// Every subset obtained by dropping one element stays in Fail.
+		for drop := range complement {
+			sub := append(append([]fsp.Action(nil), complement[:drop]...), complement[drop+1:]...)
+			if !InFail(g.P, it.S, sub) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCongruenceUnderRelabeling: possibility equivalence is stable
+// under consistent action relabeling.
+func TestQuickCongruenceUnderRelabeling(t *testing.T) {
+	f := func(g genAcyclic) bool {
+		m := map[fsp.Action]fsp.Action{"a": "a2", "b": "b2", "c": "c2"}
+		p2, err := g.P.RelabelActions(m)
+		if err != nil {
+			return false
+		}
+		back := map[fsp.Action]fsp.Action{"a2": "a", "b2": "b", "c2": "c"}
+		p3, err := p2.RelabelActions(back)
+		if err != nil {
+			return false
+		}
+		return Equivalent(g.P, p3)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package reduce implements the executable hardness gadgets of the paper:
+//
+//   - Theorem 1, case (1): 3SAT → network with a tree C_N in which every
+//     process but the distinguished one is an O(1) linear FSP and every
+//     pair shares at most one symbol; S_c (and, with the blocking variant,
+//     ¬S_u) holds iff the formula is satisfiable (Figure 5).
+//   - Theorem 1, case (2): 3SAT → network of O(1) tree FSPs (Figure 6).
+//   - Theorem 2: QBF → tree network in which all processes except the
+//     distinguished one are trees; S_a holds iff the formula is valid
+//     (Figure 7).
+//
+// The constructions are counting gadgets: a clause process is a bounded
+// counter of capacity equal to its literal count; choosing a literal
+// "spends" the clause budget of every occurrence it falsifies, and a final
+// sweep spends one more unit per clause, so the sweep completes exactly
+// when every clause kept a true literal. The original figure artwork is
+// not included in the paper text, so these are behavior-equivalent gadgets
+// with the same structural parameters, validated against independent
+// SAT/QBF solvers.
+package reduce
+
+import (
+	"errors"
+	"fmt"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/sat"
+)
+
+// ErrUnsupported reports a formula outside the gadget's fragment.
+var ErrUnsupported = errors.New("reduce: formula outside supported fragment")
+
+// checkCNF validates the shape every gadget requires: ≤3 literals per
+// clause and no variable repeated within a clause.
+func checkCNF(f *sat.CNF) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	for i, c := range f.Clauses {
+		if len(c) > 3 {
+			return fmt.Errorf("clause %d has %d literals: %w", i, len(c), ErrUnsupported)
+		}
+		seen := make(map[int]bool, len(c))
+		for _, l := range c {
+			if seen[l.Var()] {
+				return fmt.Errorf("clause %d repeats x%d: %w", i, l.Var(), ErrUnsupported)
+			}
+			seen[l.Var()] = true
+		}
+	}
+	return nil
+}
+
+// clauseAction returns the handshake symbol of clause j.
+func clauseAction(j int) fsp.Action { return fsp.Action(fmt.Sprintf("c%d", j)) }
+
+// occurrenceAction returns the handshake symbol of literal l's occurrence
+// in clause j (Theorem 1 case 2 and Theorem 2 use per-occurrence symbols).
+func occurrenceAction(l sat.Lit, j int) fsp.Action {
+	if l.Neg() {
+		return fsp.Action(fmt.Sprintf("n%d_%d", l.Var(), j))
+	}
+	return fsp.Action(fmt.Sprintf("p%d_%d", l.Var(), j))
+}
+
+// tokenAction returns the daisy-chain token emitted by clause process j.
+func tokenAction(j int) fsp.Action { return fsp.Action(fmt.Sprintf("t%d", j)) }
+
+// counter builds the linear clause process of capacity n on symbol a.
+func counter(name string, a fsp.Action, n int) *fsp.FSP {
+	acts := make([]fsp.Action, n)
+	for i := range acts {
+		acts[i] = a
+	}
+	return fsp.Linear(name, acts...)
+}
+
+// falseOccurrences returns, for the choice "variable v gets value val",
+// the clauses whose occurrence of v is falsified.
+func falseOccurrences(f *sat.CNF, v int, val bool) []int {
+	lit := sat.Lit(v)
+	if val {
+		lit = -lit // setting v true falsifies ¬v occurrences
+	}
+	return f.OccurrencesOf(lit)
+}

@@ -1,0 +1,296 @@
+package reduce
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+	"fspnet/internal/sat"
+	"fspnet/internal/success"
+)
+
+// paperFormula is the example the paper illustrates Figures 5 and 6 with:
+// (x1 ∨ ¬x2 ∨ x3) ∧ (x1 ∨ x2 ∨ ¬x3).
+func paperFormula() *sat.CNF {
+	return &sat.CNF{Vars: 3, Clauses: []sat.Clause{
+		{1, -2, 3},
+		{1, 2, -3},
+	}}
+}
+
+func scOf(t *testing.T, n *network.Network) bool {
+	t.Helper()
+	q, err := n.Context(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := success.CollaborationAcyclic(n.Process(0), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func suOf(t *testing.T, n *network.Network) bool {
+	t.Helper()
+	q, err := n.Context(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := success.UnavoidableAcyclic(n.Process(0), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return su
+}
+
+func TestFigure5Gadget(t *testing.T) {
+	f := paperFormula()
+	n, err := SatGadgetCase1(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural claims of Theorem 1 case (1).
+	if !n.Graph().IsTree() {
+		t.Error("C_N must be a tree")
+	}
+	p := n.Process(0)
+	if p.Classify() == fsp.ClassCyclic {
+		t.Error("P must be acyclic")
+	}
+	for i := 1; i < n.Len(); i++ {
+		k := n.Process(i)
+		if k.Classify() != fsp.ClassLinear {
+			t.Errorf("%s must be linear", k.Name())
+		}
+		if k.NumStates() > 4 {
+			t.Errorf("%s must be O(1): %d states", k.Name(), k.NumStates())
+		}
+		if got := len(fsp.SharedActions(p, k)); got != 1 {
+			t.Errorf("|Σ_P ∩ Σ_%s| = %d, want 1", k.Name(), got)
+		}
+	}
+	// The paper's formula is satisfiable (x1 = true).
+	if !scOf(t, n) {
+		t.Error("S_c must hold for the satisfiable example")
+	}
+	bn, err := BlockingGadgetCase1(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suOf(t, bn) {
+		t.Error("¬S_u must hold for the satisfiable example")
+	}
+}
+
+func TestFigure6Gadget(t *testing.T) {
+	f := paperFormula()
+	n, err := SatGadgetCase2(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n.Len(); i++ {
+		p := n.Process(i)
+		if c := p.Classify(); c != fsp.ClassTree && c != fsp.ClassLinear {
+			t.Errorf("%s is %s, want a tree FSP", p.Name(), c)
+		}
+		if p.NumStates() > 16 {
+			t.Errorf("%s must be O(1): %d states", p.Name(), p.NumStates())
+		}
+	}
+	if !scOf(t, n) {
+		t.Error("S_c must hold for the satisfiable example")
+	}
+	bn, err := BlockingGadgetCase2(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suOf(t, bn) {
+		t.Error("¬S_u must hold for the satisfiable example")
+	}
+}
+
+func TestCase1MatchesDPLL(t *testing.T) {
+	r := rand.New(rand.NewSource(501))
+	for i := 0; i < 40; i++ {
+		f := sat.RandomRestricted3SAT(r, 1+r.Intn(4))
+		want, _ := sat.Solve(f)
+		n, err := SatGadgetCase1(f)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got := scOf(t, n); got != want {
+			t.Fatalf("iter %d: S_c=%v but SAT=%v for %s", i, got, want, f)
+		}
+		bn, err := BlockingGadgetCase1(f)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got := !suOf(t, bn); got != want {
+			t.Fatalf("iter %d: ¬S_u=%v but SAT=%v for %s", i, got, want, f)
+		}
+	}
+}
+
+func TestCase1UnsatisfiableFixture(t *testing.T) {
+	// (x1) ∧ (¬x1): within the restricted fragment and unsatisfiable.
+	f := &sat.CNF{Vars: 1, Clauses: []sat.Clause{{1}, {-1}}}
+	n, err := SatGadgetCase1(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scOf(t, n) {
+		t.Error("S_c must fail for an unsatisfiable formula")
+	}
+	bn, err := BlockingGadgetCase1(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !suOf(t, bn) {
+		t.Error("S_u must hold (no blocking) for an unsatisfiable formula")
+	}
+}
+
+func TestCase2MatchesDPLL(t *testing.T) {
+	r := rand.New(rand.NewSource(503))
+	for i := 0; i < 25; i++ {
+		f := sat.RandomRestricted3SAT(r, 1+r.Intn(3))
+		if len(f.Clauses) == 0 {
+			continue
+		}
+		want, _ := sat.Solve(f)
+		n, err := SatGadgetCase2(f)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got := scOf(t, n); got != want {
+			t.Fatalf("iter %d: S_c=%v but SAT=%v for %s", i, got, want, f)
+		}
+		bn, err := BlockingGadgetCase2(f)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if got := !suOf(t, bn); got != want {
+			t.Fatalf("iter %d: ¬S_u=%v but SAT=%v for %s", i, got, want, f)
+		}
+	}
+}
+
+func TestFigure7Gadget(t *testing.T) {
+	// The paper's Figure 7 example: ∃x1 ∀x2 ∃x3 (x1∨¬x2∨x3) ∧ (x1∨x2∨¬x3),
+	// which is valid (set x1 = true).
+	q := &sat.QBF{
+		Prefix: []sat.Quantifier{sat.Exists, sat.ForAll, sat.Exists},
+		Matrix: *paperFormula(),
+	}
+	n, err := QbfGadget(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.Graph().IsTree() {
+		t.Error("C_N must be a tree")
+	}
+	p := n.Process(0)
+	for _, tr := range p.Transitions() {
+		if tr.Label == fsp.Tau {
+			t.Fatal("P must be τ-free for the game")
+		}
+	}
+	for i := 1; i < n.Len(); i++ {
+		if c := n.Process(i).Classify(); c != fsp.ClassTree && c != fsp.ClassLinear {
+			t.Errorf("%s is %s, want a tree FSP", n.Process(i).Name(), c)
+		}
+	}
+	ctx, err := n.Context(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := success.AdversityAcyclic(p, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sa {
+		t.Error("S_a must hold for the valid paper QBF")
+	}
+}
+
+func TestQbfGadgetMatchesSolver(t *testing.T) {
+	r := rand.New(rand.NewSource(507))
+	for i := 0; i < 30; i++ {
+		q := sat.RandomQBF(r, 1+r.Intn(4), 1+r.Intn(4))
+		want, err := sat.SolveQBF(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := QbfGadget(q)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		ctx, err := n.Context(0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := success.AdversityAcyclic(n.Process(0), ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa != want {
+			t.Fatalf("iter %d: S_a=%v but QBF=%v for %s", i, sa, want, q)
+		}
+	}
+}
+
+func TestGadgetValidation(t *testing.T) {
+	big := &sat.CNF{Vars: 4, Clauses: []sat.Clause{{1, 2, 3, 4}}}
+	if _, err := SatGadgetCase1(big); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("err = %v, want ErrUnsupported", err)
+	}
+	dup := &sat.CNF{Vars: 1, Clauses: []sat.Clause{{1, -1}}}
+	if _, err := SatGadgetCase2(dup); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("err = %v, want ErrUnsupported", err)
+	}
+	empty := &sat.CNF{Vars: 1}
+	if _, err := SatGadgetCase2(empty); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("err = %v, want ErrUnsupported", err)
+	}
+	badQ := &sat.QBF{Prefix: []sat.Quantifier{sat.Exists}, Matrix: *big}
+	badQ.Matrix.Vars = 4
+	badQ.Prefix = []sat.Quantifier{sat.Exists, sat.Exists, sat.Exists, sat.Exists}
+	if _, err := QbfGadget(badQ); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestCase1LinearVariantMatchesDPLL(t *testing.T) {
+	r := rand.New(rand.NewSource(509))
+	for i := 0; i < 30; i++ {
+		f := sat.RandomRestricted3SAT(r, 1+r.Intn(4))
+		want, _ := sat.Solve(f)
+		n, err := SatGadgetCase1Linear(f)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		// Structural claims: distinguished process linear, exactly one
+		// non-linear acyclic process in the context, tree C_N.
+		if n.Process(0).Classify() != fsp.ClassLinear {
+			t.Fatal("distinguished process must be linear")
+		}
+		nonLinear := 0
+		for j := 1; j < n.Len(); j++ {
+			if n.Process(j).Classify() != fsp.ClassLinear {
+				nonLinear++
+			}
+		}
+		if nonLinear > 1 {
+			t.Fatalf("%d non-linear context processes, want ≤ 1", nonLinear)
+		}
+		if !n.Graph().IsTree() {
+			t.Fatal("C_N must be a tree")
+		}
+		if got := scOf(t, n); got != want {
+			t.Fatalf("iter %d: S_c=%v but SAT=%v for %s", i, got, want, f)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package reduce
+
+import (
+	"fmt"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+	"fspnet/internal/sat"
+)
+
+// SatGadgetCase1 builds the Theorem 1 case (1) network for S_c: a star
+// (hence tree) C_N with the distinguished acyclic process P at index 0 and
+// one O(1) linear counter per clause, each sharing exactly one symbol with
+// P. S_c(P, Q) holds iff f is satisfiable.
+//
+// P walks the variables, committing each to a value by a τ-move and then
+// spending one unit of clause j's budget for every occurrence falsified by
+// the commitment; a final sweep spends one more unit per clause. Clause
+// j's counter has capacity |clause j|, so the sweep (and with it P's only
+// leaf) completes iff every clause kept at least one true literal.
+func SatGadgetCase1(f *sat.CNF) (*network.Network, error) {
+	if err := checkCNF(f); err != nil {
+		return nil, err
+	}
+	p, err := case1Distinguished(f, false)
+	if err != nil {
+		return nil, err
+	}
+	procs := []*fsp.FSP{p}
+	for j := range f.Clauses {
+		procs = append(procs,
+			counter(fmt.Sprintf("K%d", j), clauseAction(j), len(f.Clauses[j])))
+	}
+	return network.New(procs...)
+}
+
+// BlockingGadgetCase1 builds the Theorem 1 case (1) network for potential
+// blocking: ¬S_u(P, Q) holds iff f is satisfiable. P is the S_c gadget
+// process with a τ-escape to a fresh leaf before every clause handshake
+// (so unsatisfying branches never strand it) and a final gate that
+// handshakes twice with a capacity-one counter — the only reachable stuck
+// state off a leaf, reachable exactly when the sweep completed.
+func BlockingGadgetCase1(f *sat.CNF) (*network.Network, error) {
+	if err := checkCNF(f); err != nil {
+		return nil, err
+	}
+	p, err := case1Distinguished(f, true)
+	if err != nil {
+		return nil, err
+	}
+	procs := []*fsp.FSP{p}
+	for j := range f.Clauses {
+		procs = append(procs,
+			counter(fmt.Sprintf("K%d", j), clauseAction(j), len(f.Clauses[j])))
+	}
+	procs = append(procs, counter("G", "g", 1))
+	return network.New(procs...)
+}
+
+// case1Distinguished builds P (blocking=false) or P′ (blocking=true).
+func case1Distinguished(f *sat.CNF, blocking bool) (*fsp.FSP, error) {
+	b := fsp.NewBuilder("P")
+	cur := b.State("v1")
+
+	// emit appends a clause handshake; in the blocking variant every
+	// handshake state gets a τ-escape to a fresh leaf so that exhausted
+	// counters never strand P′ off-leaf before the gate.
+	emit := func(from fsp.State, j int, name string) fsp.State {
+		next := b.State(name)
+		b.Add(from, clauseAction(j), next)
+		if blocking {
+			b.AddTau(from, b.State(name+"·esc"))
+		}
+		return next
+	}
+
+	for v := 1; v <= f.Vars; v++ {
+		merge := b.State(fmt.Sprintf("v%d", v+1))
+		for _, val := range []bool{true, false} {
+			tag := "F"
+			if val {
+				tag = "T"
+			}
+			branch := b.State(fmt.Sprintf("v%d%s", v, tag))
+			b.AddTau(cur, branch)
+			at := branch
+			for k, j := range falseOccurrences(f, v, val) {
+				at = emit(at, j, fmt.Sprintf("v%d%s.%d", v, tag, k))
+			}
+			b.AddTau(at, merge)
+		}
+		cur = merge
+	}
+	// Final sweep: one handshake per clause.
+	for j := range f.Clauses {
+		cur = emit(cur, j, fmt.Sprintf("sweep%d", j))
+	}
+	if blocking {
+		// Gate: the counter G has capacity one, so the second g blocks P′
+		// at a non-leaf — iff the sweep was completable.
+		g1 := b.State("gate1")
+		b.Add(cur, "g", g1)
+		blockedAt := b.State("gate2")
+		b.Add(g1, "g", blockedAt)
+	}
+	return b.Build()
+}
+
+// SatGadgetCase2 builds the Theorem 1 case (2) network for S_c: every
+// process is an O(1) tree FSP. One variable process per variable commits
+// to a polarity by a τ-move and then offers any subset of that polarity's
+// occurrence handshakes in any order; one clause process per clause takes
+// exactly one of its occurrence handshakes and then passes a token down a
+// daisy chain ending at the distinguished process P = t_m. P reaches its
+// leaf iff every clause consumed a true-literal occurrence consistent
+// with the commitments, i.e. iff f is satisfiable.
+func SatGadgetCase2(f *sat.CNF) (*network.Network, error) {
+	return case2Network(f, false)
+}
+
+// BlockingGadgetCase2 is the potential-blocking variant of case (2):
+// ¬S_u(P, Q) holds iff f is satisfiable. P may τ-escape instead of taking
+// the final token, and after the token it handshakes twice with a
+// capacity-one gate counter.
+func BlockingGadgetCase2(f *sat.CNF) (*network.Network, error) {
+	return case2Network(f, true)
+}
+
+func case2Network(f *sat.CNF, blocking bool) (*network.Network, error) {
+	if err := checkCNF(f); err != nil {
+		return nil, err
+	}
+	m := len(f.Clauses)
+	if m == 0 {
+		return nil, fmt.Errorf("empty formula has no token chain: %w", ErrUnsupported)
+	}
+
+	// Distinguished P (index 0).
+	bp := fsp.NewBuilder("P")
+	root := bp.State("0")
+	got := bp.State("1")
+	bp.Add(root, tokenAction(m-1), got)
+	if blocking {
+		bp.AddTau(root, bp.State("esc"))
+		g1 := bp.State("g1")
+		bp.Add(got, "g", g1)
+		bp.Add(g1, "g", bp.State("g2"))
+	}
+	p, err := bp.Build()
+	if err != nil {
+		return nil, err
+	}
+	procs := []*fsp.FSP{p}
+
+	// Clause processes: branch on one occurrence handshake, then receive
+	// the previous token (if any) and emit the next.
+	for j := 0; j < m; j++ {
+		bk := fsp.NewBuilder(fmt.Sprintf("K%d", j))
+		kroot := bk.State("0")
+		mid := make([]fsp.State, 0, len(f.Clauses[j]))
+		for _, l := range f.Clauses[j] {
+			s := bk.State("got·" + string(occurrenceAction(l, j)))
+			bk.Add(kroot, occurrenceAction(l, j), s)
+			mid = append(mid, s)
+		}
+		for i, s := range mid {
+			at := s
+			if j > 0 {
+				recv := bk.State(fmt.Sprintf("recv%d", i))
+				bk.Add(at, tokenAction(j-1), recv)
+				at = recv
+			}
+			bk.Add(at, tokenAction(j), bk.State(fmt.Sprintf("done%d", i)))
+		}
+		k, err := bk.Build()
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, k)
+	}
+
+	// Variable processes: τ-commit to a polarity, then a subset tree over
+	// that polarity's occurrence handshakes (any subset, any order).
+	for v := 1; v <= f.Vars; v++ {
+		bv := fsp.NewBuilder(fmt.Sprintf("V%d", v))
+		vroot := bv.State("0")
+		used := false
+		for _, val := range []bool{true, false} {
+			lit := sat.Lit(v)
+			if !val {
+				lit = -lit
+			}
+			var occs []fsp.Action
+			for _, j := range f.OccurrencesOf(lit) {
+				occs = append(occs, occurrenceAction(lit, j))
+			}
+			branch := bv.State(fmt.Sprintf("set%v", val))
+			bv.AddTau(vroot, branch)
+			if len(occs) > 0 {
+				used = true
+			}
+			subsetTree(bv, branch, occs)
+		}
+		if !used {
+			continue // variable absent from the formula: no process needed
+		}
+		vp, err := bv.Build()
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, vp)
+	}
+
+	if blocking {
+		procs = append(procs, counter("G", "g", 1))
+	}
+	return network.New(procs...)
+}
+
+// subsetTree adds, below root, one path per ordered subset of actions
+// (sequences without repetition), so the process can offer the actions in
+// any order and stop at any point. With at most 2–3 actions the tree has
+// O(1) size.
+func subsetTree(b *fsp.Builder, root fsp.State, actions []fsp.Action) {
+	var grow func(from fsp.State, remaining []fsp.Action, name string)
+	grow = func(from fsp.State, remaining []fsp.Action, name string) {
+		for i, a := range actions {
+			present := false
+			for _, r := range remaining {
+				if r == a {
+					present = true
+				}
+			}
+			if !present {
+				continue
+			}
+			rest := make([]fsp.Action, 0, len(remaining)-1)
+			for _, r := range remaining {
+				if r != a {
+					rest = append(rest, r)
+				}
+			}
+			next := b.State(fmt.Sprintf("%s·%d", name, i))
+			b.Add(from, a, next)
+			grow(next, rest, fmt.Sprintf("%s·%d", name, i))
+		}
+	}
+	grow(root, actions, "s")
+}
+
+// SatGadgetCase1Linear is the variant of Theorem 1 case (1) in which the
+// distinguished process is itself linear and the single non-linear
+// acyclic process sits in the context: P (index 0) performs one final
+// handshake that the context's chooser process A can only offer after
+// completing a satisfying sweep, so S_c(P, Q) holds iff f is satisfiable.
+func SatGadgetCase1Linear(f *sat.CNF) (*network.Network, error) {
+	if err := checkCNF(f); err != nil {
+		return nil, err
+	}
+	chooser, err := case1Distinguished(f, false)
+	if err != nil {
+		return nil, err
+	}
+	// Append the completion handshake to the chooser's single leaf (the
+	// sweep end).
+	b := fsp.NewBuilder("A")
+	for s := 0; s < chooser.NumStates(); s++ {
+		b.State(chooser.StateName(fsp.State(s)))
+	}
+	b.SetStart(chooser.Start())
+	for _, t := range chooser.Transitions() {
+		b.Add(t.From, t.Label, t.To)
+	}
+	leaves := chooser.Leaves()
+	if len(leaves) != 1 {
+		return nil, fmt.Errorf("chooser has %d leaves, want 1: %w", len(leaves), ErrUnsupported)
+	}
+	b.Add(leaves[0], "done", b.State("finished"))
+	a, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	procs := []*fsp.FSP{fsp.Linear("P", "done"), a}
+	for j := range f.Clauses {
+		procs = append(procs,
+			counter(fmt.Sprintf("K%d", j), clauseAction(j), len(f.Clauses[j])))
+	}
+	return network.New(procs...)
+}

@@ -1,0 +1,124 @@
+package reduce
+
+import (
+	"fmt"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+	"fspnet/internal/sat"
+)
+
+// QbfGadget builds the Theorem 2 network: a star (hence tree) C_N whose
+// distinguished process P is acyclic and τ-free while every context
+// process is a tree FSP; S_a(P, Q) holds iff the prenex QBF is valid.
+//
+// The game proceeds through the quantifier prefix. An existential variable
+// is resolved by P's hidden branching on the single action uᵢ (player P
+// chooses its successor state); a universal variable is resolved by the
+// adversary's choice between the two actions vᵢᵀ and vᵢᶠ offered by the
+// variable's tree process (player Q chooses the action). Every resolution
+// spends one unit of clause j's budget per occurrence it falsifies, and a
+// final sweep spends one more unit per clause; clause counters have
+// capacity |clause|, so the sweep — and P's only winning leaf — is
+// reachable iff every clause kept a true literal. All context processes
+// are deterministic, so Q's only powers are exactly the universal choices
+// and budget-exhaustion blocking, making the game value the QBF value.
+func QbfGadget(q *sat.QBF) (*network.Network, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkCNF(&q.Matrix); err != nil {
+		return nil, err
+	}
+	f := &q.Matrix
+
+	bp := fsp.NewBuilder("P")
+	cur := bp.State("q1")
+
+	// emitChain appends the falsified-occurrence handshakes for setting
+	// variable v to val, starting at from, and returns the final state.
+	emitChain := func(from fsp.State, v int, val bool, tag string) fsp.State {
+		at := from
+		for k, j := range falseOccurrences(f, v, val) {
+			next := bp.State(fmt.Sprintf("%s.%d", tag, k))
+			bp.Add(at, clauseAction(j), next)
+			at = next
+		}
+		return at
+	}
+
+	for v := 1; v <= f.Vars; v++ {
+		next := bp.State(fmt.Sprintf("q%d", v+1))
+		if q.Prefix[v-1] == sat.Exists {
+			// Player P picks one of the two uᵥ-successors.
+			for _, val := range []bool{true, false} {
+				branch := bp.State(fmt.Sprintf("x%d=%v", v, val))
+				bp.Add(cur, existsAction(v), branch)
+				end := emitChain(branch, v, val, fmt.Sprintf("x%d=%v", v, val))
+				bp.Add(end, stageAction(v), next)
+			}
+		} else {
+			// Player Q picks the action vᵥᵀ or vᵥᶠ.
+			for _, val := range []bool{true, false} {
+				branch := bp.State(fmt.Sprintf("x%d:=%v", v, val))
+				bp.Add(cur, forallAction(v, val), branch)
+				end := emitChain(branch, v, val, fmt.Sprintf("x%d:=%v", v, val))
+				bp.Add(end, stageAction(v), next)
+			}
+		}
+		cur = next
+	}
+	for j := range f.Clauses {
+		next := bp.State(fmt.Sprintf("sweep%d", j))
+		bp.Add(cur, clauseAction(j), next)
+		cur = next
+	}
+	p, err := bp.Build()
+	if err != nil {
+		return nil, err
+	}
+	procs := []*fsp.FSP{p}
+
+	// Variable processes.
+	for v := 1; v <= f.Vars; v++ {
+		bv := fsp.NewBuilder(fmt.Sprintf("X%d", v))
+		root := bv.State("0")
+		if q.Prefix[v-1] == sat.Exists {
+			mid := bv.State("picked")
+			bv.Add(root, existsAction(v), mid)
+			bv.Add(mid, stageAction(v), bv.State("done"))
+		} else {
+			for _, val := range []bool{true, false} {
+				mid := bv.State(fmt.Sprintf("set%v", val))
+				bv.Add(root, forallAction(v, val), mid)
+				bv.Add(mid, stageAction(v), bv.State(fmt.Sprintf("done%v", val)))
+			}
+		}
+		xp, err := bv.Build()
+		if err != nil {
+			return nil, err
+		}
+		procs = append(procs, xp)
+	}
+	// Clause counters.
+	for j := range f.Clauses {
+		procs = append(procs,
+			counter(fmt.Sprintf("K%d", j), clauseAction(j), len(f.Clauses[j])))
+	}
+	return network.New(procs...)
+}
+
+// existsAction is the single action resolving existential variable v.
+func existsAction(v int) fsp.Action { return fsp.Action(fmt.Sprintf("u%d", v)) }
+
+// forallAction is the adversary's action setting universal variable v.
+func forallAction(v int, val bool) fsp.Action {
+	if val {
+		return fsp.Action(fmt.Sprintf("v%dT", v))
+	}
+	return fsp.Action(fmt.Sprintf("v%dF", v))
+}
+
+// stageAction closes variable v's stage; it keeps the variable process a
+// second owner of a P action even when the variable has no occurrences.
+func stageAction(v int) fsp.Action { return fsp.Action(fmt.Sprintf("w%d", v)) }

@@ -1,0 +1,163 @@
+// Package sat provides the propositional-logic substrate behind the
+// hardness reductions of Theorems 1 and 2: CNF formulas, a DPLL SAT
+// solver, the restricted 3SAT fragment the paper reduces from (every
+// variable at most once negated and at most twice unnegated), QBF
+// formulas, and a QBF solver. DIMACS reading/writing is included for
+// interoperability.
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lit is a literal: +v for variable v, −v for its negation. Variables are
+// numbered from 1.
+type Lit int
+
+// Var returns the literal's variable.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg reports whether the literal is negative.
+func (l Lit) Neg() bool { return l < 0 }
+
+// String renders the literal as "x3" or "¬x3".
+func (l Lit) String() string {
+	if l < 0 {
+		return fmt.Sprintf("¬x%d", -l)
+	}
+	return fmt.Sprintf("x%d", l)
+}
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+// String renders the clause as "(x1 ∨ ¬x2 ∨ x3)".
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// CNF is a conjunction of clauses over variables 1..Vars.
+type CNF struct {
+	Vars    int
+	Clauses []Clause
+}
+
+// ErrBadFormula reports a malformed formula.
+var ErrBadFormula = errors.New("sat: malformed formula")
+
+// Validate checks variable ranges and non-empty clauses of the formula.
+func (f *CNF) Validate() error {
+	for i, c := range f.Clauses {
+		if len(c) == 0 {
+			return fmt.Errorf("clause %d empty: %w", i, ErrBadFormula)
+		}
+		for _, l := range c {
+			if l == 0 || l.Var() > f.Vars {
+				return fmt.Errorf("clause %d literal %d out of range: %w", i, l, ErrBadFormula)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the formula as a conjunction.
+func (f *CNF) String() string {
+	parts := make([]string, len(f.Clauses))
+	for i, c := range f.Clauses {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Eval evaluates the formula under the assignment (assign[v] is the value
+// of variable v; index 0 unused).
+func (f *CNF) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if assign[l.Var()] != l.Neg() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRestricted3SAT reports whether the formula lies in the fragment the
+// paper reduces from: at most 3 literals per clause, every variable
+// appearing at most once negated and at most twice unnegated.
+func (f *CNF) IsRestricted3SAT() error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	pos := make([]int, f.Vars+1)
+	neg := make([]int, f.Vars+1)
+	for i, c := range f.Clauses {
+		if len(c) > 3 {
+			return fmt.Errorf("clause %d has %d literals: %w", i, len(c), ErrBadFormula)
+		}
+		for _, l := range c {
+			if l.Neg() {
+				neg[l.Var()]++
+			} else {
+				pos[l.Var()]++
+			}
+		}
+	}
+	for v := 1; v <= f.Vars; v++ {
+		if neg[v] > 1 {
+			return fmt.Errorf("x%d negated %d times (max 1): %w", v, neg[v], ErrBadFormula)
+		}
+		if pos[v] > 2 {
+			return fmt.Errorf("x%d unnegated %d times (max 2): %w", v, pos[v], ErrBadFormula)
+		}
+	}
+	return nil
+}
+
+// OccurrencesOf returns the clause indices containing the literal, in
+// order.
+func (f *CNF) OccurrencesOf(l Lit) []int {
+	var out []int
+	for i, c := range f.Clauses {
+		for _, cl := range c {
+			if cl == l {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// VariablesUsed returns the sorted set of variables appearing in clauses.
+func (f *CNF) VariablesUsed() []int {
+	seen := make(map[int]bool)
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			seen[l.Var()] = true
+		}
+	}
+	var out []int
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

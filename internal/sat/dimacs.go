@@ -1,0 +1,84 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadDIMACS parses a CNF in DIMACS format ("p cnf <vars> <clauses>",
+// clauses as zero-terminated literal lists, 'c' comment lines).
+func ReadDIMACS(r io.Reader) (*CNF, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var (
+		f       *CNF
+		current Clause
+	)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("bad problem line %q: %w", line, ErrBadFormula)
+			}
+			vars, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("bad var count %q: %w", fields[2], ErrBadFormula)
+			}
+			f = &CNF{Vars: vars}
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("clause before problem line: %w", ErrBadFormula)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("bad literal %q: %w", tok, ErrBadFormula)
+			}
+			if v == 0 {
+				f.Clauses = append(f.Clauses, current)
+				current = nil
+				continue
+			}
+			current = append(current, Lit(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sat: read DIMACS: %w", err)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("no problem line: %w", ErrBadFormula)
+	}
+	if len(current) > 0 {
+		f.Clauses = append(f.Clauses, current)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// WriteDIMACS renders the CNF in DIMACS format.
+func WriteDIMACS(w io.Writer, f *CNF) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", f.Vars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		parts := make([]string, 0, len(c)+1)
+		for _, l := range c {
+			parts = append(parts, strconv.Itoa(int(l)))
+		}
+		parts = append(parts, "0")
+		if _, err := fmt.Fprintln(w, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package sat
+
+// Solve runs DPLL with unit propagation and pure-literal elimination.
+// It returns (satisfiable, model); the model has length Vars+1 with index
+// 0 unused and is nil when unsatisfiable.
+func Solve(f *CNF) (bool, []bool) {
+	if err := f.Validate(); err != nil {
+		return false, nil
+	}
+	assign := make([]int8, f.Vars+1) // 0 unknown, +1 true, −1 false
+	if !dpll(f, assign) {
+		return false, nil
+	}
+	model := make([]bool, f.Vars+1)
+	for v := 1; v <= f.Vars; v++ {
+		model[v] = assign[v] >= 0 // unknowns default to true
+	}
+	return true, model
+}
+
+// dpll is the recursive core over a partial assignment.
+func dpll(f *CNF, assign []int8) bool {
+	// Unit propagation and conflict detection to fixpoint.
+	for {
+		unit := Lit(0)
+		for _, c := range f.Clauses {
+			satisfied := false
+			unassigned := 0
+			var last Lit
+			for _, l := range c {
+				switch value(assign, l) {
+				case +1:
+					satisfied = true
+				case 0:
+					unassigned++
+					last = l
+				}
+				if satisfied {
+					break
+				}
+			}
+			if satisfied {
+				continue
+			}
+			if unassigned == 0 {
+				return false // conflict
+			}
+			if unassigned == 1 {
+				unit = last
+				break
+			}
+		}
+		if unit == 0 {
+			break
+		}
+		set(assign, unit)
+	}
+	// Pure literal elimination.
+	pure := findPure(f, assign)
+	if pure != 0 {
+		saved := append([]int8(nil), assign...)
+		set(assign, pure)
+		if dpll(f, assign) {
+			return true
+		}
+		copy(assign, saved)
+		// A pure literal can always be set without loss; if it failed, the
+		// formula is unsatisfiable under this partial assignment.
+		return false
+	}
+	// Branch on the first unassigned variable in an unsatisfied clause.
+	branch := 0
+	for _, c := range f.Clauses {
+		satisfied := false
+		for _, l := range c {
+			if value(assign, l) == +1 {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		for _, l := range c {
+			if value(assign, l) == 0 {
+				branch = l.Var()
+				break
+			}
+		}
+		if branch != 0 {
+			break
+		}
+	}
+	if branch == 0 {
+		return true // every clause satisfied
+	}
+	saved := append([]int8(nil), assign...)
+	assign[branch] = +1
+	if dpll(f, assign) {
+		return true
+	}
+	copy(assign, saved)
+	assign[branch] = -1
+	if dpll(f, assign) {
+		return true
+	}
+	copy(assign, saved)
+	return false
+}
+
+// value returns the literal's value under the partial assignment:
+// +1 true, −1 false, 0 unknown.
+func value(assign []int8, l Lit) int8 {
+	v := assign[l.Var()]
+	if v == 0 {
+		return 0
+	}
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+func set(assign []int8, l Lit) {
+	if l.Neg() {
+		assign[l.Var()] = -1
+	} else {
+		assign[l.Var()] = +1
+	}
+}
+
+// findPure returns a literal whose variable occurs (in not-yet-satisfied
+// clauses) with a single polarity, or 0.
+func findPure(f *CNF, assign []int8) Lit {
+	seenPos := make(map[int]bool)
+	seenNeg := make(map[int]bool)
+	for _, c := range f.Clauses {
+		satisfied := false
+		for _, l := range c {
+			if value(assign, l) == +1 {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		for _, l := range c {
+			if value(assign, l) != 0 {
+				continue
+			}
+			if l.Neg() {
+				seenNeg[l.Var()] = true
+			} else {
+				seenPos[l.Var()] = true
+			}
+		}
+	}
+	for v := 1; v < len(assign); v++ {
+		if assign[v] != 0 {
+			continue
+		}
+		if seenPos[v] && !seenNeg[v] {
+			return Lit(v)
+		}
+		if seenNeg[v] && !seenPos[v] {
+			return Lit(-v)
+		}
+	}
+	return 0
+}

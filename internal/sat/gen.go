@@ -1,0 +1,83 @@
+package sat
+
+import "math/rand"
+
+// RandomRestricted3SAT generates a random formula in the paper's
+// restricted fragment: every variable appears exactly once negated and
+// once or twice unnegated, clauses have at most 3 literals.
+func RandomRestricted3SAT(r *rand.Rand, vars int) *CNF {
+	var pool []Lit
+	for v := 1; v <= vars; v++ {
+		pool = append(pool, Lit(-v), Lit(v))
+		if r.Intn(2) == 0 {
+			pool = append(pool, Lit(v))
+		}
+	}
+	r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	f := &CNF{Vars: vars}
+	for len(pool) > 0 {
+		k := 3
+		if len(pool) < k {
+			k = len(pool)
+		}
+		// Avoid duplicate variables inside one clause when possible.
+		clause := Clause{pool[0]}
+		pool = pool[1:]
+		for len(clause) < k && len(pool) > 0 {
+			picked := -1
+			for i, l := range pool {
+				dup := false
+				for _, cl := range clause {
+					if cl.Var() == l.Var() {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					picked = i
+					break
+				}
+			}
+			if picked == -1 {
+				break
+			}
+			clause = append(clause, pool[picked])
+			pool = append(pool[:picked], pool[picked+1:]...)
+		}
+		f.Clauses = append(f.Clauses, clause)
+	}
+	return f
+}
+
+// RandomQBF generates a random prenex QBF with alternating quantifiers
+// (∃ first) over a random 3-CNF matrix.
+func RandomQBF(r *rand.Rand, vars, clauses int) *QBF {
+	q := &QBF{Matrix: CNF{Vars: vars}}
+	for v := 1; v <= vars; v++ {
+		if v%2 == 1 {
+			q.Prefix = append(q.Prefix, Exists)
+		} else {
+			q.Prefix = append(q.Prefix, ForAll)
+		}
+	}
+	for i := 0; i < clauses; i++ {
+		perm := r.Perm(vars)
+		var clause Clause
+		for _, v := range perm[:min(3, vars)] {
+			l := Lit(v + 1)
+			if r.Intn(2) == 0 {
+				l = -l
+			}
+			clause = append(clause, l)
+		}
+		q.Matrix.Clauses = append(q.Matrix.Clauses, clause)
+	}
+	return q
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package sat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Quantifier is ∃ or ∀.
+type Quantifier int
+
+const (
+	// Exists is the existential quantifier ∃.
+	Exists Quantifier = iota + 1
+	// ForAll is the universal quantifier ∀.
+	ForAll
+)
+
+// String renders the quantifier.
+func (q Quantifier) String() string {
+	if q == Exists {
+		return "∃"
+	}
+	return "∀"
+}
+
+// QBF is a prenex quantified boolean formula: Prefix[0] quantifies
+// variable 1, Prefix[1] variable 2, …, over a CNF matrix.
+type QBF struct {
+	Prefix []Quantifier
+	Matrix CNF
+}
+
+// Validate checks that the prefix covers exactly the matrix variables.
+func (q *QBF) Validate() error {
+	if len(q.Prefix) != q.Matrix.Vars {
+		return fmt.Errorf("prefix quantifies %d of %d variables: %w",
+			len(q.Prefix), q.Matrix.Vars, ErrBadFormula)
+	}
+	return q.Matrix.Validate()
+}
+
+// String renders the formula as "∃x1 ∀x2 … (matrix)".
+func (q *QBF) String() string {
+	var sb strings.Builder
+	for i, qt := range q.Prefix {
+		fmt.Fprintf(&sb, "%sx%d ", qt, i+1)
+	}
+	sb.WriteString(q.Matrix.String())
+	return sb.String()
+}
+
+// SolveQBF decides validity of the prenex QBF by straightforward
+// quantifier expansion with early clause-conflict pruning. Exponential in
+// the number of variables, as befits a PSPACE oracle.
+func SolveQBF(q *QBF) (bool, error) {
+	if err := q.Validate(); err != nil {
+		return false, err
+	}
+	assign := make([]int8, q.Matrix.Vars+1)
+	return qbfEval(q, 1, assign), nil
+}
+
+func qbfEval(q *QBF, v int, assign []int8) bool {
+	// Prune: some clause already fully false?
+	for _, c := range q.Matrix.Clauses {
+		conflict := true
+		for _, l := range c {
+			if value(assign, l) != -1 {
+				conflict = false
+				break
+			}
+		}
+		if conflict {
+			return false
+		}
+	}
+	if v > q.Matrix.Vars {
+		trueAssign := make([]bool, q.Matrix.Vars+1)
+		for i := 1; i <= q.Matrix.Vars; i++ {
+			trueAssign[i] = assign[i] == +1
+		}
+		return q.Matrix.Eval(trueAssign)
+	}
+	try := func(val int8) bool {
+		assign[v] = val
+		res := qbfEval(q, v+1, assign)
+		assign[v] = 0
+		return res
+	}
+	if q.Prefix[v-1] == Exists {
+		return try(+1) || try(-1)
+	}
+	return try(+1) && try(-1)
+}

@@ -1,0 +1,323 @@
+package sat
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLitAndClauseString(t *testing.T) {
+	if Lit(3).String() != "x3" || Lit(-3).String() != "¬x3" {
+		t.Error("literal rendering broken")
+	}
+	c := Clause{1, -2, 3}
+	if got := c.String(); got != "(x1 ∨ ¬x2 ∨ x3)" {
+		t.Errorf("clause String = %q", got)
+	}
+	if Lit(-4).Var() != 4 || !Lit(-4).Neg() || Lit(4).Neg() {
+		t.Error("Var/Neg broken")
+	}
+}
+
+func TestSolveBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		f    CNF
+		want bool
+	}{
+		{
+			name: "trivially sat",
+			f:    CNF{Vars: 1, Clauses: []Clause{{1}}},
+			want: true,
+		},
+		{
+			name: "contradiction",
+			f:    CNF{Vars: 1, Clauses: []Clause{{1}, {-1}}},
+			want: false,
+		},
+		{
+			name: "3sat sat",
+			f: CNF{Vars: 3, Clauses: []Clause{
+				{1, -2, 3}, {1, 2, -3},
+			}},
+			want: true,
+		},
+		{
+			name: "forced chain",
+			f: CNF{Vars: 3, Clauses: []Clause{
+				{1}, {-1, 2}, {-2, 3}, {-3},
+			}},
+			want: false,
+		},
+		{
+			name: "empty formula",
+			f:    CNF{Vars: 2},
+			want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, model := Solve(&tt.f)
+			if got != tt.want {
+				t.Fatalf("Solve = %v, want %v", got, tt.want)
+			}
+			if got && !tt.f.Eval(model) {
+				t.Error("returned model does not satisfy the formula")
+			}
+		})
+	}
+}
+
+func TestSolveAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for i := 0; i < 200; i++ {
+		vars := 1 + r.Intn(6)
+		clauses := r.Intn(10)
+		f := &CNF{Vars: vars}
+		for c := 0; c < clauses; c++ {
+			k := 1 + r.Intn(3)
+			var clause Clause
+			for j := 0; j < k; j++ {
+				l := Lit(1 + r.Intn(vars))
+				if r.Intn(2) == 0 {
+					l = -l
+				}
+				clause = append(clause, l)
+			}
+			f.Clauses = append(f.Clauses, clause)
+		}
+		got, model := Solve(f)
+		want := bruteForceSat(f)
+		if got != want {
+			t.Fatalf("iter %d: Solve=%v brute=%v for %s", i, got, want, f)
+		}
+		if got && !f.Eval(model) {
+			t.Fatalf("iter %d: bad model for %s", i, f)
+		}
+	}
+}
+
+func bruteForceSat(f *CNF) bool {
+	assign := make([]bool, f.Vars+1)
+	for mask := 0; mask < 1<<f.Vars; mask++ {
+		for v := 1; v <= f.Vars; v++ {
+			assign[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.Eval(assign) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIsRestricted3SAT(t *testing.T) {
+	good := &CNF{Vars: 3, Clauses: []Clause{{1, -2, 3}, {1, 2, -3}}}
+	if err := good.IsRestricted3SAT(); err != nil {
+		t.Errorf("good formula rejected: %v", err)
+	}
+	tooManyPos := &CNF{Vars: 1, Clauses: []Clause{{1}, {1}, {1}}}
+	if err := tooManyPos.IsRestricted3SAT(); err == nil {
+		t.Error("3 positive occurrences must be rejected")
+	}
+	tooManyNeg := &CNF{Vars: 1, Clauses: []Clause{{-1}, {-1}}}
+	if err := tooManyNeg.IsRestricted3SAT(); err == nil {
+		t.Error("2 negative occurrences must be rejected")
+	}
+	bigClause := &CNF{Vars: 4, Clauses: []Clause{{1, 2, 3, 4}}}
+	if err := bigClause.IsRestricted3SAT(); err == nil {
+		t.Error("4-literal clause must be rejected")
+	}
+}
+
+func TestRandomRestricted3SATIsRestricted(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	for i := 0; i < 50; i++ {
+		f := RandomRestricted3SAT(r, 1+r.Intn(10))
+		if err := f.IsRestricted3SAT(); err != nil {
+			t.Fatalf("iter %d: generator left the fragment: %v\n%s", i, err, f)
+		}
+	}
+}
+
+func TestQBFSolve(t *testing.T) {
+	tests := []struct {
+		name string
+		q    QBF
+		want bool
+	}{
+		{
+			name: "exists x . x",
+			q:    QBF{Prefix: []Quantifier{Exists}, Matrix: CNF{Vars: 1, Clauses: []Clause{{1}}}},
+			want: true,
+		},
+		{
+			name: "forall x . x",
+			q:    QBF{Prefix: []Quantifier{ForAll}, Matrix: CNF{Vars: 1, Clauses: []Clause{{1}}}},
+			want: false,
+		},
+		{
+			name: "forall x exists y . (x∨y)∧(¬x∨¬y)",
+			q: QBF{
+				Prefix: []Quantifier{ForAll, Exists},
+				Matrix: CNF{Vars: 2, Clauses: []Clause{{1, 2}, {-1, -2}}},
+			},
+			want: true,
+		},
+		{
+			name: "exists x forall y . (x∨y)",
+			q: QBF{
+				Prefix: []Quantifier{Exists, ForAll},
+				Matrix: CNF{Vars: 2, Clauses: []Clause{{1, 2}}},
+			},
+			want: true,
+		},
+		{
+			name: "paper example ∃x1∀x2∃x3 (x1∨¬x2∨x3)∧(x1∨x2∨¬x3)",
+			q: QBF{
+				Prefix: []Quantifier{Exists, ForAll, Exists},
+				Matrix: CNF{Vars: 3, Clauses: []Clause{{1, -2, 3}, {1, 2, -3}}},
+			},
+			want: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := SolveQBF(&tt.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("SolveQBF = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQBFValidation(t *testing.T) {
+	q := &QBF{Prefix: []Quantifier{Exists}, Matrix: CNF{Vars: 2, Clauses: []Clause{{1, 2}}}}
+	if _, err := SolveQBF(q); !errors.Is(err, ErrBadFormula) {
+		t.Errorf("err = %v, want ErrBadFormula", err)
+	}
+}
+
+func TestQBFAllExistsMatchesSAT(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	for i := 0; i < 60; i++ {
+		f := RandomRestricted3SAT(r, 1+r.Intn(6))
+		q := &QBF{Matrix: *f}
+		for v := 0; v < f.Vars; v++ {
+			q.Prefix = append(q.Prefix, Exists)
+		}
+		valid, err := SolveQBF(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		satisfiable, _ := Solve(f)
+		if valid != satisfiable {
+			t.Fatalf("iter %d: all-∃ QBF %v but SAT %v for %s", i, valid, satisfiable, f)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	f := &CNF{Vars: 3, Clauses: []Clause{{1, -2, 3}, {-1, 2}, {3}}}
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Vars != f.Vars || len(got.Clauses) != len(f.Clauses) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+	}
+	for i := range f.Clauses {
+		for j := range f.Clauses[i] {
+			if got.Clauses[i][j] != f.Clauses[i][j] {
+				t.Fatalf("clause %d mismatch: %v vs %v", i, got.Clauses[i], f.Clauses[i])
+			}
+		}
+	}
+}
+
+func TestReadDIMACSWithComments(t *testing.T) {
+	in := "c a comment\n\np cnf 2 2\n1 -2 0\n2 0\n"
+	f, err := ReadDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Vars != 2 || len(f.Clauses) != 2 {
+		t.Errorf("parsed %+v", f)
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"1 2 0\n",            // clause before header
+		"p cnf x 1\n",        // bad var count
+		"p dnf 1 1\n1 0\n",   // wrong format tag
+		"p cnf 1 1\nz 0\n",   // bad literal
+		"p cnf 1 1\n1 5 0\n", // literal out of range
+		"",                   // empty input
+	}
+	for _, in := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestOccurrencesAndVariablesUsed(t *testing.T) {
+	f := &CNF{Vars: 4, Clauses: []Clause{{1, -2}, {2, 3}, {1}}}
+	if got := f.OccurrencesOf(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("OccurrencesOf(1) = %v", got)
+	}
+	if got := f.OccurrencesOf(-2); len(got) != 1 || got[0] != 0 {
+		t.Errorf("OccurrencesOf(-2) = %v", got)
+	}
+	if got := f.VariablesUsed(); len(got) != 3 {
+		t.Errorf("VariablesUsed = %v, want [1 2 3]", got)
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	f := &CNF{Vars: 3, Clauses: []Clause{{1, -2}, {3}}}
+	if got := f.String(); got != "(x1 ∨ ¬x2) ∧ (x3)" {
+		t.Errorf("CNF String = %q", got)
+	}
+	q := &QBF{Prefix: []Quantifier{Exists, ForAll, Exists}, Matrix: *f}
+	if got := q.String(); got != "∃x1 ∀x2 ∃x3 (x1 ∨ ¬x2) ∧ (x3)" {
+		t.Errorf("QBF String = %q", got)
+	}
+	if Exists.String() != "∃" || ForAll.String() != "∀" {
+		t.Error("Quantifier String broken")
+	}
+}
+
+func TestRandomQBFShape(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	for i := 0; i < 20; i++ {
+		vars := 1 + r.Intn(5)
+		clauses := 1 + r.Intn(5)
+		q := RandomQBF(r, vars, clauses)
+		if err := q.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if len(q.Matrix.Clauses) != clauses {
+			t.Fatalf("iter %d: %d clauses, want %d", i, len(q.Matrix.Clauses), clauses)
+		}
+		// Alternation: odd variables ∃, even ∀.
+		for v, qt := range q.Prefix {
+			want := Exists
+			if (v+1)%2 == 0 {
+				want = ForAll
+			}
+			if qt != want {
+				t.Fatalf("iter %d: prefix[%d] = %v, want %v", i, v, qt, want)
+			}
+		}
+	}
+}

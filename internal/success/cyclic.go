@@ -1,0 +1,129 @@
+package success
+
+import (
+	"fmt"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/game"
+	"fspnet/internal/lang"
+	"fspnet/internal/network"
+)
+
+// UnavoidableCyclic decides S_u(P, Q) for the cyclic setting of
+// Section 4.1: potential blocking holds iff some common string s admits
+// (s, X) ∈ Poss(P) and (s, Y) ∈ Poss(Q) with X ∩ Y = ∅. Q should be the
+// cyclic composition of the context, so its silent-divergence options
+// appear as possibilities (s, ∅).
+//
+// Operationally the predicate is a reachability question on the P×Q
+// product synchronized on the shared alphabet, with Q's τ-moves free:
+// blocking ⇔ some reachable pair has both components stable and offering
+// disjoint action sets.
+func UnavoidableCyclic(p, q *fsp.FSP) (bool, error) {
+	if err := checkSection4P(p); err != nil {
+		return false, err
+	}
+	start := pair{p.Start(), q.Start()}
+	seen := map[pair]bool{start: true}
+	queue := []pair{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if p.IsStable(cur.p) && q.IsStable(cur.q) &&
+			!actionsIntersect(p.ActionsAt(cur.p), q.ActionsAt(cur.q)) {
+			return false, nil // potential blocking: ¬S_u
+		}
+		visit := func(np pair) {
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+		for _, t := range p.Out(cur.p) {
+			if t.Label == fsp.Tau {
+				visit(pair{t.To, cur.q})
+			}
+		}
+		for _, t := range q.Out(cur.q) {
+			if t.Label == fsp.Tau {
+				visit(pair{cur.p, t.To})
+			}
+		}
+		for _, tp := range p.Out(cur.p) {
+			if tp.Label == fsp.Tau {
+				continue
+			}
+			for _, tq := range q.Out(cur.q) {
+				if tq.Label == tp.Label {
+					visit(pair{tp.To, tq.To})
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// CollaborationCyclic decides S_c(P, Q) for the cyclic setting:
+// Lang(P) ∩ Lang(Q) is infinite, i.e. P and Q can cooperate to exchange
+// unboundedly many handshakes.
+func CollaborationCyclic(p, q *fsp.FSP) (bool, error) {
+	if err := checkSection4P(p); err != nil {
+		return false, err
+	}
+	return lang.LangIntersectionInfinite(p, q), nil
+}
+
+// AdversityCyclic decides S_a(P, Q) for the cyclic setting by solving the
+// infinite game: P wins iff it can keep moving forever (Proposition 2's
+// exponential-time upper bound).
+func AdversityCyclic(p, q *fsp.FSP) (bool, error) {
+	return game.SolveCyclic(p, q)
+}
+
+// AnalyzeCyclic decides all three predicates for the distinguished process
+// i of a cyclic network, composing the context with the Section 4 cyclic ‖
+// so that silent divergence is represented by fresh leaves.
+func AnalyzeCyclic(n *network.Network, i int) (Verdict, error) {
+	p := n.Process(i)
+	q, err := n.Context(i, true)
+	if err != nil {
+		return Verdict{}, err
+	}
+	var v Verdict
+	if v.Su, err = UnavoidableCyclic(p, q); err != nil {
+		return Verdict{}, err
+	}
+	if v.Sc, err = CollaborationCyclic(p, q); err != nil {
+		return Verdict{}, err
+	}
+	if v.Sa, err = AdversityCyclic(p, q); err != nil {
+		return Verdict{}, err
+	}
+	return v, nil
+}
+
+// checkSection4P validates the Section 4 simplifying assumptions on the
+// distinguished process: no τ-moves (its choices are all visible).
+func checkSection4P(p *fsp.FSP) error {
+	for _, t := range p.Transitions() {
+		if t.Label == fsp.Tau {
+			return fmt.Errorf("%s has τ-moves: %w", p.Name(), ErrShape)
+		}
+	}
+	return nil
+}
+
+func actionsIntersect(xs, ys []fsp.Action) bool {
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		switch {
+		case xs[i] == ys[j]:
+			return true
+		case xs[i] < ys[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

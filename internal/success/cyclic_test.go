@@ -1,0 +1,240 @@
+package success
+
+import (
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/network"
+	"fspnet/internal/poss"
+)
+
+func aLoop(name string) *fsp.FSP {
+	b := fsp.NewBuilder(name)
+	s0 := b.State("0")
+	b.Add(s0, "a", s0)
+	return b.MustBuild()
+}
+
+func TestCyclicHappyLoop(t *testing.T) {
+	// P and Q handshake on a forever: all three predicates hold.
+	p, q := aLoop("P"), aLoop("Q")
+	su, err := UnavoidableCyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := AdversityCyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := CollaborationCyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := (Verdict{Su: su, Sa: sa, Sc: sc}); v != (Verdict{Su: true, Sa: true, Sc: true}) {
+		t.Errorf("verdict = %v, want all true", v)
+	}
+}
+
+func TestCyclicEscapingContext(t *testing.T) {
+	// Q can defect to a leaf: blocking is possible, the adversary uses it,
+	// but collaboration still yields infinitely many handshakes.
+	p := aLoop("P")
+	b := fsp.NewBuilder("Q")
+	q0, q1 := b.State("0"), b.State("1")
+	b.Add(q0, "a", q0)
+	b.AddTau(q0, q1)
+	q := b.MustBuild()
+
+	su, err := UnavoidableCyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := AdversityCyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := CollaborationCyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := (Verdict{Su: su, Sa: sa, Sc: sc}); v != (Verdict{Su: false, Sa: false, Sc: true}) {
+		t.Errorf("verdict = %v, want S_u=false S_a=false S_c=true", v)
+	}
+}
+
+func TestCyclicDivergentContext(t *testing.T) {
+	// The raw context τ-loops; composed with the Section 4 ‖, the loop
+	// becomes a defection leaf and blocks P.
+	p := aLoop("P")
+	b := fsp.NewBuilder("Q")
+	q0, q1 := b.State("0"), b.State("1")
+	b.Add(q0, "a", q0)
+	b.AddTau(q0, q1)
+	b.AddTau(q1, q1) // τ-loop: silent divergence
+	q := fsp.AddDivergenceLeaf(b.MustBuild())
+
+	su, err := UnavoidableCyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if su {
+		t.Error("S_u must fail: Q may diverge silently")
+	}
+	sc, err := CollaborationCyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc {
+		t.Error("S_c must hold: cooperative Q keeps handshaking")
+	}
+}
+
+func TestCyclicImplicationChain(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	cfg := fsptest.DefaultConfig()
+	cfg.MaxStates = 4
+	for i := 0; i < 60; i++ {
+		p, q := fsptest.TwoProcessClosedCyclic(r, cfg)
+		q = fsp.AddDivergenceLeaf(q)
+		su, err := UnavoidableCyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := AdversityCyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := CollaborationCyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := Verdict{Su: su, Sa: sa, Sc: sc}
+		if !v.Consistent() {
+			t.Fatalf("iter %d: %v violates S_u ⇒ S_a ⇒ S_c\nP=%s\nQ=%s",
+				i, v, p.DOT(), q.DOT())
+		}
+	}
+}
+
+func TestAnalyzeCyclicNetwork(t *testing.T) {
+	// Two processes handshaking on x and y alternately, forever.
+	bp := fsp.NewBuilder("P")
+	p0, p1 := bp.State("0"), bp.State("1")
+	bp.Add(p0, "x", p1)
+	bp.Add(p1, "y", p0)
+	bq := fsp.NewBuilder("Q")
+	q0, q1 := bq.State("0"), bq.State("1")
+	bq.Add(q0, "x", q1)
+	bq.Add(q1, "y", q0)
+	n := network.MustNew(bp.MustBuild(), bq.MustBuild())
+	v, err := AnalyzeCyclic(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != (Verdict{Su: true, Sa: true, Sc: true}) {
+		t.Errorf("verdict = %v, want all true", v)
+	}
+}
+
+func TestCyclicRejectsTauP(t *testing.T) {
+	b := fsp.NewBuilder("P")
+	s0 := b.State("0")
+	b.AddTau(s0, s0)
+	b.Add(s0, "a", s0)
+	p := b.MustBuild()
+	q := aLoop("Q")
+	if _, err := UnavoidableCyclic(p, q); err == nil {
+		t.Error("τ-ful P must be rejected by the Section 4 analysis")
+	}
+	if _, err := CollaborationCyclic(p, q); err == nil {
+		t.Error("τ-ful P must be rejected by the Section 4 analysis")
+	}
+}
+
+// cyclicBlockingViaMarkers is an independent oracle for potential blocking
+// in the cyclic setting, computed on the marker automata of package poss:
+// blocking ⇔ some common string s admits markers ⟨X⟩ in P's and ⟨Y⟩ in Q's
+// possibility DFA with X ∩ Y = ∅.
+func cyclicBlockingViaMarkers(p, q *fsp.FSP) bool {
+	dp, dq := poss.PossDFA(p), poss.PossDFA(q)
+	// Shared real alphabet (markers excluded).
+	var shared []fsp.Action
+	for _, a := range dp.Alphabet() {
+		if _, isMarker := poss.ParseMarker(a); isMarker {
+			continue
+		}
+		for _, b := range dq.Alphabet() {
+			if a == b {
+				shared = append(shared, a)
+			}
+		}
+	}
+	type pair struct{ x, y int }
+	start := pair{dp.Start(), dq.Start()}
+	seen := map[pair]bool{start: true}
+	queue := []pair{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// Marker pairs with disjoint sets reachable here?
+		for _, ma := range dp.Alphabet() {
+			x, ok := poss.ParseMarker(ma)
+			if !ok {
+				continue
+			}
+			nx := dp.Step(cur.x, ma)
+			if nx < 0 || !dp.Accepting(nx) {
+				continue
+			}
+			for _, mb := range dq.Alphabet() {
+				y, ok := poss.ParseMarker(mb)
+				if !ok {
+					continue
+				}
+				ny := dq.Step(cur.y, mb)
+				if ny < 0 || !dq.Accepting(ny) {
+					continue
+				}
+				if !actionsIntersect(x, y) {
+					return true
+				}
+			}
+		}
+		for _, a := range shared {
+			nx, ny := dp.Step(cur.x, a), dq.Step(cur.y, a)
+			if nx < 0 || ny < 0 {
+				continue
+			}
+			np := pair{nx, ny}
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+	}
+	return false
+}
+
+// TestUnavoidableCyclicMatchesMarkerOracle: the operational pair search
+// must agree with the possibility-DFA formulation of the Section 4
+// blocking definition.
+func TestUnavoidableCyclicMatchesMarkerOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(1701))
+	cfg := fsptest.DefaultConfig()
+	cfg.MaxStates = 4
+	for i := 0; i < 60; i++ {
+		p, q := fsptest.TwoProcessClosedCyclic(r, cfg)
+		q = fsp.AddDivergenceLeaf(q)
+		su, err := UnavoidableCyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked := cyclicBlockingViaMarkers(p, q)
+		if su == blocked {
+			t.Fatalf("iter %d: operational S_u=%v but marker oracle blocking=%v\nP=%s\nQ=%s",
+				i, su, blocked, p.DOT(), q.DOT())
+		}
+	}
+}

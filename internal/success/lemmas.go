@@ -1,0 +1,90 @@
+package success
+
+import (
+	"fspnet/internal/fsp"
+	"fspnet/internal/lang"
+	"fspnet/internal/poss"
+)
+
+// This file makes Lemmas 3 and 4 directly executable: the success
+// predicates phrased purely in terms of Lang(·) and Poss(·), as the
+// Theorem 3 machinery uses them. They agree with the operational
+// procedures (property-tested) and serve as specification-level oracles;
+// their cost is driven by possibility enumeration, so they shine on tree
+// processes and degrade on wide DAGs exactly as the paper predicts.
+
+// CollaborationLemma3 decides S_c(P, Q) via Lemma 3:
+// ∃s. s ∈ Lang(Q) ∧ (s, ∅) ∈ Poss(P). budget bounds the possibility
+// enumeration of P (≤ 0 means the default).
+func CollaborationLemma3(p, q *fsp.FSP, budget int) (bool, error) {
+	if budget <= 0 {
+		budget = poss.DefaultBudget
+	}
+	set, err := poss.Of(p, budget)
+	if err != nil {
+		return false, err
+	}
+	qLang := lang.LangDFA(q)
+	for _, item := range set.Items() {
+		if len(item.Z) == 0 && qLang.Accepts(item.S) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// UnavoidableLemma4 decides S_u(P, Q) via Lemma 4: potential blocking
+// holds iff ∃s, X, Y. (s, X) ∈ Poss(P) ∧ (s, Y) ∈ Poss(Q) ∧ X ≠ ∅ ∧
+// X ∩ Y = ∅. budget bounds both possibility enumerations.
+func UnavoidableLemma4(p, q *fsp.FSP, budget int) (bool, error) {
+	if budget <= 0 {
+		budget = poss.DefaultBudget
+	}
+	setP, err := poss.Of(p, budget)
+	if err != nil {
+		return false, err
+	}
+	setQ, err := poss.Of(q, budget)
+	if err != nil {
+		return false, err
+	}
+	for _, ip := range setP.Items() {
+		if len(ip.Z) == 0 {
+			continue
+		}
+		for _, zq := range setQ.At(ip.S) {
+			if !actionsIntersect(ip.Z, zq) {
+				return false, nil // blocking witness found: ¬S_u
+			}
+		}
+	}
+	return true, nil
+}
+
+// Lemma4Witness returns a blocking witness (s, X, Y) of Lemma 4, or
+// ok=false when S_u holds. It is the possibility-level counterpart of
+// BlockingWitness's operational trace.
+func Lemma4Witness(p, q *fsp.FSP, budget int) (s []fsp.Action, x, y []fsp.Action, ok bool, err error) {
+	if budget <= 0 {
+		budget = poss.DefaultBudget
+	}
+	setP, err := poss.Of(p, budget)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	setQ, err := poss.Of(q, budget)
+	if err != nil {
+		return nil, nil, nil, false, err
+	}
+	for _, ip := range setP.Items() {
+		if len(ip.Z) == 0 {
+			continue
+		}
+		for _, zq := range setQ.At(ip.S) {
+			if !actionsIntersect(ip.Z, zq) {
+				return ip.S, ip.Z, zq, true, nil
+			}
+		}
+	}
+	return nil, nil, nil, false, nil
+}

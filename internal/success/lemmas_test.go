@@ -1,0 +1,105 @@
+package success
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/poss"
+)
+
+func TestLemmaDecidersMatchOperational(t *testing.T) {
+	r := rand.New(rand.NewSource(1301))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 80; i++ {
+		p, q := fsptest.TwoProcessClosed(r, cfg)
+		scOp, err := CollaborationAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scLm, err := CollaborationLemma3(p, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scOp != scLm {
+			t.Fatalf("iter %d: operational S_c=%v, Lemma 3 S_c=%v", i, scOp, scLm)
+		}
+		suOp, err := UnavoidableAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suLm, err := UnavoidableLemma4(p, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if suOp != suLm {
+			t.Fatalf("iter %d: operational S_u=%v, Lemma 4 S_u=%v", i, suOp, suLm)
+		}
+	}
+}
+
+func TestLemma4WitnessMatchesVerdict(t *testing.T) {
+	r := rand.New(rand.NewSource(1303))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 50; i++ {
+		p, q := fsptest.TwoProcessClosed(r, cfg)
+		su, err := UnavoidableLemma4(p, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, x, y, ok, err := Lemma4Witness(p, q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok == su {
+			t.Fatalf("iter %d: witness ok=%v but S_u=%v", i, ok, su)
+		}
+		if !ok {
+			continue
+		}
+		// Verify the witness: (s, X) ∈ Poss(P), (s, Y) ∈ Poss(Q), X ≠ ∅,
+		// X ∩ Y = ∅.
+		if len(x) == 0 {
+			t.Fatalf("iter %d: empty X in witness", i)
+		}
+		if actionsIntersect(x, y) {
+			t.Fatalf("iter %d: X ∩ Y ≠ ∅ in witness", i)
+		}
+		checkPoss := func(m *fsp.FSP, z []fsp.Action) bool {
+			for _, zz := range poss.MustOf(m).At(s) {
+				if len(zz) == len(z) {
+					same := true
+					for k := range z {
+						if z[k] != zz[k] {
+							same = false
+							break
+						}
+					}
+					if same {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if !checkPoss(p, x) || !checkPoss(q, y) {
+			t.Fatalf("iter %d: witness not in possibility sets", i)
+		}
+	}
+}
+
+func TestLemmaDecidersBudget(t *testing.T) {
+	p := fsp.Linear("P", "a", "b", "c", "d", "e")
+	q := fsp.Linear("Q", "a", "b", "c", "d", "e")
+	if _, err := CollaborationLemma3(p, q, 2); !errors.Is(err, poss.ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+	if _, err := UnavoidableLemma4(p, q, 2); !errors.Is(err, poss.ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+	if _, _, _, _, err := Lemma4Witness(p, q, 2); !errors.Is(err, poss.ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}

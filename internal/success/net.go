@@ -1,0 +1,94 @@
+package success
+
+import "fspnet/internal/network"
+
+// Network-level entry points: each predicate individually, composing the
+// context internally. They exist because AnalyzeAcyclic/AnalyzeCyclic
+// decide all three predicates and therefore inherit the game's τ-free
+// requirement on P, while S_u and S_c alone tolerate τ-moves in the
+// distinguished process.
+
+// UnavoidableAcyclicNet decides S_u for process i of an acyclic network.
+func UnavoidableAcyclicNet(n *network.Network, i int) (bool, error) {
+	q, err := n.Context(i, false)
+	if err != nil {
+		return false, err
+	}
+	return UnavoidableAcyclic(n.Process(i), q)
+}
+
+// CollaborationAcyclicNet decides S_c for process i of an acyclic network.
+func CollaborationAcyclicNet(n *network.Network, i int) (bool, error) {
+	q, err := n.Context(i, false)
+	if err != nil {
+		return false, err
+	}
+	return CollaborationAcyclic(n.Process(i), q)
+}
+
+// AdversityAcyclicNet decides S_a for process i of an acyclic network;
+// the process must be τ-free.
+func AdversityAcyclicNet(n *network.Network, i int) (bool, error) {
+	q, err := n.Context(i, false)
+	if err != nil {
+		return false, err
+	}
+	return AdversityAcyclic(n.Process(i), q)
+}
+
+// UnavoidableCyclicNet decides the Section 4 S_u for process i.
+func UnavoidableCyclicNet(n *network.Network, i int) (bool, error) {
+	q, err := n.Context(i, true)
+	if err != nil {
+		return false, err
+	}
+	return UnavoidableCyclic(n.Process(i), q)
+}
+
+// CollaborationCyclicNet decides the Section 4 S_c for process i.
+func CollaborationCyclicNet(n *network.Network, i int) (bool, error) {
+	q, err := n.Context(i, true)
+	if err != nil {
+		return false, err
+	}
+	return CollaborationCyclic(n.Process(i), q)
+}
+
+// AdversityCyclicNet decides the Section 4 S_a for process i.
+func AdversityCyclicNet(n *network.Network, i int) (bool, error) {
+	q, err := n.Context(i, true)
+	if err != nil {
+		return false, err
+	}
+	return AdversityCyclic(n.Process(i), q)
+}
+
+// CollaborationWitnessNet returns a schedule certifying S_c for process i
+// of an acyclic network (ok=false when S_c fails).
+func CollaborationWitnessNet(n *network.Network, i int) (Trace, bool, error) {
+	q, err := n.Context(i, false)
+	if err != nil {
+		return nil, false, err
+	}
+	return CollaborationWitness(n.Process(i), q)
+}
+
+// BlockingWitnessNet returns a deadlock trace certifying ¬S_u for process
+// i of an acyclic network (ok=false when the network is blocking-free).
+func BlockingWitnessNet(n *network.Network, i int) (Trace, bool, error) {
+	q, err := n.Context(i, false)
+	if err != nil {
+		return nil, false, err
+	}
+	return BlockingWitness(n.Process(i), q)
+}
+
+// BlockingWitnessCyclicNet is BlockingWitnessNet under the Section 4
+// semantics (the context is composed with the cyclic ‖).
+func BlockingWitnessCyclicNet(n *network.Network, i int) (Trace, bool, error) {
+	q, err := n.Context(i, true)
+	if err != nil {
+		return nil, false, err
+	}
+	return BlockingWitnessCyclic(n.Process(i), q)
+}

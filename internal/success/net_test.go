@@ -1,0 +1,105 @@
+package success
+
+import (
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+)
+
+func TestNetWrappersAcyclic(t *testing.T) {
+	n := network.MustNew(
+		fsp.Linear("P0", "x"),
+		fsp.Linear("P1", "x"),
+	)
+	su, err := UnavoidableAcyclicNet(n, 0)
+	if err != nil || !su {
+		t.Errorf("S_u = %v, %v", su, err)
+	}
+	sc, err := CollaborationAcyclicNet(n, 0)
+	if err != nil || !sc {
+		t.Errorf("S_c = %v, %v", sc, err)
+	}
+	sa, err := AdversityAcyclicNet(n, 0)
+	if err != nil || !sa {
+		t.Errorf("S_a = %v, %v", sa, err)
+	}
+	tr, ok, err := CollaborationWitnessNet(n, 0)
+	if err != nil || !ok || len(tr) != 1 {
+		t.Errorf("witness: %v %v %v", tr, ok, err)
+	}
+	_, blocked, err := BlockingWitnessNet(n, 0)
+	if err != nil || blocked {
+		t.Errorf("blocking: %v %v", blocked, err)
+	}
+	// Out-of-range index errors propagate from Context.
+	if _, err := UnavoidableAcyclicNet(n, 7); err == nil {
+		t.Error("bad index must fail")
+	}
+	if _, err := CollaborationAcyclicNet(n, -1); err == nil {
+		t.Error("bad index must fail")
+	}
+	if _, err := AdversityAcyclicNet(n, 7); err == nil {
+		t.Error("bad index must fail")
+	}
+	if _, _, err := CollaborationWitnessNet(n, 7); err == nil {
+		t.Error("bad index must fail")
+	}
+	if _, _, err := BlockingWitnessNet(n, 7); err == nil {
+		t.Error("bad index must fail")
+	}
+}
+
+func TestNetWrappersCyclic(t *testing.T) {
+	mk := func(name string) *fsp.FSP {
+		b := fsp.NewBuilder(name)
+		s0 := b.State("0")
+		b.Add(s0, "x", s0)
+		return b.MustBuild()
+	}
+	n := network.MustNew(mk("P0"), mk("P1"))
+	su, err := UnavoidableCyclicNet(n, 0)
+	if err != nil || !su {
+		t.Errorf("S_u = %v, %v", su, err)
+	}
+	sc, err := CollaborationCyclicNet(n, 0)
+	if err != nil || !sc {
+		t.Errorf("S_c = %v, %v", sc, err)
+	}
+	sa, err := AdversityCyclicNet(n, 0)
+	if err != nil || !sa {
+		t.Errorf("S_a = %v, %v", sa, err)
+	}
+	_, blocked, err := BlockingWitnessCyclicNet(n, 0)
+	if err != nil || blocked {
+		t.Errorf("blocking: %v %v", blocked, err)
+	}
+	if _, err := UnavoidableCyclicNet(n, 7); err == nil {
+		t.Error("bad index must fail")
+	}
+	if _, err := CollaborationCyclicNet(n, 7); err == nil {
+		t.Error("bad index must fail")
+	}
+	if _, err := AdversityCyclicNet(n, 7); err == nil {
+		t.Error("bad index must fail")
+	}
+	if _, _, err := BlockingWitnessCyclicNet(n, 7); err == nil {
+		t.Error("bad index must fail")
+	}
+}
+
+func TestAnalyzeBundleErrorPaths(t *testing.T) {
+	// Cyclic process in an "acyclic" analysis propagates ErrShape; a τ-ful
+	// distinguished process fails the cyclic bundle at the τ-free check.
+	b := fsp.NewBuilder("P0")
+	s0, s1 := b.State("0"), b.State("1")
+	b.AddTau(s0, s1)
+	b.Add(s1, "x", s0)
+	n := network.MustNew(b.MustBuild(), fsp.Linear("P1", "x"))
+	if _, err := AnalyzeAcyclic(n, 0); err == nil {
+		t.Error("cyclic P0 must fail the acyclic bundle")
+	}
+	if _, err := AnalyzeCyclic(n, 0); err == nil {
+		t.Error("τ-ful P0 must fail the cyclic bundle")
+	}
+}

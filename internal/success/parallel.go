@@ -1,0 +1,74 @@
+package success
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fspnet/internal/network"
+)
+
+// Result is the analysis outcome for one process of a network.
+type Result struct {
+	Index   int
+	Name    string
+	Verdict Verdict
+	Err     error
+}
+
+// AnalyzeAll analyzes every process of the network as the distinguished
+// one, concurrently. cyclic selects the Section 4 semantics. workers
+// bounds concurrency (≤ 0 means GOMAXPROCS). The returned slice is
+// indexed by process; per-process failures (e.g. a τ-ful process hitting
+// the game's restriction) are reported in Result.Err rather than aborting
+// the whole run. The context cancels outstanding work between processes.
+func AnalyzeAll(ctx context.Context, n *network.Network, cyclic bool, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n.Len() {
+		workers = n.Len()
+	}
+	results := make([]Result, n.Len())
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = analyzeOne(n, i, cyclic)
+			}
+		}()
+	}
+	err := func() error {
+		defer close(jobs)
+		for i := 0; i < n.Len(); i++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("success: AnalyzeAll: %w", err)
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return fmt.Errorf("success: AnalyzeAll: %w", ctx.Err())
+			}
+		}
+		return nil
+	}()
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func analyzeOne(n *network.Network, i int, cyclic bool) Result {
+	res := Result{Index: i, Name: n.Process(i).Name()}
+	if cyclic {
+		res.Verdict, res.Err = AnalyzeCyclic(n, i)
+	} else {
+		res.Verdict, res.Err = AnalyzeAcyclic(n, i)
+	}
+	return res
+}

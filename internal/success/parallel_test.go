@@ -1,0 +1,85 @@
+package success
+
+import (
+	"context"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+)
+
+func TestAnalyzeAll(t *testing.T) {
+	n := network.MustNew(
+		fsp.Linear("P0", "x"),
+		fsp.Linear("P1", "x", "y"),
+		fsp.Linear("P2", "y"),
+	)
+	results, err := AnalyzeAll(context.Background(), n, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i || r.Err != nil {
+			t.Errorf("result %d: %+v", i, r)
+		}
+		if r.Verdict != (Verdict{Su: true, Sa: true, Sc: true}) {
+			t.Errorf("result %d verdict = %v", i, r.Verdict)
+		}
+		if r.Name != n.Process(i).Name() {
+			t.Errorf("result %d name = %q", i, r.Name)
+		}
+	}
+}
+
+func TestAnalyzeAllPerProcessErrors(t *testing.T) {
+	// P0 has a τ-move, so its game analysis fails; P1's must still run.
+	b := fsp.NewBuilder("P0")
+	s0, s1, s2 := b.State("0"), b.State("1"), b.State("2")
+	b.AddTau(s0, s1)
+	b.Add(s1, "x", s2)
+	n := network.MustNew(b.MustBuild(), fsp.Linear("P1", "x"))
+	results, err := AnalyzeAll(context.Background(), n, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Error("τ-ful and cyclic P0 must report an analysis error")
+	}
+	if results[1].Err != nil {
+		t.Errorf("P1 analysis failed: %v", results[1].Err)
+	}
+}
+
+func TestAnalyzeAllCyclic(t *testing.T) {
+	bp := fsp.NewBuilder("P")
+	p0 := bp.State("0")
+	bp.Add(p0, "a", p0)
+	bq := fsp.NewBuilder("Q")
+	q0 := bq.State("0")
+	bq.Add(q0, "a", q0)
+	n := network.MustNew(bp.MustBuild(), bq.MustBuild())
+	results, err := AnalyzeAll(context.Background(), n, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil || r.Verdict != (Verdict{Su: true, Sa: true, Sc: true}) {
+			t.Errorf("result %+v", r)
+		}
+	}
+}
+
+func TestAnalyzeAllCancellation(t *testing.T) {
+	n := network.MustNew(
+		fsp.Linear("P0", "x"),
+		fsp.Linear("P1", "x"),
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeAll(ctx, n, false, 1); err == nil {
+		t.Error("cancelled context should abort the run")
+	}
+}

@@ -1,0 +1,154 @@
+// Package success implements the reference decision procedures for the
+// three notions of success of Section 3.1 (acyclic) and Section 4.1
+// (cyclic): unavoidable success S_u, success in adversity S_a, and success
+// with collaboration S_c, for a distinguished process P in a context Q.
+//
+// These are the "analyze the global process" algorithms the paper calls
+// standard but inefficient: explicit reachability over the P×Q pair space
+// and the belief-set game of package game. They serve as ground truth for
+// the efficient algorithms of packages linear, treesolve, and unary.
+package success
+
+import (
+	"errors"
+	"fmt"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/game"
+	"fspnet/internal/network"
+)
+
+// ErrShape reports inputs outside a procedure's domain (e.g. cyclic
+// processes passed to an acyclic analysis).
+var ErrShape = errors.New("success: input outside procedure domain")
+
+// Verdict carries the three predicates for one distinguished process.
+// The implications S_u ⇒ S_a ⇒ S_c always hold.
+type Verdict struct {
+	Su bool // unavoidable success: every maximal run drives P to a leaf
+	Sa bool // success in adversity: P wins Game(P, Q)
+	Sc bool // success with collaboration: some run drives P to a leaf
+}
+
+// String renders the verdict compactly.
+func (v Verdict) String() string {
+	return fmt.Sprintf("S_u=%t S_a=%t S_c=%t", v.Su, v.Sa, v.Sc)
+}
+
+// Consistent reports whether the verdict respects S_u ⇒ S_a ⇒ S_c.
+func (v Verdict) Consistent() bool {
+	return (!v.Su || v.Sa) && (!v.Sa || v.Sc)
+}
+
+// pair is a joint state of the P×Q system.
+type pair struct {
+	p, q fsp.State
+}
+
+// stuckInfo is the result of exploring the joint system.
+type stuckInfo struct {
+	stuckAtLeaf    bool // some reachable stuck pair has P at a leaf
+	stuckAtNonLeaf bool // some reachable stuck pair has P off-leaf
+}
+
+// exploreStuck walks the reachable P×Q pair graph under the closed-network
+// moves and classifies the stuck pairs — the leaves of the global process
+// G. In a closed network every non-τ action is a handshake between P and
+// its context (Definition 2 gives each action exactly two owners), so the
+// joint moves are P's τ, Q's τ, and simultaneous moves on equal labels;
+// an action the other side can never match simply never fires.
+func exploreStuck(p, q *fsp.FSP) stuckInfo {
+	var info stuckInfo
+	start := pair{p.Start(), q.Start()}
+	seen := map[pair]bool{start: true}
+	queue := []pair{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		moved := false
+		visit := func(np pair) {
+			moved = true
+			if !seen[np] {
+				seen[np] = true
+				queue = append(queue, np)
+			}
+		}
+		for _, t := range p.Out(cur.p) {
+			if t.Label == fsp.Tau {
+				visit(pair{t.To, cur.q})
+			}
+		}
+		for _, t := range q.Out(cur.q) {
+			if t.Label == fsp.Tau {
+				visit(pair{cur.p, t.To})
+			}
+		}
+		for _, tp := range p.Out(cur.p) {
+			if tp.Label == fsp.Tau {
+				continue
+			}
+			for _, tq := range q.Out(cur.q) {
+				if tq.Label == tp.Label {
+					visit(pair{tp.To, tq.To})
+				}
+			}
+		}
+		if !moved {
+			if p.IsLeaf(cur.p) {
+				info.stuckAtLeaf = true
+			} else {
+				info.stuckAtNonLeaf = true
+			}
+			if info.stuckAtLeaf && info.stuckAtNonLeaf {
+				return info
+			}
+		}
+	}
+	return info
+}
+
+// UnavoidableAcyclic decides S_u(P, Q) for acyclic P and Q: under the
+// continuity rule every maximal run of the global process must leave P at
+// one of its leaves, i.e. no reachable stuck pair has P off-leaf.
+func UnavoidableAcyclic(p, q *fsp.FSP) (bool, error) {
+	if !p.IsAcyclic() || !q.IsAcyclic() {
+		return false, fmt.Errorf("UnavoidableAcyclic(%s, %s): %w", p.Name(), q.Name(), ErrShape)
+	}
+	return !exploreStuck(p, q).stuckAtNonLeaf, nil
+}
+
+// CollaborationAcyclic decides S_c(P, Q) for acyclic P and Q: some
+// reachable stuck pair (leaf of G) has P at a leaf.
+func CollaborationAcyclic(p, q *fsp.FSP) (bool, error) {
+	if !p.IsAcyclic() || !q.IsAcyclic() {
+		return false, fmt.Errorf("CollaborationAcyclic(%s, %s): %w", p.Name(), q.Name(), ErrShape)
+	}
+	return exploreStuck(p, q).stuckAtLeaf, nil
+}
+
+// AdversityAcyclic decides S_a(P, Q) by solving the acyclic Game(P, Q).
+// P must be τ-free (Figure 4 assumption).
+func AdversityAcyclic(p, q *fsp.FSP) (bool, error) {
+	return game.SolveAcyclic(p, q)
+}
+
+// AnalyzeAcyclic decides all three predicates for the distinguished
+// process i of an acyclic network, composing the context Q with ‖.
+func AnalyzeAcyclic(n *network.Network, i int) (Verdict, error) {
+	p := n.Process(i)
+	q, err := n.Context(i, false)
+	if err != nil {
+		return Verdict{}, err
+	}
+	var v Verdict
+	if v.Su, err = UnavoidableAcyclic(p, q); err != nil {
+		return Verdict{}, err
+	}
+	if v.Sc, err = CollaborationAcyclic(p, q); err != nil {
+		return Verdict{}, err
+	}
+	if v.Sa, err = AdversityAcyclic(p, q); err != nil {
+		return Verdict{}, err
+	}
+	return v, nil
+}

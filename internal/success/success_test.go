@@ -1,0 +1,258 @@
+package success
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/game"
+	"fspnet/internal/network"
+	"fspnet/internal/poss"
+)
+
+// figure3 builds the two-process network of Figure 3:
+// P: 1 -a-> 2 and Q: 1 -a-> 2, 1 -τ-> 3.
+func figure3() (*fsp.FSP, *fsp.FSP) {
+	p := fsp.Linear("P", "a")
+	b := fsp.NewBuilder("Q")
+	q1, q2, q3 := b.State("1"), b.State("2"), b.State("3")
+	b.Add(q1, "a", q2)
+	b.AddTau(q1, q3)
+	return p, b.MustBuild()
+}
+
+func TestFigure3(t *testing.T) {
+	p, q := figure3()
+	su, err := UnavoidableAcyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := CollaborationAcyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := AdversityAcyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q may silently go to state 3 leaving P stuck at a non-leaf, so S_u and
+	// even S_a fail; cooperation (the a-handshake) succeeds.
+	if su {
+		t.Error("S_u must be false: Q can τ-escape and block P")
+	}
+	if sa {
+		t.Error("S_a must be false: adversarial Q always τ-escapes")
+	}
+	if !sc {
+		t.Error("S_c must be true: the a-handshake drives P to its leaf")
+	}
+}
+
+// figure9Network reproduces the example printed above Section 4 in the
+// paper: S_u = false (a context process makes a τ-move and P left-branches
+// on a), S_a = true (P right-branches on a), S_c = true.
+func figure9Network() (*fsp.FSP, *fsp.FSP) {
+	// P: root with two a-branches; the left one still needs b, the right
+	// one is a leaf.
+	bp := fsp.NewBuilder("P")
+	root, left, right, done := bp.State("r"), bp.State("l"), bp.State("rr"), bp.State("done")
+	bp.Add(root, "a", left)
+	bp.Add(root, "a", right)
+	bp.Add(left, "b", done)
+	p := bp.MustBuild()
+	// Q offers a, then either offers b or τ-moves to a state without b.
+	bq := fsp.NewBuilder("Q")
+	q0, q1, q2, q3 := bq.State("0"), bq.State("1"), bq.State("2"), bq.State("3")
+	bq.Add(q0, "a", q1)
+	bq.Add(q1, "b", q2)
+	bq.AddTau(q1, q3)
+	return p, bq.MustBuild()
+}
+
+func TestFigure9SuccessValues(t *testing.T) {
+	p, q := figure9Network()
+	su, err := UnavoidableAcyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := AdversityAcyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := CollaborationAcyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Verdict{Su: su, Sa: sa, Sc: sc}
+	want := Verdict{Su: false, Sa: true, Sc: true}
+	if v != want {
+		t.Errorf("verdict = %v, want %v", v, want)
+	}
+	if !v.Consistent() {
+		t.Error("verdict violates S_u ⇒ S_a ⇒ S_c")
+	}
+}
+
+func TestImplicationChainAcyclic(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 80; i++ {
+		p, q := fsptest.TwoProcessClosed(r, cfg)
+		su, err := UnavoidableAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := AdversityAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := CollaborationAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := Verdict{Su: su, Sa: sa, Sc: sc}
+		if !v.Consistent() {
+			t.Fatalf("iter %d: %v violates S_u ⇒ S_a ⇒ S_c\nP=%s\nQ=%s",
+				i, v, p.DOT(), q.DOT())
+		}
+	}
+}
+
+// TestLemma3 checks S_c(P,Q) ⇔ ∃s. s ∈ Lang(Q) ∧ (s, ∅) ∈ Poss(P) on
+// random closed pairs.
+func TestLemma3(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 80; i++ {
+		p, q := fsptest.TwoProcessClosed(r, cfg)
+		sc, err := CollaborationAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := false
+		for _, item := range poss.MustOf(p).Items() {
+			if len(item.Z) == 0 && q.Accepts(item.S) {
+				want = true
+				break
+			}
+		}
+		if sc != want {
+			t.Fatalf("iter %d: S_c=%v but Lemma 3 witness=%v\nP=%s\nQ=%s",
+				i, sc, want, p.DOT(), q.DOT())
+		}
+	}
+}
+
+// TestLemma4 checks ¬S_u(P,Q) ⇔ ∃s,X,Y. (s,X) ∈ Poss(P) ∧ (s,Y) ∈ Poss(Q)
+// ∧ X ≠ ∅ ∧ X ∩ Y = ∅ on random closed pairs.
+func TestLemma4(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 80; i++ {
+		p, q := fsptest.TwoProcessClosed(r, cfg)
+		su, err := UnavoidableAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked := false
+		possQ := poss.MustOf(q)
+		for _, ip := range poss.MustOf(p).Items() {
+			if len(ip.Z) == 0 {
+				continue
+			}
+			for _, zq := range possQ.At(ip.S) {
+				if !actionsIntersect(ip.Z, zq) {
+					blocked = true
+				}
+			}
+		}
+		if su == blocked {
+			t.Fatalf("iter %d: S_u=%v but Lemma 4 blocking witness=%v\nP=%s\nQ=%s",
+				i, su, blocked, p.DOT(), q.DOT())
+		}
+	}
+}
+
+// TestLemma5 checks that S_a depends on Q only through Poss(Q): replacing
+// Q by the normal form of its possibility set must not change the verdict.
+func TestLemma5(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 60; i++ {
+		p, q := fsptest.TwoProcessClosed(r, cfg)
+		qn, err := poss.NormalForm("Qn", poss.MustOf(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa1, err := AdversityAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa2, err := AdversityAcyclic(p, qn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa1 != sa2 {
+			t.Fatalf("iter %d: S_a(P,Q)=%v but S_a(P,NF(Q))=%v\nP=%s\nQ=%s",
+				i, sa1, sa2, p.DOT(), q.DOT())
+		}
+	}
+}
+
+func TestGameRejectsTauP(t *testing.T) {
+	b := fsp.NewBuilder("P")
+	s0, s1 := b.State("0"), b.State("1")
+	b.AddTau(s0, s1)
+	p := b.MustBuild()
+	q := fsp.Linear("Q", "a")
+	if _, err := AdversityAcyclic(p, q); !errors.Is(err, game.ErrTauMoves) {
+		t.Errorf("err = %v, want ErrTauMoves", err)
+	}
+}
+
+func TestAcyclicShapeErrors(t *testing.T) {
+	b := fsp.NewBuilder("C")
+	s0 := b.State("0")
+	b.Add(s0, "a", s0)
+	cyc := b.MustBuild()
+	lin := fsp.Linear("L", "a")
+	if _, err := UnavoidableAcyclic(cyc, lin); !errors.Is(err, ErrShape) {
+		t.Errorf("UnavoidableAcyclic err = %v, want ErrShape", err)
+	}
+	if _, err := CollaborationAcyclic(lin, cyc); !errors.Is(err, ErrShape) {
+		t.Errorf("CollaborationAcyclic err = %v, want ErrShape", err)
+	}
+}
+
+func TestAnalyzeAcyclicNetwork(t *testing.T) {
+	// Three-process chain: P0 -x- P1 -y- P2 where all want one handshake.
+	p0 := fsp.Linear("P0", "x")
+	p1 := fsp.Linear("P1", "x", "y")
+	p2 := fsp.Linear("P2", "y")
+	n := network.MustNew(p0, p1, p2)
+	v, err := AnalyzeAcyclic(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Verdict{Su: true, Sa: true, Sc: true}
+	if v != want {
+		t.Errorf("verdict = %v, want %v", v, want)
+	}
+	// P2 also succeeds unavoidably.
+	v2, err := AnalyzeAcyclic(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != want {
+		t.Errorf("P2 verdict = %v, want %v", v2, want)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	v := Verdict{Su: true, Sa: true, Sc: true}
+	if v.String() != "S_u=true S_a=true S_c=true" {
+		t.Errorf("String = %q", v.String())
+	}
+}

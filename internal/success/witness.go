@@ -1,0 +1,202 @@
+package success
+
+import (
+	"fmt"
+	"strings"
+
+	"fspnet/internal/fsp"
+)
+
+// StepKind classifies one move of the two-party global system.
+type StepKind int
+
+const (
+	// StepTauP is an internal move of the distinguished process.
+	StepTauP StepKind = iota + 1
+	// StepTauQ is an internal move of the context (a hidden handshake or
+	// τ-move inside Q).
+	StepTauQ
+	// StepHandshake is a P–Q handshake on a shared action.
+	StepHandshake
+)
+
+// Step is one transition of a witness trace, recorded with the states the
+// system is in after the move.
+type Step struct {
+	Kind   StepKind
+	Label  fsp.Action // the handshake action; fsp.Tau for internal moves
+	PState string     // P's state name after the step
+	QState string     // Q's state name after the step
+}
+
+// Trace is a run of the global system from its start state.
+type Trace []Step
+
+// String renders the trace one step per line.
+func (tr Trace) String() string {
+	var sb strings.Builder
+	for i, s := range tr {
+		var what string
+		switch s.Kind {
+		case StepTauP:
+			what = "P: τ"
+		case StepTauQ:
+			what = "Q: τ"
+		case StepHandshake:
+			what = "P⇄Q: " + string(s.Label)
+		}
+		fmt.Fprintf(&sb, "%3d. %-12s → (%s, %s)\n", i+1, what, s.PState, s.QState)
+	}
+	return sb.String()
+}
+
+// Actions returns the handshake labels of the trace in order — the common
+// string s the trace witnesses.
+func (tr Trace) Actions() []fsp.Action {
+	var out []fsp.Action
+	for _, s := range tr {
+		if s.Kind == StepHandshake {
+			out = append(out, s.Label)
+		}
+	}
+	return out
+}
+
+// CollaborationWitness returns a run of the closed two-party system
+// ending in a stuck state with P at a leaf — a schedule certifying
+// S_c(P, Q) — or ok=false when none exists.
+func CollaborationWitness(p, q *fsp.FSP) (trace Trace, ok bool, err error) {
+	if !p.IsAcyclic() || !q.IsAcyclic() {
+		return nil, false, fmt.Errorf("CollaborationWitness(%s, %s): %w", p.Name(), q.Name(), ErrShape)
+	}
+	return witnessSearch(p, q, func(pp, qq fsp.State) bool { return p.IsLeaf(pp) })
+}
+
+// BlockingWitness returns a run ending in a stuck state with P off a leaf
+// — a deadlock trace certifying ¬S_u(P, Q) — or ok=false when the network
+// is blocking-free.
+func BlockingWitness(p, q *fsp.FSP) (trace Trace, ok bool, err error) {
+	if !p.IsAcyclic() || !q.IsAcyclic() {
+		return nil, false, fmt.Errorf("BlockingWitness(%s, %s): %w", p.Name(), q.Name(), ErrShape)
+	}
+	return witnessSearch(p, q, func(pp, qq fsp.State) bool { return !p.IsLeaf(pp) })
+}
+
+// BlockingWitnessCyclic returns a run reaching a jointly stable pair
+// offering disjoint action sets — the Section 4 blocking witness — or
+// ok=false when S_u holds. Q should be the cyclic composition of the
+// context. The distinguished process must be τ-free.
+func BlockingWitnessCyclic(p, q *fsp.FSP) (trace Trace, ok bool, err error) {
+	if err := checkSection4P(p); err != nil {
+		return nil, false, err
+	}
+	start := pairNode{p.Start(), q.Start()}
+	parent := map[pairNode]pairEdge{start: {}}
+	queue := []pairNode{start}
+	var goal *pairNode
+	for len(queue) > 0 && goal == nil {
+		cur := queue[0]
+		queue = queue[1:]
+		if p.IsStable(cur.pp) && q.IsStable(cur.qq) &&
+			!actionsIntersect(p.ActionsAt(cur.pp), q.ActionsAt(cur.qq)) {
+			c := cur
+			goal = &c
+			break
+		}
+		push := func(nxt pairNode, st Step) {
+			if _, seen := parent[nxt]; !seen {
+				parent[nxt] = pairEdge{from: cur, step: st}
+				queue = append(queue, nxt)
+			}
+		}
+		for _, t := range q.Out(cur.qq) {
+			if t.Label == fsp.Tau {
+				push(pairNode{cur.pp, t.To}, Step{Kind: StepTauQ, Label: fsp.Tau,
+					PState: p.StateName(cur.pp), QState: q.StateName(t.To)})
+			}
+		}
+		for _, tp := range p.Out(cur.pp) {
+			for _, tq := range q.Out(cur.qq) {
+				if tq.Label == tp.Label {
+					push(pairNode{tp.To, tq.To}, Step{Kind: StepHandshake, Label: tp.Label,
+						PState: p.StateName(tp.To), QState: q.StateName(tq.To)})
+				}
+			}
+		}
+	}
+	if goal == nil {
+		return nil, false, nil
+	}
+	return unwind(parent, start, *goal), true, nil
+}
+
+func unwind(parent map[pairNode]pairEdge, start, goal pairNode) Trace {
+	var rev Trace
+	cur := goal
+	for cur != start {
+		e := parent[cur]
+		rev = append(rev, e.step)
+		cur = e.from
+	}
+	// Reverse.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// pairNode is a joint state of the two-party system; pairEdge records how
+// the BFS reached it.
+type pairNode struct{ pp, qq fsp.State }
+
+type pairEdge struct {
+	from pairNode
+	step Step
+}
+
+// witnessSearch BFSes the closed two-party pair graph for a stuck state
+// matching goal and unwinds the parent chain into a trace.
+func witnessSearch(p, q *fsp.FSP, goal func(pp, qq fsp.State) bool) (Trace, bool, error) {
+	start := pairNode{p.Start(), q.Start()}
+	parent := map[pairNode]pairEdge{start: {}}
+	queue := []pairNode{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		moved := false
+		push := func(nxt pairNode, st Step) {
+			moved = true
+			if _, seen := parent[nxt]; !seen {
+				parent[nxt] = pairEdge{from: cur, step: st}
+				queue = append(queue, nxt)
+			}
+		}
+		for _, t := range p.Out(cur.pp) {
+			if t.Label == fsp.Tau {
+				push(pairNode{t.To, cur.qq}, Step{Kind: StepTauP, Label: fsp.Tau,
+					PState: p.StateName(t.To), QState: q.StateName(cur.qq)})
+			}
+		}
+		for _, t := range q.Out(cur.qq) {
+			if t.Label == fsp.Tau {
+				push(pairNode{cur.pp, t.To}, Step{Kind: StepTauQ, Label: fsp.Tau,
+					PState: p.StateName(cur.pp), QState: q.StateName(t.To)})
+			}
+		}
+		for _, tp := range p.Out(cur.pp) {
+			if tp.Label == fsp.Tau {
+				continue
+			}
+			for _, tq := range q.Out(cur.qq) {
+				if tq.Label == tp.Label {
+					push(pairNode{tp.To, tq.To}, Step{Kind: StepHandshake, Label: tp.Label,
+						PState: p.StateName(tp.To), QState: q.StateName(tq.To)})
+				}
+			}
+		}
+		if !moved && goal(cur.pp, cur.qq) {
+			return unwind(parent, start, cur), true, nil
+		}
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,208 @@
+package success
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+)
+
+func TestCollaborationWitnessFigure3(t *testing.T) {
+	p, q := figure3()
+	tr, ok, err := CollaborationWitness(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("S_c holds, a witness must exist")
+	}
+	acts := tr.Actions()
+	if len(acts) != 1 || acts[0] != "a" {
+		t.Errorf("witness string = %v, want [a]", acts)
+	}
+	if !strings.Contains(tr.String(), "P⇄Q: a") {
+		t.Errorf("trace rendering:\n%s", tr)
+	}
+}
+
+func TestBlockingWitnessFigure3(t *testing.T) {
+	p, q := figure3()
+	tr, ok, err := BlockingWitness(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("¬S_u holds, a blocking trace must exist")
+	}
+	// The blocking run is Q's silent defection: one τ-step of Q.
+	if len(tr) != 1 || tr[0].Kind != StepTauQ {
+		t.Errorf("blocking trace = %v", tr)
+	}
+}
+
+func TestBlockingWitnessAbsent(t *testing.T) {
+	// Perfectly matched chain has no blocking trace.
+	p := fsp.Linear("P", "a")
+	q := fsp.Linear("Q", "a")
+	_, ok, err := BlockingWitness(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("no blocking trace expected")
+	}
+	tr, ok, err := CollaborationWitness(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || len(tr) != 1 {
+		t.Errorf("collaboration trace = %v ok=%v", tr, ok)
+	}
+}
+
+// TestWitnessAgreesWithPredicates: a witness exists exactly when the
+// corresponding predicate says so, on random closed pairs.
+func TestWitnessAgreesWithPredicates(t *testing.T) {
+	r := rand.New(rand.NewSource(811))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 60; i++ {
+		p, q := fsptest.TwoProcessClosed(r, cfg)
+		sc, err := CollaborationAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ok, err := CollaborationWitness(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != sc {
+			t.Fatalf("iter %d: witness=%v but S_c=%v", i, ok, sc)
+		}
+		su, err := UnavoidableAcyclic(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, blocked, err := BlockingWitness(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blocked == su {
+			t.Fatalf("iter %d: blocking witness=%v but S_u=%v", i, blocked, su)
+		}
+	}
+}
+
+// TestWitnessTraceReplays: the returned trace replays step by step on the
+// two machines.
+func TestWitnessTraceReplays(t *testing.T) {
+	r := rand.New(rand.NewSource(821))
+	cfg := fsptest.DefaultConfig()
+	for i := 0; i < 40; i++ {
+		p, q := fsptest.TwoProcessClosed(r, cfg)
+		tr, ok, err := CollaborationWitness(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		pp, qq := p.Start(), q.Start()
+		for k, st := range tr {
+			moved := false
+			switch st.Kind {
+			case StepTauP:
+				for _, tp := range p.Out(pp) {
+					if tp.Label == fsp.Tau && p.StateName(tp.To) == st.PState {
+						pp = tp.To
+						moved = true
+						break
+					}
+				}
+			case StepTauQ:
+				for _, tq := range q.Out(qq) {
+					if tq.Label == fsp.Tau && q.StateName(tq.To) == st.QState {
+						qq = tq.To
+						moved = true
+						break
+					}
+				}
+			case StepHandshake:
+				for _, tp := range p.Out(pp) {
+					if tp.Label != st.Label || p.StateName(tp.To) != st.PState {
+						continue
+					}
+					for _, tq := range q.Out(qq) {
+						if tq.Label == st.Label && q.StateName(tq.To) == st.QState {
+							pp, qq = tp.To, tq.To
+							moved = true
+							break
+						}
+					}
+					if moved {
+						break
+					}
+				}
+			}
+			if !moved {
+				t.Fatalf("iter %d: step %d (%v) does not replay", i, k, st)
+			}
+		}
+		if !p.IsLeaf(pp) {
+			t.Fatalf("iter %d: replayed trace does not end at a P leaf", i)
+		}
+	}
+}
+
+func TestBlockingWitnessCyclic(t *testing.T) {
+	p := aLoop("P")
+	b := fsp.NewBuilder("Q")
+	q0, q1 := b.State("0"), b.State("1")
+	b.Add(q0, "a", q0)
+	b.AddTau(q0, q1)
+	q := b.MustBuild()
+	tr, ok, err := BlockingWitnessCyclic(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("blocking witness must exist")
+	}
+	if len(tr) != 1 || tr[0].Kind != StepTauQ {
+		t.Errorf("trace = %v", tr)
+	}
+	// The happy loop has no blocking witness.
+	_, ok, err = BlockingWitnessCyclic(p, aLoop("Q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("mutual loop must have no blocking witness")
+	}
+}
+
+func TestWitnessShapeErrors(t *testing.T) {
+	b := fsp.NewBuilder("C")
+	s0 := b.State("0")
+	b.Add(s0, "a", s0)
+	cyc := b.MustBuild()
+	lin := fsp.Linear("L", "a")
+	if _, _, err := CollaborationWitness(cyc, lin); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+	if _, _, err := BlockingWitness(lin, cyc); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+	tauP := func() *fsp.FSP {
+		b := fsp.NewBuilder("T")
+		s0, s1 := b.State("0"), b.State("1")
+		b.AddTau(s0, s1)
+		b.Add(s1, "a", s0)
+		return b.MustBuild()
+	}()
+	if _, _, err := BlockingWitnessCyclic(tauP, cyc); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+}

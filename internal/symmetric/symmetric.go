@@ -1,0 +1,221 @@
+// Package symmetric implements the generalization the paper's Section 5
+// poses as an open problem: instead of a single distinguished process,
+// distinguish a *group* P = Pᵢ₁ ‖ … ‖ Pᵢ𝚐 and ask the success questions
+// against the context Q formed by the remaining processes.
+//
+// Unavoidable success and success with collaboration generalize directly:
+// the group is composed into one process (its internal handshakes become
+// τ-moves), "P at a leaf" means the whole group is jointly stuck-free-done,
+// and the two-party analyses of package success apply. Success in
+// adversity does not generalize canonically — the right notion of group
+// strategy (joint knowledge vs. distributed knowledge among the group
+// members) is exactly what the paper leaves open — so this package
+// deliberately exposes only S_u and S_c, plus both resolutions of the
+// knowledge question for experimentation:
+//
+//   - JointAdversity treats the group as one player with pooled
+//     observations (an upper bound on any distributed notion), playable
+//     only when the composed group happens to be τ-free (no internal
+//     handshakes, e.g. a group of pairwise non-communicating processes).
+package symmetric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/game"
+	"fspnet/internal/lang"
+	"fspnet/internal/network"
+	"fspnet/internal/success"
+)
+
+var (
+	// ErrBadGroup reports an empty, duplicated, or non-proper group.
+	ErrBadGroup = errors.New("symmetric: group must be a non-empty proper subset of the processes")
+	// ErrInternalMoves reports a group whose composition has τ-moves,
+	// for which the joint game is not defined.
+	ErrInternalMoves = errors.New("symmetric: composed group has internal moves; joint game undefined")
+)
+
+// Verdict carries the two generalized predicates.
+type Verdict struct {
+	Su bool // every run leaves the whole group jointly at leaves
+	Sc bool // some run does
+}
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	return fmt.Sprintf("S_u=%t S_c=%t", v.Su, v.Sc)
+}
+
+// Split composes the group into the distinguished process and the
+// complement into the context. cyclic selects the Section 4 composition.
+func Split(n *network.Network, group []int, cyclic bool) (p, q *fsp.FSP, err error) {
+	if err := validateGroup(n, group); err != nil {
+		return nil, nil, err
+	}
+	inGroup := make(map[int]bool, len(group))
+	for _, i := range group {
+		inGroup[i] = true
+	}
+	var ps, qs []*fsp.FSP
+	for i := 0; i < n.Len(); i++ {
+		if inGroup[i] {
+			ps = append(ps, n.Process(i))
+		} else {
+			qs = append(qs, n.Process(i))
+		}
+	}
+	compose := fsp.ComposeAll
+	if cyclic {
+		compose = fsp.ComposeAllCyclic
+	}
+	p, err = compose(ps...)
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err = compose(qs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, q, nil
+}
+
+// Analyze decides the generalized S_u and S_c for the group.
+func Analyze(n *network.Network, group []int, cyclic bool) (Verdict, error) {
+	p, q, err := Split(n, group, cyclic)
+	if err != nil {
+		return Verdict{}, err
+	}
+	var v Verdict
+	if cyclic {
+		// The Section 4 predicates assume a τ-free leafless P; the
+		// composed group generally has τ-moves, so decide directly on the
+		// pair system: blocking = reachable jointly-stable pair with
+		// disjoint offers, collaboration = infinite common language.
+		p = fsp.AddDivergenceLeaf(p)
+		v.Su, err = cyclicGroupUnavoidable(p, q)
+		if err != nil {
+			return Verdict{}, err
+		}
+		v.Sc, err = cyclicGroupCollaboration(p, q)
+		if err != nil {
+			return Verdict{}, err
+		}
+		return v, nil
+	}
+	if v.Su, err = success.UnavoidableAcyclic(p, q); err != nil {
+		return Verdict{}, err
+	}
+	if v.Sc, err = success.CollaborationAcyclic(p, q); err != nil {
+		return Verdict{}, err
+	}
+	return v, nil
+}
+
+// JointAdversity decides the joint-knowledge upper bound of the group
+// game: the group plays as a single player that sees the full action
+// history. It requires the composed group to be τ-free, which holds
+// exactly when the group members do not communicate with one another.
+func JointAdversity(n *network.Network, group []int) (bool, error) {
+	p, q, err := Split(n, group, false)
+	if err != nil {
+		return false, err
+	}
+	for _, t := range p.Transitions() {
+		if t.Label == fsp.Tau {
+			return false, fmt.Errorf("group %v: %w", group, ErrInternalMoves)
+		}
+	}
+	return game.SolveAcyclic(p, q)
+}
+
+func validateGroup(n *network.Network, group []int) error {
+	if len(group) == 0 || len(group) >= n.Len() {
+		return fmt.Errorf("group size %d of %d: %w", len(group), n.Len(), ErrBadGroup)
+	}
+	sorted := append([]int(nil), group...)
+	sort.Ints(sorted)
+	for i, idx := range sorted {
+		if idx < 0 || idx >= n.Len() {
+			return fmt.Errorf("index %d: %w", idx, network.ErrBadIndex)
+		}
+		if i > 0 && sorted[i] == sorted[i-1] {
+			return fmt.Errorf("index %d repeated: %w", idx, ErrBadGroup)
+		}
+	}
+	return nil
+}
+
+// cyclicGroupUnavoidable is UnavoidableCyclic without the τ-free-P
+// restriction: the group may move internally, so a pair is blocking when
+// both sides are stable (the group has no τ *and* no internal handshake
+// left — internal handshakes are already τ after composition) and the
+// offers are disjoint.
+func cyclicGroupUnavoidable(p, q *fsp.FSP) (bool, error) {
+	type pair struct{ pp, qq fsp.State }
+	start := pair{p.Start(), q.Start()}
+	seen := map[pair]bool{start: true}
+	queue := []pair{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if p.IsStable(cur.pp) && q.IsStable(cur.qq) &&
+			!actionsIntersect(p.ActionsAt(cur.pp), q.ActionsAt(cur.qq)) {
+			return false, nil
+		}
+		push := func(nxt pair) {
+			if !seen[nxt] {
+				seen[nxt] = true
+				queue = append(queue, nxt)
+			}
+		}
+		for _, t := range p.Out(cur.pp) {
+			if t.Label == fsp.Tau {
+				push(pair{t.To, cur.qq})
+			}
+		}
+		for _, t := range q.Out(cur.qq) {
+			if t.Label == fsp.Tau {
+				push(pair{cur.pp, t.To})
+			}
+		}
+		for _, tp := range p.Out(cur.pp) {
+			if tp.Label == fsp.Tau {
+				continue
+			}
+			for _, tq := range q.Out(cur.qq) {
+				if tq.Label == tp.Label {
+					push(pair{tp.To, tq.To})
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// cyclicGroupCollaboration generalizes the Section 4 S_c as "infinitely
+// many group–context exchanges are possible": Lang(P) ∩ Lang(Q) infinite.
+// Internal-only divergence of the group does not count as success — the
+// group must keep interacting with the outside, which coincides with the
+// paper's definition when the group is a single τ-free process.
+func cyclicGroupCollaboration(p, q *fsp.FSP) (bool, error) {
+	return lang.LangIntersectionInfinite(p, q), nil
+}
+
+func actionsIntersect(xs, ys []fsp.Action) bool {
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		switch {
+		case xs[i] == ys[j]:
+			return true
+		case xs[i] < ys[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

@@ -1,0 +1,172 @@
+package symmetric
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/network"
+	"fspnet/internal/success"
+)
+
+func chain3() *network.Network {
+	return network.MustNew(
+		fsp.Linear("P0", "x"),
+		fsp.Linear("P1", "x", "y"),
+		fsp.Linear("P2", "y"),
+	)
+}
+
+func TestAnalyzeSingletonMatchesPerProcess(t *testing.T) {
+	r := rand.New(rand.NewSource(901))
+	for i := 0; i < 40; i++ {
+		cfg := fsptest.NetConfig{
+			Procs:          2 + r.Intn(3),
+			ActionsPerEdge: 1,
+			MaxStates:      4,
+			TauProb:        0.2,
+		}
+		n := fsptest.TreeNetwork(r, cfg)
+		for dist := 0; dist < n.Len(); dist++ {
+			got, err := Analyze(n, []int{dist}, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			su, err := success.UnavoidableAcyclicNet(n, dist)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := success.CollaborationAcyclicNet(n, dist)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Su != su || got.Sc != sc {
+				t.Fatalf("iter %d dist %d: group=%v per-process Su=%v Sc=%v",
+					i, dist, got, su, sc)
+			}
+		}
+	}
+}
+
+func TestAnalyzeGroupChain(t *testing.T) {
+	n := chain3()
+	v, err := Analyze(n, []int{0, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Su || !v.Sc {
+		t.Errorf("verdict = %v, want both true", v)
+	}
+	if v.String() != "S_u=true S_c=true" {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestAnalyzeGroupBlockedMember(t *testing.T) {
+	// P2 wants two y-handshakes, P1 offers one: any group containing P2
+	// cannot jointly finish.
+	n := network.MustNew(
+		fsp.Linear("P0", "x"),
+		fsp.Linear("P1", "x", "y"),
+		fsp.Linear("P2", "y", "y"),
+	)
+	v, err := Analyze(n, []int{0, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Su || v.Sc {
+		t.Errorf("verdict = %v, want both false (P2 cannot finish)", v)
+	}
+	// The group without P2 succeeds.
+	v2, err := Analyze(n, []int{0}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Su || !v2.Sc {
+		t.Errorf("verdict = %v, want both true", v2)
+	}
+}
+
+func TestJointAdversity(t *testing.T) {
+	n := chain3()
+	// P0 and P2 do not communicate with each other: joint game defined.
+	win, err := JointAdversity(n, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !win {
+		t.Error("joint group wins the chain game")
+	}
+	// P0 and P1 communicate: composition has τ, joint game undefined.
+	if _, err := JointAdversity(n, []int{0, 1}); !errors.Is(err, ErrInternalMoves) {
+		t.Errorf("err = %v, want ErrInternalMoves", err)
+	}
+}
+
+func TestAnalyzeCyclicGroup(t *testing.T) {
+	// Three processes in a line handshaking forever: x between P0,P1 and
+	// y between P1,P2.
+	mk := func(name string, acts ...fsp.Action) *fsp.FSP {
+		b := fsp.NewBuilder(name)
+		s0 := b.State("0")
+		cur := s0
+		for i, a := range acts {
+			var next fsp.State
+			if i == len(acts)-1 {
+				next = s0
+			} else {
+				next = b.State("1")
+			}
+			b.Add(cur, a, next)
+			cur = next
+		}
+		return b.MustBuild()
+	}
+	n := network.MustNew(
+		mk("P0", "x"),
+		mk("P1", "x", "y"),
+		mk("P2", "y"),
+	)
+	v, err := Analyze(n, []int{0, 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Su || !v.Sc {
+		t.Errorf("verdict = %v, want both true", v)
+	}
+	// Singleton cyclic group agrees with the per-process cyclic analysis.
+	single, err := Analyze(n, []int{0}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := success.UnavoidableCyclicNet(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := success.CollaborationCyclicNet(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Su != su || single.Sc != sc {
+		t.Errorf("singleton group %v vs per-process Su=%v Sc=%v", single, su, sc)
+	}
+}
+
+func TestValidateGroup(t *testing.T) {
+	n := chain3()
+	cases := [][]int{
+		{},        // empty
+		{0, 1, 2}, // not proper
+		{0, 0},    // repeated
+	}
+	for _, g := range cases {
+		if _, err := Analyze(n, g, false); !errors.Is(err, ErrBadGroup) {
+			t.Errorf("group %v: err = %v, want ErrBadGroup", g, err)
+		}
+	}
+	if _, err := Analyze(n, []int{7}, false); !errors.Is(err, network.ErrBadIndex) {
+		t.Errorf("err = %v, want ErrBadIndex", err)
+	}
+}

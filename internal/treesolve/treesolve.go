@@ -1,0 +1,357 @@
+// Package treesolve implements Theorem 3: for a network of tree FSPs whose
+// communication graph C_N is a tree (or a k-tree after composing partition
+// classes), the predicates S_u, S_a, S_c are decided by replacing each
+// subtree hanging off the distinguished process with a possibility-
+// preserving normal form (Lemma 2), reducing the network to a star, and
+// deciding the star with Lemmas 3, 4 and 5.
+package treesolve
+
+import (
+	"errors"
+	"fmt"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+	"fspnet/internal/poss"
+	"fspnet/internal/success"
+)
+
+var (
+	// ErrNotTree reports a communication graph that is not a tree.
+	ErrNotTree = errors.New("treesolve: communication graph is not a tree")
+	// ErrNotAcyclic reports a process with a directed cycle; Theorem 3 is
+	// the acyclic (finite) case.
+	ErrNotAcyclic = errors.New("treesolve: process is not acyclic")
+	// ErrTauP reports τ-moves on the distinguished process, which the
+	// success-in-adversity game disallows.
+	ErrTauP = errors.New("treesolve: distinguished process must have no τ-moves")
+)
+
+// Options configure the solver.
+type Options struct {
+	// Budget bounds possibility enumeration per composed subtree process
+	// (poss.ErrBudget beyond it). Zero means poss.DefaultBudget.
+	Budget int
+	// NoNormalForm skips the possibility normal form and keeps the raw
+	// subtree compositions as star leaves — an ablation switch showing
+	// that the normal form is what keeps Theorem 3 polynomial. The
+	// verdicts are unchanged (Lemma 2 guarantees equivalence); only the
+	// sizes and times differ.
+	NoNormalForm bool
+}
+
+func (o Options) budget() int {
+	if o.Budget <= 0 {
+		return poss.DefaultBudget
+	}
+	return o.Budget
+}
+
+// Analyze decides the three predicates for the distinguished process dist
+// of a tree network of acyclic processes. The distinguished process must
+// be τ-free.
+func Analyze(n *network.Network, dist int, opts Options) (success.Verdict, error) {
+	star, err := Reduce(n, dist, opts)
+	if err != nil {
+		return success.Verdict{}, err
+	}
+	return star.Decide()
+}
+
+// AnalyzeKTree composes the classes of a k-tree partition (the class of
+// the distinguished process must be the singleton {dist}) and analyzes the
+// resulting tree network.
+func AnalyzeKTree(n *network.Network, dist int, partition [][]int, opts Options) (success.Verdict, error) {
+	distClass := -1
+	for ci, class := range partition {
+		for _, idx := range class {
+			if idx == dist {
+				distClass = ci
+			}
+		}
+	}
+	if distClass < 0 {
+		return success.Verdict{}, fmt.Errorf("treesolve: dist %d not in partition: %w",
+			dist, network.ErrBadPartition)
+	}
+	if len(partition[distClass]) != 1 {
+		return success.Verdict{}, fmt.Errorf(
+			"treesolve: distinguished class %v must be the singleton {%d}: %w",
+			partition[distClass], dist, network.ErrBadPartition)
+	}
+	folded, classOf, err := n.ComposeClasses(partition, false)
+	if err != nil {
+		return success.Verdict{}, err
+	}
+	return Analyze(folded, classOf[dist], opts)
+}
+
+// Star is the reduced network: the distinguished tree process P at the
+// center and one normal-form process per subtree, each communicating only
+// with P over a private alphabet.
+type Star struct {
+	P      *fsp.FSP
+	Leaves []*fsp.FSP         // normal forms Q_i′
+	owner  map[fsp.Action]int // which leaf owns each of P's actions
+}
+
+// Reduce performs the bottom-up normal-form replacement of Theorem 3's
+// proof, turning the tree network into a star.
+func Reduce(n *network.Network, dist int, opts Options) (*Star, error) {
+	if dist < 0 || dist >= n.Len() {
+		return nil, fmt.Errorf("treesolve: dist %d: %w", dist, network.ErrBadIndex)
+	}
+	for i := 0; i < n.Len(); i++ {
+		if !n.Process(i).IsAcyclic() {
+			return nil, fmt.Errorf("%s: %w", n.Process(i).Name(), ErrNotAcyclic)
+		}
+	}
+	p := n.Process(dist)
+	for _, t := range p.Transitions() {
+		if t.Label == fsp.Tau {
+			return nil, fmt.Errorf("%s: %w", p.Name(), ErrTauP)
+		}
+	}
+	g := n.Graph()
+	if !g.IsTree() && n.Len() > 1 {
+		return nil, fmt.Errorf("treesolve: %w", ErrNotTree)
+	}
+
+	// Root the tree at dist; children lists per node.
+	parent := make([]int, n.Len())
+	for i := range parent {
+		parent[i] = -2 // unvisited
+	}
+	parent[dist] = -1
+	order := []int{dist}
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		for _, w := range g.Neighbors(v) {
+			if parent[w] == -2 {
+				parent[w] = v
+				order = append(order, w)
+			}
+		}
+	}
+	children := make([][]int, n.Len())
+	for _, v := range order[1:] {
+		children[parent[v]] = append(children[parent[v]], v)
+	}
+
+	// Bottom-up reduction: normalForm(v) returns a process possibility-
+	// equivalent to the composition of v's whole subtree, speaking only
+	// the v–parent alphabet.
+	var normalForm func(v int) (*fsp.FSP, error)
+	normalForm = func(v int) (*fsp.FSP, error) {
+		m := n.Process(v)
+		for _, c := range children[v] {
+			nf, err := normalForm(c)
+			if err != nil {
+				return nil, err
+			}
+			m = fsp.Compose(m, nf)
+		}
+		if opts.NoNormalForm {
+			return m, nil
+		}
+		set, err := poss.Of(m, opts.budget())
+		if err != nil {
+			return nil, fmt.Errorf("subtree at %s: %w", n.Process(v).Name(), err)
+		}
+		nf, err := poss.NormalForm(fmt.Sprintf("NF(%s)", n.Process(v).Name()), set)
+		if err != nil {
+			return nil, fmt.Errorf("subtree at %s: %w", n.Process(v).Name(), err)
+		}
+		return nf, nil
+	}
+
+	star := &Star{P: p, owner: make(map[fsp.Action]int)}
+	for _, c := range children[dist] {
+		nf, err := normalForm(c)
+		if err != nil {
+			return nil, err
+		}
+		idx := len(star.Leaves)
+		star.Leaves = append(star.Leaves, nf)
+		for _, a := range fsp.SharedActions(p, nf) {
+			star.owner[a] = idx
+		}
+	}
+	return star, nil
+}
+
+// LeafSizes returns the sizes of the star's context processes, a measure
+// of how much the normal form compresses the subtrees.
+func (s *Star) LeafSizes() []int {
+	sizes := make([]int, len(s.Leaves))
+	for i, q := range s.Leaves {
+		sizes[i] = q.Size()
+	}
+	return sizes
+}
+
+// beliefs tracks, for each star leaf, the τ-closed set of states reachable
+// on the projection of the current P-path.
+type beliefs [][]fsp.State
+
+func (s *Star) startBeliefs() beliefs {
+	b := make(beliefs, len(s.Leaves))
+	for i, q := range s.Leaves {
+		b[i] = q.TauClosure([]fsp.State{q.Start()})
+	}
+	return b
+}
+
+// step advances the belief of the leaf owning action a; it returns nil
+// when the projection falls out of that leaf's language (the joint string
+// is not in Lang(Q)).
+func (s *Star) step(b beliefs, a fsp.Action) beliefs {
+	idx, ok := s.owner[a]
+	if !ok {
+		return nil // P action with no owner cannot handshake at all
+	}
+	next := s.Leaves[idx].Step(b[idx], a)
+	if len(next) == 0 {
+		return nil
+	}
+	nb := make(beliefs, len(b))
+	copy(nb, b)
+	nb[idx] = next
+	return nb
+}
+
+// blocked reports whether the context can reach a joint stable
+// configuration offering nothing in A: for every leaf i there must be a
+// stable state in its belief whose actions avoid A (Lemma 4 / Lemma 5
+// blocking condition, factored through the product structure).
+func (s *Star) blocked(b beliefs, a []fsp.Action) bool {
+	for i, q := range s.Leaves {
+		found := false
+		for _, st := range b[i] {
+			if !q.IsStable(st) {
+				continue
+			}
+			if !actionsIntersect(q.ActionsAt(st), a) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// offerable reports whether the context can offer action a given the
+// current beliefs (a one-symbol Lang(Q) extension).
+func (s *Star) offerable(b beliefs, a fsp.Action) bool {
+	idx, ok := s.owner[a]
+	if !ok {
+		return false
+	}
+	return len(s.Leaves[idx].Step(b[idx], a)) > 0
+}
+
+// Decide evaluates S_u, S_a, S_c on the star using Lemmas 3, 4, and 5.
+func (s *Star) Decide() (success.Verdict, error) {
+	var v success.Verdict
+	su, sc := true, false
+	var sa func(p fsp.State, b beliefs) bool
+	memoSa := make(map[string]bool)
+
+	// Walk all states of the tree P, carrying beliefs. Each P state has a
+	// unique root path, so each is visited once.
+	type item struct {
+		p fsp.State
+		b beliefs
+	}
+	stack := []item{{s.P.Start(), s.startBeliefs()}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		a := s.P.ActionsAt(it.p)
+		if s.P.IsLeaf(it.p) {
+			sc = true // beliefs nonempty all the way: s ∈ Lang(Q), (s,∅) ∈ Poss(P)
+		} else if s.blocked(it.b, a) {
+			su = false // Lemma 4 witness: X = act(p) ≠ ∅, joint Y with X∩Y = ∅
+		}
+		for _, t := range s.P.Out(it.p) {
+			nb := s.step(it.b, t.Label)
+			if nb == nil {
+				continue // joint string leaves Lang(Q); subtree unreachable
+			}
+			stack = append(stack, item{t.To, nb})
+		}
+	}
+
+	// Lemma 5 game on the star (P is τ-free by Reduce's validation).
+	sa = func(p fsp.State, b beliefs) bool {
+		key := gameKey(p, b)
+		if val, ok := memoSa[key]; ok {
+			return val
+		}
+		if s.P.IsLeaf(p) {
+			memoSa[key] = true
+			return true
+		}
+		a := s.P.ActionsAt(p)
+		if s.blocked(b, a) {
+			memoSa[key] = false
+			return false
+		}
+		res := true
+		for _, act := range a {
+			if !s.offerable(b, act) {
+				continue
+			}
+			nb := s.step(b, act)
+			anyGood := false
+			for _, succ := range s.P.Succ(p, act) {
+				if sa(succ, nb) {
+					anyGood = true
+					break
+				}
+			}
+			if !anyGood {
+				res = false
+				break
+			}
+		}
+		memoSa[key] = res
+		return res
+	}
+	v.Su = su
+	v.Sc = sc
+	v.Sa = sa(s.P.Start(), s.startBeliefs())
+	return v, nil
+}
+
+func gameKey(p fsp.State, b beliefs) string {
+	key := fmt.Sprintf("%d", p)
+	for _, set := range b {
+		key += "|"
+		for i, st := range set {
+			if i > 0 {
+				key += ","
+			}
+			key += fmt.Sprintf("%d", st)
+		}
+	}
+	return key
+}
+
+func actionsIntersect(xs, ys []fsp.Action) bool {
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		switch {
+		case xs[i] == ys[j]:
+			return true
+		case xs[i] < ys[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

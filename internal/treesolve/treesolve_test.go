@@ -1,0 +1,284 @@
+package treesolve
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/network"
+	"fspnet/internal/poss"
+	"fspnet/internal/success"
+)
+
+func TestAnalyzeChain(t *testing.T) {
+	n := network.MustNew(
+		fsp.Linear("P0", "x"),
+		fsp.Linear("P1", "x", "y"),
+		fsp.Linear("P2", "y"),
+	)
+	v, err := Analyze(n, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != (success.Verdict{Su: true, Sa: true, Sc: true}) {
+		t.Errorf("verdict = %v, want all true", v)
+	}
+}
+
+func TestAnalyzeFigure3AsTreeNetwork(t *testing.T) {
+	// P: 1 -a-> 2; Q: offers a or τ-defects. Expected S_u=false S_a=false
+	// S_c=true (see package success TestFigure3).
+	p := fsp.Linear("P", "a")
+	b := fsp.NewBuilder("Q")
+	q1, q2, q3 := b.State("1"), b.State("2"), b.State("3")
+	b.Add(q1, "a", q2)
+	b.AddTau(q1, q3)
+	n := network.MustNew(p, b.MustBuild())
+	v, err := Analyze(n, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != (success.Verdict{Su: false, Sa: false, Sc: true}) {
+		t.Errorf("verdict = %v, want S_u=false S_a=false S_c=true", v)
+	}
+}
+
+func TestAnalyzeMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(401))
+	for i := 0; i < 120; i++ {
+		cfg := fsptest.NetConfig{
+			Procs:          2 + r.Intn(4),
+			ActionsPerEdge: 1 + r.Intn(2),
+			MaxStates:      4,
+			TauProb:        0.25,
+		}
+		n := fsptest.TreeNetwork(r, cfg)
+		got, err := Analyze(n, 0, Options{})
+		if err != nil {
+			t.Fatalf("iter %d: Analyze: %v", i, err)
+		}
+		want, err := success.AnalyzeAcyclic(n, 0)
+		if err != nil {
+			t.Fatalf("iter %d: reference: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: treesolve=%v reference=%v\n%s",
+				i, got, want, dumpNetwork(n))
+		}
+	}
+}
+
+func TestAnalyzeKTreeRing(t *testing.T) {
+	// Ring of tree processes folded per Figure 8a, then compared with the
+	// reference on the unfolded network.
+	r := rand.New(rand.NewSource(409))
+	for i := 0; i < 25; i++ {
+		m := 4 + r.Intn(3)
+		n := randomRingNetwork(r, m)
+		partition := network.RingPartition(m)
+		got, err := AnalyzeKTree(n, 0, partition, Options{})
+		if err != nil {
+			t.Fatalf("iter %d: AnalyzeKTree: %v", i, err)
+		}
+		want, err := success.AnalyzeAcyclic(n, 0)
+		if err != nil {
+			t.Fatalf("iter %d: reference: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("iter %d (m=%d): ktree=%v reference=%v\n%s",
+				i, m, got, want, dumpNetwork(n))
+		}
+	}
+}
+
+// randomRingNetwork builds a ring of m linear/tree processes with one
+// action per ring edge, each process using both its incident actions.
+func randomRingNetwork(r *rand.Rand, m int) *network.Network {
+	procs := make([]*fsp.FSP, m)
+	for i := 0; i < m; i++ {
+		left := fsp.Action("x" + itoa((i+m-1)%m))
+		right := fsp.Action("x" + itoa(i))
+		// Random order, possibly repeated once.
+		seq := []fsp.Action{left, right}
+		if r.Intn(2) == 0 {
+			seq = []fsp.Action{right, left}
+		}
+		if r.Intn(3) == 0 {
+			seq = append(seq, seq[r.Intn(2)])
+		}
+		procs[i] = fsp.Linear("P"+itoa(i), seq...)
+	}
+	return network.MustNew(procs...)
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestAnalyzeKTreeRequiresSingletonDistClass(t *testing.T) {
+	n := network.MustNew(
+		fsp.Linear("P0", "x"),
+		fsp.Linear("P1", "x", "y"),
+		fsp.Linear("P2", "y"),
+	)
+	_, err := AnalyzeKTree(n, 0, [][]int{{0, 1}, {2}}, Options{})
+	if !errors.Is(err, network.ErrBadPartition) {
+		t.Errorf("err = %v, want ErrBadPartition", err)
+	}
+	_, err = AnalyzeKTree(n, 1, [][]int{{0, 2}}, Options{})
+	if !errors.Is(err, network.ErrBadPartition) {
+		t.Errorf("dist missing: err = %v, want ErrBadPartition", err)
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	cyc := func() *fsp.FSP {
+		b := fsp.NewBuilder("C")
+		s0 := b.State("0")
+		b.Add(s0, "x", s0)
+		return b.MustBuild()
+	}()
+	n := network.MustNew(cyc, fsp.Linear("P1", "x"))
+	if _, err := Reduce(n, 1, Options{}); !errors.Is(err, ErrNotAcyclic) {
+		t.Errorf("err = %v, want ErrNotAcyclic", err)
+	}
+
+	bt := fsp.NewBuilder("P")
+	s0, s1 := bt.State("0"), bt.State("1")
+	bt.AddTau(s0, s1)
+	bt.Add(s0, "x", s1)
+	tauP := bt.MustBuild()
+	n2 := network.MustNew(tauP, fsp.Linear("P1", "x"))
+	if _, err := Reduce(n2, 0, Options{}); !errors.Is(err, ErrTauP) {
+		t.Errorf("err = %v, want ErrTauP", err)
+	}
+
+	if _, err := Reduce(n2, 5, Options{}); !errors.Is(err, network.ErrBadIndex) {
+		t.Errorf("err = %v, want ErrBadIndex", err)
+	}
+
+	// Non-tree C_N: triangle.
+	tri := network.MustNew(
+		fsp.Linear("A", "ab", "ca"),
+		fsp.Linear("B", "ab", "bc"),
+		fsp.Linear("C", "bc", "ca"),
+	)
+	if _, err := Reduce(tri, 0, Options{}); !errors.Is(err, ErrNotTree) {
+		t.Errorf("err = %v, want ErrNotTree", err)
+	}
+}
+
+func TestBudgetSurfacing(t *testing.T) {
+	r := rand.New(rand.NewSource(419))
+	cfg := fsptest.NetConfig{Procs: 4, ActionsPerEdge: 2, MaxStates: 6, TauProb: 0.2}
+	n := fsptest.TreeNetwork(r, cfg)
+	if _, err := Analyze(n, 0, Options{Budget: 1}); !errors.Is(err, poss.ErrBudget) {
+		t.Errorf("err = %v, want poss.ErrBudget", err)
+	}
+}
+
+// TestFigure9Reduction exercises the reduction step on a concrete subtree
+// in the spirit of Figure 9: the subtree's normal form must be
+// possibility-equivalent to the subtree's composition and no larger than
+// the trie bound.
+func TestFigure9Reduction(t *testing.T) {
+	// Subtree: P_f talks to parent over {p1, p2} and to two leaf children
+	// over {c1} and {c2}.
+	pf := fsp.TreeFromPaths("Pf",
+		[]fsp.Action{"c1", "p1"},
+		[]fsp.Action{"c2", "p2"},
+	)
+	c1 := fsp.Linear("C1", "c1")
+	c2 := fsp.Linear("C2", "c2") // child 2 can do its handshake
+	parent := fsp.TreeFromPaths("Par", []fsp.Action{"p1"}, []fsp.Action{"p2"})
+	n := network.MustNew(parent, pf, c1, c2)
+
+	star, err := Reduce(n, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star.Leaves) != 1 {
+		t.Fatalf("star has %d leaves, want 1", len(star.Leaves))
+	}
+	nf := star.Leaves[0]
+	composed := fsp.Compose(fsp.Compose(pf, c1), c2)
+	if !poss.Equivalent(nf, composed) {
+		t.Errorf("normal form not possibility-equivalent to subtree composition:\nNF  %v\nSUB %v",
+			poss.MustOf(nf), poss.MustOf(composed))
+	}
+	// Only parent-edge symbols may survive.
+	for _, a := range nf.Alphabet() {
+		if a != "p1" && a != "p2" {
+			t.Errorf("leaked action %q in normal form", a)
+		}
+	}
+	v, err := star.Decide()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := success.AnalyzeAcyclic(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != want {
+		t.Errorf("star verdict %v, reference %v", v, want)
+	}
+}
+
+func dumpNetwork(n *network.Network) string {
+	out := ""
+	for i := 0; i < n.Len(); i++ {
+		out += n.Process(i).DOT()
+	}
+	return out
+}
+
+// TestNoNormalFormAblationAgrees: skipping the normal form (the ablation
+// switch) must not change verdicts, only sizes.
+func TestNoNormalFormAblationAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(421))
+	for i := 0; i < 60; i++ {
+		cfg := fsptest.NetConfig{
+			Procs:          2 + r.Intn(4),
+			ActionsPerEdge: 1 + r.Intn(2),
+			MaxStates:      4,
+			TauProb:        0.2,
+		}
+		n := fsptest.TreeNetwork(r, cfg)
+		with, err := Analyze(n, 0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := Analyze(n, 0, Options{NoNormalForm: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if with != without {
+			t.Fatalf("iter %d: with NF %v, without NF %v", i, with, without)
+		}
+	}
+}
+
+// TestLeafSizes: normal forms never enlarge the star leaves beyond the raw
+// subtree compositions on tree networks.
+func TestLeafSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(431))
+	cfg := fsptest.NetConfig{Procs: 5, ActionsPerEdge: 1, MaxStates: 4, TauProb: 0.2}
+	n := fsptest.TreeNetwork(r, cfg)
+	withNF, err := Reduce(n, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Reduce(n, 0, Options{NoNormalForm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withNF.LeafSizes()) != len(raw.LeafSizes()) {
+		t.Fatal("leaf counts differ")
+	}
+}

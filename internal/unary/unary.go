@@ -1,0 +1,356 @@
+// Package unary implements Theorem 4: success with collaboration for tree
+// networks of constant-size cyclic processes whose edges carry unary
+// alphabets (|Σᵢ ∩ Σⱼ| ≤ 1).
+//
+// Over a unary alphabet a prefix-closed language is determined by a single
+// number — the length of its longest string, or ∞ — so the language-
+// preserving normal form of a subtree is just that number in binary
+// (big.Int). The reduction step computes, for a constant-size machine with
+// child budgets, the maximum achievable parent count as an integer program
+// over edge multiplicities: a multiset of edges is realizable as a walk
+// from the start state iff it satisfies flow conservation with one source
+// and one sink and its support is connected to the start (the Euler-trail
+// condition), and both are captured by enumerating the O(1) supports and
+// solving an exact IP per support (package ilp standing in for [Le]).
+package unary
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/ilp"
+	"fspnet/internal/network"
+)
+
+var (
+	// ErrShape reports a network outside the Theorem 4 fragment.
+	ErrShape = errors.New("unary: network outside Theorem 4 fragment")
+	// ErrTooLarge reports a process too large for support enumeration;
+	// Theorem 4 assumes O(1)-size processes.
+	ErrTooLarge = errors.New("unary: process too large for support enumeration")
+)
+
+// maxEdges bounds per-process transition counts (supports are enumerated,
+// costing 2^edges IP solves).
+const maxEdges = 14
+
+// Count is a value of ℕ ∪ {∞}: the unary normal form.
+type Count struct {
+	Inf bool
+	N   *big.Int // nil means 0 when !Inf
+}
+
+// Finite returns a finite count.
+func Finite(n int64) Count { return Count{N: big.NewInt(n)} }
+
+// Infinite returns ∞.
+func Infinite() Count { return Count{Inf: true} }
+
+// Value returns the numeric value; it must not be called on ∞.
+func (c Count) Value() *big.Int {
+	if c.N == nil {
+		return big.NewInt(0)
+	}
+	return c.N
+}
+
+// String renders the count.
+func (c Count) String() string {
+	if c.Inf {
+		return "∞"
+	}
+	return c.Value().String()
+}
+
+// Equal reports equality.
+func (c Count) Equal(d Count) bool {
+	if c.Inf || d.Inf {
+		return c.Inf == d.Inf
+	}
+	return c.Value().Cmp(d.Value()) == 0
+}
+
+// MaxCount returns the maximum of Σ_label objective(label)·uses(label)
+// over all walks of m starting at its start state, where each label's use
+// count is capped by budgets (labels absent from budgets are uncapped).
+// The result is ∞ when the supremum is unbounded.
+func MaxCount(m *fsp.FSP, budgets map[fsp.Action]Count, objective map[fsp.Action]int64) (Count, error) {
+	edges := m.Transitions()
+	for _, e := range edges {
+		if e.Label == fsp.Tau {
+			return Count{}, fmt.Errorf("%s has τ-moves: %w", m.Name(), ErrShape)
+		}
+	}
+	if len(edges) > maxEdges {
+		return Count{}, fmt.Errorf("%s has %d transitions (max %d): %w",
+			m.Name(), len(edges), maxEdges, ErrTooLarge)
+	}
+	// Baseline: the empty walk.
+	best := Finite(0)
+
+	for mask := 1; mask < 1<<len(edges); mask++ {
+		var support []int
+		for j := range edges {
+			if mask&(1<<j) != 0 {
+				support = append(support, j)
+			}
+		}
+		if !connectedToStart(m, edges, support) {
+			continue
+		}
+		// A finite budget of zero forbids the label outright.
+		skip := false
+		for _, j := range support {
+			if b, ok := budgets[edges[j].Label]; ok && !b.Inf && b.Value().Sign() == 0 {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		for _, t := range endpointCandidates(m, edges, support) {
+			r, err := solveSupport(m, edges, support, t, budgets, objective)
+			if err != nil {
+				return Count{}, err
+			}
+			switch r.Status {
+			case ilp.Unbounded:
+				return Infinite(), nil
+			case ilp.Optimal:
+				if !best.Inf && r.Value.Num().Cmp(best.Value()) > 0 {
+					best = Count{N: new(big.Int).Set(r.Value.Num())}
+				}
+			}
+		}
+	}
+	return best, nil
+}
+
+// connectedToStart reports whether every support edge is connected to the
+// start state in the underlying undirected support graph (the Euler-trail
+// connectivity condition).
+func connectedToStart(m *fsp.FSP, edges []fsp.Transition, support []int) bool {
+	adj := make(map[fsp.State][]fsp.State)
+	for _, j := range support {
+		e := edges[j]
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	seen := map[fsp.State]bool{m.Start(): true}
+	stack := []fsp.State{m.Start()}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	for _, j := range support {
+		if !seen[edges[j].From] || !seen[edges[j].To] {
+			return false
+		}
+	}
+	return true
+}
+
+// endpointCandidates returns the possible walk end states: any state
+// touched by the support, plus the start.
+func endpointCandidates(m *fsp.FSP, edges []fsp.Transition, support []int) []fsp.State {
+	seen := map[fsp.State]bool{m.Start(): true}
+	out := []fsp.State{m.Start()}
+	for _, j := range support {
+		for _, s := range []fsp.State{edges[j].From, edges[j].To} {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// solveSupport builds and solves the IP for one (support, endpoint) pair:
+// variables are the edge multiplicities of the support, constrained by
+// flow conservation (out − in = [u=start] − [u=t]) and the label budgets,
+// maximizing the weighted label counts.
+func solveSupport(m *fsp.FSP, edges []fsp.Transition, support []int, t fsp.State,
+	budgets map[fsp.Action]Count, objective map[fsp.Action]int64) (*ilp.IPResult, error) {
+
+	n := len(support)
+	one := big.NewRat(1, 1)
+	negOne := big.NewRat(-1, 1)
+	zero := new(big.Rat)
+
+	p := &ilp.Problem{C: make([]*big.Rat, n)}
+	for k, j := range support {
+		w := objective[edges[j].Label]
+		p.C[k] = big.NewRat(w, 1)
+	}
+	addRow := func(row []*big.Rat, b *big.Rat) {
+		p.A = append(p.A, row)
+		p.B = append(p.B, b)
+	}
+	// Flow conservation per touched state, as two inequalities.
+	for _, u := range endpointCandidates(m, edges, support) {
+		row := make([]*big.Rat, n)
+		for k := range row {
+			row[k] = zero
+		}
+		for k, j := range support {
+			coef := new(big.Rat)
+			if edges[j].From == u {
+				coef.Add(coef, one) // outgoing
+			}
+			if edges[j].To == u {
+				coef.Add(coef, negOne) // incoming
+			}
+			row[k] = coef
+		}
+		rhs := int64(0)
+		if u == m.Start() {
+			rhs++
+		}
+		if u == t {
+			rhs--
+		}
+		neg := make([]*big.Rat, n)
+		for k := range row {
+			neg[k] = new(big.Rat).Neg(row[k])
+		}
+		addRow(row, big.NewRat(rhs, 1))
+		addRow(neg, big.NewRat(-rhs, 1))
+	}
+	// Support edges are used at least once: −e_k ≤ −1.
+	for k := 0; k < n; k++ {
+		row := make([]*big.Rat, n)
+		for i := range row {
+			row[i] = zero
+		}
+		row[k] = negOne
+		addRow(row, negOne)
+	}
+	// Label budgets.
+	labels := make(map[fsp.Action][]int)
+	for k, j := range support {
+		labels[edges[j].Label] = append(labels[edges[j].Label], k)
+	}
+	for _, a := range m.Alphabet() {
+		cols, used := labels[a]
+		if !used {
+			continue
+		}
+		b, ok := budgets[a]
+		if !ok || b.Inf {
+			continue
+		}
+		row := make([]*big.Rat, n)
+		for i := range row {
+			row[i] = zero
+		}
+		for _, k := range cols {
+			row[k] = one
+		}
+		addRow(row, new(big.Rat).SetInt(b.Value()))
+	}
+	return ilp.SolveIP(p)
+}
+
+// Collaboration decides S_c for the distinguished process dist of a tree
+// network of τ-free cyclic (or arbitrary) constant-size processes with
+// unary edge alphabets: whether Lang(P) ∩ Lang(Q) is infinite, computed
+// bottom-up with the numeric normal form.
+func Collaboration(n *network.Network, dist int) (bool, error) {
+	budgets, err := childBudgets(n, dist)
+	if err != nil {
+		return false, err
+	}
+	// Root step: the total walk length of P under the child budgets; S_c
+	// holds iff it is unbounded.
+	p := n.Process(dist)
+	objective := make(map[fsp.Action]int64)
+	for _, a := range p.Alphabet() {
+		objective[a] = 1
+	}
+	total, err := MaxCount(p, budgets, objective)
+	if err != nil {
+		return false, err
+	}
+	return total.Inf, nil
+}
+
+// Interface computes the numeric normal form of the whole context as seen
+// by the distinguished process: for every incident edge action, the paper
+// would reduce the subtree behind it to a number. Exposed for tests and
+// the benchmark harness.
+func Interface(n *network.Network, dist int) (map[fsp.Action]Count, error) {
+	return childBudgets(n, dist)
+}
+
+// childBudgets roots C_N at dist and reduces every subtree bottom-up to
+// its numeric normal form on the edge toward dist.
+func childBudgets(n *network.Network, dist int) (map[fsp.Action]Count, error) {
+	if dist < 0 || dist >= n.Len() {
+		return nil, fmt.Errorf("unary: dist %d: %w", dist, network.ErrBadIndex)
+	}
+	g := n.Graph()
+	if !g.IsTree() && n.Len() > 1 {
+		return nil, fmt.Errorf("C_N is not a tree: %w", ErrShape)
+	}
+	for _, e := range g.Edges() {
+		if len(g.EdgeLabel(e[0], e[1])) != 1 {
+			return nil, fmt.Errorf("edge {%d,%d} has %d symbols (want 1): %w",
+				e[0], e[1], len(g.EdgeLabel(e[0], e[1])), ErrShape)
+		}
+	}
+	parent := make([]int, n.Len())
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[dist] = -1
+	order := []int{dist}
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		for _, w := range g.Neighbors(v) {
+			if parent[w] == -2 {
+				parent[w] = v
+				order = append(order, w)
+			}
+		}
+	}
+
+	// reduce(v) returns the count on the edge (parent(v), v).
+	var reduce func(v int) (Count, error)
+	reduce = func(v int) (Count, error) {
+		m := n.Process(v)
+		budgets := make(map[fsp.Action]Count)
+		for _, w := range g.Neighbors(v) {
+			if parent[w] != v {
+				continue
+			}
+			c, err := reduce(w)
+			if err != nil {
+				return Count{}, err
+			}
+			budgets[g.EdgeLabel(v, w)[0]] = c
+		}
+		up := g.EdgeLabel(parent[v], v)[0]
+		objective := map[fsp.Action]int64{up: 1}
+		return MaxCount(m, budgets, objective)
+	}
+
+	out := make(map[fsp.Action]Count)
+	for _, w := range g.Neighbors(dist) {
+		c, err := reduce(w)
+		if err != nil {
+			return nil, err
+		}
+		out[g.EdgeLabel(dist, w)[0]] = c
+	}
+	return out, nil
+}
