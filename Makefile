@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test bench experiments vet cover examples clean
+.PHONY: all build test test-race bench experiments vet lint fuzz-short cover examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,21 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the fsplint analyzer suite (mapiter, frozenfsp, detrand) over
+# every package. See docs/ANALYSIS.md. It also runs as a go vet tool:
+#   go build -o bin/fsplint ./cmd/fsplint && go vet -vettool=bin/fsplint ./...
+lint:
+	$(GO) run ./cmd/fsplint ./...
+
 test:
 	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# fuzz-short gives each fuzz target a 10s budget, the same wiring CI uses.
+fuzz-short:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/fsplang
 
 test-verbose:
 	$(GO) test -count=1 -v ./... 2>&1 | tee test_output.txt

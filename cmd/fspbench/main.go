@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +32,9 @@ func run(args []string, stdout io.Writer) error {
 		only  = fs.String("only", "", "run a single experiment (e.g. E5)")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h is a successful outcome, not a failure
+		}
 		return err
 	}
 	if *only == "" {

@@ -14,6 +14,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +52,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		strategy = fs.Bool("strategy", false, "print a winning strategy for the adversity game when one exists")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h is a successful outcome, not a failure
+		}
 		return err
 	}
 	if fs.NArg() != 1 {

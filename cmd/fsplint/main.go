@@ -1,0 +1,84 @@
+// Command fsplint runs fspnet's custom static analyzers — mapiter,
+// frozenfsp, and detrand — over Go packages. It is both a standalone
+// multichecker and a `go vet` tool:
+//
+//	fsplint ./...                         # standalone, patterns
+//	go vet -vettool=$(which fsplint) ./...  # unitchecker protocol
+//
+// Exit status is 0 when the packages are clean, 2 when diagnostics were
+// reported, and 1 on usage or load errors. Findings are silenced per line
+// with //fsplint:ignore <analyzer> <reason>. See docs/ANALYSIS.md.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fspnet/internal/analysis/detrand"
+	"fspnet/internal/analysis/framework"
+	"fspnet/internal/analysis/frozenfsp"
+	"fspnet/internal/analysis/mapiter"
+)
+
+var analyzers = []*framework.Analyzer{
+	detrand.Analyzer,
+	frozenfsp.Analyzer,
+	mapiter.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// The go command probes its vet tool before use: -V=full for the
+	// build-cache fingerprint and -flags for the forwarding schema. Both
+	// must be answered before ordinary flag handling.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			framework.PrintVersion(os.Stdout)
+			return 0
+		case "-flags", "--flags":
+			framework.PrintFlagDefs(os.Stdout)
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("fsplint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: fsplint [packages]\n       fsplint <config>.cfg   (go vet -vettool protocol)\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h is a successful outcome, not a failure
+		}
+		return 1
+	}
+
+	// A single *.cfg argument means the go command is driving us as its
+	// vet tool; Unitchecker never returns.
+	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
+		framework.Unitchecker(analyzers, fs.Arg(0))
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := framework.Run(".", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsplint:", err)
+		return 1
+	}
+	if framework.Print(os.Stderr, findings) {
+		return 2
+	}
+	return 0
+}

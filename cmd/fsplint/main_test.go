@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStandaloneCleanPackages(t *testing.T) {
+	if code := run([]string{"fspnet/internal/fsp", "fspnet/internal/poss"}); code != 0 {
+		t.Errorf("fsplint on clean core packages exited %d, want 0", code)
+	}
+}
+
+func TestVersionAndFlagsProbes(t *testing.T) {
+	// The go command probes both before using a vet tool; neither may
+	// attempt analysis.
+	if code := run([]string{"-V=full"}); code != 0 {
+		t.Errorf("-V=full exited %d, want 0", code)
+	}
+	if code := run([]string{"-flags"}); code != 0 {
+		t.Errorf("-flags exited %d, want 0", code)
+	}
+}
+
+// TestGoVetVettool drives the full unitchecker protocol: it builds the
+// fsplint binary, then runs `go vet -vettool` twice — once over clean
+// fspnet packages (expecting success) and once inside a scratch module
+// containing a mapiter violation (expecting the diagnostic and a non-zero
+// exit).
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "fsplint")
+
+	build := exec.Command("go", "build", "-o", tool, "fspnet/cmd/fsplint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building fsplint: %v\n%s", err, out)
+	}
+
+	clean := exec.Command("go", "vet", "-vettool="+tool, "fspnet/internal/fsp")
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean package: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "scratch")
+	if err := os.MkdirAll(mod, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"lib.go": `package scratch
+
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dirty := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	dirty.Dir = mod
+	var out bytes.Buffer
+	dirty.Stdout = &out
+	dirty.Stderr = &out
+	err := dirty.Run()
+	if err == nil {
+		t.Fatalf("go vet -vettool on dirty module succeeded; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "mapiter") || !strings.Contains(out.String(), "string concatenation") {
+		t.Errorf("vet output missing mapiter diagnostic:\n%s", out.String())
+	}
+}

@@ -1,0 +1,179 @@
+// Package analysistest runs framework analyzers over testdata packages and
+// checks reported diagnostics against expectations declared in the sources
+// themselves, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	m[k] = v // want `mapiter: .*unsorted`
+//
+// Each `// want` comment carries one or more Go-quoted regular expressions;
+// every diagnostic on that line must match one of them, and every
+// expectation must be matched by exactly one diagnostic. Testdata packages
+// live under testdata/src/<name> and may import standard-library and
+// fspnet packages (resolved through the real build cache). A file comment
+//
+//	//fsplint:testpath fspnet/internal/fsp
+//
+// overrides the package's import path, so analyzers whose behavior depends
+// on where code lives (frozenfsp's in-package builder allowance) can be
+// exercised hermetically.
+package analysistest
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fspnet/internal/analysis/framework"
+)
+
+// TestDataPath returns the absolute path of the package's testdata dir.
+func TestDataPath(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatalf("analysistest: resolving testdata: %v", err)
+	}
+	return abs
+}
+
+// Run applies the analyzer to each named package under testdata/src and
+// verifies its diagnostics against the packages' want expectations.
+// Suppression directives are honored, so testdata can also pin the
+// //fsplint:ignore mechanism.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			runOne(t, filepath.Join(testdata, "src", pkg), pkg, a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir, defaultPath string, a *framework.Analyzer) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("analysistest: no Go files in %s (%v)", dir, err)
+	}
+
+	// Collect imports and the optional testpath directive by pre-parsing.
+	fset := token.NewFileSet()
+	importPath := defaultPath
+	importSet := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("analysistest: parse %s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil {
+				importSet[p] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//fsplint:testpath"); ok {
+					importPath = strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+
+	exports, err := framework.ListExports(dir, imports)
+	if err != nil {
+		t.Fatalf("analysistest: resolving imports of %s: %v", dir, err)
+	}
+	pkg, err := framework.CheckFiles(importPath, names, exports)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	findings, err := framework.RunPackage([]*framework.Analyzer{a}, pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, f := range findings {
+		key := lineKey{f.Position.Filename, f.Position.Line}
+		if !wants.match(key, f.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", f.Position, f.Analyzer, f.Message)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantMap map[lineKey][]*want
+
+func (m wantMap) match(key lineKey, message string) bool {
+	for _, w := range m[key] {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (m wantMap) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, ws := range m {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.re)
+			}
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+// collectWants extracts // want expectations from the package's comments.
+func collectWants(t *testing.T, pkg *framework.Package) wantMap {
+	t.Helper()
+	wants := make(wantMap)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(rest, -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: malformed want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					key := lineKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

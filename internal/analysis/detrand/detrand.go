@@ -1,0 +1,93 @@
+// Package detrand keeps fspnet's library packages deterministic: every
+// experiment table in EXPERIMENTS.md must be reproducible run-to-run, so
+// randomness in library code must flow through an explicitly seeded
+// *rand.Rand supplied by the caller (the internal/fsptest and
+// internal/bench convention), never the process-global generator or the
+// wall clock.
+//
+// The analyzer flags, in non-main packages outside fspnet/cmd:
+//
+//   - calls to package-level math/rand and math/rand/v2 functions
+//     (rand.Intn, rand.Shuffle, ...), which draw from the global source;
+//   - calls to time.Now and time.Since, which make results depend on the
+//     wall clock.
+//
+// Methods on an explicit *rand.Rand are always allowed, as are the
+// constructors rand.New / rand.NewSource / rand.NewPCG / rand.NewChaCha8.
+// Deliberate wall-clock uses (e.g. measuring elapsed time for a report)
+// are silenced with //fsplint:ignore detrand and a reason.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fspnet/internal/analysis/framework"
+)
+
+// Analyzer is the detrand check.
+var Analyzer = &framework.Analyzer{
+	Name: "detrand",
+	Doc:  "flags global math/rand and wall-clock use in library packages",
+	Run:  run,
+}
+
+// allowedRandFuncs are math/rand functions that construct explicit
+// generators rather than drawing from the global source.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.Name() == "main" || strings.HasPrefix(pass.Pkg.Path(), "fspnet/cmd/") {
+		return nil // binaries may seed themselves however they like
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, fn := packageFunc(pass, sel)
+			switch pkg {
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[fn] {
+					pass.Reportf(call.Pos(),
+						"call to %s.%s uses the process-global random source; thread an explicitly seeded *rand.Rand through the API instead",
+						pkg, fn)
+				}
+			case "time":
+				if fn == "Now" || fn == "Since" {
+					pass.Reportf(call.Pos(),
+						"time.%s makes library output depend on the wall clock; inject the value from the caller (or //fsplint:ignore detrand with a reason for pure measurement)",
+						fn)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFunc resolves sel as pkgname.Func, returning the imported package
+// path and function name, or "", "" when sel is not a package selector.
+func packageFunc(pass *framework.Pass, sel *ast.SelectorExpr) (string, string) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"fspnet/internal/analysis/analysistest"
+	"fspnet/internal/analysis/detrand"
+)
+
+func TestDetRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataPath(t), detrand.Analyzer, "a", "b", "c")
+}

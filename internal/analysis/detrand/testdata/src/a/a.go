@@ -1,0 +1,28 @@
+// Package a is a library package: global randomness and the wall clock
+// are both off limits.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() int {
+	return rand.Intn(10) // want `process-global random source`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `process-global random source`
+}
+
+func stamp() time.Time {
+	return time.Now() // want `wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall clock`
+}
+
+func measured() time.Time {
+	return time.Now() //fsplint:ignore detrand deliberate: measurement only
+}

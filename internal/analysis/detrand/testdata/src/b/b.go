@@ -1,0 +1,21 @@
+// Package b holds the sanctioned patterns: explicitly seeded generators
+// threaded through the API, and clock values injected by the caller.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+func perm(seed int64, n int) []int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Perm(n)
+}
+
+func pick(r *rand.Rand, xs []string) string {
+	return xs[r.Intn(len(xs))]
+}
+
+func format(now time.Time) string {
+	return now.Format(time.RFC3339)
+}

@@ -1,0 +1,14 @@
+// Command c shows the exemption: package main binaries may seed
+// themselves from the clock.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	r := rand.New(rand.NewSource(time.Now().UnixNano()))
+	_ = r.Intn(3)
+	_ = rand.Intn(3)
+}

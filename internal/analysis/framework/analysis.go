@@ -1,0 +1,112 @@
+// Package framework is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary, built entirely on the standard
+// library (go/ast, go/types, go/importer). It exists because fspnet keeps a
+// zero-dependency go.mod: the fsplint analyzers (mapiter, frozenfsp,
+// detrand) are written against this API, which mirrors x/tools closely
+// enough that porting them to the upstream framework is a mechanical
+// rename.
+//
+// The framework has three moving parts:
+//
+//   - Analyzer / Pass / Diagnostic — the x/tools-shaped checker API
+//     (this file);
+//   - the loader (load.go), which resolves package patterns with
+//     `go list -export` and type-checks source against compiler export
+//     data, so analyzers always see fully typed syntax trees;
+//   - two drivers: Run (run.go) for the standalone multichecker, and
+//     Unitchecker (unitchecker.go) speaking the `go vet -vettool`
+//     config-file protocol.
+//
+// Diagnostics can be silenced per line with a directive comment:
+//
+//	//fsplint:ignore mapiter reason for the exception
+//
+// placed on, or on the line immediately above, the offending statement.
+// See docs/ANALYSIS.md for the analyzer catalogue.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check: a name for diagnostics and
+// suppression directives, documentation, and the Run function applied to
+// each package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in
+	// //fsplint:ignore directives. It must be a valid identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary,
+	// optionally followed by a blank line and details.
+	Doc string
+
+	// Run applies the check to a single type-checked package,
+	// reporting findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass presents one type-checked package to an analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records a finding. It may be called concurrently only
+	// from a single goroutine (analyzers here are synchronous).
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+
+	// Analyzer is filled in by the driver.
+	Analyzer string
+}
+
+// Finding is a positioned diagnostic as produced by a driver, ready for
+// printing and for suppression filtering.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// sortFindings orders findings by (file, line, column, analyzer, message)
+// so driver output is deterministic — the same property the analyzers
+// themselves police.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,122 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestLoadTypesCorePackage loads a real module package through the
+// go list -export pipeline and checks the syntax trees arrive fully typed.
+func TestLoadTypesCorePackage(t *testing.T) {
+	pkgs, err := Load(".", "fspnet/internal/fsp")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.ImportPath != "fspnet/internal/fsp" {
+		t.Errorf("ImportPath = %q", pkg.ImportPath)
+	}
+	if pkg.Pkg == nil || pkg.Pkg.Scope().Lookup("FSP") == nil {
+		t.Fatalf("type information missing: FSP not in package scope")
+	}
+	if len(pkg.TypesInfo.Defs) == 0 || len(pkg.TypesInfo.Selections) == 0 {
+		t.Errorf("TypesInfo sparsely populated: %d defs, %d selections",
+			len(pkg.TypesInfo.Defs), len(pkg.TypesInfo.Selections))
+	}
+}
+
+// TestRunDeterministicOrder runs a trivial analyzer twice and checks the
+// findings arrive identically ordered — the driver must practice what the
+// analyzers preach.
+func TestRunDeterministicOrder(t *testing.T) {
+	reportAll := &Analyzer{
+		Name: "reportall",
+		Doc:  "reports every file once",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Package, "package %s", pass.Pkg.Name())
+			}
+			return nil
+		},
+	}
+	var prev []Finding
+	for i := 0; i < 3; i++ {
+		fs, err := Run(".", []*Analyzer{reportAll}, "fspnet/internal/fsp", "fspnet/internal/poss")
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if len(fs) == 0 {
+			t.Fatal("no findings from reportall")
+		}
+		if i > 0 {
+			if len(fs) != len(prev) {
+				t.Fatalf("run %d: %d findings, previously %d", i, len(fs), len(prev))
+			}
+			for j := range fs {
+				if fs[j] != prev[j] {
+					t.Fatalf("run %d: finding %d differs: %v vs %v", i, j, fs[j], prev[j])
+				}
+			}
+		}
+		prev = fs
+	}
+}
+
+// TestSuppressions checks the //fsplint:ignore directive grammar: single
+// names, comma lists, "all", same-line and line-above placement.
+func TestSuppressions(t *testing.T) {
+	src := `package p
+
+//fsplint:ignore mapiter reason
+var a = 1
+var b = 2 //fsplint:ignore detrand,frozenfsp another reason
+//fsplint:ignore all
+var c = 3
+//fsplint:ignorenospace is not a directive
+var d = 4
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := collectSuppressions(fset, []*ast.File{f})
+	cases := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{4, "mapiter", true},   // directive on line above
+		{4, "detrand", false},  // wrong analyzer
+		{5, "detrand", true},   // same-line, comma list
+		{5, "frozenfsp", true}, // same-line, comma list
+		{5, "mapiter", false},
+		{7, "mapiter", true}, // "all" silences everything
+		{9, "mapiter", false},
+	}
+	for _, c := range cases {
+		pos := token.Position{Filename: "p.go", Line: c.line, Column: 1}
+		if got := sup.suppressed(pos, c.analyzer); got != c.want {
+			t.Errorf("line %d analyzer %s: suppressed=%t, want %t", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+// TestFindingString pins the file:line:col: analyzer: message format other
+// tooling (CI annotations, editors) parses.
+func TestFindingString(t *testing.T) {
+	f := Finding{
+		Position: token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Analyzer: "mapiter",
+		Message:  "boom",
+	}
+	if got := f.String(); !strings.HasPrefix(got, "x.go:3:7: mapiter: boom") {
+		t.Errorf("Finding.String() = %q", got)
+	}
+}

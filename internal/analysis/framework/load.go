@@ -1,0 +1,208 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath      string
+	Dir             string
+	Name            string
+	Standard        bool
+	DepOnly         bool
+	Export          string
+	GoFiles         []string
+	CompiledGoFiles []string
+	ImportMap       map[string]string
+	Error           *struct{ Err string }
+}
+
+// Load resolves the given package patterns (e.g. "./...") in dir with the
+// go command and type-checks each matched package from source, resolving
+// imports through the compiler export data that `go list -export` produces.
+// This keeps the loader free of external dependencies: the go toolchain is
+// the only requirement.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goListExport(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)   // import path -> export data file
+	importMap := make(map[string]string) // as-written path -> canonical path
+	var targets []*listPackage
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		for from, to := range lp.ImportMap {
+			importMap[from] = to
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports, importMap)
+	var pkgs []*Package
+	for _, lp := range targets {
+		files := lp.CompiledGoFiles
+		if len(files) == 0 {
+			files = lp.GoFiles
+		}
+		var names []string
+		for _, f := range files {
+			if !strings.HasSuffix(f, ".go") {
+				continue // cgo-generated artifacts; fspnet has none
+			}
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(lp.Dir, f)
+			}
+			names = append(names, f)
+		}
+		pkg, err := checkPackage(fset, lp.ImportPath, "", names, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goListExport runs `go list -export -json -deps` in dir and decodes the
+// package stream.
+func goListExport(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("framework: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var listed []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("framework: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("framework: go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		listed = append(listed, &lp)
+	}
+	return listed, nil
+}
+
+// ListExports resolves the given import paths (run from dir, which must lie
+// inside the module) and returns the transitive import path -> export data
+// file map. It lets callers type-check ad-hoc file sets — the analysistest
+// harness uses it to load testdata packages that import real packages.
+func ListExports(dir string, imports []string) (map[string]string, error) {
+	exports := make(map[string]string)
+	if len(imports) == 0 {
+		return exports, nil
+	}
+	listed, err := goListExport(dir, imports)
+	if err != nil {
+		return nil, err
+	}
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return exports, nil
+}
+
+// CheckFiles parses and type-checks one ad-hoc package (not necessarily
+// part of any module) under the given import path, resolving its imports
+// through the exports map as produced by ListExports.
+func CheckFiles(importPath string, filenames []string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports, nil)
+	return checkPackage(fset, importPath, "", filenames, imp)
+}
+
+// exportImporter returns a types.Importer that reads gc export data files
+// from the given import-path -> file map, honoring the vendor import map.
+func exportImporter(fset *token.FileSet, exports, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("framework: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// NewTypesInfo returns a types.Info with every map analyzers consume.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// checkPackage parses and type-checks one package from its source files.
+// goVersion, when non-empty, pins the language version (vet protocol).
+func checkPackage(fset *token.FileSet, importPath, goVersion string, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("framework: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp, GoVersion: goVersion}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("framework: typecheck %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+	}, nil
+}

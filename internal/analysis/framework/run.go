@@ -1,0 +1,127 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"strings"
+)
+
+// IgnoreDirective is the comment prefix that silences a finding on its own
+// line or the line below: //fsplint:ignore name1,name2 optional reason.
+// The special name "all" silences every analyzer.
+const IgnoreDirective = "//fsplint:ignore"
+
+// Run loads the packages matched by patterns under dir and applies every
+// analyzer to each, returning the surviving findings in deterministic
+// order. Findings silenced by //fsplint:ignore directives are dropped.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(analyzers, pkg)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all, nil
+}
+
+// RunPackage applies the analyzers to a single loaded package and filters
+// the results through the package's suppression directives.
+func RunPackage(analyzers []*Analyzer, pkg *Package) ([]Finding, error) {
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+		}
+		var diags []Diagnostic
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			diags = append(diags, d)
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("framework: %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if sup.suppressed(pos, a.Name) {
+				continue
+			}
+			out = append(out, Finding{Position: pos, Analyzer: a.Name, Message: d.Message})
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// Print writes findings one per line in file:line:col: analyzer: message
+// form and reports whether any were written.
+func Print(w io.Writer, fs []Finding) bool {
+	for _, f := range fs {
+		fmt.Fprintln(w, f)
+	}
+	return len(fs) > 0
+}
+
+// suppressions maps (file, line) to the set of analyzer names silenced
+// there. A directive on line n silences findings on lines n and n+1, so it
+// can sit on the offending line or immediately above it.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppressed(pos token.Position, analyzer string) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if names := lines[line]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressions {
+	s := make(suppressions)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					s[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					names[name] = true
+				}
+			}
+		}
+	}
+	return s
+}

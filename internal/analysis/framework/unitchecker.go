@@ -1,0 +1,127 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// VetConfig is the JSON configuration the go command hands a vet tool for
+// each package when invoked as `go vet -vettool=fsplint`. The field set
+// mirrors the (stable since Go 1.12) cmd/go <-> unitchecker protocol;
+// fields fsplint does not consume are retained so decoding stays strict
+// about nothing and forward-compatible.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Unitchecker implements the `go vet -vettool` protocol for a single
+// package: it reads the JSON config, type-checks the package against the
+// export data the go command already built, runs the analyzers, prints
+// findings to stderr, and exits non-zero if any survive suppression.
+// It never returns.
+//
+// The go command invokes the tool in three ways, all handled here:
+//
+//	fsplint -V=full        # version fingerprint for the build cache
+//	fsplint -flags         # flag schema query (fsplint has none)
+//	fsplint <pkg>.cfg      # analyze one package
+func Unitchecker(analyzers []*Analyzer, cfgFile string) {
+	code, err := unitcheck(os.Stderr, analyzers, cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// PrintVersion answers -V=full with the executable's content hash, the
+// fingerprint the go command folds into its build cache key.
+func PrintVersion(w io.Writer) {
+	progname := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// PrintFlagDefs answers -flags: the JSON schema of tool flags the go
+// command may forward. fsplint keeps zero per-analyzer flags.
+func PrintFlagDefs(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}
+
+func unitcheck(w io.Writer, analyzers []*Analyzer, cfgFile string) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, fmt.Errorf("fsplint: reading vet config: %v", err)
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("fsplint: parsing vet config %s: %v", cfgFile, err)
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return 0, fmt.Errorf("fsplint: unsupported compiler %q", cfg.Compiler)
+	}
+
+	// The go command requires the facts file to exist after every run,
+	// including VetxOnly (facts-gathering) runs on dependencies. fsplint's
+	// analyzers export no facts, so the file is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, fmt.Errorf("fsplint: writing %s: %v", cfg.VetxOutput, err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	var names []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, ".go") {
+			names = append(names, f)
+		}
+	}
+	pkg, err := checkPackage(fset, cfg.ImportPath, cfg.GoVersion, names, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	findings, err := RunPackage(analyzers, pkg)
+	if err != nil {
+		return 0, err
+	}
+	if Print(w, findings) {
+		return 2, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,127 @@
+// Package frozenfsp enforces the freeze-after-build contract of
+// fspnet/internal/fsp.FSP: once Builder.Build returns, an FSP is immutable.
+// The composition cache, bisimulation checker, and possibility-set
+// machinery all hash and share built processes, so a single post-build
+// write silently corrupts every analysis that later touches the process.
+//
+// Two mutation vectors are flagged:
+//
+//   - writes to FSP struct internals through a pointer — these can only
+//     appear inside package internal/fsp (the fields are unexported), and
+//     are legal only in builder.go, where the value is still under
+//     construction;
+//   - writes through the aliasing accessor (*FSP).Out, whose returned
+//     slice is documented as read-only, from any package.
+package frozenfsp
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"fspnet/internal/analysis/framework"
+)
+
+// FSPPath is the package whose FSP type is protected.
+const FSPPath = "fspnet/internal/fsp"
+
+// builderFile is the single file inside FSPPath allowed to write FSP
+// internals: it holds Builder.Build, where the process is not yet frozen.
+const builderFile = "builder.go"
+
+// Analyzer is the frozenfsp check.
+var Analyzer = &framework.Analyzer{
+	Name: "frozenfsp",
+	Doc:  "flags writes to fsp.FSP internals after construction",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		inBuilder := pass.Pkg.Path() == FSPPath &&
+			filepath.Base(pass.Fset.Position(file.Pos()).Filename) == builderFile
+		if inBuilder {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWrite walks the LHS expression chain of a write and reports if the
+// written location lives inside a frozen FSP.
+func checkWrite(pass *framework.Pass, lhs ast.Expr) {
+	// deep records whether the write path already passed through an index
+	// or dereference: a deep write into an FSP field mutates shared
+	// backing storage even when the FSP itself was copied by value.
+	deep := false
+	pos := lhs.Pos()
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal && isFSP(sel.Recv()) {
+				// Writing a scalar field of a local *value* copy
+				// (q := *p; q.name = ...) is safe; anything through a
+				// pointer, or deeper than one level, is not.
+				if isPointer(sel.Recv()) || deep {
+					pass.Reportf(pos,
+						"write to fsp.FSP internals outside the builder; FSP values are immutable once built")
+				}
+				return
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			// p.Out(s)[i] = ... or p.Out(s)[i].To = ...: mutation through
+			// the documented-read-only accessor slice.
+			if call, ok := ast.Unparen(e.X).(*ast.CallExpr); ok && isOutCall(pass, call) {
+				pass.Reportf(pos,
+					"write through (*fsp.FSP).Out's returned slice, which is documented read-only; copy it before modifying")
+				return
+			}
+			deep = true
+			lhs = e.X
+		case *ast.StarExpr:
+			deep = true
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// isOutCall reports whether call invokes the Out method of fsp.FSP.
+func isOutCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Out" {
+		return false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	return ok && s.Kind() == types.MethodVal && isFSP(s.Recv())
+}
+
+// isFSP reports whether t is fsp.FSP or *fsp.FSP.
+func isFSP(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == FSPPath && named.Obj().Name() == "FSP"
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.(*types.Pointer)
+	return ok
+}

@@ -1,0 +1,12 @@
+package frozenfsp_test
+
+import (
+	"testing"
+
+	"fspnet/internal/analysis/analysistest"
+	"fspnet/internal/analysis/frozenfsp"
+)
+
+func TestFrozenFSP(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataPath(t), frozenfsp.Analyzer, "a", "b", "fspinternal")
+}

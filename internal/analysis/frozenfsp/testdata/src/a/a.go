@@ -1,0 +1,17 @@
+// Package a mutates a real fsp.FSP through its aliasing accessor.
+package a
+
+import "fspnet/internal/fsp"
+
+func clobberTransition(p *fsp.FSP, s fsp.State) {
+	p.Out(s)[0] = fsp.Transition{} // want `read-only`
+}
+
+func retarget(p *fsp.FSP, s fsp.State) {
+	p.Out(s)[0].To = 1 // want `read-only`
+}
+
+// read-only traversal is fine.
+func fanout(p *fsp.FSP, s fsp.State) int {
+	return len(p.Out(s))
+}

@@ -1,0 +1,37 @@
+// Package b holds the clean patterns frozenfsp must accept: reads,
+// copies, and writes to copies.
+package b
+
+import "fspnet/internal/fsp"
+
+func inspect(p *fsp.FSP) int {
+	n := 0
+	for _, t := range p.Transitions() {
+		if t.Label != fsp.Tau {
+			n++
+		}
+	}
+	return n
+}
+
+// copyThenEdit duplicates the accessor's slice before modifying it.
+func copyThenEdit(p *fsp.FSP) []fsp.Transition {
+	ts := append([]fsp.Transition(nil), p.Out(p.Start())...)
+	if len(ts) > 0 {
+		ts[0].To = 0
+	}
+	return ts
+}
+
+// rebuild goes through the builder, the sanctioned mutation path.
+func rebuild(p *fsp.FSP) (*fsp.FSP, error) {
+	b := fsp.NewBuilder(p.Name())
+	for s := 0; s < p.NumStates(); s++ {
+		b.State(p.StateName(fsp.State(s)))
+	}
+	b.SetStart(p.Start())
+	for _, t := range p.Transitions() {
+		b.Add(t.From, t.Label, t.To)
+	}
+	return b.Build()
+}

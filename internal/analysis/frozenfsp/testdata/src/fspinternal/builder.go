@@ -1,0 +1,10 @@
+package fsp
+
+// builder.go is the one file where FSP internals may be written: the
+// process is still under construction here.
+func build(name string) *FSP {
+	p := &FSP{name: name}
+	p.out = append(p.out, nil)
+	p.name = name
+	return p
+}

@@ -1,0 +1,41 @@
+//fsplint:testpath fspnet/internal/fsp
+
+// Package fsp is a shape-mirror of the real internal/fsp, type-checked
+// under its import path so frozenfsp's in-package rules can be tested
+// hermetically: pointer writes outside builder.go are flagged, scalar
+// writes to value copies are not.
+package fsp
+
+// Transition mirrors the real arc type.
+type Transition struct {
+	From  int
+	Label string
+	To    int
+}
+
+// FSP mirrors the real process type's shape.
+type FSP struct {
+	name string
+	out  [][]Transition
+}
+
+// Rename-style value-copy write of a scalar field: allowed.
+func (p *FSP) Rename(name string) *FSP {
+	q := *p
+	q.name = name
+	return &q
+}
+
+// Post-build pointer writes outside builder.go: flagged.
+func (p *FSP) setName(name string) {
+	p.name = name // want `outside the builder`
+}
+
+func (p *FSP) clobber(s int) {
+	p.out[s] = nil // want `outside the builder`
+}
+
+// A deep write through a value copy still aliases the backing array.
+func sneaky(p FSP) {
+	p.out[0][0].To = 2 // want `outside the builder`
+}

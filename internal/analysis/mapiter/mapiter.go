@@ -1,0 +1,300 @@
+// Package mapiter flags range statements over maps whose body feeds an
+// order-sensitive sink — string building, formatting, or slice appends
+// that are never sorted — without an intervening canonicalization step.
+//
+// fspnet's algorithms depend on canonical encodings: possibility sets,
+// failure sets, and normal forms (paper Lemmas 2–5) are compared as sorted
+// strings, so any output derived from Go's randomized map iteration order
+// silently breaks possibility equivalence. The analyzer accepts the
+// standard idiom of collecting keys into a slice that is sorted before
+// use, and the //fsplint:ignore mapiter directive for deliberate
+// exceptions.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"fspnet/internal/analysis/framework"
+)
+
+// Analyzer is the mapiter check.
+var Analyzer = &framework.Analyzer{
+	Name: "mapiter",
+	Doc:  "flags map iteration feeding ordered output without sorting",
+	Run:  run,
+}
+
+// canonicalizerRE matches callee names that impose an order on a slice, or
+// otherwise canonicalize it, after collection.
+var canonicalizerRE = regexp.MustCompile(`(?i)(sort|dedup|canon|order|normal|uniq)`)
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, body := range functionBodies(file) {
+			checkBody(pass, body)
+		}
+	}
+	return nil
+}
+
+// functionBodies returns every function body in the file, top-level and
+// literal alike. Each body is analyzed as its own scope.
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// checkBody inspects one function body for map ranges with ordered sinks.
+func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		checkMapRange(pass, body, rng)
+	})
+}
+
+// walkSkippingFuncLits visits nodes of stmt without descending into nested
+// function literals, whose statements belong to a different scope.
+func walkSkippingFuncLits(stmt ast.Node, visit func(ast.Node)) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != stmt {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+func checkMapRange(pass *framework.Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt) {
+	loopVars := rangeVarObjects(pass, rng)
+	var appendTargets []ast.Expr
+
+	walkSkippingFuncLits(rng.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// s += expr on strings builds output in iteration order.
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass, n.Lhs[0]) {
+				pass.Reportf(rng.For,
+					"map iteration feeds string concatenation %s; iteration order is randomized — sort the keys first",
+					types.ExprString(n.Lhs[0]))
+				return
+			}
+			// x = append(x, ...) collects in iteration order; fine only
+			// if x is canonicalized later in the same function.
+			if call := appendCall(n); call != nil && len(n.Lhs) == 1 {
+				appendTargets = append(appendTargets, n.Lhs[0])
+			}
+		case *ast.CallExpr:
+			checkCallSink(pass, rng, loopVars, n)
+		}
+	})
+
+	for _, target := range appendTargets {
+		if !canonicalizedAfter(pass, enclosing, rng, target) {
+			pass.Reportf(rng.For,
+				"map iteration appends to %s, which is never sorted afterwards; iteration order is randomized — sort before it feeds ordered output",
+				types.ExprString(target))
+		}
+	}
+}
+
+// appendCall returns the append CallExpr if the assignment's sole RHS is a
+// call to the append builtin.
+func appendCall(n *ast.AssignStmt) *ast.CallExpr {
+	if len(n.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		return call
+	}
+	return nil
+}
+
+// checkCallSink flags calls inside the loop body that serialize data in
+// iteration order: writes to strings.Builder / bytes.Buffer (directly or
+// via fmt.Fprint*), and fmt string formatting of the loop variables.
+func checkCallSink(pass *framework.Pass, rng *ast.RangeStmt, loopVars map[types.Object]bool, call *ast.CallExpr) {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			if isWriteMethod(sel.Sel.Name) && isOrderedWriter(s.Recv()) {
+				pass.Reportf(rng.For,
+					"map iteration writes to %s via %s; iteration order is randomized — sort the keys first",
+					typeString(s.Recv()), sel.Sel.Name)
+			}
+			return
+		}
+		// Package-level function: check for fmt sinks.
+		pkgName, fn := packageFunc(pass, sel)
+		if pkgName != "fmt" {
+			return
+		}
+		switch fn {
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 && isOrderedWriter(pass.TypesInfo.Types[call.Args[0]].Type) {
+				pass.Reportf(rng.For,
+					"map iteration writes formatted output to %s; iteration order is randomized — sort the keys first",
+					types.ExprString(call.Args[0]))
+			}
+		case "Sprint", "Sprintf", "Sprintln", "Errorf":
+			if referencesAny(pass, call, loopVars) {
+				pass.Reportf(rng.For,
+					"map iteration formats the loop variable with fmt.%s; which element is rendered depends on randomized map order — iterate sorted keys instead",
+					fn)
+			}
+		}
+	}
+}
+
+func isWriteMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}
+
+// isOrderedWriter reports whether t is (a pointer to) strings.Builder or
+// bytes.Buffer — the append-only text sinks used for canonical encodings.
+func isOrderedWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}
+
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// packageFunc resolves sel as pkgname.Func and returns the package name
+// and function name, or "", "".
+func packageFunc(pass *framework.Pass, sel *ast.SelectorExpr) (string, string) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// rangeVarObjects returns the types.Objects of the range statement's key
+// and value variables.
+func rangeVarObjects(pass *framework.Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+			if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	return vars
+}
+
+// referencesAny reports whether the expression mentions any of the objects.
+func referencesAny(pass *framework.Pass, e ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && objs[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// canonicalizedAfter reports whether target is passed, after the range
+// statement, to a call that sorts or otherwise canonicalizes it — either a
+// sort/slices package function or a callee whose name says it imposes
+// order (sortX, dedupX, canonicalize, ...).
+func canonicalizedAfter(pass *framework.Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt, target ast.Expr) bool {
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isCanonicalizer(pass, call.Fun) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == want {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isCanonicalizer(pass *framework.Pass, fun ast.Expr) bool {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return canonicalizerRE.MatchString(f.Name)
+	case *ast.SelectorExpr:
+		if pkg, _ := packageFunc(pass, f); pkg == "sort" || pkg == "slices" {
+			return true
+		}
+		return canonicalizerRE.MatchString(f.Sel.Name)
+	}
+	return false
+}
+
+func isString(pass *framework.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

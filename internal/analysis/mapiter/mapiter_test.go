@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"fspnet/internal/analysis/analysistest"
+	"fspnet/internal/analysis/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataPath(t), mapiter.Analyzer, "a", "b")
+}

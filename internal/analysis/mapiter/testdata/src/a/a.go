@@ -1,0 +1,57 @@
+// Package a exercises every mapiter ordered-sink class.
+package a
+
+import (
+	"fmt"
+	"strings"
+)
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `feeds string concatenation`
+		s += k
+	}
+	return s
+}
+
+func builder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m { // want `writes to strings.Builder`
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func firstError(m map[string]bool) error {
+	for k, ok := range m { // want `fmt.Errorf`
+		if !ok {
+			return fmt.Errorf("bad key %q", k)
+		}
+	}
+	return nil
+}
+
+func fprint(m map[string]int) string {
+	var sb strings.Builder
+	for k, v := range m { // want `writes formatted output`
+		fmt.Fprintf(&sb, "%s=%d,", k, v)
+	}
+	return sb.String()
+}
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	//fsplint:ignore mapiter order genuinely irrelevant here
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

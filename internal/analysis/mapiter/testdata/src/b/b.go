@@ -1,0 +1,45 @@
+// Package b holds the clean idioms mapiter must accept.
+package b
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// sortedKeys is the canonical collect-sort-use idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// render iterates the sorted keys, not the map.
+func render(m map[string]int) string {
+	var sb strings.Builder
+	for _, k := range sortedKeys(m) {
+		fmt.Fprintf(&sb, "%s=%d,", k, m[k])
+	}
+	return sb.String()
+}
+
+// count does not observe order at all.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// transfer feeds another map, an order-insensitive sink.
+func transfer(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -171,8 +171,16 @@ func (p *FSP) Rename(newName string) *FSP {
 // m[a] when present in m (τ is never relabeled). Distinct actions must not
 // be mapped to the same target.
 func (p *FSP) RelabelActions(m map[Action]Action) (*FSP, error) {
+	// Validate in sorted key order so a bad mapping is always reported
+	// against the same entry, whatever the map's iteration order.
+	froms := make([]Action, 0, len(m))
+	for from := range m {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
 	seen := make(map[Action]Action, len(m))
-	for from, to := range m {
+	for _, from := range froms {
+		to := m[from]
 		if to == "" || to == Tau {
 			return nil, fmt.Errorf("fsp: relabel %q -> %q: %w", from, to, ErrBadAction)
 		}

@@ -211,7 +211,12 @@ func (p *parser) process() (*fsp.FSP, error) {
 }
 
 // Format renders a network in the fsplang notation; Parse(Format(n)) is
-// equivalent to n.
+// equivalent to n, and Format is canonical: reparsing its output and
+// formatting again reproduces it byte for byte, however the source
+// network's states happened to be numbered. Canonicality comes from
+// emitting each process's state blocks in first-mention order — the order
+// the parser assigns state indices in — rather than in internal index
+// order.
 func Format(n *network.Network) string {
 	var sb strings.Builder
 	for i := 0; i < n.Len(); i++ {
@@ -223,25 +228,50 @@ func Format(n *network.Network) string {
 			}
 			return fmt.Sprintf("s%d", s)
 		}
+
+		// Per-state transitions in emission order: by label, then target.
+		outOf := func(s fsp.State) []fsp.Transition {
+			ts := append([]fsp.Transition(nil), p.Out(s)...)
+			sort.Slice(ts, func(a, b int) bool {
+				if ts[a].Label != ts[b].Label {
+					return ts[a].Label < ts[b].Label
+				}
+				return ts[a].To < ts[b].To
+			})
+			return ts
+		}
+
+		// First-mention order: the start state, then targets in the order
+		// the emitted text will name them. This is exactly the index
+		// order the parser reconstructs, so Format∘Parse∘Format = Format.
+		order := make([]fsp.State, 0, p.NumStates())
+		seen := make([]bool, p.NumStates())
+		mention := func(s fsp.State) {
+			if !seen[s] {
+				seen[s] = true
+				order = append(order, s)
+			}
+		}
+		mention(p.Start())
+		for i := 0; i < len(order); i++ {
+			for _, t := range outOf(order[i]) {
+				mention(t.To)
+			}
+		}
+		for s := 0; s < p.NumStates(); s++ {
+			mention(fsp.State(s)) // unreachable stragglers, index order
+		}
+
 		fmt.Fprintf(&sb, "process %s {\n", sanitizeName(p.Name()))
 		fmt.Fprintf(&sb, "    start %s\n", stateToken(p.Start()))
-		trans := p.Transitions()
-		sort.Slice(trans, func(a, b int) bool {
-			x, y := trans[a], trans[b]
-			if x.From != y.From {
-				return x.From < y.From
+		for _, s := range order {
+			for _, t := range outOf(s) {
+				lbl := string(t.Label)
+				if t.Label == fsp.Tau {
+					lbl = "tau"
+				}
+				fmt.Fprintf(&sb, "    %s %s %s\n", stateToken(t.From), lbl, stateToken(t.To))
 			}
-			if x.Label != y.Label {
-				return x.Label < y.Label
-			}
-			return x.To < y.To
-		})
-		for _, t := range trans {
-			lbl := string(t.Label)
-			if t.Label == fsp.Tau {
-				lbl = "tau"
-			}
-			fmt.Fprintf(&sb, "    %s %s %s\n", stateToken(t.From), lbl, stateToken(t.To))
 		}
 		sb.WriteString("}\n")
 	}

@@ -1,0 +1,66 @@
+package fsplang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse throws arbitrary input at the fsplang parser. Two properties
+// are enforced on every input the parser accepts:
+//
+//  1. round-trip: Format(Parse(src)) must itself parse, to a network with
+//     the same shape — the CLI depends on Format output being valid
+//     fsplang;
+//  2. determinism: formatting the reparse must reproduce the first
+//     formatting byte for byte (the canonical-encoding invariant the
+//     mapiter analyzer polices statically).
+//
+// Seeds come from the repository's .fsp examples plus the corpus under
+// testdata/fuzz/FuzzParse; CI runs this target for 10s on every push.
+func FuzzParse(f *testing.F) {
+	f.Add("process P { start s0; s0 a s1 }")
+	f.Add("process P { start s0; s0 tau s0 }\nprocess Q { start q; q a q }")
+	f.Add("# comment\nprocess P{start x;x τ x}")
+	f.Add("process")
+	f.Add("")
+	f.Add("process P { start s0; s0 a s1 } process P { start s0; s0 a s1 }")
+
+	// The checked-in example networks are the richest seeds.
+	matches, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fsp"))
+	if err == nil {
+		for _, m := range matches {
+			if data, err := os.ReadFile(m); err == nil {
+				f.Add(string(data))
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ParseString(src)
+		if err != nil {
+			return // rejected input is fine; crashing is not
+		}
+		if !utf8.ValidString(src) {
+			return // Format's output guarantees hold for valid UTF-8 only
+		}
+		first := Format(n)
+		n2, err := ParseString(first)
+		if err != nil {
+			t.Fatalf("Format output failed to reparse: %v\ninput: %q\nformatted: %q", err, src, first)
+		}
+		if n2.Len() != n.Len() {
+			t.Fatalf("round-trip changed process count %d -> %d\ninput: %q", n.Len(), n2.Len(), src)
+		}
+		for i := 0; i < n.Len(); i++ {
+			p, q := n.Process(i), n2.Process(i)
+			if p.NumStates() != q.NumStates() || p.NumTransitions() != q.NumTransitions() {
+				t.Fatalf("round-trip changed process %d shape: %v -> %v\ninput: %q", i, p, q, src)
+			}
+		}
+		if second := Format(n2); second != first {
+			t.Fatalf("formatting is not canonical:\nfirst:  %q\nsecond: %q\ninput: %q", first, second, src)
+		}
+	})
+}

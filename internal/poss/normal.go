@@ -3,6 +3,7 @@ package poss
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"fspnet/internal/fsp"
 )
@@ -54,11 +55,17 @@ func NormalForm(name string, set *Set) (*fsp.FSP, error) {
 
 	// Coherence: every trie node must itself carry at least one
 	// possibility (prefixes of Lang strings are Lang strings with
-	// possibilities, for acyclic sources).
+	// possibilities, for acyclic sources). Collect and sort the offenders
+	// so the reported prefix does not depend on map iteration order.
+	var incoherent []string
 	for key := range trie {
 		if !hasPoss[key] {
-			return nil, fmt.Errorf("prefix %s has no possibility: %w", key, ErrIncoherent)
+			incoherent = append(incoherent, key)
 		}
+	}
+	sort.Strings(incoherent)
+	if len(incoherent) > 0 {
+		return nil, fmt.Errorf("prefix %s has no possibility: %w", incoherent[0], ErrIncoherent)
 	}
 
 	// Second pass: one stable state per possibility.

@@ -1,0 +1,76 @@
+package poss
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+)
+
+// TestNormalFormEncodingDeterministic locks in the invariant the mapiter
+// analyzer polices: the normal form is a canonical object, so its full
+// encoding (DOT rendering, which serializes every state name and
+// transition) must be byte-identical across repeated constructions. The
+// construction walks Go maps (the trie of NormalForm), so any unsorted
+// iteration feeding the output flips bytes between runs.
+func TestNormalFormEncodingDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		p := fsptest.Tree(r, "T", fsptest.Config{
+			Actions:   []fsp.Action{"a", "b", "c"},
+			MaxStates: 12,
+		})
+		set := MustOf(p)
+
+		var reference []byte
+		for run := 0; run < 100; run++ {
+			nf, err := NormalForm("N", set)
+			if err != nil {
+				t.Fatalf("trial %d: NormalForm: %v", trial, err)
+			}
+			var buf bytes.Buffer
+			if err := nf.WriteDOT(&buf); err != nil {
+				t.Fatalf("trial %d: WriteDOT: %v", trial, err)
+			}
+			if run == 0 {
+				reference = buf.Bytes()
+				continue
+			}
+			if !bytes.Equal(reference, buf.Bytes()) {
+				t.Fatalf("trial %d run %d: normal-form encoding differs between runs:\n--- first\n%s\n--- now\n%s",
+					trial, run, reference, buf.Bytes())
+			}
+		}
+	}
+}
+
+// TestNormalFormIncoherentErrorDeterministic pins the companion fix: when
+// several prefixes lack possibilities, the reported one is the
+// lexicographically smallest, not whichever the map yields first.
+func TestNormalFormIncoherentErrorDeterministic(t *testing.T) {
+	// Possibilities for strings "ab" and "cd" only: the prefixes "a",
+	// "c", and ε all lack possibilities of their own, so the set is
+	// incoherent with multiple witnesses.
+	set := NewSet([]Possibility{
+		{S: []fsp.Action{"a", "b"}, Z: nil},
+		{S: []fsp.Action{"c", "d"}, Z: nil},
+	})
+	var reference string
+	for run := 0; run < 100; run++ {
+		_, err := NormalForm("N", set)
+		if !errors.Is(err, ErrIncoherent) {
+			t.Fatalf("run %d: err = %v, want ErrIncoherent", run, err)
+		}
+		if run == 0 {
+			reference = err.Error()
+			continue
+		}
+		if err.Error() != reference {
+			t.Fatalf("run %d: error message changed between runs:\n first: %s\n   now: %s",
+				run, reference, err.Error())
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package success
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/fsptest"
+)
+
+// TestAnalyzeAllParallelRace exercises the concurrent success-predicate
+// evaluator the way `make test-race` needs it exercised: one shared
+// 8-process generated network, analyzed simultaneously from several
+// t.Parallel subtests, each of which fans out its own worker pool. Any
+// hidden write to shared FSP or network state — exactly what the
+// frozenfsp analyzer polices statically — shows up here dynamically under
+// the race detector. Each run must also reproduce the sequential verdicts:
+// worker scheduling may not leak into results.
+func TestAnalyzeAllParallelRace(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := fsptest.TreeNetwork(r, fsptest.NetConfig{
+		Procs:          8,
+		ActionsPerEdge: 2,
+		MaxStates:      4,
+		TauProb:        0.2,
+	})
+	if n.Len() != 8 {
+		t.Fatalf("generated network has %d processes, want 8", n.Len())
+	}
+
+	baseline, err := AnalyzeAll(context.Background(), n, false, 1)
+	if err != nil {
+		t.Fatalf("sequential AnalyzeAll: %v", err)
+	}
+
+	for w := 0; w < 4; w++ {
+		workers := w + 2
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			results, err := AnalyzeAll(context.Background(), n, false, workers)
+			if err != nil {
+				t.Fatalf("AnalyzeAll(workers=%d): %v", workers, err)
+			}
+			if len(results) != len(baseline) {
+				t.Fatalf("got %d results, want %d", len(results), len(baseline))
+			}
+			for i, res := range results {
+				want := baseline[i]
+				if res.Index != want.Index || res.Name != want.Name || res.Verdict != want.Verdict ||
+					fmt.Sprint(res.Err) != fmt.Sprint(want.Err) {
+					t.Errorf("process %d: parallel result %+v != sequential %+v", i, res, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAnalyzeAllCancelRace races cancellation against the worker pool: the
+// evaluator must drain cleanly without leaking goroutines writing results
+// after return.
+func TestAnalyzeAllCancelRace(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	n := fsptest.TreeNetwork(r, fsptest.NetConfig{
+		Procs:          8,
+		ActionsPerEdge: 2,
+		MaxStates:      4,
+		TauProb:        0.2,
+	})
+	for i := 0; i < 8; i++ {
+		t.Run(fmt.Sprintf("cancel%d", i), func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if _, err := AnalyzeAll(ctx, n, false, 3); err == nil {
+				t.Error("AnalyzeAll with canceled context returned nil error")
+			}
+		})
+	}
+}
