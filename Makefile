@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench experiments vet lint fuzz-short cover examples clean
+.PHONY: all build test test-race bench bench-smoke experiments experiments-quick experiments-json vet lint fuzz-short cover examples clean
 
 all: build vet lint test
 
@@ -34,11 +34,21 @@ test-verbose:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
+# bench-smoke compiles and runs every benchmark exactly once — catches
+# bit-rotted benchmarks without paying for real measurement.
+bench-smoke:
+	$(GO) test -bench . -benchtime=1x ./...
+
 experiments:
 	$(GO) run ./cmd/fspbench
 
 experiments-quick:
 	$(GO) run ./cmd/fspbench -quick
+
+# experiments-json regenerates the quick tables plus the machine-readable
+# row records committed as BENCH_baseline.json.
+experiments-json:
+	$(GO) run ./cmd/fspbench -quick -json BENCH_baseline.json
 
 cover:
 	$(GO) test -cover ./...

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"fspnet/internal/bench"
+	"fspnet/internal/explore"
 	"fspnet/internal/fsp"
 	"fspnet/internal/game"
 	"fspnet/internal/linear"
@@ -199,6 +200,44 @@ func BenchmarkE9NormalForm(b *testing.B) {
 					b.Fatal(err)
 				}
 				if _, err := poss.NormalForm("NF", set); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11Engine compares the on-the-fly joint-vector engine with
+// the compose-then-explore reference on the same networks (acyclic trees
+// and philosopher rings).
+func BenchmarkE11Engine(b *testing.B) {
+	for _, m := range []int{8, 12, 16} {
+		n := bench.TreeNetwork(int64(7000+m), m)
+		b.Run(fmt.Sprintf("engine/tree/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := explore.AnalyzeAcyclic(n, 0, explore.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, m := range []int{8, 12} {
+		n := bench.TreeNetwork(int64(7000+m), m)
+		b.Run(fmt.Sprintf("reference/tree/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v, err := success.AnalyzeAcyclicOpts(n, 0, success.Options{Backend: success.BackendCompose})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = v
+			}
+		})
+	}
+	for _, m := range []int{4, 6, 8} {
+		n := bench.Philosophers(m)
+		b.Run(fmt.Sprintf("engine/phil/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := explore.AnalyzeCyclic(n, 0, explore.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}

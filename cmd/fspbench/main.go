@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	fspbench [-quick] [-only E5]
+//	fspbench [-quick] [-only E5] [-json out.json]
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,8 +29,9 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("fspbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		quick = fs.Bool("quick", false, "smaller instance sizes")
-		only  = fs.String("only", "", "run a single experiment (e.g. E5)")
+		quick    = fs.Bool("quick", false, "smaller instance sizes")
+		only     = fs.String("only", "", "run a single experiment (e.g. E5)")
+		jsonPath = fs.String("json", "", "also write the table rows as JSON records to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -38,7 +40,11 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if *only == "" {
-		return bench.RunAll(stdout, *quick)
+		recs, err := bench.RunAllRecords(stdout, *quick)
+		if err != nil {
+			return err
+		}
+		return writeRecords(*jsonPath, recs)
 	}
 	for _, e := range bench.All() {
 		if e.ID != *only {
@@ -49,7 +55,22 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		t.Caption = e.ID + ": " + e.Claim
-		return t.Render(stdout)
+		if err := t.Render(stdout); err != nil {
+			return err
+		}
+		return writeRecords(*jsonPath, t.Records(e.ID, e.Claim))
 	}
 	return fmt.Errorf("unknown experiment %q", *only)
+}
+
+// writeRecords writes the JSON record file when -json was given.
+func writeRecords(path string, recs []bench.Record) error {
+	if path == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := bench.WriteJSON(&buf, recs); err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"fspnet/internal/bench"
 )
 
 func TestRunOnly(t *testing.T) {
@@ -13,6 +18,30 @@ func TestRunOnly(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "== E1:") {
 		t.Errorf("missing E1 table:\n%s", out.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E1", "-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []bench.Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records written")
+	}
+	for _, r := range recs {
+		if r.Experiment != "E1" || r.Claim == "" || len(r.Values) == 0 {
+			t.Fatalf("malformed record: %+v", r)
+		}
 	}
 }
 

@@ -45,6 +45,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		dist = fs.Int("p", 0, "index of the distinguished process")
 		algo = fs.String("algo", "auto",
 			"decision algorithm: auto, reference, tree (Theorem 3), linear (Proposition 1), unary (Theorem 4), poss (Lemmas 3–4)")
+		engine = fs.String("engine", "explore",
+			"S_u/S_c backend for the reference algorithm: explore (on-the-fly joint vectors) or compose (materialized context)")
 		dot      = fs.Bool("dot", false, "emit Graphviz for every process instead of analyzing")
 		all      = fs.Bool("all", false, "analyze every process (concurrently) instead of just -p")
 		jsonOut  = fs.Bool("json", false, "emit a machine-readable JSON report (reference algorithm)")
@@ -75,6 +77,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	opts, err := engineOptions(*engine)
+	if err != nil {
+		return err
+	}
 	if *dist < 0 || *dist >= n.Len() {
 		return fmt.Errorf("process index %d out of range [0,%d)", *dist, n.Len())
 	}
@@ -87,13 +93,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return nil
 	}
 	if *jsonOut {
-		return jsonReport(stdout, n, *dist, *all)
+		return jsonReport(stdout, n, *dist, *all, opts)
 	}
 	describe(stdout, n, *dist)
 	if *all {
-		return analyzeAll(stdout, n)
+		return analyzeAll(stdout, n, opts)
 	}
-	if err := analyze(stdout, n, *dist, *algo); err != nil {
+	if err := analyze(stdout, n, *dist, *algo, opts); err != nil {
 		return err
 	}
 	if *witness {
@@ -109,10 +115,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
+// engineOptions maps the -engine flag to the success backend options.
+func engineOptions(name string) (success.Options, error) {
+	switch name {
+	case "explore":
+		return success.Options{Backend: success.BackendExplore}, nil
+	case "compose":
+		return success.Options{Backend: success.BackendCompose}, nil
+	default:
+		return success.Options{}, fmt.Errorf("unknown engine %q (want explore or compose)", name)
+	}
+}
+
 // analyzeAll runs the concurrent whole-network analysis.
-func analyzeAll(w io.Writer, n *network.Network) error {
+func analyzeAll(w io.Writer, n *network.Network, opts success.Options) error {
 	cyclic := n.MaxClass() == fsp.ClassCyclic
-	results, err := success.AnalyzeAll(context.Background(), n, cyclic, 0)
+	results, err := success.AnalyzeAllOpts(context.Background(), n, cyclic, 0, opts)
 	if err != nil {
 		return err
 	}
@@ -212,7 +230,7 @@ func describe(w io.Writer, n *network.Network, dist int) {
 	}
 }
 
-func analyze(w io.Writer, n *network.Network, dist int, algo string) error {
+func analyze(w io.Writer, n *network.Network, dist int, algo string, opts success.Options) error {
 	cyclic := n.MaxClass() == fsp.ClassCyclic
 	switch algo {
 	case "auto":
@@ -269,13 +287,13 @@ func analyze(w io.Writer, n *network.Network, dist int, algo string) error {
 		}
 	case "reference":
 		if cyclic {
-			v, err := success.AnalyzeCyclic(n, dist)
+			v, err := success.AnalyzeCyclicOpts(n, dist, opts)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "reference (cyclic, §4): %s\n", v)
 		} else {
-			v, err := success.AnalyzeAcyclic(n, dist)
+			v, err := success.AnalyzeAcyclicOpts(n, dist, opts)
 			if err != nil {
 				return err
 			}
@@ -328,7 +346,7 @@ type verdictEntry struct {
 }
 
 // jsonReport analyzes with the reference procedures and emits the report.
-func jsonReport(w io.Writer, n *network.Network, dist int, all bool) error {
+func jsonReport(w io.Writer, n *network.Network, dist int, all bool, opts success.Options) error {
 	rep := report{Algorithm: "reference"}
 	for i := 0; i < n.Len(); i++ {
 		p := n.Process(i)
@@ -361,9 +379,9 @@ func jsonReport(w io.Writer, n *network.Network, dist int, all bool) error {
 			err error
 		)
 		if cyclic {
-			v, err = success.AnalyzeCyclic(n, i)
+			v, err = success.AnalyzeCyclicOpts(n, i, opts)
 		} else {
-			v, err = success.AnalyzeAcyclic(n, i)
+			v, err = success.AnalyzeAcyclicOpts(n, i, opts)
 		}
 		if err != nil {
 			entry.Error = err.Error()

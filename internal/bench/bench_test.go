@@ -59,7 +59,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 		t.Fatalf("RunAll: %v\n%s", err, sb.String())
 	}
 	out := sb.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
 		if !strings.Contains(out, "== "+id+":") {
 			t.Errorf("missing experiment %s in output", id)
 		}
@@ -68,5 +68,42 @@ func TestAllExperimentsQuick(t *testing.T) {
 	if strings.Contains(out, "false  ") && strings.Contains(out, "agree") {
 		// agreement is asserted per-experiment below instead
 		_ = out
+	}
+}
+
+// TestE11Agreement checks the engine and the compose-then-explore
+// reference return identical S_u/S_c on every row where the reference
+// fits its budget.
+func TestE11Agreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tbl, err := E11(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("E11 produced no rows")
+	}
+	for _, row := range tbl.Rows {
+		if agree := row[len(row)-1]; agree != "true" && agree != "engine only" {
+			t.Errorf("E11 disagreement in row %v", row)
+		}
+	}
+}
+
+func TestRecords(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b"}}
+	tbl.Add(1, "x")
+	tbl.Add(2, "y")
+	recs := tbl.Records("E0", "demo claim")
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[1].Experiment != "E0" || recs[1].Claim != "demo claim" || recs[1].Row != 1 {
+		t.Errorf("bad record metadata: %+v", recs[1])
+	}
+	if recs[0].Values["a"] != "1" || recs[1].Values["b"] != "y" {
+		t.Errorf("bad record values: %+v", recs)
 	}
 }

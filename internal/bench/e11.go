@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"fspnet/internal/explore"
+	"fspnet/internal/fsp"
+	"fspnet/internal/network"
+	"fspnet/internal/success"
+)
+
+// errComposeBudget reports that the compose-then-explore reference blew
+// its context-size budget before producing a context process.
+var errComposeBudget = errors.New("bench: compose budget exceeded")
+
+// composeContextBudget replays network.Context's left fold for the
+// reference path, but gives up once the accumulated context grows past
+// budget states — the cutoff any compose-first tool needs in practice,
+// since intermediate products can dwarf the reachable joint space.
+func composeContextBudget(n *network.Network, dist int, cyclic bool, budget int) (*fsp.FSP, error) {
+	var acc *fsp.FSP
+	for j, p := range n.Processes() {
+		if j == dist {
+			continue
+		}
+		if acc == nil {
+			acc = p
+			continue
+		}
+		if cyclic {
+			acc = fsp.ComposeCyclic(acc, p)
+		} else {
+			acc = fsp.Compose(acc, p)
+		}
+		if acc.NumStates() > budget {
+			return nil, fmt.Errorf("%w: %d context states after folding %d processes",
+				errComposeBudget, acc.NumStates(), j+1)
+		}
+	}
+	return acc, nil
+}
+
+// E11 races the on-the-fly joint-vector engine (internal/explore)
+// against the compose-then-explore reference on two growing families:
+// acyclic random trees and the cyclic dining-philosophers ring. The
+// engine interns only reachable joint vectors, so it keeps deciding
+// S_u/S_c at sizes where the context fold exceeds its state budget.
+func E11(quick bool) (*Table, error) {
+	const composeBudget = 50000
+	type fam struct {
+		name   string
+		cyclic bool
+		sizes  []int
+		build  func(m int) *network.Network
+	}
+	families := []fam{
+		{"tree", false, []int{8, 12, 16, 20},
+			func(m int) *network.Network { return TreeNetwork(int64(7000+m), m) }},
+		{"philosophers", true, []int{4, 6, 8, 10},
+			func(m int) *network.Network { return Philosophers(m) }},
+	}
+	if quick {
+		families[0].sizes = []int{4, 8}
+		families[1].sizes = []int{2, 4}
+	}
+	t := &Table{Header: []string{"family", "m", "network size", "S_u", "S_c",
+		"joint states", "engine", "states/s", "reference", "agreement"}}
+	for _, f := range families {
+		for _, m := range f.sizes {
+			n := f.build(m)
+			var res explore.Result
+			ed, err := timed(func() error {
+				var err error
+				if f.cyclic {
+					res, err = explore.AnalyzeCyclic(n, 0, explore.Options{})
+				} else {
+					res, err = explore.AnalyzeAcyclic(n, 0, explore.Options{})
+				}
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			rate := float64(res.Stats.States) / ed.Seconds()
+			var ref struct{ su, sc bool }
+			rd, rerr := timed(func() error {
+				q, err := composeContextBudget(n, 0, f.cyclic, composeBudget)
+				if err != nil {
+					return err
+				}
+				p := n.Process(0)
+				if f.cyclic {
+					if ref.su, err = success.UnavoidableCyclic(p, q); err != nil {
+						return err
+					}
+					ref.sc, err = success.CollaborationCyclic(p, q)
+					return err
+				}
+				if ref.su, err = success.UnavoidableAcyclic(p, q); err != nil {
+					return err
+				}
+				ref.sc, err = success.CollaborationAcyclic(p, q)
+				return err
+			})
+			var refCell, agreeCell string
+			switch {
+			case errors.Is(rerr, errComposeBudget):
+				refCell = fmt.Sprintf("budget >%d", composeBudget)
+				agreeCell = "engine only"
+			case rerr != nil:
+				return nil, rerr
+			default:
+				refCell = formatDuration(rd)
+				agreeCell = fmt.Sprint(ref.su == res.Su && ref.sc == res.Sc)
+			}
+			t.Add(f.name, m, n.Size(), res.Su, res.Sc, res.Stats.States, ed, rate, refCell, agreeCell)
+		}
+	}
+	return t, nil
+}

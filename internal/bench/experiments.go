@@ -37,25 +37,35 @@ func All() []Experiment {
 		{"E8", "Theorem 4: unary numeric normal forms vs explicit composition", E8},
 		{"E9", "Lemma 2: normal-form sizes and congruence throughput", E9},
 		{"E10", "Ablation: Theorem 3 with vs without the possibility normal form", E10},
+		{"E11", "Engine: on-the-fly joint-vector exploration vs compose-then-explore", E11},
 	}
 }
 
 // RunAll renders every experiment table to w.
 func RunAll(w io.Writer, quick bool) error {
+	_, err := RunAllRecords(w, quick)
+	return err
+}
+
+// RunAllRecords renders every experiment table to w and returns the rows
+// as machine-readable records, one per table row.
+func RunAllRecords(w io.Writer, quick bool) ([]Record, error) {
+	var recs []Record
 	for _, e := range All() {
 		t, err := e.Run(quick)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
 		}
 		t.Caption = e.ID + ": " + e.Claim
 		if err := t.Render(w); err != nil {
-			return err
+			return nil, err
 		}
 		if _, err := io.WriteString(w, "\n"); err != nil {
-			return err
+			return nil, err
 		}
+		recs = append(recs, t.Records(e.ID, e.Claim)...)
 	}
-	return nil
+	return recs, nil
 }
 
 // E1 times Proposition 1 on growing all-linear chains.

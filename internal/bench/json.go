@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Record is one experiment-table row in machine-readable form, for
+// regression tracking across commits (BENCH_baseline.json). Values maps
+// column header to the rendered cell, so timings keep the same units the
+// text table shows.
+type Record struct {
+	Experiment string            `json:"experiment"`
+	Claim      string            `json:"claim"`
+	Row        int               `json:"row"`
+	Values     map[string]string `json:"values"`
+}
+
+// Records flattens the table into one Record per row under the given
+// experiment id and claim.
+func (t *Table) Records(id, claim string) []Record {
+	recs := make([]Record, 0, len(t.Rows))
+	for i, row := range t.Rows {
+		vals := make(map[string]string, len(row))
+		for j, cell := range row {
+			key := fmt.Sprintf("col%d", j)
+			if j < len(t.Header) {
+				key = t.Header[j]
+			}
+			vals[key] = cell
+		}
+		recs = append(recs, Record{Experiment: id, Claim: claim, Row: i, Values: vals})
+	}
+	return recs
+}
+
+// WriteJSON encodes records as indented JSON. encoding/json emits map
+// keys in sorted order, so the output is deterministic for a fixed set
+// of cell values.
+func WriteJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

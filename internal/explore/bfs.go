@@ -1,0 +1,225 @@
+package explore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// numShards is the visited-set sharding factor; a power of two so the
+// hash maps to a shard with a mask.
+const numShards = 64
+
+// shard is one slice of the visited set. ids maps a packed vector key to
+// the per-shard id; the arena holds the only copy of each vector, id i at
+// vecs[i*m : (i+1)*m]. During the parallel BFS workers only intern (under
+// mu); the arena is read exclusively by the sequential post-passes, so no
+// reader can observe an append-in-progress slice header.
+type shard struct {
+	mu   sync.Mutex
+	ids  map[string]uint32
+	vecs []uint32
+}
+
+// interner is the sharded visited set of joint state vectors.
+type interner struct {
+	m      int
+	shards [numShards]shard
+}
+
+func newInterner(m int) *interner {
+	in := &interner{m: m}
+	for i := range in.shards {
+		in.shards[i].ids = make(map[string]uint32)
+	}
+	return in
+}
+
+// keyBytes packs vec into kb (little-endian uint32s) and returns kb.
+func keyBytes(kb []byte, vec []uint32) []byte {
+	for i, v := range vec {
+		binary.LittleEndian.PutUint32(kb[i*4:], v)
+	}
+	return kb
+}
+
+// FNV-1a; a fixed hash keeps shard assignment — and with it the dense ids
+// the post-passes derive — identical across runs.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func shardOf(kb []byte) int {
+	h := fnvOffset
+	for _, b := range kb {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return int(h & (numShards - 1))
+}
+
+// intern records vec (with key kb) if unseen and reports whether it was
+// fresh. Exactly one caller wins a given key, so per-level fresh counts
+// and next-frontier contents are deterministic set unions.
+func (in *interner) intern(kb []byte, vec []uint32) bool {
+	sh := &in.shards[shardOf(kb)]
+	sh.mu.Lock()
+	if _, ok := sh.ids[string(kb)]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.ids[string(kb)] = uint32(len(sh.vecs) / in.m)
+	sh.vecs = append(sh.vecs, vec...)
+	sh.mu.Unlock()
+	return true
+}
+
+// index gives the post-passes dense global ids over the interned set:
+// shard s owns the contiguous range [bases[s], bases[s+1]). Build and use
+// only after the BFS has finished; it reads the arenas unlocked.
+type index struct {
+	in    *interner
+	bases [numShards + 1]int
+}
+
+func (in *interner) buildIndex() *index {
+	ix := &index{in: in}
+	for i := 0; i < numShards; i++ {
+		ix.bases[i+1] = ix.bases[i] + len(in.shards[i].ids)
+	}
+	return ix
+}
+
+func (ix *index) size() int { return ix.bases[numShards] }
+
+// vec returns the joint vector of a dense id. The slice aliases the
+// arena; callers must not modify it.
+func (ix *index) vec(gid int) []uint32 {
+	lo, hi := 0, numShards
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if ix.bases[mid] <= gid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	local := gid - ix.bases[lo]
+	m := ix.in.m
+	return ix.in.shards[lo].vecs[local*m : (local+1)*m]
+}
+
+// gid returns the dense id of an interned vector key.
+func (ix *index) gid(kb []byte) int {
+	s := shardOf(kb)
+	return ix.bases[s] + int(ix.in.shards[s].ids[string(kb)])
+}
+
+// bfsFlags are the monotone verdict bits merged at level barriers.
+type bfsFlags struct {
+	stuckLeaf    bool // acyclic: some stuck vector has P at a leaf
+	stuckNonLeaf bool // acyclic: some stuck vector has P off-leaf
+	blocked      bool // cyclic: some vector has no joint move at all
+}
+
+type workerOut struct {
+	next  []uint32
+	flags bfsFlags
+	fresh int
+	moves int64
+}
+
+// bfs runs the level-synchronized parallel exploration from the joint
+// start vector. Frontiers carry the vectors themselves (flat, m words per
+// entry), so workers never read the shared arenas. done is consulted only
+// at level barriers, as is the MaxStates budget; together with the
+// monotone flags this makes the returned flags and Stats independent of
+// Workers.
+func (mc *machine) bfs(cyclic bool, o Options, done func(bfsFlags) bool) (*interner, bfsFlags, Stats, error) {
+	in := newInterner(mc.m)
+	limit := maxStates(o)
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := mc.startVec()
+	in.intern(keyBytes(make([]byte, 4*mc.m), start), start)
+	frontier := append([]uint32(nil), start...)
+	var flags bfsFlags
+	stats := Stats{States: 1}
+	for len(frontier) > 0 {
+		if done(flags) {
+			break
+		}
+		if stats.States > limit {
+			return in, flags, stats, fmt.Errorf("explore: %d joint states interned: %w", stats.States, ErrBudget)
+		}
+		nvecs := len(frontier) / mc.m
+		w := workers
+		if w > nvecs {
+			w = nvecs
+		}
+		outs := make([]workerOut, w)
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				lo, hi := wi*nvecs/w, (wi+1)*nvecs/w
+				outs[wi] = mc.expandChunk(cyclic, in, frontier, lo, hi)
+			}(wi)
+		}
+		wg.Wait()
+		total := 0
+		for i := range outs {
+			total += len(outs[i].next)
+		}
+		next := make([]uint32, 0, total)
+		for i := range outs {
+			next = append(next, outs[i].next...)
+			flags.stuckLeaf = flags.stuckLeaf || outs[i].flags.stuckLeaf
+			flags.stuckNonLeaf = flags.stuckNonLeaf || outs[i].flags.stuckNonLeaf
+			flags.blocked = flags.blocked || outs[i].flags.blocked
+			stats.States += outs[i].fresh
+			stats.Moves += outs[i].moves
+		}
+		frontier = next
+		stats.Depth++
+	}
+	return in, flags, stats, nil
+}
+
+// expandChunk expands frontier vectors [lo, hi) into a worker-local next
+// frontier, interning successors and classifying moveless vectors.
+func (mc *machine) expandChunk(cyclic bool, in *interner, frontier []uint32, lo, hi int) workerOut {
+	var out workerOut
+	scratch := make([]uint32, mc.m)
+	kb := make([]byte, 4*mc.m)
+	for v := lo; v < hi; v++ {
+		vec := frontier[v*mc.m : (v+1)*mc.m]
+		moved := mc.expand(vec, scratch, func(succ []uint32, kind int) bool {
+			out.moves++
+			if in.intern(keyBytes(kb, succ), succ) {
+				out.fresh++
+				out.next = append(out.next, succ...)
+			}
+			return true
+		})
+		if !moved {
+			// Under Section 4 P is τ-free, so "no joint move" is exactly
+			// the blocking condition: Q stable (no context τ, no
+			// context-internal handshake) and the offered action sets
+			// disjoint (no enabled P-handshake).
+			if cyclic {
+				out.flags.blocked = true
+			} else if mc.distLeaf[vec[mc.dist]] {
+				out.flags.stuckLeaf = true
+			} else {
+				out.flags.stuckNonLeaf = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package explore_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/explore"
+	"fspnet/internal/fsptest"
+)
+
+// TestParallelFrontierRace exercises the sharded-frontier BFS the way
+// `make test-race` needs it exercised: one shared 8-process generated
+// network explored simultaneously from several t.Parallel subtests, each
+// with its own worker fan-out. Any unsynchronized access to the intern
+// shards or a worker reading an arena mid-append shows up under the race
+// detector; and since verdicts and Stats are specified to be independent
+// of scheduling, every run must reproduce the single-worker result bit
+// for bit.
+func TestParallelFrontierRace(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := fsptest.TreeNetwork(r, fsptest.NetConfig{
+		Procs:          8,
+		ActionsPerEdge: 2,
+		MaxStates:      4,
+		TauProb:        0.2,
+	})
+	if n.Len() != 8 {
+		t.Fatalf("generated network has %d processes, want 8", n.Len())
+	}
+
+	baselines := make([]explore.Result, n.Len())
+	for i := range baselines {
+		res, err := explore.AnalyzeAcyclic(n, i, explore.Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("sequential AnalyzeAcyclic(%d): %v", i, err)
+		}
+		baselines[i] = res
+	}
+
+	for w := 2; w <= 8; w += 2 {
+		workers := w
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			for i := range baselines {
+				res, err := explore.AnalyzeAcyclic(n, i, explore.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("AnalyzeAcyclic(%d, workers=%d): %v", i, workers, err)
+				}
+				if res != baselines[i] {
+					t.Errorf("process %d: parallel result %+v != sequential %+v", i, res, baselines[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelFrontierRaceCyclic is the cyclic twin, covering the
+// post-pass readers of the intern arenas as well.
+func TestParallelFrontierRaceCyclic(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	n := fsptest.TreeNetwork(r, fsptest.NetConfig{
+		Procs:          8,
+		ActionsPerEdge: 2,
+		MaxStates:      4,
+		TauProb:        0.2,
+		Cyclic:         true,
+	})
+
+	baseline, err := explore.AnalyzeCyclic(n, 0, explore.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("sequential AnalyzeCyclic: %v", err)
+	}
+
+	for w := 2; w <= 8; w += 2 {
+		workers := w
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			t.Parallel()
+			res, err := explore.AnalyzeCyclic(n, 0, explore.Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("AnalyzeCyclic(workers=%d): %v", workers, err)
+			}
+			if res != baseline {
+				t.Errorf("parallel result %+v != sequential %+v", res, baseline)
+			}
+		})
+	}
+}

@@ -1,0 +1,311 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file holds the sequential passes that run outside the parallel
+// BFS: the acyclicity shape check (which may walk the context product on
+// its own, before the joint exploration) and the two cyclic post-passes
+// over the fully interned reachable joint graph. Successor sets are
+// recomputed on demand via expand — the engine stores no edges.
+
+// checkAcyclicShape enforces the Section 3 domain: the distinguished
+// process and its composed context must both be acyclic. The context is
+// never composed; instead, all members acyclic ⇒ the composition is
+// acyclic (a composite cycle would project to a nonempty closed walk in
+// some member), and otherwise a gray-path DFS over the context product
+// graph looks for a composite cycle directly. That graph's moves mirror
+// the composed context exactly: member τ, context-internal handshakes,
+// and solo firing of P-shared actions by their single context owner
+// (those stay visible in ‖, hence move the context on their own).
+func (mc *machine) checkAcyclicShape(budget int) error {
+	if !mc.procs[mc.dist].IsAcyclic() {
+		return fmt.Errorf("explore: %s is cyclic: %w", mc.procs[mc.dist].Name(), ErrShape)
+	}
+	all := true
+	for j, p := range mc.procs {
+		if j != mc.dist && !p.IsAcyclic() {
+			all = false
+			break
+		}
+	}
+	if all {
+		return nil
+	}
+	cyclic, err := mc.ctxHasCycle(budget)
+	if err != nil {
+		return err
+	}
+	if cyclic {
+		return fmt.Errorf("explore: context of %s is cyclic: %w", mc.procs[mc.dist].Name(), ErrShape)
+	}
+	return nil
+}
+
+// ctxExpand enumerates the context product moves at vec (the dist
+// component is carried along frozen): context-member τ, context-internal
+// handshakes, and solo moves on P-shared visible actions.
+func (mc *machine) ctxExpand(vec, scratch []uint32, fn func(succ []uint32) bool) {
+	for j := 0; j < mc.m; j++ {
+		if j == mc.dist {
+			continue
+		}
+		for _, to := range mc.tau[j][vec[j]] {
+			copy(scratch, vec)
+			scratch[j] = to
+			if !fn(scratch) {
+				return
+			}
+		}
+	}
+	for j := 0; j < mc.m; j++ {
+		if j == mc.dist {
+			continue
+		}
+		ts := mc.vis[j][vec[j]]
+		for x := 0; x < len(ts); {
+			a := ts[x].aid
+			xe := x + 1
+			for xe < len(ts) && ts[xe].aid == a {
+				xe++
+			}
+			other := int(mc.ownerA[a])
+			if other == j {
+				other = int(mc.ownerB[a])
+			}
+			switch {
+			case other == mc.dist:
+				for xi := x; xi < xe; xi++ {
+					copy(scratch, vec)
+					scratch[j] = ts[xi].to
+					if !fn(scratch) {
+						return
+					}
+				}
+			case int(mc.ownerA[a]) == j:
+				ps := mc.vis[other][vec[other]]
+				lo := sort.Search(len(ps), func(i int) bool { return ps[i].aid >= a })
+				for pi := lo; pi < len(ps) && ps[pi].aid == a; pi++ {
+					for xi := x; xi < xe; xi++ {
+						copy(scratch, vec)
+						scratch[j] = ts[xi].to
+						scratch[other] = ps[pi].to
+						if !fn(scratch) {
+							return
+						}
+					}
+				}
+			}
+			x = xe
+		}
+	}
+}
+
+// ctxHasCycle runs an iterative gray-path DFS over the context product
+// graph from the start vector, reporting whether any composite cycle is
+// reachable. budget bounds the visited configurations.
+func (mc *machine) ctxHasCycle(budget int) (bool, error) {
+	const gray, black = 1, 2
+	color := make(map[string]uint8)
+	scratch := make([]uint32, mc.m)
+	kb := make([]byte, 4*mc.m)
+	succs := func(vec []uint32) []string {
+		var out []string
+		mc.ctxExpand(vec, scratch, func(succ []uint32) bool {
+			out = append(out, string(keyBytes(kb, succ)))
+			return true
+		})
+		return out
+	}
+	unpack := func(key string) []uint32 {
+		vec := make([]uint32, mc.m)
+		for i := range vec {
+			vec[i] = uint32(key[4*i]) | uint32(key[4*i+1])<<8 |
+				uint32(key[4*i+2])<<16 | uint32(key[4*i+3])<<24
+		}
+		return vec
+	}
+	type frame struct {
+		key  string
+		succ []string
+		next int
+	}
+	start := mc.startVec()
+	startKey := string(keyBytes(kb, start))
+	color[startKey] = gray
+	stack := []frame{{startKey, succs(start), 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next >= len(f.succ) {
+			color[f.key] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		key := f.succ[f.next]
+		f.next++
+		switch color[key] {
+		case gray:
+			return true, nil
+		case black:
+		default:
+			if len(color) >= budget {
+				return false, fmt.Errorf("explore: shape check: %d context states: %w", len(color), ErrBudget)
+			}
+			color[key] = gray
+			stack = append(stack, frame{key, succs(unpack(key)), 0})
+		}
+	}
+	return false, nil
+}
+
+// ctxTauCycle reports whether the reachable joint graph has a cycle using
+// only context moves (member τ and context-internal handshakes — the
+// edges that are τ of the composed context and leave P in place). Such a
+// cycle is exactly a reachable silent divergence of the context: in the
+// folded composition it puts the ⊥ leaf below a reachable state, making
+// the pair (p, ⊥) blocking. Call only after a complete BFS.
+func (mc *machine) ctxTauCycle(ix *index) bool {
+	const gray, black = 1, 2
+	n := ix.size()
+	color := make([]uint8, n)
+	scratch := make([]uint32, mc.m)
+	kb := make([]byte, 4*mc.m)
+	succs := func(gid int) []int {
+		var out []int
+		mc.expand(ix.vec(gid), scratch, func(succ []uint32, kind int) bool {
+			if kind == moveCtxTau || kind == moveCtxHandshake {
+				out = append(out, ix.gid(keyBytes(kb, succ)))
+			}
+			return true
+		})
+		return out
+	}
+	type frame struct {
+		gid  int
+		succ []int
+		next int
+	}
+	var stack []frame
+	for root := 0; root < n; root++ {
+		if color[root] != 0 {
+			continue
+		}
+		color[root] = gray
+		stack = append(stack[:0], frame{root, succs(root), 0})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next >= len(f.succ) {
+				color[f.gid] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			s := f.succ[f.next]
+			f.next++
+			switch color[s] {
+			case gray:
+				return true
+			case black:
+			default:
+				color[s] = gray
+				stack = append(stack, frame{s, succs(s), 0})
+			}
+		}
+	}
+	return false
+}
+
+// handshakeCycle reports whether some reachable cycle of the joint graph
+// contains a P-handshake edge — equivalently (P being τ-free), whether
+// Lang(P) ∩ Lang(Q) is infinite: such a cycle pumps arbitrarily long
+// common words, and conversely an infinite intersection forces a repeated
+// joint vector with a visible P-move between the repeats. Implemented as
+// an iterative Tarjan SCC pass followed by a sweep for a P-handshake edge
+// with both ends in one component. Call only after a complete BFS.
+func (mc *machine) handshakeCycle(ix *index) bool {
+	const undef = -1
+	n := ix.size()
+	num := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onstack := make([]bool, n)
+	for i := range num {
+		num[i] = undef
+		comp[i] = undef
+	}
+	scratch := make([]uint32, mc.m)
+	kb := make([]byte, 4*mc.m)
+	succs := func(gid int) []int {
+		var out []int
+		mc.expand(ix.vec(gid), scratch, func(succ []uint32, kind int) bool {
+			out = append(out, ix.gid(keyBytes(kb, succ)))
+			return true
+		})
+		return out
+	}
+	type frame struct {
+		gid  int
+		succ []int
+		next int
+	}
+	var frames []frame
+	var tstack []int32
+	var counter int32
+	for root := 0; root < n; root++ {
+		if num[root] != undef {
+			continue
+		}
+		num[root], low[root] = counter, counter
+		counter++
+		tstack = append(tstack, int32(root))
+		onstack[root] = true
+		frames = append(frames[:0], frame{root, succs(root), 0})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < len(f.succ) {
+				s := f.succ[f.next]
+				f.next++
+				if num[s] == undef {
+					num[s], low[s] = counter, counter
+					counter++
+					tstack = append(tstack, int32(s))
+					onstack[s] = true
+					frames = append(frames, frame{s, succs(s), 0})
+				} else if onstack[s] && num[s] < low[f.gid] {
+					low[f.gid] = num[s]
+				}
+				continue
+			}
+			g := f.gid
+			frames = frames[:len(frames)-1]
+			if low[g] == num[g] {
+				for {
+					t := tstack[len(tstack)-1]
+					tstack = tstack[:len(tstack)-1]
+					onstack[t] = false
+					comp[t] = int32(g)
+					if int(t) == g {
+						break
+					}
+				}
+			}
+			if len(frames) > 0 {
+				if pg := frames[len(frames)-1].gid; low[g] < low[pg] {
+					low[pg] = low[g]
+				}
+			}
+		}
+	}
+	found := false
+	for gid := 0; gid < n && !found; gid++ {
+		mc.expand(ix.vec(gid), scratch, func(succ []uint32, kind int) bool {
+			if kind == moveDistHandshake && comp[gid] == comp[ix.gid(keyBytes(kb, succ))] {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

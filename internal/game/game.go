@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"fspnet/internal/fsp"
+	"fspnet/internal/queue"
 )
 
 // ErrTauMoves reports that the distinguished process P has τ-moves, which
@@ -201,12 +202,15 @@ func ReachablePairs(p, q *fsp.FSP) (int, error) {
 	sv := &solver{p: p, q: q, budget: DefaultBudget, beliefs: make(map[string][]fsp.State)}
 	startKey, _ := sv.intern(q.TauClosure([]fsp.State{q.Start()}))
 	start := node{p: p.Start(), key: startKey}
-	queue := []node{start}
+	var work queue.Queue[node]
+	work.Push(start)
 	seen := map[node]bool{start: true}
 	count := 0
-	for len(queue) > 0 {
-		nd := queue[0]
-		queue = queue[1:]
+	for {
+		nd, ok := work.Pop()
+		if !ok {
+			break
+		}
 		count++
 		if count > sv.budget {
 			return count, ErrBudget
@@ -221,7 +225,7 @@ func ReachablePairs(p, q *fsp.FSP) (int, error) {
 				d := node{p: succ, key: nkey}
 				if !seen[d] {
 					seen[d] = true
-					queue = append(queue, d)
+					work.Push(d)
 				}
 			}
 		}

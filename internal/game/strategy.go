@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fspnet/internal/fsp"
+	"fspnet/internal/queue"
 )
 
 // Decision is one row of a winning strategy for player P: after observing
@@ -72,10 +73,13 @@ func AcyclicStrategy(p, q *fsp.FSP) (win bool, strat Strategy, err error) {
 		trail []fsp.Action
 	}
 	seen := map[node]bool{{p.Start(), startKey}: true}
-	queue := []item{{p.Start(), startKey, nil}}
-	for len(queue) > 0 {
-		it := queue[0]
-		queue = queue[1:]
+	var work queue.Queue[item]
+	work.Push(item{p.Start(), startKey, nil})
+	for {
+		it, ok := work.Pop()
+		if !ok {
+			break
+		}
 		if p.IsLeaf(it.p) {
 			continue
 		}
@@ -110,7 +114,7 @@ func AcyclicStrategy(p, q *fsp.FSP) (win bool, strat Strategy, err error) {
 			nd := node{chosen, nkey}
 			if !seen[nd] {
 				seen[nd] = true
-				queue = append(queue, item{chosen, nkey, trail})
+				work.Push(item{chosen, nkey, trail})
 			}
 		}
 	}
@@ -140,10 +144,13 @@ func CyclicStrategy(p, q *fsp.FSP) (win bool, strat Strategy, err error) {
 		return false, nil, nil
 	}
 	seen := map[node]bool{start: true}
-	queue := []node{start}
-	for len(queue) > 0 {
-		nd := queue[0]
-		queue = queue[1:]
+	var work queue.Queue[node]
+	work.Push(start)
+	for {
+		nd, ok := work.Pop()
+		if !ok {
+			break
+		}
 		for _, e := range adjacency[nd] {
 			chosen := node{p: -1}
 			for _, d := range e.dest {
@@ -164,7 +171,7 @@ func CyclicStrategy(p, q *fsp.FSP) (win bool, strat Strategy, err error) {
 			})
 			if !seen[chosen] {
 				seen[chosen] = true
-				queue = append(queue, chosen)
+				work.Push(chosen)
 			}
 		}
 	}
@@ -184,11 +191,14 @@ func (sv *solver) cyclicFixpoint() (map[node]bool, []node, map[node][]gameEdge, 
 	var order []node
 	startKey, _ := sv.intern(sv.q.TauClosure([]fsp.State{sv.q.Start()}))
 	start := node{p: sv.p.Start(), key: startKey}
-	queue := []node{start}
+	var work queue.Queue[node]
+	work.Push(start)
 	seen := map[node]bool{start: true}
-	for len(queue) > 0 {
-		nd := queue[0]
-		queue = queue[1:]
+	for {
+		nd, ok := work.Pop()
+		if !ok {
+			break
+		}
 		order = append(order, nd)
 		if len(order) > sv.budget {
 			return nil, nil, nil, ErrBudget
@@ -205,7 +215,7 @@ func (sv *solver) cyclicFixpoint() (map[node]bool, []node, map[node][]gameEdge, 
 				dests = append(dests, d)
 				if !seen[d] {
 					seen[d] = true
-					queue = append(queue, d)
+					work.Push(d)
 				}
 			}
 			adjacency[nd] = append(adjacency[nd], gameEdge{act: act, dest: dests})

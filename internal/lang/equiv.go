@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"fspnet/internal/fsp"
+	"fspnet/internal/queue"
 )
 
 // Equivalent reports whether two DFAs accept the same language. The check
@@ -14,7 +15,8 @@ func Equivalent(a, b *DFA) bool {
 	alpha := unionAlphabet(a.alphabet, b.alphabet)
 	type pair struct{ x, y int } // -1 encodes the dead state
 	seen := map[pair]bool{{a.start, b.start}: true}
-	queue := []pair{{a.start, b.start}}
+	var work queue.Queue[pair]
+	work.Push(pair{a.start, b.start})
 	acc := func(d *DFA, s int) bool { return s >= 0 && d.accept[s] }
 	step := func(d *DFA, s int, sym fsp.Action) int {
 		if s < 0 {
@@ -26,9 +28,11 @@ func Equivalent(a, b *DFA) bool {
 		}
 		return int(d.delta[s][k])
 	}
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
+	for {
+		p, ok := work.Pop()
+		if !ok {
+			break
+		}
 		if acc(a, p.x) != acc(b, p.y) {
 			return false
 		}
@@ -42,7 +46,7 @@ func Equivalent(a, b *DFA) bool {
 			}
 			if !seen[np] {
 				seen[np] = true
-				queue = append(queue, np)
+				work.Push(np)
 			}
 		}
 	}
@@ -54,7 +58,8 @@ func Included(a, b *DFA) bool {
 	alpha := unionAlphabet(a.alphabet, b.alphabet)
 	type pair struct{ x, y int }
 	seen := map[pair]bool{{a.start, b.start}: true}
-	queue := []pair{{a.start, b.start}}
+	var work queue.Queue[pair]
+	work.Push(pair{a.start, b.start})
 	step := func(d *DFA, s int, sym fsp.Action) int {
 		if s < 0 {
 			return -1
@@ -65,9 +70,11 @@ func Included(a, b *DFA) bool {
 		}
 		return int(d.delta[s][k])
 	}
-	for len(queue) > 0 {
-		p := queue[0]
-		queue = queue[1:]
+	for {
+		p, ok := work.Pop()
+		if !ok {
+			break
+		}
 		if p.x >= 0 && a.accept[p.x] && !(p.y >= 0 && b.accept[p.y]) {
 			return false
 		}
@@ -81,7 +88,7 @@ func Included(a, b *DFA) bool {
 			}
 			if !seen[np] {
 				seen[np] = true
-				queue = append(queue, np)
+				work.Push(np)
 			}
 		}
 	}

@@ -1,0 +1,48 @@
+// Package queue provides a small generic FIFO for the breadth-first
+// walks used throughout the decision procedures.
+//
+// The idiom it replaces — pop via queue = queue[1:] on a plain slice —
+// retains the entire backing array for the lifetime of the walk: the
+// consumed prefix stays reachable through the slice header, so a
+// traversal of k states holds k elements of garbage at peak even though
+// only the frontier is live. Queue advances a head cursor instead,
+// zeroes consumed slots so they stop pinning their referents, and
+// periodically compacts the live tail to the front so the backing array
+// itself is bounded by a small multiple of the live length.
+package queue
+
+// compactMin is the minimum consumed prefix before Pop considers
+// compacting; it keeps tiny queues free of copying entirely.
+const compactMin = 32
+
+// Queue is a FIFO of T. The zero value is an empty queue ready for use.
+type Queue[T any] struct {
+	buf  []T
+	head int
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.buf) - q.head }
+
+// Push appends v at the tail.
+func (q *Queue[T]) Push(v T) { q.buf = append(q.buf, v) }
+
+// Pop removes and returns the head element; ok is false on an empty
+// queue. Amortized O(1): each element is copied at most once per halving
+// of the live region.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	if q.head >= len(q.buf) {
+		return zero, false
+	}
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // unpin for the GC
+	q.head++
+	if q.head >= compactMin && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		clear(q.buf[n:len(q.buf)])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v, true
+}

@@ -1,0 +1,92 @@
+package queue
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue[int]
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+	for i := 0; i < 1000; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", q.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop after drain reported ok")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue[int]
+	next, want := 0, 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			v, ok := q.Pop()
+			if !ok || v != want {
+				t.Fatalf("Pop = (%d, %v), want (%d, true)", v, ok, want)
+			}
+			want++
+		}
+	}
+	for q.Len() > 0 {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("drain Pop = (%d, %v), want (%d, true)", v, ok, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d elements, pushed %d", want, next)
+	}
+}
+
+// TestBackingArrayBounded checks the point of the package: a long
+// steady-state walk (push one, pop one) must not grow the backing array
+// linearly with the number of elements ever queued.
+func TestBackingArrayBounded(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 1_000_000; i++ {
+		q.Push(100 + i)
+		if _, ok := q.Pop(); !ok {
+			t.Fatal("unexpected empty queue")
+		}
+	}
+	if cap(q.buf) > 4096 {
+		t.Fatalf("backing array grew to %d for a live length of %d", cap(q.buf), q.Len())
+	}
+}
+
+// TestConsumedSlotsZeroed checks that popped slots stop pinning their
+// referents even before compaction runs.
+func TestConsumedSlotsZeroed(t *testing.T) {
+	var q Queue[*int]
+	for i := 0; i < 10; i++ {
+		v := i
+		q.Push(&v)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatal("unexpected empty queue")
+		}
+	}
+	for i := 0; i < q.head; i++ {
+		if q.buf[i] != nil {
+			t.Fatalf("consumed slot %d still holds a pointer", i)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fspnet/internal/game"
 	"fspnet/internal/lang"
 	"fspnet/internal/network"
+	"fspnet/internal/queue"
 )
 
 // UnavoidableCyclic decides S_u(P, Q) for the cyclic setting of
@@ -25,10 +26,13 @@ func UnavoidableCyclic(p, q *fsp.FSP) (bool, error) {
 	}
 	start := pair{p.Start(), q.Start()}
 	seen := map[pair]bool{start: true}
-	queue := []pair{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	var work queue.Queue[pair]
+	work.Push(start)
+	for {
+		cur, ok := work.Pop()
+		if !ok {
+			break
+		}
 		if p.IsStable(cur.p) && q.IsStable(cur.q) &&
 			!actionsIntersect(p.ActionsAt(cur.p), q.ActionsAt(cur.q)) {
 			return false, nil // potential blocking: ¬S_u
@@ -36,7 +40,7 @@ func UnavoidableCyclic(p, q *fsp.FSP) (bool, error) {
 		visit := func(np pair) {
 			if !seen[np] {
 				seen[np] = true
-				queue = append(queue, np)
+				work.Push(np)
 			}
 		}
 		for _, t := range p.Out(cur.p) {
@@ -81,9 +85,17 @@ func AdversityCyclic(p, q *fsp.FSP) (bool, error) {
 }
 
 // AnalyzeCyclic decides all three predicates for the distinguished process
-// i of a cyclic network, composing the context with the Section 4 cyclic ‖
-// so that silent divergence is represented by fresh leaves.
+// i of a cyclic network under the Section 4 semantics (silent divergence
+// of the context defeats S_u). S_u and S_c come from the on-the-fly
+// joint-vector engine (internal/explore); the context is composed with
+// the cyclic ‖ only for the S_a game. Use AnalyzeCyclicOpts with
+// BackendCompose for the original compose-then-explore path.
 func AnalyzeCyclic(n *network.Network, i int) (Verdict, error) {
+	return AnalyzeCyclicOpts(n, i, Options{})
+}
+
+// analyzeCyclicCompose is the compose-then-explore reference path.
+func analyzeCyclicCompose(n *network.Network, i int) (Verdict, error) {
 	p := n.Process(i)
 	q, err := n.Context(i, true)
 	if err != nil {

@@ -1,0 +1,138 @@
+package success
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"fspnet/internal/explore"
+	"fspnet/internal/network"
+)
+
+// Backend selects how the network-level analyses decide S_u and S_c.
+type Backend int
+
+const (
+	// BackendExplore — the default — decides S_u and S_c with the
+	// on-the-fly joint-vector engine of internal/explore, never composing
+	// the context for those two predicates. S_a still solves the
+	// belief-set game on the composed context: the game's knowledge sets
+	// genuinely range over context states, so composition is intrinsic
+	// there.
+	BackendExplore Backend = iota
+	// BackendCompose materializes the context with ‖ and runs the
+	// original pairwise procedures — the compose-then-explore path, kept
+	// as the cross-check oracle.
+	BackendCompose
+)
+
+// Options configure the network-level analyses.
+type Options struct {
+	Backend   Backend
+	Workers   int // explore frontier parallelism (≤ 0: GOMAXPROCS); verdicts never depend on it
+	MaxStates int // explore joint-state budget (≤ 0: explore.DefaultMaxStates)
+}
+
+func engineOpts(o Options) explore.Options {
+	return explore.Options{Workers: o.Workers, MaxStates: o.MaxStates}
+}
+
+// wrapEngineErr keeps the package's error contract across backends: a
+// domain violation reported by the engine also satisfies
+// errors.Is(err, success.ErrShape). Other engine errors (budget, bad
+// index) pass through with their own sentinels.
+func wrapEngineErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, explore.ErrShape) {
+		return fmt.Errorf("%w: %w", ErrShape, err)
+	}
+	return err
+}
+
+// AnalyzeAcyclicOpts is AnalyzeAcyclic with an explicit backend choice.
+func AnalyzeAcyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
+	if o.Backend == BackendCompose {
+		return analyzeAcyclicCompose(n, i)
+	}
+	res, err := explore.AnalyzeAcyclic(n, i, engineOpts(o))
+	if err != nil {
+		return Verdict{}, wrapEngineErr(err)
+	}
+	v := Verdict{Su: res.Su, Sc: res.Sc}
+	q, err := n.Context(i, false)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if v.Sa, err = AdversityAcyclic(n.Process(i), q); err != nil {
+		return Verdict{}, err
+	}
+	return v, nil
+}
+
+// AnalyzeCyclicOpts is AnalyzeCyclic with an explicit backend choice.
+func AnalyzeCyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
+	if o.Backend == BackendCompose {
+		return analyzeCyclicCompose(n, i)
+	}
+	res, err := explore.AnalyzeCyclic(n, i, engineOpts(o))
+	if err != nil {
+		return Verdict{}, wrapEngineErr(err)
+	}
+	v := Verdict{Su: res.Su, Sc: res.Sc}
+	q, err := n.Context(i, true)
+	if err != nil {
+		return Verdict{}, err
+	}
+	if v.Sa, err = AdversityCyclic(n.Process(i), q); err != nil {
+		return Verdict{}, err
+	}
+	return v, nil
+}
+
+// UnavoidableAcyclicNetOpts is UnavoidableAcyclicNet with an explicit
+// backend choice.
+func UnavoidableAcyclicNetOpts(n *network.Network, i int, o Options) (bool, error) {
+	if o.Backend == BackendCompose {
+		return unavoidableAcyclicNetCompose(n, i)
+	}
+	su, _, err := explore.UnavoidableAcyclic(n, i, engineOpts(o))
+	return su, wrapEngineErr(err)
+}
+
+// CollaborationAcyclicNetOpts is CollaborationAcyclicNet with an explicit
+// backend choice.
+func CollaborationAcyclicNetOpts(n *network.Network, i int, o Options) (bool, error) {
+	if o.Backend == BackendCompose {
+		return collaborationAcyclicNetCompose(n, i)
+	}
+	sc, _, err := explore.CollaborationAcyclic(n, i, engineOpts(o))
+	return sc, wrapEngineErr(err)
+}
+
+// UnavoidableCyclicNetOpts is UnavoidableCyclicNet with an explicit
+// backend choice.
+func UnavoidableCyclicNetOpts(n *network.Network, i int, o Options) (bool, error) {
+	if o.Backend == BackendCompose {
+		return unavoidableCyclicNetCompose(n, i)
+	}
+	su, _, err := explore.UnavoidableCyclic(n, i, engineOpts(o))
+	return su, wrapEngineErr(err)
+}
+
+// CollaborationCyclicNetOpts is CollaborationCyclicNet with an explicit
+// backend choice.
+func CollaborationCyclicNetOpts(n *network.Network, i int, o Options) (bool, error) {
+	if o.Backend == BackendCompose {
+		return collaborationCyclicNetCompose(n, i)
+	}
+	sc, _, err := explore.CollaborationCyclic(n, i, engineOpts(o))
+	return sc, wrapEngineErr(err)
+}
+
+// AnalyzeAllOpts is AnalyzeAll with an explicit backend choice threaded
+// into every per-process analysis.
+func AnalyzeAllOpts(ctx context.Context, n *network.Network, cyclic bool, workers int, o Options) ([]Result, error) {
+	return analyzeAll(ctx, n, cyclic, workers, o)
+}

@@ -2,14 +2,20 @@ package success
 
 import "fspnet/internal/network"
 
-// Network-level entry points: each predicate individually, composing the
-// context internally. They exist because AnalyzeAcyclic/AnalyzeCyclic
-// decide all three predicates and therefore inherit the game's τ-free
-// requirement on P, while S_u and S_c alone tolerate τ-moves in the
-// distinguished process.
+// Network-level entry points: each predicate individually. They exist
+// because AnalyzeAcyclic/AnalyzeCyclic decide all three predicates and
+// therefore inherit the game's τ-free requirement on P, while S_u and S_c
+// alone tolerate τ-moves in the distinguished process. The S_u/S_c
+// wrappers run on the explore engine by default (see the *Opts variants
+// for backend choice); the S_a and witness wrappers compose the context —
+// the game and the trace unwinding operate on it directly.
 
 // UnavoidableAcyclicNet decides S_u for process i of an acyclic network.
 func UnavoidableAcyclicNet(n *network.Network, i int) (bool, error) {
+	return UnavoidableAcyclicNetOpts(n, i, Options{})
+}
+
+func unavoidableAcyclicNetCompose(n *network.Network, i int) (bool, error) {
 	q, err := n.Context(i, false)
 	if err != nil {
 		return false, err
@@ -19,6 +25,10 @@ func UnavoidableAcyclicNet(n *network.Network, i int) (bool, error) {
 
 // CollaborationAcyclicNet decides S_c for process i of an acyclic network.
 func CollaborationAcyclicNet(n *network.Network, i int) (bool, error) {
+	return CollaborationAcyclicNetOpts(n, i, Options{})
+}
+
+func collaborationAcyclicNetCompose(n *network.Network, i int) (bool, error) {
 	q, err := n.Context(i, false)
 	if err != nil {
 		return false, err
@@ -38,6 +48,10 @@ func AdversityAcyclicNet(n *network.Network, i int) (bool, error) {
 
 // UnavoidableCyclicNet decides the Section 4 S_u for process i.
 func UnavoidableCyclicNet(n *network.Network, i int) (bool, error) {
+	return UnavoidableCyclicNetOpts(n, i, Options{})
+}
+
+func unavoidableCyclicNetCompose(n *network.Network, i int) (bool, error) {
 	q, err := n.Context(i, true)
 	if err != nil {
 		return false, err
@@ -47,6 +61,10 @@ func UnavoidableCyclicNet(n *network.Network, i int) (bool, error) {
 
 // CollaborationCyclicNet decides the Section 4 S_c for process i.
 func CollaborationCyclicNet(n *network.Network, i int) (bool, error) {
+	return CollaborationCyclicNetOpts(n, i, Options{})
+}
+
+func collaborationCyclicNetCompose(n *network.Network, i int) (bool, error) {
 	q, err := n.Context(i, true)
 	if err != nil {
 		return false, err

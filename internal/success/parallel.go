@@ -24,6 +24,10 @@ type Result struct {
 // the game's restriction) are reported in Result.Err rather than aborting
 // the whole run. The context cancels outstanding work between processes.
 func AnalyzeAll(ctx context.Context, n *network.Network, cyclic bool, workers int) ([]Result, error) {
+	return analyzeAll(ctx, n, cyclic, workers, Options{})
+}
+
+func analyzeAll(ctx context.Context, n *network.Network, cyclic bool, workers int, o Options) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -38,7 +42,7 @@ func AnalyzeAll(ctx context.Context, n *network.Network, cyclic bool, workers in
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = analyzeOne(n, i, cyclic)
+				results[i] = analyzeOne(n, i, cyclic, o)
 			}
 		}()
 	}
@@ -63,12 +67,12 @@ func AnalyzeAll(ctx context.Context, n *network.Network, cyclic bool, workers in
 	return results, nil
 }
 
-func analyzeOne(n *network.Network, i int, cyclic bool) Result {
+func analyzeOne(n *network.Network, i int, cyclic bool, o Options) Result {
 	res := Result{Index: i, Name: n.Process(i).Name()}
 	if cyclic {
-		res.Verdict, res.Err = AnalyzeCyclic(n, i)
+		res.Verdict, res.Err = AnalyzeCyclicOpts(n, i, o)
 	} else {
-		res.Verdict, res.Err = AnalyzeAcyclic(n, i)
+		res.Verdict, res.Err = AnalyzeAcyclicOpts(n, i, o)
 	}
 	return res
 }

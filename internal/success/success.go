@@ -16,6 +16,7 @@ import (
 	"fspnet/internal/fsp"
 	"fspnet/internal/game"
 	"fspnet/internal/network"
+	"fspnet/internal/queue"
 )
 
 // ErrShape reports inputs outside a procedure's domain (e.g. cyclic
@@ -61,16 +62,19 @@ func exploreStuck(p, q *fsp.FSP) stuckInfo {
 	var info stuckInfo
 	start := pair{p.Start(), q.Start()}
 	seen := map[pair]bool{start: true}
-	queue := []pair{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	var work queue.Queue[pair]
+	work.Push(start)
+	for {
+		cur, ok := work.Pop()
+		if !ok {
+			break
+		}
 		moved := false
 		visit := func(np pair) {
 			moved = true
 			if !seen[np] {
 				seen[np] = true
-				queue = append(queue, np)
+				work.Push(np)
 			}
 		}
 		for _, t := range p.Out(cur.p) {
@@ -133,8 +137,16 @@ func AdversityAcyclic(p, q *fsp.FSP) (bool, error) {
 }
 
 // AnalyzeAcyclic decides all three predicates for the distinguished
-// process i of an acyclic network, composing the context Q with ‖.
+// process i of an acyclic network. S_u and S_c come from the on-the-fly
+// joint-vector engine (internal/explore); the context Q is composed with
+// ‖ only for the S_a game. Use AnalyzeAcyclicOpts with BackendCompose
+// for the original compose-then-explore path.
 func AnalyzeAcyclic(n *network.Network, i int) (Verdict, error) {
+	return AnalyzeAcyclicOpts(n, i, Options{})
+}
+
+// analyzeAcyclicCompose is the compose-then-explore reference path.
+func analyzeAcyclicCompose(n *network.Network, i int) (Verdict, error) {
 	p := n.Process(i)
 	q, err := n.Context(i, false)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"fspnet/internal/fsp"
+	"fspnet/internal/queue"
 )
 
 // StepKind classifies one move of the two-party global system.
@@ -92,11 +93,14 @@ func BlockingWitnessCyclic(p, q *fsp.FSP) (trace Trace, ok bool, err error) {
 	}
 	start := pairNode{p.Start(), q.Start()}
 	parent := map[pairNode]pairEdge{start: {}}
-	queue := []pairNode{start}
+	var work queue.Queue[pairNode]
+	work.Push(start)
 	var goal *pairNode
-	for len(queue) > 0 && goal == nil {
-		cur := queue[0]
-		queue = queue[1:]
+	for goal == nil {
+		cur, ok := work.Pop()
+		if !ok {
+			break
+		}
 		if p.IsStable(cur.pp) && q.IsStable(cur.qq) &&
 			!actionsIntersect(p.ActionsAt(cur.pp), q.ActionsAt(cur.qq)) {
 			c := cur
@@ -106,7 +110,7 @@ func BlockingWitnessCyclic(p, q *fsp.FSP) (trace Trace, ok bool, err error) {
 		push := func(nxt pairNode, st Step) {
 			if _, seen := parent[nxt]; !seen {
 				parent[nxt] = pairEdge{from: cur, step: st}
-				queue = append(queue, nxt)
+				work.Push(nxt)
 			}
 		}
 		for _, t := range q.Out(cur.qq) {
@@ -159,16 +163,19 @@ type pairEdge struct {
 func witnessSearch(p, q *fsp.FSP, goal func(pp, qq fsp.State) bool) (Trace, bool, error) {
 	start := pairNode{p.Start(), q.Start()}
 	parent := map[pairNode]pairEdge{start: {}}
-	queue := []pairNode{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	var work queue.Queue[pairNode]
+	work.Push(start)
+	for {
+		cur, ok := work.Pop()
+		if !ok {
+			break
+		}
 		moved := false
 		push := func(nxt pairNode, st Step) {
 			moved = true
 			if _, seen := parent[nxt]; !seen {
 				parent[nxt] = pairEdge{from: cur, step: st}
-				queue = append(queue, nxt)
+				work.Push(nxt)
 			}
 		}
 		for _, t := range p.Out(cur.pp) {

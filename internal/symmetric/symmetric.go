@@ -28,6 +28,7 @@ import (
 	"fspnet/internal/game"
 	"fspnet/internal/lang"
 	"fspnet/internal/network"
+	"fspnet/internal/queue"
 	"fspnet/internal/success"
 )
 
@@ -158,10 +159,13 @@ func cyclicGroupUnavoidable(p, q *fsp.FSP) (bool, error) {
 	type pair struct{ pp, qq fsp.State }
 	start := pair{p.Start(), q.Start()}
 	seen := map[pair]bool{start: true}
-	queue := []pair{start}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	var work queue.Queue[pair]
+	work.Push(start)
+	for {
+		cur, ok := work.Pop()
+		if !ok {
+			break
+		}
 		if p.IsStable(cur.pp) && q.IsStable(cur.qq) &&
 			!actionsIntersect(p.ActionsAt(cur.pp), q.ActionsAt(cur.qq)) {
 			return false, nil
@@ -169,7 +173,7 @@ func cyclicGroupUnavoidable(p, q *fsp.FSP) (bool, error) {
 		push := func(nxt pair) {
 			if !seen[nxt] {
 				seen[nxt] = true
-				queue = append(queue, nxt)
+				work.Push(nxt)
 			}
 		}
 		for _, t := range p.Out(cur.pp) {

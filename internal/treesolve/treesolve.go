@@ -38,6 +38,11 @@ type Options struct {
 	// verdicts are unchanged (Lemma 2 guarantees equivalence); only the
 	// sizes and times differ.
 	NoNormalForm bool
+	// Fallback retries a possibility-budget failure with the reference
+	// analysis (success.AnalyzeAcyclic, which explores joint state
+	// vectors on the fly and never pays for the blown-up subtree
+	// composition). Verdicts other than budget failures are unaffected.
+	Fallback bool
 }
 
 func (o Options) budget() int {
@@ -53,6 +58,9 @@ func (o Options) budget() int {
 func Analyze(n *network.Network, dist int, opts Options) (success.Verdict, error) {
 	star, err := Reduce(n, dist, opts)
 	if err != nil {
+		if opts.Fallback && errors.Is(err, poss.ErrBudget) {
+			return success.AnalyzeAcyclic(n, dist)
+		}
 		return success.Verdict{}, err
 	}
 	return star.Decide()

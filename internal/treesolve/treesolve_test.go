@@ -182,6 +182,26 @@ func TestBudgetSurfacing(t *testing.T) {
 	}
 }
 
+// TestBudgetFallback checks that Options.Fallback retries a blown
+// possibility budget with the reference joint-vector analysis instead of
+// surfacing poss.ErrBudget.
+func TestBudgetFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(419))
+	cfg := fsptest.NetConfig{Procs: 4, ActionsPerEdge: 2, MaxStates: 6, TauProb: 0.2}
+	n := fsptest.TreeNetwork(r, cfg)
+	got, err := Analyze(n, 0, Options{Budget: 1, Fallback: true})
+	if err != nil {
+		t.Fatalf("Analyze with Fallback: %v", err)
+	}
+	want, err := success.AnalyzeAcyclic(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("fallback verdict = %v, reference = %v", got, want)
+	}
+}
+
 // TestFigure9Reduction exercises the reduction step on a concrete subtree
 // in the spirit of Figure 9: the subtree's normal form must be
 // possibility-equivalent to the subtree's composition and no larger than
