@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-smoke experiments experiments-quick experiments-json vet lint fuzz-short cover examples clean
+.PHONY: all build test test-race test-fault bench bench-smoke experiments experiments-quick experiments-json vet lint fuzz-short cover examples clean
 
 all: build vet lint test
 
@@ -19,10 +19,17 @@ lint:
 	$(GO) run ./cmd/fsplint ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 15m ./...
+
+# test-fault runs the fault-injection sweeps (internal/guard/faultinject):
+# cancellation, deadline expiry, and synthetic worker panics injected at
+# every BFS level and pass boundary, under the race detector. See
+# docs/ROBUSTNESS.md.
+test-fault:
+	$(GO) test -race -timeout 5m -run FaultInject ./...
 
 # fuzz-short gives each fuzz target a 10s budget, the same wiring CI uses.
 fuzz-short:

@@ -23,11 +23,23 @@ import (
 	"fspnet/internal/unary"
 )
 
+// mustGen returns an unwrapper for workload-generator results, so
+// benchmark setup can stay a one-liner: n := mustGen(b)(bench.X(...)).
+func mustGen(b *testing.B) func(*network.Network, error) *network.Network {
+	return func(n *network.Network, err error) *network.Network {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return n
+	}
+}
+
 // BenchmarkE1LinearNetworks measures Proposition 1's near-linear decision
 // on growing all-linear chains.
 func BenchmarkE1LinearNetworks(b *testing.B) {
 	for _, m := range []int{10, 100, 1000} {
-		n := bench.LinearChain(m, 2)
+		n := mustGen(b)(bench.LinearChain(m, 2))
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := linear.Analyze(n, 0); err != nil {
@@ -110,7 +122,7 @@ func BenchmarkE4QbfGadget(b *testing.B) {
 // with the global reference on the same tree networks.
 func BenchmarkE5TreeSolveVsGlobal(b *testing.B) {
 	for _, m := range []int{3, 5, 7, 9} {
-		n := bench.TreeNetwork(int64(3000+m), m)
+		n := mustGen(b)(bench.TreeNetwork(int64(3000+m), m))
 		b.Run(fmt.Sprintf("treesolve/m=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := treesolve.Analyze(n, 0, treesolve.Options{}); err != nil {
@@ -131,7 +143,7 @@ func BenchmarkE5TreeSolveVsGlobal(b *testing.B) {
 // BenchmarkE6RingNetworks measures the Figure 8a k-tree front end.
 func BenchmarkE6RingNetworks(b *testing.B) {
 	for _, m := range []int{4, 6, 8} {
-		n := bench.RingNetwork(int64(4000+m), m)
+		n := mustGen(b)(bench.RingNetwork(int64(4000+m), m))
 		partition := network.RingPartition(m)
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -147,7 +159,7 @@ func BenchmarkE6RingNetworks(b *testing.B) {
 // dining-philosopher rings (the dⁿ shape of Proposition 2).
 func BenchmarkE7CyclicReference(b *testing.B) {
 	for _, m := range []int{2, 3, 4} {
-		n := bench.Philosophers(m)
+		n := mustGen(b)(bench.Philosophers(m))
 		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := success.AnalyzeCyclic(n, 0); err != nil {
@@ -162,7 +174,7 @@ func BenchmarkE7CyclicReference(b *testing.B) {
 // multiply-by-2 chains whose budgets need binary coding.
 func BenchmarkE8UnaryChains(b *testing.B) {
 	for _, m := range []int{2, 8, 32} {
-		n := bench.DoublingChain(m, 3, false)
+		n := mustGen(b)(bench.DoublingChain(m, 3, false))
 		b.Run(fmt.Sprintf("unary/m=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := unary.Collaboration(n, 0); err != nil {
@@ -173,7 +185,7 @@ func BenchmarkE8UnaryChains(b *testing.B) {
 	}
 	// The explicit composition for contrast, small sizes only.
 	for _, m := range []int{2, 4} {
-		n := bench.DoublingChain(m, 3, false)
+		n := mustGen(b)(bench.DoublingChain(m, 3, false))
 		q, err := n.Context(0, true)
 		if err != nil {
 			b.Fatal(err)
@@ -212,7 +224,7 @@ func BenchmarkE9NormalForm(b *testing.B) {
 // and philosopher rings).
 func BenchmarkE11Engine(b *testing.B) {
 	for _, m := range []int{8, 12, 16} {
-		n := bench.TreeNetwork(int64(7000+m), m)
+		n := mustGen(b)(bench.TreeNetwork(int64(7000+m), m))
 		b.Run(fmt.Sprintf("engine/tree/m=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := explore.AnalyzeAcyclic(n, 0, explore.Options{}); err != nil {
@@ -222,7 +234,7 @@ func BenchmarkE11Engine(b *testing.B) {
 		})
 	}
 	for _, m := range []int{8, 12} {
-		n := bench.TreeNetwork(int64(7000+m), m)
+		n := mustGen(b)(bench.TreeNetwork(int64(7000+m), m))
 		b.Run(fmt.Sprintf("reference/tree/m=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				v, err := success.AnalyzeAcyclicOpts(n, 0, success.Options{Backend: success.BackendCompose})
@@ -234,7 +246,7 @@ func BenchmarkE11Engine(b *testing.B) {
 		})
 	}
 	for _, m := range []int{4, 6, 8} {
-		n := bench.Philosophers(m)
+		n := mustGen(b)(bench.Philosophers(m))
 		b.Run(fmt.Sprintf("engine/phil/m=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := explore.AnalyzeCyclic(n, 0, explore.Options{}); err != nil {

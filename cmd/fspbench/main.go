@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	fspbench [-quick] [-only E5] [-json out.json]
+//	fspbench [-quick] [-only E5] [-json out.json] [-timeout 30s]
+//
+// When -timeout expires the run exits with code 3: the rows computed so
+// far are still rendered (and written to -json, with one status "timeout"
+// record carrying the partial-verdict diagnostic).
 package main
 
 import (
@@ -14,15 +18,30 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"fspnet/internal/bench"
+	"fspnet/internal/guard"
 )
 
+// exitCodeLimit is the exit code for a governor stop (deadline, budget,
+// cancellation): the run produced a well-formed partial result rather
+// than failing outright.
+const exitCodeLimit = 3
+
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "fspbench:", err)
-		os.Exit(1)
+	err := run(os.Args[1:], os.Stdout)
+	if err == nil {
+		return
 	}
+	var le *guard.LimitErr
+	if errors.As(err, &le) {
+		fmt.Fprintln(os.Stderr, "fspbench:", le.Reason)
+		fmt.Fprintln(os.Stderr, "fspbench: partial:", le.Partial)
+		os.Exit(exitCodeLimit)
+	}
+	fmt.Fprintln(os.Stderr, "fspbench:", err)
+	os.Exit(1)
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -32,6 +51,7 @@ func run(args []string, stdout io.Writer) error {
 		quick    = fs.Bool("quick", false, "smaller instance sizes")
 		only     = fs.String("only", "", "run a single experiment (e.g. E5)")
 		jsonPath = fs.String("json", "", "also write the table rows as JSON records to this file")
+		timeout  = fs.Duration("timeout", 0, "wall-clock deadline for the whole run (0 = none); exits 3 with a partial result")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -39,19 +59,35 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return err
 	}
+	var g *guard.G
+	if *timeout > 0 {
+		g = guard.New(guard.Config{Deadline: time.Now().Add(*timeout)}) //fsplint:ignore detrand deadline anchor for the -timeout flag
+	}
 	if *only == "" {
-		recs, err := bench.RunAllRecords(stdout, *quick)
-		if err != nil {
-			return err
+		recs, err := bench.RunAllRecords(stdout, *quick, g)
+		// A governor stop still has records to flush: the partial rows
+		// plus the status "timeout" record, so -json consumers see the
+		// interrupted sweep rather than a missing file.
+		if werr := writeRecords(*jsonPath, recs); werr != nil && err == nil {
+			err = werr
 		}
-		return writeRecords(*jsonPath, recs)
+		return err
 	}
 	for _, e := range bench.All() {
 		if e.ID != *only {
 			continue
 		}
-		t, err := e.Run(*quick)
+		t, err := e.Run(*quick, g)
 		if err != nil {
+			var le *guard.LimitErr
+			if errors.As(err, &le) && t != nil && len(t.Rows) > 0 {
+				t.Caption = e.ID + ": " + e.Claim + " (partial: stopped by governor)"
+				_ = t.Render(stdout)
+				recs := append(t.Records(e.ID, e.Claim), bench.TimeoutRecord(e, le))
+				if werr := writeRecords(*jsonPath, recs); werr != nil {
+					return werr
+				}
+			}
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		t.Caption = e.ID + ": " + e.Claim

@@ -6,9 +6,12 @@
 //
 // Usage:
 //
-//	fspc [-p N] [-algo auto|reference|tree|linear|unary] [-dot] file.fsp
+//	fspc [-p N] [-algo auto|reference|tree|linear|unary] [-timeout 10s] [-dot] file.fsp
 //
-// With "-" as the file, input is read from stdin.
+// With "-" as the file, input is read from stdin. When -timeout expires
+// before the analysis finishes, fspc exits with code 3 and prints the
+// partial verdict (states explored, pass in progress, elapsed time) on
+// stderr.
 package main
 
 import (
@@ -19,10 +22,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"fspnet/internal/fsp"
 	"fspnet/internal/fsplang"
 	"fspnet/internal/game"
+	"fspnet/internal/guard"
 	"fspnet/internal/linear"
 	"fspnet/internal/network"
 	"fspnet/internal/poss"
@@ -32,10 +37,25 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "fspc:", err)
-		os.Exit(1)
+	os.Exit(exitCode(os.Stderr, run(os.Args[1:], os.Stdin, os.Stdout)))
+}
+
+// exitCode maps run's outcome to the process exit code, writing the
+// diagnostic to stderr: 0 on success, 3 on a governor stop (deadline,
+// budget, cancellation — the run produced a well-formed partial verdict),
+// 1 on any other failure.
+func exitCode(stderr io.Writer, err error) int {
+	if err == nil {
+		return 0
 	}
+	var le *guard.LimitErr
+	if errors.As(err, &le) {
+		fmt.Fprintln(stderr, "fspc:", le.Reason)
+		fmt.Fprintln(stderr, "fspc: partial:", le.Partial)
+		return 3
+	}
+	fmt.Fprintln(stderr, "fspc:", err)
+	return 1
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -52,6 +72,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		jsonOut  = fs.Bool("json", false, "emit a machine-readable JSON report (reference algorithm)")
 		witness  = fs.Bool("witness", false, "print collaboration and blocking traces (acyclic networks)")
 		strategy = fs.Bool("strategy", false, "print a winning strategy for the adversity game when one exists")
+		timeout  = fs.Duration("timeout", 0, "wall-clock deadline for the analysis (0 = none); exits 3 with a partial verdict")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -80,6 +101,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	opts, err := engineOptions(*engine)
 	if err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		opts.Guard = guard.New(guard.Config{Deadline: time.Now().Add(*timeout)}) //fsplint:ignore detrand deadline anchor for the -timeout flag
 	}
 	if *dist < 0 || *dist >= n.Len() {
 		return fmt.Errorf("process index %d out of range [0,%d)", *dist, n.Len())
@@ -254,7 +278,7 @@ func analyze(w io.Writer, n *network.Network, dist int, algo string, opts succes
 		}
 		fmt.Fprintf(w, "Proposition 1: S_u = S_a = S_c = %t\n", ok)
 	case "tree":
-		v, err := treesolve.Analyze(n, dist, treesolve.Options{})
+		v, err := treesolve.Analyze(n, dist, treesolve.Options{Guard: opts.Guard})
 		if err != nil {
 			return err
 		}

@@ -3,10 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"fspnet/internal/guard"
 )
 
 const figure3 = `
@@ -247,5 +251,38 @@ func TestRunTestdataCorpus(t *testing.T) {
 				t.Errorf("missing %q in:\n%s", tt.want, out)
 			}
 		})
+	}
+}
+
+func TestRunTimeoutExitCode3(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-timeout", "1ns", "-"}, strings.NewReader(cyclicPair), &out)
+	if err == nil {
+		t.Fatal("run with an already-expired deadline must fail")
+	}
+	var le *guard.LimitErr
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want a *guard.LimitErr", err)
+	}
+	var stderr bytes.Buffer
+	if code := exitCode(&stderr, err); code != 3 {
+		t.Fatalf("exit code = %d, want 3 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "partial:") {
+		t.Errorf("stderr diagnostic missing the partial verdict: %s", stderr.String())
+	}
+}
+
+func TestExitCodeMapping(t *testing.T) {
+	var sb strings.Builder
+	if code := exitCode(&sb, nil); code != 0 {
+		t.Errorf("exitCode(nil) = %d, want 0", code)
+	}
+	if code := exitCode(&sb, errors.New("boom")); code != 1 {
+		t.Errorf("exitCode(plain error) = %d, want 1", code)
+	}
+	le := &guard.LimitErr{Reason: guard.ErrDeadline, Partial: guard.Partial{Pass: "bfs", States: 3}}
+	if code := exitCode(&sb, fmt.Errorf("analysis: %w", le)); code != 3 {
+		t.Errorf("exitCode(wrapped LimitErr) = %d, want 3", code)
 	}
 }

@@ -98,7 +98,10 @@ func TestIntegrationUnaryVsCyclicReference(t *testing.T) {
 	// Doubling chains at sizes where the explicit composition is feasible.
 	for m := 0; m <= 6; m++ {
 		for _, inf := range []bool{false, true} {
-			n := bench.DoublingChain(m, 2, inf)
+			n, err := bench.DoublingChain(m, 2, inf)
+			if err != nil {
+				t.Fatal(err)
+			}
 			fast, err := fspnet.UnaryCollaboration(n, 0)
 			if err != nil {
 				t.Fatalf("m=%d inf=%v: unary: %v", m, inf, err)
@@ -121,7 +124,10 @@ func TestIntegrationRingFoldings(t *testing.T) {
 	r := rand.New(rand.NewSource(1203))
 	for i := 0; i < 20; i++ {
 		m := 4 + r.Intn(4)
-		n := bench.RingNetwork(int64(777+i), m)
+		n, err := bench.RingNetwork(int64(777+i), m)
+		if err != nil {
+			t.Fatal(err)
+		}
 		folded, err := fspnet.AnalyzeKTree(n, 0, network.RingPartition(m), fspnet.TreeOptions{})
 		if err != nil {
 			t.Fatalf("iter %d: %v", i, err)

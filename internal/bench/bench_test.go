@@ -1,24 +1,28 @@
 package bench
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
+
+	"fspnet/internal/guard"
 )
 
 func TestGenerators(t *testing.T) {
-	if n := LinearChain(5, 2); n.Len() != 5 || !n.Graph().IsTree() {
+	if n, err := LinearChain(5, 2); err != nil || n.Len() != 5 || !n.Graph().IsTree() {
 		t.Error("LinearChain shape broken")
 	}
-	if n := RingNetwork(1, 5); !n.Graph().IsRing() {
+	if n, err := RingNetwork(1, 5); err != nil || !n.Graph().IsRing() {
 		t.Error("RingNetwork shape broken")
 	}
-	if n := Philosophers(3); n.Len() != 6 || !n.Graph().IsRing() {
+	if n, err := Philosophers(3); err != nil || n.Len() != 6 || !n.Graph().IsRing() {
 		t.Error("Philosophers shape broken")
 	}
-	if n := PhilosophersPolite(3); n.Len() != 6 {
+	if n, err := PhilosophersPolite(3); err != nil || n.Len() != 6 {
 		t.Error("PhilosophersPolite shape broken")
 	}
-	if n := DoublingChain(3, 2, false); n.Len() != 5 || !n.Graph().IsTree() {
+	if n, err := DoublingChain(3, 2, false); err != nil || n.Len() != 5 || !n.Graph().IsTree() {
 		t.Error("DoublingChain shape broken")
 	}
 	if f := SatInstance(1, 5); f.IsRestricted3SAT() != nil {
@@ -27,7 +31,7 @@ func TestGenerators(t *testing.T) {
 	if q := QbfInstance(1, 4); q.Validate() != nil {
 		t.Error("QbfInstance invalid")
 	}
-	if n := TreeNetwork(1, 5); !n.Graph().IsTree() {
+	if n, err := TreeNetwork(1, 5); err != nil || !n.Graph().IsTree() {
 		t.Error("TreeNetwork shape broken")
 	}
 	p, q := RandomAcyclicPair(1, 5)
@@ -78,7 +82,7 @@ func TestE11Agreement(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment sweep in -short mode")
 	}
-	tbl, err := E11(true)
+	tbl, err := E11(true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,5 +109,40 @@ func TestRecords(t *testing.T) {
 	}
 	if recs[0].Values["a"] != "1" || recs[1].Values["b"] != "y" {
 		t.Errorf("bad record values: %+v", recs)
+	}
+}
+
+// TestRunAllRecordsTimeout runs the whole sweep under an already-expired
+// deadline: the error must be a *guard.LimitErr and the record stream
+// must end with an explicit "timeout" status row (Row -1) rather than
+// silently omitting the unfinished experiment.
+func TestRunAllRecordsTimeout(t *testing.T) {
+	g := guard.New(guard.Config{Deadline: time.Unix(1, 0)})
+	var sb strings.Builder
+	recs, err := RunAllRecords(&sb, true, g)
+	if err == nil {
+		t.Fatal("RunAllRecords with an expired deadline must fail")
+	}
+	var le *guard.LimitErr
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want a *guard.LimitErr", err)
+	}
+	if !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records emitted")
+	}
+	last := recs[len(recs)-1]
+	if last.Status != "timeout" || last.Row != -1 {
+		t.Fatalf("last record = %+v, want status=timeout row=-1", last)
+	}
+	if last.Values["reason"] == "" || last.Values["pass"] == "" {
+		t.Errorf("timeout record missing diagnostics: %+v", last.Values)
+	}
+	// The deadline trips before the first row, so no partial table is
+	// rendered; a partially filled one must be flagged as such.
+	if out := sb.String(); strings.Contains(out, "|") && !strings.Contains(out, "partial") {
+		t.Errorf("rendered partial table not flagged:\n%s", out)
 	}
 }

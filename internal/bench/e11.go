@@ -6,6 +6,7 @@ import (
 
 	"fspnet/internal/explore"
 	"fspnet/internal/fsp"
+	"fspnet/internal/guard"
 	"fspnet/internal/network"
 	"fspnet/internal/success"
 )
@@ -46,19 +47,19 @@ func composeContextBudget(n *network.Network, dist int, cyclic bool, budget int)
 // acyclic random trees and the cyclic dining-philosophers ring. The
 // engine interns only reachable joint vectors, so it keeps deciding
 // S_u/S_c at sizes where the context fold exceeds its state budget.
-func E11(quick bool) (*Table, error) {
+func E11(quick bool, g *guard.G) (*Table, error) {
 	const composeBudget = 50000
 	type fam struct {
 		name   string
 		cyclic bool
 		sizes  []int
-		build  func(m int) *network.Network
+		build  func(m int) (*network.Network, error)
 	}
 	families := []fam{
 		{"tree", false, []int{8, 12, 16, 20},
-			func(m int) *network.Network { return TreeNetwork(int64(7000+m), m) }},
+			func(m int) (*network.Network, error) { return TreeNetwork(int64(7000+m), m) }},
 		{"philosophers", true, []int{4, 6, 8, 10},
-			func(m int) *network.Network { return Philosophers(m) }},
+			func(m int) (*network.Network, error) { return Philosophers(m) }},
 	}
 	if quick {
 		families[0].sizes = []int{4, 8}
@@ -68,19 +69,25 @@ func E11(quick bool) (*Table, error) {
 		"joint states", "engine", "states/s", "reference", "agreement"}}
 	for _, f := range families {
 		for _, m := range f.sizes {
-			n := f.build(m)
+			if err := rowPoll(g, t); err != nil {
+				return t, err
+			}
+			n, err := f.build(m)
+			if err != nil {
+				return nil, err
+			}
 			var res explore.Result
 			ed, err := timed(func() error {
 				var err error
 				if f.cyclic {
-					res, err = explore.AnalyzeCyclic(n, 0, explore.Options{})
+					res, err = explore.AnalyzeCyclic(n, 0, explore.Options{Guard: g})
 				} else {
-					res, err = explore.AnalyzeAcyclic(n, 0, explore.Options{})
+					res, err = explore.AnalyzeAcyclic(n, 0, explore.Options{Guard: g})
 				}
 				return err
 			})
 			if err != nil {
-				return nil, err
+				return t, err
 			}
 			rate := float64(res.Stats.States) / ed.Seconds()
 			var ref struct{ su, sc bool }

@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"fspnet/internal/fsp"
 	"fspnet/internal/game"
+	"fspnet/internal/guard"
 	"fspnet/internal/linear"
 	"fspnet/internal/network"
 	"fspnet/internal/poss"
@@ -17,11 +19,14 @@ import (
 	"fspnet/internal/unary"
 )
 
-// Experiment is one claim-reproduction run.
+// Experiment is one claim-reproduction run. The governor g (nil for
+// ungoverned runs) is polled at every row boundary and threaded into the
+// solver calls of the heavier experiments, so a deadline stops a sweep
+// with the rows already computed intact.
 type Experiment struct {
 	ID    string
 	Claim string
-	Run   func(quick bool) (*Table, error)
+	Run   func(quick bool, g *guard.G) (*Table, error)
 }
 
 // All returns the experiments in EXPERIMENTS.md order.
@@ -41,19 +46,46 @@ func All() []Experiment {
 	}
 }
 
-// RunAll renders every experiment table to w.
+// rowPoll is the per-row governor check of an experiment sweep: on
+// exhaustion the sweep stops at a row boundary and the caller returns its
+// partially filled table alongside the *guard.LimitErr.
+func rowPoll(g *guard.G, t *Table) error {
+	if err := g.Poll("bench", len(t.Rows)); err != nil {
+		return g.Limit(fmt.Errorf("bench: sweep stopped after %d rows: %w", len(t.Rows), err),
+			guard.Partial{Pass: "bench", Depth: len(t.Rows)})
+	}
+	return nil
+}
+
+// RunAll renders every experiment table to w with no governor.
 func RunAll(w io.Writer, quick bool) error {
-	_, err := RunAllRecords(w, quick)
+	_, err := RunAllRecords(w, quick, nil)
 	return err
 }
 
 // RunAllRecords renders every experiment table to w and returns the rows
-// as machine-readable records, one per table row.
-func RunAllRecords(w io.Writer, quick bool) ([]Record, error) {
+// as machine-readable records, one per table row. When the governor stops
+// a sweep, the rows computed so far are still rendered and returned,
+// followed by one Status "timeout" record carrying the partial-verdict
+// diagnostic, and the *guard.LimitErr is returned for the caller's exit
+// code; other errors abort with no records as before.
+func RunAllRecords(w io.Writer, quick bool, g *guard.G) ([]Record, error) {
 	var recs []Record
 	for _, e := range All() {
-		t, err := e.Run(quick)
+		t, err := e.Run(quick, g)
 		if err != nil {
+			var le *guard.LimitErr
+			if errors.As(err, &le) {
+				if t != nil && len(t.Rows) > 0 {
+					t.Caption = e.ID + ": " + e.Claim + " (partial: stopped by governor)"
+					if rerr := t.Render(w); rerr != nil {
+						return nil, rerr
+					}
+					recs = append(recs, t.Records(e.ID, e.Claim)...)
+				}
+				recs = append(recs, TimeoutRecord(e, le))
+				return recs, fmt.Errorf("%s: %w", e.ID, err)
+			}
 			return nil, fmt.Errorf("%s: %w", e.ID, err)
 		}
 		t.Caption = e.ID + ": " + e.Claim
@@ -68,15 +100,39 @@ func RunAllRecords(w io.Writer, quick bool) ([]Record, error) {
 	return recs, nil
 }
 
+// TimeoutRecord is the machine-readable form of a governor stop: Row −1
+// so it cannot be mistaken for a data row, Status "timeout", and the
+// partial verdict flattened into Values.
+func TimeoutRecord(e Experiment, le *guard.LimitErr) Record {
+	return Record{
+		Experiment: e.ID,
+		Claim:      e.Claim,
+		Row:        -1,
+		Status:     "timeout",
+		Values: map[string]string{
+			"reason":  le.Reason.Error(),
+			"pass":    le.Partial.Pass,
+			"states":  fmt.Sprint(le.Partial.States),
+			"elapsed": le.Partial.Elapsed.String(),
+		},
+	}
+}
+
 // E1 times Proposition 1 on growing all-linear chains.
-func E1(quick bool) (*Table, error) {
+func E1(quick bool, g *guard.G) (*Table, error) {
 	sizes := []int{10, 100, 1000, 10000}
 	if quick {
 		sizes = []int{10, 100, 1000}
 	}
 	t := &Table{Header: []string{"processes", "network size", "verdict", "linear algo", "ns per size unit"}}
 	for _, m := range sizes {
-		n := LinearChain(m, 2)
+		if err := rowPoll(g, t); err != nil {
+			return t, err
+		}
+		n, err := LinearChain(m, 2)
+		if err != nil {
+			return nil, err
+		}
 		var verdict bool
 		d, err := timed(func() error {
 			var err error
@@ -93,36 +149,33 @@ func E1(quick bool) (*Table, error) {
 
 // E2 cross-validates the case (1) gadgets against DPLL and times the
 // reference decision as formulas grow.
-func E2(quick bool) (*Table, error) {
-	return satExperiment(quick, reduce.SatGadgetCase1, reduce.BlockingGadgetCase1)
+func E2(quick bool, g *guard.G) (*Table, error) {
+	varSizes := []int{2, 4, 6, 8, 10}
+	if quick {
+		varSizes = []int{2, 4, 6}
+	}
+	return satExperimentSizes(varSizes, g, reduce.SatGadgetCase1, reduce.BlockingGadgetCase1)
 }
 
 // E3 is E2 for the case (2) gadgets. The case (2) network has one process
 // per variable AND per clause, so its global state space outgrows the
 // case (1) star much sooner; the sweep stays below that wall.
-func E3(quick bool) (*Table, error) {
+func E3(quick bool, g *guard.G) (*Table, error) {
 	sizes := []int{2, 3, 4, 5, 6}
 	if quick {
 		sizes = []int{2, 3, 4}
 	}
-	return satExperimentSizes(sizes, reduce.SatGadgetCase2, reduce.BlockingGadgetCase2)
+	return satExperimentSizes(sizes, g, reduce.SatGadgetCase2, reduce.BlockingGadgetCase2)
 }
 
-func satExperiment(quick bool,
-	satGadget, blockGadget func(*sat.CNF) (*network.Network, error)) (*Table, error) {
-
-	varSizes := []int{2, 4, 6, 8, 10}
-	if quick {
-		varSizes = []int{2, 4, 6}
-	}
-	return satExperimentSizes(varSizes, satGadget, blockGadget)
-}
-
-func satExperimentSizes(varSizes []int,
+func satExperimentSizes(varSizes []int, g *guard.G,
 	satGadget, blockGadget func(*sat.CNF) (*network.Network, error)) (*Table, error) {
 	t := &Table{Header: []string{
 		"vars", "clauses", "net size", "SAT", "S_c", "¬S_u", "agree", "S_c time", "DPLL time"}}
 	for i, vars := range varSizes {
+		if err := rowPoll(g, t); err != nil {
+			return t, err
+		}
 		f := SatInstance(int64(1000+i), vars)
 		want, _ := sat.Solve(f)
 		var dpllTime time.Duration
@@ -165,7 +218,7 @@ func satExperimentSizes(varSizes []int,
 
 // E4 cross-validates the QBF gadget against the QBF solver and times the
 // belief-set game.
-func E4(quick bool) (*Table, error) {
+func E4(quick bool, g *guard.G) (*Table, error) {
 	varSizes := []int{2, 3, 4, 5}
 	if quick {
 		varSizes = []int{2, 3}
@@ -173,6 +226,9 @@ func E4(quick bool) (*Table, error) {
 	t := &Table{Header: []string{
 		"vars", "net size", "ctx states", "valid", "S_a", "agree", "game pairs", "game time", "QBF time"}}
 	for i, vars := range varSizes {
+		if err := rowPoll(g, t); err != nil {
+			return t, err
+		}
 		q := QbfInstance(int64(2000+i), vars)
 		want, err := sat.SolveQBF(q)
 		if err != nil {
@@ -207,7 +263,7 @@ func E4(quick bool) (*Table, error) {
 
 // E5 compares the Theorem 3 solver with the global reference on growing
 // tree networks.
-func E5(quick bool) (*Table, error) {
+func E5(quick bool, g *guard.G) (*Table, error) {
 	sizes := []int{3, 5, 7, 9, 11}
 	if quick {
 		sizes = []int{3, 5, 7}
@@ -215,24 +271,30 @@ func E5(quick bool) (*Table, error) {
 	t := &Table{Header: []string{
 		"processes", "net size", "treesolve", "reference", "match", "treesolve time", "reference time"}}
 	for i, m := range sizes {
-		n := TreeNetwork(int64(3000+i), m)
+		if err := rowPoll(g, t); err != nil {
+			return t, err
+		}
+		n, err := TreeNetwork(int64(3000+i), m)
+		if err != nil {
+			return nil, err
+		}
 		var tv success.Verdict
 		treeTime, err := timed(func() error {
 			var err error
-			tv, err = treesolve.Analyze(n, 0, treesolve.Options{})
+			tv, err = treesolve.Analyze(n, 0, treesolve.Options{Guard: g})
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return t, err
 		}
 		var rv success.Verdict
 		refTime, err := timed(func() error {
 			var err error
-			rv, err = success.AnalyzeAcyclic(n, 0)
+			rv, err = success.AnalyzeAcyclicOpts(n, 0, success.Options{Guard: g})
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return t, err
 		}
 		t.Add(m, n.Size(), tv, rv, tv == rv, treeTime, refTime)
 	}
@@ -240,7 +302,7 @@ func E5(quick bool) (*Table, error) {
 }
 
 // E6 analyzes rings through the Figure 8a folding (k = 2).
-func E6(quick bool) (*Table, error) {
+func E6(quick bool, g *guard.G) (*Table, error) {
 	sizes := []int{4, 6, 8, 10}
 	if quick {
 		sizes = []int{4, 6}
@@ -248,25 +310,31 @@ func E6(quick bool) (*Table, error) {
 	t := &Table{Header: []string{
 		"ring size", "classes", "ktree verdict", "reference", "match", "ktree time", "reference time"}}
 	for i, m := range sizes {
-		n := RingNetwork(int64(4000+i), m)
+		if err := rowPoll(g, t); err != nil {
+			return t, err
+		}
+		n, err := RingNetwork(int64(4000+i), m)
+		if err != nil {
+			return nil, err
+		}
 		partition := network.RingPartition(m)
 		var kv success.Verdict
 		kTime, err := timed(func() error {
 			var err error
-			kv, err = treesolve.AnalyzeKTree(n, 0, partition, treesolve.Options{})
+			kv, err = treesolve.AnalyzeKTree(n, 0, partition, treesolve.Options{Guard: g})
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return t, err
 		}
 		var rv success.Verdict
 		rTime, err := timed(func() error {
 			var err error
-			rv, err = success.AnalyzeAcyclic(n, 0)
+			rv, err = success.AnalyzeAcyclicOpts(n, 0, success.Options{Guard: g})
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return t, err
 		}
 		t.Add(m, len(partition), kv, rv, kv == rv, kTime, rTime)
 	}
@@ -276,7 +344,7 @@ func E6(quick bool) (*Table, error) {
 // E7 analyzes dining-philosopher rings: the greedy ring deadlocks
 // (potential blocking), the asymmetric fix removes it, and the game's
 // pair count grows exponentially (the dⁿ bound of Proposition 2).
-func E7(quick bool) (*Table, error) {
+func E7(quick bool, g *guard.G) (*Table, error) {
 	sizes := []int{2, 3, 4, 5}
 	if quick {
 		sizes = []int{2, 3}
@@ -285,20 +353,29 @@ func E7(quick bool) (*Table, error) {
 		"philosophers", "variant", "S_u", "S_a", "S_c", "game pairs", "analysis time"}}
 	for _, m := range sizes {
 		for _, variant := range []string{"greedy", "polite"} {
-			var n *network.Network
+			if err := rowPoll(g, t); err != nil {
+				return t, err
+			}
+			var (
+				n   *network.Network
+				err error
+			)
 			if variant == "greedy" {
-				n = Philosophers(m)
+				n, err = Philosophers(m)
 			} else {
-				n = PhilosophersPolite(m)
+				n, err = PhilosophersPolite(m)
+			}
+			if err != nil {
+				return nil, err
 			}
 			var v success.Verdict
 			d, err := timed(func() error {
 				var err error
-				v, err = success.AnalyzeCyclic(n, 0)
+				v, err = success.AnalyzeCyclicOpts(n, 0, success.Options{Guard: g})
 				return err
 			})
 			if err != nil {
-				return nil, err
+				return t, err
 			}
 			q, err := n.Context(0, true)
 			if err != nil {
@@ -306,7 +383,7 @@ func E7(quick bool) (*Table, error) {
 			}
 			pairs, err := game.ReachablePairs(n.Process(0), q)
 			if err != nil {
-				return nil, err
+				return t, err
 			}
 			t.Add(m, variant, v.Su, v.Sa, v.Sc, pairs, d)
 		}
@@ -316,7 +393,7 @@ func E7(quick bool) (*Table, error) {
 
 // E8 compares the Theorem 4 numeric reduction with the explicit cyclic
 // composition on multiply-by-2 chains (budgets of 2^m need binary coding).
-func E8(quick bool) (*Table, error) {
+func E8(quick bool, g *guard.G) (*Table, error) {
 	sizes := []int{2, 4, 8, 16, 32}
 	if quick {
 		sizes = []int{2, 4, 8}
@@ -325,7 +402,13 @@ func E8(quick bool) (*Table, error) {
 	t := &Table{Header: []string{
 		"chain length", "root budget", "S_c (unary)", "unary time", "S_c (reference)", "reference time"}}
 	for _, m := range sizes {
-		n := DoublingChain(m, 3, false)
+		if err := rowPoll(g, t); err != nil {
+			return t, err
+		}
+		n, err := DoublingChain(m, 3, false)
+		if err != nil {
+			return nil, err
+		}
 		var (
 			sc    bool
 			iface map[string]string
@@ -369,7 +452,7 @@ func E8(quick bool) (*Table, error) {
 
 // E9 measures possibility-set sizes and normal-form construction
 // throughput (the Lemma 2 machinery).
-func E9(quick bool) (*Table, error) {
+func E9(quick bool, g *guard.G) (*Table, error) {
 	sizes := []int{4, 8, 12, 16}
 	if quick {
 		sizes = []int{4, 8}
@@ -377,10 +460,13 @@ func E9(quick bool) (*Table, error) {
 	t := &Table{Header: []string{
 		"max states", "|Poss(Q)|", "NF states", "NF time", "congruence holds"}}
 	for i, maxStates := range sizes {
+		if err := rowPoll(g, t); err != nil {
+			return t, err
+		}
 		p, q := RandomAcyclicPair(int64(5000+i), maxStates)
-		set, err := poss.Of(q, poss.DefaultBudget)
+		set, err := poss.OfGuarded(q, poss.DefaultBudget, g)
 		if err != nil {
-			return nil, err
+			return t, err
 		}
 		var nfStates int
 		d, err := timed(func() error {
@@ -411,7 +497,7 @@ func composeForTest(p, q *fsp.FSP) *fsp.FSP { return fsp.Compose(p, q) }
 // E10 is the normal-form ablation: Theorem 3 with and without the
 // possibility normal form on deep chains, where the raw subtree
 // composition grows with depth but the interface behavior does not.
-func E10(quick bool) (*Table, error) {
+func E10(quick bool, g *guard.G) (*Table, error) {
 	sizes := []int{4, 8, 12, 16}
 	if quick {
 		sizes = []int{4, 8}
@@ -420,33 +506,39 @@ func E10(quick bool) (*Table, error) {
 		"chain length", "leaf size (NF)", "leaf size (raw)", "verdict match",
 		"time (NF)", "time (raw)"}}
 	for i, m := range sizes {
-		n := DeepChain(int64(6000+i), m)
-		var vNF, vRaw success.Verdict
-		star, err := treesolve.Reduce(n, 0, treesolve.Options{})
+		if err := rowPoll(g, t); err != nil {
+			return t, err
+		}
+		n, err := DeepChain(int64(6000+i), m)
 		if err != nil {
 			return nil, err
+		}
+		var vNF, vRaw success.Verdict
+		star, err := treesolve.Reduce(n, 0, treesolve.Options{Guard: g})
+		if err != nil {
+			return t, err
 		}
 		nfSize := sum(star.LeafSizes())
 		dNF, err := timed(func() error {
 			var err error
-			vNF, err = treesolve.Analyze(n, 0, treesolve.Options{})
+			vNF, err = treesolve.Analyze(n, 0, treesolve.Options{Guard: g})
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return t, err
 		}
-		rawStar, err := treesolve.Reduce(n, 0, treesolve.Options{NoNormalForm: true})
+		rawStar, err := treesolve.Reduce(n, 0, treesolve.Options{NoNormalForm: true, Guard: g})
 		if err != nil {
-			return nil, err
+			return t, err
 		}
 		rawSize := sum(rawStar.LeafSizes())
 		dRaw, err := timed(func() error {
 			var err error
-			vRaw, err = treesolve.Analyze(n, 0, treesolve.Options{NoNormalForm: true})
+			vRaw, err = treesolve.Analyze(n, 0, treesolve.Options{NoNormalForm: true, Guard: g})
 			return err
 		})
 		if err != nil {
-			return nil, err
+			return t, err
 		}
 		t.Add(m, nfSize, rawSize, vNF == vRaw, dNF, dRaw)
 	}

@@ -17,7 +17,7 @@ import (
 // LinearChain builds the E1 family: m linear processes in a path, the
 // i-th sharing one symbol with the (i+1)-th, each edge handshaken reps
 // times in an order that always succeeds.
-func LinearChain(m, reps int) *network.Network {
+func LinearChain(m, reps int) (*network.Network, error) {
 	procs := make([]*fsp.FSP, m)
 	for i := 0; i < m; i++ {
 		var seq []fsp.Action
@@ -33,7 +33,7 @@ func LinearChain(m, reps int) *network.Network {
 		}
 		procs[i] = fsp.Linear(fmt.Sprintf("P%d", i), seq...)
 	}
-	return network.MustNew(procs...)
+	return network.New(procs...)
 }
 
 // SatInstance builds the E2/E3 family: a random restricted 3SAT formula
@@ -51,19 +51,19 @@ func QbfInstance(seed int64, vars int) *sat.QBF {
 
 // TreeNetwork builds the E5 family: a random tree network of m tree FSPs
 // of bounded size with a τ-free distinguished process 0.
-func TreeNetwork(seed int64, m int) *network.Network {
+func TreeNetwork(seed int64, m int) (*network.Network, error) {
 	r := rand.New(rand.NewSource(seed))
 	return fsptest.TreeNetwork(r, fsptest.NetConfig{
 		Procs:          m,
 		ActionsPerEdge: 1,
 		MaxStates:      4,
 		TauProb:        0.15,
-	})
+	}), nil
 }
 
 // RingNetwork builds the E6 family: a ring of m small processes with one
 // symbol per ring edge (a 2-tree via the Figure 8a folding).
-func RingNetwork(seed int64, m int) *network.Network {
+func RingNetwork(seed int64, m int) (*network.Network, error) {
 	r := rand.New(rand.NewSource(seed))
 	procs := make([]*fsp.FSP, m)
 	for i := 0; i < m; i++ {
@@ -75,14 +75,14 @@ func RingNetwork(seed int64, m int) *network.Network {
 		}
 		procs[i] = fsp.Linear(fmt.Sprintf("P%d", i), seq...)
 	}
-	return network.MustNew(procs...)
+	return network.New(procs...)
 }
 
 // Philosophers builds the E7 family: the dining-philosophers ring with m
 // philosophers and m forks (2m processes, a cyclic 2m-ring in C_N).
 // Philosopher i grabs its left fork, then its right fork, eats, and
 // releases both — the classic potential-deadlock system.
-func Philosophers(m int) *network.Network {
+func Philosophers(m int) (*network.Network, error) {
 	procs := make([]*fsp.FSP, 0, 2*m)
 	take := func(i, j int) fsp.Action { return fsp.Action(fmt.Sprintf("take%d_%d", i, j)) }
 	rel := func(i, j int) fsp.Action { return fsp.Action(fmt.Sprintf("rel%d_%d", i, j)) }
@@ -108,14 +108,17 @@ func Philosophers(m int) *network.Network {
 		}
 		procs = append(procs, b.MustBuild())
 	}
-	return network.MustNew(procs...)
+	return network.New(procs...)
 }
 
 // PhilosophersPolite is the Philosophers family with philosopher 0
 // grabbing its right fork first — the standard asymmetric fix that removes
 // the circular wait.
-func PhilosophersPolite(m int) *network.Network {
-	base := Philosophers(m)
+func PhilosophersPolite(m int) (*network.Network, error) {
+	base, err := Philosophers(m)
+	if err != nil {
+		return nil, err
+	}
 	procs := base.Processes()
 	take := func(i, j int) fsp.Action { return fsp.Action(fmt.Sprintf("take%d_%d", i, j)) }
 	rel := func(i, j int) fsp.Action { return fsp.Action(fmt.Sprintf("rel%d_%d", i, j)) }
@@ -127,13 +130,13 @@ func PhilosophersPolite(m int) *network.Network {
 	b.Add(s2, rel(0, 0), s3)
 	b.Add(s3, rel(0, right), s0)
 	procs[0] = b.MustBuild()
-	return network.MustNew(procs...)
+	return network.New(procs...)
 }
 
 // DoublingChain builds the E8 family: root loops on x0; m multiply-by-2
 // machines; a base process granting its channel `base` times (or forever
 // when inf). The interface count at the root is base·2^m.
-func DoublingChain(m int, base int64, inf bool) *network.Network {
+func DoublingChain(m int, base int64, inf bool) (*network.Network, error) {
 	procs := []*fsp.FSP{}
 	bp := fsp.NewBuilder("P")
 	r := bp.State("0")
@@ -162,7 +165,7 @@ func DoublingChain(m int, base int64, inf bool) *network.Network {
 		}
 		procs = append(procs, fsp.Linear("B", acts...))
 	}
-	return network.MustNew(procs...)
+	return network.New(procs...)
 }
 
 // RandomAcyclicPair builds the E9 family: a random acyclic closed pair for
@@ -178,7 +181,7 @@ func RandomAcyclicPair(seed int64, maxStates int) (*fsp.FSP, *fsp.FSP) {
 // of small tree processes, so the single subtree hanging off P0 composes
 // m−1 processes. The possibility normal form compresses that subtree to
 // its interface behavior; the ablation keeps the raw composition.
-func DeepChain(seed int64, m int) *network.Network {
+func DeepChain(seed int64, m int) (*network.Network, error) {
 	r := rand.New(rand.NewSource(seed))
 	procs := make([]*fsp.FSP, m)
 	for i := 0; i < m; i++ {
@@ -210,5 +213,5 @@ func DeepChain(seed int64, m int) *network.Network {
 		}
 		procs[i] = b.MustBuild()
 	}
-	return network.MustNew(procs...)
+	return network.New(procs...)
 }

@@ -14,6 +14,7 @@ type Record struct {
 	Experiment string            `json:"experiment"`
 	Claim      string            `json:"claim"`
 	Row        int               `json:"row"`
+	Status     string            `json:"status,omitempty"` // "timeout" when the governor stopped the sweep (Row −1)
 	Values     map[string]string `json:"values"`
 }
 

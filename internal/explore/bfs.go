@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"fspnet/internal/guard"
 )
 
 // numShards is the visited-set sharding factor; a power of two so the
@@ -125,21 +127,31 @@ type bfsFlags struct {
 }
 
 type workerOut struct {
-	next  []uint32
-	flags bfsFlags
-	fresh int
-	moves int64
+	next     []uint32
+	flags    bfsFlags
+	fresh    int
+	moves    int64
+	panicked error
 }
 
 // bfs runs the level-synchronized parallel exploration from the joint
 // start vector. Frontiers carry the vectors themselves (flat, m words per
 // entry), so workers never read the shared arenas. done is consulted only
-// at level barriers, as is the MaxStates budget; together with the
-// monotone flags this makes the returned flags and Stats independent of
-// Workers.
+// at level barriers, as are the MaxStates budget and the governor's
+// cancellation/deadline checks; together with the monotone flags this
+// makes the returned flags and Stats independent of Workers — including
+// on every error path, where flags and Stats are those of the last
+// completed barrier.
+//
+// Worker panics are recovered inside the worker goroutine itself (after
+// wg.Done is already deferred, so the barrier can never deadlock) and
+// surface at the barrier as a guard.ErrPanic reason; the merge of a
+// panicked level is discarded because a half-expanded level would make
+// flags and fresh counts depend on scheduling.
 func (mc *machine) bfs(cyclic bool, o Options, done func(bfsFlags) bool) (*interner, bfsFlags, Stats, error) {
 	in := newInterner(mc.m)
 	limit := maxStates(o)
+	g := o.Guard
 	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -153,6 +165,9 @@ func (mc *machine) bfs(cyclic bool, o Options, done func(bfsFlags) bool) (*inter
 		if done(flags) {
 			break
 		}
+		if err := g.Poll("bfs", stats.Depth); err != nil {
+			return in, flags, stats, fmt.Errorf("explore: stopped at BFS level %d: %w", stats.Depth, err)
+		}
 		if stats.States > limit {
 			return in, flags, stats, fmt.Errorf("explore: %d joint states interned: %w", stats.States, ErrBudget)
 		}
@@ -161,32 +176,52 @@ func (mc *machine) bfs(cyclic bool, o Options, done func(bfsFlags) bool) (*inter
 		if w > nvecs {
 			w = nvecs
 		}
+		depth := stats.Depth
 		outs := make([]workerOut, w)
 		var wg sync.WaitGroup
 		for wi := 0; wi < w; wi++ {
 			wg.Add(1)
 			go func(wi int) {
 				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						outs[wi].panicked = fmt.Errorf("%w: worker %d at BFS level %d: %v",
+							guard.ErrPanic, wi, depth, r)
+					}
+				}()
+				if g.ShouldPanic("bfs", depth) {
+					panic("faultinject: synthetic worker panic")
+				}
 				lo, hi := wi*nvecs/w, (wi+1)*nvecs/w
 				outs[wi] = mc.expandChunk(cyclic, in, frontier, lo, hi)
 			}(wi)
 		}
 		wg.Wait()
+		for i := range outs {
+			if outs[i].panicked != nil {
+				return in, flags, stats, fmt.Errorf("explore: %w", outs[i].panicked)
+			}
+		}
 		total := 0
 		for i := range outs {
 			total += len(outs[i].next)
 		}
 		next := make([]uint32, 0, total)
+		fresh := 0
 		for i := range outs {
 			next = append(next, outs[i].next...)
 			flags.stuckLeaf = flags.stuckLeaf || outs[i].flags.stuckLeaf
 			flags.stuckNonLeaf = flags.stuckNonLeaf || outs[i].flags.stuckNonLeaf
 			flags.blocked = flags.blocked || outs[i].flags.blocked
-			stats.States += outs[i].fresh
+			fresh += outs[i].fresh
 			stats.Moves += outs[i].moves
 		}
+		stats.States += fresh
 		frontier = next
 		stats.Depth++
+		if err := g.Charge(fresh); err != nil {
+			return in, flags, stats, fmt.Errorf("explore: %d joint states interned: %w", stats.States, err)
+		}
 	}
 	return in, flags, stats, nil
 }

@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"fspnet/internal/fsp"
+	"fspnet/internal/guard"
 	"fspnet/internal/network"
 )
 
@@ -39,8 +40,9 @@ var (
 	// under the cyclic one).
 	ErrShape = errors.New("explore: input outside procedure domain")
 	// ErrBudget reports that exploration exceeded Options.MaxStates
-	// interned joint vectors.
-	ErrBudget = errors.New("explore: joint state budget exhausted")
+	// interned joint vectors. It wraps guard.ErrBudget, the unified
+	// budget sentinel.
+	ErrBudget = fmt.Errorf("explore: joint state budget exhausted: %w", guard.ErrBudget)
 )
 
 // DefaultMaxStates bounds the interned joint vectors when
@@ -56,6 +58,13 @@ type Options struct {
 	// ≤ 0 means DefaultMaxStates. The bound is checked at level barriers,
 	// so the count at failure is deterministic.
 	MaxStates int
+	// Guard, when non-nil, governs the run: cancellation and deadlines
+	// are polled at every BFS level barrier and pass boundary, and fresh
+	// joint states are charged against its joint budget. On exhaustion
+	// the engine returns a *guard.LimitErr whose partial verdict reports
+	// barrier-accurate stats plus any predicate already decided by the
+	// monotone flags.
+	Guard *guard.G
 }
 
 // Stats describes one engine run. All fields are deterministic functions
@@ -122,8 +131,8 @@ func acyclic(n *network.Network, i int, o Options, needSu, needSc bool) (Result,
 	if err != nil {
 		return Result{}, err
 	}
-	if err := mc.checkAcyclicShape(maxStates(o)); err != nil {
-		return Result{}, err
+	if err := mc.checkAcyclicShape(maxStates(o), o.Guard); err != nil {
+		return Result{}, limitErr(o.Guard, err, "shape", false, bfsFlags{}, Stats{})
 	}
 	_, flags, stats, err := mc.bfs(false, o, func(f bfsFlags) bool {
 		// S_u is decided early only by a counterexample, S_c only by a
@@ -131,7 +140,7 @@ func acyclic(n *network.Network, i int, o Options, needSu, needSc bool) (Result,
 		return (!needSu || f.stuckNonLeaf) && (!needSc || f.stuckLeaf)
 	})
 	if err != nil {
-		return Result{Stats: stats}, err
+		return Result{Stats: stats}, limitErr(o.Guard, err, "bfs", false, flags, stats)
 	}
 	return Result{Su: !flags.stuckNonLeaf, Sc: flags.stuckLeaf, Stats: stats}, nil
 }
@@ -166,7 +175,7 @@ func cyclic(n *network.Network, i int, o Options, needSu, needSc bool) (Result, 
 		return !needSc && (!needSu || f.blocked)
 	})
 	if err != nil {
-		return Result{Stats: stats}, err
+		return Result{Stats: stats}, limitErr(o.Guard, err, "bfs", true, flags, stats)
 	}
 	res := Result{Stats: stats}
 	var ix *index
@@ -174,7 +183,10 @@ func cyclic(n *network.Network, i int, o Options, needSu, needSc bool) (Result, 
 		blocked := flags.blocked
 		if !blocked && mc.m >= 3 {
 			ix = in.buildIndex()
-			blocked = mc.ctxTauCycle(ix)
+			blocked, err = mc.ctxTauCycle(ix, o.Guard)
+			if err != nil {
+				return res, limitErr(o.Guard, err, "tau-cycle", true, flags, stats)
+			}
 		}
 		res.Su = !blocked
 	}
@@ -182,9 +194,45 @@ func cyclic(n *network.Network, i int, o Options, needSu, needSc bool) (Result, 
 		if ix == nil {
 			ix = in.buildIndex()
 		}
-		res.Sc = mc.handshakeCycle(ix)
+		sc, err := mc.handshakeCycle(ix, o.Guard)
+		if err != nil {
+			lerr := limitErr(o.Guard, err, "handshake-cycle", true, flags, stats)
+			var le *guard.LimitErr
+			if errors.As(lerr, &le) && needSu {
+				// S_u was fully decided before this pass started.
+				le.Partial.Su = guard.Of(res.Su)
+			}
+			return res, lerr
+		}
+		res.Sc = sc
 	}
 	return res, nil
+}
+
+// limitErr converts a governor stop reason from one of the passes into a
+// *guard.LimitErr carrying barrier-accurate stats and whichever
+// predicates the monotone flags had already forced. Non-limit errors
+// (shape violations) pass through untouched.
+func limitErr(g *guard.G, err error, pass string, cyclic bool, flags bfsFlags, stats Stats) error {
+	if !guard.IsLimit(err) {
+		return err
+	}
+	p := guard.Partial{States: stats.States, Depth: stats.Depth, Pass: pass}
+	if cyclic {
+		// A blocked vector decides ¬S_u outright; nothing short of a full
+		// graph decides S_c, so it stays unknown.
+		if flags.blocked {
+			p.Su = guard.False
+		}
+	} else {
+		if flags.stuckNonLeaf {
+			p.Su = guard.False
+		}
+		if flags.stuckLeaf {
+			p.Sc = guard.True
+		}
+	}
+	return g.Limit(err, p)
 }
 
 func maxStates(o Options) int {

@@ -3,7 +3,14 @@ package explore
 import (
 	"fmt"
 	"sort"
+
+	"fspnet/internal/guard"
 )
+
+// pollStride amortizes governor polls inside the sequential passes: one
+// Poll per stride of visited nodes, with the node count as the level so
+// fault injection can target a specific depth of a pass.
+const pollStride = 1024
 
 // This file holds the sequential passes that run outside the parallel
 // BFS: the acyclicity shape check (which may walk the context product on
@@ -20,7 +27,7 @@ import (
 // the composed context exactly: member τ, context-internal handshakes,
 // and solo firing of P-shared actions by their single context owner
 // (those stay visible in ‖, hence move the context on their own).
-func (mc *machine) checkAcyclicShape(budget int) error {
+func (mc *machine) checkAcyclicShape(budget int, g *guard.G) error {
 	if !mc.procs[mc.dist].IsAcyclic() {
 		return fmt.Errorf("explore: %s is cyclic: %w", mc.procs[mc.dist].Name(), ErrShape)
 	}
@@ -34,7 +41,10 @@ func (mc *machine) checkAcyclicShape(budget int) error {
 	if all {
 		return nil
 	}
-	cyclic, err := mc.ctxHasCycle(budget)
+	if err := g.Poll("shape", 0); err != nil {
+		return fmt.Errorf("explore: shape check: %w", err)
+	}
+	cyclic, err := mc.ctxHasCycle(budget, g)
 	if err != nil {
 		return err
 	}
@@ -105,8 +115,9 @@ func (mc *machine) ctxExpand(vec, scratch []uint32, fn func(succ []uint32) bool)
 
 // ctxHasCycle runs an iterative gray-path DFS over the context product
 // graph from the start vector, reporting whether any composite cycle is
-// reachable. budget bounds the visited configurations.
-func (mc *machine) ctxHasCycle(budget int) (bool, error) {
+// reachable. budget bounds the visited configurations; g is polled every
+// pollStride of them.
+func (mc *machine) ctxHasCycle(budget int, g *guard.G) (bool, error) {
 	const gray, black = 1, 2
 	color := make(map[string]uint8)
 	scratch := make([]uint32, mc.m)
@@ -153,6 +164,11 @@ func (mc *machine) ctxHasCycle(budget int) (bool, error) {
 			if len(color) >= budget {
 				return false, fmt.Errorf("explore: shape check: %d context states: %w", len(color), ErrBudget)
 			}
+			if len(color)%pollStride == 0 {
+				if err := g.Poll("shape", len(color)/pollStride); err != nil {
+					return false, fmt.Errorf("explore: shape check: %w", err)
+				}
+			}
 			color[key] = gray
 			stack = append(stack, frame{key, succs(unpack(key)), 0})
 		}
@@ -165,11 +181,16 @@ func (mc *machine) ctxHasCycle(budget int) (bool, error) {
 // edges that are τ of the composed context and leave P in place). Such a
 // cycle is exactly a reachable silent divergence of the context: in the
 // folded composition it puts the ⊥ leaf below a reachable state, making
-// the pair (p, ⊥) blocking. Call only after a complete BFS.
-func (mc *machine) ctxTauCycle(ix *index) bool {
+// the pair (p, ⊥) blocking. Call only after a complete BFS. g is polled
+// at the pass boundary and every pollStride colored vectors.
+func (mc *machine) ctxTauCycle(ix *index, g *guard.G) (bool, error) {
+	if err := g.Poll("tau-cycle", 0); err != nil {
+		return false, fmt.Errorf("explore: τ-cycle pass: %w", err)
+	}
 	const gray, black = 1, 2
 	n := ix.size()
 	color := make([]uint8, n)
+	colored := 0
 	scratch := make([]uint32, mc.m)
 	kb := make([]byte, 4*mc.m)
 	succs := func(gid int) []int {
@@ -193,6 +214,7 @@ func (mc *machine) ctxTauCycle(ix *index) bool {
 			continue
 		}
 		color[root] = gray
+		colored++
 		stack = append(stack[:0], frame{root, succs(root), 0})
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
@@ -205,15 +227,21 @@ func (mc *machine) ctxTauCycle(ix *index) bool {
 			f.next++
 			switch color[s] {
 			case gray:
-				return true
+				return true, nil
 			case black:
 			default:
 				color[s] = gray
+				colored++
+				if colored%pollStride == 0 {
+					if err := g.Poll("tau-cycle", colored/pollStride); err != nil {
+						return false, fmt.Errorf("explore: τ-cycle pass: %w", err)
+					}
+				}
 				stack = append(stack, frame{s, succs(s), 0})
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // handshakeCycle reports whether some reachable cycle of the joint graph
@@ -222,8 +250,12 @@ func (mc *machine) ctxTauCycle(ix *index) bool {
 // common words, and conversely an infinite intersection forces a repeated
 // joint vector with a visible P-move between the repeats. Implemented as
 // an iterative Tarjan SCC pass followed by a sweep for a P-handshake edge
-// with both ends in one component. Call only after a complete BFS.
-func (mc *machine) handshakeCycle(ix *index) bool {
+// with both ends in one component. Call only after a complete BFS. g is
+// polled at the pass boundary and every pollStride numbered vectors.
+func (mc *machine) handshakeCycle(ix *index, g *guard.G) (bool, error) {
+	if err := g.Poll("handshake-cycle", 0); err != nil {
+		return false, fmt.Errorf("explore: handshake-cycle pass: %w", err)
+	}
 	const undef = -1
 	n := ix.size()
 	num := make([]int32, n)
@@ -269,6 +301,11 @@ func (mc *machine) handshakeCycle(ix *index) bool {
 				if num[s] == undef {
 					num[s], low[s] = counter, counter
 					counter++
+					if counter%pollStride == 0 {
+						if err := g.Poll("handshake-cycle", int(counter)/pollStride); err != nil {
+							return false, fmt.Errorf("explore: handshake-cycle pass: %w", err)
+						}
+					}
 					tstack = append(tstack, int32(s))
 					onstack[s] = true
 					frames = append(frames, frame{s, succs(s), 0})
@@ -299,6 +336,11 @@ func (mc *machine) handshakeCycle(ix *index) bool {
 	}
 	found := false
 	for gid := 0; gid < n && !found; gid++ {
+		if gid%pollStride == 0 && gid > 0 {
+			if err := g.Poll("handshake-cycle", gid/pollStride); err != nil {
+				return false, fmt.Errorf("explore: handshake-cycle pass: %w", err)
+			}
+		}
 		mc.expand(ix.vec(gid), scratch, func(succ []uint32, kind int) bool {
 			if kind == moveDistHandshake && comp[gid] == comp[ix.gid(keyBytes(kb, succ))] {
 				found = true
@@ -307,5 +349,5 @@ func (mc *machine) handshakeCycle(ix *index) bool {
 			return true
 		})
 	}
-	return found
+	return found, nil
 }

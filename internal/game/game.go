@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"fspnet/internal/fsp"
+	"fspnet/internal/guard"
 	"fspnet/internal/queue"
 )
 
@@ -29,11 +30,36 @@ import (
 // the game of Figure 4 disallows ("The FSP P has no τ-moves").
 var ErrTauMoves = errors.New("game: distinguished process P must have no τ-moves")
 
-// ErrBudget reports that the explored pair graph exceeded the node budget.
-var ErrBudget = errors.New("game: state budget exhausted")
+// ErrBudget reports that the explored pair graph exceeded the node
+// budget. It wraps guard.ErrBudget, the unified budget sentinel.
+var ErrBudget = fmt.Errorf("game: state budget exhausted: %w", guard.ErrBudget)
 
 // DefaultBudget bounds the number of (P-state, belief) pairs explored.
 const DefaultBudget = 1 << 22
+
+// pollStride amortizes governor polls: one Poll per stride of explored
+// game positions.
+const pollStride = 1024
+
+// Options configure a governed game solve.
+type Options struct {
+	// Budget bounds the explored (P-state, belief) positions; ≤ 0 means
+	// DefaultBudget.
+	Budget int
+	// Guard, when non-nil, governs the solve: cancellation and deadlines
+	// are polled every pollStride positions, each fresh position is
+	// charged against the joint budget, and every exhaustion path
+	// returns a *guard.LimitErr whose partial verdict counts the
+	// positions explored.
+	Guard *guard.G
+}
+
+func (o Options) budget() int {
+	if o.Budget <= 0 {
+		return DefaultBudget
+	}
+	return o.Budget
+}
 
 // checkP validates the Figure 4 assumption on P.
 func checkP(p *fsp.FSP) error {
@@ -54,7 +80,26 @@ type node struct {
 type solver struct {
 	p, q    *fsp.FSP
 	budget  int
+	g       *guard.G
 	beliefs map[string][]fsp.State
+}
+
+// limit wraps a stop reason into a *guard.LimitErr recording how many
+// game positions were explored. The belief-set game decides nothing
+// until its start position resolves, so the partial carries no bounds.
+func (sv *solver) limit(reason error, states int) error {
+	return sv.g.Limit(reason, guard.Partial{States: states, Pass: "game"})
+}
+
+// poll runs the amortized governor check at the given position count.
+func (sv *solver) poll(states int) error {
+	if states%pollStride != 0 {
+		return nil
+	}
+	if err := sv.g.Poll("game", states/pollStride); err != nil {
+		return sv.limit(fmt.Errorf("game: stopped at %d positions: %w", states, err), states)
+	}
+	return nil
 }
 
 func beliefKey(set []fsp.State) string {
@@ -109,6 +154,11 @@ func intersects(xs, ys []fsp.Action) bool {
 // guaranteeing it reaches one of its leaves. Both processes must be
 // acyclic and P τ-free.
 func SolveAcyclic(p, q *fsp.FSP) (bool, error) {
+	return SolveAcyclicOpts(p, q, Options{})
+}
+
+// SolveAcyclicOpts is SolveAcyclic under an explicit budget and governor.
+func SolveAcyclicOpts(p, q *fsp.FSP, o Options) (bool, error) {
 	if err := checkP(p); err != nil {
 		return false, err
 	}
@@ -116,7 +166,7 @@ func SolveAcyclic(p, q *fsp.FSP) (bool, error) {
 		return false, fmt.Errorf("game: SolveAcyclic needs acyclic processes (P %s, Q %s)",
 			p.Classify(), q.Classify())
 	}
-	sv := &solver{p: p, q: q, budget: DefaultBudget, beliefs: make(map[string][]fsp.State)}
+	sv := &solver{p: p, q: q, budget: o.budget(), g: o.Guard, beliefs: make(map[string][]fsp.State)}
 	memo := make(map[node]bool)
 	startKey, startBelief := sv.intern(q.TauClosure([]fsp.State{q.Start()}))
 	win, err := sv.winAcyclic(p.Start(), startKey, startBelief, memo)
@@ -132,7 +182,13 @@ func (sv *solver) winAcyclic(p fsp.State, key string, belief []fsp.State, memo m
 		return v, nil
 	}
 	if len(memo) >= sv.budget {
-		return false, ErrBudget
+		return false, sv.limit(fmt.Errorf("game: %d positions: %w", len(memo), ErrBudget), len(memo))
+	}
+	if err := sv.poll(len(memo)); err != nil {
+		return false, err
+	}
+	if err := sv.g.Charge(1); err != nil {
+		return false, sv.limit(fmt.Errorf("game: %d positions: %w", len(memo), err), len(memo))
 	}
 	if sv.p.IsLeaf(p) {
 		memo[nd] = true
@@ -180,10 +236,15 @@ func (sv *solver) winAcyclic(p fsp.State, key string, belief []fsp.State, memo m
 // fixpoint over the reachable pair graph: positions are removed while they
 // are blocked, stuck, or forceable into removed positions.
 func SolveCyclic(p, q *fsp.FSP) (bool, error) {
+	return SolveCyclicOpts(p, q, Options{})
+}
+
+// SolveCyclicOpts is SolveCyclic under an explicit budget and governor.
+func SolveCyclicOpts(p, q *fsp.FSP, o Options) (bool, error) {
 	if err := checkP(p); err != nil {
 		return false, err
 	}
-	sv := &solver{p: p, q: q, budget: DefaultBudget, beliefs: make(map[string][]fsp.State)}
+	sv := &solver{p: p, q: q, budget: o.budget(), g: o.Guard, beliefs: make(map[string][]fsp.State)}
 	win, _, _, err := sv.cyclicFixpoint()
 	if err != nil {
 		return false, err
@@ -213,7 +274,10 @@ func ReachablePairs(p, q *fsp.FSP) (int, error) {
 		}
 		count++
 		if count > sv.budget {
-			return count, ErrBudget
+			return count, sv.limit(fmt.Errorf("game: %d positions: %w", count, ErrBudget), count)
+		}
+		if err := sv.poll(count); err != nil {
+			return count, err
 		}
 		for _, act := range sv.p.ActionsAt(nd.p) {
 			next := sv.q.Step(sv.beliefs[nd.key], act)

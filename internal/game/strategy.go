@@ -201,7 +201,13 @@ func (sv *solver) cyclicFixpoint() (map[node]bool, []node, map[node][]gameEdge, 
 		}
 		order = append(order, nd)
 		if len(order) > sv.budget {
-			return nil, nil, nil, ErrBudget
+			return nil, nil, nil, sv.limit(fmt.Errorf("game: %d positions: %w", len(order), ErrBudget), len(order))
+		}
+		if err := sv.poll(len(order)); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := sv.g.Charge(1); err != nil {
+			return nil, nil, nil, sv.limit(fmt.Errorf("game: %d positions: %w", len(order), err), len(order))
 		}
 		for _, act := range sv.p.ActionsAt(nd.p) {
 			next := sv.q.Step(sv.beliefs[nd.key], act)

@@ -1,0 +1,74 @@
+package faultinject_test
+
+import (
+	"errors"
+	"testing"
+
+	"fspnet/internal/guard"
+	"fspnet/internal/guard/faultinject"
+)
+
+func TestCancelAtFiresAtAndBeyondLevel(t *testing.T) {
+	h := faultinject.CancelAt("bfs", 2)
+	if err := h.Fire("bfs", 1); err != nil {
+		t.Errorf("Fire below level = %v, want nil", err)
+	}
+	if err := h.Fire("game", 5); err != nil {
+		t.Errorf("Fire on other pass = %v, want nil", err)
+	}
+	for _, lvl := range []int{2, 3, 100} {
+		if err := h.Fire("bfs", lvl); !errors.Is(err, guard.ErrCanceled) {
+			t.Errorf("Fire(bfs, %d) = %v, want ErrCanceled", lvl, err)
+		}
+	}
+	if h.Panic("bfs", 2) {
+		t.Error("cancel hook must never request a panic")
+	}
+}
+
+func TestDeadlineAtWrapsErrDeadline(t *testing.T) {
+	h := faultinject.DeadlineAt("compose", 0)
+	if err := h.Fire("compose", 0); !errors.Is(err, guard.ErrDeadline) {
+		t.Errorf("Fire = %v, want ErrDeadline", err)
+	}
+}
+
+func TestPanicAtOnlyPanics(t *testing.T) {
+	h := faultinject.PanicAt("bfs", 3)
+	if err := h.Fire("bfs", 3); err != nil {
+		t.Errorf("panic hook Fire = %v, want nil (panics happen via Panic)", err)
+	}
+	if h.Panic("bfs", 2) {
+		t.Error("Panic below level = true")
+	}
+	if h.Panic("game", 3) {
+		t.Error("Panic on other pass = true")
+	}
+	if !h.Panic("bfs", 3) || !h.Panic("bfs", 7) {
+		t.Error("Panic at/beyond level = false")
+	}
+}
+
+// TestHookThroughGovernor checks the governor consults hooks before any
+// other stop source and maps their verdicts onto Poll / ShouldPanic.
+func TestHookThroughGovernor(t *testing.T) {
+	g := guard.New(guard.Config{Hook: faultinject.CancelAt("bfs", 1)})
+	if err := g.Poll("bfs", 0); err != nil {
+		t.Fatalf("Poll below injection level = %v", err)
+	}
+	err := g.Poll("bfs", 1)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("Poll at injection level = %v, want ErrCanceled", err)
+	}
+
+	p := guard.New(guard.Config{Hook: faultinject.PanicAt("bfs", 2)})
+	if p.ShouldPanic("bfs", 1) {
+		t.Error("ShouldPanic below level = true")
+	}
+	if !p.ShouldPanic("bfs", 2) {
+		t.Error("ShouldPanic at level = false")
+	}
+	if err := p.Poll("bfs", 2); err != nil {
+		t.Errorf("panic hook must not trip Poll: %v", err)
+	}
+}

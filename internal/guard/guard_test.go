@@ -1,0 +1,193 @@
+package guard_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"fspnet/internal/explore"
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/game"
+	"fspnet/internal/guard"
+	"fspnet/internal/ilp"
+	"fspnet/internal/poss"
+)
+
+// pastDeadline is a fixed instant long before any test run, so deadline
+// expiry can be tested without consulting the wall clock.
+var pastDeadline = time.Unix(1, 0)
+
+func TestNilGovernor(t *testing.T) {
+	var g *guard.G
+	if err := g.Poll("bfs", 0); err != nil {
+		t.Errorf("nil Poll = %v", err)
+	}
+	if err := g.Charge(1 << 30); err != nil {
+		t.Errorf("nil Charge = %v", err)
+	}
+	if g.Used() != 0 {
+		t.Errorf("nil Used = %d", g.Used())
+	}
+	if g.ShouldPanic("bfs", 0) {
+		t.Error("nil ShouldPanic = true")
+	}
+	le := g.Limit(guard.ErrBudget, guard.Partial{Pass: "bfs"})
+	if le.Partial.Elapsed != 0 {
+		t.Errorf("nil Limit stamped elapsed %v", le.Partial.Elapsed)
+	}
+}
+
+func TestPollCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := guard.New(guard.Config{Context: ctx})
+	if err := g.Poll("bfs", 0); err != nil {
+		t.Fatalf("pre-cancel Poll = %v", err)
+	}
+	cancel()
+	err := g.Poll("bfs", 1)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("Poll after cancel = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause %v must keep wrapping context.Canceled", err)
+	}
+	if !guard.IsLimit(err) {
+		t.Errorf("IsLimit(%v) = false", err)
+	}
+}
+
+func TestPollContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), pastDeadline)
+	defer cancel()
+	err := guard.New(guard.Config{Context: ctx}).Poll("game", 0)
+	if !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("Poll = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cause %v must keep wrapping context.DeadlineExceeded", err)
+	}
+}
+
+func TestPollWallDeadline(t *testing.T) {
+	g := guard.New(guard.Config{Deadline: pastDeadline})
+	if err := g.Poll("bfs", 0); !errors.Is(err, guard.ErrDeadline) {
+		t.Fatalf("Poll = %v, want ErrDeadline", err)
+	}
+}
+
+func TestCharge(t *testing.T) {
+	g := guard.New(guard.Config{Budget: 10})
+	if err := g.Charge(5); err != nil {
+		t.Fatalf("Charge(5) = %v", err)
+	}
+	if err := g.Charge(5); err != nil {
+		t.Fatalf("Charge to exactly the budget = %v", err)
+	}
+	err := g.Charge(1)
+	if !errors.Is(err, guard.ErrBudget) {
+		t.Fatalf("Charge past the budget = %v, want ErrBudget", err)
+	}
+	if g.Used() != 11 {
+		t.Errorf("Used = %d, want 11", g.Used())
+	}
+}
+
+func TestLimitStampsElapsed(t *testing.T) {
+	g := guard.New(guard.Config{})
+	time.Sleep(time.Millisecond)
+	le := g.Limit(guard.ErrDeadline, guard.Partial{Pass: "bfs", States: 7})
+	if le.Partial.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", le.Partial.Elapsed)
+	}
+	if le.Partial.States != 7 || le.Partial.Pass != "bfs" {
+		t.Errorf("Partial mangled: %+v", le.Partial)
+	}
+}
+
+func TestBound(t *testing.T) {
+	if guard.Of(true) != guard.True || guard.Of(false) != guard.False {
+		t.Error("Of broken")
+	}
+	if guard.Unknown.Known() {
+		t.Error("Unknown.Known() = true")
+	}
+	if guard.Unknown.Contradicts(true) || guard.Unknown.Contradicts(false) {
+		t.Error("Unknown contradicts a verdict")
+	}
+	if !guard.True.Contradicts(false) || guard.True.Contradicts(true) {
+		t.Error("True.Contradicts broken")
+	}
+	if !guard.False.Contradicts(true) || guard.False.Contradicts(false) {
+		t.Error("False.Contradicts broken")
+	}
+}
+
+func TestLimitErrFormat(t *testing.T) {
+	le := &guard.LimitErr{
+		Reason:  guard.ErrBudget,
+		Partial: guard.Partial{States: 12, Depth: 3, Pass: "bfs", Su: guard.False},
+	}
+	msg := le.Error()
+	for _, want := range []string{"partial:", "pass=bfs", "states=12", "depth=3", "S_u=false", "S_c=?"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	if !errors.Is(le, guard.ErrBudget) {
+		t.Error("LimitErr must unwrap to its reason")
+	}
+}
+
+// TestBudgetSentinelUnification is the regression test for the unified
+// budget sentinel: every package-level budget error wraps guard.ErrBudget
+// while the legacy errors.Is targets keep matching.
+func TestBudgetSentinelUnification(t *testing.T) {
+	for name, sentinel := range map[string]error{
+		"poss.ErrBudget":    poss.ErrBudget,
+		"game.ErrBudget":    game.ErrBudget,
+		"ilp.ErrNodeBudget": ilp.ErrNodeBudget,
+		"explore.ErrBudget": explore.ErrBudget,
+	} {
+		if !errors.Is(sentinel, guard.ErrBudget) {
+			t.Errorf("%s does not wrap guard.ErrBudget", name)
+		}
+		if !guard.IsLimit(sentinel) {
+			t.Errorf("IsLimit(%s) = false", name)
+		}
+	}
+}
+
+// TestBudgetSentinelUnificationBehavioral runs real solvers into tiny
+// budgets and checks both the legacy and the unified targets match the
+// returned errors.
+func TestBudgetSentinelUnificationBehavioral(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := fsptest.TreeNetwork(r, fsptest.NetConfig{Procs: 5, ActionsPerEdge: 2, MaxStates: 4, TauProb: 0.2})
+
+	_, _, err := explore.UnavoidableAcyclic(n, 0, explore.Options{MaxStates: 1})
+	if !errors.Is(err, explore.ErrBudget) || !errors.Is(err, guard.ErrBudget) {
+		t.Errorf("explore budget error = %v, want both explore.ErrBudget and guard.ErrBudget", err)
+	}
+
+	q, err := n.Context(0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := poss.Of(q, 1); !errors.Is(err, poss.ErrBudget) || !errors.Is(err, guard.ErrBudget) {
+		t.Errorf("poss budget error = %v, want both poss.ErrBudget and guard.ErrBudget", err)
+	}
+
+	p := tauFreeLinear()
+	if _, err := game.SolveAcyclicOpts(p, q, game.Options{Budget: 1}); !errors.Is(err, game.ErrBudget) || !errors.Is(err, guard.ErrBudget) {
+		t.Errorf("game budget error = %v, want both game.ErrBudget and guard.ErrBudget", err)
+	}
+}
+
+// tauFreeLinear is a minimal τ-free process for the game entry point.
+func tauFreeLinear() *fsp.FSP {
+	return fsp.Linear("P", "e0_0", "e0_1")
+}

@@ -1,0 +1,98 @@
+package guard
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Bound is a three-valued answer for one of the paper's success
+// predicates: a truncated run may have already decided a predicate
+// (explore's monotone flags decide S_u/S_c the moment a stuck vector is
+// interned) even though the full analysis never finished.
+type Bound int8
+
+const (
+	// Unknown means the truncated run established nothing.
+	Unknown Bound = iota
+	// False means the predicate was already decided false.
+	False
+	// True means the predicate was already decided true.
+	True
+)
+
+// Of lifts a decided boolean verdict into a Bound.
+func Of(v bool) Bound {
+	if v {
+		return True
+	}
+	return False
+}
+
+// Known reports whether the bound carries a decision.
+func (b Bound) Known() bool { return b != Unknown }
+
+// Contradicts reports whether the bound disagrees with a decided verdict
+// — the property the fault-injection sweep asserts can never happen.
+func (b Bound) Contradicts(actual bool) bool {
+	return b.Known() && (b == True) != actual
+}
+
+func (b Bound) String() string {
+	switch b {
+	case False:
+		return "false"
+	case True:
+		return "true"
+	default:
+		return "?"
+	}
+}
+
+// Partial is what a truncated analysis still proved: how far it got and
+// which predicate values were already forced. Bounds are sound — a Known
+// bound equals the verdict the uncancelled run would return — because
+// they are taken only from monotone evidence (stuck vectors, blocked
+// flags, completed passes), never from in-flight approximations.
+type Partial struct {
+	// States is the number of joint states (or solver positions) interned
+	// when the run stopped, measured at the last completed barrier so the
+	// count is deterministic for a given stop point.
+	States int
+	// Depth is the BFS frontier depth reached (levels fully expanded).
+	Depth int
+	// Pass names the stage in progress when the run stopped ("bfs",
+	// "shape", "tau-cycle", "handshake-cycle", "game", "poss", "ilp", …).
+	Pass string
+	// Elapsed is wall time since the governor was built.
+	Elapsed time.Duration
+	// Su, Sc, Sa are the best bounds established for the paper's
+	// unavoidable-success, collaboration, and adversity predicates.
+	Su, Sc, Sa Bound
+}
+
+func (p Partial) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pass=%s states=%d depth=%d", p.Pass, p.States, p.Depth)
+	if p.Elapsed > 0 {
+		fmt.Fprintf(&b, " elapsed=%s", p.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, " S_u=%s S_c=%s S_a=%s", p.Su, p.Sc, p.Sa)
+	return b.String()
+}
+
+// LimitErr is the typed error every governed solver returns on
+// exhaustion. Reason wraps exactly one of ErrBudget, ErrCanceled,
+// ErrDeadline, or ErrPanic (plus any package-level sentinel such as
+// poss.ErrBudget), so errors.Is works for both the unified and the
+// legacy targets; Partial is the verdict the truncated run still proved.
+type LimitErr struct {
+	Reason  error
+	Partial Partial
+}
+
+func (e *LimitErr) Error() string {
+	return fmt.Sprintf("%v [partial: %s]", e.Reason, e.Partial)
+}
+
+func (e *LimitErr) Unwrap() error { return e.Reason }

@@ -1,9 +1,10 @@
 package ilp
 
 import (
-	"errors"
 	"fmt"
 	"math/big"
+
+	"fspnet/internal/guard"
 )
 
 // IPResult is the outcome of an integer solve.
@@ -14,10 +15,27 @@ type IPResult struct {
 }
 
 // ErrNodeBudget reports that branch and bound exceeded its node budget.
-var ErrNodeBudget = errors.New("ilp: branch-and-bound node budget exhausted")
+// It wraps guard.ErrBudget, the unified budget sentinel.
+var ErrNodeBudget = fmt.Errorf("ilp: branch-and-bound node budget exhausted: %w", guard.ErrBudget)
 
 // DefaultNodes bounds the branch-and-bound tree.
 const DefaultNodes = 1 << 18
+
+// pollStride amortizes governor polls: one Poll per stride of explored
+// branch-and-bound nodes. Smaller than the BFS strides because each node
+// pays for an exact rational LP solve.
+const pollStride = 256
+
+// Options configure a governed integer solve.
+type Options struct {
+	// Nodes bounds the branch-and-bound tree; ≤ 0 means DefaultNodes.
+	Nodes int
+	// Guard, when non-nil, governs the solve: cancellation and deadlines
+	// are polled every pollStride nodes, each node is charged against the
+	// joint budget, and every exhaustion path returns a *guard.LimitErr
+	// counting the nodes explored.
+	Guard *guard.G
+}
 
 // SolveIP maximizes C·x over integer points of A·x ≤ B, x ≥ 0, by
 // depth-first branch and bound over the exact LP relaxation. When the
@@ -25,11 +43,21 @@ const DefaultNodes = 1 << 18
 // feasible cone contains an integer ray whenever it contains a rational
 // one, and x = 0 is feasible in the paper's instances).
 func SolveIP(p *Problem) (*IPResult, error) {
-	return SolveIPBudget(p, DefaultNodes)
+	return SolveIPOpts(p, Options{})
 }
 
 // SolveIPBudget is SolveIP with an explicit node budget.
 func SolveIPBudget(p *Problem, nodes int) (*IPResult, error) {
+	return SolveIPOpts(p, Options{Nodes: nodes})
+}
+
+// SolveIPOpts is SolveIP under an explicit node budget and governor.
+func SolveIPOpts(p *Problem, o Options) (*IPResult, error) {
+	nodes := o.Nodes
+	if nodes <= 0 {
+		nodes = DefaultNodes
+	}
+	g := o.Guard
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -48,12 +76,23 @@ func SolveIPBudget(p *Problem, nodes int) (*IPResult, error) {
 		best      *IPResult
 		remaining = nodes
 	)
+	limit := func(reason error) error {
+		return g.Limit(reason, guard.Partial{States: nodes - remaining, Pass: "ilp"})
+	}
 	// branch explores the subproblem `sub` whose LP optimum is `lp`.
 	var branch func(sub *Problem, lp *LPResult) error
 	branch = func(sub *Problem, lp *LPResult) error {
 		remaining--
 		if remaining < 0 {
-			return ErrNodeBudget
+			return limit(fmt.Errorf("ilp: %d nodes: %w", nodes, ErrNodeBudget))
+		}
+		if used := nodes - remaining; used%pollStride == 0 {
+			if err := g.Poll("ilp", used/pollStride); err != nil {
+				return limit(fmt.Errorf("ilp: stopped at %d nodes: %w", used, err))
+			}
+		}
+		if err := g.Charge(1); err != nil {
+			return limit(fmt.Errorf("ilp: at %d nodes: %w", nodes-remaining, err))
 		}
 		if best != nil && lp.Value.Cmp(best.Value) <= 0 {
 			return nil // bound: relaxation cannot beat the incumbent

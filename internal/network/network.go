@@ -59,11 +59,14 @@ func New(procs ...*fsp.FSP) (*Network, error) {
 	return &Network{procs: append([]*fsp.FSP(nil), procs...)}, nil
 }
 
-// MustNew is New for static definitions; it panics on error.
+// MustNew is New for static fixtures whose validity is established by the
+// source text itself (tests, examples); it panics on error. Code paths
+// that build networks from runtime inputs — generators, parsers, anything
+// reachable from a CLI — must use New and return the error instead.
 func MustNew(procs ...*fsp.FSP) *Network {
 	n, err := New(procs...)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("network.MustNew on a non-static definition (use New): %v", err))
 	}
 	return n
 }

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"fspnet/internal/fsp"
+	"fspnet/internal/guard"
 )
 
 var (
@@ -23,9 +24,14 @@ var (
 	// ErrBudget reports that enumeration exceeded the caller's budget. For
 	// general acyclic processes the possibility set can be exponential in
 	// the process size — this is exactly the hardness source of Theorem 1,
-	// surfaced in the API rather than hidden.
-	ErrBudget = errors.New("poss: enumeration budget exhausted")
+	// surfaced in the API rather than hidden. It wraps guard.ErrBudget,
+	// the unified budget sentinel.
+	ErrBudget = fmt.Errorf("poss: enumeration budget exhausted: %w", guard.ErrBudget)
 )
+
+// pollStride amortizes governor polls: one Poll per stride of enumeration
+// work units.
+const pollStride = 1024
 
 // DefaultBudget bounds possibility enumeration when callers have no better
 // estimate. Tree processes never get near it (|Poss| ≤ |K|).
@@ -132,6 +138,14 @@ func NewSet(items []Possibility) *Set {
 // in doubt. Returns ErrCyclic for cyclic processes and ErrBudget when the
 // bound is exceeded.
 func Of(p *fsp.FSP, budget int) (*Set, error) {
+	return OfGuarded(p, budget, nil)
+}
+
+// OfGuarded is Of under a governor: cancellation and deadlines are polled
+// every pollStride work units, each unit is charged against the joint
+// budget, and every exhaustion path returns a *guard.LimitErr counting
+// the work done. A nil governor makes it identical to Of.
+func OfGuarded(p *fsp.FSP, budget int, g *guard.G) (*Set, error) {
 	if !p.IsAcyclic() {
 		return nil, fmt.Errorf("%s: %w", p.Name(), ErrCyclic)
 	}
@@ -139,11 +153,28 @@ func Of(p *fsp.FSP, budget int) (*Set, error) {
 		items []Possibility
 		work  int
 	)
-	var walk func(s []fsp.Action, set []fsp.State) error
-	walk = func(s []fsp.Action, set []fsp.State) error {
+	limit := func(reason error) error {
+		return g.Limit(reason, guard.Partial{States: work, Pass: "poss"})
+	}
+	step := func() error {
 		work++
 		if work > budget {
-			return fmt.Errorf("%s: %w", p.Name(), ErrBudget)
+			return limit(fmt.Errorf("%s: %w", p.Name(), ErrBudget))
+		}
+		if work%pollStride == 0 {
+			if err := g.Poll("poss", work/pollStride); err != nil {
+				return limit(fmt.Errorf("%s: %w", p.Name(), err))
+			}
+		}
+		if err := g.Charge(1); err != nil {
+			return limit(fmt.Errorf("%s: %w", p.Name(), err))
+		}
+		return nil
+	}
+	var walk func(s []fsp.Action, set []fsp.State) error
+	walk = func(s []fsp.Action, set []fsp.State) error {
+		if err := step(); err != nil {
+			return err
 		}
 		seenZ := make(map[string]bool)
 		for _, q := range set {
@@ -157,9 +188,8 @@ func Of(p *fsp.FSP, budget int) (*Set, error) {
 			}
 			seenZ[key] = true
 			items = append(items, Possibility{S: append([]fsp.Action(nil), s...), Z: z})
-			work++
-			if work > budget {
-				return fmt.Errorf("%s: %w", p.Name(), ErrBudget)
+			if err := step(); err != nil {
+				return err
 			}
 		}
 		for _, a := range availableActions(p, set) {

@@ -94,22 +94,36 @@ func AnalyzeCyclic(n *network.Network, i int) (Verdict, error) {
 	return AnalyzeCyclicOpts(n, i, Options{})
 }
 
-// analyzeCyclicCompose is the compose-then-explore reference path.
-func analyzeCyclicCompose(n *network.Network, i int) (Verdict, error) {
+// analyzeCyclicCompose is the compose-then-explore reference path. The
+// governor is polled at each stage boundary (composition and the three
+// predicates); the stages themselves are the uninterruptible oracle.
+func analyzeCyclicCompose(n *network.Network, i int, o Options) (Verdict, error) {
+	if err := composePoll(o.Guard, 0); err != nil {
+		return Verdict{}, err
+	}
 	p := n.Process(i)
 	q, err := n.Context(i, true)
 	if err != nil {
 		return Verdict{}, err
 	}
 	var v Verdict
+	if err := composePoll(o.Guard, 1); err != nil {
+		return Verdict{}, err
+	}
 	if v.Su, err = UnavoidableCyclic(p, q); err != nil {
+		return Verdict{}, err
+	}
+	if err := composePoll(o.Guard, 2); err != nil {
 		return Verdict{}, err
 	}
 	if v.Sc, err = CollaborationCyclic(p, q); err != nil {
 		return Verdict{}, err
 	}
-	if v.Sa, err = AdversityCyclic(p, q); err != nil {
+	if err := composePoll(o.Guard, 3); err != nil {
 		return Verdict{}, err
+	}
+	if v.Sa, err = game.SolveCyclicOpts(p, q, gameOpts(o)); err != nil {
+		return Verdict{}, enrichGameLimit(err, v.Su, v.Sc)
 	}
 	return v, nil
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 
 	"fspnet/internal/explore"
+	"fspnet/internal/game"
+	"fspnet/internal/guard"
 	"fspnet/internal/network"
 )
 
@@ -31,10 +33,42 @@ type Options struct {
 	Backend   Backend
 	Workers   int // explore frontier parallelism (≤ 0: GOMAXPROCS); verdicts never depend on it
 	MaxStates int // explore joint-state budget (≤ 0: explore.DefaultMaxStates)
+	// Guard, when non-nil, governs the analysis end to end: the explore
+	// engine polls it at BFS level barriers, the S_a game every stride of
+	// positions, and the compose backend at stage boundaries. Exhaustion
+	// surfaces as a *guard.LimitErr whose partial verdict carries any
+	// predicate already decided.
+	Guard *guard.G
 }
 
 func engineOpts(o Options) explore.Options {
-	return explore.Options{Workers: o.Workers, MaxStates: o.MaxStates}
+	return explore.Options{Workers: o.Workers, MaxStates: o.MaxStates, Guard: o.Guard}
+}
+
+func gameOpts(o Options) game.Options {
+	return game.Options{Guard: o.Guard}
+}
+
+// composePoll is the compose-path governor check: one poll per stage
+// boundary (composition, then each predicate). The composed stages
+// themselves are the oracle path and stay uninterruptible inside.
+func composePoll(g *guard.G, level int) error {
+	if err := g.Poll("compose", level); err != nil {
+		return g.Limit(fmt.Errorf("success: compose backend: %w", err), guard.Partial{Pass: "compose"})
+	}
+	return nil
+}
+
+// enrichGameLimit copies the engine-decided S_u/S_c verdicts into a
+// *guard.LimitErr produced by the S_a game, so the partial verdict
+// reports everything the run had already proved.
+func enrichGameLimit(err error, su, sc bool) error {
+	var le *guard.LimitErr
+	if errors.As(err, &le) {
+		le.Partial.Su = guard.Of(su)
+		le.Partial.Sc = guard.Of(sc)
+	}
+	return err
 }
 
 // wrapEngineErr keeps the package's error contract across backends: a
@@ -54,19 +88,27 @@ func wrapEngineErr(err error) error {
 // AnalyzeAcyclicOpts is AnalyzeAcyclic with an explicit backend choice.
 func AnalyzeAcyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
 	if o.Backend == BackendCompose {
-		return analyzeAcyclicCompose(n, i)
+		return analyzeAcyclicCompose(n, i, o)
 	}
 	res, err := explore.AnalyzeAcyclic(n, i, engineOpts(o))
 	if err != nil {
 		return Verdict{}, wrapEngineErr(err)
 	}
 	v := Verdict{Su: res.Su, Sc: res.Sc}
+	// Pass boundary between the engine and the S_a game: the context is
+	// about to be composed, which the governor cannot subdivide.
+	if err := o.Guard.Poll("compose", 0); err != nil {
+		return Verdict{}, o.Guard.Limit(fmt.Errorf("success: before S_a game: %w", err), guard.Partial{
+			States: res.Stats.States, Depth: res.Stats.Depth, Pass: "compose",
+			Su: guard.Of(v.Su), Sc: guard.Of(v.Sc),
+		})
+	}
 	q, err := n.Context(i, false)
 	if err != nil {
 		return Verdict{}, err
 	}
-	if v.Sa, err = AdversityAcyclic(n.Process(i), q); err != nil {
-		return Verdict{}, err
+	if v.Sa, err = game.SolveAcyclicOpts(n.Process(i), q, gameOpts(o)); err != nil {
+		return Verdict{}, enrichGameLimit(err, v.Su, v.Sc)
 	}
 	return v, nil
 }
@@ -74,19 +116,25 @@ func AnalyzeAcyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
 // AnalyzeCyclicOpts is AnalyzeCyclic with an explicit backend choice.
 func AnalyzeCyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
 	if o.Backend == BackendCompose {
-		return analyzeCyclicCompose(n, i)
+		return analyzeCyclicCompose(n, i, o)
 	}
 	res, err := explore.AnalyzeCyclic(n, i, engineOpts(o))
 	if err != nil {
 		return Verdict{}, wrapEngineErr(err)
 	}
 	v := Verdict{Su: res.Su, Sc: res.Sc}
+	if err := o.Guard.Poll("compose", 0); err != nil {
+		return Verdict{}, o.Guard.Limit(fmt.Errorf("success: before S_a game: %w", err), guard.Partial{
+			States: res.Stats.States, Depth: res.Stats.Depth, Pass: "compose",
+			Su: guard.Of(v.Su), Sc: guard.Of(v.Sc),
+		})
+	}
 	q, err := n.Context(i, true)
 	if err != nil {
 		return Verdict{}, err
 	}
-	if v.Sa, err = AdversityCyclic(n.Process(i), q); err != nil {
-		return Verdict{}, err
+	if v.Sa, err = game.SolveCyclicOpts(n.Process(i), q, gameOpts(o)); err != nil {
+		return Verdict{}, enrichGameLimit(err, v.Su, v.Sc)
 	}
 	return v, nil
 }
@@ -95,7 +143,7 @@ func AnalyzeCyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
 // backend choice.
 func UnavoidableAcyclicNetOpts(n *network.Network, i int, o Options) (bool, error) {
 	if o.Backend == BackendCompose {
-		return unavoidableAcyclicNetCompose(n, i)
+		return unavoidableAcyclicNetCompose(n, i, o)
 	}
 	su, _, err := explore.UnavoidableAcyclic(n, i, engineOpts(o))
 	return su, wrapEngineErr(err)
@@ -105,7 +153,7 @@ func UnavoidableAcyclicNetOpts(n *network.Network, i int, o Options) (bool, erro
 // backend choice.
 func CollaborationAcyclicNetOpts(n *network.Network, i int, o Options) (bool, error) {
 	if o.Backend == BackendCompose {
-		return collaborationAcyclicNetCompose(n, i)
+		return collaborationAcyclicNetCompose(n, i, o)
 	}
 	sc, _, err := explore.CollaborationAcyclic(n, i, engineOpts(o))
 	return sc, wrapEngineErr(err)
@@ -115,7 +163,7 @@ func CollaborationAcyclicNetOpts(n *network.Network, i int, o Options) (bool, er
 // backend choice.
 func UnavoidableCyclicNetOpts(n *network.Network, i int, o Options) (bool, error) {
 	if o.Backend == BackendCompose {
-		return unavoidableCyclicNetCompose(n, i)
+		return unavoidableCyclicNetCompose(n, i, o)
 	}
 	su, _, err := explore.UnavoidableCyclic(n, i, engineOpts(o))
 	return su, wrapEngineErr(err)
@@ -125,7 +173,7 @@ func UnavoidableCyclicNetOpts(n *network.Network, i int, o Options) (bool, error
 // backend choice.
 func CollaborationCyclicNetOpts(n *network.Network, i int, o Options) (bool, error) {
 	if o.Backend == BackendCompose {
-		return collaborationCyclicNetCompose(n, i)
+		return collaborationCyclicNetCompose(n, i, o)
 	}
 	sc, _, err := explore.CollaborationCyclic(n, i, engineOpts(o))
 	return sc, wrapEngineErr(err)

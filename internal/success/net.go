@@ -15,7 +15,10 @@ func UnavoidableAcyclicNet(n *network.Network, i int) (bool, error) {
 	return UnavoidableAcyclicNetOpts(n, i, Options{})
 }
 
-func unavoidableAcyclicNetCompose(n *network.Network, i int) (bool, error) {
+func unavoidableAcyclicNetCompose(n *network.Network, i int, o Options) (bool, error) {
+	if err := composePoll(o.Guard, 0); err != nil {
+		return false, err
+	}
 	q, err := n.Context(i, false)
 	if err != nil {
 		return false, err
@@ -28,7 +31,10 @@ func CollaborationAcyclicNet(n *network.Network, i int) (bool, error) {
 	return CollaborationAcyclicNetOpts(n, i, Options{})
 }
 
-func collaborationAcyclicNetCompose(n *network.Network, i int) (bool, error) {
+func collaborationAcyclicNetCompose(n *network.Network, i int, o Options) (bool, error) {
+	if err := composePoll(o.Guard, 0); err != nil {
+		return false, err
+	}
 	q, err := n.Context(i, false)
 	if err != nil {
 		return false, err
@@ -51,7 +57,10 @@ func UnavoidableCyclicNet(n *network.Network, i int) (bool, error) {
 	return UnavoidableCyclicNetOpts(n, i, Options{})
 }
 
-func unavoidableCyclicNetCompose(n *network.Network, i int) (bool, error) {
+func unavoidableCyclicNetCompose(n *network.Network, i int, o Options) (bool, error) {
+	if err := composePoll(o.Guard, 0); err != nil {
+		return false, err
+	}
 	q, err := n.Context(i, true)
 	if err != nil {
 		return false, err
@@ -64,7 +73,10 @@ func CollaborationCyclicNet(n *network.Network, i int) (bool, error) {
 	return CollaborationCyclicNetOpts(n, i, Options{})
 }
 
-func collaborationCyclicNetCompose(n *network.Network, i int) (bool, error) {
+func collaborationCyclicNetCompose(n *network.Network, i int, o Options) (bool, error) {
+	if err := composePoll(o.Guard, 0); err != nil {
+		return false, err
+	}
 	q, err := n.Context(i, true)
 	if err != nil {
 		return false, err

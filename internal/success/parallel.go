@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"fspnet/internal/guard"
 	"fspnet/internal/network"
 )
 
@@ -28,6 +29,13 @@ func AnalyzeAll(ctx context.Context, n *network.Network, cyclic bool, workers in
 }
 
 func analyzeAll(ctx context.Context, n *network.Network, cyclic bool, workers int, o Options) ([]Result, error) {
+	// Cancellation used to be observed only between processes; deriving a
+	// governor from the context lets it also stop a per-process analysis
+	// at its next BFS level barrier or game stride. The governor is
+	// shared: its atomic budget (if any) is joint across processes.
+	if o.Guard == nil && ctx != nil {
+		o.Guard = guard.New(guard.Config{Context: ctx})
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

@@ -145,22 +145,36 @@ func AnalyzeAcyclic(n *network.Network, i int) (Verdict, error) {
 	return AnalyzeAcyclicOpts(n, i, Options{})
 }
 
-// analyzeAcyclicCompose is the compose-then-explore reference path.
-func analyzeAcyclicCompose(n *network.Network, i int) (Verdict, error) {
+// analyzeAcyclicCompose is the compose-then-explore reference path. The
+// governor is polled at each stage boundary (composition and the three
+// predicates); the stages themselves are the uninterruptible oracle.
+func analyzeAcyclicCompose(n *network.Network, i int, o Options) (Verdict, error) {
+	if err := composePoll(o.Guard, 0); err != nil {
+		return Verdict{}, err
+	}
 	p := n.Process(i)
 	q, err := n.Context(i, false)
 	if err != nil {
 		return Verdict{}, err
 	}
 	var v Verdict
+	if err := composePoll(o.Guard, 1); err != nil {
+		return Verdict{}, err
+	}
 	if v.Su, err = UnavoidableAcyclic(p, q); err != nil {
+		return Verdict{}, err
+	}
+	if err := composePoll(o.Guard, 2); err != nil {
 		return Verdict{}, err
 	}
 	if v.Sc, err = CollaborationAcyclic(p, q); err != nil {
 		return Verdict{}, err
 	}
-	if v.Sa, err = AdversityAcyclic(p, q); err != nil {
+	if err := composePoll(o.Guard, 3); err != nil {
 		return Verdict{}, err
+	}
+	if v.Sa, err = game.SolveAcyclicOpts(p, q, gameOpts(o)); err != nil {
+		return Verdict{}, enrichGameLimit(err, v.Su, v.Sc)
 	}
 	return v, nil
 }

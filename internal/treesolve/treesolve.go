@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"fspnet/internal/fsp"
+	"fspnet/internal/guard"
 	"fspnet/internal/network"
 	"fspnet/internal/poss"
 	"fspnet/internal/success"
@@ -38,11 +39,17 @@ type Options struct {
 	// verdicts are unchanged (Lemma 2 guarantees equivalence); only the
 	// sizes and times differ.
 	NoNormalForm bool
-	// Fallback retries a possibility-budget failure with the reference
-	// analysis (success.AnalyzeAcyclic, which explores joint state
-	// vectors on the fly and never pays for the blown-up subtree
-	// composition). Verdicts other than budget failures are unaffected.
+	// Fallback retries a budget failure with the reference analysis
+	// (success.AnalyzeAcyclic, which explores joint state vectors on the
+	// fly and never pays for the blown-up subtree composition). Verdicts
+	// other than budget failures are unaffected; cancellation and
+	// deadline failures propagate rather than fall back — the caller's
+	// time is already spent.
 	Fallback bool
+	// Guard, when non-nil, governs the solve: it is polled at each
+	// subtree normal-form boundary (and inside possibility enumeration),
+	// and it is threaded into the fallback analysis when one runs.
+	Guard *guard.G
 }
 
 func (o Options) budget() int {
@@ -52,18 +59,43 @@ func (o Options) budget() int {
 	return o.Budget
 }
 
+// Outcome reports which stage of the fallback chain produced a verdict,
+// so callers can tell a clean Theorem 3 solve from a degraded run.
+type Outcome struct {
+	// Stage names the stage that produced the verdict (or failed):
+	// "normal-form" for the Theorem 3 reduction, "reference-fallback"
+	// when a budget failure was retried with the reference analysis.
+	Stage string
+	// Degraded reports that the normal-form stage was abandoned.
+	Degraded bool
+	// Cause is the error that forced the degradation (nil otherwise).
+	Cause error
+}
+
 // Analyze decides the three predicates for the distinguished process dist
 // of a tree network of acyclic processes. The distinguished process must
 // be τ-free.
 func Analyze(n *network.Network, dist int, opts Options) (success.Verdict, error) {
+	v, _, err := AnalyzeReport(n, dist, opts)
+	return v, err
+}
+
+// AnalyzeReport is Analyze plus an Outcome describing which stage of the
+// fallback chain the verdict came from.
+func AnalyzeReport(n *network.Network, dist int, opts Options) (success.Verdict, Outcome, error) {
 	star, err := Reduce(n, dist, opts)
 	if err != nil {
-		if opts.Fallback && errors.Is(err, poss.ErrBudget) {
-			return success.AnalyzeAcyclic(n, dist)
+		// Any budget exhaustion (possibility enumeration or the joint
+		// guard budget) can be retried on the reference path; governor
+		// cancellations and deadlines cannot.
+		if opts.Fallback && errors.Is(err, guard.ErrBudget) {
+			v, ferr := success.AnalyzeAcyclicOpts(n, dist, success.Options{Guard: opts.Guard})
+			return v, Outcome{Stage: "reference-fallback", Degraded: true, Cause: err}, ferr
 		}
-		return success.Verdict{}, err
+		return success.Verdict{}, Outcome{Stage: "normal-form", Cause: err}, err
 	}
-	return star.Decide()
+	v, err := star.Decide()
+	return v, Outcome{Stage: "normal-form"}, err
 }
 
 // AnalyzeKTree composes the classes of a k-tree partition (the class of
@@ -151,6 +183,13 @@ func Reduce(n *network.Network, dist int, opts Options) (*Star, error) {
 	// the v–parent alphabet.
 	var normalForm func(v int) (*fsp.FSP, error)
 	normalForm = func(v int) (*fsp.FSP, error) {
+		// One poll per subtree boundary: composing and enumerating a
+		// subtree is the unit of work the reduction cannot subdivide.
+		if err := opts.Guard.Poll("treesolve", v); err != nil {
+			return nil, opts.Guard.Limit(
+				fmt.Errorf("treesolve: subtree at %s: %w", n.Process(v).Name(), err),
+				guard.Partial{Pass: "treesolve"})
+		}
 		m := n.Process(v)
 		for _, c := range children[v] {
 			nf, err := normalForm(c)
@@ -162,7 +201,7 @@ func Reduce(n *network.Network, dist int, opts Options) (*Star, error) {
 		if opts.NoNormalForm {
 			return m, nil
 		}
-		set, err := poss.Of(m, opts.budget())
+		set, err := poss.OfGuarded(m, opts.budget(), opts.Guard)
 		if err != nil {
 			return nil, fmt.Errorf("subtree at %s: %w", n.Process(v).Name(), err)
 		}

@@ -1,12 +1,14 @@
 package treesolve
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
 
 	"fspnet/internal/fsp"
 	"fspnet/internal/fsptest"
+	"fspnet/internal/guard"
 	"fspnet/internal/network"
 	"fspnet/internal/poss"
 	"fspnet/internal/success"
@@ -300,5 +302,56 @@ func TestLeafSizes(t *testing.T) {
 	}
 	if len(withNF.LeafSizes()) != len(raw.LeafSizes()) {
 		t.Fatal("leaf counts differ")
+	}
+}
+
+// TestAnalyzeReportDegradedOutcome checks the fallback chain's reporting:
+// a blown budget retried on the reference path is flagged as a degraded
+// reference-fallback run whose Cause carries the unified budget sentinel,
+// while a clean solve reports the normal-form stage.
+func TestAnalyzeReportDegradedOutcome(t *testing.T) {
+	r := rand.New(rand.NewSource(419))
+	cfg := fsptest.NetConfig{Procs: 4, ActionsPerEdge: 2, MaxStates: 6, TauProb: 0.2}
+	n := fsptest.TreeNetwork(r, cfg)
+
+	got, out, err := AnalyzeReport(n, 0, Options{Budget: 1, Fallback: true})
+	if err != nil {
+		t.Fatalf("AnalyzeReport with Fallback: %v", err)
+	}
+	if out.Stage != "reference-fallback" || !out.Degraded {
+		t.Errorf("outcome = %+v, want degraded reference-fallback", out)
+	}
+	if !errors.Is(out.Cause, guard.ErrBudget) || !errors.Is(out.Cause, poss.ErrBudget) {
+		t.Errorf("cause = %v, want both guard.ErrBudget and poss.ErrBudget", out.Cause)
+	}
+	want, err := success.AnalyzeAcyclic(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("degraded verdict = %v, reference = %v", got, want)
+	}
+
+	if _, out, err := AnalyzeReport(n, 0, Options{}); err != nil || out.Stage != "normal-form" || out.Degraded {
+		t.Errorf("clean solve: err=%v outcome=%+v, want normal-form, not degraded", err, out)
+	}
+}
+
+// TestAnalyzeCancellationDoesNotFallBack checks that a governor
+// cancellation propagates instead of triggering the reference fallback —
+// the caller's time is already spent.
+func TestAnalyzeCancellationDoesNotFallBack(t *testing.T) {
+	r := rand.New(rand.NewSource(419))
+	cfg := fsptest.NetConfig{Procs: 4, ActionsPerEdge: 2, MaxStates: 6, TauProb: 0.2}
+	n := fsptest.TreeNetwork(r, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := guard.New(guard.Config{Context: ctx})
+	_, out, err := AnalyzeReport(n, 0, Options{Fallback: true, Guard: g})
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if out.Degraded || out.Stage == "reference-fallback" {
+		t.Errorf("outcome = %+v: cancellation must not fall back", out)
 	}
 }
