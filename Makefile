@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-fault bench bench-smoke experiments experiments-quick experiments-json vet lint fuzz-short cover examples clean
+.PHONY: all build test test-race test-fault serve-test serve-smoke bench bench-smoke experiments experiments-quick experiments-json vet lint fuzz-short cover examples clean
 
 all: build vet lint test
 
@@ -31,9 +31,23 @@ test-race:
 test-fault:
 	$(GO) test -race -timeout 5m -run FaultInject ./...
 
-# fuzz-short gives each fuzz target a 10s budget, the same wiring CI uses.
+# serve-test runs the fspd analysis-service suites (HTTP handlers, verdict
+# cache, shared JSON codec, daemon lifecycle) under the race detector.
+# See docs/SERVICE.md.
+serve-test:
+	$(GO) test -race -timeout 5m ./internal/serve ./internal/verdictjson ./cmd/fspd
+
+# serve-smoke is the black-box service check CI runs: build fspd, start
+# it, drive it with curl against testdata/philosophers10.fsp, assert a
+# cache hit on the second request via /statusz, SIGTERM, expect exit 0.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
+# fuzz-short gives each fuzz target a 10s budget, the same wiring CI uses
+# (go test accepts one -fuzz pattern per run, hence two invocations).
 fuzz-short:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/fsplang
+	$(GO) test -fuzz=FuzzFormatRoundTrip -fuzztime=10s ./internal/fsplang
 
 test-verbose:
 	$(GO) test -count=1 -v ./... 2>&1 | tee test_output.txt

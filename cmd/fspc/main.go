@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	fspc [-p N] [-algo auto|reference|tree|linear|unary] [-timeout 10s] [-dot] file.fsp
+//	fspc [-p N] [-algo auto|reference|tree|linear|unary] [-format text|json] [-timeout 10s] [-dot] file.fsp
 //
 // With "-" as the file, input is read from stdin. When -timeout expires
 // before the analysis finishes, fspc exits with code 3 and prints the
@@ -16,7 +16,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,6 +33,7 @@ import (
 	"fspnet/internal/success"
 	"fspnet/internal/treesolve"
 	"fspnet/internal/unary"
+	"fspnet/internal/verdictjson"
 )
 
 func main() {
@@ -69,7 +69,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			"S_u/S_c backend for the reference algorithm: explore (on-the-fly joint vectors) or compose (materialized context)")
 		dot      = fs.Bool("dot", false, "emit Graphviz for every process instead of analyzing")
 		all      = fs.Bool("all", false, "analyze every process (concurrently) instead of just -p")
-		jsonOut  = fs.Bool("json", false, "emit a machine-readable JSON report (reference algorithm)")
+		format   = fs.String("format", "text", "output format: text, or json (reference algorithm, verdictjson records — byte-identical to the fspd service)")
+		jsonOut  = fs.Bool("json", false, "shorthand for -format json")
 		witness  = fs.Bool("witness", false, "print collaboration and blocking traces (acyclic networks)")
 		strategy = fs.Bool("strategy", false, "print a winning strategy for the adversity game when one exists")
 		timeout  = fs.Duration("timeout", 0, "wall-clock deadline for the analysis (0 = none); exits 3 with a partial verdict")
@@ -116,8 +117,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 		return nil
 	}
-	if *jsonOut {
+	switch *format {
+	case "text":
+		if *jsonOut {
+			return jsonReport(stdout, n, *dist, *all, opts)
+		}
+	case "json":
 		return jsonReport(stdout, n, *dist, *all, opts)
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
 	}
 	describe(stdout, n, *dist)
 	if *all {
@@ -338,12 +346,14 @@ func tauFree(p *fsp.FSP) bool {
 	return true
 }
 
-// report is the machine-readable (-json) output schema.
+// report is the machine-readable (-format json) output schema. Results
+// carries the shared verdictjson records, so a per-process outcome here
+// is byte-identical to the record the fspd service caches and serves.
 type report struct {
-	Processes []processInfo  `json:"processes"`
-	CN        graphInfo      `json:"communicationGraph"`
-	Algorithm string         `json:"algorithm"`
-	Results   []verdictEntry `json:"results"`
+	Processes []processInfo        `json:"processes"`
+	CN        graphInfo            `json:"communicationGraph"`
+	Algorithm string               `json:"algorithm"`
+	Results   []verdictjson.Record `json:"results"`
 }
 
 type processInfo struct {
@@ -361,15 +371,11 @@ type graphInfo struct {
 	MaxBlock int  `json:"maxBiconnectedBlock"`
 }
 
-type verdictEntry struct {
-	Process string `json:"process"`
-	Su      *bool  `json:"unavoidable,omitempty"`
-	Sa      *bool  `json:"adversity,omitempty"`
-	Sc      *bool  `json:"collaboration,omitempty"`
-	Error   string `json:"error,omitempty"`
-}
-
 // jsonReport analyzes with the reference procedures and emits the report.
+// A governor stop (deadline, budget) becomes a status "partial" record
+// for that process — the remaining processes still run — and the first
+// such error is returned after the report is written, so the exit code
+// (3) and stderr diagnostics match the text path.
 func jsonReport(w io.Writer, n *network.Network, dist int, all bool, opts success.Options) error {
 	rep := report{Algorithm: "reference"}
 	for i := 0; i < n.Len(); i++ {
@@ -396,8 +402,9 @@ func jsonReport(w io.Writer, n *network.Network, dist int, all bool, opts succes
 			targets = append(targets, i)
 		}
 	}
+	var limitErr error
 	for _, i := range targets {
-		entry := verdictEntry{Process: n.Process(i).Name()}
+		name := n.Process(i).Name()
 		var (
 			v   success.Verdict
 			err error
@@ -408,14 +415,16 @@ func jsonReport(w io.Writer, n *network.Network, dist int, all bool, opts succes
 			v, err = success.AnalyzeAcyclicOpts(n, i, opts)
 		}
 		if err != nil {
-			entry.Error = err.Error()
+			rep.Results = append(rep.Results, verdictjson.FromError(name, err))
+			if limitErr == nil && guard.IsLimit(err) {
+				limitErr = err
+			}
 		} else {
-			su, sa, sc := v.Su, v.Sa, v.Sc
-			entry.Su, entry.Sa, entry.Sc = &su, &sa, &sc
+			rep.Results = append(rep.Results, verdictjson.OK(name, v))
 		}
-		rep.Results = append(rep.Results, entry)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := verdictjson.Encode(w, rep); err != nil {
+		return err
+	}
+	return limitErr
 }

@@ -1,0 +1,105 @@
+// Command fspd serves the fspnet analyses over HTTP: it accepts fsplang
+// networks, canonicalizes them, and answers the success predicates from a
+// content-addressed verdict cache, running misses on a governed worker
+// pool. See docs/SERVICE.md for the API.
+//
+// Usage:
+//
+//	fspd [-addr :8373] [-workers 2] [-queue 64] [-cache 1024]
+//	     [-max-timeout 60s] [-max-budget N] [-grace 10s]
+//
+// On SIGTERM or SIGINT the daemon drains: it stops accepting connections,
+// gives in-flight analyses the -grace period to finish, then cancels
+// their governors so they answer with partial verdicts, and exits 0.
+//
+//	curl -s --data-binary @testdata/philosophers10.fsp \
+//	    'localhost:8373/v1/analyze?process=0&predicates=reach'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fspnet/internal/serve"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	if err := run(os.Args[1:], os.Stdout, sig, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "fspd:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, serves until an error or a signal, and on a signal
+// drains gracefully and returns nil (exit 0). ready, when non-nil,
+// receives the bound address once the listener is up — the test (and
+// smoke-script) rendezvous.
+func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready chan<- string) error {
+	fs := flag.NewFlagSet("fspd", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		addr       = fs.String("addr", ":8373", "listen address")
+		workers    = fs.Int("workers", 0, "concurrent analyses (0 = default of 2; each analysis is internally parallel)")
+		queue      = fs.Int("queue", serve.DefaultQueueDepth, "admission queue depth beyond the worker pool; a full queue answers 429")
+		cacheSize  = fs.Int("cache", serve.DefaultCacheEntries, "verdict cache entries (LRU)")
+		maxTimeout = fs.Duration("max-timeout", 60*time.Second, "cap and default for per-request deadlines (0 = none)")
+		maxBudget  = fs.Int("max-budget", 0, "cap and default for per-request joint state budgets (0 = none)")
+		grace      = fs.Duration("grace", 10*time.Second, "drain grace period before in-flight analyses are cancelled")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h is a successful outcome, not a failure
+		}
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	s := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheSize,
+		MaxTimeout:   *maxTimeout,
+		MaxBudget:    *maxBudget,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fspd: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+	select {
+	case err := <-served:
+		return err
+	case <-sig:
+		fmt.Fprintf(stdout, "fspd: draining (grace %s)\n", *grace)
+		// After the grace period every in-flight governor is cancelled, so
+		// the runs answer with partial verdicts and Shutdown can complete.
+		timer := time.AfterFunc(*grace, s.CancelInflight)
+		defer timer.Stop()
+		ctx, cancel := context.WithTimeout(context.Background(), *grace+5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			_ = hs.Close()
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Fprintln(stdout, "fspd: drained")
+		return nil
+	}
+}

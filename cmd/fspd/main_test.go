@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const tinyNet = "process P { start s0; s0 a s1 }\nprocess Q { start q0; q0 a q1 }"
+
+// startDaemon runs the daemon on an ephemeral port and returns its base
+// URL, the signal channel, and the channel run's result lands on.
+func startDaemon(t *testing.T, args ...string) (string, chan os.Signal, chan error) {
+	t.Helper()
+	sig := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), &out, sig, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, sig, done
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v\n%s", err, out.String())
+		return "", nil, nil
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never came up")
+		return "", nil, nil
+	}
+}
+
+// TestServeAnalyzeAndSigtermDrain is the acceptance path in miniature:
+// serve a request, answer the repeat from cache, then SIGTERM and expect
+// a clean (nil-error, exit 0) drain.
+func TestServeAnalyzeAndSigtermDrain(t *testing.T) {
+	url, sig, done := startDaemon(t)
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	post := func() bool {
+		resp, err := http.Post(url+"/v1/analyze?process=0", "text/plain", strings.NewReader(tinyNet))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze = %d", resp.StatusCode)
+		}
+		var body struct {
+			Cached bool `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Cached
+	}
+	if post() {
+		t.Error("first request claimed a cache hit")
+	}
+	if !post() {
+		t.Error("second identical request missed the cache")
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v, want nil (exit 0)", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+}
+
+func TestHelpIsSuccess(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out, nil, nil); err != nil {
+		t.Fatalf("-h returned %v, want nil", err)
+	}
+	if !strings.Contains(out.String(), "-addr") {
+		t.Errorf("usage text missing flags:\n%s", out.String())
+	}
+}
+
+func TestBadFlagsFail(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &out, nil, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"stray-arg"}, &out, nil, nil); err == nil {
+		t.Fatal("stray positional argument accepted")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:http"}, &out, nil, nil); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

@@ -137,8 +137,11 @@ func TestRunAllRecordsTimeout(t *testing.T) {
 	if last.Status != "timeout" || last.Row != -1 {
 		t.Fatalf("last record = %+v, want status=timeout row=-1", last)
 	}
-	if last.Values["reason"] == "" || last.Values["pass"] == "" {
-		t.Errorf("timeout record missing diagnostics: %+v", last.Values)
+	if last.Reason == "" || last.Partial == nil || last.Partial.Pass == "" {
+		t.Errorf("timeout record missing diagnostics: %+v", last)
+	}
+	if last.Partial != nil && !last.Partial.Consistent() {
+		t.Errorf("timeout record bounds contradict S_u ⇒ S_a ⇒ S_c: %+v", last.Partial)
 	}
 	// The deadline trips before the first row, so no partial table is
 	// rendered; a partially filled one must be flagged as such.

@@ -17,6 +17,7 @@ import (
 	"fspnet/internal/success"
 	"fspnet/internal/treesolve"
 	"fspnet/internal/unary"
+	"fspnet/internal/verdictjson"
 )
 
 // Experiment is one claim-reproduction run. The governor g (nil for
@@ -102,19 +103,15 @@ func RunAllRecords(w io.Writer, quick bool, g *guard.G) ([]Record, error) {
 
 // TimeoutRecord is the machine-readable form of a governor stop: Row −1
 // so it cannot be mistaken for a data row, Status "timeout", and the
-// partial verdict flattened into Values.
+// partial verdict in the shared verdictjson encoding.
 func TimeoutRecord(e Experiment, le *guard.LimitErr) Record {
 	return Record{
 		Experiment: e.ID,
 		Claim:      e.Claim,
 		Row:        -1,
 		Status:     "timeout",
-		Values: map[string]string{
-			"reason":  le.Reason.Error(),
-			"pass":    le.Partial.Pass,
-			"states":  fmt.Sprint(le.Partial.States),
-			"elapsed": le.Partial.Elapsed.String(),
-		},
+		Reason:     le.Reason.Error(),
+		Partial:    verdictjson.PartialOf(le.Partial),
 	}
 }
 

@@ -1,21 +1,27 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"fspnet/internal/verdictjson"
 )
 
 // Record is one experiment-table row in machine-readable form, for
 // regression tracking across commits (BENCH_baseline.json). Values maps
 // column header to the rendered cell, so timings keep the same units the
-// text table shows.
+// text table shows. A governor stop adds one Row −1 record whose Status
+// is "timeout" and whose Reason/Partial carry the shared verdictjson
+// partial-verdict encoding — the same bytes fspc -format json and the
+// fspd service emit.
 type Record struct {
-	Experiment string            `json:"experiment"`
-	Claim      string            `json:"claim"`
-	Row        int               `json:"row"`
-	Status     string            `json:"status,omitempty"` // "timeout" when the governor stopped the sweep (Row −1)
-	Values     map[string]string `json:"values"`
+	Experiment string               `json:"experiment"`
+	Claim      string               `json:"claim"`
+	Row        int                  `json:"row"`
+	Status     string               `json:"status,omitempty"` // "timeout" when the governor stopped the sweep (Row −1)
+	Reason     string               `json:"reason,omitempty"`
+	Partial    *verdictjson.Partial `json:"partial,omitempty"`
+	Values     map[string]string    `json:"values,omitempty"`
 }
 
 // Records flattens the table into one Record per row under the given
@@ -36,11 +42,9 @@ func (t *Table) Records(id, claim string) []Record {
 	return recs
 }
 
-// WriteJSON encodes records as indented JSON. encoding/json emits map
-// keys in sorted order, so the output is deterministic for a fixed set
-// of cell values.
+// WriteJSON encodes records with the shared verdictjson encoder.
+// encoding/json emits map keys in sorted order, so the output is
+// deterministic for a fixed set of cell values.
 func WriteJSON(w io.Writer, recs []Record) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(recs)
+	return verdictjson.Encode(w, recs)
 }

@@ -1,0 +1,85 @@
+package fsplang
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzFormatRoundTrip asserts the cache-key soundness property the fspd
+// verdict cache is built on: Format is canonical, i.e. for any parseable
+// source, Format(Parse(Format(n))) == Format(n). The service addresses
+// verdicts by the SHA-256 of the canonical text, so if two formattings of
+// the same network could ever differ, equal networks would miss each
+// other's cache entries — and, worse, a digest computed from a formatted
+// network would not be reproducible from its own round-trip.
+//
+// Seeds are every checked-in .fsp fixture (philosophers10.fsp is the
+// service smoke-test corpus) plus the FuzzParse seed corpus.
+func FuzzFormatRoundTrip(f *testing.F) {
+	f.Add("process P { start s0; s0 a s1 }")
+	f.Add("process P { start s0; s0 tau s0 }\nprocess Q { start q; q a q }")
+	f.Add("# leading comment\nprocess P{start x;x τ x}")
+
+	matches, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fsp"))
+	if err == nil {
+		for _, m := range matches {
+			if data, err := os.ReadFile(m); err == nil {
+				f.Add(string(data))
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ParseString(src)
+		if err != nil || !utf8.ValidString(src) {
+			return // rejected input is fine; Format guarantees hold for valid UTF-8 only
+		}
+		canonical := Format(n)
+		n2, err := ParseString(canonical)
+		if err != nil {
+			t.Fatalf("canonical text failed to reparse: %v\ninput: %q\ncanonical: %q", err, src, canonical)
+		}
+		if again := Format(n2); again != canonical {
+			t.Fatalf("Format is not idempotent — cache digests would be unstable:\nfirst:  %q\nsecond: %q\ninput: %q",
+				canonical, again, src)
+		}
+	})
+}
+
+// TestFormatRoundTripFixtures pins the property on the checked-in
+// fixtures even when the fuzz target only replays its corpus (plain `go
+// test` runs the seeds, but the explicit loop gives per-file failure
+// messages and insists the glob found the fixtures at all).
+func TestFormatRoundTripFixtures(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fsp"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no .fsp fixtures found: %v", err)
+	}
+	sawPhilosophers := false
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if filepath.Base(m) == "philosophers10.fsp" {
+			sawPhilosophers = true
+		}
+		n, err := ParseString(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		canonical := Format(n)
+		n2, err := ParseString(canonical)
+		if err != nil {
+			t.Fatalf("%s: canonical text failed to reparse: %v", m, err)
+		}
+		if again := Format(n2); again != canonical {
+			t.Errorf("%s: Format not idempotent:\nfirst:  %q\nsecond: %q", m, canonical, again)
+		}
+	}
+	if !sawPhilosophers {
+		t.Error("philosophers10.fsp fixture missing from testdata")
+	}
+}

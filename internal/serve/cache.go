@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"fspnet/internal/verdictjson"
+)
+
+// Digest is the content address of one analysis request: the SHA-256 of
+// the canonical fsplang text (`fsplang.Format` output, which satisfies
+// Format∘Parse∘Format = Format) followed by the resolved request
+// parameters. Two requests that differ only in whitespace, comments, or
+// state naming order of the same canonical network therefore share a
+// digest, and a cached verdict answers both.
+func Digest(canonical string, process int, mode, predicates string) string {
+	h := sha256.New()
+	h.Write([]byte(canonical))
+	fmt.Fprintf(h, "\x00p=%d\x00mode=%s\x00pred=%s", process, mode, predicates)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cache is a bounded LRU of completed verdict records keyed by Digest.
+// Only StatusOK records are stored: a partial verdict is a function of
+// the request's budget, not of the network alone, and a later request
+// with a looser budget may still complete.
+type cache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	rec verdictjson.Record
+}
+
+func newCache(capacity int) *cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the record for key and refreshes its recency.
+func (c *cache) get(key string) (verdictjson.Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return verdictjson.Record{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).rec, true
+}
+
+// add inserts (or refreshes) key → rec, evicting the least recently used
+// entry when the cache is full.
+func (c *cache) add(key string, rec verdictjson.Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).rec = rec
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, rec: rec})
+}
+
+// len reports the number of cached verdicts.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// evicted reports how many entries have been evicted since start.
+func (c *cache) evicted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

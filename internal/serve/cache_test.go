@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"fspnet/internal/verdictjson"
+)
+
+func rec(name string) verdictjson.Record {
+	return verdictjson.Record{Process: name, Status: verdictjson.StatusOK}
+}
+
+func TestDigestDistinguishesParameters(t *testing.T) {
+	base := Digest("net", 0, "acyclic", "all")
+	for name, other := range map[string]string{
+		"text":       Digest("net2", 0, "acyclic", "all"),
+		"process":    Digest("net", 1, "acyclic", "all"),
+		"mode":       Digest("net", 0, "cyclic", "all"),
+		"predicates": Digest("net", 0, "acyclic", "reach"),
+	} {
+		if other == base {
+			t.Errorf("digest ignores %s", name)
+		}
+	}
+	if Digest("net", 0, "acyclic", "all") != base {
+		t.Error("digest is not deterministic")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := newCache(2)
+	c.add("a", rec("A"))
+	c.add("b", rec("B"))
+	// Touch a so b is now the least recently used.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.add("c", rec("C")) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction; get() did not refresh recency")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted despite being recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c missing")
+	}
+	if c.len() != 2 || c.evicted() != 1 {
+		t.Errorf("len=%d evicted=%d, want 2/1", c.len(), c.evicted())
+	}
+}
+
+func TestCacheRefreshExistingKey(t *testing.T) {
+	c := newCache(2)
+	c.add("a", rec("A"))
+	c.add("a", rec("A2"))
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1 (same key refreshed)", c.len())
+	}
+	got, _ := c.get("a")
+	if got.Process != "A2" {
+		t.Errorf("refresh kept the stale record: %+v", got)
+	}
+	if c.evicted() != 0 {
+		t.Errorf("refresh counted as eviction")
+	}
+}
+
+func TestCacheEvictionSequenceDeterminism(t *testing.T) {
+	// The same insertion sequence must always evict the same keys.
+	run := func() (survivors string, evictions uint64) {
+		c := newCache(3)
+		for i := 0; i < 10; i++ {
+			c.add(fmt.Sprintf("k%d", i), rec("R"))
+		}
+		for i := 0; i < 10; i++ {
+			if _, ok := c.get(fmt.Sprintf("k%d", i)); ok {
+				survivors += fmt.Sprintf("k%d,", i)
+			}
+		}
+		return survivors, c.evicted()
+	}
+	s1, e1 := run()
+	s2, e2 := run()
+	if s1 != s2 || e1 != e2 {
+		t.Errorf("eviction not deterministic: %q/%d vs %q/%d", s1, e1, s2, e2)
+	}
+	if s1 != "k7,k8,k9," || e1 != 7 {
+		t.Errorf("survivors = %q evictions = %d, want the 3 newest and 7 evictions", s1, e1)
+	}
+}

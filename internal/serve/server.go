@@ -1,0 +1,486 @@
+// Package serve turns the fspnet analysis library into a long-running
+// HTTP/JSON service. A Server accepts fsplang networks, canonicalizes
+// them with fsplang.Format (which is idempotent: Format∘Parse∘Format =
+// Format), keys a bounded LRU verdict cache on the SHA-256 of the
+// canonical text plus the resolved request parameters, and runs cache
+// misses through the governed fspnet entry points on a fixed worker pool
+// with admission control:
+//
+//   - a full queue turns requests away with 429 instead of letting the
+//     backlog grow without bound;
+//   - each request's deadline and state budget are lowered onto a
+//     guard.G, so a run that exhausts them returns a 200 response with
+//     status "partial" carrying the three-valued bounds the truncated
+//     run still proved — never a hung connection;
+//   - a client disconnect cancels the request's governor at its next
+//     poll, freeing the worker;
+//   - CancelInflight (the SIGTERM drain path) stops every in-flight run
+//     the same way, so draining returns partial verdicts rather than
+//     dropping work.
+//
+// Endpoints: POST /v1/analyze, GET /v1/verdict/{digest}, GET /healthz,
+// GET /statusz. See docs/SERVICE.md for the wire format.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fspnet/internal/explore"
+	"fspnet/internal/fsp"
+	"fspnet/internal/fsplang"
+	"fspnet/internal/guard"
+	"fspnet/internal/network"
+	"fspnet/internal/success"
+	"fspnet/internal/verdictjson"
+)
+
+// Default configuration bounds.
+const (
+	// DefaultQueueDepth is the admission queue bound beyond the worker
+	// pool: at most Workers+DefaultQueueDepth requests are in the house.
+	DefaultQueueDepth = 64
+	// DefaultCacheEntries bounds the verdict LRU.
+	DefaultCacheEntries = 1024
+	// maxNetworkBytes bounds the request body; fsplang sources are small.
+	maxNetworkBytes = 1 << 20
+)
+
+// Predicate sets a request may ask for.
+const (
+	// PredicatesAll decides S_u, S_a, and S_c — the S_a belief-set game
+	// dominates the cost on large networks.
+	PredicatesAll = "all"
+	// PredicatesReach decides S_u and S_c only, via the on-the-fly
+	// explore engine; no context is ever composed.
+	PredicatesReach = "reach"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Workers is the analysis pool size — how many analyses run at once.
+	// Each analysis is itself internally parallel (the explore engine
+	// fans out over GOMAXPROCS), so ≤ 0 defaults to 2, not NumCPU.
+	Workers int
+	// QueueDepth bounds admitted-but-waiting requests beyond Workers;
+	// ≤ 0 means DefaultQueueDepth. Negative admission is impossible: a
+	// full queue answers 429.
+	QueueDepth int
+	// CacheEntries bounds the verdict LRU; ≤ 0 means DefaultCacheEntries.
+	CacheEntries int
+	// MaxTimeout caps (and, when a request names none, supplies) the
+	// per-request deadline; 0 means no server-imposed deadline.
+	MaxTimeout time.Duration
+	// MaxBudget caps (and, when a request names none, supplies) the
+	// per-request joint state budget; 0 means no server-imposed budget.
+	MaxBudget int
+	// Hook is installed into every request governor — the fault-injection
+	// seam the serve tests drive with guard/faultinject. Production
+	// configurations leave it nil.
+	Hook guard.Hook
+}
+
+// Server is one analysis service instance. It is safe for concurrent use
+// and is normally mounted via Handler on an http.Server owned by cmd/fspd.
+type Server struct {
+	cfg    Config
+	cache  *cache
+	admit  chan struct{} // admission tickets: Workers + QueueDepth
+	slots  chan struct{} // running tickets: Workers
+	c      counters
+	lat    *latencyRecorder
+	start  time.Time
+	mux    *http.ServeMux
+
+	mu       sync.Mutex // guards draining and cancels
+	draining bool
+	nextRun  int64
+	cancels  map[int64]context.CancelFunc // in-flight analysis governors
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = DefaultCacheEntries
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: newCache(cfg.CacheEntries),
+		admit: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		slots: make(chan struct{}, cfg.Workers),
+		lat:   newLatencyRecorder(),
+	}
+	s.start = time.Now() //fsplint:ignore detrand uptime anchor for /statusz
+	s.cancels = make(map[int64]context.CancelFunc)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("GET /v1/verdict/{digest}", s.handleVerdict)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statusz", s.handleStatus)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CancelInflight cancels the governor of every in-flight analysis; each
+// stops at its next poll and its handler responds with the partial
+// verdict. The SIGTERM drain path arms this after the grace period so
+// http.Server.Shutdown can finish. When it returns, every in-flight
+// governor context is already canceled, and analyses admitted afterwards
+// start canceled.
+func (s *Server) CancelInflight() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.draining = true
+	for _, cancel := range s.cancels {
+		cancel()
+	}
+}
+
+// registerCancel enrolls an in-flight analysis governor with the drain
+// path. The returned func unregisters it. If a drain already started the
+// context is canceled before the analysis begins.
+func (s *Server) registerCancel(cancel context.CancelFunc) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		cancel()
+		return func() {}
+	}
+	id := s.nextRun
+	s.nextRun++
+	s.cancels[id] = cancel
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.cancels, id)
+	}
+}
+
+// Snapshot returns the current Stats.
+func (s *Server) Snapshot() Stats {
+	return Stats{
+		Requests:     s.c.requests.Load(),
+		Hits:         s.c.hits.Load(),
+		Misses:       s.c.misses.Load(),
+		Evictions:    int64(s.cache.evicted()),
+		Rejected:     s.c.rejected.Load(),
+		Canceled:     s.c.canceled.Load(),
+		Partials:     s.c.partials.Load(),
+		Errors:       s.c.errors.Load(),
+		Inflight:     s.c.inflight.Load(),
+		Queued:       s.c.queued.Load(),
+		CacheEntries: s.cache.len(),
+		Uptime:       time.Since(s.start).Round(time.Millisecond).String(), //fsplint:ignore detrand uptime for /statusz
+		Latency:      s.lat.snapshot(),
+	}
+}
+
+// analyzeRequest is the POST /v1/analyze JSON body. A request may instead
+// send the fsplang source as a raw (non-JSON) body and the remaining
+// fields as query parameters, which keeps curl invocations one-liners.
+type analyzeRequest struct {
+	// Network is the fsplang source text.
+	Network string `json:"network"`
+	// Process is the distinguished process index (default 0).
+	Process int `json:"process"`
+	// Mode is "auto" (default: cyclic iff some process is cyclic),
+	// "acyclic" (§3 semantics), or "cyclic" (§4 semantics).
+	Mode string `json:"mode,omitempty"`
+	// Predicates is "all" (default) or "reach" (S_u and S_c only).
+	Predicates string `json:"predicates,omitempty"`
+	// Timeout is a Go duration bounding this request's analysis; the
+	// server caps it at Config.MaxTimeout.
+	Timeout string `json:"timeout,omitempty"`
+	// Budget bounds the joint states interned by this request's
+	// analysis; the server caps it at Config.MaxBudget.
+	Budget int `json:"budget,omitempty"`
+}
+
+// analyzeResponse is the POST /v1/analyze (and GET /v1/verdict) reply
+// envelope around the shared verdictjson.Record.
+type analyzeResponse struct {
+	Digest     string             `json:"digest"`
+	Mode       string             `json:"mode,omitempty"`
+	Predicates string             `json:"predicates,omitempty"`
+	Cached     bool               `json:"cached"`
+	Record     verdictjson.Record `json:"record"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = verdictjson.Encode(w, v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	rec, ok := s.cache.get(digest)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached verdict for digest %s", digest)
+		return
+	}
+	writeJSON(w, http.StatusOK, analyzeResponse{Digest: digest, Cached: true, Record: rec})
+}
+
+// parseAnalyzeRequest decodes either encoding of the request body.
+func parseAnalyzeRequest(r *http.Request) (analyzeRequest, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxNetworkBytes+1))
+	if err != nil {
+		return analyzeRequest{}, fmt.Errorf("reading body: %w", err)
+	}
+	if len(body) > maxNetworkBytes {
+		return analyzeRequest{}, fmt.Errorf("body exceeds %d bytes", maxNetworkBytes)
+	}
+	var req analyzeRequest
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return analyzeRequest{}, fmt.Errorf("decoding JSON body: %w", err)
+		}
+	} else {
+		// Raw fsplang body; parameters ride in the query string.
+		req.Network = string(body)
+		q := r.URL.Query()
+		if v := q.Get("process"); v != "" {
+			p, err := strconv.Atoi(v)
+			if err != nil {
+				return analyzeRequest{}, fmt.Errorf("bad process parameter %q", v)
+			}
+			req.Process = p
+		}
+		req.Mode = q.Get("mode")
+		req.Predicates = q.Get("predicates")
+		req.Timeout = q.Get("timeout")
+		if v := q.Get("budget"); v != "" {
+			b, err := strconv.Atoi(v)
+			if err != nil {
+				return analyzeRequest{}, fmt.Errorf("bad budget parameter %q", v)
+			}
+			req.Budget = b
+		}
+	}
+	return req, nil
+}
+
+// resolve validates the request against the parsed network and fixes the
+// defaulted parameters, so the digest is computed over resolved values:
+// "auto" and an explicit matching mode share cache entries.
+func resolve(req *analyzeRequest, n *network.Network) error {
+	if req.Process < 0 || req.Process >= n.Len() {
+		return fmt.Errorf("process index %d out of range [0,%d)", req.Process, n.Len())
+	}
+	switch req.Mode {
+	case "", "auto":
+		if n.MaxClass() == fsp.ClassCyclic {
+			req.Mode = "cyclic"
+		} else {
+			req.Mode = "acyclic"
+		}
+	case "acyclic", "cyclic":
+	default:
+		return fmt.Errorf("unknown mode %q (want auto, acyclic, or cyclic)", req.Mode)
+	}
+	switch req.Predicates {
+	case "":
+		req.Predicates = PredicatesAll
+	case PredicatesAll, PredicatesReach:
+	default:
+		return fmt.Errorf("unknown predicates %q (want all or reach)", req.Predicates)
+	}
+	return nil
+}
+
+// requestDeadline lowers the request timeout onto an absolute deadline,
+// capped by the server-wide maximum.
+func (s *Server) requestDeadline(req analyzeRequest) (time.Time, error) {
+	limit := s.cfg.MaxTimeout
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil || d <= 0 {
+			return time.Time{}, fmt.Errorf("bad timeout %q", req.Timeout)
+		}
+		if limit == 0 || d < limit {
+			limit = d
+		}
+	}
+	if limit == 0 {
+		return time.Time{}, nil
+	}
+	return time.Now().Add(limit), nil //fsplint:ignore detrand per-request deadline anchor
+}
+
+// requestBudget lowers the request budget, capped by the server-wide
+// maximum.
+func (s *Server) requestBudget(req analyzeRequest) int {
+	budget := s.cfg.MaxBudget
+	if req.Budget > 0 && (budget == 0 || req.Budget < budget) {
+		budget = req.Budget
+	}
+	return budget
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	req, err := parseAnalyzeRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	n, err := fsplang.ParseString(req.Network)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing network: %v", err)
+		return
+	}
+	if err := resolve(&req, n); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	deadline, err := s.requestDeadline(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.c.requests.Add(1)
+
+	canonical := fsplang.Format(n)
+	digest := Digest(canonical, req.Process, req.Mode, req.Predicates)
+	if rec, ok := s.cache.get(digest); ok {
+		s.c.hits.Add(1)
+		writeJSON(w, http.StatusOK, analyzeResponse{
+			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: true, Record: rec,
+		})
+		return
+	}
+
+	// Admission: a ticket covers the whole stay (queued + running); none
+	// free means the queue is saturated.
+	select {
+	case s.admit <- struct{}{}:
+		defer func() { <-s.admit }()
+	default:
+		s.c.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "analysis queue is full (%d in flight or queued)", cap(s.admit))
+		return
+	}
+	s.c.queued.Add(1)
+	select {
+	case s.slots <- struct{}{}:
+		s.c.queued.Add(-1)
+		defer func() { <-s.slots }()
+	case <-r.Context().Done():
+		s.c.queued.Add(-1)
+		s.c.canceled.Add(1)
+		return // client is gone; nothing to write
+	}
+	s.c.inflight.Add(1)
+	defer s.c.inflight.Add(-1)
+
+	// The governor watches both the client connection and the drain
+	// path, so either stops the run at its next poll. Registration keeps
+	// CancelInflight synchronous: when it returns, this context is done.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	unregister := s.registerCancel(cancel)
+	defer unregister()
+	g := guard.New(guard.Config{
+		Context:  ctx,
+		Deadline: deadline,
+		Budget:   s.requestBudget(req),
+		Hook:     s.cfg.Hook,
+	})
+
+	start := time.Now() //fsplint:ignore detrand latency sample for /statusz quantiles
+	rec, err := s.analyze(n, req, g)
+	switch {
+	case err == nil:
+		s.lat.record(req.Mode+"/"+req.Predicates, time.Since(start)) //fsplint:ignore detrand latency sample for /statusz quantiles
+		s.c.misses.Add(1)
+		s.cache.add(digest, rec)
+		writeJSON(w, http.StatusOK, analyzeResponse{
+			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false, Record: rec,
+		})
+	case guard.IsLimit(err):
+		if r.Context().Err() != nil {
+			// The client disconnected; the governor stopped the run for us
+			// and there is no one left to answer.
+			s.c.canceled.Add(1)
+			return
+		}
+		s.c.partials.Add(1)
+		writeJSON(w, http.StatusOK, analyzeResponse{
+			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false,
+			Record: verdictjson.FromError(n.Process(req.Process).Name(), err),
+		})
+	default:
+		s.c.errors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, analyzeResponse{
+			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false,
+			Record: verdictjson.FromError(n.Process(req.Process).Name(), err),
+		})
+	}
+}
+
+// analyze dispatches the resolved request onto the governed library entry
+// points.
+func (s *Server) analyze(n *network.Network, req analyzeRequest, g *guard.G) (verdictjson.Record, error) {
+	name := n.Process(req.Process).Name()
+	cyclic := req.Mode == "cyclic"
+	if req.Predicates == PredicatesReach {
+		var (
+			res explore.Result
+			err error
+		)
+		if cyclic {
+			res, err = explore.AnalyzeCyclic(n, req.Process, explore.Options{Guard: g})
+		} else {
+			res, err = explore.AnalyzeAcyclic(n, req.Process, explore.Options{Guard: g})
+		}
+		if err != nil {
+			return verdictjson.Record{}, err
+		}
+		return verdictjson.Reach(name, res.Su, res.Sc), nil
+	}
+	var (
+		v   success.Verdict
+		err error
+	)
+	if cyclic {
+		v, err = success.AnalyzeCyclicOpts(n, req.Process, success.Options{Guard: g})
+	} else {
+		v, err = success.AnalyzeAcyclicOpts(n, req.Process, success.Options{Guard: g})
+	}
+	if err != nil {
+		return verdictjson.Record{}, err
+	}
+	return verdictjson.OK(name, v), nil
+}
+

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is one /statusz snapshot: monotone counters since process start,
+// the current gauges, and per-predicate-class latency quantiles. All
+// counters tally POST /v1/analyze traffic; GET /v1/verdict digest
+// lookups refresh LRU recency but perturb no counter.
+type Stats struct {
+	// Requests counts POST /v1/analyze requests accepted for processing
+	// (including ones later rejected by admission control).
+	Requests int64 `json:"requests"`
+	// Hits counts requests answered from the verdict cache.
+	Hits int64 `json:"hits"`
+	// Misses counts requests that ran an analysis to completion and
+	// populated the cache.
+	Misses int64 `json:"misses"`
+	// Evictions counts verdicts dropped by the LRU bound.
+	Evictions int64 `json:"evictions"`
+	// Rejected counts requests turned away with 429 by admission control.
+	Rejected int64 `json:"rejected"`
+	// Canceled counts requests whose client disconnected mid-analysis.
+	Canceled int64 `json:"canceled"`
+	// Partials counts governed runs stopped early (deadline, budget,
+	// drain) that returned a partial verdict.
+	Partials int64 `json:"partials"`
+	// Errors counts analyses that failed outside the governor.
+	Errors int64 `json:"errors"`
+	// Inflight is the number of analyses running right now.
+	Inflight int64 `json:"inflight"`
+	// Queued is the number of admitted requests waiting for a worker.
+	Queued int64 `json:"queued"`
+	// CacheEntries is the current verdict cache population.
+	CacheEntries int `json:"cacheEntries"`
+	// Uptime is wall time since the server was built.
+	Uptime string `json:"uptime"`
+	// Latency maps "<mode>/<predicates>" (e.g. "cyclic/all",
+	// "acyclic/reach") to quantiles over the most recent completed
+	// analyses of that class. Cache hits are not included — they measure
+	// the map lookup, not the solver.
+	Latency map[string]Quantiles `json:"latency,omitempty"`
+}
+
+// Quantiles summarize a latency sample window.
+type Quantiles struct {
+	Count int    `json:"count"` // samples currently in the window
+	P50   string `json:"p50"`
+	P90   string `json:"p90"`
+	P99   string `json:"p99"`
+}
+
+// counters are the server's atomic tallies.
+type counters struct {
+	requests atomic.Int64
+	hits     atomic.Int64
+	misses   atomic.Int64
+	rejected atomic.Int64
+	canceled atomic.Int64
+	partials atomic.Int64
+	errors   atomic.Int64
+	inflight atomic.Int64
+	queued   atomic.Int64
+}
+
+// latencyWindow is the per-class sample bound; old samples are
+// overwritten ring-buffer style so quantiles track recent behavior.
+const latencyWindow = 512
+
+type latencyRing struct {
+	buf  []time.Duration
+	next int
+	n    int
+}
+
+// latencyRecorder keeps one bounded ring of duration samples per
+// "<mode>/<predicates>" class.
+type latencyRecorder struct {
+	mu    sync.Mutex
+	rings map[string]*latencyRing
+}
+
+func newLatencyRecorder() *latencyRecorder {
+	return &latencyRecorder{rings: make(map[string]*latencyRing)}
+}
+
+func (l *latencyRecorder) record(class string, d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := l.rings[class]
+	if r == nil {
+		r = &latencyRing{buf: make([]time.Duration, latencyWindow)}
+		l.rings[class] = r
+	}
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % latencyWindow
+	if r.n < latencyWindow {
+		r.n++
+	}
+}
+
+// snapshot computes the quantiles of every class's current window.
+func (l *latencyRecorder) snapshot() map[string]Quantiles {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.rings) == 0 {
+		return nil
+	}
+	out := make(map[string]Quantiles, len(l.rings))
+	for class, r := range l.rings {
+		samples := make([]time.Duration, r.n)
+		copy(samples, r.buf[:r.n])
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		out[class] = Quantiles{
+			Count: r.n,
+			P50:   quantile(samples, 0.50).String(),
+			P90:   quantile(samples, 0.90).String(),
+			P99:   quantile(samples, 0.99).String(),
+		}
+	}
+	return out
+}
+
+// quantile returns the q-th quantile of sorted samples (nearest rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx].Round(time.Microsecond)
+}

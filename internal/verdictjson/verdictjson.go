@@ -1,0 +1,136 @@
+// Package verdictjson is the single machine-readable encoding of analysis
+// outcomes: decided verdicts, partial verdicts from governed runs that
+// were stopped early, and plain errors. It exists so every surface that
+// emits JSON — `fspc -format json`, `fspbench -json`, and the fspd
+// analysis service — produces byte-identical records for the same
+// outcome, and so the three-valued partial-verdict bounds are rendered in
+// exactly one place.
+//
+// A Record is one analysis outcome for one distinguished process. Its
+// Status discriminates the payload:
+//
+//   - "ok"      — the run finished; the predicate fields carry the verdict
+//   - "partial" — a governor stopped the run; Reason says why and Partial
+//     carries everything the truncated run still proved
+//   - "error"   — the run failed outside the governor (bad input, shape
+//     violation); Error carries the message
+//
+// Encoding is deterministic: struct fields marshal in declaration order
+// and Encode uses a fixed two-space indent, so equal outcomes are equal
+// bytes — the property the fspd verdict cache and the CLI/server
+// byte-identity tests rely on.
+package verdictjson
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"time"
+
+	"fspnet/internal/guard"
+	"fspnet/internal/success"
+)
+
+// Record statuses.
+const (
+	// StatusOK marks a completed analysis.
+	StatusOK = "ok"
+	// StatusPartial marks a governor stop with a partial verdict.
+	StatusPartial = "partial"
+	// StatusError marks a failure outside the governor.
+	StatusError = "error"
+)
+
+// Record is one analysis outcome for one distinguished process. The
+// predicate pointers are nil when the run did not decide them — a
+// "reach" analysis (S_u and S_c only) leaves Adversity nil, and partial
+// or error records leave all three nil (partial bounds live in Partial).
+type Record struct {
+	Process string   `json:"process,omitempty"`
+	Status  string   `json:"status"`
+	Su      *bool    `json:"unavoidable,omitempty"`
+	Sa      *bool    `json:"adversity,omitempty"`
+	Sc      *bool    `json:"collaboration,omitempty"`
+	Reason  string   `json:"reason,omitempty"`
+	Partial *Partial `json:"partial,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// Partial is the JSON form of guard.Partial: how far the truncated run
+// got and the three-valued bounds it had already established. Bounds
+// render as "true", "false", or "?" — guard.Bound's String values.
+type Partial struct {
+	Pass    string `json:"pass"`
+	States  int    `json:"states"`
+	Depth   int    `json:"depth"`
+	Elapsed string `json:"elapsed,omitempty"`
+	Su      string `json:"unavoidable"`
+	Sa      string `json:"adversity"`
+	Sc      string `json:"collaboration"`
+}
+
+// PartialOf lowers a guard.Partial into its JSON form.
+func PartialOf(p guard.Partial) *Partial {
+	jp := &Partial{
+		Pass:   p.Pass,
+		States: p.States,
+		Depth:  p.Depth,
+		Su:     p.Su.String(),
+		Sa:     p.Sa.String(),
+		Sc:     p.Sc.String(),
+	}
+	if p.Elapsed > 0 {
+		jp.Elapsed = p.Elapsed.Round(time.Microsecond).String()
+	}
+	return jp
+}
+
+// Consistent reports whether the rendered bounds respect the paper's
+// implication chain S_u ⇒ S_a ⇒ S_c; an unknown ("?") bound never
+// contradicts anything. The transitive S_u ⇒ S_c pair is checked
+// explicitly because an unknown S_a would otherwise mask it.
+func (p *Partial) Consistent() bool {
+	implies := func(a, b string) bool { return a != "true" || b != "false" }
+	return implies(p.Su, p.Sa) && implies(p.Sa, p.Sc) && implies(p.Su, p.Sc)
+}
+
+// OK builds a completed-verdict record for the named process.
+func OK(process string, v success.Verdict) Record {
+	su, sa, sc := v.Su, v.Sa, v.Sc
+	return Record{Process: process, Status: StatusOK, Su: &su, Sa: &sa, Sc: &sc}
+}
+
+// Reach builds a completed record carrying only the engine-decided
+// reachability predicates S_u and S_c (no adversity game was played).
+func Reach(process string, su, sc bool) Record {
+	u, c := su, sc
+	return Record{Process: process, Status: StatusOK, Su: &u, Sc: &c}
+}
+
+// FromLimit builds a partial-verdict record from a governor stop.
+func FromLimit(process string, le *guard.LimitErr) Record {
+	return Record{
+		Process: process,
+		Status:  StatusPartial,
+		Reason:  le.Reason.Error(),
+		Partial: PartialOf(le.Partial),
+	}
+}
+
+// FromError dispatches on the error: a *guard.LimitErr becomes a
+// StatusPartial record, anything else a StatusError record.
+func FromError(process string, err error) Record {
+	var le *guard.LimitErr
+	if errors.As(err, &le) {
+		return FromLimit(process, le)
+	}
+	return Record{Process: process, Status: StatusError, Error: err.Error()}
+}
+
+// Encode writes v as two-space-indented JSON followed by a newline — the
+// one wire format shared by the CLI flags and the fspd service.
+func Encode(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,135 @@
+package verdictjson
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"fspnet/internal/guard"
+	"fspnet/internal/success"
+)
+
+// TestEncodeGolden pins the wire bytes of the three record shapes: every
+// emitter (fspc -format json, fspbench -json, the fspd service) shares
+// this encoding, so a drift here is a cross-surface compatibility break.
+func TestEncodeGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  Record
+		want string
+	}{
+		{
+			"ok",
+			OK("P", success.Verdict{Su: false, Sa: false, Sc: true}),
+			`{
+  "process": "P",
+  "status": "ok",
+  "unavoidable": false,
+  "adversity": false,
+  "collaboration": true
+}
+`,
+		},
+		{
+			"reach",
+			Reach("P", true, true),
+			`{
+  "process": "P",
+  "status": "ok",
+  "unavoidable": true,
+  "collaboration": true
+}
+`,
+		},
+		{
+			"partial",
+			FromLimit("P", &guard.LimitErr{
+				Reason: guard.ErrDeadline,
+				Partial: guard.Partial{
+					Pass: "bfs", States: 42, Depth: 3,
+					Elapsed: 1500 * time.Microsecond,
+					Su:      guard.False, Sc: guard.True,
+				},
+			}),
+			`{
+  "process": "P",
+  "status": "partial",
+  "reason": "guard: deadline exceeded",
+  "partial": {
+    "pass": "bfs",
+    "states": 42,
+    "depth": 3,
+    "elapsed": "1.5ms",
+    "unavoidable": "false",
+    "adversity": "?",
+    "collaboration": "true"
+  }
+}
+`,
+		},
+		{
+			"error",
+			FromError("P", errors.New("boom")),
+			`{
+  "process": "P",
+  "status": "error",
+  "error": "boom"
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Encode(&buf, tc.rec); err != nil {
+				t.Fatal(err)
+			}
+			if buf.String() != tc.want {
+				t.Errorf("encoding drifted:\ngot:\n%s\nwant:\n%s", buf.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestFromErrorDispatch(t *testing.T) {
+	le := &guard.LimitErr{Reason: guard.ErrBudget, Partial: guard.Partial{Pass: "bfs"}}
+	if rec := FromError("P", le); rec.Status != StatusPartial || rec.Partial == nil {
+		t.Errorf("LimitErr record = %+v, want status partial", rec)
+	}
+	// Wrapped LimitErr still dispatches to partial.
+	wrapped := errors.Join(errors.New("context"), le)
+	if rec := FromError("P", wrapped); rec.Status != StatusPartial {
+		t.Errorf("wrapped LimitErr record = %+v, want status partial", rec)
+	}
+	if rec := FromError("P", errors.New("plain")); rec.Status != StatusError {
+		t.Errorf("plain error record = %+v, want status error", rec)
+	}
+}
+
+// TestPartialConsistent enumerates every bound triple: Consistent must
+// accept exactly the triples compatible with S_u ⇒ S_a ⇒ S_c.
+func TestPartialConsistent(t *testing.T) {
+	vals := []string{"true", "false", "?"}
+	implies := func(a, b string) bool { return !(a == "true" && b == "false") }
+	for _, su := range vals {
+		for _, sa := range vals {
+			for _, sc := range vals {
+				p := &Partial{Su: su, Sa: sa, Sc: sc}
+				want := implies(su, sa) && implies(sa, sc) && implies(su, sc)
+				if got := p.Consistent(); got != want {
+					t.Errorf("Consistent(%s,%s,%s) = %t, want %t", su, sa, sc, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundsRenderGuardValues keeps PartialOf in lockstep with
+// guard.Bound's String values.
+func TestBoundsRenderGuardValues(t *testing.T) {
+	p := PartialOf(guard.Partial{Su: guard.True, Sa: guard.Unknown, Sc: guard.False})
+	if p.Su != "true" || p.Sa != "?" || p.Sc != "false" {
+		t.Errorf("bounds = %q/%q/%q, want true/?/false", p.Su, p.Sa, p.Sc)
+	}
+}

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the fspd analysis service:
+# build the daemon, start it, drive it with curl against the
+# philosophers10 fixture, assert the second identical request is a cache
+# hit (via /statusz), then SIGTERM it and insist on a clean exit 0.
+#
+# Run from the repository root: bash scripts/serve_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== building fspd"
+go build -o "$workdir/fspd" ./cmd/fspd
+
+echo "== starting fspd"
+"$workdir/fspd" -addr 127.0.0.1:0 -grace 5s >"$workdir/fspd.log" 2>&1 &
+pid=$!
+
+# The daemon prints "fspd: listening on 127.0.0.1:PORT" once bound.
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^fspd: listening on //p' "$workdir/fspd.log" | head -n1)"
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "fspd died during startup:"; cat "$workdir/fspd.log"; exit 1
+    fi
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "fspd never reported its address"; cat "$workdir/fspd.log"; exit 1; }
+url="http://$addr"
+echo "   up at $url"
+
+curl -fsS "$url/healthz" >/dev/null
+
+# The reach predicate set (S_u and S_c via the explore engine) keeps the
+# philosophers10 analysis sub-second; "all" would play the belief-set
+# game over the composed 20-process context.
+analyze() {
+    curl -fsS --data-binary @testdata/philosophers10.fsp \
+        "$url/v1/analyze?process=0&predicates=reach&timeout=60s"
+}
+
+echo "== first request (expect miss)"
+first="$(analyze)"
+echo "$first" | grep -q '"cached": false' || { echo "first request was not a miss: $first"; exit 1; }
+echo "$first" | grep -q '"status": "ok"' || { echo "first request did not complete: $first"; exit 1; }
+digest="$(echo "$first" | sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p' | head -n1)"
+
+echo "== second request (expect hit)"
+second="$(analyze)"
+echo "$second" | grep -q '"cached": true' || { echo "second request missed the cache: $second"; exit 1; }
+
+echo "== /statusz must count exactly one hit and one miss"
+status="$(curl -fsS "$url/statusz")"
+echo "$status" | grep -q '"hits": 1' || { echo "bad hit count: $status"; exit 1; }
+echo "$status" | grep -q '"misses": 1' || { echo "bad miss count: $status"; exit 1; }
+
+echo "== digest lookup"
+curl -fsS "$url/v1/verdict/$digest" | grep -q '"status": "ok"' || { echo "digest lookup failed"; exit 1; }
+
+echo "== SIGTERM drain (expect exit 0)"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "fspd exited $rc after SIGTERM:"; cat "$workdir/fspd.log"; exit 1
+fi
+grep -q "fspd: drained" "$workdir/fspd.log" || { echo "no drain log line:"; cat "$workdir/fspd.log"; exit 1; }
+
+echo "ok: smoke test passed"
