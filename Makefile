@@ -15,8 +15,11 @@ vet:
 # lint runs the fsplint analyzer suite (mapiter, frozenfsp, detrand) over
 # every package. See docs/ANALYSIS.md. It also runs as a go vet tool:
 #   go build -o bin/fsplint ./cmd/fsplint && go vet -vettool=bin/fsplint ./...
+# The second invocation pins the game solvers explicitly: a map-order
+# dependence there changes verdict determinism, not just output order.
 lint:
 	$(GO) run ./cmd/fsplint ./...
+	$(GO) run ./cmd/fsplint ./internal/game/...
 
 test:
 	$(GO) test -timeout 10m ./...
@@ -44,10 +47,13 @@ serve-smoke:
 	bash scripts/serve_smoke.sh
 
 # fuzz-short gives each fuzz target a 10s budget, the same wiring CI uses
-# (go test accepts one -fuzz pattern per run, hence two invocations).
+# (go test accepts one -fuzz pattern per run, hence one invocation per
+# target). FuzzDifferentialSa cross-checks the compose-free belief engine
+# against the legacy compose-then-recurse S_a solver.
 fuzz-short:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/fsplang
 	$(GO) test -fuzz=FuzzFormatRoundTrip -fuzztime=10s ./internal/fsplang
+	$(GO) test -fuzz=FuzzDifferentialSa -fuzztime=10s ./internal/game/belief
 
 test-verbose:
 	$(GO) test -count=1 -v ./... 2>&1 | tee test_output.txt

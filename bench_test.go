@@ -13,6 +13,7 @@ import (
 	"fspnet/internal/explore"
 	"fspnet/internal/fsp"
 	"fspnet/internal/game"
+	"fspnet/internal/game/belief"
 	"fspnet/internal/linear"
 	"fspnet/internal/network"
 	"fspnet/internal/poss"
@@ -250,6 +251,61 @@ func BenchmarkE11Engine(b *testing.B) {
 		b.Run(fmt.Sprintf("engine/phil/m=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := explore.AnalyzeCyclic(n, 0, explore.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE12BeliefGame compares the compose-free bitset belief engine
+// with the compose-then-recurse S_a reference on the E11 families. The
+// reference rows stop at the sizes whose context fold still fits in
+// memory; the belief rows keep going.
+func BenchmarkE12BeliefGame(b *testing.B) {
+	for _, m := range []int{8, 12, 16} {
+		n := mustGen(b)(bench.TreeNetwork(int64(7000+m), m))
+		b.Run(fmt.Sprintf("belief/tree/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := belief.SolveAcyclic(n, 0, game.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, m := range []int{8, 12} {
+		n := mustGen(b)(bench.TreeNetwork(int64(7000+m), m))
+		b.Run(fmt.Sprintf("reference/tree/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q, err := n.Context(0, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := game.SolveAcyclic(n.Process(0), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, m := range []int{4, 6, 8, 10} {
+		n := mustGen(b)(bench.Philosophers(m))
+		b.Run(fmt.Sprintf("belief/phil/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := belief.SolveCyclic(n, 0, game.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, m := range []int{4, 6} {
+		n := mustGen(b)(bench.Philosophers(m))
+		b.Run(fmt.Sprintf("reference/phil/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q, err := n.Context(0, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := game.SolveCyclic(n.Process(0), q); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -273,6 +273,60 @@ func TestRunTimeoutExitCode3(t *testing.T) {
 	}
 }
 
+func TestRunEngineBelief(t *testing.T) {
+	// -engine belief selects the compose-free backend (S_a via the bitset
+	// belief game); every engine must print the same verdict line.
+	want, err := runFspc(t, figure3, "-algo", "reference", "-engine", "compose", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{"explore", "belief"} {
+		out, err := runFspc(t, figure3, "-algo", "reference", "-engine", engine, "-")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotLine, wantLine := verdictLine(t, out), verdictLine(t, want); gotLine != wantLine {
+			t.Errorf("-engine %s: %q, compose oracle: %q", engine, gotLine, wantLine)
+		}
+	}
+	if _, err := runFspc(t, figure3, "-engine", "bogus", "-"); err == nil {
+		t.Error("unknown engine must be rejected")
+	}
+}
+
+func verdictLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "S_u=") {
+			return strings.TrimSpace(line)
+		}
+	}
+	t.Fatalf("no verdict line in:\n%s", out)
+	return ""
+}
+
+// TestRunEngineBeliefTimeoutJSON exhausts the deadline under -engine
+// belief and requires the structured verdictjson partial with exit 3.
+func TestRunEngineBeliefTimeoutJSON(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-engine", "belief", "-json", "-timeout", "1ns", "-"},
+		strings.NewReader(cyclicPair), &out)
+	if err == nil {
+		t.Fatal("run with an already-expired deadline must fail")
+	}
+	var stderr bytes.Buffer
+	if code := exitCode(&stderr, err); code != 3 {
+		t.Fatalf("exit code = %d, want 3 (stderr: %s)", code, stderr.String())
+	}
+	var rep map[string]interface{}
+	if jerr := json.Unmarshal(out.Bytes(), &rep); jerr != nil {
+		t.Fatalf("partial report is not valid JSON: %v\n%s", jerr, out.String())
+	}
+	if !strings.Contains(out.String(), `"partial"`) {
+		t.Errorf("JSON report missing the partial record:\n%s", out.String())
+	}
+}
+
 func TestExitCodeMapping(t *testing.T) {
 	var sb strings.Builder
 	if code := exitCode(&sb, nil); code != 0 {

@@ -63,7 +63,7 @@ func TestAllExperimentsQuick(t *testing.T) {
 		t.Fatalf("RunAll: %v\n%s", err, sb.String())
 	}
 	out := sb.String()
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"} {
 		if !strings.Contains(out, "== "+id+":") {
 			t.Errorf("missing experiment %s in output", id)
 		}
@@ -92,6 +92,27 @@ func TestE11Agreement(t *testing.T) {
 	for _, row := range tbl.Rows {
 		if agree := row[len(row)-1]; agree != "true" && agree != "engine only" {
 			t.Errorf("E11 disagreement in row %v", row)
+		}
+	}
+}
+
+// TestE12Agreement checks the belief engine and the compose-then-recurse
+// S_a reference return identical verdicts on every row where the
+// reference fits its budgets.
+func TestE12Agreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tbl, err := E12(true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("E12 produced no rows")
+	}
+	for _, row := range tbl.Rows {
+		if agree := row[len(row)-1]; agree != "true" && agree != "engine only" {
+			t.Errorf("E12 disagreement in row %v", row)
 		}
 	}
 }

@@ -44,6 +44,7 @@ func All() []Experiment {
 		{"E9", "Lemma 2: normal-form sizes and congruence throughput", E9},
 		{"E10", "Ablation: Theorem 3 with vs without the possibility normal form", E10},
 		{"E11", "Engine: on-the-fly joint-vector exploration vs compose-then-explore", E11},
+		{"E12", "Engine: compose-free bitset belief game vs compose-then-recurse S_a", E12},
 	}
 }
 
@@ -249,7 +250,7 @@ func E4(quick bool, g *guard.G) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		pairs, err := game.ReachablePairs(n.Process(0), ctx)
+		pairs, err := game.ReachablePairsOpts(n.Process(0), ctx, game.Options{Guard: g})
 		if err != nil {
 			return nil, err
 		}
@@ -378,7 +379,7 @@ func E7(quick bool, g *guard.G) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			pairs, err := game.ReachablePairs(n.Process(0), q)
+			pairs, err := game.ReachablePairsOpts(n.Process(0), q, game.Options{Guard: g})
 			if err != nil {
 				return t, err
 			}

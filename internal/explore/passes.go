@@ -58,6 +58,16 @@ func (mc *machine) checkAcyclicShape(budget int, g *guard.G) error {
 // component is carried along frozen): context-member τ, context-internal
 // handshakes, and solo moves on P-shared visible actions.
 func (mc *machine) ctxExpand(vec, scratch []uint32, fn func(succ []uint32) bool) {
+	mc.ctxExpandLabeled(vec, scratch, func(succ []uint32, aid int32) bool {
+		return fn(succ)
+	})
+}
+
+// ctxExpandLabeled is ctxExpand with the composed context's labeling:
+// moves that are τ of the context (member τ, context-internal
+// handshakes) report aid −1, and solo moves on P-shared actions — which
+// stay visible in ‖ — report the action id.
+func (mc *machine) ctxExpandLabeled(vec, scratch []uint32, fn func(succ []uint32, aid int32) bool) {
 	for j := 0; j < mc.m; j++ {
 		if j == mc.dist {
 			continue
@@ -65,7 +75,7 @@ func (mc *machine) ctxExpand(vec, scratch []uint32, fn func(succ []uint32) bool)
 		for _, to := range mc.tau[j][vec[j]] {
 			copy(scratch, vec)
 			scratch[j] = to
-			if !fn(scratch) {
+			if !fn(scratch, -1) {
 				return
 			}
 		}
@@ -90,7 +100,7 @@ func (mc *machine) ctxExpand(vec, scratch []uint32, fn func(succ []uint32) bool)
 				for xi := x; xi < xe; xi++ {
 					copy(scratch, vec)
 					scratch[j] = ts[xi].to
-					if !fn(scratch) {
+					if !fn(scratch, int32(a)) {
 						return
 					}
 				}
@@ -102,7 +112,7 @@ func (mc *machine) ctxExpand(vec, scratch []uint32, fn func(succ []uint32) bool)
 						copy(scratch, vec)
 						scratch[j] = ts[xi].to
 						scratch[other] = ps[pi].to
-						if !fn(scratch) {
+						if !fn(scratch, -1) {
 							return
 						}
 					}

@@ -1,0 +1,189 @@
+package belief
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// arenaShards is the belief-arena sharding factor; a power of two so the
+// FNV hash of the packed words maps to a shard with a mask. Sharding
+// keeps each shard's id map and flat block arena small, the same layout
+// internal/explore uses for joint vectors.
+const arenaShards = 64
+
+// arena interns τ-closed belief bitsets. Each belief is words packed
+// uint64s; the only copy lives in one shard's flat block arena, and the
+// shard's id map keys on the little-endian byte image of the words, so
+// equality is a memcmp of the packed words. Belief ids encode the shard
+// in the low bits (bid = local<<6 | shard), giving every interned belief
+// a stable dense-ish id without a global remap.
+type arena struct {
+	words  int
+	count  int
+	kb     []byte // scratch key: 8·words bytes
+	shards [arenaShards]struct {
+		ids  map[string]int32
+		data []uint64
+	}
+}
+
+func newArena(words int) *arena {
+	ar := &arena{words: words, kb: make([]byte, 8*words)}
+	for i := range ar.shards {
+		ar.shards[i].ids = make(map[string]int32)
+	}
+	return ar
+}
+
+// intern records the bitset if unseen and returns its id and whether it
+// was fresh. set is copied into the arena; callers may reuse it.
+func (ar *arena) intern(set []uint64) (int32, bool) {
+	const (
+		fnvOffset uint64 = 14695981039346656037
+		fnvPrime  uint64 = 1099511628211
+	)
+	kb := ar.kb
+	h := fnvOffset
+	for i, w := range set {
+		binary.LittleEndian.PutUint64(kb[i*8:], w)
+		h ^= w
+		h *= fnvPrime
+	}
+	sh := &ar.shards[h&(arenaShards-1)]
+	if bid, ok := sh.ids[string(kb)]; ok {
+		return bid, false
+	}
+	local := int32(len(sh.data) / ar.words)
+	bid := local<<6 | int32(h&(arenaShards-1))
+	sh.ids[string(kb)] = bid
+	sh.data = append(sh.data, set...)
+	ar.count++
+	return bid, true
+}
+
+// set returns the interned bitset of a belief id. The slice aliases the
+// arena; callers must not modify it.
+func (ar *arena) set(bid int32) []uint64 {
+	sh := &ar.shards[bid&(arenaShards-1)]
+	local := int(bid >> 6)
+	return sh.data[local*ar.words : (local+1)*ar.words]
+}
+
+// startBelief interns the τ-closure of the context start state.
+func (sv *solver) startBelief() int32 {
+	buf := sv.buf
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[sv.startGid>>6] |= 1 << (uint(sv.startGid) & 63)
+	sv.tauClose(buf)
+	bid, fresh := sv.ar.intern(buf)
+	if fresh {
+		sv.stats.Beliefs++
+	}
+	return bid
+}
+
+// step computes the belief after P observes action aid from belief bid:
+// every aid-successor of every member, τ-closed, interned. Returns −1
+// when no member offers aid (the adversary cannot play it on this
+// trail). Each (belief, action) pair is computed once and memoized.
+func (sv *solver) step(bid int32, aid int32) int32 {
+	key := uint64(uint32(bid))<<32 | uint64(uint32(aid))
+	if nb, ok := sv.stepMemo[key]; ok {
+		return nb
+	}
+	cur := sv.ar.set(bid)
+	buf := sv.buf
+	for i := range buf {
+		buf[i] = 0
+	}
+	hit := false
+	for w, word := range cur {
+		for word != 0 {
+			s := int32(w<<6 | bits.TrailingZeros64(word))
+			word &= word - 1
+			vm := sv.cg.vis[s]
+			lo, hi := 0, len(vm)
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if vm[mid].aid < aid {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			for ; lo < len(vm) && vm[lo].aid == aid; lo++ {
+				buf[vm[lo].to>>6] |= 1 << (uint(vm[lo].to) & 63)
+				hit = true
+			}
+		}
+	}
+	nb := int32(-1)
+	if hit {
+		sv.tauClose(buf)
+		var fresh bool
+		nb, fresh = sv.ar.intern(buf)
+		if fresh {
+			sv.stats.Beliefs++
+		}
+	}
+	sv.stepMemo[key] = nb
+	return nb
+}
+
+// tauClose closes the bitset under the context's τ-moves (including the
+// edge to the synthetic ⊥ from divergent states) in place.
+func (sv *solver) tauClose(buf []uint64) {
+	stack := sv.closeStack[:0]
+	for w, word := range buf {
+		for word != 0 {
+			stack = append(stack, int32(w<<6|bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range sv.cg.tau[s] {
+			if buf[t>>6]&(1<<(uint(t)&63)) == 0 {
+				buf[t>>6] |= 1 << (uint(t) & 63)
+				stack = append(stack, t)
+			}
+		}
+	}
+	sv.closeStack = stack
+}
+
+// blocked reports whether the belief contains a stable context state
+// offering no action in acts — the adversary can steer there and stop
+// the game. The synthetic ⊥ is stable and offers nothing, so any belief
+// containing it is blocked.
+func (sv *solver) blocked(bid int32, acts []int32) bool {
+	for w, word := range sv.ar.set(bid) {
+		for word != 0 {
+			s := int32(w<<6 | bits.TrailingZeros64(word))
+			word &= word - 1
+			if sv.cg.stable[s] && !intersect32(sv.cg.offers[s], acts) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// intersect32 reports whether two sorted int32 slices share an element.
+func intersect32(xs, ys []int32) bool {
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		switch {
+		case xs[i] == ys[j]:
+			return true
+		case xs[i] < ys[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

@@ -1,0 +1,296 @@
+package belief
+
+import (
+	"fmt"
+	"sort"
+
+	"fspnet/internal/explore"
+	"fspnet/internal/game"
+)
+
+// visMove is one visible context move, compiled to a dense action id and
+// a dense context-state id.
+type visMove struct {
+	aid int32
+	to  int32
+}
+
+// ctxGraph is the enumerated reachable context: exactly the transition
+// system of the composed context Q, with states as dense ids over the
+// interned reachable vectors. tau holds Q's τ-moves (member τ and
+// context-internal handshakes), vis its visible moves (solo firings of
+// P-shared actions). Under the cyclic semantics a synthetic divergence
+// leaf ⊥ (id bot) is appended, with a τ-edge from every state that can
+// reach a context-τ cycle via context-τ moves.
+type ctxGraph struct {
+	n      int // reachable context vectors, excluding ⊥
+	bot    int32
+	tau    [][]int32
+	vis    [][]visMove // sorted by (aid, to)
+	offers [][]int32   // sorted unique aids offered, per state
+	stable []bool      // no τ-move (before the ⊥ edge; divergent states are never stable)
+}
+
+// size returns the number of context states including ⊥ when present.
+func (cg *ctxGraph) size() int {
+	if cg.bot >= 0 {
+		return cg.n + 1
+	}
+	return cg.n
+}
+
+// words returns the belief-bitset width in 64-bit words.
+func (cg *ctxGraph) words() int { return (cg.size() + 63) / 64 }
+
+// buildCtx runs the context passes: "ctx-bfs" enumerates the reachable
+// context vectors into the sharded interner, "ctx-adj" materializes the
+// dense adjacency, and — under the cyclic semantics, when the context
+// has at least two members — "ctx-scc" finds the silently divergent
+// states and appends the synthetic ⊥. Returns the graph and the dense id
+// of the context start vector.
+func (sv *solver) buildCtx(cyclic bool) (*ctxGraph, int32, error) {
+	M := sv.M
+	m := M.NumProcs()
+	in := explore.NewInterner(m)
+	kb := make([]byte, 4*m)
+	scratch := make([]uint32, m)
+	start := M.StartVec()
+	in.Intern(explore.PackVec(kb, start), start)
+	sv.stats.CtxStates = 1
+	frontier := append([]uint32(nil), start...)
+	depth := 0
+	for len(frontier) > 0 {
+		if err := sv.g.Poll("ctx-bfs", depth); err != nil {
+			return nil, 0, sv.limit(fmt.Errorf("belief: context BFS stopped at level %d: %w", depth, err),
+				"ctx-bfs", sv.stats.CtxStates)
+		}
+		if sv.stats.CtxStates > sv.budget {
+			return nil, 0, sv.limit(fmt.Errorf("belief: %d context states: %w", sv.stats.CtxStates, game.ErrBudget),
+				"ctx-bfs", sv.stats.CtxStates)
+		}
+		var next []uint32
+		fresh := 0
+		for v := 0; v < len(frontier); v += m {
+			M.CtxMoves(frontier[v:v+m], scratch, func(succ []uint32, aid int32) bool {
+				if in.Intern(explore.PackVec(kb, succ), succ) {
+					fresh++
+					next = append(next, succ...)
+				}
+				return true
+			})
+		}
+		sv.stats.CtxStates += fresh
+		frontier = next
+		depth++
+		if err := sv.g.Charge(fresh); err != nil {
+			return nil, 0, sv.limit(fmt.Errorf("belief: %d context states: %w", sv.stats.CtxStates, err),
+				"ctx-bfs", sv.stats.CtxStates)
+		}
+	}
+	ix := in.Index()
+	n := ix.Size()
+	startGid := int32(ix.Gid(explore.PackVec(kb, start)))
+	cg := &ctxGraph{
+		n:      n,
+		bot:    -1,
+		tau:    make([][]int32, n),
+		vis:    make([][]visMove, n),
+		offers: make([][]int32, n),
+		stable: make([]bool, n),
+	}
+	for gid := 0; gid < n; gid++ {
+		if err := sv.poll("ctx-adj", gid); err != nil {
+			return nil, 0, err
+		}
+		M.CtxMoves(ix.Vec(gid), scratch, func(succ []uint32, aid int32) bool {
+			sg := int32(ix.Gid(explore.PackVec(kb, succ)))
+			if aid < 0 {
+				cg.tau[gid] = append(cg.tau[gid], sg)
+			} else {
+				cg.vis[gid] = append(cg.vis[gid], visMove{aid: aid, to: sg})
+			}
+			return true
+		})
+		cg.tau[gid] = dedup32(cg.tau[gid])
+		vm := cg.vis[gid]
+		sort.Slice(vm, func(i, j int) bool {
+			if vm[i].aid != vm[j].aid {
+				return vm[i].aid < vm[j].aid
+			}
+			return vm[i].to < vm[j].to
+		})
+		w := 0
+		for i, t := range vm {
+			if i == 0 || t != vm[w-1] {
+				vm[w] = t
+				w++
+			}
+		}
+		cg.vis[gid] = vm[:w]
+		var offers []int32
+		for _, t := range cg.vis[gid] {
+			if len(offers) == 0 || offers[len(offers)-1] != t.aid {
+				offers = append(offers, t.aid)
+			}
+		}
+		cg.offers[gid] = offers
+		cg.stable[gid] = len(cg.tau[gid]) == 0
+	}
+	// The divergence rule applies only when the context actually composes
+	// (≥ 2 members): ComposeAllCyclic adds no ⊥ to a single raw member.
+	if cyclic && m >= 3 {
+		if err := sv.addDivergenceBot(cg); err != nil {
+			return nil, 0, err
+		}
+	}
+	return cg, startGid, nil
+}
+
+// addDivergenceBot runs the "ctx-scc" pass: an iterative Tarjan SCC
+// decomposition of the context-τ subgraph finds the states on τ-cycles
+// (component of size > 1, or a τ self-loop), and a backward sweep over
+// the τ-edges closes them under "can reach". When any state is
+// divergent, the synthetic ⊥ is appended and each divergent state gets a
+// τ-edge to it — the flat image of the fold's divergence leaves.
+func (sv *solver) addDivergenceBot(cg *ctxGraph) error {
+	if err := sv.g.Poll("ctx-scc", 0); err != nil {
+		return sv.limit(fmt.Errorf("belief: divergence pass: %w", err), "ctx-scc", sv.stats.CtxStates)
+	}
+	n := cg.n
+	const undef = -1
+	num := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onstack := make([]bool, n)
+	compSize := make([]int32, n)
+	for i := range num {
+		num[i] = undef
+		comp[i] = undef
+	}
+	type frame struct {
+		gid  int32
+		next int
+	}
+	var frames []frame
+	var tstack []int32
+	var counter int32
+	for root := 0; root < n; root++ {
+		if num[root] != undef {
+			continue
+		}
+		num[root], low[root] = counter, counter
+		counter++
+		tstack = append(tstack, int32(root))
+		onstack[root] = true
+		frames = append(frames[:0], frame{gid: int32(root)})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < len(cg.tau[f.gid]) {
+				s := cg.tau[f.gid][f.next]
+				f.next++
+				if num[s] == undef {
+					num[s], low[s] = counter, counter
+					counter++
+					if err := sv.poll("ctx-scc", int(counter)); err != nil {
+						return err
+					}
+					tstack = append(tstack, s)
+					onstack[s] = true
+					frames = append(frames, frame{gid: s})
+				} else if onstack[s] && num[s] < low[f.gid] {
+					low[f.gid] = num[s]
+				}
+				continue
+			}
+			g := f.gid
+			frames = frames[:len(frames)-1]
+			if low[g] == num[g] {
+				var size int32
+				for {
+					t := tstack[len(tstack)-1]
+					tstack = tstack[:len(tstack)-1]
+					onstack[t] = false
+					comp[t] = g
+					size++
+					if t == g {
+						break
+					}
+				}
+				compSize[g] = size
+			}
+			if len(frames) > 0 {
+				if pg := frames[len(frames)-1].gid; low[g] < low[pg] {
+					low[pg] = low[g]
+				}
+			}
+		}
+	}
+	divergent := make([]bool, n)
+	any := false
+	for s := 0; s < n; s++ {
+		if compSize[comp[s]] > 1 {
+			divergent[s] = true
+			any = true
+			continue
+		}
+		for _, t := range cg.tau[s] {
+			if t == int32(s) {
+				divergent[s] = true
+				any = true
+				break
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	// Backward propagation: a state with a τ-edge into a divergent state
+	// is divergent. Process over the reversed τ-edges with a worklist.
+	rev := make([][]int32, n)
+	for s := 0; s < n; s++ {
+		for _, t := range cg.tau[s] {
+			rev[t] = append(rev[t], int32(s))
+		}
+	}
+	var work []int32
+	for s := 0; s < n; s++ {
+		if divergent[s] {
+			work = append(work, int32(s))
+		}
+	}
+	for len(work) > 0 {
+		d := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range rev[d] {
+			if !divergent[s] {
+				divergent[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	cg.bot = int32(n)
+	cg.tau = append(cg.tau, nil)
+	cg.vis = append(cg.vis, nil)
+	cg.offers = append(cg.offers, nil)
+	cg.stable = append(cg.stable, true)
+	sv.stats.CtxStates++
+	for s := 0; s < n; s++ {
+		if divergent[s] {
+			cg.tau[s] = append(cg.tau[s], cg.bot)
+		}
+	}
+	return nil
+}
+
+// dedup32 sorts xs and removes duplicates in place.
+func dedup32(xs []int32) []int32 {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	w := 0
+	for i, x := range xs {
+		if i == 0 || x != xs[w-1] {
+			xs[w] = x
+			w++
+		}
+	}
+	return xs[:w]
+}

@@ -1,0 +1,254 @@
+package belief
+
+// This file holds the two game solvers over (P-state, belief) positions.
+// Both replace the legacy memoized recursion with iterative worklists:
+// the acyclic game is a DFS over the position DAG with an explicit
+// frame stack, the cyclic game a reachability sweep followed by a
+// counter-based greatest-fixpoint elimination. Every loop is sequential
+// and visits positions in a fixed order, so position counts — and the
+// partial verdicts reported when the governor stops a worklist — are
+// deterministic.
+
+const (
+	lose = uint8(1)
+	win  = uint8(2)
+)
+
+func posKey(p uint32, bid int32) uint64 {
+	return uint64(p)<<32 | uint64(uint32(bid))
+}
+
+// solveAcyclic evaluates the acyclic game from the start position. P
+// wins at a position iff P is at a leaf, or the position is not blocked
+// and every action the adversary can offer has some P-response that
+// wins. The position graph is a DAG (every move fires a real P
+// transition and P is acyclic), so a depth-first evaluation with an
+// explicit stack terminates without in-progress tracking.
+func (sv *solver) solveAcyclic() (bool, error) {
+	memo := make(map[uint64]uint8)
+	startBid := sv.startBelief()
+
+	// frame is one in-progress position: iterating its actions (ai), and
+	// for the current offerable action the stepped belief (nbid) and the
+	// P-response range [si, hi) into pvis[p]. lo < 0 marks "advance to
+	// the next action".
+	type frame struct {
+		key    uint64
+		p      uint32
+		bid    int32
+		acts   []int32
+		ai     int
+		lo     int
+		si, hi int
+		nbid   int32
+	}
+	var stack []frame
+
+	// resolve enters a position: memo hit or terminal verdicts resolve
+	// immediately, anything else pushes a frame.
+	resolve := func(p uint32, bid int32) (done bool, v uint8, err error) {
+		key := posKey(p, bid)
+		if v, ok := memo[key]; ok {
+			return true, v, nil
+		}
+		sv.stats.Positions++
+		if err := sv.chargePos(); err != nil {
+			return false, 0, err
+		}
+		if sv.M.DistLeaf(p) {
+			memo[key] = win
+			return true, win, nil
+		}
+		acts := sv.pacts[p]
+		if sv.blocked(bid, acts) {
+			memo[key] = lose
+			return true, lose, nil
+		}
+		stack = append(stack, frame{key: key, p: p, bid: bid, acts: acts, lo: -1, nbid: -1})
+		return false, 0, nil
+	}
+
+	done, v, err := resolve(uint32(sv.M.DistStart()), startBid)
+	if err != nil {
+		return false, err
+	}
+	if done {
+		return v == win, nil
+	}
+	var final uint8
+	// pop finishes the top frame with verdict v, feeding it to the
+	// parent: a winning response advances the parent to its next action,
+	// a losing one to its next response.
+	pop := func(v uint8) {
+		f := stack[len(stack)-1]
+		memo[f.key] = v
+		stack = stack[:len(stack)-1]
+		if len(stack) == 0 {
+			final = v
+			return
+		}
+		parent := &stack[len(stack)-1]
+		if v == win {
+			parent.ai++
+			parent.lo = -1
+		} else {
+			parent.si++
+		}
+	}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.lo < 0 {
+			if f.ai >= len(f.acts) {
+				pop(win) // every offerable action has a winning response
+				continue
+			}
+			aid := f.acts[f.ai]
+			nb := sv.step(f.bid, aid)
+			if nb < 0 {
+				f.ai++ // the adversary cannot offer aid on this trail
+				continue
+			}
+			f.nbid = nb
+			f.lo, f.hi = sv.succRange(f.p, aid)
+			f.si = f.lo
+		}
+		if f.si >= f.hi {
+			pop(lose) // the adversary forces acts[ai]: every response loses
+			continue
+		}
+		done, v, err := resolve(sv.pvis[f.p][f.si].To, f.nbid)
+		if err != nil {
+			return false, err
+		}
+		if done {
+			// resolve pushed nothing, so f is still the top frame.
+			if v == win {
+				f.ai++
+				f.lo = -1
+			} else {
+				f.si++
+			}
+		}
+		// Otherwise the child frame is on top; evaluate it first.
+	}
+	return final == win, nil
+}
+
+// solveCyclic evaluates the Section 4 game: P wins iff it can play
+// forever. First a breadth-first sweep interns every position reachable
+// from the start and records its edge groups (per offerable action, the
+// P-responses into the stepped belief); then the greatest fixpoint
+// removes positions while they are terminal (P at a leaf), blocked, or
+// have some offerable action all of whose responses are removed —
+// implemented backward, decrementing per-group counters of surviving
+// responses.
+func (sv *solver) solveCyclic() (bool, error) {
+	startBid := sv.startBelief()
+	type pnode struct {
+		p   uint32
+		bid int32
+	}
+	ids := make(map[uint64]int32)
+	var list []pnode
+	var dead []bool      // P leaf or blocked at discovery time
+	var groups [][][]int32 // per position, per offerable action, response position ids
+
+	addPos := func(p uint32, bid int32) (int32, error) {
+		key := posKey(p, bid)
+		if id, ok := ids[key]; ok {
+			return id, nil
+		}
+		id := int32(len(list))
+		ids[key] = id
+		list = append(list, pnode{p: p, bid: bid})
+		sv.stats.Positions++
+		return id, sv.chargePos()
+	}
+	if _, err := addPos(uint32(sv.M.DistStart()), startBid); err != nil {
+		return false, err
+	}
+	for u := 0; u < len(list); u++ {
+		nd := list[u]
+		if sv.M.DistLeaf(nd.p) || sv.blocked(nd.bid, sv.pacts[nd.p]) {
+			// Immediately losing; its outgoing plays cannot save it and
+			// positions reachable only through it cannot matter.
+			dead = append(dead, true)
+			groups = append(groups, nil)
+			continue
+		}
+		dead = append(dead, false)
+		var gs [][]int32
+		for _, aid := range sv.pacts[nd.p] {
+			nb := sv.step(nd.bid, aid)
+			if nb < 0 {
+				continue
+			}
+			lo, hi := sv.succRange(nd.p, aid)
+			ds := make([]int32, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				id, err := addPos(sv.pvis[nd.p][i].To, nb)
+				if err != nil {
+					return false, err
+				}
+				ds = append(ds, id)
+			}
+			gs = append(gs, ds)
+		}
+		groups = append(groups, gs)
+	}
+
+	// Greatest fixpoint by backward counter propagation. goodCount[u][g]
+	// is the number of still-winning responses in group g of position u;
+	// when it hits zero the adversary can force that action and u falls.
+	if err := sv.g.Poll("fixpoint", 0); err != nil {
+		return false, sv.limit(err, "fixpoint", sv.stats.Positions)
+	}
+	n := len(list)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	type ref struct {
+		u int32
+		g int32
+	}
+	rev := make([][]ref, n)
+	goodCount := make([][]int32, n)
+	for u := range groups {
+		gc := make([]int32, len(groups[u]))
+		for g, ds := range groups[u] {
+			gc[g] = int32(len(ds))
+			for _, d := range ds {
+				rev[d] = append(rev[d], ref{u: int32(u), g: int32(g)})
+			}
+		}
+		goodCount[u] = gc
+	}
+	var work []int32
+	for u := 0; u < n; u++ {
+		if dead[u] {
+			alive[u] = false
+			work = append(work, int32(u))
+		}
+	}
+	removed := 0
+	for len(work) > 0 {
+		d := work[len(work)-1]
+		work = work[:len(work)-1]
+		removed++
+		if err := sv.poll("fixpoint", removed); err != nil {
+			return false, err
+		}
+		for _, r := range rev[d] {
+			if !alive[r.u] {
+				continue
+			}
+			goodCount[r.u][r.g]--
+			if goodCount[r.u][r.g] == 0 {
+				alive[r.u] = false
+				work = append(work, r.u)
+			}
+		}
+	}
+	return alive[0], nil
+}

@@ -257,10 +257,17 @@ func SolveCyclicOpts(p, q *fsp.FSP, o Options) (bool, error) {
 // positions for the cyclic game — a measure of the d^n bound of
 // Proposition 2, used by the benchmark harness.
 func ReachablePairs(p, q *fsp.FSP) (int, error) {
+	return ReachablePairsOpts(p, q, Options{})
+}
+
+// ReachablePairsOpts is ReachablePairs under an explicit budget and
+// governor: the sweep polls o.Guard every stride of positions and stops
+// with a *guard.LimitErr when it is exhausted, like the solvers.
+func ReachablePairsOpts(p, q *fsp.FSP, o Options) (int, error) {
 	if err := checkP(p); err != nil {
 		return 0, err
 	}
-	sv := &solver{p: p, q: q, budget: DefaultBudget, beliefs: make(map[string][]fsp.State)}
+	sv := &solver{p: p, q: q, budget: o.budget(), g: o.Guard, beliefs: make(map[string][]fsp.State)}
 	startKey, _ := sv.intern(q.TauClosure([]fsp.State{q.Start()}))
 	start := node{p: p.Start(), key: startKey}
 	var work queue.Queue[node]
@@ -278,6 +285,9 @@ func ReachablePairs(p, q *fsp.FSP) (int, error) {
 		}
 		if err := sv.poll(count); err != nil {
 			return count, err
+		}
+		if err := sv.g.Charge(1); err != nil {
+			return count, sv.limit(fmt.Errorf("game: %d positions: %w", count, err), count)
 		}
 		for _, act := range sv.p.ActionsAt(nd.p) {
 			next := sv.q.Step(sv.beliefs[nd.key], act)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fspnet/internal/fsp"
+	"fspnet/internal/guard"
 )
 
 func TestSolveAcyclicTrivialWin(t *testing.T) {
@@ -136,5 +137,26 @@ func TestReachablePairs(t *testing.T) {
 	}
 	if n != 3 {
 		t.Errorf("ReachablePairs = %d, want 3 (one per P depth)", n)
+	}
+}
+
+// TestReachablePairsOpts pins the sweep to its Options: both the explicit
+// position budget and the governor's shared charge budget must stop it
+// with the usual sentinels (the plain ReachablePairs silently used
+// DefaultBudget and no guard).
+func TestReachablePairsOpts(t *testing.T) {
+	p := fsp.Linear("P", "a", "b")
+	q := fsp.Linear("Q", "a", "b")
+	if _, err := ReachablePairsOpts(p, q, Options{Budget: 1}); !errors.Is(err, ErrBudget) {
+		t.Errorf("Budget=1: err = %v, want ErrBudget", err)
+	}
+	g := guard.New(guard.Config{Budget: 1})
+	_, err := ReachablePairsOpts(p, q, Options{Guard: g})
+	if !errors.Is(err, guard.ErrBudget) {
+		t.Errorf("guard budget: err = %v, want guard.ErrBudget", err)
+	}
+	var le *guard.LimitErr
+	if !errors.As(err, &le) || le.Partial.Pass != "game" {
+		t.Errorf("guard budget: err = %v, want a LimitErr naming pass game", err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -525,6 +526,36 @@ func TestReachPredicates(t *testing.T) {
 	_, explicit := postJSON(t, ts.URL, analyzeRequest{Network: netA, Mode: "acyclic", Predicates: PredicatesReach})
 	if !explicit.Cached || explicit.Digest != reach.Digest {
 		t.Errorf("explicit acyclic mode missed the auto-resolved cache entry: %+v", explicit)
+	}
+}
+
+// TestLargeFixtureAllPredicates serves the 20-process philosophers10
+// fixture with the default predicates=all under fspd's default limits
+// (60s cap, no budget): the compose-free belief engine must return a
+// complete S_a verdict — the request that used to exhaust its budget
+// composing the 19-process context.
+func TestLargeFixtureAllPredicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large fixture in -short mode")
+	}
+	src, err := os.ReadFile("../../testdata/philosophers10.fsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{MaxTimeout: 60 * time.Second})
+	resp, ar := postJSON(t, ts.URL, analyzeRequest{Network: string(src)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ar.Record.Status != verdictjson.StatusOK {
+		t.Fatalf("record = %+v, want a complete verdict", ar.Record)
+	}
+	if ar.Record.Su == nil || ar.Record.Sa == nil || ar.Record.Sc == nil {
+		t.Fatalf("record = %+v, want all three predicates decided", ar.Record)
+	}
+	if *ar.Record.Su || *ar.Record.Sa || !*ar.Record.Sc {
+		t.Errorf("verdict (Su=%v Sa=%v Sc=%v), want (false,false,true)",
+			*ar.Record.Su, *ar.Record.Sa, *ar.Record.Sc)
 	}
 }
 

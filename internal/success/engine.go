@@ -7,6 +7,7 @@ import (
 
 	"fspnet/internal/explore"
 	"fspnet/internal/game"
+	"fspnet/internal/game/belief"
 	"fspnet/internal/guard"
 	"fspnet/internal/network"
 )
@@ -15,12 +16,11 @@ import (
 type Backend int
 
 const (
-	// BackendExplore — the default — decides S_u and S_c with the
-	// on-the-fly joint-vector engine of internal/explore, never composing
-	// the context for those two predicates. S_a still solves the
-	// belief-set game on the composed context: the game's knowledge sets
-	// genuinely range over context states, so composition is intrinsic
-	// there.
+	// BackendExplore — the default — never composes the context: S_u and
+	// S_c come from the on-the-fly joint-vector engine of
+	// internal/explore, and S_a from internal/game/belief, which plays
+	// the Figure 4 game directly against the context as joint state
+	// vectors with bitset beliefs over the reachable context space.
 	BackendExplore Backend = iota
 	// BackendCompose materializes the context with ‖ and runs the
 	// original pairwise procedures — the compose-then-explore path, kept
@@ -95,19 +95,7 @@ func AnalyzeAcyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
 		return Verdict{}, wrapEngineErr(err)
 	}
 	v := Verdict{Su: res.Su, Sc: res.Sc}
-	// Pass boundary between the engine and the S_a game: the context is
-	// about to be composed, which the governor cannot subdivide.
-	if err := o.Guard.Poll("compose", 0); err != nil {
-		return Verdict{}, o.Guard.Limit(fmt.Errorf("success: before S_a game: %w", err), guard.Partial{
-			States: res.Stats.States, Depth: res.Stats.Depth, Pass: "compose",
-			Su: guard.Of(v.Su), Sc: guard.Of(v.Sc),
-		})
-	}
-	q, err := n.Context(i, false)
-	if err != nil {
-		return Verdict{}, err
-	}
-	if v.Sa, err = game.SolveAcyclicOpts(n.Process(i), q, gameOpts(o)); err != nil {
+	if v.Sa, _, err = belief.SolveAcyclic(n, i, gameOpts(o)); err != nil {
 		return Verdict{}, enrichGameLimit(err, v.Su, v.Sc)
 	}
 	return v, nil
@@ -123,17 +111,7 @@ func AnalyzeCyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
 		return Verdict{}, wrapEngineErr(err)
 	}
 	v := Verdict{Su: res.Su, Sc: res.Sc}
-	if err := o.Guard.Poll("compose", 0); err != nil {
-		return Verdict{}, o.Guard.Limit(fmt.Errorf("success: before S_a game: %w", err), guard.Partial{
-			States: res.Stats.States, Depth: res.Stats.Depth, Pass: "compose",
-			Su: guard.Of(v.Su), Sc: guard.Of(v.Sc),
-		})
-	}
-	q, err := n.Context(i, true)
-	if err != nil {
-		return Verdict{}, err
-	}
-	if v.Sa, err = game.SolveCyclicOpts(n.Process(i), q, gameOpts(o)); err != nil {
+	if v.Sa, _, err = belief.SolveCyclic(n, i, gameOpts(o)); err != nil {
 		return Verdict{}, enrichGameLimit(err, v.Su, v.Sc)
 	}
 	return v, nil

@@ -41,7 +41,8 @@ type Options struct {
 	NoNormalForm bool
 	// Fallback retries a budget failure with the reference analysis
 	// (success.AnalyzeAcyclic, which explores joint state vectors on the
-	// fly and never pays for the blown-up subtree composition). Verdicts
+	// fly for S_u/S_c and plays the compose-free belief game for S_a,
+	// so it never pays for the blown-up subtree composition). Verdicts
 	// other than budget failures are unaffected; cancellation and
 	// deadline failures propagate rather than fall back — the caller's
 	// time is already spent.
