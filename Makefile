@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-fault serve-test serve-smoke bench bench-smoke experiments experiments-quick experiments-json vet lint fuzz-short cover examples clean
+.PHONY: all build test test-race test-fault serve-test serve-smoke bench bench-smoke experiments experiments-quick experiments-json vet lint lint-specs fuzz-short cover examples clean
 
 all: build vet lint test
 
@@ -12,14 +12,21 @@ build:
 vet:
 	$(GO) vet ./...
 
-# lint runs the fsplint analyzer suite (mapiter, frozenfsp, detrand) over
-# every package. See docs/ANALYSIS.md. It also runs as a go vet tool:
+# lint runs the fsplint analyzer suite (detrand, frozenbits, frozenfsp,
+# guardpoll, mapiter) over every package, then the speclint analyzers
+# over every .fsp corpus file. See docs/ANALYSIS.md. It also runs as a
+# go vet tool:
 #   go build -o bin/fsplint ./cmd/fsplint && go vet -vettool=bin/fsplint ./...
 # The second invocation pins the game solvers explicitly: a map-order
 # dependence there changes verdict determinism, not just output order.
-lint:
+lint: lint-specs
 	$(GO) run ./cmd/fsplint ./...
 	$(GO) run ./cmd/fsplint ./internal/game/...
+
+# lint-specs runs speclint over the .fsp corpora: any non-waived
+# diagnostic fails the build (fsplint exits 2).
+lint-specs:
+	$(GO) run ./cmd/fsplint -specs ./testdata/... ./examples/...
 
 test:
 	$(GO) test -timeout 10m ./...
@@ -54,6 +61,7 @@ fuzz-short:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/fsplang
 	$(GO) test -fuzz=FuzzFormatRoundTrip -fuzztime=10s ./internal/fsplang
 	$(GO) test -fuzz=FuzzDifferentialSa -fuzztime=10s ./internal/game/belief
+	$(GO) test -fuzz=FuzzSpeclint -fuzztime=10s ./internal/speclint
 
 test-verbose:
 	$(GO) test -count=1 -v ./... 2>&1 | tee test_output.txt

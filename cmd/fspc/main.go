@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	fspc [-p N] [-algo auto|reference|tree|linear|unary] [-format text|json] [-timeout 10s] [-dot] file.fsp
+//	fspc [-p N] [-algo auto|reference|tree|linear|unary] [-format text|json] [-timeout 10s] [-dot] [-lint] file.fsp
 //
 // With "-" as the file, input is read from stdin. When -timeout expires
 // before the analysis finishes, fspc exits with code 3 and prints the
@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,11 +31,16 @@ import (
 	"fspnet/internal/linear"
 	"fspnet/internal/network"
 	"fspnet/internal/poss"
+	"fspnet/internal/speclint"
 	"fspnet/internal/success"
 	"fspnet/internal/treesolve"
 	"fspnet/internal/unary"
 	"fspnet/internal/verdictjson"
 )
+
+// errLint reports that -lint found diagnostics; it maps to exit code 2,
+// matching fsplint's convention for "the input is understood but dirty".
+var errLint = errors.New("specification has lint findings")
 
 func main() {
 	os.Exit(exitCode(os.Stderr, run(os.Args[1:], os.Stdin, os.Stdout)))
@@ -43,7 +49,7 @@ func main() {
 // exitCode maps run's outcome to the process exit code, writing the
 // diagnostic to stderr: 0 on success, 3 on a governor stop (deadline,
 // budget, cancellation — the run produced a well-formed partial verdict),
-// 1 on any other failure.
+// 2 on lint findings under -lint, 1 on any other failure.
 func exitCode(stderr io.Writer, err error) int {
 	if err == nil {
 		return 0
@@ -53,6 +59,10 @@ func exitCode(stderr io.Writer, err error) int {
 		fmt.Fprintln(stderr, "fspc:", le.Reason)
 		fmt.Fprintln(stderr, "fspc: partial:", le.Partial)
 		return 3
+	}
+	if errors.Is(err, errLint) {
+		fmt.Fprintln(stderr, "fspc:", err)
+		return 2
 	}
 	fmt.Fprintln(stderr, "fspc:", err)
 	return 1
@@ -74,6 +84,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		witness  = fs.Bool("witness", false, "print collaboration and blocking traces (acyclic networks)")
 		strategy = fs.Bool("strategy", false, "print a winning strategy for the adversity game when one exists")
 		timeout  = fs.Duration("timeout", 0, "wall-clock deadline for the analysis (0 = none); exits 3 with a partial verdict")
+		lint     = fs.Bool("lint", false, "lint the specification with speclint and exit without analyzing; exits 2 on findings")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -85,8 +96,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("expected exactly one input file, got %d", fs.NArg())
 	}
 	var src io.Reader
-	if fs.Arg(0) == "-" {
+	name := fs.Arg(0)
+	if name == "-" {
 		src = stdin
+		name = "stdin"
 	} else {
 		f, err := os.Open(fs.Arg(0))
 		if err != nil {
@@ -95,10 +108,42 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		defer f.Close()
 		src = f
 	}
-	n, err := fsplang.Parse(src)
+	data, err := io.ReadAll(src)
 	if err != nil {
 		return err
 	}
+	if *lint {
+		// Lint mode works on the validation-free spec layer, so specs
+		// that network construction would reject (an unmatched action, an
+		// unreachable state) still get positioned diagnostics instead of
+		// one opaque error.
+		diags, err := speclint.Run(name, string(data))
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			if *jsonOut || *format == "json" {
+				line, err := json.Marshal(d)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(stdout, string(line))
+			} else {
+				fmt.Fprintln(stdout, d)
+			}
+		}
+		if len(diags) > 0 {
+			return errLint
+		}
+		return nil
+	}
+	n, err := fsplang.ParseString(string(data))
+	if err != nil {
+		return err
+	}
+	// ParseSpec accepts everything ParseString accepts, so the lint pass
+	// cannot fail here; its non-waived findings become analyze warnings.
+	warnings, _ := speclint.Run(name, string(data))
 	opts, err := engineOptions(*engine)
 	if err != nil {
 		return err
@@ -120,14 +165,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	switch *format {
 	case "text":
 		if *jsonOut {
-			return jsonReport(stdout, n, *dist, *all, opts)
+			return jsonReport(stdout, n, *dist, *all, opts, warnings)
 		}
 	case "json":
-		return jsonReport(stdout, n, *dist, *all, opts)
+		return jsonReport(stdout, n, *dist, *all, opts, warnings)
 	default:
 		return fmt.Errorf("unknown format %q (want text or json)", *format)
 	}
 	describe(stdout, n, *dist)
+	for _, d := range warnings {
+		fmt.Fprintf(stdout, "warning: %s\n", d)
+	}
 	if *all {
 		return analyzeAll(stdout, n, opts)
 	}
@@ -357,6 +405,9 @@ type report struct {
 	CN        graphInfo            `json:"communicationGraph"`
 	Algorithm string               `json:"algorithm"`
 	Results   []verdictjson.Record `json:"results"`
+	// Warnings are the non-waived speclint findings for the input spec,
+	// in the same shape fsplint -json and fspd's /v1/lint emit.
+	Warnings []speclint.Diagnostic `json:"warnings,omitempty"`
 }
 
 type processInfo struct {
@@ -379,8 +430,8 @@ type graphInfo struct {
 // for that process — the remaining processes still run — and the first
 // such error is returned after the report is written, so the exit code
 // (3) and stderr diagnostics match the text path.
-func jsonReport(w io.Writer, n *network.Network, dist int, all bool, opts success.Options) error {
-	rep := report{Algorithm: "reference"}
+func jsonReport(w io.Writer, n *network.Network, dist int, all bool, opts success.Options, warnings []speclint.Diagnostic) error {
+	rep := report{Algorithm: "reference", Warnings: warnings}
 	for i := 0; i < n.Len(); i++ {
 		p := n.Process(i)
 		alpha := make([]string, 0, len(p.Alphabet()))

@@ -340,3 +340,102 @@ func TestExitCodeMapping(t *testing.T) {
 		t.Errorf("exitCode(wrapped LimitErr) = %d, want 3", code)
 	}
 }
+
+const lintDirty = `
+process P { start s0; s0 lonely s1; s0 tau s0 }
+`
+
+// lintWarned is a valid network (the builder accepts it) that still
+// lints dirty: P can diverge on its τ-self-loop.
+const lintWarned = `
+process P { start s0; s0 a s0; s0 tau s0 }
+process Q { start t0; t0 a t0 }
+`
+
+func TestRunLintDirty(t *testing.T) {
+	out, err := runFspc(t, lintDirty, "-lint", "-")
+	if !errors.Is(err, errLint) {
+		t.Fatalf("want errLint, got %v", err)
+	}
+	if !strings.Contains(out, "unmatched") || !strings.Contains(out, "taudiv") {
+		t.Errorf("lint output missing findings:\n%s", out)
+	}
+	if !strings.Contains(out, "stdin:2:") {
+		t.Errorf("lint output missing positions:\n%s", out)
+	}
+}
+
+func TestRunLintClean(t *testing.T) {
+	out, err := runFspc(t, figure3, "-lint", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean spec must print nothing, got:\n%s", out)
+	}
+}
+
+func TestRunLintAcceptsInvalidNetwork(t *testing.T) {
+	// ParseString rejects lintDirty outright; -lint must still produce
+	// positioned diagnostics from the validation-free spec layer.
+	if _, err := runFspc(t, lintDirty, "-"); err == nil {
+		t.Fatal("analysis of the invalid network must fail")
+	}
+	if _, err := runFspc(t, lintDirty, "-lint", "-"); !errors.Is(err, errLint) {
+		t.Fatalf("want errLint, got %v", err)
+	}
+}
+
+func TestRunLintJSON(t *testing.T) {
+	out, err := runFspc(t, lintDirty, "-lint", "-json", "-")
+	if !errors.Is(err, errLint) {
+		t.Fatalf("want errLint, got %v", err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var d map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("non-JSON line %q: %v", line, err)
+		}
+		for _, key := range []string{"file", "line", "col", "analyzer", "message"} {
+			if _, ok := d[key]; !ok {
+				t.Errorf("diagnostic missing %q: %s", key, line)
+			}
+		}
+	}
+}
+
+func TestRunAnalyzeWarningsText(t *testing.T) {
+	out, err := runFspc(t, lintWarned, "-algo", "reference", "-p", "1", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "warning: stdin:") || !strings.Contains(out, "taudiv") {
+		t.Errorf("analyze output missing lint warnings:\n%s", out)
+	}
+}
+
+func TestRunAnalyzeWarningsJSON(t *testing.T) {
+	out, err := runFspc(t, lintWarned, "-json", "-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Warnings []map[string]interface{} `json:"warnings"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(rep.Warnings) == 0 {
+		t.Fatalf("expected warnings in report:\n%s", out)
+	}
+	if rep.Warnings[0]["analyzer"] == "" {
+		t.Errorf("warning missing analyzer: %v", rep.Warnings[0])
+	}
+}
+
+func TestExitCodeLint(t *testing.T) {
+	var buf bytes.Buffer
+	if code := exitCode(&buf, errLint); code != 2 {
+		t.Errorf("errLint exit code = %d, want 2", code)
+	}
+}

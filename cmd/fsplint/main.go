@@ -1,31 +1,49 @@
-// Command fsplint runs fspnet's custom static analyzers — mapiter,
-// frozenfsp, and detrand — over Go packages. It is both a standalone
-// multichecker and a `go vet` tool:
+// Command fsplint runs fspnet's custom static analyzers — detrand,
+// frozenbits, frozenfsp, guardpoll, and mapiter — over Go packages, and
+// with -specs lints .fsp network specifications with speclint. It is
+// both a standalone multichecker and a `go vet` tool:
 //
 //	fsplint ./...                         # standalone, patterns
 //	go vet -vettool=$(which fsplint) ./...  # unitchecker protocol
+//	fsplint -specs ./testdata/... spec.fsp  # lint network specs
+//
+// -json switches either mode to machine-readable output: one JSON object
+// per diagnostic per line, with file, line, col, analyzer, and message
+// fields (the shape fspd's /v1/lint endpoint shares).
 //
 // Exit status is 0 when the packages are clean, 2 when diagnostics were
-// reported, and 1 on usage or load errors. Findings are silenced per line
-// with //fsplint:ignore <analyzer> <reason>. See docs/ANALYSIS.md.
+// reported, and 1 on usage or load errors. Go findings are silenced per
+// line with //fsplint:ignore <analyzer> <reason>; spec findings with a
+// # fsplint:ignore comment on or above the line. See docs/ANALYSIS.md.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"fspnet/internal/analysis/detrand"
 	"fspnet/internal/analysis/framework"
+	"fspnet/internal/analysis/frozenbits"
 	"fspnet/internal/analysis/frozenfsp"
+	"fspnet/internal/analysis/guardpoll"
 	"fspnet/internal/analysis/mapiter"
+	"fspnet/internal/fsplang"
+	"fspnet/internal/speclint"
 )
 
 var analyzers = []*framework.Analyzer{
 	detrand.Analyzer,
+	frozenbits.Analyzer,
 	frozenfsp.Analyzer,
+	guardpoll.Analyzer,
 	mapiter.Analyzer,
 }
 
@@ -49,10 +67,16 @@ func run(args []string) int {
 	}
 
 	fs := flag.NewFlagSet("fsplint", flag.ContinueOnError)
+	specs := fs.Bool("specs", false, "lint .fsp network specifications instead of Go packages")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON, one object per line")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: fsplint [packages]\n       fsplint <config>.cfg   (go vet -vettool protocol)\n\nanalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: fsplint [-json] [packages]\n       fsplint -specs [-json] [files | globs | dir/...]\n       fsplint <config>.cfg   (go vet -vettool protocol)\n\nGo analyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(fs.Output(), "\nspec analyzers (-specs):\n")
+		for _, a := range speclint.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, firstLine(a.Doc))
 		}
 	}
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +84,10 @@ func run(args []string) int {
 			return 0 // -h is a successful outcome, not a failure
 		}
 		return 1
+	}
+
+	if *specs {
+		return runSpecs(fs.Args(), *jsonOut)
 	}
 
 	// A single *.cfg argument means the go command is driving us as its
@@ -77,8 +105,160 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "fsplint:", err)
 		return 1
 	}
+	if *jsonOut {
+		if printFindingsJSON(os.Stdout, findings) {
+			return 2
+		}
+		return 0
+	}
 	if framework.Print(os.Stderr, findings) {
 		return 2
 	}
 	return 0
+}
+
+// runSpecs lints .fsp files. Each argument is a literal file, a glob, a
+// directory, or a dir/... recursive pattern; with no arguments the
+// current directory is walked. Parse failures are reported as positioned
+// "syntax" diagnostics so CI and the problem matcher see them the same
+// way as semantic findings.
+func runSpecs(patterns []string, jsonOut bool) int {
+	files, err := expandSpecPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsplint:", err)
+		return 1
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "fsplint: no .fsp files matched")
+		return 1
+	}
+	var diags []speclint.Diagnostic
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fsplint:", err)
+			return 1
+		}
+		fileDiags, err := speclint.Run(file, string(data))
+		if err != nil {
+			var perr *fsplang.PosError
+			if errors.As(err, &perr) {
+				diags = append(diags, speclint.Diagnostic{
+					File: file, Line: perr.Pos.Line, Col: perr.Pos.Col,
+					Analyzer: "syntax", Message: perr.Err.Error(),
+				})
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "fsplint:", err)
+			return 1
+		}
+		diags = append(diags, fileDiags...)
+	}
+	for _, d := range diags {
+		if jsonOut {
+			line, err := json.Marshal(d)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fsplint:", err)
+				return 1
+			}
+			fmt.Fprintln(os.Stdout, string(line))
+		} else {
+			fmt.Fprintln(os.Stderr, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// expandSpecPatterns resolves the -specs arguments to a sorted,
+// deduplicated list of .fsp files.
+func expandSpecPatterns(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var files []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			files = append(files, path)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case strings.HasSuffix(pat, "/..."):
+			root := strings.TrimSuffix(pat, "/...")
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() && strings.HasSuffix(path, ".fsp") {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		case strings.ContainsAny(pat, "*?["):
+			matches, err := filepath.Glob(pat)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range matches {
+				if strings.HasSuffix(m, ".fsp") {
+					add(m)
+				}
+			}
+		default:
+			info, err := os.Stat(pat)
+			if err != nil {
+				return nil, err
+			}
+			if info.IsDir() {
+				matches, err := filepath.Glob(filepath.Join(pat, "*.fsp"))
+				if err != nil {
+					return nil, err
+				}
+				for _, m := range matches {
+					add(m)
+				}
+			} else {
+				add(pat)
+			}
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// printFindingsJSON renders Go analyzer findings in the same JSON-lines
+// shape as spec diagnostics; it reports whether any were printed.
+func printFindingsJSON(w io.Writer, findings []framework.Finding) bool {
+	for _, f := range findings {
+		line, err := json.Marshal(speclint.Diagnostic{
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Col:      f.Position.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+		if err != nil {
+			continue
+		}
+		fmt.Fprintln(w, string(line))
+	}
+	return len(findings) > 0
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }

@@ -83,3 +83,51 @@ func Join(m map[string]int) string {
 		t.Errorf("vet output missing mapiter diagnostic:\n%s", out.String())
 	}
 }
+
+func TestSpecsCorpusClean(t *testing.T) {
+	// The repo corpus is the same bar CI's lint-specs step enforces:
+	// every finding is explicitly waived.
+	if code := run([]string{"-specs", "../../testdata/..."}); code != 0 {
+		t.Errorf("fsplint -specs on the repo corpus exited %d, want 0", code)
+	}
+}
+
+func TestSpecsDirty(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "bad.fsp")
+	if err := os.WriteFile(spec, []byte("process P { s0 lonely s1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-specs", spec}); code != 2 {
+		t.Errorf("dirty spec exited %d, want 2", code)
+	}
+	if code := run([]string{"-specs", "-json", dir}); code != 2 {
+		t.Errorf("dirty spec (-json, dir arg) exited %d, want 2", code)
+	}
+	if code := run([]string{"-specs", dir + "/..."}); code != 2 {
+		t.Errorf("dirty spec (recursive arg) exited %d, want 2", code)
+	}
+	if code := run([]string{"-specs", filepath.Join(dir, "*.fsp")}); code != 2 {
+		t.Errorf("dirty spec (glob arg) exited %d, want 2", code)
+	}
+}
+
+func TestSpecsSyntaxError(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "syn.fsp")
+	if err := os.WriteFile(spec, []byte("process {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A parse failure is a positioned "syntax" diagnostic, not a load
+	// error: exit 2, so CI and the problem matcher surface it in place.
+	if code := run([]string{"-specs", spec}); code != 2 {
+		t.Errorf("syntax error exited %d, want 2", code)
+	}
+}
+
+func TestSpecsNoMatches(t *testing.T) {
+	dir := t.TempDir()
+	if code := run([]string{"-specs", dir + "/..."}); code != 1 {
+		t.Errorf("no .fsp files matched should exit 1, got %d", code)
+	}
+}

@@ -1,0 +1,13 @@
+package frozenbits_test
+
+import (
+	"testing"
+
+	"fspnet/internal/analysis/analysistest"
+	"fspnet/internal/analysis/frozenbits"
+)
+
+func TestFrozenbits(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataPath(t), frozenbits.Analyzer,
+		"beliefmirror", "exploremirror", "a")
+}

@@ -1,0 +1,18 @@
+// Package a writes through the real explore.Index.Vec accessor,
+// proving the check fires on the actual exported API, not just the
+// shape mirrors.
+package a
+
+import "fspnet/internal/explore"
+
+func mutate(ix *explore.Index, gid int) {
+	ix.Vec(gid)[0] = 1 // want `write through an interned-bitset accessor slice`
+}
+
+func sum(ix *explore.Index, gid int) uint32 {
+	var s uint32
+	for _, w := range ix.Vec(gid) {
+		s += w
+	}
+	return s
+}

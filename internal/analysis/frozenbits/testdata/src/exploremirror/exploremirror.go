@@ -1,0 +1,40 @@
+//fsplint:testpath fspnet/internal/explore
+
+// Package exploremirror mirrors the explore package's vec/Vec accessors
+// over the interned context-vector arena.
+package exploremirror
+
+type index struct {
+	vecs []uint32
+	w    int
+}
+
+func (ix *index) vec(gid int32) []uint32 {
+	off := int(gid) * ix.w
+	return ix.vecs[off : off+ix.w]
+}
+
+type Index struct {
+	ix *index
+}
+
+func (ix *Index) Vec(gid int32) []uint32 {
+	return ix.ix.vec(gid)
+}
+
+func unexported(ix *index, gid int32) {
+	ix.vec(gid)[0] = 7 // want `write through an interned-bitset accessor slice`
+}
+
+func exported(ix *Index, gid int32) {
+	v := ix.Vec(gid)
+	v[0] = 7 // want `write to v, which aliases interned arena storage`
+}
+
+func readOnly(ix *Index, gid int32) uint32 {
+	var sum uint32
+	for _, w := range ix.Vec(gid) {
+		sum += w
+	}
+	return sum
+}

@@ -1,0 +1,353 @@
+// Package guardpoll enforces the governor invariant the solver packages
+// established by hand: every worklist loop — a loop whose condition
+// watches the length of a slice the body keeps feeding — must consult
+// the resource governor (guard.Poll or guard.Charge) somewhere on its
+// barrier path. The paper's hardness results mean these loops can
+// legitimately run forever-sized; one that never polls cannot be
+// canceled, deadlined, or budgeted, and a single such loop makes the
+// whole analysis ungovernable.
+//
+// A loop qualifies as a worklist when its condition mentions len(X) of a
+// slice-typed variable and the loop body — expanded through calls to
+// local closures and to same-package functions and methods — assigns X
+// from append or replaces it wholesale (a new frontier); pure shrinks
+// (X = X[:len(X)-1] pops) do not count, so bounded drain loops are not
+// flagged. The poll requirement is satisfied by any call that reaches
+// (*guard.G).Poll or (*guard.G).Charge through the same expansion, which
+// accepts both direct polls and the amortized helpers the solvers use
+// (sv.poll, sv.chargePos).
+//
+// The check is scoped to the solver packages; a loop with a justified
+// bound (for example, one bounded by member count rather than state
+// count) is waived with an //fsplint:ignore guardpoll comment naming the
+// bound.
+package guardpoll
+
+import (
+	"go/ast"
+	"go/types"
+
+	"fspnet/internal/analysis/framework"
+)
+
+// GuardPath is the package whose G type is the governor.
+const GuardPath = "fspnet/internal/guard"
+
+// SolverPackages are the import paths the invariant applies to: the
+// packages whose loops walk state spaces of potentially unbounded size.
+var SolverPackages = []string{
+	"fspnet/internal/explore",
+	"fspnet/internal/game/belief",
+	"fspnet/internal/treesolve",
+}
+
+// Analyzer is the guardpoll check.
+var Analyzer = &framework.Analyzer{
+	Name: "guardpoll",
+	Doc:  "flags solver worklist loops that never poll the resource governor",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if !isSolverPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	px := newPkgIndex(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fx := &funcIndex{pkg: px, closures: collectClosures(pass, fd.Body)}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok || loop.Cond == nil {
+					return true
+				}
+				checkLoop(pass, fx, loop)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isSolverPackage(path string) bool {
+	for _, p := range SolverPackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoop classifies one conditional for-loop and reports it when it
+// is a growing worklist with no governor access on its barrier path.
+func checkLoop(pass *framework.Pass, fx *funcIndex, loop *ast.ForStmt) {
+	for _, obj := range lenOperands(pass, loop.Cond) {
+		if !fx.grows(pass, loop.Body, obj, nil) {
+			continue
+		}
+		if !fx.reachesGuard(pass, loop.Body, nil) {
+			pass.Reportf(loop.For,
+				"worklist loop over %s never polls the governor: no guard.Poll or guard.Charge on its barrier path", obj.Name())
+		}
+		return // one report per loop, however many worklist slices it watches
+	}
+}
+
+// lenOperands returns the slice-typed variables X whose len(X) appears
+// in the loop condition.
+func lenOperands(pass *framework.Pass, cond ast.Expr) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "len" {
+			return true
+		}
+		if b, ok := pass.TypesInfo.Uses[fun].(*types.Builtin); !ok || b.Name() != "len" {
+			return true
+		}
+		arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[arg]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// pkgIndex resolves same-package callees and memoizes which ones reach a
+// governor call.
+type pkgIndex struct {
+	decls   map[*types.Func]*ast.FuncDecl
+	reaches map[*ast.FuncDecl]bool
+}
+
+func newPkgIndex(pass *framework.Pass) *pkgIndex {
+	px := &pkgIndex{
+		decls:   make(map[*types.Func]*ast.FuncDecl),
+		reaches: make(map[*ast.FuncDecl]bool),
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				px.decls[fn] = fd
+			}
+		}
+	}
+	return px
+}
+
+// funcIndex is the per-enclosing-function view: the closure bindings in
+// scope plus the package index.
+type funcIndex struct {
+	pkg      *pkgIndex
+	closures map[types.Object]*ast.FuncLit
+}
+
+// collectClosures maps local variables to the function literals bound to
+// them anywhere in the enclosing body, so calls through those variables
+// can be expanded. A variable rebound to several literals keeps the last
+// one — good enough for the defined-once closure idiom the solvers use.
+func collectClosures(pass *framework.Pass, body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	closures := make(map[types.Object]*ast.FuncLit)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lit, ok := ast.Unparen(assign.Rhs[i]).(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				closures[obj] = lit
+			}
+		}
+		return true
+	})
+	return closures
+}
+
+// grows reports whether region (expanded through local closures) assigns
+// slice obj in a way that can add elements: an append, or a wholesale
+// replacement. Shrinking reslices of obj itself do not count.
+func (fx *funcIndex) grows(pass *framework.Pass, region ast.Node, obj types.Object, seen map[*ast.FuncLit]bool) bool {
+	found := false
+	ast.Inspect(region, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if growsAssign(pass, n, obj) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			if lit := fx.calleeClosure(pass, n); lit != nil {
+				if seen == nil {
+					seen = make(map[*ast.FuncLit]bool)
+				}
+				if !seen[lit] {
+					seen[lit] = true
+					if fx.grows(pass, lit.Body, obj, seen) {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// growsAssign reports whether one assignment statement grows obj.
+func growsAssign(pass *framework.Pass, assign *ast.AssignStmt, obj types.Object) bool {
+	for i, lhs := range assign.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || pass.TypesInfo.ObjectOf(id) != obj {
+			continue
+		}
+		if len(assign.Lhs) != len(assign.Rhs) {
+			return true // tuple assignment: assume it can grow
+		}
+		rhs := ast.Unparen(assign.Rhs[i])
+		if slice, ok := rhs.(*ast.SliceExpr); ok {
+			if base, ok := ast.Unparen(slice.X).(*ast.Ident); ok && pass.TypesInfo.ObjectOf(base) == obj {
+				continue // X = X[a:b]: a shrink (or at most a window), never growth
+			}
+		}
+		return true // append(...) or a wholesale replacement
+	}
+	return false
+}
+
+// reachesGuard reports whether region contains, transitively through
+// local closures and same-package functions and methods, a call to
+// (*guard.G).Poll or (*guard.G).Charge.
+func (fx *funcIndex) reachesGuard(pass *framework.Pass, region ast.Node, seen map[any]bool) bool {
+	found := false
+	ast.Inspect(region, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isGuardCall(pass, call) {
+			found = true
+			return false
+		}
+		if seen == nil {
+			seen = make(map[any]bool)
+		}
+		if lit := fx.calleeClosure(pass, call); lit != nil {
+			if !seen[lit] {
+				seen[lit] = true
+				if fx.reachesGuard(pass, lit.Body, seen) {
+					found = true
+					return false
+				}
+			}
+			return true
+		}
+		if fd := fx.calleeDecl(pass, call); fd != nil {
+			if !seen[fd] {
+				seen[fd] = true
+				// A package-level callee has its own closure bindings.
+				sub := &funcIndex{pkg: fx.pkg, closures: collectClosures(pass, fd.Body)}
+				if sub.reachesGuard(pass, fd.Body, seen) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// calleeClosure resolves a call through a local closure variable, or an
+// immediately-invoked function literal, to the literal's body.
+func (fx *funcIndex) calleeClosure(pass *framework.Pass, call *ast.CallExpr) *ast.FuncLit {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+			return fx.closures[obj]
+		}
+	}
+	return nil
+}
+
+// calleeDecl resolves a call to a function or method declared in the
+// package under analysis.
+func (fx *funcIndex) calleeDecl(pass *framework.Pass, call *ast.CallExpr) *ast.FuncDecl {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fx.pkg.decls[fn]
+}
+
+// isGuardCall reports whether call invokes Poll or Charge on guard.G.
+func isGuardCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Poll" && sel.Sel.Name != "Charge") {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == GuardPath && named.Obj().Name() == "G"
+}

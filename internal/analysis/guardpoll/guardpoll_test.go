@@ -1,0 +1,12 @@
+package guardpoll_test
+
+import (
+	"testing"
+
+	"fspnet/internal/analysis/analysistest"
+	"fspnet/internal/analysis/guardpoll"
+)
+
+func TestGuardpoll(t *testing.T) {
+	analysistest.Run(t, analysistest.TestDataPath(t), guardpoll.Analyzer, "solver", "other")
+}

@@ -1,0 +1,13 @@
+// Package other is outside the solver allowlist: the same unpolled
+// worklist that is flagged in a solver package draws no report here.
+package other
+
+func unpolled(start int, succ func(int) []int) []int {
+	order := []int{start}
+	for len(order) > 0 {
+		v := order[len(order)-1]
+		order = order[:len(order)-1]
+		order = append(order, succ(v)...)
+	}
+	return order
+}

@@ -1,6 +1,10 @@
-// Package mapiter flags range statements over maps whose body feeds an
-// order-sensitive sink — string building, formatting, or slice appends
-// that are never sorted — without an intervening canonicalization step.
+// Package mapiter flags range statements over maps — or over the
+// maps.Keys / maps.Values iterators, which visit in the same randomized
+// order — whose body feeds an order-sensitive sink: string building,
+// formatting, or slice appends that are never sorted, without an
+// intervening canonicalization step. Slices collected straight off a map
+// iterator with slices.Collect are held to the same bar; collect with
+// slices.Sorted (or sort afterwards) instead.
 //
 // fspnet's algorithms depend on canonical encodings: possibility sets,
 // failure sets, and normal forms (paper Lemmas 2–5) are compared as sorted
@@ -58,22 +62,78 @@ func functionBodies(file *ast.File) []*ast.BlockStmt {
 	return bodies
 }
 
-// checkBody inspects one function body for map ranges with ordered sinks.
+// checkBody inspects one function body for map ranges (and map-iterator
+// ranges and collections) with ordered sinks.
 func checkBody(pass *framework.Pass, body *ast.BlockStmt) {
 	walkSkippingFuncLits(body, func(n ast.Node) {
-		rng, ok := n.(*ast.RangeStmt)
-		if !ok {
-			return
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapRangeOperand(pass, n.X) {
+				checkMapRange(pass, body, n)
+			}
+		case *ast.AssignStmt:
+			checkIterCollect(pass, body, n)
 		}
-		tv, ok := pass.TypesInfo.Types[rng.X]
-		if !ok {
-			return
-		}
-		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-			return
-		}
-		checkMapRange(pass, body, rng)
 	})
+}
+
+// isMapRangeOperand reports whether ranging over x visits elements in
+// randomized map order: x is a map, or a maps.Keys / maps.Values
+// iterator (which range in the same non-deterministic order).
+func isMapRangeOperand(pass *framework.Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if ok && tv.Type != nil {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return true
+		}
+	}
+	return mapsIterCall(pass, x) != nil
+}
+
+// mapsIterCall returns the call expression when x is a call to maps.Keys
+// or maps.Values from the standard maps package, nil otherwise.
+func mapsIterCall(pass *framework.Pass, x ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if pkg, fn := packageFunc(pass, sel); pkg == "maps" && (fn == "Keys" || fn == "Values") {
+		return call
+	}
+	return nil
+}
+
+// checkIterCollect flags x := slices.Collect(maps.Keys(m)) — and the
+// Values variant — when x is never canonicalized afterwards: the
+// collected slice is the map's randomized order made durable.
+func checkIterCollect(pass *framework.Pass, enclosing *ast.BlockStmt, assign *ast.AssignStmt) {
+	if len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if pkg, fn := packageFunc(pass, sel); pkg != "slices" || fn != "Collect" {
+		return
+	}
+	inner := mapsIterCall(pass, call.Args[0])
+	if inner == nil {
+		return
+	}
+	if !canonicalizedAfter(pass, enclosing, assign.End(), assign.Lhs[0]) {
+		pass.Reportf(assign.Pos(),
+			"%s collects a map iterator into %s, which is never sorted afterwards; use slices.Sorted or sort the result",
+			types.ExprString(call.Fun), types.ExprString(assign.Lhs[0]))
+	}
 }
 
 // walkSkippingFuncLits visits nodes of stmt without descending into nested
@@ -115,7 +175,7 @@ func checkMapRange(pass *framework.Pass, enclosing *ast.BlockStmt, rng *ast.Rang
 	})
 
 	for _, target := range appendTargets {
-		if !canonicalizedAfter(pass, enclosing, rng, target) {
+		if !canonicalizedAfter(pass, enclosing, rng.End(), target) {
 			pass.Reportf(rng.For,
 				"map iteration appends to %s, which is never sorted afterwards; iteration order is randomized — sort before it feeds ordered output",
 				types.ExprString(target))
@@ -248,11 +308,11 @@ func referencesAny(pass *framework.Pass, e ast.Node, objs map[types.Object]bool)
 	return found
 }
 
-// canonicalizedAfter reports whether target is passed, after the range
-// statement, to a call that sorts or otherwise canonicalizes it — either a
+// canonicalizedAfter reports whether target is passed, after position
+// after, to a call that sorts or otherwise canonicalizes it — either a
 // sort/slices package function or a callee whose name says it imposes
 // order (sortX, dedupX, canonicalize, ...).
-func canonicalizedAfter(pass *framework.Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt, target ast.Expr) bool {
+func canonicalizedAfter(pass *framework.Pass, enclosing *ast.BlockStmt, after token.Pos, target ast.Expr) bool {
 	want := types.ExprString(target)
 	found := false
 	ast.Inspect(enclosing, func(n ast.Node) bool {
@@ -260,7 +320,7 @@ func canonicalizedAfter(pass *framework.Pass, enclosing *ast.BlockStmt, rng *ast
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
-		if !ok || call.Pos() < rng.End() {
+		if !ok || call.Pos() < after {
 			return true
 		}
 		if !isCanonicalizer(pass, call.Fun) {

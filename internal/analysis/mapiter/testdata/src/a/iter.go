@@ -1,0 +1,46 @@
+package a
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"strings"
+)
+
+// Ranging a maps.Keys iterator is the map's randomized order with
+// different syntax; the same sinks are flagged.
+func iterConcat(m map[string]int) string {
+	s := ""
+	for k := range maps.Keys(m) { // want `feeds string concatenation`
+		s += k
+	}
+	return s
+}
+
+func iterBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for v := range maps.Values(m) { // want `writes formatted output to &sb`
+		fmt.Fprintf(&sb, "%d,", v)
+	}
+	return sb.String()
+}
+
+func iterAppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range maps.Keys(m) { // want `never sorted afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// slices.Collect makes the randomized order durable; without a sort it
+// is the appendNoSort case in one call.
+func collectNoSort(m map[string]int) []string {
+	keys := slices.Collect(maps.Keys(m)) // want `never sorted afterwards`
+	return keys
+}
+
+func collectValuesNoSort(m map[string]int) []int {
+	vals := slices.Collect(maps.Values(m)) // want `never sorted afterwards`
+	return vals
+}

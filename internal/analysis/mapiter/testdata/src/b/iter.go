@@ -1,0 +1,36 @@
+package b
+
+import (
+	"maps"
+	"slices"
+)
+
+// slices.Sorted over a map iterator is the one-call canonical idiom.
+func sortedIter(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// Collect followed by an explicit sort is equally canonical.
+func collectThenSort(m map[string]int) []string {
+	keys := slices.Collect(maps.Keys(m))
+	slices.Sort(keys)
+	return keys
+}
+
+// An iterator loop that only aggregates (no ordered sink) is fine.
+func sumValues(m map[string]int) int {
+	total := 0
+	for v := range maps.Values(m) {
+		total += v
+	}
+	return total
+}
+
+// Collecting and then sorting through a named canonicalizer helper.
+func collectThenCanon(m map[string]int) []string {
+	keys := slices.Collect(maps.Keys(m))
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { slices.Sort(keys) }

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+
+	"fspnet/internal/fsplang"
+	"fspnet/internal/network"
+	"fspnet/internal/speclint"
+)
+
+// TestGeneratedNetworksLint pins the speclint profile of every generator
+// family: the workloads the benchmarks time carry exactly the findings
+// their construction implies and nothing else. Every family is built
+// from one process skeleton stamped out per member — chains, tree
+// edges, philosophers, forks — so members ARE relabelings of one
+// another by design and dupmember legitimately fires; it is the only
+// analyzer allowed. If a generator change introduces an unmatched
+// action, a τ-divergence, or a dead state, this test fails before the
+// benchmark ever runs.
+func TestGeneratedNetworksLint(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*network.Network, error)
+	}{
+		{name: "linear-chain", build: func() (*network.Network, error) { return LinearChain(4, 3) }},
+		{name: "tree", build: func() (*network.Network, error) { return TreeNetwork(1, 7) }},
+		{name: "ring", build: func() (*network.Network, error) { return RingNetwork(1, 5) }},
+		{name: "philosophers", build: func() (*network.Network, error) { return Philosophers(4) }},
+		{name: "philosophers-polite", build: func() (*network.Network, error) { return PhilosophersPolite(4) }},
+	}
+	allow := map[string]bool{"dupmember": true}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := tc.build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			canonical := fsplang.Format(n)
+			diags, err := speclint.Run(tc.name+".fsp", canonical)
+			if err != nil {
+				t.Fatalf("speclint.Run on generated canonical text: %v\n%s", err, canonical)
+			}
+			for _, d := range diags {
+				if !allow[d.Analyzer] {
+					t.Errorf("unexpected %s finding: %s", d.Analyzer, d)
+				}
+			}
+		})
+	}
+}

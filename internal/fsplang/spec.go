@@ -1,0 +1,440 @@
+package fsplang
+
+// This file implements the *positioned* view of the fsplang notation used
+// by internal/speclint: ParseSpec keeps every token's line and column and
+// performs no semantic validation beyond the grammar, so well-formedness
+// defects that network.New or fsp.Builder would reject outright — actions
+// with no partner, states unreachable from the start — survive parsing
+// and can be reported as diagnostics instead of a single opaque error.
+//
+// FormatSpec is the canonical renderer at the spec level. For any spec
+// whose network form is valid, FormatSpec(spec) is byte-identical to
+// Format(network); and for every parseable spec, valid network or not,
+// FormatSpec∘ParseSpec∘FormatSpec = FormatSpec. The speclint service
+// path leans on this: diagnostics are a pure function of the canonical
+// text, so they can be cached under its digest.
+//
+// Lint findings are waived per line with a directive comment:
+//
+//	#fsplint:ignore name1,name2 optional reason
+//
+// placed on, or on the line immediately above, the offending statement —
+// the .fsp twin of the Go sources' //fsplint:ignore.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SpecIgnoreDirective is the comment prefix that waives a speclint
+// finding on its own line or the line below. The special name "all"
+// waives every analyzer.
+const SpecIgnoreDirective = "fsplint:ignore"
+
+// Pos is a 1-based line/column position in a spec source.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// PosError is a syntax error with position information; ParseSpec wraps
+// every failure in one so drivers can report file:line:col diagnostics.
+type PosError struct {
+	Pos Pos
+	Err error
+}
+
+func (e *PosError) Error() string { return fmt.Sprintf("line %d: %v", e.Pos.Line, e.Err) }
+func (e *PosError) Unwrap() error { return e.Err }
+
+// Spec is a parsed network description with positions, prior to any
+// semantic validation.
+type Spec struct {
+	Processes []*ProcDecl
+
+	// waivers maps a source line to the analyzer names waived there by a
+	// #fsplint:ignore directive on that line.
+	waivers map[int]map[string]bool
+}
+
+// ProcDecl is one "process NAME { … }" block.
+type ProcDecl struct {
+	Name string
+	Pos  Pos // the name token
+
+	// Start is the resolved start state name (explicit start statement,
+	// or the first state mentioned), with the position of the token that
+	// established it. Empty for a process with no states.
+	Start    string
+	StartPos Pos
+
+	// States lists the distinct state names in first-mention order, each
+	// with its first-mention position.
+	States []StateDecl
+
+	Transitions []TransDecl
+}
+
+// StateDecl records a state name and where it was first mentioned.
+type StateDecl struct {
+	Name string
+	Pos  Pos
+}
+
+// TransDecl is one FROM LABEL TO statement.
+type TransDecl struct {
+	From, Label, To          string
+	Tau                      bool // Label is "tau" or "τ"
+	FromPos, LabelPos, ToPos Pos
+}
+
+// ActionKey returns the canonical action identity of the transition's
+// label: "τ" for either spelling of the unobservable action, the label
+// text otherwise.
+func (t *TransDecl) ActionKey() string {
+	if t.Tau {
+		return "τ"
+	}
+	return t.Label
+}
+
+// StateIndex returns the first-mention index of state name, or -1.
+func (p *ProcDecl) StateIndex(name string) int {
+	for i, s := range p.States {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Waived reports whether a diagnostic from the named analyzer at the
+// given line is silenced by a #fsplint:ignore directive on that line or
+// the line above.
+func (s *Spec) Waived(line int, analyzer string) bool {
+	if s.waivers == nil {
+		return false
+	}
+	for _, l := range [2]int{line, line - 1} {
+		if names := s.waivers[l]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseSpec parses a network description into the positioned AST. Only
+// the grammar is enforced; semantic defects (unpartnered actions,
+// unreachable states, empty processes) parse successfully so speclint
+// can report them with positions.
+func ParseSpec(src string) (*Spec, error) {
+	toks := lexPos(src)
+	spec := &Spec{waivers: collectSpecWaivers(src)}
+	p := &specParser{toks: toks}
+	for !p.done() {
+		proc, err := p.process()
+		if err != nil {
+			return nil, err
+		}
+		spec.Processes = append(spec.Processes, proc)
+	}
+	if len(spec.Processes) == 0 {
+		return nil, &PosError{Pos: Pos{Line: 1, Col: 1}, Err: fmt.Errorf("no processes: %w", ErrSyntax)}
+	}
+	return spec, nil
+}
+
+// posToken is a lexeme with its full source position.
+type posToken struct {
+	text string
+	pos  Pos
+}
+
+// lexPos is lex with column tracking: same token boundaries, same
+// comment and separator handling.
+func lexPos(src string) []posToken {
+	var toks []posToken
+	line, lineStart := 1, 0
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+			lineStart = i
+		case c == ' ' || c == '\t' || c == '\r' || c == ';':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{' || c == '}':
+			toks = append(toks, posToken{string(c), Pos{line, i - lineStart + 1}})
+			i++
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t\r\n;#{}", rune(src[j])) {
+				j++
+			}
+			toks = append(toks, posToken{src[i:j], Pos{line, i - lineStart + 1}})
+			i = j
+		}
+	}
+	return toks
+}
+
+// collectSpecWaivers scans comments for #fsplint:ignore directives.
+func collectSpecWaivers(src string) map[int]map[string]bool {
+	waivers := make(map[int]map[string]bool)
+	for lineno, text := range splitLines(src) {
+		idx := strings.IndexByte(text, '#')
+		if idx < 0 {
+			continue
+		}
+		comment := strings.TrimLeft(text[idx+1:], " \t")
+		rest, ok := strings.CutPrefix(comment, SpecIgnoreDirective)
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		names := waivers[lineno+1]
+		if names == nil {
+			names = make(map[string]bool)
+			waivers[lineno+1] = names
+		}
+		for _, name := range strings.Split(fields[0], ",") {
+			names[name] = true
+		}
+	}
+	return waivers
+}
+
+func splitLines(src string) []string {
+	return strings.Split(strings.ReplaceAll(src, "\r\n", "\n"), "\n")
+}
+
+type specParser struct {
+	toks []posToken
+	pos  int
+}
+
+func (p *specParser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *specParser) peek() (posToken, bool) {
+	if p.done() {
+		return posToken{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *specParser) next() (posToken, error) {
+	t, ok := p.peek()
+	if !ok {
+		last := Pos{1, 1}
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].pos
+		}
+		return posToken{}, &PosError{Pos: last, Err: fmt.Errorf("unexpected end of input: %w", ErrSyntax)}
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *specParser) expect(text string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.text != text {
+		return &PosError{Pos: t.pos, Err: fmt.Errorf("expected %q, found %q: %w", text, t.text, ErrSyntax)}
+	}
+	return nil
+}
+
+// process parses one block, mirroring parser.process statement for
+// statement but recording positions instead of building an fsp.FSP.
+func (p *specParser) process() (*ProcDecl, error) {
+	if err := p.expect("process"); err != nil {
+		return nil, err
+	}
+	name, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if name.text == "{" || name.text == "}" {
+		return nil, &PosError{Pos: name.pos, Err: fmt.Errorf("process name missing: %w", ErrSyntax)}
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	decl := &ProcDecl{Name: name.text, Pos: name.pos}
+	seen := make(map[string]bool)
+	mention := func(t posToken) {
+		if !seen[t.text] {
+			seen[t.text] = true
+			decl.States = append(decl.States, StateDecl{Name: t.text, Pos: t.pos})
+		}
+		if decl.Start == "" {
+			decl.Start, decl.StartPos = t.text, t.pos
+		}
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, &PosError{Pos: name.pos,
+				Err: fmt.Errorf("unterminated process %s: %w", name.text, ErrSyntax)}
+		}
+		if t.text == "}" {
+			p.pos++
+			break
+		}
+		if t.text == "start" {
+			p.pos++
+			st, err := p.next()
+			if err != nil {
+				return nil, err
+			}
+			mention(st)
+			// Like Builder.SetStart, a later start statement overrides an
+			// earlier one (and the first-mention default).
+			decl.Start, decl.StartPos = st.text, st.pos
+			continue
+		}
+		from, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		label, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		to, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		for _, tk := range []posToken{label, to} {
+			if tk.text == "{" || tk.text == "}" || tk.text == "start" {
+				return nil, &PosError{Pos: tk.pos, Err: fmt.Errorf("malformed transition: %w", ErrSyntax)}
+			}
+		}
+		mention(from)
+		mention(to)
+		decl.Transitions = append(decl.Transitions, TransDecl{
+			From: from.text, Label: label.text, To: to.text,
+			Tau:     label.text == "tau" || label.text == "τ",
+			FromPos: from.pos, LabelPos: label.pos, ToPos: to.pos,
+		})
+	}
+	return decl, nil
+}
+
+// FormatSpec renders a spec in canonical form, by the same rules Format
+// applies to networks: per process, the start statement first, then each
+// state's transitions in first-emission order with the per-state
+// transitions sorted by (action, target index) — τ spelled "tau" but
+// ordered as "τ" — and exact duplicate transitions dropped. For specs
+// whose network form is valid, FormatSpec(spec) == Format(network), and
+// FormatSpec is idempotent under reparsing for every parseable spec.
+// Comments (and with them waiver directives) do not survive; canonical
+// text is directive-free.
+func FormatSpec(s *Spec) string {
+	var sb strings.Builder
+	for _, proc := range s.Processes {
+		fmt.Fprintf(&sb, "process %s {\n", sanitizeName(proc.Name))
+		if proc.Start == "" {
+			sb.WriteString("}\n")
+			continue
+		}
+		// Like Format, fall back to s<index> tokens when a state name is
+		// unusable as the lone word of a state token ("start" via a
+		// "start start" statement, or a brace token).
+		idx := make(map[string]int, len(proc.States))
+		useNames := true
+		for i, st := range proc.States {
+			idx[st.Name] = i
+			if st.Name == "start" || strings.ContainsAny(st.Name, " \t\r\n;#{}") {
+				useNames = false
+			}
+		}
+		stateToken := func(name string) string {
+			if useNames {
+				return name
+			}
+			return fmt.Sprintf("s%d", idx[name])
+		}
+		outOf := canonicalOut(proc, idx)
+		fmt.Fprintf(&sb, "    start %s\n", stateToken(proc.Start))
+		for _, name := range canonicalOrder(proc, outOf) {
+			for _, t := range outOf[name] {
+				lbl := t.Label
+				if t.Tau {
+					lbl = "tau"
+				}
+				fmt.Fprintf(&sb, "    %s %s %s\n", stateToken(t.From), lbl, stateToken(t.To))
+			}
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+// canonicalOut groups the process's transitions by from-state, sorted by
+// (action key, target first-mention index) with duplicates removed — the
+// spec-level image of what Builder.Build plus Format's per-state sort
+// produce: Format compares fsp.State targets, which are exactly the
+// first-mention indices.
+func canonicalOut(proc *ProcDecl, idx map[string]int) map[string][]TransDecl {
+	out := make(map[string][]TransDecl, len(proc.States))
+	for _, t := range proc.Transitions {
+		out[t.From] = append(out[t.From], t)
+	}
+	for name, ts := range out {
+		sort.SliceStable(ts, func(a, b int) bool {
+			ka, kb := ts[a].ActionKey(), ts[b].ActionKey()
+			if ka != kb {
+				return ka < kb
+			}
+			return idx[ts[a].To] < idx[ts[b].To]
+		})
+		w := 0
+		for i, t := range ts {
+			if i == 0 || t.ActionKey() != ts[i-1].ActionKey() || t.To != ts[i-1].To {
+				ts[w] = t
+				w++
+			}
+		}
+		out[name] = ts[:w]
+	}
+	return out
+}
+
+// canonicalOrder returns the process's states in canonical emission
+// order: the start state, then targets in the order the emitted text
+// names them, then stragglers in source first-mention order.
+func canonicalOrder(proc *ProcDecl, outOf map[string][]TransDecl) []string {
+	order := make([]string, 0, len(proc.States))
+	seen := make(map[string]bool, len(proc.States))
+	mention := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			order = append(order, name)
+		}
+	}
+	mention(proc.Start)
+	for i := 0; i < len(order); i++ {
+		for _, t := range outOf[order[i]] {
+			mention(t.To)
+		}
+	}
+	for _, s := range proc.States {
+		mention(s.Name)
+	}
+	return order
+}

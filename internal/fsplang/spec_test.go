@@ -1,0 +1,215 @@
+package fsplang
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// specCorpus returns the repo's .fsp fixtures plus inline specs that
+// exercise formatting corners.
+func specCorpus(t *testing.T) map[string]string {
+	t.Helper()
+	corpus := map[string]string{
+		"inline-pair": "process P { start s0; s0 a s1; s1 tau s0 }\nprocess Q { t0 a t0 }",
+		"inline-dup":  "process P { s0 a s1; s0 a s1; s0 a s1 }\nprocess Q { t0 a t0 }",
+		"inline-sort": "process P { s0 b z; s0 a z; s0 a y; z tau z }\nprocess Q { t0 a t0; t0 b t0 }",
+		"inline-late-start": "process P { s0 a s1; start s1; s1 a s0 }\n" +
+			"process Q { t0 a t0 }",
+	}
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fsp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no testdata fixtures found")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus[filepath.Base(p)] = string(data)
+	}
+	return corpus
+}
+
+// TestFormatSpecMatchesFormat pins the load-bearing property of the spec
+// layer: for every spec whose network form is valid, the spec-level
+// canonical renderer agrees byte for byte with the network-level one, so
+// speclint and the solver service key the same cache digest.
+func TestFormatSpecMatchesFormat(t *testing.T) {
+	for name, src := range specCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			n, err := ParseString(src)
+			if err != nil {
+				t.Fatalf("ParseString: %v", err)
+			}
+			spec, err := ParseSpec(src)
+			if err != nil {
+				t.Fatalf("ParseSpec: %v", err)
+			}
+			want := Format(n)
+			got := FormatSpec(spec)
+			if got != want {
+				t.Errorf("FormatSpec disagrees with Format\nspec:\n%s\ngot:\n%s\nwant:\n%s", src, got, want)
+			}
+		})
+	}
+}
+
+func TestFormatSpecIdempotent(t *testing.T) {
+	invalid := map[string]string{
+		"lonely-action":     "process P { s0 a s1 }\nprocess Q { t0 b t0 }",
+		"unreachable":       "process P { start s0; s0 a s0; s9 a s9 }\nprocess Q { t0 a t0 }",
+		"single-proc":       "process P { s0 a s0 }",
+		"empty-proc":        "process P { }\nprocess Q { t0 a t0 }",
+		"start-named-state": "process P { start start; s0 a s1 }\nprocess Q { t0 a t0 }",
+	}
+	corpus := specCorpus(t)
+	for name, src := range invalid {
+		corpus[name] = src
+	}
+	for name, src := range corpus {
+		t.Run(name, func(t *testing.T) {
+			spec, err := ParseSpec(src)
+			if err != nil {
+				t.Fatalf("ParseSpec: %v", err)
+			}
+			once := FormatSpec(spec)
+			spec2, err := ParseSpec(once)
+			if err != nil {
+				t.Fatalf("reparse canonical form: %v\n%s", err, once)
+			}
+			twice := FormatSpec(spec2)
+			if once != twice {
+				t.Errorf("FormatSpec not idempotent\nonce:\n%s\ntwice:\n%s", once, twice)
+			}
+		})
+	}
+}
+
+// TestParseSpecAcceptsInvalidNetworks: the whole point of the spec layer
+// is that semantic defects parse so speclint can report them.
+func TestParseSpecAcceptsInvalidNetworks(t *testing.T) {
+	cases := []string{
+		"process P { s0 a s1 }", // a has one owner
+		"process P { s0 a s0 }\nprocess Q { t0 a t0 }\nprocess R { u0 a u0 }", // three owners
+		"process P { start s0; s0 a s0; dead a dead }\nprocess Q { t0 a t0 }", // unreachable
+		"process P { }\nprocess Q { t0 a t0 }",                                // no states
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString unexpectedly accepted %q", src)
+		}
+		if _, err := ParseSpec(src); err != nil {
+			t.Errorf("ParseSpec rejected %q: %v", src, err)
+		}
+	}
+}
+
+func TestParseSpecSyntaxErrors(t *testing.T) {
+	cases := map[string]Pos{
+		"process { s0 a s1 }":       {1, 9},  // name missing
+		"process P { s0 start s1 }": {1, 16}, // keyword as label
+		"process P { s0 a }":        {1, 18}, // brace as to-token
+		"process P { s0 a s1":       {1, 9},  // unterminated (process name pos)
+		"wat P { s0 a s1 }":         {1, 1},  // missing process keyword
+	}
+	for src, want := range cases {
+		_, err := ParseSpec(src)
+		if err == nil {
+			t.Errorf("ParseSpec accepted %q", src)
+			continue
+		}
+		var pe *PosError
+		if !errors.As(err, &pe) {
+			t.Errorf("ParseSpec(%q): error %v is not a PosError", src, err)
+			continue
+		}
+		if !errors.Is(err, ErrSyntax) {
+			t.Errorf("ParseSpec(%q): error %v does not wrap ErrSyntax", src, err)
+		}
+		if pe.Pos != want {
+			t.Errorf("ParseSpec(%q): error at %v, want %v", src, pe.Pos, want)
+		}
+	}
+}
+
+func TestSpecPositions(t *testing.T) {
+	src := "process P {\n  start s0\n  s0 hello s1\n}\nprocess Q { t0 hello t0 }\n"
+	spec, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Processes[0]
+	if p.Pos != (Pos{1, 9}) {
+		t.Errorf("process name pos = %v, want 1:9", p.Pos)
+	}
+	if p.Start != "s0" || p.StartPos != (Pos{2, 9}) {
+		t.Errorf("start = %q at %v, want s0 at 2:9", p.Start, p.StartPos)
+	}
+	tr := p.Transitions[0]
+	if tr.FromPos != (Pos{3, 3}) || tr.LabelPos != (Pos{3, 6}) || tr.ToPos != (Pos{3, 12}) {
+		t.Errorf("transition positions = %v %v %v", tr.FromPos, tr.LabelPos, tr.ToPos)
+	}
+	if tr.Tau {
+		t.Error("non-tau transition marked Tau")
+	}
+	if got := spec.Processes[1].Pos; got != (Pos{5, 9}) {
+		t.Errorf("second process pos = %v, want 5:9", got)
+	}
+}
+
+func TestSpecWaivers(t *testing.T) {
+	src := strings.Join([]string{
+		"# fsplint:ignore taudiv known divergence",
+		"process P {",
+		"  s0 tau s0  # fsplint:ignore sink,unmatched reason here",
+		"  s1 a s1    #fsplint:ignore all",
+		"}",
+		"process Q { t0 a t0 }",
+		"# fsplint:ignorenothing",
+	}, "\n")
+	spec, err := ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		line     int
+		analyzer string
+		want     bool
+	}{
+		{1, "taudiv", true},
+		{2, "taudiv", true}, // directive covers the next line too
+		{3, "taudiv", false},
+		{3, "sink", true},
+		{3, "unmatched", true},
+		{4, "sink", true}, // line-above coverage
+		{4, "anything", true},
+		{5, "anything", true}, // "all" on line 4 covers line 5
+		{7, "nothing", false}, // malformed directive ignored
+		{8, "nothing", false},
+	}
+	for _, c := range checks {
+		if got := spec.Waived(c.line, c.analyzer); got != c.want {
+			t.Errorf("Waived(%d, %q) = %v, want %v", c.line, c.analyzer, got, c.want)
+		}
+	}
+}
+
+func TestTauSpellings(t *testing.T) {
+	spec, err := ParseSpec("process P { s0 tau s1; s1 τ s0; s0 a s1 }\nprocess Q { t0 a t0 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Processes[0]
+	if !p.Transitions[0].Tau || !p.Transitions[1].Tau || p.Transitions[2].Tau {
+		t.Fatalf("tau flags wrong: %+v", p.Transitions)
+	}
+	if p.Transitions[0].ActionKey() != "τ" || p.Transitions[1].ActionKey() != "τ" {
+		t.Error("ActionKey should normalize both tau spellings to τ")
+	}
+}

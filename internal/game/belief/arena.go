@@ -142,6 +142,7 @@ func (sv *solver) tauClose(buf []uint64) {
 			word &= word - 1
 		}
 	}
+	//fsplint:ignore guardpoll bounded by the context τ-graph; context states are charged at interning
 	for len(stack) > 0 {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]

@@ -258,6 +258,7 @@ func (sv *solver) addDivergenceBot(cg *ctxGraph) error {
 			work = append(work, int32(s))
 		}
 	}
+	//fsplint:ignore guardpoll bounded by the context τ-graph: each state enters work at most once, guarded by the divergent flag
 	for len(work) > 0 {
 		d := work[len(work)-1]
 		work = work[:len(work)-1]

@@ -6,8 +6,6 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sync"
-
-	"fspnet/internal/verdictjson"
 )
 
 // Digest is the content address of one analysis request: the SHA-256 of
@@ -23,11 +21,22 @@ func Digest(canonical string, process int, mode, predicates string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// cache is a bounded LRU of completed verdict records keyed by Digest.
-// Only StatusOK records are stored: a partial verdict is a function of
-// the request's budget, not of the network alone, and a later request
-// with a looser budget may still complete.
-type cache struct {
+// LintDigest is the content address of a lint result: the SHA-256 of the
+// same canonical text Digest hashes, under a distinct domain separator —
+// lint results depend on nothing but the canonical network.
+func LintDigest(canonical string) string {
+	h := sha256.New()
+	h.Write([]byte(canonical))
+	h.Write([]byte("\x00lint"))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lru is a bounded, mutex-guarded least-recently-used cache keyed by
+// digest strings. The server keeps one for completed verdict records and
+// one for speclint diagnostics; both key on the canonical network text,
+// so results are a pure function of the key and an entry can never go
+// stale.
+type lru[V any] struct {
 	mu        sync.Mutex
 	cap       int
 	ll        *list.List // front = most recently used
@@ -35,60 +44,61 @@ type cache struct {
 	evictions uint64
 }
 
-type cacheEntry struct {
+type lruEntry[V any] struct {
 	key string
-	rec verdictjson.Record
+	val V
 }
 
-func newCache(capacity int) *cache {
+func newLRU[V any](capacity int) *lru[V] {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+	return &lru[V]{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// get returns the record for key and refreshes its recency.
-func (c *cache) get(key string) (verdictjson.Record, bool) {
+// get returns the value for key and refreshes its recency.
+func (c *lru[V]) get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return verdictjson.Record{}, false
+		var zero V
+		return zero, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).rec, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
-// add inserts (or refreshes) key → rec, evicting the least recently used
+// add inserts (or refreshes) key → val, evicting the least recently used
 // entry when the cache is full.
-func (c *cache) add(key string, rec verdictjson.Record) {
+func (c *lru[V]) add(key string, val V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).rec = rec
+		el.Value.(*lruEntry[V]).val = val
 		return
 	}
 	if c.ll.Len() >= c.cap {
 		oldest := c.ll.Back()
 		if oldest != nil {
 			c.ll.Remove(oldest)
-			delete(c.items, oldest.Value.(*cacheEntry).key)
+			delete(c.items, oldest.Value.(*lruEntry[V]).key)
 			c.evictions++
 		}
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, rec: rec})
+	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
 }
 
-// len reports the number of cached verdicts.
-func (c *cache) len() int {
+// len reports the number of cached values.
+func (c *lru[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
 
 // evicted reports how many entries have been evicted since start.
-func (c *cache) evicted() uint64 {
+func (c *lru[V]) evicted() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.evictions

@@ -29,7 +29,7 @@ func TestDigestDistinguishesParameters(t *testing.T) {
 }
 
 func TestCacheLRUOrder(t *testing.T) {
-	c := newCache(2)
+	c := newLRU[verdictjson.Record](2)
 	c.add("a", rec("A"))
 	c.add("b", rec("B"))
 	// Touch a so b is now the least recently used.
@@ -52,7 +52,7 @@ func TestCacheLRUOrder(t *testing.T) {
 }
 
 func TestCacheRefreshExistingKey(t *testing.T) {
-	c := newCache(2)
+	c := newLRU[verdictjson.Record](2)
 	c.add("a", rec("A"))
 	c.add("a", rec("A2"))
 	if c.len() != 1 {
@@ -70,7 +70,7 @@ func TestCacheRefreshExistingKey(t *testing.T) {
 func TestCacheEvictionSequenceDeterminism(t *testing.T) {
 	// The same insertion sequence must always evict the same keys.
 	run := func() (survivors string, evictions uint64) {
-		c := newCache(3)
+		c := newLRU[verdictjson.Record](3)
 		for i := 0; i < 10; i++ {
 			c.add(fmt.Sprintf("k%d", i), rec("R"))
 		}

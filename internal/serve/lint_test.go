@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"fspnet/internal/speclint"
+)
+
+// netDirty is rejected by the analyze parser (action "lonely" has one
+// owner) but accepted by the lint layer, which is the point of /v1/lint.
+const netDirty = "process P { start s0; s0 lonely s1; s0 tau s0 }"
+
+// netLintClean is speclint-clean: unlike netA, whose two members are
+// identical up to relabeling (a legitimate dupmember finding), its
+// members differ structurally.
+const netLintClean = "process P { start s1; s1 a s2 }\nprocess Q { start t1; t1 a t2; t1 tau t3 }"
+
+func postLint(t *testing.T, url, network string) (*http.Response, lintResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(analyzeRequest{Network: network})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/lint", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr lintResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &lr); err != nil {
+			t.Fatalf("decoding lint response: %v\n%s", err, raw)
+		}
+	}
+	return resp, lr, string(raw)
+}
+
+func TestLintCleanNetwork(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, lr, _ := postLint(t, ts.URL, netLintClean)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if lr.Cached {
+		t.Error("first lint must be a miss")
+	}
+	if len(lr.Diagnostics) != 0 {
+		t.Errorf("clean network produced diagnostics: %v", lr.Diagnostics)
+	}
+	if lr.Canonical == "" || lr.Digest == "" {
+		t.Errorf("missing canonical/digest: %+v", lr)
+	}
+}
+
+func TestLintDirtyNetworkAndInvalidNetworks(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// The analyze endpoint refuses this network outright...
+	resp, _ := postJSON(t, ts.URL, analyzeRequest{Network: netDirty})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("analyze of invalid network: status %d, want 400", resp.StatusCode)
+	}
+	// ...while lint reports positioned diagnostics for it.
+	resp2, lr, _ := postLint(t, ts.URL, netDirty)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("lint status %d", resp2.StatusCode)
+	}
+	if len(lr.Diagnostics) == 0 {
+		t.Fatal("expected diagnostics for the dirty network")
+	}
+	seen := map[string]bool{}
+	for _, d := range lr.Diagnostics {
+		seen[d.Analyzer] = true
+		if d.Line <= 0 || d.Col <= 0 {
+			t.Errorf("diagnostic missing position: %+v", d)
+		}
+	}
+	if !seen["unmatched"] || !seen["taudiv"] {
+		t.Errorf("expected unmatched and taudiv findings, got %v", lr.Diagnostics)
+	}
+}
+
+func TestLintCacheHitConsistency(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	_, first, rawFirst := postLint(t, ts.URL, netDirty)
+	if first.Cached {
+		t.Fatal("first lint must miss")
+	}
+	// The reformatted spelling of the same canonical network must hit the
+	// same entry and answer byte-identically (modulo the cached flag).
+	_, second, rawSecond := postLint(t, ts.URL, netDirty+"\n# a comment\n")
+	if !second.Cached {
+		t.Error("second lint of the same canonical network must hit")
+	}
+	if first.Digest != second.Digest {
+		t.Errorf("digest changed across cache hit: %s vs %s", first.Digest, second.Digest)
+	}
+	if !reflect.DeepEqual(first.Diagnostics, second.Diagnostics) {
+		t.Errorf("diagnostics changed across cache hit:\n%s\n%s", rawFirst, rawSecond)
+	}
+	if first.Canonical != second.Canonical {
+		t.Errorf("canonical text changed across cache hit")
+	}
+	st := s.Snapshot()
+	if st.Lints != 2 || st.LintMisses != 1 || st.LintHits != 1 || st.LintEntries != 1 {
+		t.Errorf("lint stats = %d/%d/%d/%d, want 2 lints, 1 miss, 1 hit, 1 entry",
+			st.Lints, st.LintMisses, st.LintHits, st.LintEntries)
+	}
+}
+
+func TestLintDeterministicUnderConcurrency(t *testing.T) {
+	// Many goroutines lint the same dirty network plus distinct clean
+	// ones; every response for the dirty network must be identical. Run
+	// under -race this also exercises the lint cache's locking.
+	_, ts := newTestServer(t, Config{Workers: 4})
+	var wg sync.WaitGroup
+	results := make([]string, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var lr lintResponse
+			_, lr, _ = postLint(t, ts.URL, netDirty)
+			lr.Cached = false // hit/miss depends on interleaving; everything else may not
+			b, _ := json.Marshal(lr)
+			results[i] = string(b)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("lint response %d differs:\n%s\n%s", i, results[i], results[0])
+		}
+	}
+}
+
+func TestLintSyntaxErrorIs400(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, _, raw := postLint(t, ts.URL, "process {")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400\n%s", resp.StatusCode, raw)
+	}
+}
+
+func TestLintRawBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Post(ts.URL+"/v1/lint", "text/plain", strings.NewReader(netDirty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lr lintResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Diagnostics) == 0 {
+		t.Error("raw-body lint returned no diagnostics")
+	}
+}
+
+func TestAnalyzeWarnings(t *testing.T) {
+	// A valid cyclic network with a τ-divergence: analysis succeeds and
+	// lint=true attaches the warning — on the miss and on the hit.
+	const warned = "process P { start s0; s0 a s0 }\nprocess Q { start t0; t0 a t0; t0 tau t0 }"
+	s, ts := newTestServer(t, Config{Workers: 1})
+	hasTaudiv := func(ws []speclint.Diagnostic) bool {
+		for _, d := range ws {
+			if d.Analyzer == "taudiv" {
+				return true
+			}
+		}
+		return false
+	}
+	_, miss := postJSON(t, ts.URL, analyzeRequest{Network: warned, Lint: true})
+	if miss.Cached || !hasTaudiv(miss.Warnings) {
+		t.Fatalf("miss response warnings: %+v", miss)
+	}
+	_, hit := postJSON(t, ts.URL, analyzeRequest{Network: warned, Lint: true})
+	if !hit.Cached || !hasTaudiv(hit.Warnings) {
+		t.Fatalf("hit response warnings: %+v", hit)
+	}
+	if !reflect.DeepEqual(miss.Warnings, hit.Warnings) {
+		t.Errorf("warnings differ between miss and hit:\n%v\n%v", miss.Warnings, hit.Warnings)
+	}
+	// Without lint=true the response carries no warnings at all.
+	_, plain := postJSON(t, ts.URL, analyzeRequest{Network: warned})
+	if plain.Warnings != nil {
+		t.Errorf("warnings attached without lint=true: %v", plain.Warnings)
+	}
+	if st := s.Snapshot(); st.LintMisses != 1 || st.LintHits != 1 {
+		t.Errorf("lint cache stats %d/%d, want 1 miss then 1 hit", st.LintMisses, st.LintHits)
+	}
+}

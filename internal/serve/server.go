@@ -18,8 +18,15 @@
 //     the same way, so draining returns partial verdicts rather than
 //     dropping work.
 //
-// Endpoints: POST /v1/analyze, GET /v1/verdict/{digest}, GET /healthz,
-// GET /statusz. See docs/SERVICE.md for the wire format.
+// Endpoints: POST /v1/analyze, POST /v1/lint, GET /v1/verdict/{digest},
+// GET /healthz, GET /statusz. See docs/SERVICE.md for the wire format.
+//
+// POST /v1/lint runs the speclint analyzers over the canonical form of
+// the submitted network — no solver work at all — and caches the
+// diagnostics in a second LRU keyed by the canonical-text digest, so a
+// lint answer is a pure function of its key and can never go stale.
+// /v1/analyze accepts lint=true to attach the same diagnostics to an
+// analysis response as warnings.
 package serve
 
 import (
@@ -38,6 +45,7 @@ import (
 	"fspnet/internal/fsplang"
 	"fspnet/internal/guard"
 	"fspnet/internal/network"
+	"fspnet/internal/speclint"
 	"fspnet/internal/success"
 	"fspnet/internal/verdictjson"
 )
@@ -91,7 +99,8 @@ type Config struct {
 // and is normally mounted via Handler on an http.Server owned by cmd/fspd.
 type Server struct {
 	cfg    Config
-	cache  *cache
+	cache  *lru[verdictjson.Record]
+	lints  *lru[[]speclint.Diagnostic]
 	admit  chan struct{} // admission tickets: Workers + QueueDepth
 	slots  chan struct{} // running tickets: Workers
 	c      counters
@@ -118,7 +127,8 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:   cfg,
-		cache: newCache(cfg.CacheEntries),
+		cache: newLRU[verdictjson.Record](cfg.CacheEntries),
+		lints: newLRU[[]speclint.Diagnostic](cfg.CacheEntries),
 		admit: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		slots: make(chan struct{}, cfg.Workers),
 		lat:   newLatencyRecorder(),
@@ -127,6 +137,7 @@ func New(cfg Config) *Server {
 	s.cancels = make(map[int64]context.CancelFunc)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("GET /v1/verdict/{digest}", s.handleVerdict)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statusz", s.handleStatus)
@@ -185,6 +196,10 @@ func (s *Server) Snapshot() Stats {
 		Inflight:     s.c.inflight.Load(),
 		Queued:       s.c.queued.Load(),
 		CacheEntries: s.cache.len(),
+		Lints:        s.c.lints.Load(),
+		LintHits:     s.c.lintHits.Load(),
+		LintMisses:   s.c.lintMisses.Load(),
+		LintEntries:  s.lints.len(),
 		Uptime:       time.Since(s.start).Round(time.Millisecond).String(), //fsplint:ignore detrand uptime for /statusz
 		Latency:      s.lat.snapshot(),
 	}
@@ -209,6 +224,9 @@ type analyzeRequest struct {
 	// Budget bounds the joint states interned by this request's
 	// analysis; the server caps it at Config.MaxBudget.
 	Budget int `json:"budget,omitempty"`
+	// Lint attaches the speclint diagnostics of the canonical network to
+	// the response as warnings (served from the lint cache).
+	Lint bool `json:"lint,omitempty"`
 }
 
 // analyzeResponse is the POST /v1/analyze (and GET /v1/verdict) reply
@@ -219,6 +237,19 @@ type analyzeResponse struct {
 	Predicates string             `json:"predicates,omitempty"`
 	Cached     bool               `json:"cached"`
 	Record     verdictjson.Record `json:"record"`
+	// Warnings carries the canonical network's speclint diagnostics when
+	// the request asked for them with lint=true.
+	Warnings []speclint.Diagnostic `json:"warnings,omitempty"`
+}
+
+// lintResponse is the POST /v1/lint reply. Diagnostics are positioned in
+// the returned canonical text (comments — and with them waivers — do not
+// survive canonicalization, so every finding is reported).
+type lintResponse struct {
+	Digest      string                `json:"digest"`
+	Cached      bool                  `json:"cached"`
+	Canonical   string                `json:"canonical"`
+	Diagnostics []speclint.Diagnostic `json:"diagnostics"`
 }
 
 type errorResponse struct {
@@ -281,6 +312,13 @@ func parseAnalyzeRequest(r *http.Request) (analyzeRequest, error) {
 		req.Mode = q.Get("mode")
 		req.Predicates = q.Get("predicates")
 		req.Timeout = q.Get("timeout")
+		if v := q.Get("lint"); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return analyzeRequest{}, fmt.Errorf("bad lint parameter %q", v)
+			}
+			req.Lint = b
+		}
 		if v := q.Get("budget"); v != "" {
 			b, err := strconv.Atoi(v)
 			if err != nil {
@@ -349,6 +387,56 @@ func (s *Server) requestBudget(req analyzeRequest) int {
 	return budget
 }
 
+// lintFile is the File field of service-side diagnostics: positions are
+// line/col into the canonical text the response carries.
+const lintFile = "network.fsp"
+
+// lintCanonical returns the diagnostics for a canonical network text,
+// from the lint cache when possible. The canonical text always reparses
+// (FormatSpec output is idempotent), so there is no error path.
+func (s *Server) lintCanonical(canonical string) (digest string, diags []speclint.Diagnostic, cached bool) {
+	digest = LintDigest(canonical)
+	if diags, ok := s.lints.get(digest); ok {
+		s.c.lintHits.Add(1)
+		return digest, diags, true
+	}
+	spec, err := fsplang.ParseSpec(canonical)
+	if err != nil {
+		// Unreachable by construction; fail closed with no diagnostics
+		// rather than panicking in a handler.
+		return digest, nil, false
+	}
+	diags = speclint.RunSpec(lintFile, spec, nil)
+	if diags == nil {
+		diags = []speclint.Diagnostic{}
+	}
+	s.c.lintMisses.Add(1)
+	s.lints.add(digest, diags)
+	return digest, diags, false
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	req, err := parseAnalyzeRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The validation-free spec layer accepts every network the analyze
+	// parser does, plus ones it rejects (that is the point: an unmatched
+	// action comes back as a positioned diagnostic, not a 400).
+	spec, err := fsplang.ParseSpec(req.Network)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing network: %v", err)
+		return
+	}
+	s.c.lints.Add(1)
+	canonical := fsplang.FormatSpec(spec)
+	digest, diags, cached := s.lintCanonical(canonical)
+	writeJSON(w, http.StatusOK, lintResponse{
+		Digest: digest, Cached: cached, Canonical: canonical, Diagnostics: diags,
+	})
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	req, err := parseAnalyzeRequest(r)
 	if err != nil {
@@ -373,10 +461,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	canonical := fsplang.Format(n)
 	digest := Digest(canonical, req.Process, req.Mode, req.Predicates)
+	var warnings []speclint.Diagnostic
+	if req.Lint {
+		_, warnings, _ = s.lintCanonical(canonical)
+	}
 	if rec, ok := s.cache.get(digest); ok {
 		s.c.hits.Add(1)
 		writeJSON(w, http.StatusOK, analyzeResponse{
 			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: true, Record: rec,
+			Warnings: warnings,
 		})
 		return
 	}
@@ -427,6 +520,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.cache.add(digest, rec)
 		writeJSON(w, http.StatusOK, analyzeResponse{
 			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false, Record: rec,
+			Warnings: warnings,
 		})
 	case guard.IsLimit(err):
 		if r.Context().Err() != nil {
@@ -438,13 +532,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.c.partials.Add(1)
 		writeJSON(w, http.StatusOK, analyzeResponse{
 			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false,
-			Record: verdictjson.FromError(n.Process(req.Process).Name(), err),
+			Record: verdictjson.FromError(n.Process(req.Process).Name(), err), Warnings: warnings,
 		})
 	default:
 		s.c.errors.Add(1)
 		writeJSON(w, http.StatusUnprocessableEntity, analyzeResponse{
 			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false,
-			Record: verdictjson.FromError(n.Process(req.Process).Name(), err),
+			Record: verdictjson.FromError(n.Process(req.Process).Name(), err), Warnings: warnings,
 		})
 	}
 }

@@ -37,6 +37,16 @@ type Stats struct {
 	Queued int64 `json:"queued"`
 	// CacheEntries is the current verdict cache population.
 	CacheEntries int `json:"cacheEntries"`
+	// Lints counts POST /v1/lint requests.
+	Lints int64 `json:"lints"`
+	// LintHits counts lint answers served from the lint cache, including
+	// warnings attached to /v1/analyze responses.
+	LintHits int64 `json:"lintHits"`
+	// LintMisses counts lint runs that computed diagnostics and populated
+	// the lint cache.
+	LintMisses int64 `json:"lintMisses"`
+	// LintEntries is the current lint cache population.
+	LintEntries int `json:"lintEntries"`
 	// Uptime is wall time since the server was built.
 	Uptime string `json:"uptime"`
 	// Latency maps "<mode>/<predicates>" (e.g. "cyclic/all",
@@ -65,6 +75,10 @@ type counters struct {
 	errors   atomic.Int64
 	inflight atomic.Int64
 	queued   atomic.Int64
+
+	lints      atomic.Int64
+	lintHits   atomic.Int64
+	lintMisses atomic.Int64
 }
 
 // latencyWindow is the per-class sample bound; old samples are

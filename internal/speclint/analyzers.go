@@ -1,0 +1,423 @@
+package speclint
+
+// The six analyzers. Each one reads the paper's network model off the
+// spec syntax alone:
+//
+//   - unmatched / deadbranch police Definition 2's communication rule
+//     (every observable action is a hand-shake between exactly two
+//     members), statically: an action with fewer or more than two owners
+//     can never fire.
+//   - taudiv finds guaranteed divergence sources — τ-cycles a single
+//     member can traverse without any partner's cooperation — which decide
+//     the Section 4 divergence side conditions before any product graph
+//     is built.
+//   - deadstate / sink are member-local sanity checks: unreachable
+//     states are dead weight (the fsp builder rejects them outright), and
+//     a leaf state in an otherwise cyclic member usually means a missing
+//     return transition, since under the cyclic semantics of Section 4
+//     computations are meant to revisit their start infinitely often.
+//   - dupmember surfaces members identical up to action relabeling — the
+//     symmetry that lets a solver collapse interchangeable processes.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fspnet/internal/fsplang"
+)
+
+var unmatchedAnalyzer = &Analyzer{
+	Name: "unmatched",
+	Doc: "actions not owned by exactly two members: statically blocked\n\n" +
+		"Definition 2 makes every observable action a hand-shake between\n" +
+		"exactly two members. An action mentioned by one member alone has no\n" +
+		"partner and can never fire; one mentioned by three or more is not a\n" +
+		"well-formed network action at all. Either way every transition on it\n" +
+		"is statically blocked. Reported once per action, at the first\n" +
+		"transition that uses it.",
+	Run: func(p *Pass) {
+		reported := make(map[string]bool)
+		for _, pi := range p.Info.Procs {
+			for t := range pi.Decl.Transitions {
+				tr := &pi.Decl.Transitions[t]
+				key := tr.ActionKey()
+				if tr.Tau || !p.Info.Blocked(key) || reported[key] {
+					continue
+				}
+				reported[key] = true
+				owners := p.Info.Owners[key]
+				if len(owners) == 1 {
+					p.Report(tr.LabelPos,
+						"action %q is only used by member %s: no partner can synchronize, the transition %s %s %s is statically blocked",
+						key, pi.Decl.Name, tr.From, tr.Label, tr.To)
+					continue
+				}
+				names := make([]string, len(owners))
+				for i, o := range owners {
+					names[i] = p.Spec.Processes[o].Name
+				}
+				p.Report(tr.LabelPos,
+					"action %q is used by %d members (%s): Definition 2 requires exactly two, so it can never synchronize",
+					key, len(owners), strings.Join(names, ", "))
+			}
+		}
+	},
+}
+
+var taudivAnalyzer = &Analyzer{
+	Name: "taudiv",
+	Doc: "τ-self-loops and τ-only cycles: guaranteed divergence sources\n\n" +
+		"A τ-cycle inside a single member is traversable without any\n" +
+		"partner's cooperation, so the member can diverge on its own — the\n" +
+		"divergence the cyclic semantics (Section 4) must treat as a\n" +
+		"permanently silent run. Self-loops are reported at the transition;\n" +
+		"longer τ-only cycles once per cycle, at the first participating\n" +
+		"state.",
+	Run: func(p *Pass) {
+		for _, pi := range p.Info.Procs {
+			decl := pi.Decl
+			// τ-self-loops, at the offending transition.
+			for t := range decl.Transitions {
+				tr := &decl.Transitions[t]
+				if tr.Tau && tr.From == tr.To {
+					p.Report(tr.LabelPos,
+						"member %s has a τ-self-loop at state %s: it can diverge without any synchronization",
+						decl.Name, tr.From)
+				}
+			}
+			// τ-only cycles of length ≥ 2: strongly connected components
+			// of the τ-subgraph.
+			for _, scc := range tauSCCs(pi) {
+				if len(scc) < 2 {
+					continue
+				}
+				names := make([]string, len(scc))
+				for i, s := range scc {
+					names[i] = decl.States[s].Name
+				}
+				p.Report(decl.States[scc[0]].Pos,
+					"member %s has a τ-only cycle through states %s: it can diverge without any synchronization",
+					decl.Name, strings.Join(names, ", "))
+			}
+		}
+	},
+}
+
+// tauSCCs returns the strongly connected components of the member's
+// τ-subgraph, each sorted by state index, ordered by smallest member.
+func tauSCCs(pi *ProcInfo) [][]int {
+	n := len(pi.Decl.States)
+	adj := make([][]int, n)
+	for t := range pi.Decl.Transitions {
+		tr := &pi.Decl.Transitions[t]
+		if tr.Tau {
+			from, to := pi.StateIdx[tr.From], pi.StateIdx[tr.To]
+			adj[from] = append(adj[from], to)
+		}
+	}
+	// Iterative Tarjan.
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		sccs    [][]int
+		stack   []int
+		counter int
+	)
+	type frame struct{ v, next int }
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call := []frame{{root, 0}}
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			if f.next < len(adj[f.v]) {
+				w := adj[f.v][f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w], low[w] = counter, counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(scc)
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}
+
+var deadstateAnalyzer = &Analyzer{
+	Name: "deadstate",
+	Doc: "member-local states unreachable from the start state\n\n" +
+		"A state no path from the start reaches contributes nothing to any\n" +
+		"computation of the network; the fsp builder rejects such members\n" +
+		"outright. Reported at the state's first mention.",
+	Run: func(p *Pass) {
+		for _, pi := range p.Info.Procs {
+			decl := pi.Decl
+			for s, st := range decl.States {
+				if !pi.Reachable[s] {
+					p.Report(st.Pos,
+						"state %s of member %s is unreachable from start state %s",
+						st.Name, decl.Name, decl.Start)
+				}
+			}
+		}
+	},
+}
+
+var deadbranchAnalyzer = &Analyzer{
+	Name: "deadbranch",
+	Doc: "choice branches whose action is statically blocked\n\n" +
+		"At a state with several outgoing transitions, a branch labeled with\n" +
+		"an action that no partner (or more than one) owns can never be\n" +
+		"taken: the choice silently collapses onto the remaining branches.\n" +
+		"Reported per blocked branch, complementing unmatched's once-per-\n" +
+		"action report.",
+	Run: func(p *Pass) {
+		for _, pi := range p.Info.Procs {
+			decl := pi.Decl
+			for s := range decl.States {
+				if len(pi.Out[s]) < 2 {
+					continue
+				}
+				for _, t := range pi.Out[s] {
+					tr := &decl.Transitions[t]
+					if !tr.Tau && p.Info.Blocked(tr.ActionKey()) {
+						p.Report(tr.LabelPos,
+							"branch %s %s %s of member %s can never be taken: action %q is statically blocked",
+							tr.From, tr.Label, tr.To, decl.Name, tr.ActionKey())
+					}
+				}
+			}
+		}
+	},
+}
+
+var sinkAnalyzer = &Analyzer{
+	Name: "sink",
+	Doc: "reachable leaf states inside otherwise cyclic members\n\n" +
+		"Under the acyclic semantics (Section 3) a leaf is proper\n" +
+		"termination. But a member that contains a cycle is written for the\n" +
+		"cyclic semantics (Section 4), where computations revisit the start\n" +
+		"infinitely often — a reachable leaf there is usually a missing\n" +
+		"return transition, and it traps the whole network if entered.",
+	Run: func(p *Pass) {
+		for _, pi := range p.Info.Procs {
+			if !pi.HasCycle {
+				continue
+			}
+			decl := pi.Decl
+			for s, st := range decl.States {
+				if pi.Reachable[s] && len(pi.Out[s]) == 0 {
+					p.Report(st.Pos,
+						"state %s of cyclic member %s has no outgoing transitions: a reachable trap, not a termination leaf",
+						st.Name, decl.Name)
+				}
+			}
+		}
+	},
+}
+
+var dupmemberAnalyzer = &Analyzer{
+	Name: "dupmember",
+	Doc: "members identical up to action relabeling: symmetry hint\n\n" +
+		"Two members whose transition graphs coincide after a bijective\n" +
+		"renaming of observable actions are interchangeable up to\n" +
+		"relabeling — the symmetry a solver can exploit by collapsing\n" +
+		"duplicate members. The check compares canonical skeletons (states\n" +
+		"renumbered in canonical order, actions replaced by first-occurrence\n" +
+		"placeholders), so it is sound but not complete: members whose\n" +
+		"canonical orders diverge under relabeling are not matched.\n" +
+		"Reported once per duplicate group, at the group's first member.",
+	Run: func(p *Pass) {
+		type group struct {
+			first int
+			rest  []int
+		}
+		groups := make(map[string]*group)
+		var order []string
+		for _, pi := range p.Info.Procs {
+			skel := memberSkeleton(pi)
+			g, ok := groups[skel]
+			if !ok {
+				groups[skel] = &group{first: pi.Index}
+				order = append(order, skel)
+				continue
+			}
+			g.rest = append(g.rest, pi.Index)
+		}
+		for _, skel := range order {
+			g := groups[skel]
+			if len(g.rest) == 0 {
+				continue
+			}
+			first := p.Spec.Processes[g.first]
+			names := make([]string, len(g.rest))
+			for i, idx := range g.rest {
+				names[i] = p.Spec.Processes[idx].Name
+			}
+			relabel := relabelMap(p.Info.Procs[g.first], p.Info.Procs[g.rest[0]])
+			p.Report(first.Pos,
+				"member %s is identical to %s up to relabeling (%s): symmetry candidate, interchangeable up to action renaming",
+				first.Name, strings.Join(names, ", "), relabel)
+		}
+	},
+}
+
+// memberSkeleton renders a member's canonical transition structure with
+// states renumbered in canonical emission order and observable actions
+// replaced by placeholders numbered by first occurrence. Two members
+// share a skeleton iff their canonical forms coincide after a bijective
+// renaming of observable actions.
+func memberSkeleton(pi *ProcInfo) string {
+	var sb strings.Builder
+	actions := make(map[string]int)
+	for _, tr := range canonicalTransitions(pi) {
+		label := tauKey
+		if !tr.tau {
+			id, ok := actions[tr.key]
+			if !ok {
+				id = len(actions)
+				actions[tr.key] = id
+			}
+			label = fmt.Sprintf("a%d", id)
+		}
+		fmt.Fprintf(&sb, "%d %s %d\n", tr.from, label, tr.to)
+	}
+	return sb.String()
+}
+
+// skeletonTrans is one canonical transition with states renumbered.
+type skeletonTrans struct {
+	from, to int
+	key      string
+	tau      bool
+}
+
+// canonicalTransitions lists a member's deduplicated transitions in
+// canonical emission order (the FormatSpec order), with states
+// renumbered by canonical first emission.
+func canonicalTransitions(pi *ProcInfo) []skeletonTrans {
+	decl := pi.Decl
+	if decl.Start == "" {
+		return nil
+	}
+	// Per-state transitions sorted by (action key, target first-mention
+	// index), deduplicated — mirroring fsplang's canonical form.
+	sorted := make([][]*fsplang.TransDecl, len(decl.States))
+	for s := range decl.States {
+		ts := make([]*fsplang.TransDecl, 0, len(pi.Out[s]))
+		for _, t := range pi.Out[s] {
+			ts = append(ts, &decl.Transitions[t])
+		}
+		sort.SliceStable(ts, func(a, b int) bool {
+			ka, kb := ts[a].ActionKey(), ts[b].ActionKey()
+			if ka != kb {
+				return ka < kb
+			}
+			return pi.StateIdx[ts[a].To] < pi.StateIdx[ts[b].To]
+		})
+		w := 0
+		for i, t := range ts {
+			if i == 0 || t.ActionKey() != ts[i-1].ActionKey() || t.To != ts[i-1].To {
+				ts[w] = t
+				w++
+			}
+		}
+		sorted[s] = ts[:w]
+	}
+	// Canonical emission order, renumbering states as they first appear.
+	renum := make([]int, len(decl.States))
+	for i := range renum {
+		renum[i] = -1
+	}
+	order := make([]int, 0, len(decl.States))
+	mention := func(s int) {
+		if renum[s] < 0 {
+			renum[s] = len(order)
+			order = append(order, s)
+		}
+	}
+	mention(pi.StateIdx[decl.Start])
+	for i := 0; i < len(order); i++ {
+		for _, tr := range sorted[order[i]] {
+			mention(pi.StateIdx[tr.To])
+		}
+	}
+	for s := range decl.States {
+		mention(s)
+	}
+	var out []skeletonTrans
+	for _, s := range order {
+		for _, tr := range sorted[s] {
+			out = append(out, skeletonTrans{
+				from: renum[s],
+				to:   renum[pi.StateIdx[tr.To]],
+				key:  tr.ActionKey(),
+				tau:  tr.Tau,
+			})
+		}
+	}
+	return out
+}
+
+// relabelMap derives the action renaming that carries member a onto
+// member b, formatted "x↦y, …" in a's first-occurrence order. Identity
+// pairs are elided; if every pair is identity the members are equal
+// verbatim.
+func relabelMap(a, b *ProcInfo) string {
+	ta, tb := canonicalTransitions(a), canonicalTransitions(b)
+	var pairs []string
+	seen := make(map[string]bool)
+	for i := range ta {
+		if ta[i].tau || seen[ta[i].key] {
+			continue
+		}
+		seen[ta[i].key] = true
+		if ta[i].key != tb[i].key {
+			pairs = append(pairs, ta[i].key+"↦"+tb[i].key)
+		}
+	}
+	if len(pairs) == 0 {
+		return "identical verbatim"
+	}
+	return strings.Join(pairs, ", ")
+}

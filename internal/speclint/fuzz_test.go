@@ -1,0 +1,106 @@
+package speclint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+
+	"fspnet/internal/fsplang"
+)
+
+// FuzzSpeclint asserts the robustness and determinism properties the
+// fspd lint endpoint relies on:
+//
+//  1. speclint never panics, on any input the spec parser accepts;
+//  2. ParseSpec accepts everything ParseString accepts (the spec layer
+//     is strictly more permissive than network construction), and on
+//     those inputs FormatSpec agrees with Format — so both layers
+//     compute the same canonical text, hence the same cache digest;
+//  3. diagnostics are invariant under a FormatSpec round-trip of the
+//     canonical text: lint(canonical) == lint(format(parse(canonical))).
+//     Cached diagnostics keyed by the canonical digest therefore never
+//     disagree with a recomputation. (Diagnostics of the raw source can
+//     legitimately differ from the canonical text's — positions move and
+//     waiver comments are stripped — which is why the service lints the
+//     canonical form.)
+func FuzzSpeclint(f *testing.F) {
+	f.Add("process P { start s0; s0 a s1 }")
+	f.Add("process P { s0 lonely s1; s0 tau s0 }")
+	f.Add("process P { start s0; dead a dead }\nprocess Q { q a q }")
+	f.Add("# fsplint:ignore taudiv reason\nprocess P { s0 tau s0 }")
+	f.Add("process P { start start; s0 a s1 }\nprocess Q { t0 a t0 }")
+	matches, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fsp"))
+	if err == nil {
+		for _, m := range matches {
+			if data, err := os.ReadFile(m); err == nil {
+				f.Add(string(data))
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if !utf8.ValidString(src) {
+			return
+		}
+		spec, specErr := fsplang.ParseSpec(src)
+		if _, netErr := fsplang.ParseString(src); netErr == nil {
+			if specErr != nil {
+				t.Fatalf("ParseString accepted input ParseSpec rejected: %v\ninput: %q", specErr, src)
+			}
+		}
+		if specErr != nil {
+			return
+		}
+		// 1. No panics: lint the raw spec, waived findings included.
+		RunSpec("fuzz.fsp", spec, nil)
+
+		// 3. Canonical-text diagnostics are round-trip stable.
+		canonical := fsplang.FormatSpec(spec)
+		cspec, err := fsplang.ParseSpec(canonical)
+		if err != nil {
+			t.Fatalf("canonical text failed to reparse: %v\ncanonical: %q", err, canonical)
+		}
+		first := RunSpec("canon.fsp", cspec, nil)
+		again := fsplang.FormatSpec(cspec)
+		if again != canonical {
+			t.Fatalf("FormatSpec not idempotent:\nfirst:  %q\nsecond: %q", canonical, again)
+		}
+		cspec2, err := fsplang.ParseSpec(again)
+		if err != nil {
+			t.Fatalf("round-tripped canonical text failed to reparse: %v", err)
+		}
+		second := RunSpec("canon.fsp", cspec2, nil)
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("diagnostics not invariant under canonical round-trip:\nfirst:  %v\nsecond: %v", first, second)
+		}
+	})
+}
+
+// TestSpecFormatParity pins fuzz property 2 on the checked-in fixtures:
+// the spec layer and the network layer render the same canonical text,
+// so the lint cache and the verdict cache key the same digests.
+func TestSpecFormatParity(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fsp"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no .fsp fixtures found: %v", err)
+	}
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := fsplang.ParseString(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		spec, err := fsplang.ParseSpec(string(data))
+		if err != nil {
+			t.Fatalf("%s: ParseSpec: %v", m, err)
+		}
+		if got, want := fsplang.FormatSpec(spec), fsplang.Format(n); got != want {
+			t.Errorf("%s: FormatSpec disagrees with Format:\nspec:    %q\nnetwork: %q", m, got, want)
+		}
+	}
+}

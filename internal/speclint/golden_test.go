@@ -1,0 +1,100 @@
+package speclint
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"fspnet/internal/fsplang"
+)
+
+var update = flag.Bool("update", false, "rewrite the speclint golden files")
+
+// TestGoldenFixtures pins the full diagnostic output — including waived
+// findings, flagged as such — for every .fsp fixture in the repo's
+// testdata directory. The rendering is byte-stable, so any change to an
+// analyzer's positions, messages, or ordering shows up as a golden diff.
+func TestGoldenFixtures(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fsp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no fixtures found")
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := fsplang.ParseSpec(string(data))
+			if err != nil {
+				t.Fatalf("ParseSpec: %v", err)
+			}
+			got := renderDiags(name, RunSpec(name, spec, nil))
+			goldenPath := filepath.Join("testdata", strings.TrimSuffix(name, ".fsp")+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed (run with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// renderDiags is the golden rendering: one line per diagnostic, waived
+// findings marked, or a single "clean" line for an empty result so the
+// golden file is never empty (an accidentally empty file would pass
+// vacuously).
+func renderDiags(name string, diags []Diagnostic) string {
+	if len(diags) == 0 {
+		return fmt.Sprintf("# %s: clean\n", name)
+	}
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		if d.Waived {
+			sb.WriteString(" [waived]")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestGoldenNonWaivedClean asserts the repo corpus carries no live
+// findings: everything speclint reports on testdata is explicitly
+// waived. This is the same bar the CI lint-specs step enforces.
+func TestGoldenNonWaivedClean(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fsp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := Run(filepath.Base(path), string(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("non-waived finding in corpus: %s", d)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package speclint statically analyzes fsplang network descriptions and
+// reports semantic defects — without running any solver. The analyzers
+// work on the positioned, validation-free fsplang.Spec AST, so the
+// defects that network construction would reject outright (an action
+// with no partner, a state unreachable from start) become positioned
+// diagnostics instead of a single opaque error, and cheaper hints
+// (τ-divergence sources, symmetric duplicate members) surface before any
+// state-space work.
+//
+// Diagnostics are deterministic: for a given source text the same
+// diagnostics come back in the same byte-stable order, sorted by
+// (file, line, col, analyzer, message). They are also a pure function of
+// the canonical form fsplang.FormatSpec produces, which lets fspd cache
+// them under the canonical-text digest.
+//
+// A finding is waived by a directive comment on its line or the line
+// above:
+//
+//	#fsplint:ignore unmatched,taudiv reason
+package speclint
+
+import (
+	"fmt"
+	"sort"
+
+	"fspnet/internal/fsplang"
+)
+
+// Diagnostic is one finding. The JSON shape is shared by fsplint -json
+// and fspd's /v1/lint endpoint.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Waived marks a diagnostic silenced by an #fsplint:ignore directive.
+	// Run drops waived diagnostics; RunSpec keeps them, flagged, so
+	// golden tests can pin both populations.
+	Waived bool `json:"waived,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one speclint check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands an analyzer the parsed spec, the shared network-level
+// facts, and a report sink.
+type Pass struct {
+	File string
+	Spec *fsplang.Spec
+	Info *Info
+
+	analyzer *Analyzer
+	out      *[]Diagnostic
+}
+
+// Report records a diagnostic at the given position.
+func (p *Pass) Report(pos fsplang.Pos, format string, args ...any) {
+	*p.out = append(*p.out, Diagnostic{
+		File:     p.File,
+		Line:     pos.Line,
+		Col:      pos.Col,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Info precomputes the network-level facts the analyzers share.
+type Info struct {
+	// Owners maps each observable action key to the sorted indices of the
+	// member processes that mention it. Definition 2 requires exactly two
+	// entries; τ is never an owner key.
+	Owners map[string][]int
+	// Procs holds the per-member graphs, parallel to Spec.Processes.
+	Procs []*ProcInfo
+}
+
+// ProcInfo is the graph view of one member process.
+type ProcInfo struct {
+	Decl  *fsplang.ProcDecl
+	Index int
+	// StateIdx maps a state name to its first-mention index.
+	StateIdx map[string]int
+	// Out maps each state index to the indices (into Decl.Transitions) of
+	// its outgoing transitions, in source order.
+	Out [][]int
+	// Reachable marks states reachable from the start state.
+	Reachable []bool
+	// HasCycle reports whether any cycle (through any actions) exists.
+	HasCycle bool
+}
+
+// Blocked reports whether an observable action key is statically blocked
+// under Definition 2's communication rule: it can hand-shake only if
+// exactly two members own it. τ is internal and never blocked.
+func (in *Info) Blocked(key string) bool {
+	return key != tauKey && len(in.Owners[key]) != 2
+}
+
+// tauKey is the canonical action key of the unobservable action.
+const tauKey = "τ"
+
+// BuildInfo computes the shared facts for a parsed spec.
+func BuildInfo(spec *fsplang.Spec) *Info {
+	info := &Info{Owners: make(map[string][]int)}
+	for i, decl := range spec.Processes {
+		pi := &ProcInfo{
+			Decl:     decl,
+			Index:    i,
+			StateIdx: make(map[string]int, len(decl.States)),
+		}
+		for j, st := range decl.States {
+			pi.StateIdx[st.Name] = j
+		}
+		pi.Out = make([][]int, len(decl.States))
+		seenAction := make(map[string]bool)
+		for t := range decl.Transitions {
+			tr := &decl.Transitions[t]
+			from := pi.StateIdx[tr.From]
+			pi.Out[from] = append(pi.Out[from], t)
+			if !tr.Tau {
+				key := tr.ActionKey()
+				if !seenAction[key] {
+					seenAction[key] = true
+					info.Owners[key] = append(info.Owners[key], i)
+				}
+			}
+		}
+		pi.Reachable = reachableFrom(pi, decl)
+		pi.HasCycle = hasCycle(pi, decl)
+		info.Procs = append(info.Procs, pi)
+	}
+	return info
+}
+
+func reachableFrom(pi *ProcInfo, decl *fsplang.ProcDecl) []bool {
+	reach := make([]bool, len(decl.States))
+	if decl.Start == "" {
+		return reach
+	}
+	stack := []int{pi.StateIdx[decl.Start]}
+	reach[stack[0]] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range pi.Out[s] {
+			to := pi.StateIdx[decl.Transitions[t].To]
+			if !reach[to] {
+				reach[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return reach
+}
+
+// hasCycle detects any directed cycle in the member's full graph with an
+// iterative three-color DFS.
+func hasCycle(pi *ProcInfo, decl *fsplang.ProcDecl) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(decl.States))
+	type frame struct{ state, next int }
+	for root := range decl.States {
+		if color[root] != white {
+			continue
+		}
+		stack := []frame{{root, 0}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(pi.Out[f.state]) {
+				t := pi.Out[f.state][f.next]
+				f.next++
+				to := pi.StateIdx[decl.Transitions[t].To]
+				switch color[to] {
+				case gray:
+					return true
+				case white:
+					color[to] = gray
+					stack = append(stack, frame{to, 0})
+				}
+				continue
+			}
+			color[f.state] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return false
+}
+
+// Analyzers returns every speclint analyzer, sorted by name.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		deadbranchAnalyzer,
+		deadstateAnalyzer,
+		dupmemberAnalyzer,
+		sinkAnalyzer,
+		taudivAnalyzer,
+		unmatchedAnalyzer,
+	}
+}
+
+// ByName resolves analyzer names; an empty list selects all of them.
+func ByName(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range names {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("speclint: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Run parses src and returns the non-waived diagnostics from every
+// analyzer, in byte-stable order. A parse failure is returned as an
+// error, not a diagnostic; drivers decide how to surface it.
+func Run(file, src string) ([]Diagnostic, error) {
+	spec, err := fsplang.ParseSpec(src)
+	if err != nil {
+		return nil, err
+	}
+	diags := RunSpec(file, spec, nil)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !d.Waived {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// RunSpec runs the given analyzers (all of them if nil) over an
+// already-parsed spec and returns every diagnostic, with waived ones
+// flagged rather than dropped, in byte-stable order.
+func RunSpec(file string, spec *fsplang.Spec, analyzers []*Analyzer) []Diagnostic {
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	info := BuildInfo(spec)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{File: file, Spec: spec, Info: info, analyzer: a, out: &diags}
+		a.Run(pass)
+	}
+	for i := range diags {
+		diags[i].Waived = spec.Waived(diags[i].Line, diags[i].Analyzer)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}

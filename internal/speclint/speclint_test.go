@@ -1,0 +1,281 @@
+package speclint
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"fspnet/internal/fsplang"
+)
+
+// lint is the test harness: run all analyzers, return non-waived
+// rendered diagnostics.
+func lint(t *testing.T, src string) []string {
+	t.Helper()
+	diags, err := Run("test.fsp", src)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func wantDiags(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\ngot:  %s\nwant: %s",
+			len(got), len(want), strings.Join(got, "\n      "), strings.Join(want, "\n      "))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\ngot:  %s\nwant: %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnmatched(t *testing.T) {
+	src := strings.Join([]string{
+		"process P {",
+		"    start s0",
+		"    s0 a s1",
+		"    s1 lonely s0",
+		"    s0 lonely s1",
+		"}",
+		"process Q { t0 a t0 }",
+		"process R { u0 b u0 }",
+		"process S { v0 b v0 }",
+		"process T { w0 b w0 }",
+	}, "\n")
+	// The blocked action also collapses s0's choice (deadbranch) and the
+	// three one-state b-members are structural duplicates (dupmember);
+	// both are legitimate companions to the unmatched reports.
+	wantDiags(t, lint(t, src),
+		`test.fsp:4:8: unmatched: action "lonely" is only used by member P: no partner can synchronize, the transition s1 lonely s0 is statically blocked`,
+		`test.fsp:5:8: deadbranch: branch s0 lonely s1 of member P can never be taken: action "lonely" is statically blocked`,
+		`test.fsp:7:9: dupmember: member Q is identical to R, S, T up to relabeling (a↦b): symmetry candidate, interchangeable up to action renaming`,
+		`test.fsp:8:16: unmatched: action "b" is used by 3 members (R, S, T): Definition 2 requires exactly two, so it can never synchronize`,
+	)
+}
+
+func TestTaudiv(t *testing.T) {
+	src := strings.Join([]string{
+		"process P {",
+		"    start s0",
+		"    s0 a s1",
+		"    s1 tau s1", // self-loop
+		"    s1 tau s2", // part of 2-cycle s1<->s2? no: s1->s2, s2->s1
+		"    s2 τ s1",
+		"}",
+		"process Q { t0 a t0 }",
+	}, "\n")
+	// The cycle is anchored at s1's first mention (line 3), the
+	// self-loop at its own τ token (line 4); file order sorts the cycle
+	// first.
+	wantDiags(t, lint(t, src),
+		`test.fsp:3:10: taudiv: member P has a τ-only cycle through states s1, s2: it can diverge without any synchronization`,
+		`test.fsp:4:8: taudiv: member P has a τ-self-loop at state s1: it can diverge without any synchronization`,
+	)
+}
+
+func TestTaudivNoFalsePositive(t *testing.T) {
+	// τ-transitions that do not close a τ-only cycle are fine, even if
+	// the member is cyclic through observable actions.
+	src := "process P { start s0; s0 tau s1; s1 a s0 }\nprocess Q { t0 a t0 }"
+	wantDiags(t, lint(t, src))
+}
+
+func TestDeadstate(t *testing.T) {
+	src := strings.Join([]string{
+		"process P {",
+		"    start s0",
+		"    s0 a s0",
+		"    dead b gone",
+		"}",
+		"process Q { t0 a t0; t0 b t0 }",
+	}, "\n")
+	wantDiags(t, lint(t, src),
+		`test.fsp:4:5: deadstate: state dead of member P is unreachable from start state s0`,
+		`test.fsp:4:12: deadstate: state gone of member P is unreachable from start state s0`,
+	)
+}
+
+func TestDeadbranch(t *testing.T) {
+	src := strings.Join([]string{
+		"process P {",
+		"    start s0",
+		"    s0 a s1",
+		"    s0 lonely s2",
+		"}",
+		"process Q { t0 a t0 }",
+	}, "\n")
+	wantDiags(t, lint(t, src),
+		`test.fsp:4:8: deadbranch: branch s0 lonely s2 of member P can never be taken: action "lonely" is statically blocked`,
+		`test.fsp:4:8: unmatched: action "lonely" is only used by member P: no partner can synchronize, the transition s0 lonely s2 is statically blocked`,
+	)
+}
+
+func TestDeadbranchNeedsChoice(t *testing.T) {
+	// A single blocked transition is unmatched's business, not a dead
+	// branch: there is no choice to collapse.
+	src := "process P { start s0; s0 lonely s1; s1 a s0 }\nprocess Q { t0 a t0 }"
+	got := lint(t, src)
+	for _, d := range got {
+		if strings.Contains(d, "deadbranch") {
+			t.Errorf("unexpected deadbranch diagnostic: %s", d)
+		}
+	}
+}
+
+func TestSink(t *testing.T) {
+	src := strings.Join([]string{
+		"process P {",
+		"    start s0",
+		"    s0 a s1",
+		"    s1 b s0",
+		"    s1 a trap",
+		"}",
+		"process Q { t0 a t0; t0 b t0 }",
+	}, "\n")
+	wantDiags(t, lint(t, src),
+		`test.fsp:5:10: sink: state trap of cyclic member P has no outgoing transitions: a reachable trap, not a termination leaf`,
+	)
+}
+
+func TestSinkSilentOnAcyclicMember(t *testing.T) {
+	// In an acyclic member a leaf is proper termination (Section 3), not
+	// a defect.
+	src := "process P { start s0; s0 a s1 }\nprocess Q { t0 a t1; t1 b t2; t1 c t2 }\nprocess R { u0 b u1; u0 c u1 }"
+	wantDiags(t, lint(t, src))
+}
+
+func TestDupmember(t *testing.T) {
+	src := strings.Join([]string{
+		"process P { start s0; s0 a s1; s1 b s0 }",
+		"process Q { start t0; t0 b t1; t1 a t0 }",
+		"process R { start u0; u0 c u0 }",
+		"process S { start v0; v0 c v0 }",
+	}, "\n")
+	got := lint(t, src)
+	var dup []string
+	for _, d := range got {
+		if strings.Contains(d, "dupmember") {
+			dup = append(dup, d)
+		}
+	}
+	wantDiags(t, dup,
+		`test.fsp:1:9: dupmember: member P is identical to Q up to relabeling (a↦b, b↦a): symmetry candidate, interchangeable up to action renaming`,
+		`test.fsp:3:9: dupmember: member R is identical to S up to relabeling (identical verbatim): symmetry candidate, interchangeable up to action renaming`,
+	)
+}
+
+func TestDupmemberDistinctStructure(t *testing.T) {
+	src := "process P { start s0; s0 a s1 }\nprocess Q { start t0; t0 a t1; t1 b t1 }\nprocess R { u0 b u0 }"
+	got := lint(t, src)
+	for _, d := range got {
+		if strings.Contains(d, "dupmember") {
+			t.Errorf("unexpected dupmember diagnostic: %s", d)
+		}
+	}
+}
+
+func TestWaiversDropAndFlag(t *testing.T) {
+	src := strings.Join([]string{
+		"process P {",
+		"    start s0",
+		"    # fsplint:ignore taudiv intentional busy-wait",
+		"    s0 tau s0",
+		"    s0 a s0",
+		"}",
+		"process Q { t0 a t0 }",
+	}, "\n")
+	if got := lint(t, src); len(got) != 0 {
+		t.Errorf("waived diagnostics leaked through Run: %v", got)
+	}
+	spec := mustParse(t, src)
+	all := RunSpec("test.fsp", spec, nil)
+	if len(all) != 1 || !all[0].Waived || all[0].Analyzer != "taudiv" {
+		t.Errorf("RunSpec should keep the waived diagnostic flagged, got %+v", all)
+	}
+}
+
+func TestByName(t *testing.T) {
+	sel, err := ByName([]string{"taudiv", "sink"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "sink" || sel[1].Name != "taudiv" {
+		t.Errorf("ByName order wrong: %v", names(sel))
+	}
+	if _, err := ByName([]string{"nope"}); err == nil {
+		t.Error("ByName accepted unknown analyzer")
+	}
+	all, err := ByName(nil)
+	if err != nil || len(all) != 6 {
+		t.Errorf("ByName(nil) = %v analyzers, err %v; want all 6", len(all), err)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Errorf("Analyzers() not sorted by name: %v", names(all))
+		}
+	}
+}
+
+func TestDiagnosticsSortedAndStable(t *testing.T) {
+	src := strings.Join([]string{
+		"process P {",
+		"    start s0",
+		"    s0 x s1",
+		"    s0 tau s0",
+		"    dead y dead2",
+		"}",
+		"process Q { t0 z t0 }",
+	}, "\n")
+	first, err := Run("test.fsp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("expected diagnostics")
+	}
+	for i := 1; i < len(first); i++ {
+		a, b := first[i-1], first[i]
+		ka := []any{a.File, a.Line, a.Col, a.Analyzer, a.Message}
+		kb := []any{b.File, b.Line, b.Col, b.Analyzer, b.Message}
+		if fmt.Sprintf("%s|%09d|%09d|%s|%s", ka...) > fmt.Sprintf("%s|%09d|%09d|%s|%s", kb...) {
+			t.Errorf("diagnostics out of order:\n%s\n%s", a, b)
+		}
+	}
+	for round := 0; round < 5; round++ {
+		if got := strings.Join(lint(t, src), "\n"); got != strings.Join(first2str(first), "\n") {
+			t.Fatalf("diagnostics unstable on round %d", round)
+		}
+	}
+}
+
+func first2str(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func mustParse(t *testing.T, src string) *fsplang.Spec {
+	t.Helper()
+	spec, err := fsplang.ParseSpec(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func names(as []*Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}

@@ -134,7 +134,12 @@ type Star struct {
 	P      *fsp.FSP
 	Leaves []*fsp.FSP         // normal forms Q_i′
 	owner  map[fsp.Action]int // which leaf owns each of P's actions
+	g      *guard.G           // governor threaded from Reduce (nil = ungoverned)
 }
+
+// pollStride amortizes governor polls over the star walk and game: one
+// poll per stride of visited configurations.
+const pollStride = 1024
 
 // Reduce performs the bottom-up normal-form replacement of Theorem 3's
 // proof, turning the tree network into a star.
@@ -165,6 +170,7 @@ func Reduce(n *network.Network, dist int, opts Options) (*Star, error) {
 	}
 	parent[dist] = -1
 	order := []int{dist}
+	//fsplint:ignore guardpoll bounded by member count: each process enters order at most once
 	for head := 0; head < len(order); head++ {
 		v := order[head]
 		for _, w := range g.Neighbors(v) {
@@ -213,7 +219,7 @@ func Reduce(n *network.Network, dist int, opts Options) (*Star, error) {
 		return nf, nil
 	}
 
-	star := &Star{P: p, owner: make(map[fsp.Action]int)}
+	star := &Star{P: p, owner: make(map[fsp.Action]int), g: opts.Guard}
 	for _, c := range children[dist] {
 		nf, err := normalForm(c)
 		if err != nil {
@@ -302,10 +308,14 @@ func (s *Star) offerable(b beliefs, a fsp.Action) bool {
 }
 
 // Decide evaluates S_u, S_a, S_c on the star using Lemmas 3, 4, and 5.
+// Both the walk over P's states and the Lemma 5 game answer to the
+// governor Reduce threaded into the star, so a large distinguished
+// process can be canceled, deadlined, or budgeted mid-decision like
+// every other pass.
 func (s *Star) Decide() (success.Verdict, error) {
 	var v success.Verdict
 	su, sc := true, false
-	var sa func(p fsp.State, b beliefs) bool
+	var sa func(p fsp.State, b beliefs) (bool, error)
 	memoSa := make(map[string]bool)
 
 	// Walk all states of the tree P, carrying beliefs. Each P state has a
@@ -314,8 +324,15 @@ func (s *Star) Decide() (success.Verdict, error) {
 		p fsp.State
 		b beliefs
 	}
+	visited := 0
 	stack := []item{{s.P.Start(), s.startBeliefs()}}
 	for len(stack) > 0 {
+		if visited%pollStride == 0 {
+			if err := s.g.Poll("star-walk", visited/pollStride); err != nil {
+				return v, s.g.Limit(err, guard.Partial{Pass: "star-walk"})
+			}
+		}
+		visited++
 		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		a := s.P.ActionsAt(it.p)
@@ -333,20 +350,30 @@ func (s *Star) Decide() (success.Verdict, error) {
 		}
 	}
 
-	// Lemma 5 game on the star (P is τ-free by Reduce's validation).
-	sa = func(p fsp.State, b beliefs) bool {
+	// Lemma 5 game on the star (P is τ-free by Reduce's validation). Each
+	// new memo entry is a unit of game work: charged, with an amortized
+	// poll on the same stride as the walk.
+	sa = func(p fsp.State, b beliefs) (bool, error) {
 		key := gameKey(p, b)
 		if val, ok := memoSa[key]; ok {
-			return val
+			return val, nil
+		}
+		if err := s.g.Charge(1); err != nil {
+			return false, s.g.Limit(err, guard.Partial{Pass: "star-game"})
+		}
+		if len(memoSa)%pollStride == 0 {
+			if err := s.g.Poll("star-game", len(memoSa)/pollStride); err != nil {
+				return false, s.g.Limit(err, guard.Partial{Pass: "star-game"})
+			}
 		}
 		if s.P.IsLeaf(p) {
 			memoSa[key] = true
-			return true
+			return true, nil
 		}
 		a := s.P.ActionsAt(p)
 		if s.blocked(b, a) {
 			memoSa[key] = false
-			return false
+			return false, nil
 		}
 		res := true
 		for _, act := range a {
@@ -356,7 +383,11 @@ func (s *Star) Decide() (success.Verdict, error) {
 			nb := s.step(b, act)
 			anyGood := false
 			for _, succ := range s.P.Succ(p, act) {
-				if sa(succ, nb) {
+				good, err := sa(succ, nb)
+				if err != nil {
+					return false, err
+				}
+				if good {
 					anyGood = true
 					break
 				}
@@ -367,11 +398,15 @@ func (s *Star) Decide() (success.Verdict, error) {
 			}
 		}
 		memoSa[key] = res
-		return res
+		return res, nil
 	}
 	v.Su = su
 	v.Sc = sc
-	v.Sa = sa(s.P.Start(), s.startBeliefs())
+	saRes, err := sa(s.P.Start(), s.startBeliefs())
+	if err != nil {
+		return v, err
+	}
+	v.Sa = saRes
 	return v, nil
 }
 
