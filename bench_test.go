@@ -297,6 +297,26 @@ func BenchmarkE12BeliefGame(b *testing.B) {
 			}
 		})
 	}
+	// Tuning sweep: antichain pruning on/off crossed with sweep worker
+	// counts, on the ring whose game is big enough to separate them.
+	for _, tc := range []struct {
+		name string
+		tune belief.Tuning
+	}{
+		{"antichain=on/workers=1", belief.Tuning{Workers: 1}},
+		{"antichain=on/workers=4", belief.Tuning{Workers: 4}},
+		{"antichain=off/workers=1", belief.Tuning{NoAntichain: true, Workers: 1}},
+		{"antichain=off/workers=4", belief.Tuning{NoAntichain: true, Workers: 4}},
+	} {
+		n := mustGen(b)(bench.Philosophers(8))
+		b.Run("tuning/phil/m=8/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := belief.SolveCyclicTuned(n, 0, game.Options{}, tc.tune); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 	for _, m := range []int{4, 6} {
 		n := mustGen(b)(bench.Philosophers(m))
 		b.Run(fmt.Sprintf("reference/phil/m=%d", m), func(b *testing.B) {

@@ -167,3 +167,73 @@ func waived(start int, succ func(int) []int) []int {
 	}
 	return order
 }
+
+// Parallel-worker worklist (the belief cyclic-sweep idiom): the level
+// loop replaces the wave wholesale, and the governor polls happen
+// inside the goroutine-closure chunk workers. The analyzer descends
+// into FuncLits, so the inner poll keeps the loop clean.
+func workerPolled(g *guard.G, chunks func([]int) [][]int, succ func(int) []int) error {
+	wave := []int{0}
+	errs := make([]error, 2)
+	for len(wave) > 0 {
+		parts := chunks(wave)
+		done := make(chan struct{}, len(parts))
+		next := make([][]int, len(parts))
+		for w, part := range parts {
+			go func(w int, part []int) {
+				defer func() { done <- struct{}{} }()
+				for k, v := range part {
+					if k%64 == 0 {
+						if err := g.Poll("worker", k); err != nil {
+							errs[w] = err
+							return
+						}
+					}
+					next[w] = append(next[w], succ(v)...)
+				}
+			}(w, part)
+		}
+		for range parts {
+			<-done
+		}
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		wave = wave[:0]
+		for _, buf := range next {
+			wave = append(wave, buf...)
+		}
+	}
+	return nil
+}
+
+// The same sharded shape with workers that never touch the governor:
+// still a worklist, still flagged.
+func workerUnpolled(chunks func([]int) [][]int, succ func(int) []int) int {
+	wave := []int{0}
+	rounds := 0
+	for len(wave) > 0 { // want `worklist loop over wave never polls the governor`
+		parts := chunks(wave)
+		done := make(chan struct{}, len(parts))
+		next := make([][]int, len(parts))
+		for w, part := range parts {
+			go func(w int, part []int) {
+				defer func() { done <- struct{}{} }()
+				for _, v := range part {
+					next[w] = append(next[w], succ(v)...)
+				}
+			}(w, part)
+		}
+		for range parts {
+			<-done
+		}
+		wave = wave[:0]
+		for _, buf := range next {
+			wave = append(wave, buf...)
+		}
+		rounds++
+	}
+	return rounds
+}

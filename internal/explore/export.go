@@ -39,6 +39,11 @@ func (M *Machine) DistStart() uint32 { return uint32(M.mc.procs[M.mc.dist].Start
 // NumDistStates returns the state count of the distinguished process.
 func (M *Machine) NumDistStates() int { return M.mc.procs[M.mc.dist].NumStates() }
 
+// NumProcStates returns the state count of process i. Walkers that keep
+// their own intern table use it to pick the narrowest per-component key
+// width that still distinguishes every joint vector.
+func (M *Machine) NumProcStates(i int) int { return M.mc.procs[i].NumStates() }
+
 // DistLeaf reports whether state s of the distinguished process is a
 // leaf.
 func (M *Machine) DistLeaf(s uint32) bool { return M.mc.distLeaf[s] }

@@ -1,0 +1,157 @@
+package belief
+
+// This file holds the subsumption antichains behind the engine's
+// pruning. Winning positions are downward closed in the belief — a
+// smaller belief gives the adversary fewer states to steer from, so
+// offerable actions, steps, and blockedness all shrink monotonically and
+// any strategy winning against the larger belief wins against the
+// smaller — and losing positions are the mirror image, upward closed.
+// Per P-state the engine therefore keeps the ⊆-maximal known-winning
+// beliefs and the ⊆-minimal known-losing ones; a word-wise AND/compare
+// against those rows resolves a fresh position without expansion.
+
+// antichain is a set of pairwise ⊆-incomparable belief bitsets, stored
+// as flat packed rows of words uint64s each.
+type antichain struct {
+	words int
+	rows  []uint64
+}
+
+// antichainCap bounds the rows one antichain retains. Past the cap new
+// rows are dropped — the antichain is only a filter, so checks stay
+// sound — keeping maintenance linear on pathological position sets.
+const antichainCap = 512
+
+func newAntichains(np, words int) []antichain {
+	acs := make([]antichain, np)
+	for i := range acs {
+		acs[i].words = words
+	}
+	return acs
+}
+
+func (ac *antichain) size() int {
+	if ac.words == 0 {
+		return 0
+	}
+	return len(ac.rows) / ac.words
+}
+
+// hasSuperset reports whether some row w satisfies b ⊆ w.
+func (ac *antichain) hasSuperset(b []uint64) bool {
+	words := ac.words
+	for off := 0; off < len(ac.rows); off += words {
+		row := ac.rows[off : off+words]
+		ok := true
+		for i, bw := range b {
+			if bw&^row[i] != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSubset reports whether some row l satisfies l ⊆ b.
+func (ac *antichain) hasSubset(b []uint64) bool {
+	words := ac.words
+	for off := 0; off < len(ac.rows); off += words {
+		row := ac.rows[off : off+words]
+		ok := true
+		for i, bw := range b {
+			if row[i]&^bw != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// insertMax adds b as a candidate maximal row: dropped when some row
+// already contains it, evicting the rows it strictly contains. Reports
+// whether b was retained. The single pass is safe: a row ⊇ b can only
+// coexist with an evictable row ⊂ b if the antichain invariant is
+// already broken, so no eviction ever precedes the subsumed early
+// return.
+func (ac *antichain) insertMax(b []uint64) bool {
+	words := ac.words
+	w := 0
+	for off := 0; off < len(ac.rows); off += words {
+		row := ac.rows[off : off+words]
+		sub, sup := true, true // row ⊆ b, b ⊆ row
+		for i, bw := range b {
+			if row[i]&^bw != 0 {
+				sub = false
+			}
+			if bw&^row[i] != 0 {
+				sup = false
+			}
+			if !sub && !sup {
+				break
+			}
+		}
+		if sup {
+			return false // b ⊆ row (covers equality): nothing to learn
+		}
+		if sub {
+			continue // row ⊂ b: evict
+		}
+		if w != off {
+			copy(ac.rows[w:w+words], row)
+		}
+		w += words
+	}
+	ac.rows = ac.rows[:w]
+	if ac.size() >= antichainCap {
+		return false
+	}
+	ac.rows = append(ac.rows, b...)
+	return true
+}
+
+// insertMin is the order dual of insertMax: b is dropped when some row
+// is already contained in it, evicting the rows that strictly contain
+// it.
+func (ac *antichain) insertMin(b []uint64) bool {
+	words := ac.words
+	w := 0
+	for off := 0; off < len(ac.rows); off += words {
+		row := ac.rows[off : off+words]
+		sub, sup := true, true // row ⊆ b, b ⊆ row
+		for i, bw := range b {
+			if row[i]&^bw != 0 {
+				sub = false
+			}
+			if bw&^row[i] != 0 {
+				sup = false
+			}
+			if !sub && !sup {
+				break
+			}
+		}
+		if sub {
+			return false // row ⊆ b (covers equality): nothing to learn
+		}
+		if sup {
+			continue // b ⊂ row: evict
+		}
+		if w != off {
+			copy(ac.rows[w:w+words], row)
+		}
+		w += words
+	}
+	ac.rows = ac.rows[:w]
+	if ac.size() >= antichainCap {
+		return false
+	}
+	ac.rows = append(ac.rows, b...)
+	return true
+}

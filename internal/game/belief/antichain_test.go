@@ -1,0 +1,210 @@
+// White-box tests for the subsumption antichains: the set operations
+// themselves, and two crafted networks proving the acyclic solver's
+// win-side and lose-side fast paths fire end to end. The bundled bench
+// families barely exercise subsumption (their games rarely revisit a
+// P-state with a strictly comparable belief — see docs/PERF.md), so
+// these gadgets are the regression anchor for the pruning itself.
+package belief
+
+import (
+	"testing"
+
+	"fspnet/internal/fsp"
+	"fspnet/internal/game"
+	"fspnet/internal/network"
+)
+
+func TestAntichainMaxOps(t *testing.T) {
+	ac := antichain{words: 1}
+	if ac.hasSuperset([]uint64{0b1}) || ac.hasSubset([]uint64{0b1}) {
+		t.Fatal("empty antichain subsumes")
+	}
+	if !ac.insertMax([]uint64{0b0101}) {
+		t.Fatal("first insert dropped")
+	}
+	if !ac.hasSuperset([]uint64{0b0001}) {
+		t.Error("subset of a row not subsumed")
+	}
+	if ac.hasSuperset([]uint64{0b0011}) {
+		t.Error("incomparable belief subsumed")
+	}
+	if ac.insertMax([]uint64{0b0101}) {
+		t.Error("duplicate row retained")
+	}
+	if ac.insertMax([]uint64{0b0100}) {
+		t.Error("subset row retained")
+	}
+	if ac.size() != 1 {
+		t.Fatalf("size = %d, want 1", ac.size())
+	}
+	// A strict superset evicts the row it covers.
+	if !ac.insertMax([]uint64{0b1101}) {
+		t.Fatal("superset row dropped")
+	}
+	if ac.size() != 1 {
+		t.Fatalf("size after eviction = %d, want 1", ac.size())
+	}
+	if !ac.hasSuperset([]uint64{0b0101}) {
+		t.Error("evicted row's belief no longer subsumed")
+	}
+}
+
+func TestAntichainMinOps(t *testing.T) {
+	ac := antichain{words: 1}
+	if !ac.insertMin([]uint64{0b0110}) {
+		t.Fatal("first insert dropped")
+	}
+	if !ac.hasSubset([]uint64{0b1110}) {
+		t.Error("superset of a row not subsumed")
+	}
+	if ac.hasSubset([]uint64{0b0010}) {
+		t.Error("incomparable belief subsumed")
+	}
+	if ac.insertMin([]uint64{0b1110}) {
+		t.Error("superset row retained")
+	}
+	// A strict subset evicts the row that covers it.
+	if !ac.insertMin([]uint64{0b0010}) {
+		t.Fatal("subset row dropped")
+	}
+	if ac.size() != 1 {
+		t.Fatalf("size after eviction = %d, want 1", ac.size())
+	}
+	if !ac.hasSubset([]uint64{0b0110}) {
+		t.Error("evicted row's belief no longer subsumed")
+	}
+}
+
+// TestAntichainCap fills one antichain with pairwise-incomparable
+// singleton rows up to the cap; the next insert must be dropped while
+// checks stay sound.
+func TestAntichainCap(t *testing.T) {
+	words := antichainCap/64 + 1
+	ac := antichain{words: words}
+	row := func(bit int) []uint64 {
+		b := make([]uint64, words)
+		b[bit/64] = 1 << (bit % 64)
+		return b
+	}
+	for bit := 0; bit < antichainCap; bit++ {
+		if !ac.insertMax(row(bit)) {
+			t.Fatalf("insert %d dropped below the cap", bit)
+		}
+	}
+	if ac.insertMax(row(antichainCap)) {
+		t.Error("insert past the cap retained")
+	}
+	if ac.size() != antichainCap {
+		t.Fatalf("size = %d, want %d", ac.size(), antichainCap)
+	}
+	if !ac.hasSuperset(row(0)) {
+		t.Error("capped antichain lost a row")
+	}
+}
+
+// winHitNet builds a two-member acyclic network where P reaches the
+// same state p1 by two actions under which the context belief is
+// strictly nested: "a" steps the start closure {q0, qx} to {q1, q2},
+// "b" (with no edge from qx) to {q1} alone. Both context states answer
+// the follow-up "c", so (p1, {q1, q2}) wins and is fed to the win
+// antichain; the later (p1, {q1}) resolves by the superset check.
+func winHitNet(t *testing.T) *network.Network {
+	t.Helper()
+	pb := fsp.NewBuilder("P")
+	p0, p1, p2 := pb.State("p0"), pb.State("p1"), pb.State("p2")
+	pb.Add(p0, "a", p1)
+	pb.Add(p0, "b", p1)
+	pb.Add(p1, "c", p2)
+
+	qb := fsp.NewBuilder("Q")
+	q0, qx, q1, q2, q3 := qb.State("q0"), qb.State("qx"), qb.State("q1"), qb.State("q2"), qb.State("q3")
+	qb.AddTau(q0, qx)
+	qb.Add(q0, "a", q1)
+	qb.Add(qx, "a", q2)
+	qb.Add(q0, "b", q1)
+	qb.Add(q1, "c", q3)
+	qb.Add(q2, "c", q3)
+	n, err := network.New(pb.MustBuild(), qb.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// loseHitNet arranges a lose-side hit. The DFS pops a frame as lose the
+// moment one action forces a loss, so the small blocked belief must be
+// reached as a non-final *response* of an action P can still satisfy:
+// "d" from p0 has two successors, first p1 — where the stepped belief
+// {q1} contains only the dead state q1, so the position is blocked and
+// feeds the lose antichain — then the leaf pGood, which wins the action.
+// The later action "e" steps to (p1, {q1, q2}) and must resolve by the
+// subset check against the recorded {q1}.
+func loseHitNet(t *testing.T) *network.Network {
+	t.Helper()
+	pb := fsp.NewBuilder("P")
+	p0, p1 := pb.State("p0"), pb.State("p1")
+	pGood := pb.State("pGood")
+	p2 := pb.State("p2")
+	pb.Add(p0, "d", p1)
+	pb.Add(p0, "d", pGood)
+	pb.Add(p0, "e", p1)
+	pb.Add(p1, "c", p2)
+
+	qb := fsp.NewBuilder("Q")
+	q0, qx, q1, q2, q3 := qb.State("q0"), qb.State("qx"), qb.State("q1"), qb.State("q2"), qb.State("q3")
+	qb.AddTau(q0, qx)
+	qb.Add(q0, "d", q1)
+	qb.Add(q0, "e", q1)
+	qb.Add(qx, "e", q2)
+	qb.Add(q2, "c", q3)
+	n, err := network.New(pb.MustBuild(), qb.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestAntichainHitEndToEnd runs the acyclic solver on both hitNet
+// flavors: the win flavor must resolve (p1, {q1}) by the win-side
+// superset check, the lose flavor (p1, {q1, q2}) by the lose-side
+// subset check, and the oracle configuration must agree with no
+// antichain activity.
+func TestAntichainHitEndToEnd(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		build   func(*testing.T) *network.Network
+		verdict bool
+	}{
+		{"win-side", winHitNet, true},
+		{"lose-side", loseHitNet, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n := tc.build(t)
+			sa, st, err := SolveAcyclicTuned(n, 0, game.Options{}, Tuning{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sa != tc.verdict {
+				t.Fatalf("S_a = %v, want %v (stats %+v)", sa, tc.verdict, st)
+			}
+			if st.AntichainHits == 0 || st.Pruned == 0 {
+				t.Fatalf("no subsumption hit: %+v", st)
+			}
+			ora, so, err := SolveAcyclicTuned(n, 0, game.Options{}, Tuning{NoAntichain: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ora != sa {
+				t.Fatalf("oracle S_a = %v, pruned = %v", ora, sa)
+			}
+			if so.AntichainHits != 0 || so.Pruned != 0 || so.AntichainElems != 0 {
+				t.Fatalf("oracle reports antichain activity: %+v", so)
+			}
+			// The pruned run resolves strictly fewer positions: the
+			// subsumed (p1, ·) subtree is never charged.
+			if st.Positions >= so.Positions {
+				t.Errorf("pruned run charged %d positions, oracle %d", st.Positions, so.Positions)
+			}
+		})
+	}
+}

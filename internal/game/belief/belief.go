@@ -18,9 +18,17 @@
 // DFS stack over the position DAG; P is acyclic, so positions cannot
 // repeat along a play), and the Section 4 cyclic game by a greatest
 // fixpoint over the same interned position graph, eliminated with
-// counter-based backward propagation. Both solvers are sequential and
-// run their passes in a fixed order, so verdicts, statistics, and every
-// partial verdict reported at a worklist barrier are deterministic.
+// counter-based backward propagation. Both solvers prune positions by
+// subsumption against per-P-state antichains of known-winning (maximal)
+// and known-losing (minimal) beliefs — wins are downward closed and
+// losses upward closed in the belief, so a word-wise compare against the
+// packed rows resolves a position without expansion (see antichain.go).
+// The cyclic reachability sweep and fixpoint elimination optionally
+// shard across worker goroutines (Tuning.Workers) with level-
+// synchronized barriers that merge results in position order, so
+// verdicts, statistics, and every partial verdict reported at a barrier
+// are deterministic and independent of the worker count; the acyclic DFS
+// is sequential.
 //
 // Cyclic semantics. The reference oracle folds the context with
 // ComposeAllCyclic, which inserts a divergence leaf ⊥ under every
@@ -42,6 +50,7 @@ package belief
 
 import (
 	"fmt"
+	"runtime"
 
 	"fspnet/internal/explore"
 	"fspnet/internal/fsp"
@@ -56,11 +65,52 @@ import (
 const pollStride = 1024
 
 // Stats describes one belief-engine run. All fields are deterministic
-// functions of the network, the distinguished process, and the budget.
+// functions of the network, the distinguished process, the budget, and
+// the Tuning — including across worker counts: the parallel sweep merges
+// at deterministic barriers, so the same instance always reports the
+// same numbers.
 type Stats struct {
 	CtxStates int // interned reachable context vectors (incl. the synthetic ⊥)
 	Beliefs   int // interned belief bitsets
-	Positions int // (P-state, belief) game positions explored
+	Positions int // (P-state, belief) game positions explored (and charged)
+	// AntichainHits counts successful subsumption queries: positions
+	// resolved against a per-P-state win/lose antichain — without
+	// expansion in the acyclic DFS, without a blocked scan in the cyclic
+	// sweep.
+	AntichainHits int
+	// AntichainElems is the total number of antichain rows retained
+	// across all P-states when the solve finished.
+	AntichainElems int
+	// Pruned counts position expansions the antichain avoided entirely:
+	// acyclic DFS hits, each of which skips a whole subtree. Cyclic hits
+	// skip only the blocked scan (the position is dead either way), so
+	// they count toward AntichainHits but not Pruned.
+	Pruned int
+	// Workers is the resolved cyclic-sweep parallelism (1 for the
+	// acyclic DFS and the sequential oracle configuration).
+	Workers int
+}
+
+// Tuning selects engine variants. The zero value is the production
+// default: antichain pruning on, cyclic sweep workers = GOMAXPROCS. The
+// differential oracle pins Tuning{NoAntichain: true, Workers: 1} — the
+// unpruned sequential engine.
+type Tuning struct {
+	// NoAntichain disables subsumption pruning against the per-P-state
+	// win/lose antichains.
+	NoAntichain bool
+	// Workers shards the cyclic reachability sweep and fixpoint
+	// elimination; ≤ 0 means runtime.GOMAXPROCS(0), 1 runs the sweep
+	// inline. The acyclic DFS is always sequential.
+	Workers int
+}
+
+// workers resolves the cyclic sweep parallelism.
+func (t Tuning) workers() int {
+	if t.Workers > 0 {
+		return t.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // SolveAcyclic decides the acyclic Game(P, Q) for process i of n, with Q
@@ -70,6 +120,11 @@ type Stats struct {
 // enumerated context states and the game positions (≤ 0 means
 // game.DefaultBudget); o.Guard governs every pass.
 func SolveAcyclic(n *network.Network, i int, o game.Options) (bool, Stats, error) {
+	return SolveAcyclicTuned(n, i, o, Tuning{})
+}
+
+// SolveAcyclicTuned is SolveAcyclic with an explicit engine Tuning.
+func SolveAcyclicTuned(n *network.Network, i int, o game.Options, t Tuning) (bool, Stats, error) {
 	M, err := explore.Compile(n, i)
 	if err != nil {
 		return false, Stats{}, err
@@ -83,11 +138,12 @@ func SolveAcyclic(n *network.Network, i int, o game.Options) (bool, Stats, error
 		}
 		return false, Stats{}, err
 	}
-	sv, err := newSolver(M, false, o)
+	sv, err := newSolver(M, false, o, t)
 	if err != nil {
 		return false, sv.stats, err
 	}
 	win, err := sv.solveAcyclic()
+	sv.finishStats()
 	return win, sv.stats, err
 }
 
@@ -97,6 +153,11 @@ func SolveAcyclic(n *network.Network, i int, o game.Options) (bool, Stats, error
 // The verdict equals game.SolveCyclic on the cyclically composed
 // context. P must be τ-free.
 func SolveCyclic(n *network.Network, i int, o game.Options) (bool, Stats, error) {
+	return SolveCyclicTuned(n, i, o, Tuning{})
+}
+
+// SolveCyclicTuned is SolveCyclic with an explicit engine Tuning.
+func SolveCyclicTuned(n *network.Network, i int, o game.Options, t Tuning) (bool, Stats, error) {
 	M, err := explore.Compile(n, i)
 	if err != nil {
 		return false, Stats{}, err
@@ -104,11 +165,12 @@ func SolveCyclic(n *network.Network, i int, o game.Options) (bool, Stats, error)
 	if err := checkP(n.Process(i)); err != nil {
 		return false, Stats{}, err
 	}
-	sv, err := newSolver(M, true, o)
+	sv, err := newSolver(M, true, o, t)
 	if err != nil {
 		return false, sv.stats, err
 	}
 	win, err := sv.solveCyclic()
+	sv.finishStats()
 	return win, sv.stats, err
 }
 
@@ -131,29 +193,41 @@ func budget(o game.Options) int {
 }
 
 // solver carries one run's compiled machine, context graph, belief
-// arena, and P move tables. All passes are sequential.
+// arena, and P move tables. The context passes and the acyclic DFS are
+// sequential; the cyclic sweep may shard across workers, each with its
+// own scratch, sharing only the arena and the step memo.
 type solver struct {
 	M      *explore.Machine
 	cg     *ctxGraph
 	ar     *arena
 	g      *guard.G
 	budget int
+	tune   Tuning
 	stats  Stats
 
 	startGid int32
 	pacts    [][]int32          // per P state: sorted unique action ids
 	pvis     [][]explore.VisMove // per P state: moves sorted by (aid, to)
 
-	stepMemo   map[uint64]int32 // (belief, action) → stepped belief (−1: no offer)
-	buf        []uint64         // scratch bitset for step/closure
-	closeStack []int32          // scratch worklist for τ-closure
+	memo *stepTable // (belief, action) → stepped belief (−1: no offer)
+	sc   *scratch   // the sequential passes' scratch
+
+	// Subsumption antichains, per P state; nil when tune.NoAntichain.
+	// winAC holds ⊆-maximal winning beliefs (fed by the acyclic DFS
+	// only), loseAC ⊆-minimal losing beliefs (acyclic: any lost
+	// position; cyclic: minimal blocked beliefs, fed at level barriers).
+	winAC  []antichain
+	loseAC []antichain
+	// acFeeds counts antichain insertions, driving the amortized
+	// "antichain" governor polls.
+	acFeeds int
 }
 
 // newSolver enumerates the context graph and prepares the P tables. A
 // partially initialized solver (with barrier-accurate stats) is returned
 // even on error so callers can report them.
-func newSolver(M *explore.Machine, cyclic bool, o game.Options) (*solver, error) {
-	sv := &solver{M: M, g: o.Guard, budget: budget(o), stepMemo: make(map[uint64]int32)}
+func newSolver(M *explore.Machine, cyclic bool, o game.Options, t Tuning) (*solver, error) {
+	sv := &solver{M: M, g: o.Guard, budget: budget(o), tune: t, memo: newStepTable()}
 	cg, startGid, err := sv.buildCtx(cyclic)
 	if err != nil {
 		return sv, err
@@ -161,7 +235,7 @@ func newSolver(M *explore.Machine, cyclic bool, o game.Options) (*solver, error)
 	sv.cg = cg
 	sv.startGid = startGid
 	sv.ar = newArena(cg.words())
-	sv.buf = make([]uint64, cg.words())
+	sv.sc = newScratch(cg.words())
 	np := M.NumDistStates()
 	sv.pvis = make([][]explore.VisMove, np)
 	sv.pacts = make([][]int32, np)
@@ -176,7 +250,50 @@ func newSolver(M *explore.Machine, cyclic bool, o game.Options) (*solver, error)
 		}
 		sv.pacts[s] = acts
 	}
+	if !t.NoAntichain {
+		sv.winAC = newAntichains(np, cg.words())
+		sv.loseAC = newAntichains(np, cg.words())
+	}
 	return sv, nil
+}
+
+// finishStats fills the end-of-run aggregates: the interned belief count
+// and the retained antichain rows.
+func (sv *solver) finishStats() {
+	if sv.ar != nil {
+		sv.stats.Beliefs = sv.ar.size()
+	}
+	total := 0
+	for i := range sv.winAC {
+		total += sv.winAC[i].size()
+	}
+	for i := range sv.loseAC {
+		total += sv.loseAC[i].size()
+	}
+	sv.stats.AntichainElems = total
+}
+
+// feedWin records a won position's belief in its P-state's win
+// antichain, polling the "antichain" pass on an amortized stride.
+func (sv *solver) feedWin(p uint32, bid int32) error {
+	if sv.tune.NoAntichain {
+		return nil
+	}
+	sv.winAC[p].insertMax(sv.ar.set(bid))
+	err := sv.poll("antichain", sv.acFeeds)
+	sv.acFeeds++
+	return err
+}
+
+// feedLose is feedWin's dual for lost (or blocked) positions.
+func (sv *solver) feedLose(p uint32, bid int32) error {
+	if sv.tune.NoAntichain {
+		return nil
+	}
+	sv.loseAC[p].insertMin(sv.ar.set(bid))
+	err := sv.poll("antichain", sv.acFeeds)
+	sv.acFeeds++
+	return err
 }
 
 // limit wraps a stop reason into a *guard.LimitErr. states is the

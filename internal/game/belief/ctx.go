@@ -1,8 +1,8 @@
 package belief
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"fspnet/internal/explore"
 	"fspnet/internal/game"
@@ -42,22 +42,104 @@ func (cg *ctxGraph) size() int {
 // words returns the belief-bitset width in 64-bit words.
 func (cg *ctxGraph) words() int { return (cg.size() + 63) / 64 }
 
+// ctxInterner is the context walk's private visited set. Unlike the
+// sharded explore interner it is strictly sequential, so it needs no
+// hashing of its own (the map's built-in string hash does the work), it
+// assigns dense ids in discovery order — the BFS expands states in
+// exactly id order, so recorded edges never need an id remap — and it
+// keys on the narrowest per-component packing that distinguishes every
+// joint vector (one byte per process when all state counts fit, the
+// common case) instead of the fixed 4 bytes.
+type ctxInterner struct {
+	m     int
+	width int // key bytes per component: 1, 2, or 4
+	ids   map[string]int32
+	vecs  []uint32 // flat arena, id i at [i*m, (i+1)*m)
+}
+
+func newCtxInterner(M *explore.Machine) *ctxInterner {
+	m := M.NumProcs()
+	width := 1
+	for i := 0; i < m; i++ {
+		switch ns := M.NumProcStates(i); {
+		case ns > 1<<16:
+			width = 4
+		case ns > 1<<8 && width < 2:
+			width = 2
+		}
+	}
+	return &ctxInterner{m: m, width: width, ids: make(map[string]int32)}
+}
+
+// pack writes vec's key image into kb (len width·m) and returns it.
+func (ci *ctxInterner) pack(kb []byte, vec []uint32) []byte {
+	switch ci.width {
+	case 1:
+		for i, v := range vec {
+			kb[i] = byte(v)
+		}
+	case 2:
+		for i, v := range vec {
+			binary.LittleEndian.PutUint16(kb[i*2:], uint16(v))
+		}
+	default:
+		for i, v := range vec {
+			binary.LittleEndian.PutUint32(kb[i*4:], v)
+		}
+	}
+	return kb
+}
+
+// intern records vec (with key kb) if unseen and returns its dense id
+// and whether it was fresh.
+func (ci *ctxInterner) intern(kb []byte, vec []uint32) (int32, bool) {
+	if id, ok := ci.ids[string(kb)]; ok {
+		return id, false
+	}
+	id := int32(len(ci.vecs) / ci.m)
+	ci.ids[string(kb)] = id
+	ci.vecs = append(ci.vecs, vec...)
+	return id, true
+}
+
+// vec returns the joint vector of id. The slice aliases the arena (its
+// contents are immutable, so it stays valid across later interns).
+func (ci *ctxInterner) vec(id int32) []uint32 {
+	return ci.vecs[int(id)*ci.m : (int(id)+1)*ci.m]
+}
+
 // buildCtx runs the context passes: "ctx-bfs" enumerates the reachable
-// context vectors into the sharded interner, "ctx-adj" materializes the
-// dense adjacency, and — under the cyclic semantics, when the context
-// has at least two members — "ctx-scc" finds the silently divergent
-// states and appends the synthetic ⊥. Returns the graph and the dense id
-// of the context start vector.
+// context vectors while recording every move it sees, "ctx-adj" lays
+// the recorded edges out as the dense adjacency, and — under the cyclic
+// semantics, when the context has at least two members — "ctx-scc"
+// finds the silently divergent states and appends the synthetic ⊥.
+// Returns the graph and the dense id of the context start vector
+// (always 0: the start is interned first).
+//
+// Recording edges during the BFS is the engine's hot-path optimization:
+// the former adjacency pass re-enumerated CtxMoves for every state and
+// re-hashed every successor key through the sharded index, roughly
+// doubling context-build time — which dominates ring-shaped instances
+// whose game proper is tiny. With discovery-order ids the recorded
+// edges are already dense, so the adjacency build is hash-free.
 func (sv *solver) buildCtx(cyclic bool) (*ctxGraph, int32, error) {
 	M := sv.M
 	m := M.NumProcs()
-	in := explore.NewInterner(m)
-	kb := make([]byte, 4*m)
+	ci := newCtxInterner(M)
+	kb := make([]byte, ci.width*m)
 	scratch := make([]uint32, m)
 	start := M.StartVec()
-	in.Intern(explore.PackVec(kb, start), start)
+	ci.intern(ci.pack(kb, start), start)
 	sv.stats.CtxStates = 1
-	frontier := append([]uint32(nil), start...)
+	// One edge run per expanded state — states are expanded in id order,
+	// so degs[s] moves of state s sit flat in tos/aids after those of
+	// s-1 (aid −1 = context-τ).
+	var (
+		degs []int32
+		tos  []int32
+		aids []int32
+	)
+	frontier := []int32{0}
 	depth := 0
 	for len(frontier) > 0 {
 		if err := sv.g.Poll("ctx-bfs", depth); err != nil {
@@ -68,16 +150,22 @@ func (sv *solver) buildCtx(cyclic bool) (*ctxGraph, int32, error) {
 			return nil, 0, sv.limit(fmt.Errorf("belief: %d context states: %w", sv.stats.CtxStates, game.ErrBudget),
 				"ctx-bfs", sv.stats.CtxStates)
 		}
-		var next []uint32
+		var next []int32
 		fresh := 0
-		for v := 0; v < len(frontier); v += m {
-			M.CtxMoves(frontier[v:v+m], scratch, func(succ []uint32, aid int32) bool {
-				if in.Intern(explore.PackVec(kb, succ), succ) {
+		for _, src := range frontier {
+			deg := int32(0)
+			M.CtxMoves(ci.vec(src), scratch, func(succ []uint32, aid int32) bool {
+				id, isFresh := ci.intern(ci.pack(kb, succ), succ)
+				if isFresh {
 					fresh++
-					next = append(next, succ...)
+					next = append(next, id)
 				}
+				tos = append(tos, id)
+				aids = append(aids, aid)
+				deg++
 				return true
 			})
+			degs = append(degs, deg)
 		}
 		sv.stats.CtxStates += fresh
 		frontier = next
@@ -87,54 +175,9 @@ func (sv *solver) buildCtx(cyclic bool) (*ctxGraph, int32, error) {
 				"ctx-bfs", sv.stats.CtxStates)
 		}
 	}
-	ix := in.Index()
-	n := ix.Size()
-	startGid := int32(ix.Gid(explore.PackVec(kb, start)))
-	cg := &ctxGraph{
-		n:      n,
-		bot:    -1,
-		tau:    make([][]int32, n),
-		vis:    make([][]visMove, n),
-		offers: make([][]int32, n),
-		stable: make([]bool, n),
-	}
-	for gid := 0; gid < n; gid++ {
-		if err := sv.poll("ctx-adj", gid); err != nil {
-			return nil, 0, err
-		}
-		M.CtxMoves(ix.Vec(gid), scratch, func(succ []uint32, aid int32) bool {
-			sg := int32(ix.Gid(explore.PackVec(kb, succ)))
-			if aid < 0 {
-				cg.tau[gid] = append(cg.tau[gid], sg)
-			} else {
-				cg.vis[gid] = append(cg.vis[gid], visMove{aid: aid, to: sg})
-			}
-			return true
-		})
-		cg.tau[gid] = dedup32(cg.tau[gid])
-		vm := cg.vis[gid]
-		sort.Slice(vm, func(i, j int) bool {
-			if vm[i].aid != vm[j].aid {
-				return vm[i].aid < vm[j].aid
-			}
-			return vm[i].to < vm[j].to
-		})
-		w := 0
-		for i, t := range vm {
-			if i == 0 || t != vm[w-1] {
-				vm[w] = t
-				w++
-			}
-		}
-		cg.vis[gid] = vm[:w]
-		var offers []int32
-		for _, t := range cg.vis[gid] {
-			if len(offers) == 0 || offers[len(offers)-1] != t.aid {
-				offers = append(offers, t.aid)
-			}
-		}
-		cg.offers[gid] = offers
-		cg.stable[gid] = len(cg.tau[gid]) == 0
+	cg := &ctxGraph{n: len(degs), bot: -1}
+	if err := sv.buildAdj(cg, degs, tos, aids); err != nil {
+		return nil, 0, err
 	}
 	// The divergence rule applies only when the context actually composes
 	// (≥ 2 members): ComposeAllCyclic adds no ⊥ to a single raw member.
@@ -143,7 +186,74 @@ func (sv *solver) buildCtx(cyclic bool) (*ctxGraph, int32, error) {
 			return nil, 0, err
 		}
 	}
-	return cg, startGid, nil
+	return cg, 0, nil
+}
+
+// buildAdj is the "ctx-adj" pass: it lays the per-state τ / visible
+// adjacency out in two flat arrays from the BFS's recorded edge runs,
+// then sorts, deduplicates, and derives offers/stable per state.
+func (sv *solver) buildAdj(cg *ctxGraph, degs, tos, aids []int32) error {
+	n := cg.n
+	cg.tau = make([][]int32, n)
+	cg.vis = make([][]visMove, n)
+	cg.offers = make([][]int32, n)
+	cg.stable = make([]bool, n)
+	tauCnt := make([]int32, n)
+	visCnt := make([]int32, n)
+	pos := 0
+	for s := 0; s < n; s++ {
+		for k := int32(0); k < degs[s]; k++ {
+			if aids[pos] < 0 {
+				tauCnt[s]++
+			} else {
+				visCnt[s]++
+			}
+			pos++
+		}
+	}
+	tauOff := make([]int32, n+1)
+	visOff := make([]int32, n+1)
+	for s := 0; s < n; s++ {
+		tauOff[s+1] = tauOff[s] + tauCnt[s]
+		visOff[s+1] = visOff[s] + visCnt[s]
+	}
+	tauFlat := make([]int32, tauOff[n])
+	visFlat := make([]visMove, visOff[n])
+	pos = 0
+	for s := 0; s < n; s++ {
+		tc, vc := tauOff[s], visOff[s]
+		for k := int32(0); k < degs[s]; k++ {
+			if aids[pos] < 0 {
+				tauFlat[tc] = tos[pos]
+				tc++
+			} else {
+				visFlat[vc] = visMove{aid: aids[pos], to: tos[pos]}
+				vc++
+			}
+			pos++
+		}
+	}
+	for s := 0; s < n; s++ {
+		if err := sv.poll("ctx-adj", s); err != nil {
+			return err
+		}
+		// The three-index slices pin each state's capacity to its own run:
+		// addDivergenceBot appends the ⊥ edge to cg.tau[s] afterwards, and
+		// an append growing into the flat array would overwrite the next
+		// state's edges.
+		cg.tau[s] = sortDedup32(tauFlat[tauOff[s]:tauOff[s+1]:tauOff[s+1]])
+		vm := sortDedupVis(visFlat[visOff[s]:visOff[s+1]:visOff[s+1]])
+		cg.vis[s] = vm
+		var offers []int32
+		for _, t := range vm {
+			if len(offers) == 0 || offers[len(offers)-1] != t.aid {
+				offers = append(offers, t.aid)
+			}
+		}
+		cg.offers[s] = offers
+		cg.stable[s] = len(cg.tau[s]) == 0
+	}
+	return nil
 }
 
 // addDivergenceBot runs the "ctx-scc" pass: an iterative Tarjan SCC
@@ -283,9 +393,19 @@ func (sv *solver) addDivergenceBot(cg *ctxGraph) error {
 	return nil
 }
 
-// dedup32 sorts xs and removes duplicates in place.
-func dedup32(xs []int32) []int32 {
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+// sortDedup32 sorts xs and removes duplicates in place. Per-state move
+// lists are tiny (a handful of entries), so insertion sort beats the
+// reflection-based sort.Slice by a wide margin on the hot path.
+func sortDedup32(xs []int32) []int32 {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && xs[j] > x {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
 	w := 0
 	for i, x := range xs {
 		if i == 0 || x != xs[w-1] {
@@ -294,4 +414,26 @@ func dedup32(xs []int32) []int32 {
 		}
 	}
 	return xs[:w]
+}
+
+// sortDedupVis sorts visible moves by (aid, to) and removes duplicates
+// in place, insertion-sort style like sortDedup32.
+func sortDedupVis(vm []visMove) []visMove {
+	for i := 1; i < len(vm); i++ {
+		x := vm[i]
+		j := i - 1
+		for j >= 0 && (vm[j].aid > x.aid || (vm[j].aid == x.aid && vm[j].to > x.to)) {
+			vm[j+1] = vm[j]
+			j--
+		}
+		vm[j+1] = x
+	}
+	w := 0
+	for i, t := range vm {
+		if i == 0 || t != vm[w-1] {
+			vm[w] = t
+			w++
+		}
+	}
+	return vm[:w]
 }

@@ -1,18 +1,37 @@
 package belief
 
 // This file holds the two game solvers over (P-state, belief) positions.
-// Both replace the legacy memoized recursion with iterative worklists:
-// the acyclic game is a DFS over the position DAG with an explicit
-// frame stack, the cyclic game a reachability sweep followed by a
-// counter-based greatest-fixpoint elimination. Every loop is sequential
-// and visits positions in a fixed order, so position counts — and the
-// partial verdicts reported when the governor stops a worklist — are
-// deterministic.
+// The acyclic game is a DFS over the position DAG with an explicit frame
+// stack, pruned by the subsumption antichains of antichain.go. The
+// cyclic game is a level-synchronized reachability sweep followed by a
+// counter-based greatest-fixpoint elimination, both sharded across
+// tune.Workers goroutines. Determinism discipline for the parallel
+// passes: workers compute over level-frozen tables with per-worker
+// scratch (the belief arena and step memo are the only shared, locked
+// structures), and every observable mutation — position interning,
+// statistics, antichain feeds, budget charges — happens at the
+// sequential level barrier in position order. Verdicts, counts, and the
+// partial verdicts reported when the governor stops a pass are therefore
+// deterministic and independent of the worker count.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fspnet/internal/game"
+)
 
 const (
 	lose = uint8(1)
 	win  = uint8(2)
 )
+
+// workerPollStride amortizes the per-worker governor polls inside the
+// parallel chunks; each worker also polls at its chunk start, so every
+// sweep level observes at least one "game-worker"/"fixpoint-worker"
+// poll per active worker.
+const workerPollStride = 64
 
 func posKey(p uint32, bid int32) uint64 {
 	return uint64(p)<<32 | uint64(uint32(bid))
@@ -23,10 +42,15 @@ func posKey(p uint32, bid int32) uint64 {
 // and every action the adversary can offer has some P-response that
 // wins. The position graph is a DAG (every move fires a real P
 // transition and P is acyclic), so a depth-first evaluation with an
-// explicit stack terminates without in-progress tracking.
+// explicit stack terminates without in-progress tracking. Before a
+// position is expanded it is checked against its P-state's antichains —
+// a known-winning superset or known-losing subset resolves it without
+// charging a position — and every resolved non-leaf position feeds the
+// antichains back.
 func (sv *solver) solveAcyclic() (bool, error) {
+	sv.stats.Workers = 1
 	memo := make(map[uint64]uint8)
-	startBid := sv.startBelief()
+	startBid := sv.startBelief(sv.sc)
 
 	// frame is one in-progress position: iterating its actions (ai), and
 	// for the current offerable action the stepped belief (nbid) and the
@@ -44,12 +68,28 @@ func (sv *solver) solveAcyclic() (bool, error) {
 	}
 	var stack []frame
 
-	// resolve enters a position: memo hit or terminal verdicts resolve
-	// immediately, anything else pushes a frame.
+	// resolve enters a position: memo hits, antichain subsumption, and
+	// terminal verdicts resolve immediately, anything else pushes a
+	// frame.
 	resolve := func(p uint32, bid int32) (done bool, v uint8, err error) {
 		key := posKey(p, bid)
 		if v, ok := memo[key]; ok {
 			return true, v, nil
+		}
+		if sv.winAC != nil && !sv.M.DistLeaf(p) {
+			b := sv.ar.set(bid)
+			if sv.winAC[p].hasSuperset(b) {
+				sv.stats.AntichainHits++
+				sv.stats.Pruned++
+				memo[key] = win
+				return true, win, nil
+			}
+			if sv.loseAC[p].hasSubset(b) {
+				sv.stats.AntichainHits++
+				sv.stats.Pruned++
+				memo[key] = lose
+				return true, lose, nil
+			}
 		}
 		sv.stats.Positions++
 		if err := sv.chargePos(); err != nil {
@@ -62,6 +102,9 @@ func (sv *solver) solveAcyclic() (bool, error) {
 		acts := sv.pacts[p]
 		if sv.blocked(bid, acts) {
 			memo[key] = lose
+			if err := sv.feedLose(p, bid); err != nil {
+				return false, 0, err
+			}
 			return true, lose, nil
 		}
 		stack = append(stack, frame{key: key, p: p, bid: bid, acts: acts, lo: -1, nbid: -1})
@@ -76,16 +119,22 @@ func (sv *solver) solveAcyclic() (bool, error) {
 		return v == win, nil
 	}
 	var final uint8
-	// pop finishes the top frame with verdict v, feeding it to the
-	// parent: a winning response advances the parent to its next action,
-	// a losing one to its next response.
-	pop := func(v uint8) {
+	// pop finishes the top frame with verdict v, feeding the antichains
+	// and the parent: a winning response advances the parent to its next
+	// action, a losing one to its next response.
+	pop := func(v uint8) error {
 		f := stack[len(stack)-1]
 		memo[f.key] = v
 		stack = stack[:len(stack)-1]
+		var err error
+		if v == win {
+			err = sv.feedWin(f.p, f.bid)
+		} else {
+			err = sv.feedLose(f.p, f.bid)
+		}
 		if len(stack) == 0 {
 			final = v
-			return
+			return err
 		}
 		parent := &stack[len(stack)-1]
 		if v == win {
@@ -94,16 +143,20 @@ func (sv *solver) solveAcyclic() (bool, error) {
 		} else {
 			parent.si++
 		}
+		return err
 	}
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		if f.lo < 0 {
 			if f.ai >= len(f.acts) {
-				pop(win) // every offerable action has a winning response
+				// Every offerable action has a winning response.
+				if err := pop(win); err != nil {
+					return false, err
+				}
 				continue
 			}
 			aid := f.acts[f.ai]
-			nb := sv.step(f.bid, aid)
+			nb := sv.step(sv.sc, f.bid, aid)
 			if nb < 0 {
 				f.ai++ // the adversary cannot offer aid on this trail
 				continue
@@ -113,7 +166,10 @@ func (sv *solver) solveAcyclic() (bool, error) {
 			f.si = f.lo
 		}
 		if f.si >= f.hi {
-			pop(lose) // the adversary forces acts[ai]: every response loses
+			// The adversary forces acts[ai]: every response loses.
+			if err := pop(lose); err != nil {
+				return false, err
+			}
 			continue
 		}
 		done, v, err := resolve(sv.pvis[f.p][f.si].To, f.nbid)
@@ -135,120 +191,300 @@ func (sv *solver) solveAcyclic() (bool, error) {
 }
 
 // solveCyclic evaluates the Section 4 game: P wins iff it can play
-// forever. First a breadth-first sweep interns every position reachable
-// from the start and records its edge groups (per offerable action, the
-// P-responses into the stepped belief); then the greatest fixpoint
-// removes positions while they are terminal (P at a leaf), blocked, or
-// have some offerable action all of whose responses are removed —
-// implemented backward, decrementing per-group counters of surviving
-// responses.
+// forever. Phase 1 is a level-synchronized breadth-first sweep interning
+// every position reachable from the start and recording its edge groups
+// (per offerable action, the P-responses into the stepped belief); each
+// level's positions are expanded by the workers over contiguous chunks
+// and merged at the barrier in position order. A position is dead when P
+// is at a leaf or the belief is blocked — the lose antichain of minimal
+// blocked beliefs, fed at the barriers, decides the latter without a
+// scan whenever a known-blocked subset is present (a stable no-offer
+// state in the subset is in the superset too, so the fast path never
+// changes which positions die). Phase 2 removes positions while some
+// offerable action has zero surviving responses, in waves over the
+// reversed edges: workers decrement shared atomic group counters, claim
+// each zero crossing exactly once by compare-and-swap, and the wave
+// contents (a deterministic set — whether a group hits zero by wave k
+// depends only on the fallen set, not on scheduling) are merged in
+// worker order at each round barrier.
 func (sv *solver) solveCyclic() (bool, error) {
-	startBid := sv.startBelief()
+	W := sv.tune.workers()
+	sv.stats.Workers = W
+	startBid := sv.startBelief(sv.sc)
 	type pnode struct {
 		p   uint32
 		bid int32
 	}
 	ids := make(map[uint64]int32)
 	var list []pnode
-	var dead []bool      // P leaf or blocked at discovery time
-	var groups [][][]int32 // per position, per offerable action, response position ids
-
-	addPos := func(p uint32, bid int32) (int32, error) {
+	var dead []bool
+	var groups [][][]int32
+	addPos := func(p uint32, bid int32) (int32, bool) {
 		key := posKey(p, bid)
 		if id, ok := ids[key]; ok {
-			return id, nil
+			return id, false
 		}
 		id := int32(len(list))
 		ids[key] = id
 		list = append(list, pnode{p: p, bid: bid})
+		dead = append(dead, false)
+		groups = append(groups, nil)
 		sv.stats.Positions++
-		return id, sv.chargePos()
+		return id, true
 	}
-	if _, err := addPos(uint32(sv.M.DistStart()), startBid); err != nil {
+	chargeLevel := func(fresh int) error {
+		n := sv.stats.Positions
+		if n > sv.budget {
+			return sv.limit(fmt.Errorf("belief: %d positions: %w", n, game.ErrBudget), "game", n)
+		}
+		if err := sv.g.Charge(fresh); err != nil {
+			return sv.limit(fmt.Errorf("belief: %d positions: %w", n, err), "game", n)
+		}
+		return nil
+	}
+	startID, _ := addPos(uint32(sv.M.DistStart()), startBid)
+	if err := chargeLevel(1); err != nil {
 		return false, err
 	}
-	for u := 0; u < len(list); u++ {
+
+	scratches := make([]*scratch, W)
+	scratches[0] = sv.sc
+	for i := 1; i < W; i++ {
+		scratches[i] = newScratch(sv.cg.words())
+	}
+	workerErrs := make([]error, W)
+
+	// expand computes one position's fate using the worker's scratch; it
+	// reads only level-frozen tables, the arena, and the step memo.
+	type resp struct {
+		p  uint32
+		nb int32
+	}
+	type result struct {
+		dead   bool
+		acHit  bool
+		feed   bool // blocked by scan: feed the belief to loseAC at the barrier
+		groups [][]resp
+	}
+	expand := func(sc *scratch, u int32, out *result) {
 		nd := list[u]
-		if sv.M.DistLeaf(nd.p) || sv.blocked(nd.bid, sv.pacts[nd.p]) {
-			// Immediately losing; its outgoing plays cannot save it and
-			// positions reachable only through it cannot matter.
-			dead = append(dead, true)
-			groups = append(groups, nil)
-			continue
+		if sv.M.DistLeaf(nd.p) {
+			out.dead = true
+			return
 		}
-		dead = append(dead, false)
-		var gs [][]int32
-		for _, aid := range sv.pacts[nd.p] {
-			nb := sv.step(nd.bid, aid)
+		acts := sv.pacts[nd.p]
+		if sv.loseAC != nil && sv.loseAC[nd.p].hasSubset(sv.ar.set(nd.bid)) {
+			out.dead, out.acHit = true, true
+			return
+		}
+		if sv.blocked(nd.bid, acts) {
+			out.dead, out.feed = true, true
+			return
+		}
+		for _, aid := range acts {
+			nb := sv.step(sc, nd.bid, aid)
 			if nb < 0 {
 				continue
 			}
 			lo, hi := sv.succRange(nd.p, aid)
-			ds := make([]int32, 0, hi-lo)
+			rs := make([]resp, 0, hi-lo)
 			for i := lo; i < hi; i++ {
-				id, err := addPos(sv.pvis[nd.p][i].To, nb)
-				if err != nil {
-					return false, err
-				}
-				ds = append(ds, id)
+				rs = append(rs, resp{p: sv.pvis[nd.p][i].To, nb: nb})
 			}
-			gs = append(gs, ds)
+			out.groups = append(out.groups, rs)
 		}
-		groups = append(groups, gs)
 	}
 
-	// Greatest fixpoint by backward counter propagation. goodCount[u][g]
+	level := []int32{startID}
+	var results []result
+	for lvl := 0; len(level) > 0; lvl++ {
+		if err := sv.g.Poll("game", lvl); err != nil {
+			return false, sv.limit(fmt.Errorf("belief: cyclic sweep stopped at level %d: %w", lvl, err),
+				"game", sv.stats.Positions)
+		}
+		if cap(results) < len(level) {
+			results = make([]result, len(level))
+		} else {
+			results = results[:len(level)]
+			for i := range results {
+				results[i] = result{}
+			}
+		}
+		runChunks(W, len(level), func(w, lo, hi int) {
+			sc := scratches[w]
+			for k := lo; k < hi; k++ {
+				if (k-lo)%workerPollStride == 0 {
+					if err := sv.g.Poll("game-worker", lvl); err != nil {
+						workerErrs[w] = err
+						return
+					}
+				}
+				expand(sc, level[k], &results[k])
+			}
+		})
+		if err := firstWorkerErr(workerErrs); err != nil {
+			return false, sv.limit(fmt.Errorf("belief: cyclic sweep worker stopped at level %d: %w", lvl, err),
+				"game-worker", sv.stats.Positions)
+		}
+		var next []int32
+		fresh := 0
+		for li, u := range level {
+			r := &results[li]
+			if r.acHit {
+				sv.stats.AntichainHits++
+			}
+			if r.dead {
+				dead[u] = true
+				continue
+			}
+			gs := make([][]int32, len(r.groups))
+			for gi, rs := range r.groups {
+				ds := make([]int32, len(rs))
+				for i, rp := range rs {
+					id, isFresh := addPos(rp.p, rp.nb)
+					if isFresh {
+						next = append(next, id)
+						fresh++
+					}
+					ds[i] = id
+				}
+				gs[gi] = ds
+			}
+			groups[u] = gs
+		}
+		if err := chargeLevel(fresh); err != nil {
+			return false, err
+		}
+		for li, u := range level {
+			if results[li].feed {
+				if err := sv.feedLose(list[u].p, list[u].bid); err != nil {
+					return false, err
+				}
+			}
+		}
+		level = next
+	}
+
+	// Greatest fixpoint by backward counter propagation. gc[gcOff[u]+g]
 	// is the number of still-winning responses in group g of position u;
 	// when it hits zero the adversary can force that action and u falls.
 	if err := sv.g.Poll("fixpoint", 0); err != nil {
 		return false, sv.limit(err, "fixpoint", sv.stats.Positions)
 	}
 	n := len(list)
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
 	type ref struct {
 		u int32
 		g int32
 	}
 	rev := make([][]ref, n)
-	goodCount := make([][]int32, n)
+	gcOff := make([]int32, n+1)
+	for u := 0; u < n; u++ {
+		gcOff[u+1] = gcOff[u] + int32(len(groups[u]))
+	}
+	gc := make([]int32, gcOff[n])
 	for u := range groups {
-		gc := make([]int32, len(groups[u]))
 		for g, ds := range groups[u] {
-			gc[g] = int32(len(ds))
+			gc[gcOff[u]+int32(g)] = int32(len(ds))
 			for _, d := range ds {
 				rev[d] = append(rev[d], ref{u: int32(u), g: int32(g)})
 			}
 		}
-		goodCount[u] = gc
 	}
-	var work []int32
+	fallen := make([]int32, n)
+	var wave []int32
 	for u := 0; u < n; u++ {
 		if dead[u] {
-			alive[u] = false
-			work = append(work, int32(u))
+			fallen[u] = 1
+			wave = append(wave, int32(u))
 		}
 	}
-	removed := 0
-	for len(work) > 0 {
-		d := work[len(work)-1]
-		work = work[:len(work)-1]
-		removed++
-		if err := sv.poll("fixpoint", removed); err != nil {
-			return false, err
+	nextBufs := make([][]int32, W)
+	for round := 0; len(wave) > 0; round++ {
+		if err := sv.g.Poll("fixpoint", round); err != nil {
+			return false, sv.limit(fmt.Errorf("belief: fixpoint stopped at round %d: %w", round, err),
+				"fixpoint", sv.stats.Positions)
 		}
-		for _, r := range rev[d] {
-			if !alive[r.u] {
-				continue
+		runChunks(W, len(wave), func(w, lo, hi int) {
+			buf := nextBufs[w][:0]
+			for k := lo; k < hi; k++ {
+				if (k-lo)%workerPollStride == 0 {
+					if err := sv.g.Poll("fixpoint-worker", round); err != nil {
+						workerErrs[w] = err
+						break
+					}
+				}
+				for _, r := range rev[wave[k]] {
+					idx := gcOff[r.u] + r.g
+					if atomic.AddInt32(&gc[idx], -1) == 0 &&
+						atomic.CompareAndSwapInt32(&fallen[r.u], 0, 1) {
+						buf = append(buf, r.u)
+					}
+				}
 			}
-			goodCount[r.u][r.g]--
-			if goodCount[r.u][r.g] == 0 {
-				alive[r.u] = false
-				work = append(work, r.u)
-			}
+			nextBufs[w] = buf
+		})
+		if err := firstWorkerErr(workerErrs); err != nil {
+			return false, sv.limit(fmt.Errorf("belief: fixpoint worker stopped at round %d: %w", round, err),
+				"fixpoint-worker", sv.stats.Positions)
+		}
+		// Merge and clear each worker buffer: runChunks skips workers with
+		// empty chunks, so a buffer left full from an earlier round would
+		// otherwise be merged again and keep the wave alive forever.
+		wave = wave[:0]
+		for w := range nextBufs {
+			wave = append(wave, nextBufs[w]...)
+			nextBufs[w] = nextBufs[w][:0]
 		}
 	}
-	return alive[0], nil
+	return fallen[startID] == 0, nil
+}
+
+// runChunks splits n items into W contiguous chunks and runs fn(w, lo,
+// hi) for each — inline when W is 1, on goroutines otherwise. Chunk
+// bounds depend only on (W, n), so the work assignment is deterministic.
+// Worker panics are re-raised after the barrier, never deadlocking it.
+func runChunks(W, n int, fn func(w, lo, hi int)) {
+	if W <= 1 || n <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	panics := make([]any, W)
+	for w := 0; w < W; w++ {
+		lo, hi := w*n/W, (w+1)*n/W
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = r
+				}
+			}()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, r := range panics {
+		if r != nil {
+			panic(r)
+		}
+	}
+}
+
+// firstWorkerErr returns the lowest-indexed recorded worker error and
+// clears the slate for the next barrier. Fault injections and guard
+// limits fire by (pass, level), so every worker polling after the
+// trigger observes the same stop and the lowest index is deterministic.
+func firstWorkerErr(errs []error) error {
+	var first error
+	for i, e := range errs {
+		if e != nil && first == nil {
+			first = e
+		}
+		errs[i] = nil
+	}
+	return first
 }

@@ -43,6 +43,7 @@ import (
 	"fspnet/internal/explore"
 	"fspnet/internal/fsp"
 	"fspnet/internal/fsplang"
+	"fspnet/internal/game/belief"
 	"fspnet/internal/guard"
 	"fspnet/internal/network"
 	"fspnet/internal/speclint"
@@ -105,6 +106,7 @@ type Server struct {
 	slots  chan struct{} // running tickets: Workers
 	c      counters
 	lat    *latencyRecorder
+	bel    *beliefRecorder
 	start  time.Time
 	mux    *http.ServeMux
 
@@ -132,6 +134,7 @@ func New(cfg Config) *Server {
 		admit: make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		slots: make(chan struct{}, cfg.Workers),
 		lat:   newLatencyRecorder(),
+		bel:   newBeliefRecorder(),
 	}
 	s.start = time.Now() //fsplint:ignore detrand uptime anchor for /statusz
 	s.cancels = make(map[int64]context.CancelFunc)
@@ -202,6 +205,7 @@ func (s *Server) Snapshot() Stats {
 		LintEntries:  s.lints.len(),
 		Uptime:       time.Since(s.start).Round(time.Millisecond).String(), //fsplint:ignore detrand uptime for /statusz
 		Latency:      s.lat.snapshot(),
+		Belief:       s.bel.snapshot(),
 	}
 }
 
@@ -565,16 +569,19 @@ func (s *Server) analyze(n *network.Network, req analyzeRequest, g *guard.G) (ve
 	}
 	var (
 		v   success.Verdict
+		bst belief.Stats
 		err error
 	)
+	o := success.Options{Guard: g, BeliefStats: &bst}
 	if cyclic {
-		v, err = success.AnalyzeCyclicOpts(n, req.Process, success.Options{Guard: g})
+		v, err = success.AnalyzeCyclicOpts(n, req.Process, o)
 	} else {
-		v, err = success.AnalyzeAcyclicOpts(n, req.Process, success.Options{Guard: g})
+		v, err = success.AnalyzeAcyclicOpts(n, req.Process, o)
 	}
 	if err != nil {
 		return verdictjson.Record{}, err
 	}
+	s.bel.record(req.Mode+"/"+req.Predicates, bst)
 	return verdictjson.OK(name, v), nil
 }
 

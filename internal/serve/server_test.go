@@ -611,3 +611,64 @@ func TestConcurrentIdenticalRequests(t *testing.T) {
 			st.CacheEntries, st.Hits, st.Misses, clients)
 	}
 }
+
+// TestStatuszBeliefTotals requires completed predicates=all analyses to
+// accumulate belief-engine counters under their class key, and
+// predicates=reach analyses to stay invisible to the belief map.
+func TestStatuszBeliefTotals(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	if resp, _ := postJSON(t, ts.URL, analyzeRequest{Network: netA}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze all: status %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL, analyzeRequest{Network: netB, Predicates: PredicatesReach}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze reach: status %d", resp.StatusCode)
+	}
+	st := getStats(t, ts.URL)
+	bt, ok := st.Belief["acyclic/all"]
+	if !ok {
+		t.Fatalf("no belief totals for acyclic/all: %+v", st.Belief)
+	}
+	if bt.Analyses != 1 || bt.CtxStates == 0 || bt.Positions == 0 || bt.Workers == 0 {
+		t.Fatalf("implausible belief totals: %+v", bt)
+	}
+	if _, ok := st.Belief["acyclic/reach"]; ok {
+		t.Fatalf("reach class leaked belief totals: %+v", st.Belief)
+	}
+	// A cache hit must not re-count.
+	if resp, _ := postJSON(t, ts.URL, analyzeRequest{Network: netA}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze repeat: status %d", resp.StatusCode)
+	}
+	if bt := getStats(t, ts.URL).Belief["acyclic/all"]; bt.Analyses != 1 {
+		t.Fatalf("cache hit perturbed belief totals: %+v", bt)
+	}
+}
+
+// TestPhilosophers12AllPredicates serves the 24-process philosophers12
+// fixture with predicates=all under the fspd defaults (60s max timeout,
+// no state budget): the antichain-pruned belief engine must decide S_a
+// on the ~531k-state context well inside the deadline, and the verdict
+// must be the ring's usual (Su=false, Sa=false, Sc=true).
+func TestPhilosophers12AllPredicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large fixture in -short mode")
+	}
+	src, err := os.ReadFile("../../testdata/philosophers12.fsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{MaxTimeout: 60 * time.Second})
+	resp, ar := postJSON(t, ts.URL, analyzeRequest{Network: string(src)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ar.Record.Status != verdictjson.StatusOK {
+		t.Fatalf("record = %+v, want a complete verdict", ar.Record)
+	}
+	if ar.Record.Su == nil || ar.Record.Sa == nil || ar.Record.Sc == nil {
+		t.Fatalf("record = %+v, want all three predicates decided", ar.Record)
+	}
+	if *ar.Record.Su || *ar.Record.Sa || !*ar.Record.Sc {
+		t.Errorf("verdict (Su=%v Sa=%v Sc=%v), want (false,false,true)",
+			*ar.Record.Su, *ar.Record.Sa, *ar.Record.Sc)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"fspnet/internal/game/belief"
 )
 
 // Stats is one /statusz snapshot: monotone counters since process start,
@@ -54,6 +56,23 @@ type Stats struct {
 	// analyses of that class. Cache hits are not included — they measure
 	// the map lookup, not the solver.
 	Latency map[string]Quantiles `json:"latency,omitempty"`
+	// Belief maps "<mode>/all" to running totals of the S_a belief-engine
+	// counters of completed analyses of that class. predicates=reach
+	// classes never run the belief engine and report nothing.
+	Belief map[string]BeliefTotals `json:"belief,omitempty"`
+}
+
+// BeliefTotals accumulates belief-engine counters over one class's
+// completed analyses; Workers is the most recent run's resolved sweep
+// parallelism (a configuration echo, not a sum).
+type BeliefTotals struct {
+	Analyses      int64 `json:"analyses"`
+	CtxStates     int64 `json:"ctxStates"`
+	Beliefs       int64 `json:"beliefs"`
+	Positions     int64 `json:"positions"`
+	AntichainHits int64 `json:"antichainHits"`
+	Pruned        int64 `json:"pruned"`
+	Workers       int   `json:"workers"`
 }
 
 // Quantiles summarize a latency sample window.
@@ -135,6 +154,44 @@ func (l *latencyRecorder) snapshot() map[string]Quantiles {
 			P90:   quantile(samples, 0.90).String(),
 			P99:   quantile(samples, 0.99).String(),
 		}
+	}
+	return out
+}
+
+// beliefRecorder accumulates per-class belief-engine counters, the same
+// class keys the latency recorder uses.
+type beliefRecorder struct {
+	mu     sync.Mutex
+	totals map[string]BeliefTotals
+}
+
+func newBeliefRecorder() *beliefRecorder {
+	return &beliefRecorder{totals: make(map[string]BeliefTotals)}
+}
+
+func (b *beliefRecorder) record(class string, st belief.Stats) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.totals[class]
+	t.Analyses++
+	t.CtxStates += int64(st.CtxStates)
+	t.Beliefs += int64(st.Beliefs)
+	t.Positions += int64(st.Positions)
+	t.AntichainHits += int64(st.AntichainHits)
+	t.Pruned += int64(st.Pruned)
+	t.Workers = st.Workers
+	b.totals[class] = t
+}
+
+func (b *beliefRecorder) snapshot() map[string]BeliefTotals {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.totals) == 0 {
+		return nil
+	}
+	out := make(map[string]BeliefTotals, len(b.totals))
+	for class, t := range b.totals {
+		out[class] = t
 	}
 	return out
 }

@@ -39,6 +39,10 @@ type Options struct {
 	// surfaces as a *guard.LimitErr whose partial verdict carries any
 	// predicate already decided.
 	Guard *guard.G
+	// BeliefStats, when non-nil, receives the S_a belief-engine counters
+	// of the run (context states, beliefs, positions, antichain activity,
+	// sweep workers). The compose backend never touches it.
+	BeliefStats *belief.Stats
 }
 
 func engineOpts(o Options) explore.Options {
@@ -95,8 +99,12 @@ func AnalyzeAcyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
 		return Verdict{}, wrapEngineErr(err)
 	}
 	v := Verdict{Su: res.Su, Sc: res.Sc}
-	if v.Sa, _, err = belief.SolveAcyclic(n, i, gameOpts(o)); err != nil {
+	var st belief.Stats
+	if v.Sa, st, err = belief.SolveAcyclic(n, i, gameOpts(o)); err != nil {
 		return Verdict{}, enrichGameLimit(err, v.Su, v.Sc)
+	}
+	if o.BeliefStats != nil {
+		*o.BeliefStats = st
 	}
 	return v, nil
 }
@@ -111,8 +119,12 @@ func AnalyzeCyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
 		return Verdict{}, wrapEngineErr(err)
 	}
 	v := Verdict{Su: res.Su, Sc: res.Sc}
-	if v.Sa, _, err = belief.SolveCyclic(n, i, gameOpts(o)); err != nil {
+	var st belief.Stats
+	if v.Sa, st, err = belief.SolveCyclic(n, i, gameOpts(o)); err != nil {
 		return Verdict{}, enrichGameLimit(err, v.Su, v.Sc)
+	}
+	if o.BeliefStats != nil {
+		*o.BeliefStats = st
 	}
 	return v, nil
 }
