@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-fault serve-test serve-smoke bench bench-smoke experiments experiments-quick experiments-json vet lint lint-specs fuzz-short cover examples clean
+.PHONY: all build test test-race test-fault test-crash serve-test serve-smoke bench bench-smoke experiments experiments-quick experiments-json vet lint lint-specs fuzz-short cover examples clean
 
 all: build vet lint test
 
@@ -40,6 +40,13 @@ test-race:
 # docs/ROBUSTNESS.md.
 test-fault:
 	$(GO) test -race -timeout 5m -run FaultInject ./...
+
+# test-crash runs the crash-recovery matrix: a real fspd child is
+# SIGKILLed (FSPD_STORE_KILL) at every verdict-store record boundary,
+# restarted against the same -cache-dir, and must serve exactly the
+# committed prefix as byte-identical cache hits. See docs/ROBUSTNESS.md.
+test-crash:
+	$(GO) test -race -timeout 10m -run CrashRecovery -v ./cmd/fspd
 
 # serve-test runs the fspd analysis-service suites (HTTP handlers, verdict
 # cache, shared JSON codec, daemon lifecycle) under the race detector.

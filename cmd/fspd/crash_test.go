@@ -1,0 +1,261 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"fspnet/internal/serve"
+	"fspnet/internal/verdictjson"
+)
+
+// TestCrashRecoveryMatrix is the end-to-end half of the store's crash
+// story: a real fspd child is SIGKILLed — via FSPD_STORE_KILL — at every
+// record boundary of the append path, then restarted against the same
+// -cache-dir. The invariant matches the in-process sweep's, observed
+// through the HTTP surface instead of the store API:
+//
+//   - /statusz reports exactly the committed prefix replayed;
+//   - re-analyzing a committed network is a byte-identical cache hit;
+//   - re-analyzing the torn network is a miss — a partial record is
+//     never served.
+//
+// Store op sequence numbers: the first boot's segment creation consumes
+// write/sync seq 0 (the magic header), so the j-th analysis consumes
+// seq j. Killing at write:k loses request k before its frame lands (k-1
+// committed); killing at sync:k lands the frame but dies before fsync —
+// a kill -9 keeps the page cache, so k survive.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills child processes")
+	}
+	bin := buildFspd(t)
+
+	cases := []struct {
+		kill      string // FSPD_STORE_KILL value
+		committed int    // records a clean restart must replay
+	}{
+		{"write:1", 0},
+		{"write:2", 1},
+		{"write:3", 2},
+		{"write:4", 3},
+		{"sync:1", 1},
+		{"sync:3", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kill, func(t *testing.T) {
+			dir := t.TempDir()
+
+			// First life: analyze distinct networks until the kill fires.
+			d := startFspd(t, bin, dir, "FSPD_STORE_KILL="+tc.kill)
+			baselines := make(map[int][]byte) // request index → record bytes
+			for i := 1; i <= 4; i++ {
+				code, ar, err := analyzeNet(d.addr, i)
+				if err != nil || code != http.StatusOK {
+					// The kill point: the child died mid-request.
+					break
+				}
+				raw, merr := verdictjson.MarshalRecord(ar.Record)
+				if merr != nil {
+					t.Fatal(merr)
+				}
+				baselines[i] = raw
+			}
+			if got := d.waitSignal(t); got != syscall.SIGKILL {
+				t.Fatalf("first life ended with %v, want SIGKILL", got)
+			}
+			// write:k answers k-1 = committed requests; sync:k also answers
+			// k-1 = committed-1 (the k-th frame landed, its response did
+			// not survive the kill).
+			if n := len(baselines); n != tc.committed && n != tc.committed-1 {
+				t.Fatalf("got %d responses before the kill, want %d or %d",
+					n, tc.committed, tc.committed-1)
+			}
+
+			// Second life: same directory, no fault. The committed prefix
+			// must be warm-loaded and served byte-identically.
+			d2 := startFspd(t, bin, dir)
+			st := getStatusz(t, d2.addr)
+			if st.Store == nil || st.Store.State != serve.StoreOK {
+				t.Fatalf("restart store stats = %+v, want state ok", st.Store)
+			}
+			if st.Store.Replayed != tc.committed || st.CacheEntries != tc.committed {
+				t.Errorf("restart replayed %d (cache %d), want the committed prefix %d",
+					st.Store.Replayed, st.CacheEntries, tc.committed)
+			}
+			for i := 1; i <= 4; i++ {
+				code, ar, err := analyzeNet(d2.addr, i)
+				if err != nil || code != http.StatusOK {
+					t.Fatalf("re-analyze %d after restart: code %d err %v", i, code, err)
+				}
+				if wantHit := i <= tc.committed; ar.Cached != wantHit {
+					t.Errorf("re-analyze %d cached=%v, want %v", i, ar.Cached, wantHit)
+				}
+				raw, merr := verdictjson.MarshalRecord(ar.Record)
+				if merr != nil {
+					t.Fatal(merr)
+				}
+				if base, ok := baselines[i]; ok && !bytes.Equal(raw, base) {
+					t.Errorf("re-analyze %d record differs from pre-crash response:\ngot:  %s\nwant: %s",
+						i, raw, base)
+				}
+			}
+			// Third check: the restarted daemon shuts down cleanly.
+			if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+				t.Fatal(err)
+			}
+			if err := d2.wait(t); err != nil {
+				t.Fatalf("restarted daemon exit after SIGTERM: %v", err)
+			}
+		})
+	}
+}
+
+// buildFspd compiles the daemon once per test binary.
+var (
+	buildOnce sync.Once
+	builtPath string
+	buildErr  error
+)
+
+func buildFspd(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "fspd-crash")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		builtPath = filepath.Join(dir, "fspd")
+		out, err := exec.Command("go", "build", "-o", builtPath, "fspnet/cmd/fspd").CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return builtPath
+}
+
+// daemon is one fspd child process under test.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string
+	done chan error
+}
+
+// startFspd launches bin against dir and waits for the listening line.
+func startFspd(t *testing.T, bin, dir string, extraEnv ...string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "1", "-cache-dir", dir, "-grace", "2s")
+	cmd.Env = append(os.Environ(), extraEnv...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, done: make(chan error, 1)}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+
+	lines := bufio.NewScanner(stdout)
+	for lines.Scan() {
+		line := lines.Text()
+		if rest, ok := strings.CutPrefix(line, "fspd: listening on "); ok {
+			d.addr = rest
+			break
+		}
+	}
+	if d.addr == "" {
+		_ = cmd.Process.Kill()
+		t.Fatalf("fspd never reported a listening address (scan err %v)", lines.Err())
+	}
+	// Drain the rest of stdout so the child never blocks on a full pipe.
+	go func() {
+		for lines.Scan() {
+		}
+		d.done <- cmd.Wait()
+	}()
+	return d
+}
+
+// wait blocks until the child exits and returns its Wait error.
+func (d *daemon) wait(t *testing.T) error {
+	t.Helper()
+	select {
+	case err := <-d.done:
+		return err
+	case <-time.After(30 * time.Second):
+		_ = d.cmd.Process.Kill()
+		t.Fatal("fspd child did not exit")
+		return nil
+	}
+}
+
+// waitSignal waits for the child to die by signal and returns it.
+func (d *daemon) waitSignal(t *testing.T) syscall.Signal {
+	t.Helper()
+	err := d.wait(t)
+	var xerr *exec.ExitError
+	if !errors.As(err, &xerr) {
+		t.Fatalf("child exit = %v, want a signal death", err)
+	}
+	ws, ok := xerr.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() {
+		t.Fatalf("child exit status %v, want a signal death", xerr)
+	}
+	return ws.Signal()
+}
+
+// crashResponse is the slice of the analyze envelope the matrix needs.
+type crashResponse struct {
+	Digest string             `json:"digest"`
+	Cached bool               `json:"cached"`
+	Record verdictjson.Record `json:"record"`
+}
+
+// analyzeNet posts the i-th distinct network and decodes the envelope.
+func analyzeNet(addr string, i int) (int, crashResponse, error) {
+	network := fmt.Sprintf("process P { start s0; s0 x%d s1 }\nprocess Q { start q0; q0 x%d q1 }", i, i)
+	resp, err := http.Post("http://"+addr+"/v1/analyze", "text/plain", strings.NewReader(network))
+	if err != nil {
+		return 0, crashResponse{}, err
+	}
+	defer resp.Body.Close()
+	var ar crashResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+			return resp.StatusCode, crashResponse{}, err
+		}
+	}
+	return resp.StatusCode, ar, nil
+}
+
+func getStatusz(t *testing.T, addr string) serve.Stats {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -6,11 +6,20 @@
 // Usage:
 //
 //	fspd [-addr :8373] [-workers 2] [-queue 64] [-cache 1024]
+//	     [-cache-dir DIR] [-cache-disk-cap 4096]
 //	     [-max-timeout 60s] [-max-budget N] [-grace 10s]
 //
-// On SIGTERM or SIGINT the daemon drains: it stops accepting connections,
-// gives in-flight analyses the -grace period to finish, then cancels
-// their governors so they answer with partial verdicts, and exits 0.
+// With -cache-dir the verdict cache is backed by a crash-safe append-only
+// store: verdicts survive restarts (warm-loaded at boot), a torn tail
+// from a crash is truncated on reopen, and a failing disk degrades the
+// daemon to memory-only caching (visible as store state "degraded" in
+// /statusz) rather than failing requests. -cache-disk-cap bounds the
+// on-disk record count.
+//
+// On SIGTERM or SIGINT the daemon drains: /healthz flips to 503 at once
+// so load balancers steer away, it stops accepting connections, gives
+// in-flight analyses the -grace period to finish, then cancels their
+// governors so they answer with partial verdicts, and exits 0.
 //
 //	curl -s --data-binary @testdata/philosophers10.fsp \
 //	    'localhost:8373/v1/analyze?process=0&predicates=reach'
@@ -26,11 +35,40 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"fspnet/internal/serve"
+	"fspnet/internal/store"
+	"fspnet/internal/store/storefault"
 )
+
+// storeKillHook parses the FSPD_STORE_KILL environment variable
+// ("op:seq", e.g. "write:3") into a fault hook that SIGKILLs the daemon
+// at that store operation — the crash-recovery matrix's kill switch. An
+// empty value means no hook; a malformed one is an error, not a silent
+// no-op, so a typo cannot quietly disable a crash test.
+func storeKillHook(val string) (store.FaultFunc, error) {
+	if val == "" {
+		return nil, nil
+	}
+	op, seqStr, ok := strings.Cut(val, ":")
+	if !ok {
+		return nil, fmt.Errorf("FSPD_STORE_KILL %q: want op:seq", val)
+	}
+	seq, err := strconv.Atoi(seqStr)
+	if err != nil || seq < 0 {
+		return nil, fmt.Errorf("FSPD_STORE_KILL %q: bad seq", val)
+	}
+	for _, known := range store.Ops {
+		if store.Op(op) == known {
+			return storefault.KillAt(known, seq), nil
+		}
+	}
+	return nil, fmt.Errorf("FSPD_STORE_KILL %q: unknown op %q", val, op)
+}
 
 func main() {
 	sig := make(chan os.Signal, 1)
@@ -53,6 +91,8 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready chan<- str
 		workers    = fs.Int("workers", 0, "concurrent analyses (0 = default of 2; each analysis is internally parallel)")
 		queue      = fs.Int("queue", serve.DefaultQueueDepth, "admission queue depth beyond the worker pool; a full queue answers 429")
 		cacheSize  = fs.Int("cache", serve.DefaultCacheEntries, "verdict cache entries (LRU)")
+		cacheDir   = fs.String("cache-dir", "", "directory for the persistent verdict store (empty = memory-only)")
+		diskCap    = fs.Int("cache-disk-cap", store.DefaultMaxRecords, "persistent store record bound; compaction drops the oldest beyond it")
 		maxTimeout = fs.Duration("max-timeout", 60*time.Second, "cap and default for per-request deadlines (0 = none)")
 		maxBudget  = fs.Int("max-budget", 0, "cap and default for per-request joint state budgets (0 = none)")
 		grace      = fs.Duration("grace", 10*time.Second, "drain grace period before in-flight analyses are cancelled")
@@ -66,13 +106,26 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready chan<- str
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
+	killHook, err := storeKillHook(os.Getenv("FSPD_STORE_KILL"))
+	if err != nil {
+		return err
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stdout, "fspd: "+format+"\n", args...)
+	}
 	s := serve.New(serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheSize,
 		MaxTimeout:   *maxTimeout,
 		MaxBudget:    *maxBudget,
+		Store: serve.StoreConfig{
+			Dir:     *cacheDir,
+			Options: store.Options{MaxRecords: *diskCap, Fault: killHook},
+		},
+		Logf: logf,
 	})
+	defer s.Close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -88,6 +141,9 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready chan<- str
 	case err := <-served:
 		return err
 	case <-sig:
+		// Health first: load balancers see 503 while queued analyses still
+		// run out the grace period.
+		s.StartDrain()
 		fmt.Fprintf(stdout, "fspd: draining (grace %s)\n", *grace)
 		// After the grace period every in-flight governor is cancelled, so
 		// the runs answer with partial verdicts and Shutdown can complete.

@@ -94,26 +94,40 @@ type Config struct {
 	// seam the serve tests drive with guard/faultinject. Production
 	// configurations leave it nil.
 	Hook guard.Hook
+	// Store configures the crash-safe persistent verdict store backing the
+	// LRU; a zero value (empty Dir) runs memory-only. Store failures never
+	// fail requests: the server degrades to memory-only caching and probes
+	// for the disk's return with backoff.
+	Store StoreConfig
+	// Logf receives operational log lines (store quarantine, recovery);
+	// nil discards them. cmd/fspd points it at its stdout logger.
+	Logf func(format string, args ...any)
 }
 
 // Server is one analysis service instance. It is safe for concurrent use
 // and is normally mounted via Handler on an http.Server owned by cmd/fspd.
 type Server struct {
-	cfg    Config
-	cache  *lru[verdictjson.Record]
-	lints  *lru[[]speclint.Diagnostic]
-	admit  chan struct{} // admission tickets: Workers + QueueDepth
-	slots  chan struct{} // running tickets: Workers
-	c      counters
-	lat    *latencyRecorder
-	bel    *beliefRecorder
-	start  time.Time
-	mux    *http.ServeMux
+	cfg   Config
+	cache *lru[verdictjson.Record]
+	lints *lru[[]speclint.Diagnostic]
+	admit chan struct{} // admission tickets: Workers + QueueDepth
+	slots chan struct{} // running tickets: Workers
+	c     counters
+	lat   *latencyRecorder
+	bel   *beliefRecorder
+	store *storeKeeper
+	start time.Time
+	mux   *http.ServeMux
 
-	mu       sync.Mutex // guards draining and cancels
-	draining bool
-	nextRun  int64
-	cancels  map[int64]context.CancelFunc // in-flight analysis governors
+	mu       sync.Mutex // guards the drain flags and cancels
+	draining bool       // in-flight analyses are being canceled
+	// healthDraining flips /healthz to 503 the moment shutdown begins, so
+	// load balancers stop routing here while queued analyses still finish
+	// inside the grace period. draining implies healthDraining, not the
+	// reverse.
+	healthDraining bool
+	nextRun        int64
+	cancels        map[int64]context.CancelFunc // in-flight analysis governors
 }
 
 // New builds a Server from cfg.
@@ -138,6 +152,14 @@ func New(cfg Config) *Server {
 	}
 	s.start = time.Now() //fsplint:ignore detrand uptime anchor for /statusz
 	s.cancels = make(map[int64]context.CancelFunc)
+	s.store = newStoreKeeper(cfg.Store, cfg.Logf)
+	// Evictions flow through to disk so the store tracks the cache's
+	// working set; the hook must be armed before the warm load, whose own
+	// adds may overflow the cache.
+	s.cache.onEvict = s.store.delete
+	if n := s.store.warmLoad(s.cache); n > 0 && cfg.Logf != nil {
+		cfg.Logf("verdict store: warm-loaded %d verdicts from %s", n, cfg.Store.Dir)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
@@ -160,9 +182,28 @@ func (s *Server) CancelInflight() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.draining = true
+	s.healthDraining = true
 	for _, cancel := range s.cancels {
 		cancel()
 	}
+}
+
+// StartDrain marks the server as draining for health checks: /healthz
+// answers 503 from here on, steering load balancers away, while analyze
+// traffic — including queued work — still runs to completion. cmd/fspd
+// calls this at SIGTERM, ahead of the grace period that ends in
+// CancelInflight.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.healthDraining = true
+}
+
+// Close releases the server's persistent store (syncing and closing its
+// segments). In-flight write-throughs after Close are dropped, never
+// errors. Safe to call more than once.
+func (s *Server) Close() error {
+	return s.store.close()
 }
 
 // registerCancel enrolls an in-flight analysis governor with the drain
@@ -188,24 +229,26 @@ func (s *Server) registerCancel(cancel context.CancelFunc) func() {
 // Snapshot returns the current Stats.
 func (s *Server) Snapshot() Stats {
 	return Stats{
-		Requests:     s.c.requests.Load(),
-		Hits:         s.c.hits.Load(),
-		Misses:       s.c.misses.Load(),
-		Evictions:    int64(s.cache.evicted()),
-		Rejected:     s.c.rejected.Load(),
-		Canceled:     s.c.canceled.Load(),
-		Partials:     s.c.partials.Load(),
-		Errors:       s.c.errors.Load(),
-		Inflight:     s.c.inflight.Load(),
-		Queued:       s.c.queued.Load(),
-		CacheEntries: s.cache.len(),
-		Lints:        s.c.lints.Load(),
-		LintHits:     s.c.lintHits.Load(),
-		LintMisses:   s.c.lintMisses.Load(),
-		LintEntries:  s.lints.len(),
-		Uptime:       time.Since(s.start).Round(time.Millisecond).String(), //fsplint:ignore detrand uptime for /statusz
-		Latency:      s.lat.snapshot(),
-		Belief:       s.bel.snapshot(),
+		Requests:      s.c.requests.Load(),
+		Hits:          s.c.hits.Load(),
+		Misses:        s.c.misses.Load(),
+		Evictions:     int64(s.cache.evicted()),
+		Rejected:      s.c.rejected.Load(),
+		Canceled:      s.c.canceled.Load(),
+		Partials:      s.c.partials.Load(),
+		Errors:        s.c.errors.Load(),
+		Inflight:      s.c.inflight.Load(),
+		Queued:        s.c.queued.Load(),
+		CacheEntries:  s.cache.len(),
+		Lints:         s.c.lints.Load(),
+		LintHits:      s.c.lintHits.Load(),
+		LintMisses:    s.c.lintMisses.Load(),
+		LintEntries:   s.lints.len(),
+		LintEvictions: int64(s.lints.evicted()),
+		Store:         s.store.snapshot(),
+		Uptime:        time.Since(s.start).Round(time.Millisecond).String(), //fsplint:ignore detrand uptime for /statusz
+		Latency:       s.lat.snapshot(),
+		Belief:        s.bel.snapshot(),
 	}
 }
 
@@ -271,6 +314,13 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.healthDraining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -381,6 +431,19 @@ func (s *Server) requestDeadline(req analyzeRequest) (time.Time, error) {
 	return time.Now().Add(limit), nil //fsplint:ignore detrand per-request deadline anchor
 }
 
+// retryAfterSeconds derives a 429 Retry-After hint from the rejected
+// class's p90 latency, rounded up to whole seconds with a 1s floor (the
+// header carries integral seconds, and an empty ring means the server
+// has no evidence the backlog clears faster than that).
+func (s *Server) retryAfterSeconds(class string) int {
+	p90 := s.lat.p90(class)
+	secs := int((p90 + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // requestBudget lowers the request budget, capped by the server-wide
 // maximum.
 func (s *Server) requestBudget(req analyzeRequest) int {
@@ -485,6 +548,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.admit }()
 	default:
 		s.c.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(req.Mode+"/"+req.Predicates)))
 		writeError(w, http.StatusTooManyRequests, "analysis queue is full (%d in flight or queued)", cap(s.admit))
 		return
 	}
@@ -522,6 +586,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.lat.record(req.Mode+"/"+req.Predicates, time.Since(start)) //fsplint:ignore detrand latency sample for /statusz quantiles
 		s.c.misses.Add(1)
 		s.cache.add(digest, rec)
+		s.store.put(digest, rec)
 		writeJSON(w, http.StatusOK, analyzeResponse{
 			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false, Record: rec,
 			Warnings: warnings,
@@ -584,4 +649,3 @@ func (s *Server) analyze(n *network.Network, req analyzeRequest, g *guard.G) (ve
 	s.bel.record(req.Mode+"/"+req.Predicates, bst)
 	return verdictjson.OK(name, v), nil
 }
-

@@ -49,6 +49,11 @@ type Stats struct {
 	LintMisses int64 `json:"lintMisses"`
 	// LintEntries is the current lint cache population.
 	LintEntries int `json:"lintEntries"`
+	// LintEvictions counts lint diagnostics dropped by the LRU bound.
+	LintEvictions int64 `json:"lintEvictions"`
+	// Store reports the persistent verdict store's health and on-disk
+	// shape; state "disabled" means no cache directory is configured.
+	Store *StoreStats `json:"store"`
 	// Uptime is wall time since the server was built.
 	Uptime string `json:"uptime"`
 	// Latency maps "<mode>/<predicates>" (e.g. "cyclic/all",
@@ -156,6 +161,22 @@ func (l *latencyRecorder) snapshot() map[string]Quantiles {
 		}
 	}
 	return out
+}
+
+// p90 returns the 90th-percentile latency of class's current window, or
+// 0 when the class has no samples yet. The 429 path turns it into a
+// Retry-After hint: one p90 analysis from now, a slot is likely free.
+func (l *latencyRecorder) p90(class string) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := l.rings[class]
+	if r == nil || r.n == 0 {
+		return 0
+	}
+	samples := make([]time.Duration, r.n)
+	copy(samples, r.buf[:r.n])
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return quantile(samples, 0.90)
 }
 
 // beliefRecorder accumulates per-class belief-engine counters, the same

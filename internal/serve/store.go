@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"fspnet/internal/store"
+	"fspnet/internal/verdictjson"
+)
+
+// Store health states reported in /statusz. The store is an accelerator,
+// never a dependency: every state serves full traffic, the states differ
+// only in whether verdicts survive a restart.
+const (
+	// StoreOK: writes are reaching disk.
+	StoreOK = "ok"
+	// StoreDegraded: the disk failed at runtime; the server dropped to
+	// memory-only caching and probes for recovery with backoff.
+	StoreDegraded = "degraded"
+	// StoreDisabled: no -cache-dir was configured; memory-only by choice.
+	StoreDisabled = "disabled"
+)
+
+// Degraded-mode defaults.
+const (
+	// DefaultStoreFailThreshold is how many consecutive I/O failures
+	// quarantine the store into degraded mode.
+	DefaultStoreFailThreshold = 3
+	// DefaultStoreReopenMin/Max bound the exponential reopen backoff.
+	DefaultStoreReopenMin = time.Second
+	DefaultStoreReopenMax = 2 * time.Minute
+)
+
+// StoreConfig wires a persistent verdict store under the in-memory LRU.
+type StoreConfig struct {
+	// Dir is the store directory; empty disables persistence entirely.
+	Dir string
+	// Options configures the underlying store (record cap, segment size,
+	// fault hook).
+	Options store.Options
+	// FailThreshold is the consecutive-error count that quarantines the
+	// store; ≤ 0 means DefaultStoreFailThreshold.
+	FailThreshold int
+	// ReopenMin and ReopenMax bound the reopen backoff after quarantine;
+	// ≤ 0 means the defaults. Backoff doubles per failed reopen attempt
+	// and resets on success.
+	ReopenMin, ReopenMax time.Duration
+}
+
+// StoreStats is the /statusz view of the persistence layer.
+type StoreStats struct {
+	// State is StoreOK, StoreDegraded, or StoreDisabled.
+	State string `json:"state"`
+	// Records / Segments / Bytes describe the live on-disk set.
+	Records  int   `json:"records"`
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// Replayed is the record count the last successful open recovered.
+	Replayed int `json:"replayed"`
+	// TruncatedBytes counts torn-tail bytes the last open repaired.
+	TruncatedBytes int64 `json:"truncatedBytes"`
+	// Compactions and Dropped mirror the store's compaction counters.
+	Compactions int64 `json:"compactions"`
+	Dropped     int64 `json:"dropped"`
+	// WriteErrors counts store operations that failed (each rolled back).
+	WriteErrors int64 `json:"writeErrors"`
+	// DroppedWrites counts write-throughs skipped while not StoreOK.
+	DroppedWrites int64 `json:"droppedWrites"`
+	// Quarantines counts transitions into degraded mode.
+	Quarantines int64 `json:"quarantines"`
+	// Reopens counts successful recoveries out of degraded mode.
+	Reopens int64 `json:"reopens"`
+	// LastError is the most recent store failure, empty when healthy.
+	LastError string `json:"lastError,omitempty"`
+}
+
+// storeKeeper owns the Server's store handle and its failure policy:
+// write-through on the miss path, quarantine after FailThreshold
+// consecutive I/O errors, background reopen with exponential backoff. A
+// store error never propagates to a request — the worst outcome of a
+// dead disk is memory-only caching.
+type storeKeeper struct {
+	cfg  StoreConfig
+	logf func(format string, args ...any)
+
+	mu          sync.Mutex
+	st          *store.Store // nil when disabled or quarantined
+	state       string
+	consecFails int
+	backoff     time.Duration
+	nextReopen  time.Time
+	reopening   bool
+
+	writeErrors   int64
+	droppedWrites int64
+	quarantines   int64
+	reopens       int64
+	lastErr       string
+
+	// lastStats holds the stats snapshot of the most recent healthy store,
+	// so /statusz keeps reporting the on-disk shape through a quarantine.
+	lastStats store.Stats
+}
+
+// newStoreKeeper opens cfg.Dir (empty → disabled keeper). A failed
+// initial open does not fail server construction: the keeper starts
+// degraded and probes for the disk with backoff, the same policy as a
+// runtime quarantine.
+func newStoreKeeper(cfg StoreConfig, logf func(string, ...any)) *storeKeeper {
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = DefaultStoreFailThreshold
+	}
+	if cfg.ReopenMin <= 0 {
+		cfg.ReopenMin = DefaultStoreReopenMin
+	}
+	if cfg.ReopenMax <= 0 {
+		cfg.ReopenMax = DefaultStoreReopenMax
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	k := &storeKeeper{cfg: cfg, logf: logf, backoff: cfg.ReopenMin}
+	if cfg.Dir == "" {
+		k.state = StoreDisabled
+		return k
+	}
+	st, err := store.Open(cfg.Dir, cfg.Options)
+	if err != nil {
+		k.state = StoreDegraded
+		k.lastErr = err.Error()
+		k.quarantines++
+		k.nextReopen = time.Now().Add(k.backoff) //fsplint:ignore detrand reopen-backoff deadline
+		k.logf("verdict store: open %s failed, starting degraded: %v", cfg.Dir, err)
+		return k
+	}
+	k.st = st
+	k.state = StoreOK
+	k.lastStats = st.ReadStats()
+	return k
+}
+
+// warmLoad replays the persisted verdicts into the cache, oldest first,
+// so the LRU keeps the newest when the disk set exceeds the memory cap.
+// Must run after the cache's eviction hook is installed: an overflow
+// evicts through the keeper back to disk.
+func (k *storeKeeper) warmLoad(cache *lru[verdictjson.Record]) int {
+	k.mu.Lock()
+	st := k.st
+	k.mu.Unlock()
+	if st == nil {
+		return 0
+	}
+	n := 0
+	// Range decodes outside the store lock, so the eviction-driven Delete
+	// re-entering the store cannot deadlock.
+	if err := st.Range(func(digest string, rec verdictjson.Record) bool {
+		cache.add(digest, rec)
+		n++
+		return true
+	}); err != nil {
+		k.logf("verdict store: warm load stopped: %v", err)
+	}
+	return n
+}
+
+// put write-throughs a freshly computed verdict. Failures are absorbed.
+func (k *storeKeeper) put(digest string, rec verdictjson.Record) {
+	k.withStore(func(st *store.Store) error { return st.Put(digest, rec) })
+}
+
+// delete removes an LRU-evicted digest from disk so the store tracks the
+// cache's working set. Failures are absorbed.
+func (k *storeKeeper) delete(digest string) {
+	k.withStore(func(st *store.Store) error { return st.Delete(digest) })
+}
+
+// withStore runs op against the live store, applying the failure policy.
+func (k *storeKeeper) withStore(op func(*store.Store) error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.st == nil {
+		if k.state == StoreDegraded {
+			k.droppedWrites++
+			k.maybeReopenLocked()
+		}
+		return
+	}
+	// The store serializes internally; holding the keeper lock across the
+	// call keeps the error accounting exact and is safe because the store
+	// never calls back into the keeper.
+	if err := op(k.st); err != nil {
+		k.writeErrors++
+		k.consecFails++
+		k.lastErr = err.Error()
+		if k.consecFails >= k.cfg.FailThreshold {
+			k.quarantineLocked()
+		}
+		return
+	}
+	k.consecFails = 0
+	k.lastStats = k.st.ReadStats()
+}
+
+// quarantineLocked drops to memory-only mode: close the handle, arm the
+// reopen backoff. Callers hold k.mu.
+func (k *storeKeeper) quarantineLocked() {
+	k.logf("verdict store: quarantined after %d consecutive errors, caching in memory only: %s",
+		k.consecFails, k.lastErr)
+	if k.st != nil {
+		k.lastStats = k.st.ReadStats()
+		_ = k.st.Close()
+		k.st = nil
+	}
+	k.state = StoreDegraded
+	k.consecFails = 0
+	k.quarantines++
+	k.backoff = k.cfg.ReopenMin
+	k.nextReopen = time.Now().Add(k.backoff) //fsplint:ignore detrand reopen-backoff deadline
+}
+
+// maybeReopenLocked starts one background reopen attempt when the
+// backoff deadline has passed. Reopen is traffic-driven (checked on each
+// dropped write) rather than timer-driven, so an idle degraded server
+// spends nothing. Callers hold k.mu.
+func (k *storeKeeper) maybeReopenLocked() {
+	if k.reopening || time.Now().Before(k.nextReopen) { //fsplint:ignore detrand reopen-backoff deadline
+		return
+	}
+	k.reopening = true
+	go func() {
+		st, err := store.Open(k.cfg.Dir, k.cfg.Options)
+		k.mu.Lock()
+		defer k.mu.Unlock()
+		k.reopening = false
+		if k.state != StoreDegraded {
+			// Closed or reconfigured while we were probing.
+			if st != nil {
+				_ = st.Close()
+			}
+			return
+		}
+		if err != nil {
+			k.lastErr = err.Error()
+			k.backoff *= 2
+			if k.backoff > k.cfg.ReopenMax {
+				k.backoff = k.cfg.ReopenMax
+			}
+			k.nextReopen = time.Now().Add(k.backoff) //fsplint:ignore detrand reopen-backoff deadline
+			return
+		}
+		k.st = st
+		k.state = StoreOK
+		k.reopens++
+		k.backoff = k.cfg.ReopenMin
+		k.lastErr = ""
+		k.lastStats = st.ReadStats()
+		k.logf("verdict store: reopened %s, persistence restored", k.cfg.Dir)
+	}()
+}
+
+// snapshot builds the /statusz view.
+func (k *storeKeeper) snapshot() *StoreStats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := &StoreStats{
+		State:         k.state,
+		WriteErrors:   k.writeErrors,
+		DroppedWrites: k.droppedWrites,
+		Quarantines:   k.quarantines,
+		Reopens:       k.reopens,
+		LastError:     k.lastErr,
+	}
+	st := k.lastStats
+	if k.st != nil {
+		st = k.st.ReadStats()
+	}
+	out.Records = st.Records
+	out.Segments = st.Segments
+	out.Bytes = st.Bytes
+	out.Replayed = st.Replayed
+	out.TruncatedBytes = st.TruncatedBytes
+	out.Compactions = st.Compactions
+	out.Dropped = st.Dropped
+	return out
+}
+
+// close shuts the store down; further write-throughs are dropped.
+func (k *storeKeeper) close() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.state = StoreDisabled
+	if k.st == nil {
+		return nil
+	}
+	err := k.st.Close()
+	k.st = nil
+	return err
+}

@@ -1,0 +1,55 @@
+package store
+
+import "errors"
+
+// Op identifies one class of file operation the store performs. Every
+// operation consults the configured FaultFunc before touching the disk,
+// so a test can fail (or SIGKILL the process at) any single step of the
+// append, rotation, compaction, or recovery paths — the I/O analogue of
+// the guard.Hook seam internal/guard/faultinject drives.
+type Op string
+
+// The operation classes, in the order a fresh store first performs them.
+const (
+	// OpCreate opens a new temp segment file (rotation, compaction, and
+	// the first segment of a fresh directory).
+	OpCreate Op = "create"
+	// OpWrite is a data write: a record frame, a segment magic header, or
+	// a compacted image. Injecting ErrShortWrite here lands a torn prefix
+	// of the frame before failing, the ENOSPC / partial-sector shape.
+	OpWrite Op = "write"
+	// OpSync is an fsync of a segment file.
+	OpSync Op = "sync"
+	// OpRename publishes a temp file under its final segment name.
+	OpRename Op = "rename"
+	// OpRemove deletes an obsolete file (stale temp files at open, old
+	// segments after compaction). Failures are tolerated: replay is
+	// last-wins, so a lingering file never changes the recovered state.
+	OpRemove Op = "remove"
+	// OpTruncate cuts a file back to a known-good length: the rollback
+	// after a failed append and the torn-tail repair during open.
+	OpTruncate Op = "truncate"
+	// OpSyncDir is the directory fsync after a rename or remove. Failures
+	// are tolerated (the kill -9 crash model keeps renamed files visible;
+	// only power loss could lose them, which this store does not defend
+	// against beyond replay).
+	OpSyncDir Op = "syncdir"
+)
+
+// Ops lists every operation class — the domain the fault-injection
+// sweeps enumerate.
+var Ops = []Op{OpCreate, OpWrite, OpSync, OpRename, OpRemove, OpTruncate, OpSyncDir}
+
+// FaultFunc is the disk fault-injection hook. The store consults it
+// before every file operation with the operation class and the 0-based
+// count of prior consultations of that class; a non-nil return is
+// treated as that operation's failure. A returned error wrapping
+// ErrShortWrite additionally lands the first half of the frame on disk
+// before failing, producing a genuinely torn tail. Production
+// configurations leave the hook nil. Implementations must be safe for
+// concurrent use; the store serializes consultations under its own lock.
+type FaultFunc func(op Op, seq int) error
+
+// ErrShortWrite marks an injected partial write: the store writes half
+// the frame, then fails the append and rolls the tail back.
+var ErrShortWrite = errors.New("store: injected short write")

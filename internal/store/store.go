@@ -1,0 +1,756 @@
+// Package store persists fspd's content-addressed verdict cache across
+// restarts and deploys: an append-only, segment-based, checksummed log
+// of digest → verdictjson.Record entries that the serve layer writes
+// through and warm-loads on boot.
+//
+// The paper's predicates are pure functions of the canonical network
+// text, so a stored verdict is relocatable and can never go stale — the
+// only hazards are the environment's: torn writes, ENOSPC, fsync
+// failures, kill -9. The store's design reduces all of them to one
+// recovery invariant:
+//
+//	After a crash at any byte offset, reopening the directory yields
+//	exactly the committed records — every Put that returned nil, each
+//	byte-identical to what was written — and nothing else.
+//
+// Mechanics:
+//
+//   - Records are length+CRC-framed: a 4-byte little-endian payload
+//     length, a 4-byte CRC-32C of the payload, then the payload (compact
+//     JSON of {digest, record} or a {digest, deleted} tombstone). Replay
+//     walks frames from the segment magic onward and stops at the first
+//     frame that is incomplete or fails its checksum; the torn tail is
+//     truncated so subsequent appends extend a known-good prefix.
+//   - Segments (`seg-%08d.log`) are created atomically — written to a
+//     .tmp name, fsynced, renamed — so a crash mid-rotation leaves at
+//     worst a stale .tmp that open removes. Replay is last-wins across
+//     segments in id order, so duplicated records are harmless.
+//   - A failed append (write error, short write, fsync error) is rolled
+//     back by truncating the segment to its pre-append size: an append
+//     either commits durably or leaves no trace. If the rollback itself
+//     fails the store declares itself broken and refuses further writes
+//     rather than interleaving records into a torn file.
+//   - Compaction is bounded and atomic: when tombstoned/superseded
+//     records outnumber live ones, or the live set exceeds MaxRecords
+//     (oldest entries are dropped — the serve layer deletes LRU-evicted
+//     digests, so drops only fire as a backstop), the live records are
+//     rewritten into one fresh segment via temp-file+rename and the old
+//     segments removed. A compaction failure is contained: the old
+//     segments remain authoritative and the next trigger retries.
+//
+// Every file operation is preceded by a FaultFunc consultation (see
+// fault.go), which is how the recovery sweeps in this package's tests
+// and the SIGKILL crash matrix in cmd/fspd prove the invariant.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"fspnet/internal/verdictjson"
+)
+
+// Tunable defaults.
+const (
+	// DefaultMaxRecords bounds the live record count; compaction drops
+	// the oldest entries beyond it.
+	DefaultMaxRecords = 4096
+	// DefaultSegmentBytes is the rotation threshold for the active
+	// segment.
+	DefaultSegmentBytes = 4 << 20
+)
+
+const (
+	// magic opens every segment file; a file without it replays as empty.
+	magic = "FSPDVS1\n"
+	// headerLen frames each record: uint32 payload length + uint32 CRC-32C.
+	headerLen = 8
+	// maxPayload bounds a single record, so a corrupted length field can
+	// never drive a giant allocation during replay.
+	maxPayload = 16 << 20
+	// minDeadCompact is the garbage floor below which compaction never
+	// triggers, keeping tiny stores from rewriting themselves constantly.
+	minDeadCompact = 8
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Store.
+type Options struct {
+	// MaxRecords bounds the live record count; ≤ 0 means
+	// DefaultMaxRecords.
+	MaxRecords int
+	// SegmentBytes is the active-segment rotation threshold; ≤ 0 means
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// NoSync skips every fsync — benchmarks and bulk loads only; crash
+	// durability is gone with it.
+	NoSync bool
+	// Fault is the disk fault-injection hook; nil in production.
+	Fault FaultFunc
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	// Segments is the current segment-file count.
+	Segments int `json:"segments"`
+	// Records is the live (replayable) record count.
+	Records int `json:"records"`
+	// Dead counts superseded records and tombstones awaiting compaction.
+	Dead int `json:"dead"`
+	// Bytes is the total valid byte size across segments.
+	Bytes int64 `json:"bytes"`
+	// Replayed is the live record count recovered by Open.
+	Replayed int `json:"replayed"`
+	// TruncatedBytes counts torn or corrupt tail bytes Open dropped.
+	TruncatedBytes int64 `json:"truncatedBytes"`
+	// Compactions counts completed compactions.
+	Compactions int64 `json:"compactions"`
+	// CompactErrors counts contained compaction failures (state kept,
+	// retried at the next trigger).
+	CompactErrors int64 `json:"compactErrors"`
+	// Dropped counts live records discarded by the MaxRecords bound.
+	Dropped int64 `json:"dropped"`
+	// AppendErrors counts failed (rolled-back) Put/Delete appends.
+	AppendErrors int64 `json:"appendErrors"`
+}
+
+// entry is the on-disk payload: a verdict keyed by digest, or a
+// tombstone marking the digest deleted. Record holds the exact
+// verdictjson.MarshalRecord bytes so storage is byte-transparent.
+type entry struct {
+	Digest  string          `json:"digest"`
+	Deleted bool            `json:"deleted,omitempty"`
+	Record  json.RawMessage `json:"record,omitempty"`
+}
+
+// segment is one open log file.
+type segment struct {
+	id      int
+	f       *os.File
+	size    int64 // valid byte length; appends go here
+	records int
+}
+
+// loc addresses one committed frame.
+type loc struct {
+	segID int
+	off   int64
+	n     int32  // frame length (header + payload)
+	seq   uint64 // monotone insertion order, the compaction drop order
+}
+
+// Store is an open verdict store. All methods are safe for concurrent
+// use.
+type Store struct {
+	mu       sync.Mutex
+	dir      string
+	opts     Options
+	faultSeq map[Op]int
+	segs     []*segment // ascending id; last is the active segment
+	index    map[string]loc
+	seq      uint64
+	dead     int
+	broken   error // sticky: set when a rollback failed and the tail is torn
+
+	replayed       int
+	truncatedBytes int64
+	compactions    int64
+	compactErrors  int64
+	dropped        int64
+	appendErrors   int64
+}
+
+func segName(id int) string { return fmt.Sprintf("seg-%08d.log", id) }
+
+// Open opens (or creates) the store in dir, replays every segment in id
+// order, truncates any torn tail, and rebuilds the live index. The
+// recovered records are exactly the committed prefix; ReadStats().Replayed
+// reports how many.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxRecords <= 0 {
+		opts.MaxRecords = DefaultMaxRecords
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		faultSeq: make(map[Op]int),
+		index:    make(map[string]loc),
+	}
+	if err := s.scan(); err != nil {
+		s.closeSegments()
+		return nil, err
+	}
+	if len(s.segs) == 0 {
+		f, err := s.createSegment(1)
+		if err != nil {
+			return nil, err
+		}
+		s.segs = append(s.segs, &segment{id: 1, f: f, size: int64(len(magic))})
+	}
+	s.replayed = len(s.index)
+	return s, nil
+}
+
+// Dir reports the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// scan replays every segment file in id order, removing stale temp files
+// left by a crashed rotation or compaction on the way.
+func (s *Store) scan() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var ids []int
+	for _, de := range entries {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// Never renamed, so never part of the log; best-effort removal.
+			if s.fault(OpRemove) == nil {
+				_ = os.Remove(filepath.Join(s.dir, name))
+			}
+			continue
+		}
+		var id int
+		if _, err := fmt.Sscanf(name, "seg-%d.log", &id); err == nil && segName(id) == name {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := s.scanSegment(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanSegment replays one segment: valid frames enter the index
+// (last-wins), and anything past the first incomplete or checksum-failing
+// frame is truncated away as a torn tail.
+func (s *Store) scanSegment(id int) error {
+	path := filepath.Join(s.dir, segName(id))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	size := info.Size()
+	valid := int64(0)
+	records := 0
+	head := make([]byte, len(magic))
+	if n, _ := f.ReadAt(head, 0); n == len(magic) && string(head) == magic {
+		valid = int64(len(magic))
+		hdr := make([]byte, headerLen)
+		for valid+headerLen <= size {
+			if _, err := f.ReadAt(hdr, valid); err != nil {
+				break
+			}
+			plen := binary.LittleEndian.Uint32(hdr[0:4])
+			want := binary.LittleEndian.Uint32(hdr[4:8])
+			if plen > maxPayload || valid+headerLen+int64(plen) > size {
+				break
+			}
+			payload := make([]byte, plen)
+			if _, err := f.ReadAt(payload, valid+headerLen); err != nil {
+				break
+			}
+			if crc32.Checksum(payload, castagnoli) != want {
+				break
+			}
+			var e entry
+			if err := json.Unmarshal(payload, &e); err != nil || e.Digest == "" {
+				break
+			}
+			frame := int64(headerLen) + int64(plen)
+			s.applyScanned(e, loc{segID: id, off: valid, n: int32(frame)})
+			valid += frame
+			records++
+		}
+	}
+	if valid < size {
+		// Torn or corrupt tail: cut it so appends extend a committed
+		// prefix. This is the crash-recovery truncation point.
+		if err := s.truncateTo(f, valid); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncating torn tail of %s: %w", segName(id), err)
+		}
+		s.truncatedBytes += size - valid
+	}
+	s.segs = append(s.segs, &segment{id: id, f: f, size: valid, records: records})
+	return nil
+}
+
+// applyScanned folds one replayed entry into the index, last-wins.
+func (s *Store) applyScanned(e entry, l loc) {
+	if _, ok := s.index[e.Digest]; ok {
+		s.dead++ // the superseded occurrence
+	}
+	if e.Deleted {
+		delete(s.index, e.Digest)
+		s.dead++ // the tombstone itself
+		return
+	}
+	s.seq++
+	l.seq = s.seq
+	s.index[e.Digest] = l
+}
+
+// fault consults the injection hook for op and advances its sequence
+// counter. Callers hold s.mu (or run single-threaded inside Open).
+func (s *Store) fault(op Op) error {
+	if s.opts.Fault == nil {
+		return nil
+	}
+	n := s.faultSeq[op]
+	s.faultSeq[op] = n + 1
+	return s.opts.Fault(op, n)
+}
+
+// truncateTo cuts f back to size through the fault seam.
+func (s *Store) truncateTo(f *os.File, size int64) error {
+	if err := s.fault(OpTruncate); err != nil {
+		return err
+	}
+	return f.Truncate(size)
+}
+
+// syncFile fsyncs f through the fault seam (a no-op under NoSync).
+func (s *Store) syncFile(f *os.File) error {
+	if s.opts.NoSync {
+		return nil
+	}
+	if err := s.fault(OpSync); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// syncDir fsyncs the store directory, best effort: the kill -9 crash
+// model keeps renamed files visible without it, so a failure here is
+// tolerated rather than turned into an append error.
+func (s *Store) syncDir() {
+	if s.opts.NoSync {
+		return
+	}
+	if err := s.fault(OpSyncDir); err != nil {
+		return
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// createSegment atomically materializes segment id: the magic header is
+// written and fsynced under a .tmp name, then renamed into place, so a
+// crash at any step leaves at worst a stale temp file.
+func (s *Store) createSegment(id int) (*os.File, error) {
+	tmp := filepath.Join(s.dir, segName(id)+".tmp")
+	if err := s.fault(OpCreate); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	abort := func(err error) (*os.File, error) {
+		f.Close()
+		_ = os.Remove(tmp)
+		return nil, fmt.Errorf("store: creating %s: %w", segName(id), err)
+	}
+	if err := s.fault(OpWrite); err != nil {
+		return abort(err)
+	}
+	if _, err := f.WriteAt([]byte(magic), 0); err != nil {
+		return abort(err)
+	}
+	if err := s.syncFile(f); err != nil {
+		return abort(err)
+	}
+	if err := s.fault(OpRename); err != nil {
+		return abort(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, segName(id))); err != nil {
+		return abort(err)
+	}
+	s.syncDir()
+	return f, nil
+}
+
+// frame assembles the length+CRC framing around payload.
+func frame(payload []byte) []byte {
+	buf := make([]byte, headerLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerLen:], payload)
+	return buf
+}
+
+// Put appends (or supersedes) the record for digest. A nil return means
+// the record is committed: durably framed, checksummed, and fsynced. Any
+// error means the append was rolled back and left no trace on disk.
+func (s *Store) Put(digest string, rec verdictjson.Record) error {
+	if digest == "" {
+		return errors.New("store: empty digest")
+	}
+	data, err := verdictjson.MarshalRecord(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	payload, err := json.Marshal(entry{Digest: digest, Record: data})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, replacing := s.index[digest]
+	l, err := s.appendLocked(payload)
+	if err != nil {
+		return err
+	}
+	if replacing {
+		s.dead++
+	}
+	s.seq++
+	l.seq = s.seq
+	s.index[digest] = l
+	s.maybeCompactLocked()
+	return nil
+}
+
+// Delete appends a tombstone for digest; unknown digests are a no-op.
+// The serve layer calls this when its LRU evicts a verdict, keeping the
+// durable set a mirror of the warm set.
+func (s *Store) Delete(digest string) error {
+	payload, err := json.Marshal(entry{Digest: digest, Deleted: true})
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[digest]; !ok {
+		return nil
+	}
+	if _, err := s.appendLocked(payload); err != nil {
+		return err
+	}
+	delete(s.index, digest)
+	s.dead += 2 // the tombstone and the record it kills
+	s.maybeCompactLocked()
+	return nil
+}
+
+// appendLocked commits one frame to the active segment, rotating first
+// when the segment is full. On any failure the segment is truncated back
+// to its pre-append size so no partial frame survives.
+func (s *Store) appendLocked(payload []byte) (loc, error) {
+	if s.broken != nil {
+		s.appendErrors++
+		return loc{}, s.broken
+	}
+	if len(payload) > maxPayload {
+		return loc{}, fmt.Errorf("store: record of %d bytes exceeds the %d-byte bound", len(payload), maxPayload)
+	}
+	buf := frame(payload)
+	active := s.segs[len(s.segs)-1]
+	if active.size+int64(len(buf)) > s.opts.SegmentBytes && active.records > 0 {
+		if err := s.rotateLocked(); err != nil {
+			s.appendErrors++
+			return loc{}, err
+		}
+		active = s.segs[len(s.segs)-1]
+	}
+	if err := s.writeFrame(active, buf); err != nil {
+		s.appendErrors++
+		return loc{}, err
+	}
+	l := loc{segID: active.id, off: active.size, n: int32(len(buf))}
+	active.size += int64(len(buf))
+	active.records++
+	return l, nil
+}
+
+// writeFrame lands buf at the active tail and fsyncs it, rolling the
+// tail back on any failure so the append is all-or-nothing.
+func (s *Store) writeFrame(seg *segment, buf []byte) error {
+	if err := s.fault(OpWrite); err != nil {
+		if errors.Is(err, ErrShortWrite) {
+			// Land a torn prefix first — the ENOSPC shape — then roll back.
+			_, _ = seg.f.WriteAt(buf[:len(buf)/2], seg.size)
+		}
+		s.rollback(seg)
+		return err
+	}
+	if n, err := seg.f.WriteAt(buf, seg.size); err != nil || n < len(buf) {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		s.rollback(seg)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.syncFile(seg.f); err != nil {
+		// The frame may be in the page cache but is not durable; remove it
+		// so "Put returned nil" remains equivalent to "committed".
+		s.rollback(seg)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// rollback truncates seg to its committed size after a failed append. If
+// the truncate itself fails the file may end in a torn frame the next
+// append would interleave with, so the store goes sticky-broken; replay
+// at the next open cuts the torn tail.
+func (s *Store) rollback(seg *segment) {
+	if err := s.truncateTo(seg.f, seg.size); err != nil {
+		s.broken = fmt.Errorf("store: unrecoverable torn tail (rollback failed): %w", err)
+	}
+}
+
+// rotateLocked opens the next segment as the append target.
+func (s *Store) rotateLocked() error {
+	id := s.segs[len(s.segs)-1].id + 1
+	f, err := s.createSegment(id)
+	if err != nil {
+		return err
+	}
+	s.segs = append(s.segs, &segment{id: id, f: f, size: int64(len(magic))})
+	return nil
+}
+
+// maybeCompactLocked triggers compaction when garbage outweighs the live
+// set or the live set exceeds its bound.
+func (s *Store) maybeCompactLocked() {
+	live := len(s.index)
+	if live > s.opts.MaxRecords || (s.dead >= minDeadCompact && s.dead > live) {
+		s.compactLocked()
+	}
+}
+
+// compactLocked rewrites the live records (newest MaxRecords of them, in
+// insertion order) into one fresh segment via temp-file+rename, then
+// removes the old segments. Failures are contained: the old segments
+// stay authoritative and the next trigger retries. A crash between the
+// rename and the removals is benign — replay is last-wins, and dropped
+// or deleted digests resurrect at worst into valid (never-stale)
+// verdicts.
+func (s *Store) compactLocked() {
+	type liveEnt struct {
+		digest string
+		l      loc
+	}
+	ents := make([]liveEnt, 0, len(s.index))
+	for d, l := range s.index {
+		ents = append(ents, liveEnt{d, l})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].l.seq < ents[j].l.seq })
+	dropN := 0
+	if len(ents) > s.opts.MaxRecords {
+		dropN = len(ents) - s.opts.MaxRecords
+	}
+	survivors := ents[dropN:]
+
+	// Assemble the compacted image in memory (bounded by MaxRecords).
+	img := make([]byte, 0, 1024)
+	img = append(img, magic...)
+	offs := make([]int64, len(survivors))
+	for i, e := range survivors {
+		buf := make([]byte, e.l.n)
+		seg := s.segByID(e.l.segID)
+		if seg == nil {
+			s.compactErrors++
+			return
+		}
+		if _, err := seg.f.ReadAt(buf, e.l.off); err != nil {
+			s.compactErrors++
+			return
+		}
+		offs[i] = int64(len(img))
+		img = append(img, buf...)
+	}
+
+	newID := s.segs[len(s.segs)-1].id + 1
+	tmp := filepath.Join(s.dir, "compact.tmp")
+	abort := func(f *os.File) {
+		if f != nil {
+			f.Close()
+		}
+		_ = os.Remove(tmp)
+		s.compactErrors++
+	}
+	if err := s.fault(OpCreate); err != nil {
+		s.compactErrors++
+		return
+	}
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		s.compactErrors++
+		return
+	}
+	if err := s.fault(OpWrite); err != nil {
+		abort(f)
+		return
+	}
+	if _, err := f.WriteAt(img, 0); err != nil {
+		abort(f)
+		return
+	}
+	if err := s.syncFile(f); err != nil {
+		abort(f)
+		return
+	}
+	if err := s.fault(OpRename); err != nil {
+		abort(f)
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, segName(newID))); err != nil {
+		abort(f)
+		return
+	}
+	s.syncDir()
+
+	// The compacted segment is authoritative; retire the old ones.
+	for _, old := range s.segs {
+		old.f.Close()
+		if s.fault(OpRemove) == nil {
+			_ = os.Remove(filepath.Join(s.dir, segName(old.id)))
+		}
+	}
+	s.segs = []*segment{{id: newID, f: f, size: int64(len(img)), records: len(survivors)}}
+	for i, e := range survivors {
+		s.index[e.digest] = loc{segID: newID, off: offs[i], n: e.l.n, seq: e.l.seq}
+	}
+	for _, e := range ents[:dropN] {
+		delete(s.index, e.digest)
+	}
+	s.dead = 0
+	s.compactions++
+	s.dropped += int64(dropN)
+}
+
+func (s *Store) segByID(id int) *segment {
+	for _, seg := range s.segs {
+		if seg.id == id {
+			return seg
+		}
+	}
+	return nil
+}
+
+// Range calls fn for every live record in insertion order until fn
+// returns false. Payloads are copied out under the lock and decoded
+// outside it, so fn may call back into the store — the serve warm-load
+// path evicts through the same keeper that deletes here.
+func (s *Store) Range(fn func(digest string, rec verdictjson.Record) bool) error {
+	s.mu.Lock()
+	locs := make([]loc, 0, len(s.index))
+	for _, l := range s.index {
+		locs = append(locs, l)
+	}
+	// Sorting before the reads makes both the callback order and any read
+	// error a pure function of the store state, not of map order.
+	sort.Slice(locs, func(i, j int) bool { return locs[i].seq < locs[j].seq })
+	payloads := make([][]byte, 0, len(locs))
+	var readErr error
+	for _, l := range locs {
+		seg := s.segByID(l.segID)
+		if seg == nil {
+			readErr = fmt.Errorf("store: record references missing segment %d", l.segID)
+			break
+		}
+		buf := make([]byte, l.n)
+		if _, err := seg.f.ReadAt(buf, l.off); err != nil {
+			readErr = fmt.Errorf("store: %w", err)
+			break
+		}
+		payloads = append(payloads, buf[headerLen:])
+	}
+	s.mu.Unlock()
+	if readErr != nil {
+		return readErr
+	}
+	for _, payload := range payloads {
+		var e entry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		rec, err := verdictjson.UnmarshalRecord(e.Record)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if !fn(e.Digest, rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ReadStats snapshots the store's counters.
+func (s *Store) ReadStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var bytes int64
+	for _, seg := range s.segs {
+		bytes += seg.size
+	}
+	return Stats{
+		Segments:       len(s.segs),
+		Records:        len(s.index),
+		Dead:           s.dead,
+		Bytes:          bytes,
+		Replayed:       s.replayed,
+		TruncatedBytes: s.truncatedBytes,
+		Compactions:    s.compactions,
+		CompactErrors:  s.compactErrors,
+		Dropped:        s.dropped,
+		AppendErrors:   s.appendErrors,
+	}
+}
+
+// Close syncs and closes every segment. The store is unusable afterward.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.closeSegments()
+	if s.broken == nil {
+		s.broken = errors.New("store: closed")
+	}
+	return err
+}
+
+func (s *Store) closeSegments() error {
+	var first error
+	for _, seg := range s.segs {
+		if !s.opts.NoSync {
+			_ = seg.f.Sync()
+		}
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.segs = nil
+	return first
+}

@@ -1,0 +1,413 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fspnet/internal/store"
+	"fspnet/internal/store/storefault"
+	"fspnet/internal/success"
+	"fspnet/internal/verdictjson"
+)
+
+// rec builds a distinct, deterministic verdict record; i varies the
+// process name and predicate bits so byte comparisons are meaningful.
+func rec(i int) verdictjson.Record {
+	return verdictjson.OK(fmt.Sprintf("P%d", i), success.Verdict{
+		Su: i%2 == 0, Sa: i%3 == 0, Sc: true,
+	})
+}
+
+func digest(i int) string { return fmt.Sprintf("d%04d", i) }
+
+func mustMarshal(t *testing.T, r verdictjson.Record) []byte {
+	t.Helper()
+	b, err := verdictjson.MarshalRecord(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// collect drains the live set into digest → marshaled-record bytes.
+func collect(t *testing.T, s *store.Store) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	err := s.Range(func(d string, r verdictjson.Record) bool {
+		out[d] = mustMarshal(t, r)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Range: %v", err)
+	}
+	return out
+}
+
+func mustOpen(t *testing.T, dir string, opts store.Options) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, store.Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(digest(i), rec(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if st := s.ReadStats(); st.Records != 3 || st.Segments != 1 || st.Dead != 0 {
+		t.Errorf("stats = %+v, want 3 records / 1 segment / 0 dead", st)
+	}
+	before := collect(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, dir, store.Options{})
+	defer s2.Close()
+	if st := s2.ReadStats(); st.Replayed != 3 || st.TruncatedBytes != 0 {
+		t.Errorf("reopen stats = %+v, want replayed=3 truncated=0", st)
+	}
+	after := collect(t, s2)
+	if len(after) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(after))
+	}
+	for i := 0; i < 3; i++ {
+		want := mustMarshal(t, rec(i))
+		if got, ok := after[digest(i)]; !ok || !bytes.Equal(got, want) {
+			t.Errorf("record %d not byte-identical after reopen:\ngot:  %s\nwant: %s", i, got, want)
+		}
+		if !bytes.Equal(after[digest(i)], before[digest(i)]) {
+			t.Errorf("record %d differs from the pre-close read", i)
+		}
+	}
+}
+
+func TestRangeInsertionOrder(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), store.Options{})
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.Put(digest(i), rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Refreshing d1 moves it to the back of the insertion order.
+	if err := s.Put(digest(1), rec(10)); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	if err := s.Range(func(d string, _ verdictjson.Record) bool {
+		order = append(order, d)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{digest(0), digest(2), digest(3), digest(4), digest(1)}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestUpdateLastWinsAndDelete(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, store.Options{})
+	if err := s.Put(digest(0), rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(digest(0), rec(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(digest(1), rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(digest(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("never-stored"); err != nil {
+		t.Fatalf("deleting an unknown digest must be a no-op, got %v", err)
+	}
+	if st := s.ReadStats(); st.Records != 1 || st.Dead != 3 {
+		t.Errorf("stats = %+v, want 1 live / 3 dead", st)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, store.Options{})
+	defer s2.Close()
+	got := collect(t, s2)
+	if len(got) != 1 {
+		t.Fatalf("recovered %v, want only %s", got, digest(0))
+	}
+	if want := mustMarshal(t, rec(7)); !bytes.Equal(got[digest(0)], want) {
+		t.Errorf("last-wins violated: got %s want %s", got[digest(0)], want)
+	}
+}
+
+func TestRotationAcrossSegments(t *testing.T) {
+	dir := t.TempDir()
+	// A 1-byte threshold forces a rotation before every record past the
+	// first of each segment: five puts → five segments.
+	s := mustOpen(t, dir, store.Options{SegmentBytes: 1})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(digest(i), rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.ReadStats(); st.Segments != 5 || st.Records != 5 {
+		t.Errorf("stats = %+v, want 5 segments / 5 records", st)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, store.Options{SegmentBytes: 1})
+	defer s2.Close()
+	if st := s2.ReadStats(); st.Replayed != 5 {
+		t.Errorf("replayed = %d, want 5", st.Replayed)
+	}
+	got := collect(t, s2)
+	for i := 0; i < 5; i++ {
+		if want := mustMarshal(t, rec(i)); !bytes.Equal(got[digest(i)], want) {
+			t.Errorf("record %d not byte-identical across segment replay", i)
+		}
+	}
+}
+
+func TestCompactionDropsOldestBeyondCap(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, store.Options{MaxRecords: 3})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(digest(i), rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.ReadStats()
+	if st.Records != 3 || st.Dropped != 2 || st.Compactions < 1 || st.Segments != 1 {
+		t.Errorf("stats = %+v, want 3 live, 2 dropped, ≥1 compactions, 1 segment", st)
+	}
+	got := collect(t, s)
+	for i := 0; i < 2; i++ {
+		if _, ok := got[digest(i)]; ok {
+			t.Errorf("oldest record %d survived the cap", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if want := mustMarshal(t, rec(i)); !bytes.Equal(got[digest(i)], want) {
+			t.Errorf("survivor %d not byte-identical after compaction", i)
+		}
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, store.Options{MaxRecords: 3})
+	defer s2.Close()
+	if st := s2.ReadStats(); st.Replayed != 3 {
+		t.Errorf("replayed = %d after compaction, want 3", st.Replayed)
+	}
+}
+
+func TestCompactionReclaimsDeadRecords(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), store.Options{})
+	defer s.Close()
+	if err := s.Put(digest(0), rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Each refresh deadens the previous version; the dead count crossing
+	// both the floor and the live count triggers compaction.
+	for i := 0; i < 20; i++ {
+		if err := s.Put(digest(0), rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.ReadStats()
+	// Dead records re-accumulate after each compaction but never reach the
+	// trigger floor again before the loop ends.
+	if st.Compactions < 1 || st.Dead >= 8 {
+		t.Errorf("stats = %+v, want at least one compaction and dead below the floor", st)
+	}
+	got := collect(t, s)
+	if want := mustMarshal(t, rec(19)); !bytes.Equal(got[digest(0)], want) {
+		t.Errorf("compaction lost the newest version: got %s want %s", got[digest(0)], want)
+	}
+}
+
+// segPath returns the path of the newest segment file in dir.
+func segPath(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segment files in %s (err %v)", dir, err)
+	}
+	return matches[len(matches)-1]
+}
+
+func TestTornTailTruncatedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, store.Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(digest(i), rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: a frame header promising more payload
+	// than the file holds.
+	path := segPath(t, dir)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'x', 'y'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, dir, store.Options{})
+	if st := s2.ReadStats(); st.Replayed != 3 || st.TruncatedBytes != 10 {
+		t.Errorf("stats = %+v, want replayed=3 truncatedBytes=10", st)
+	}
+	// The repaired tail accepts appends again, and they survive.
+	if err := s2.Put(digest(9), rec(9)); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, dir, store.Options{})
+	defer s3.Close()
+	if got := collect(t, s3); len(got) != 4 {
+		t.Errorf("recovered %d records after repair+append, want 4", len(got))
+	}
+}
+
+func TestCorruptRecordTruncatesFromThere(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, store.Options{})
+	for i := 0; i < 3; i++ {
+		if err := s.Put(digest(i), rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Flip a byte inside the last record's payload: its CRC fails, the
+	// committed prefix (records 0 and 1) survives.
+	path := segPath(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, store.Options{})
+	defer s2.Close()
+	st := s2.ReadStats()
+	if st.Replayed != 2 || st.TruncatedBytes == 0 {
+		t.Errorf("stats = %+v, want replayed=2 and a truncated tail", st)
+	}
+	got := collect(t, s2)
+	for i := 0; i < 2; i++ {
+		if want := mustMarshal(t, rec(i)); !bytes.Equal(got[digest(i)], want) {
+			t.Errorf("surviving record %d not byte-identical", i)
+		}
+	}
+	if _, ok := got[digest(2)]; ok {
+		t.Error("corrupted record was served")
+	}
+}
+
+var errInjected = errors.New("injected I/O error")
+
+func TestTransientWriteErrorRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	// Write seq 0 is the segment magic; seq 2 is the second Put.
+	s, err := store.Open(dir, store.Options{Fault: storefault.FailAt(store.OpWrite, 2, errInjected)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(digest(0), rec(0)); err != nil {
+		t.Fatalf("Put 0: %v", err)
+	}
+	if err := s.Put(digest(1), rec(1)); !errors.Is(err, errInjected) {
+		t.Fatalf("Put 1 = %v, want the injected error", err)
+	}
+	// The store self-repaired: the next append lands cleanly.
+	if err := s.Put(digest(2), rec(2)); err != nil {
+		t.Fatalf("Put 2 after rollback: %v", err)
+	}
+	if st := s.ReadStats(); st.AppendErrors != 1 {
+		t.Errorf("appendErrors = %d, want 1", st.AppendErrors)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, store.Options{})
+	defer s2.Close()
+	got := collect(t, s2)
+	if len(got) != 2 {
+		t.Fatalf("recovered %v, want exactly d0000 and d0002", got)
+	}
+	if _, ok := got[digest(1)]; ok {
+		t.Error("rolled-back record resurfaced")
+	}
+}
+
+func TestShortWriteThenStuckTruncateGoesBroken(t *testing.T) {
+	dir := t.TempDir()
+	// The first Put's frame lands half-written (write seq 1; seq 0 is the
+	// magic) and the rollback truncate is also dead: the store must go
+	// sticky-broken rather than interleave later records into the torn
+	// tail.
+	hook := storefault.Chain(
+		storefault.ShortWriteAt(1),
+		storefault.FailFrom(store.OpTruncate, 0, errInjected),
+	)
+	s, err := store.Open(dir, store.Options{Fault: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(digest(0), rec(0)); !errors.Is(err, store.ErrShortWrite) {
+		t.Fatalf("Put 0 = %v, want ErrShortWrite", err)
+	}
+	if err := s.Put(digest(1), rec(1)); err == nil {
+		t.Fatal("broken store accepted a write")
+	}
+	s.Close()
+
+	// Reopen without faults: the torn half-frame is on disk and must be
+	// truncated away; nothing was committed, so nothing is recovered.
+	s2 := mustOpen(t, dir, store.Options{})
+	defer s2.Close()
+	st := s2.ReadStats()
+	if st.Replayed != 0 || st.TruncatedBytes == 0 {
+		t.Errorf("stats = %+v, want replayed=0 and a truncated torn tail", st)
+	}
+}
+
+func TestStaleTempFilesRemovedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "seg-00000042.log.tmp"), []byte("half a rotation"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "compact.tmp"), []byte("half a compaction"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, store.Options{})
+	defer s.Close()
+	for _, stale := range []string{"seg-00000042.log.tmp", "compact.tmp"} {
+		if _, err := os.Stat(filepath.Join(dir, stale)); !os.IsNotExist(err) {
+			t.Errorf("stale %s survived open (err %v)", stale, err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package storefault provides store.FaultFunc implementations for the
+// disk fault-injection sweeps — the I/O-boundary mirror of
+// internal/guard/faultinject. The store tests use FailAt / FailFrom /
+// ShortWriteAt to prove the crash-recovery invariant under every single
+// fault point; cmd/fspd wires KillAt through the FSPD_STORE_KILL
+// environment variable so the crash matrix can SIGKILL a real daemon at
+// each record boundary.
+//
+// Hooks are pure functions of (op, seq) — they keep no state — and are
+// therefore trivially safe for the concurrent consultations the store
+// serializes under its own lock.
+package storefault
+
+import (
+	"fmt"
+	"os"
+
+	"fspnet/internal/store"
+)
+
+// FailAt injects err at exactly the n-th occurrence of op — a transient
+// fault (a single EIO, an ENOSPC that clears) the store must roll back
+// and then outlive.
+func FailAt(op store.Op, n int, err error) store.FaultFunc {
+	return func(o store.Op, seq int) error {
+		if o == op && seq == n {
+			return fmt.Errorf("storefault: injected %s fault at seq %d: %w", op, n, err)
+		}
+		return nil
+	}
+}
+
+// FailFrom injects err at every occurrence of op from the n-th on — a
+// persistent fault (dead disk, full volume) that must drive the serve
+// layer into degraded, memory-only mode rather than failing requests.
+func FailFrom(op store.Op, n int, err error) store.FaultFunc {
+	return func(o store.Op, seq int) error {
+		if o == op && seq >= n {
+			return fmt.Errorf("storefault: injected %s fault from seq %d: %w", op, n, err)
+		}
+		return nil
+	}
+}
+
+// ShortWriteAt makes the n-th write land only a prefix of its frame
+// before failing — the torn-write shape of ENOSPC and partial sectors.
+func ShortWriteAt(n int) store.FaultFunc {
+	return FailAt(store.OpWrite, n, store.ErrShortWrite)
+}
+
+// Chain consults hooks in order and returns the first injected fault, so
+// compound scenarios (a short write whose rollback truncate also fails)
+// compose from the primitives.
+func Chain(hooks ...store.FaultFunc) store.FaultFunc {
+	return func(op store.Op, seq int) error {
+		for _, h := range hooks {
+			if err := h(op, seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// KillAt SIGKILLs the whole process at the n-th occurrence of op (and
+// any later one, so amortized paths cannot slip past) — the kill -9
+// crash point of the recovery matrix. The call never returns.
+func KillAt(op store.Op, n int) store.FaultFunc {
+	return func(o store.Op, seq int) error {
+		if o == op && seq >= n {
+			p, err := os.FindProcess(os.Getpid())
+			if err == nil {
+				_ = p.Kill()
+			}
+			select {} // unreachable: the process is gone
+		}
+		return nil
+	}
+}

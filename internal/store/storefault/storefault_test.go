@@ -1,0 +1,66 @@
+package storefault_test
+
+import (
+	"errors"
+	"testing"
+
+	"fspnet/internal/store"
+	"fspnet/internal/store/storefault"
+)
+
+var errBoom = errors.New("boom")
+
+func TestFailAtFiresExactlyOnce(t *testing.T) {
+	h := storefault.FailAt(store.OpWrite, 2, errBoom)
+	for seq := 0; seq < 5; seq++ {
+		err := h(store.OpWrite, seq)
+		if seq == 2 && !errors.Is(err, errBoom) {
+			t.Errorf("seq %d = %v, want errBoom", seq, err)
+		}
+		if seq != 2 && err != nil {
+			t.Errorf("seq %d = %v, want nil", seq, err)
+		}
+	}
+	if err := h(store.OpSync, 2); err != nil {
+		t.Errorf("other op fired: %v", err)
+	}
+}
+
+func TestFailFromIsPersistent(t *testing.T) {
+	h := storefault.FailFrom(store.OpSync, 1, errBoom)
+	if err := h(store.OpSync, 0); err != nil {
+		t.Errorf("below threshold = %v, want nil", err)
+	}
+	for _, seq := range []int{1, 2, 50} {
+		if err := h(store.OpSync, seq); !errors.Is(err, errBoom) {
+			t.Errorf("seq %d = %v, want errBoom", seq, err)
+		}
+	}
+}
+
+func TestShortWriteAtWrapsSentinel(t *testing.T) {
+	h := storefault.ShortWriteAt(0)
+	if err := h(store.OpWrite, 0); !errors.Is(err, store.ErrShortWrite) {
+		t.Errorf("err = %v, want ErrShortWrite", err)
+	}
+	if err := h(store.OpTruncate, 0); err != nil {
+		t.Errorf("short write leaked onto truncate: %v", err)
+	}
+}
+
+func TestChainFirstFaultWins(t *testing.T) {
+	errOther := errors.New("other")
+	h := storefault.Chain(
+		storefault.FailAt(store.OpWrite, 1, errBoom),
+		storefault.FailFrom(store.OpWrite, 0, errOther),
+	)
+	if err := h(store.OpWrite, 0); !errors.Is(err, errOther) {
+		t.Errorf("seq 0 = %v, want errOther", err)
+	}
+	if err := h(store.OpWrite, 1); !errors.Is(err, errBoom) {
+		t.Errorf("seq 1 = %v, want errBoom (first hook wins)", err)
+	}
+	if err := h(store.OpRename, 0); err != nil {
+		t.Errorf("unrelated op = %v, want nil", err)
+	}
+}

@@ -1,0 +1,227 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"fspnet/internal/store"
+	"fspnet/internal/store/storefault"
+	"fspnet/internal/verdictjson"
+)
+
+// The recovery-invariant sweep. For every operation class, every early
+// sequence number, and every fault flavor, it runs a fixed script of
+// puts, updates, and deletes against a faulted store, tracks exactly the
+// operations the store acknowledged (returned nil for), abandons the
+// store without Close — the crash — and reopens the directory fault-free.
+// The invariant under test is the store's core contract:
+//
+//	recovered state == fold of acknowledged operations
+//
+// byte-identical per record, regardless of where or how the I/O failed.
+// Tiny segments force rotations mid-script and a low cap plus repeated
+// updates force compactions, so the sweep crosses every write path:
+// append, rotation, compaction, and rollback.
+
+const (
+	sweepSegmentBytes = 256
+	sweepMaxRecords   = 64
+	sweepMaxSeq       = 12
+)
+
+// sweepOp is one scripted mutation.
+type sweepOp struct {
+	del    bool
+	digest string
+	rec    verdictjson.Record
+}
+
+// sweepScript mixes fresh puts, updates (which deaden prior versions and
+// eventually trip the dead-ratio compaction), and deletes.
+func sweepScript() []sweepOp {
+	var ops []sweepOp
+	for i := 0; i < 10; i++ {
+		ops = append(ops, sweepOp{digest: digest(i), rec: rec(i)})
+	}
+	// Update the first five twice each: 10 dead records, past the floor.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 5; i++ {
+			ops = append(ops, sweepOp{digest: digest(i), rec: rec(100 + 10*round + i)})
+		}
+	}
+	ops = append(ops,
+		sweepOp{del: true, digest: digest(7)},
+		sweepOp{del: true, digest: digest(8)},
+		sweepOp{digest: digest(20), rec: rec(20)},
+		sweepOp{digest: digest(7), rec: rec(77)}, // resurrect a deleted digest
+	)
+	return ops
+}
+
+// applyAcked folds one acknowledged op into the expected live set.
+func applyAcked(expected map[string][]byte, op sweepOp, t *testing.T) {
+	if op.del {
+		delete(expected, op.digest)
+		return
+	}
+	expected[op.digest] = mustMarshal(t, op.rec)
+}
+
+// runSweepCase executes the script under hook, then reopens fault-free
+// and checks the invariant. Returns how many script ops were acked, so
+// callers can assert the fault actually bit.
+func runSweepCase(t *testing.T, name string, hook store.FaultFunc) (acked, failed int) {
+	t.Helper()
+	dir := t.TempDir()
+	expected := make(map[string][]byte)
+
+	s, err := store.Open(dir, store.Options{
+		SegmentBytes: sweepSegmentBytes,
+		MaxRecords:   sweepMaxRecords,
+		Fault:        hook,
+	})
+	if err == nil {
+		for _, op := range sweepScript() {
+			var opErr error
+			if op.del {
+				opErr = s.Delete(op.digest)
+			} else {
+				opErr = s.Put(op.digest, op.rec)
+			}
+			if opErr == nil {
+				applyAcked(expected, op, t)
+				acked++
+			} else {
+				failed++
+			}
+		}
+		// Crash: abandon the handle. No Close, no final sync.
+	} else {
+		// Open itself failed under injection: the directory may hold
+		// leftovers, but nothing was ever acknowledged.
+		failed++
+	}
+
+	s2, err := store.Open(dir, store.Options{
+		SegmentBytes: sweepSegmentBytes,
+		MaxRecords:   sweepMaxRecords,
+	})
+	if err != nil {
+		t.Fatalf("%s: fault-free reopen failed: %v", name, err)
+	}
+	defer s2.Close()
+
+	got := make(map[string][]byte)
+	if err := s2.Range(func(d string, r verdictjson.Record) bool {
+		got[d] = mustMarshal(t, r)
+		return true
+	}); err != nil {
+		t.Fatalf("%s: Range after recovery: %v", name, err)
+	}
+
+	if len(got) != len(expected) {
+		t.Errorf("%s: recovered %d records, want %d acknowledged", name, len(got), len(expected))
+	}
+	for d, want := range expected {
+		b, ok := got[d]
+		if !ok {
+			t.Errorf("%s: acknowledged record %s lost", name, d)
+			continue
+		}
+		if !bytes.Equal(b, want) {
+			t.Errorf("%s: record %s not byte-identical:\ngot:  %s\nwant: %s", name, d, b, want)
+		}
+	}
+	for d := range got {
+		if _, ok := expected[d]; !ok {
+			t.Errorf("%s: unacknowledged record %s resurfaced", name, d)
+		}
+	}
+	return acked, failed
+}
+
+var errSweep = errors.New("injected sweep fault")
+
+// TestFaultInjectRecoverySweep is the full matrix: every Op × seq 0..11 ×
+// {transient, persistent} plus the short-write flavors below. The name
+// keeps "FaultInject" so `make test-fault` runs it alongside the guard
+// sweeps.
+func TestFaultInjectRecoverySweep(t *testing.T) {
+	totalOps := len(sweepScript())
+	anyFailed := false
+	for _, op := range store.Ops {
+		for seq := 0; seq < sweepMaxSeq; seq++ {
+			name := fmt.Sprintf("transient/%s/%d", op, seq)
+			t.Run(name, func(t *testing.T) {
+				_, failed := runSweepCase(t, name, storefault.FailAt(op, seq, errSweep))
+				if failed > 0 {
+					anyFailed = true
+				}
+			})
+			name = fmt.Sprintf("persistent/%s/%d", op, seq)
+			t.Run(name, func(t *testing.T) {
+				acked, failed := runSweepCase(t, name, storefault.FailFrom(op, seq, errSweep))
+				if failed > 0 {
+					anyFailed = true
+				}
+				// A disk whose every write dies from the start must not ack
+				// anything (remove/sync-dir faults are tolerated by design).
+				if op == store.OpWrite && seq == 0 && acked != 0 {
+					t.Errorf("dead-from-birth disk acked %d ops", acked)
+				}
+				_ = totalOps
+			})
+		}
+	}
+	if !anyFailed {
+		t.Error("sweep never observed an injected failure; fault seam is dead")
+	}
+}
+
+// TestFaultInjectShortWriteSweep tears the frame itself: the n-th write
+// lands only half its bytes. The committed prefix must survive, the torn
+// frame must not, and — in the stuck-truncate variant — the store must
+// refuse further writes rather than interleave records after a torn tail.
+func TestFaultInjectShortWriteSweep(t *testing.T) {
+	for seq := 0; seq < sweepMaxSeq; seq++ {
+		name := fmt.Sprintf("short/%d", seq)
+		t.Run(name, func(t *testing.T) {
+			runSweepCase(t, name, storefault.ShortWriteAt(seq))
+		})
+		name = fmt.Sprintf("short+stucktruncate/%d", seq)
+		t.Run(name, func(t *testing.T) {
+			runSweepCase(t, name, storefault.Chain(
+				storefault.ShortWriteAt(seq),
+				storefault.FailFrom(store.OpTruncate, 0, errSweep),
+			))
+		})
+	}
+}
+
+// TestFaultInjectDoubleFault pairs a fault during the script with a
+// second fault of a different class, covering compound failures like a
+// failed rotation followed by a failed sync.
+func TestFaultInjectDoubleFault(t *testing.T) {
+	pairs := []struct {
+		a, b store.Op
+	}{
+		{store.OpCreate, store.OpWrite},
+		{store.OpWrite, store.OpSync},
+		{store.OpSync, store.OpRename},
+		{store.OpRename, store.OpWrite},
+		{store.OpWrite, store.OpTruncate},
+	}
+	for _, p := range pairs {
+		for seq := 0; seq < 4; seq++ {
+			name := fmt.Sprintf("%s+%s/%d", p.a, p.b, seq)
+			t.Run(name, func(t *testing.T) {
+				runSweepCase(t, name, storefault.Chain(
+					storefault.FailAt(p.a, seq, errSweep),
+					storefault.FailAt(p.b, seq+1, errSweep),
+				))
+			})
+		}
+	}
+}

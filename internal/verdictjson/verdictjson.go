@@ -134,3 +134,26 @@ func Encode(w io.Writer, v any) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(v)
 }
+
+// MarshalRecord renders rec in the stable on-disk form the persistent
+// verdict store frames and checksums: compact JSON with struct fields in
+// declaration order and no trailing newline. The guarantee this function
+// documents (and TestMarshalRecordGolden pins) is byte-determinism —
+// equal records are equal bytes, across processes and restarts — which
+// is what lets the store prove crash recovery by byte comparison and
+// lets a CRC over these bytes detect any torn or corrupted entry.
+func MarshalRecord(rec Record) ([]byte, error) {
+	return json.Marshal(rec)
+}
+
+// UnmarshalRecord parses the MarshalRecord form back into a Record. It
+// round-trips exactly: UnmarshalRecord∘MarshalRecord is the identity on
+// Records, and MarshalRecord∘UnmarshalRecord is the identity on the
+// stored bytes.
+func UnmarshalRecord(data []byte) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}

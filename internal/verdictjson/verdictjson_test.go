@@ -133,3 +133,75 @@ func TestBoundsRenderGuardValues(t *testing.T) {
 		t.Errorf("bounds = %q/%q/%q, want true/?/false", p.Su, p.Sa, p.Sc)
 	}
 }
+
+// TestMarshalRecordGolden pins the compact on-disk bytes the persistent
+// verdict store frames and checksums: a drift here silently invalidates
+// every CRC on disk, so the exact bytes are part of the contract.
+func TestMarshalRecordGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  Record
+		want string
+	}{
+		{
+			"ok",
+			OK("P", success.Verdict{Su: false, Sa: false, Sc: true}),
+			`{"process":"P","status":"ok","unavoidable":false,"adversity":false,"collaboration":true}`,
+		},
+		{
+			"reach",
+			Reach("P", true, true),
+			`{"process":"P","status":"ok","unavoidable":true,"collaboration":true}`,
+		},
+		{
+			"error",
+			FromError("P", errors.New("boom")),
+			`{"process":"P","status":"error","error":"boom"}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := MarshalRecord(tc.rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != tc.want {
+				t.Errorf("on-disk bytes drifted:\ngot:  %s\nwant: %s", got, tc.want)
+			}
+			back, err := UnmarshalRecord(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := MarshalRecord(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, again) {
+				t.Errorf("round trip not byte-stable:\nfirst:  %s\nsecond: %s", got, again)
+			}
+		})
+	}
+}
+
+// TestMarshalRecordDeterministic marshals the same partial record many
+// times: the store's recovery proof compares recovered bytes against the
+// originals, so two marshals of one record must never differ.
+func TestMarshalRecordDeterministic(t *testing.T) {
+	rec := FromLimit("P", &guard.LimitErr{
+		Reason:  guard.ErrBudget,
+		Partial: guard.Partial{Pass: "bfs", States: 7, Su: guard.Unknown, Sa: guard.Unknown, Sc: guard.True},
+	})
+	first, err := MarshalRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		next, err := MarshalRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, next) {
+			t.Fatalf("marshal %d differs:\nfirst: %s\nnext:  %s", i, first, next)
+		}
+	}
+}

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # serve_smoke.sh — end-to-end smoke test of the fspd analysis service:
-# build the daemon, start it, drive it with curl against the
-# philosophers10 fixture, assert the second identical request is a cache
-# hit (via /statusz), then SIGTERM it and insist on a clean exit 0.
+# build the daemon, start it with a persistent cache directory, drive it
+# with curl against the philosophers10 fixture, assert the second
+# identical request is a cache hit (via /statusz), SIGTERM it and insist
+# on a clean exit 0 — then restart it against the same cache directory
+# and assert the verdict survived: the first request of the second life
+# is already a hit.
 #
 # Run from the repository root: bash scripts/serve_smoke.sh
 set -euo pipefail
@@ -10,27 +13,34 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
+cachedir="$workdir/cache"
 
 echo "== building fspd"
 go build -o "$workdir/fspd" ./cmd/fspd
 
-echo "== starting fspd"
-"$workdir/fspd" -addr 127.0.0.1:0 -grace 5s >"$workdir/fspd.log" 2>&1 &
-pid=$!
+# start_fspd LOGFILE: launch the daemon with the shared cache dir, wait
+# for its listening line, and set pid/addr/url.
+start_fspd() {
+    local log="$1"
+    "$workdir/fspd" -addr 127.0.0.1:0 -grace 5s -cache-dir "$cachedir" >"$log" 2>&1 &
+    pid=$!
+    # The daemon prints "fspd: listening on 127.0.0.1:PORT" once bound.
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^fspd: listening on //p' "$log" | head -n1)"
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "fspd died during startup:"; cat "$log"; exit 1
+        fi
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "fspd never reported its address"; cat "$log"; exit 1; }
+    url="http://$addr"
+    echo "   up at $url"
+}
 
-# The daemon prints "fspd: listening on 127.0.0.1:PORT" once bound.
-addr=""
-for _ in $(seq 1 100); do
-    addr="$(sed -n 's/^fspd: listening on //p' "$workdir/fspd.log" | head -n1)"
-    [ -n "$addr" ] && break
-    if ! kill -0 "$pid" 2>/dev/null; then
-        echo "fspd died during startup:"; cat "$workdir/fspd.log"; exit 1
-    fi
-    sleep 0.1
-done
-[ -n "$addr" ] || { echo "fspd never reported its address"; cat "$workdir/fspd.log"; exit 1; }
-url="http://$addr"
-echo "   up at $url"
+echo "== starting fspd"
+start_fspd "$workdir/fspd.log"
 
 curl -fsS "$url/healthz" >/dev/null
 
@@ -52,10 +62,11 @@ echo "== second request (expect hit)"
 second="$(analyze)"
 echo "$second" | grep -q '"cached": true' || { echo "second request missed the cache: $second"; exit 1; }
 
-echo "== /statusz must count exactly one hit and one miss"
+echo "== /statusz must count exactly one hit and one miss, store ok"
 status="$(curl -fsS "$url/statusz")"
 echo "$status" | grep -q '"hits": 1' || { echo "bad hit count: $status"; exit 1; }
 echo "$status" | grep -q '"misses": 1' || { echo "bad miss count: $status"; exit 1; }
+echo "$status" | grep -q '"state": "ok"' || { echo "store not ok: $status"; exit 1; }
 
 echo "== digest lookup"
 curl -fsS "$url/v1/verdict/$digest" | grep -q '"status": "ok"' || { echo "digest lookup failed"; exit 1; }
@@ -68,5 +79,29 @@ if [ "$rc" -ne 0 ]; then
     echo "fspd exited $rc after SIGTERM:"; cat "$workdir/fspd.log"; exit 1
 fi
 grep -q "fspd: drained" "$workdir/fspd.log" || { echo "no drain log line:"; cat "$workdir/fspd.log"; exit 1; }
+
+echo "== restarting fspd against the same cache directory"
+start_fspd "$workdir/fspd2.log"
+grep -q "warm-loaded 1 verdicts" "$workdir/fspd2.log" || {
+    echo "no warm-load log line:"; cat "$workdir/fspd2.log"; exit 1;
+}
+
+echo "== first request of the second life (expect hit: the verdict persisted)"
+third="$(analyze)"
+echo "$third" | grep -q '"cached": true' || { echo "verdict did not survive the restart: $third"; exit 1; }
+
+echo "== post-restart /statusz: pure hit traffic, one replayed record"
+status="$(curl -fsS "$url/statusz")"
+echo "$status" | grep -q '"hits": 1' || { echo "bad post-restart hit count: $status"; exit 1; }
+echo "$status" | grep -q '"misses": 0' || { echo "post-restart traffic re-ran the analysis: $status"; exit 1; }
+echo "$status" | grep -q '"replayed": 1' || { echo "bad replay count: $status"; exit 1; }
+
+echo "== SIGTERM drain of the second life (expect exit 0)"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "fspd exited $rc after SIGTERM:"; cat "$workdir/fspd2.log"; exit 1
+fi
 
 echo "ok: smoke test passed"
