@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race test-fault test-crash serve-test serve-smoke bench bench-smoke experiments experiments-quick experiments-json vet lint lint-specs fuzz-short cover examples clean
+.PHONY: all build test test-race test-fault test-crash serve-test serve-smoke cluster-test bench bench-smoke experiments experiments-quick experiments-json vet lint lint-specs fuzz-short cover examples clean
 
 all: build vet lint test
 
@@ -57,8 +57,18 @@ serve-test:
 # serve-smoke is the black-box service check CI runs: build fspd, start
 # it, drive it with curl against testdata/philosophers10.fsp, assert a
 # cache hit on the second request via /statusz, SIGTERM, expect exit 0.
+# Its cluster case then boots fsprouter over two fspd workers and
+# asserts a batch answers byte-identically to the same single calls.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# cluster-test runs the scale-out tier suites under the race detector:
+# consistent-hash ring determinism and distribution, failover when a
+# worker is killed mid-load (no verdict contradictions), probe-driven
+# ejection and readmission, batch-vs-single byte identity through the
+# router, and the fspload open-loop driver. See docs/SERVICE.md.
+cluster-test:
+	$(GO) test -race -timeout 10m ./internal/cluster ./cmd/fsprouter ./cmd/fspload
 
 # fuzz-short gives each fuzz target a 10s budget, the same wiring CI uses
 # (go test accepts one -fuzz pattern per run, hence one invocation per

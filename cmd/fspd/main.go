@@ -95,6 +95,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready chan<- str
 		diskCap    = fs.Int("cache-disk-cap", store.DefaultMaxRecords, "persistent store record bound; compaction drops the oldest beyond it")
 		maxTimeout = fs.Duration("max-timeout", 60*time.Second, "cap and default for per-request deadlines (0 = none)")
 		maxBudget  = fs.Int("max-budget", 0, "cap and default for per-request joint state budgets (0 = none)")
+		maxBody    = fs.Int64("max-body", serve.DefaultMaxBodyBytes, "request body byte cap (and per-item cap inside a batch); oversized bodies answer 413")
 		grace      = fs.Duration("grace", 10*time.Second, "drain grace period before in-flight analyses are cancelled")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -119,6 +120,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready chan<- str
 		CacheEntries: *cacheSize,
 		MaxTimeout:   *maxTimeout,
 		MaxBudget:    *maxBudget,
+		MaxBodyBytes: *maxBody,
 		Store: serve.StoreConfig{
 			Dir:     *cacheDir,
 			Options: store.Options{MaxRecords: *diskCap, Fault: killHook},

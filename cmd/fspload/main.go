@@ -1,0 +1,360 @@
+// Command fspload drives an fspd worker or an fsprouter cluster with an
+// open-loop load: requests arrive on a fixed schedule whether or not
+// earlier ones have completed, the way real traffic does, so queueing
+// delay shows up in the tail latencies instead of being absorbed by the
+// load generator slowing down.
+//
+// Usage:
+//
+//	fspload -url http://localhost:8374 [-rate 50] [-duration 10s]
+//	        [-corpus 128] [-seed 1] [-procs 4] [-testdata testdata]
+//	        [-predicates all] [-req-timeout 30s] [-max-inflight 512]
+//	        [-warmup] [-json out.json]
+//
+// The corpus mixes the repository's testdata networks with generated
+// families (trees, rings, deep chains) seeded from -seed, so runs are
+// comparable. Requests sweep the corpus round-robin; -warmup first
+// walks the corpus once sequentially (uncounted) so the measured window
+// starts from a populated cache. The summary reports the latency
+// quantiles of completed requests, the achieved throughput, and the
+// server-side hit rate scraped from /statusz (worker and router schemas
+// both understood). -json writes the same numbers as a machine-readable
+// artifact for regression tracking.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fspnet/internal/bench"
+	"fspnet/internal/fsplang"
+	"fspnet/internal/network"
+	"fspnet/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fspload:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the -json artifact: everything a regression check needs to
+// compare two runs of the same configuration.
+type Report struct {
+	Target     string  `json:"target"`
+	Rate       float64 `json:"rate"`
+	Duration   string  `json:"duration"`
+	CorpusSize int     `json:"corpusSize"`
+	// Distinct counts the corpus's distinct digests (duplicates collapse
+	// server-side, so this is the cache working-set size).
+	Distinct int `json:"distinct"`
+
+	Issued    int64 `json:"issued"`
+	Completed int64 `json:"completed"`
+	OK        int64 `json:"ok"`
+	Cached    int64 `json:"cached"`
+	Partials  int64 `json:"partials"`
+	Errors    int64 `json:"errors"`
+	Transport int64 `json:"transport"`
+	// Shed counts arrivals dropped because -max-inflight was reached:
+	// the open loop refuses to become a closed loop.
+	Shed int64 `json:"shed"`
+
+	// ThroughputPerSec is completed OK answers per second of measured
+	// window.
+	ThroughputPerSec float64 `json:"throughputPerSec"`
+
+	Latency struct {
+		P50 string `json:"p50"`
+		P90 string `json:"p90"`
+		P99 string `json:"p99"`
+		Max string `json:"max"`
+	} `json:"latency"`
+	// P99Millis duplicates Latency.P99 as a number for threshold checks.
+	P99Millis float64 `json:"p99Millis"`
+
+	// HitRate is the server-side cache hit rate scraped from /statusz
+	// after the run (router totals or single-worker counters).
+	HitRate float64 `json:"hitRate"`
+	// Workers is the per-worker reachability seen by the router, when
+	// the target is an fsprouter.
+	Workers int `json:"workers,omitempty"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fspload", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		url         = fs.String("url", "http://localhost:8374", "fspd or fsprouter base URL")
+		rate        = fs.Float64("rate", 50, "arrival rate in requests/second (open loop)")
+		duration    = fs.Duration("duration", 10*time.Second, "measured window length")
+		corpusSize  = fs.Int("corpus", 128, "generated networks in the corpus (plus testdata files)")
+		seed        = fs.Int64("seed", 1, "corpus generation seed")
+		procs       = fs.Int("procs", 4, "base process count for generated networks; the composed state space (and so the cost of a cache miss) grows exponentially with it")
+		testdata    = fs.String("testdata", "", "directory of .fsp files to mix into the corpus (empty = none)")
+		predicates  = fs.String("predicates", "all", "predicates parameter sent with every request")
+		reqTimeout  = fs.Duration("req-timeout", 30*time.Second, "per-request analysis timeout")
+		maxInflight = fs.Int("max-inflight", 512, "concurrent requests before arrivals are shed")
+		warmup      = fs.Bool("warmup", false, "walk the corpus once sequentially (uncounted) before measuring")
+		jsonOut     = fs.String("json", "", "write the report as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *rate <= 0 {
+		return fmt.Errorf("-rate must be positive")
+	}
+
+	corpus, distinct, err := buildCorpus(*corpusSize, *seed, *testdata, *predicates, *reqTimeout, *procs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fspload: corpus %d networks (%d distinct digests), target %s\n", len(corpus), distinct, *url)
+
+	client := &http.Client{Timeout: *reqTimeout + 30*time.Second}
+	if *warmup {
+		t0 := time.Now()
+		for _, body := range corpus {
+			resp, err := client.Post(*url+"/v1/analyze", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return fmt.Errorf("warmup: %w", err)
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+		}
+		fmt.Fprintf(stdout, "fspload: warmup pass done in %s\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	rep := drive(client, *url, corpus, *rate, *duration, *maxInflight)
+	rep.Target = *url
+	rep.Rate = *rate
+	rep.Duration = duration.String()
+	rep.CorpusSize = len(corpus)
+	rep.Distinct = distinct
+	scrapeStatus(client, *url, &rep)
+
+	fmt.Fprintf(stdout, "fspload: issued %d completed %d (ok %d, cached %d, partial %d, error %d, transport %d, shed %d)\n",
+		rep.Issued, rep.Completed, rep.OK, rep.Cached, rep.Partials, rep.Errors, rep.Transport, rep.Shed)
+	fmt.Fprintf(stdout, "fspload: throughput %.1f/s latency p50 %s p90 %s p99 %s max %s hit-rate %.3f\n",
+		rep.ThroughputPerSec, rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.Max, rep.HitRate)
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "fspload: wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// buildCorpus assembles the request bodies: every .fsp under dir (when
+// set), then generated families seeded deterministically — random trees,
+// rings, and deep chains of varying size, so the mix has both cheap and
+// moderately expensive analyses. Returns the marshaled bodies and the
+// number of distinct digests among them.
+func buildCorpus(size int, seed int64, dir, predicates string, reqTimeout time.Duration, procs int) ([][]byte, int, error) {
+	var nets []string
+	if dir != "" {
+		files, err := filepath.Glob(filepath.Join(dir, "*.fsp"))
+		if err != nil {
+			return nil, 0, err
+		}
+		sort.Strings(files)
+		for _, f := range files {
+			b, err := os.ReadFile(f)
+			if err != nil {
+				return nil, 0, err
+			}
+			nets = append(nets, string(b))
+		}
+	}
+	for i := 0; i < size; i++ {
+		var (
+			n   *network.Network
+			err error
+		)
+		m := procs + (i/3)%3
+		switch i % 3 {
+		case 0:
+			n, err = bench.TreeNetwork(seed+int64(i), m)
+		case 1:
+			n, err = bench.RingNetwork(seed+int64(i), m)
+		default:
+			n, err = bench.DeepChain(seed+int64(i), m+1)
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("generating corpus network %d: %w", i, err)
+		}
+		nets = append(nets, fsplang.Format(n))
+	}
+
+	bodies := make([][]byte, 0, len(nets))
+	digests := map[string]bool{}
+	for _, text := range nets {
+		req := serve.AnalyzeRequest{
+			Network:    text,
+			Predicates: predicates,
+			Timeout:    reqTimeout.String(),
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, 0, err
+		}
+		bodies = append(bodies, body)
+		dreq := req
+		if _, digest, err := serve.Canonicalize(&dreq); err == nil {
+			digests[digest] = true
+		}
+	}
+	return bodies, len(digests), nil
+}
+
+// drive runs the open loop: one arrival per 1/rate tick for the window,
+// each handled in its own goroutine, arrivals past the inflight bound
+// shed and counted.
+func drive(client *http.Client, url string, corpus [][]byte, rate float64, window time.Duration, maxInflight int) Report {
+	var rep Report
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	var inflight atomic.Int64
+	var wg sync.WaitGroup
+
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.NewTimer(window)
+	defer deadline.Stop()
+
+	start := time.Now()
+	next := 0
+loop:
+	for {
+		select {
+		case <-deadline.C:
+			break loop
+		case <-ticker.C:
+			rep.Issued++
+			if int(inflight.Load()) >= maxInflight {
+				rep.Shed++
+				continue
+			}
+			body := corpus[next%len(corpus)]
+			next++
+			inflight.Add(1)
+			wg.Add(1)
+			go func(body []byte) {
+				defer wg.Done()
+				defer inflight.Add(-1)
+				t0 := time.Now()
+				resp, err := client.Post(url+"/v1/analyze", "application/json", bytes.NewReader(body))
+				elapsed := time.Since(t0)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					rep.Transport++
+					return
+				}
+				var ar serve.AnalyzeResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&ar)
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				rep.Completed++
+				switch {
+				case resp.StatusCode != http.StatusOK || decErr != nil:
+					rep.Errors++
+				case ar.Record.Status == "partial":
+					rep.Partials++
+				default:
+					rep.OK++
+					if ar.Cached {
+						rep.Cached++
+					}
+					latencies = append(latencies, elapsed)
+				}
+			}(body)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	q := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return latencies[int(p*float64(len(latencies)-1))]
+	}
+	rep.Latency.P50 = q(0.50).Round(time.Microsecond).String()
+	rep.Latency.P90 = q(0.90).Round(time.Microsecond).String()
+	rep.Latency.P99 = q(0.99).Round(time.Microsecond).String()
+	rep.Latency.Max = q(1.0).Round(time.Microsecond).String()
+	rep.P99Millis = float64(q(0.99)) / float64(time.Millisecond)
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.ThroughputPerSec = float64(rep.OK) / secs
+	}
+	return rep
+}
+
+// scrapeStatus reads /statusz and fills the hit rate, understanding
+// both schemas: an fsprouter reports aggregate totals, a bare fspd its
+// own counters.
+func scrapeStatus(client *http.Client, url string, rep *Report) {
+	resp, err := client.Get(url + "/statusz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return
+	}
+	if strings.Contains(string(raw), `"totals"`) {
+		var st struct {
+			Workers []json.RawMessage `json:"workers"`
+			Totals  struct {
+				HitRate float64 `json:"hitRate"`
+			} `json:"totals"`
+		}
+		if json.Unmarshal(raw, &st) == nil {
+			rep.HitRate = st.Totals.HitRate
+			rep.Workers = len(st.Workers)
+		}
+		return
+	}
+	var st serve.Stats
+	if json.Unmarshal(raw, &st) == nil {
+		if answered := st.Hits + st.Misses; answered > 0 {
+			rep.HitRate = float64(st.Hits) / float64(answered)
+		}
+	}
+}

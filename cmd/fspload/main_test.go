@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fspnet/internal/serve"
+)
+
+func TestBuildCorpusDeterministic(t *testing.T) {
+	a, da, err := buildCorpus(12, 7, "", "all", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, db, err := buildCorpus(12, 7, "", "all", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 12 || len(b) != 12 || da != db {
+		t.Fatalf("corpus sizes/distinct = %d/%d and %d/%d, want equal", len(a), da, len(b), db)
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("corpus entry %d differs across identically-seeded builds", i)
+		}
+	}
+	if da < 10 {
+		t.Errorf("distinct digests = %d of 12, want a mostly-distinct corpus", da)
+	}
+}
+
+func TestBuildCorpusIncludesTestdata(t *testing.T) {
+	dir := t.TempDir()
+	net := "process P { start s0; s0 a s1 }\nprocess Q { start q0; q0 a q1 }"
+	if err := os.WriteFile(filepath.Join(dir, "one.fsp"), []byte(net), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bodies, _, err := buildCorpus(2, 1, dir, "reach", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bodies) != 3 {
+		t.Fatalf("corpus size = %d, want 2 generated + 1 testdata", len(bodies))
+	}
+	var req serve.AnalyzeRequest
+	if err := json.Unmarshal(bodies[0], &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Network != net || req.Predicates != "reach" {
+		t.Errorf("testdata request = %+v, want the file's network with reach predicates", req)
+	}
+}
+
+// TestLoadAgainstWorker is the end-to-end smoke: a real fspd worker, a
+// short open-loop run, and a JSON artifact with sane numbers.
+func TestLoadAgainstWorker(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 2})
+	defer s.Close()
+	ts := newLocalServer(t, s)
+
+	out := filepath.Join(t.TempDir(), "load.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-url", ts,
+		"-rate", "200",
+		"-duration", "500ms",
+		"-corpus", "6",
+		"-warmup",
+		"-json", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact not JSON: %v\n%s", err, raw)
+	}
+	if rep.Issued == 0 || rep.Completed == 0 || rep.OK == 0 {
+		t.Errorf("report = %+v, want nonzero issued/completed/ok", rep)
+	}
+	if rep.Transport != 0 || rep.Errors != 0 {
+		t.Errorf("report shows %d transport and %d server errors, want none", rep.Transport, rep.Errors)
+	}
+	if rep.Latency.P99 == "" || rep.ThroughputPerSec <= 0 {
+		t.Errorf("report latency/throughput = %q / %v, want populated", rep.Latency.P99, rep.ThroughputPerSec)
+	}
+	// Warmup populated the cache, so the measured window is mostly hits.
+	if rep.HitRate < 0.5 {
+		t.Errorf("hit rate = %v after a warmup pass, want ≥ 0.5", rep.HitRate)
+	}
+	if !strings.Contains(buf.String(), "throughput") {
+		t.Errorf("summary output missing throughput line:\n%s", buf.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-rate", "0"}, &buf); err == nil {
+		t.Error("run with -rate 0 succeeded, want error")
+	}
+	if err := run([]string{"stray"}, &buf); err == nil {
+		t.Error("run with stray args succeeded, want error")
+	}
+}
+
+// newLocalServer mounts s on a real listener and returns its base URL.
+func newLocalServer(t *testing.T, s *serve.Server) string {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}

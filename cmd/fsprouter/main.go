@@ -1,0 +1,143 @@
+// Command fsprouter fronts a set of fspd workers with one API: it
+// canonicalizes every request at the edge, routes it by content digest
+// over a consistent-hash ring to the worker that owns the digest, and
+// relays the worker's answer verbatim. Workers are probed on /healthz,
+// ejected from rotation after consecutive failures, failed over along
+// the ring, and readmitted when they recover. See docs/SERVICE.md.
+//
+// Usage:
+//
+//	fsprouter -worker URL [-worker URL ...] [-addr :8374]
+//	          [-vnodes 64] [-max-inflight 256] [-max-body N]
+//	          [-probe-interval 1s] [-fail-threshold 3] [-grace 10s]
+//
+// The worker list's order defines ring placement: every fsprouter
+// given the same -worker flags in the same order routes identically,
+// so routers scale horizontally with no coordination.
+//
+//	fsprouter -worker http://10.0.0.1:8373 -worker http://10.0.0.2:8373
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fspnet/internal/cluster"
+	"fspnet/internal/serve"
+)
+
+// workerList collects repeated -worker flags in order.
+type workerList []string
+
+func (w *workerList) String() string { return fmt.Sprint([]string(*w)) }
+
+func (w *workerList) Set(v string) error {
+	if v == "" {
+		return errors.New("empty worker URL")
+	}
+	*w = append(*w, v)
+	return nil
+}
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	if err := run(os.Args[1:], os.Stdout, sig, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "fsprouter:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, routes until an error or a signal, and on a signal
+// drains gracefully and returns nil (exit 0). ready, when non-nil,
+// receives the bound address once the listener is up.
+func run(args []string, stdout io.Writer, sig <-chan os.Signal, ready chan<- string) error {
+	fs := flag.NewFlagSet("fsprouter", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var workers workerList
+	fs.Var(&workers, "worker", "fspd base URL (repeatable; order defines ring placement and must match across routers)")
+	var (
+		addr          = fs.String("addr", ":8374", "listen address")
+		vnodes        = fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per worker on the hash ring")
+		maxInflight   = fs.Int("max-inflight", cluster.DefaultMaxInflight, "concurrent forwards; past the bound the router sheds with 429")
+		maxBody       = fs.Int64("max-body", serve.DefaultMaxBodyBytes, "request body byte cap (and per-item cap inside a batch); oversized bodies answer 413")
+		probeInterval = fs.Duration("probe-interval", cluster.DefaultProbeInterval, "healthz probe cadence for in-rotation workers")
+		probeTimeout  = fs.Duration("probe-timeout", cluster.DefaultProbeTimeout, "per-probe timeout")
+		failThreshold = fs.Int("fail-threshold", cluster.DefaultFailThreshold, "consecutive failures (probe or forward) that eject a worker")
+		backoffMin    = fs.Duration("backoff-min", cluster.DefaultBackoffMin, "minimum probe backoff for an ejected worker")
+		backoffMax    = fs.Duration("backoff-max", cluster.DefaultBackoffMax, "maximum probe backoff for an ejected worker")
+		grace         = fs.Duration("grace", 10*time.Second, "drain grace period for in-flight forwards")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h is a successful outcome, not a failure
+		}
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if len(workers) == 0 {
+		return errors.New("at least one -worker URL is required")
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stdout, "fsprouter: "+format+"\n", args...)
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Cluster: cluster.Config{
+			Workers:     workers,
+			VNodes:      *vnodes,
+			MaxInflight: *maxInflight,
+			Health: cluster.HealthConfig{
+				ProbeInterval: *probeInterval,
+				ProbeTimeout:  *probeTimeout,
+				FailThreshold: *failThreshold,
+				BackoffMin:    *backoffMin,
+				BackoffMax:    *backoffMax,
+			},
+			Logf: logf,
+		},
+		MaxBodyBytes: *maxBody,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "fsprouter: listening on %s, %d workers on the ring\n", ln.Addr(), len(workers))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+	select {
+	case err := <-served:
+		return err
+	case <-sig:
+		// Health first: load balancers see 503 while in-flight forwards
+		// run out the grace period.
+		rt.StartDrain()
+		fmt.Fprintf(stdout, "fsprouter: draining (grace %s)\n", *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			_ = hs.Close()
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Fprintln(stdout, "fsprouter: drained")
+		return nil
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+const tinyNet = "process P { start s0; s0 a s1 }\nprocess Q { start q0; q0 a q1 }"
+
+// startRouter boots fsprouter over the given worker URLs on an
+// ephemeral port.
+func startRouter(t *testing.T, workerURLs []string, args ...string) (string, chan os.Signal, chan error) {
+	t.Helper()
+	for _, u := range workerURLs {
+		args = append(args, "-worker", u)
+	}
+	sig := make(chan os.Signal, 1)
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), &out, sig, ready)
+	}()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, sig, done
+	case err := <-done:
+		t.Fatalf("router exited before listening: %v\n%s", err, out.String())
+		return "", nil, nil
+	case <-time.After(10 * time.Second):
+		t.Fatal("router never came up")
+		return "", nil, nil
+	}
+}
+
+// fakeWorker is the minimal fspd look-alike the flag-level tests need:
+// healthz plus a canned analyze answer.
+func fakeWorker(t *testing.T) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`)) //nolint:errcheck
+	})
+	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"digest":"d","cached":false,"record":{"process":"P","status":"ok"}}`)) //nolint:errcheck
+	})
+	srv := &http.Server{Handler: mux}
+	ln, err := newLocalListener()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+func TestRouterServeAndSigtermDrain(t *testing.T) {
+	url, sig, done := startRouter(t, []string{fakeWorker(t)})
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(url+"/v1/analyze", "text/plain", strings.NewReader(tinyNet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ar struct {
+		Record struct {
+			Status string `json:"status"`
+		} `json:"record"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ar.Record.Status != "ok" {
+		t.Fatalf("analyze via router: status %d record %+v", resp.StatusCode, ar)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("router never drained")
+	}
+}
+
+func TestRouterRequiresWorkers(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-addr", "127.0.0.1:0"}, &out, make(chan os.Signal), nil)
+	if err == nil || !strings.Contains(err.Error(), "-worker") {
+		t.Fatalf("run without workers = %v, want missing -worker error", err)
+	}
+}
+
+func TestRouterRejectsExtraArgs(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-worker", "http://localhost:1", "stray"}, &out, make(chan os.Signal), nil)
+	if err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+		t.Fatalf("run with stray args = %v, want unexpected-arguments error", err)
+	}
+}
+
+// newLocalListener binds an ephemeral loopback port.
+func newLocalListener() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health-prober defaults. The probe cadence is deliberately quick and
+// the ejection threshold low: a router that keeps sending traffic to a
+// dead worker pays a connection-timeout per request, so the sooner the
+// ring routes around it the better. Readmission is probe-driven only —
+// a worker must answer /healthz before it sees traffic again.
+const (
+	DefaultProbeInterval = time.Second
+	DefaultProbeTimeout  = 2 * time.Second
+	DefaultFailThreshold = 3
+	DefaultBackoffMin    = 500 * time.Millisecond
+	DefaultBackoffMax    = 30 * time.Second
+)
+
+// HealthConfig tunes the prober.
+type HealthConfig struct {
+	// ProbeInterval is how often a healthy worker's /healthz is checked.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request.
+	ProbeTimeout time.Duration
+	// FailThreshold is the consecutive-failure count (probes and forwards
+	// both count) that ejects a worker from rotation.
+	FailThreshold int
+	// BackoffMin and BackoffMax bound the probe backoff for an ejected
+	// worker: doubling per failed probe, reset on readmission.
+	BackoffMin, BackoffMax time.Duration
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = DefaultProbeInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = DefaultProbeTimeout
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = DefaultFailThreshold
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = DefaultBackoffMin
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = DefaultBackoffMax
+	}
+	return c
+}
+
+// workerState is one worker's health record. healthy starts true: the
+// router gives every configured worker the benefit of the doubt until
+// evidence arrives, so a cold cluster routes immediately.
+type workerState struct {
+	url          string
+	healthy      bool
+	consecFails  int
+	backoff      time.Duration
+	nextProbe    time.Time
+	lastErr      string
+	ejections    int64
+	readmissions int64
+}
+
+// health tracks per-worker liveness from two evidence streams: the
+// background /healthz prober and transport failures reported by the
+// forwarding path. Both feed the same consecutive-failure counter;
+// FailThreshold failures eject the worker, and only a successful probe
+// readmits it.
+type health struct {
+	cfg    HealthConfig
+	client *http.Client
+	logf   func(format string, args ...any)
+
+	mu      sync.Mutex
+	workers []workerState
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newHealth(workers []string, cfg HealthConfig, client *http.Client, logf func(string, ...any)) *health {
+	h := &health{
+		cfg:     cfg.withDefaults(),
+		client:  client,
+		logf:    logf,
+		workers: make([]workerState, len(workers)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for i, url := range workers {
+		h.workers[i] = workerState{url: url, healthy: true, backoff: h.cfg.BackoffMin}
+	}
+	go h.probeLoop()
+	return h
+}
+
+func (h *health) close() {
+	close(h.stop)
+	<-h.done
+}
+
+// isHealthy reports whether worker wi is in rotation.
+func (h *health) isHealthy(wi int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.workers[wi].healthy
+}
+
+// reportFailure records a transport-level forwarding failure against
+// worker wi. HTTP-level responses (429, 422, even 500) are the worker
+// answering and do not count — only failures to get an answer at all.
+func (h *health) reportFailure(wi int, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := &h.workers[wi]
+	w.lastErr = err.Error()
+	w.consecFails++
+	if w.healthy && w.consecFails >= h.cfg.FailThreshold {
+		h.ejectLocked(wi)
+	}
+}
+
+// reportSuccess records a successful forward: the worker is demonstrably
+// serving, so the failure streak resets. It does not readmit an ejected
+// worker — that stays probe-driven so a last-resort forward that happens
+// to land does not flap the ring.
+func (h *health) reportSuccess(wi int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := &h.workers[wi]
+	if w.healthy {
+		w.consecFails = 0
+		w.lastErr = ""
+	}
+}
+
+// ejectLocked takes worker wi out of rotation and arms the probe
+// backoff. Callers hold h.mu.
+func (h *health) ejectLocked(wi int) {
+	w := &h.workers[wi]
+	w.healthy = false
+	w.ejections++
+	w.backoff = h.cfg.BackoffMin
+	w.nextProbe = time.Now().Add(w.backoff) //fsplint:ignore detrand probe-backoff deadline
+	h.logf("cluster: ejected worker %s after %d consecutive failures: %s", w.url, w.consecFails, w.lastErr)
+}
+
+// probeLoop drives the background /healthz checks: healthy workers on
+// the fixed cadence, ejected workers on their exponential backoff.
+func (h *health) probeLoop() {
+	defer close(h.done)
+	ticker := time.NewTicker(h.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		h.probeDue()
+		select {
+		case <-h.stop:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// probeDue probes every worker whose turn has come. Probes run
+// sequentially — worker counts are small and a wedged worker only
+// delays the others by ProbeTimeout.
+func (h *health) probeDue() {
+	h.mu.Lock()
+	now := time.Now() //fsplint:ignore detrand probe scheduling
+	due := make([]int, 0, len(h.workers))
+	for i := range h.workers {
+		w := &h.workers[i]
+		if w.healthy || !now.Before(w.nextProbe) {
+			due = append(due, i)
+		}
+	}
+	h.mu.Unlock()
+
+	for _, wi := range due {
+		h.probeOne(wi)
+	}
+}
+
+// probeOne issues a single /healthz check against worker wi and applies
+// the verdict: success resets the failure streak and readmits an
+// ejected worker; failure advances the streak (ejecting past the
+// threshold) and, for an already-ejected worker, doubles the backoff.
+func (h *health) probeOne(wi int) {
+	h.mu.Lock()
+	url := h.workers[wi].url
+	h.mu.Unlock()
+
+	err := h.checkHealthz(url)
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := &h.workers[wi]
+	if err == nil {
+		w.consecFails = 0
+		w.lastErr = ""
+		w.backoff = h.cfg.BackoffMin
+		if !w.healthy {
+			w.healthy = true
+			w.readmissions++
+			h.logf("cluster: readmitted worker %s", w.url)
+		}
+		return
+	}
+	w.lastErr = err.Error()
+	w.consecFails++
+	if w.healthy {
+		if w.consecFails >= h.cfg.FailThreshold {
+			h.ejectLocked(wi)
+		}
+		return
+	}
+	w.backoff *= 2
+	if w.backoff > h.cfg.BackoffMax {
+		w.backoff = h.cfg.BackoffMax
+	}
+	w.nextProbe = time.Now().Add(w.backoff) //fsplint:ignore detrand probe-backoff deadline
+}
+
+// checkHealthz is one GET /healthz round trip; any answer other than a
+// 200 is a failure (a draining fspd answers 503 to shed traffic early).
+func (h *health) checkHealthz(url string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return &statusError{code: resp.StatusCode}
+	}
+	return nil
+}
+
+type statusError struct{ code int }
+
+func (e *statusError) Error() string {
+	return "healthz returned status " + http.StatusText(e.code)
+}
+
+// snapshotWorker copies worker wi's state for /statusz.
+func (h *health) snapshotWorker(wi int) workerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.workers[wi]
+}

@@ -1,0 +1,122 @@
+// Package cluster is the fspd scale-out tier: a consistent-hash ring
+// that shards the verdict-digest space over a set of fspd workers, a
+// health prober that ejects and readmits workers, and an HTTP router
+// (cmd/fsprouter) that fronts the workers with the same API surface a
+// single fspd exposes.
+//
+// Sharding is by content address: every request canonicalizes to the
+// same SHA-256 digest the workers use as their verdict-cache key, so a
+// digest has exactly one home worker and the cluster-wide cache is the
+// disjoint union of the workers' caches — no duplication, no
+// cross-worker invalidation, and cache capacity scales linearly with
+// worker count.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"fspnet/internal/serve"
+)
+
+// DefaultVNodes is the virtual-node count per worker. 64 points per
+// worker keeps the expected load imbalance across a handful of workers
+// within a few percent while the ring stays small enough to scan.
+const DefaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over worker indices. Points
+// live in the same 64-bit space the verdict digests map into, so a
+// digest's position — and therefore its owner — is a pure function of
+// the digest and the worker list. Rebuilding the ring with the same
+// workers in the same order yields the identical ring.
+type Ring struct {
+	workers []string
+	points  []ringPoint // sorted by (hash, worker): deterministic scan order
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int
+}
+
+// NewRing builds the ring. workers are base URLs (order defines worker
+// indices); vnodes ≤ 0 means DefaultVNodes.
+func NewRing(workers []string, vnodes int) (*Ring, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one worker")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		workers: append([]string(nil), workers...),
+		points:  make([]ringPoint, 0, len(workers)*vnodes),
+	}
+	for wi, url := range r.workers {
+		for v := 0; v < vnodes; v++ {
+			sum := sha256.Sum256([]byte(url + "\x00vnode\x00" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{hash: binary.BigEndian.Uint64(sum[:8]), worker: wi})
+		}
+	}
+	// Sorted hash points, ties broken by worker index: the scan order is
+	// fully determined by the inputs, never by map iteration or insertion
+	// accidents.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r, nil
+}
+
+// Workers returns the worker base URLs in index order.
+func (r *Ring) Workers() []string { return append([]string(nil), r.workers...) }
+
+// digestPoint maps a verdict digest onto the ring: the first 16 hex
+// characters of the SHA-256 digest read as a big-endian uint64 — the
+// same leading bytes the workers' cache keys carry, so ring placement
+// and cache addressing agree by construction.
+func digestPoint(digest string) (uint64, error) {
+	if !serve.WellFormedDigest(digest) {
+		return 0, fmt.Errorf("cluster: malformed digest %q", digest)
+	}
+	return strconv.ParseUint(digest[:16], 16, 64)
+}
+
+// Owner returns the index of the worker that owns digest: the worker of
+// the first ring point at or clockwise after the digest's position.
+func (r *Ring) Owner(digest string) (int, error) {
+	order, err := r.Successors(digest)
+	if err != nil {
+		return 0, err
+	}
+	return order[0], nil
+}
+
+// Successors returns every worker index in deterministic failover
+// order: the owner first, then each distinct worker in the order its
+// first point appears walking the ring clockwise from the digest. The
+// router tries this list front to back when workers are down, so any
+// two routers with the same worker list agree on where a digest lands
+// after any set of ejections.
+func (r *Ring) Successors(digest string) ([]int, error) {
+	h, err := digestPoint(digest)
+	if err != nil {
+		return nil, err
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	order := make([]int, 0, len(r.workers))
+	seen := make([]bool, len(r.workers))
+	for i := 0; i < len(r.points) && len(order) < len(r.workers); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			order = append(order, p.worker)
+		}
+	}
+	return order, nil
+}

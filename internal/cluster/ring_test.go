@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// testDigest derives a well-formed verdict digest from an integer, so
+// the tests sweep the digest space deterministically.
+func testDigest(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("digest-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestRingDeterministic(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		d := testDigest(i)
+		s1, err1 := r1.Successors(d)
+		s2, err2 := r2.Successors(d)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("Successors(%s): %v / %v", d, err1, err2)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("rebuilt ring disagrees for %s: %v vs %v", d, s1, s2)
+		}
+	}
+}
+
+func TestRingSuccessorsCoverAllWorkersOnce(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r, err := NewRing(workers, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d := testDigest(i)
+		succ, err := r.Successors(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(succ) != len(workers) {
+			t.Fatalf("Successors(%s) = %v, want all %d workers", d, succ, len(workers))
+		}
+		seen := map[int]bool{}
+		for _, wi := range succ {
+			if seen[wi] {
+				t.Fatalf("Successors(%s) repeats worker %d: %v", d, wi, succ)
+			}
+			seen[wi] = true
+		}
+		owner, err := r.Owner(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner != succ[0] {
+			t.Fatalf("Owner(%s) = %d, want head of Successors %v", d, owner, succ)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r, err := NewRing(workers, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(workers))
+	const n = 3000
+	for i := 0; i < n; i++ {
+		owner, err := r.Owner(testDigest(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[owner]++
+	}
+	// With 64 vnodes per worker the shares should land well within 2x of
+	// fair; a collapsed ring (one worker owning everything) is the bug
+	// this guards against.
+	for wi, c := range counts {
+		if c < n/len(workers)/2 || c > n*2/len(workers) {
+			t.Errorf("worker %d owns %d of %d digests, outside [%d, %d]", wi, c, n, n/len(workers)/2, n*2/len(workers))
+		}
+	}
+}
+
+func TestRingOwnerMovesOnlyForNewWorker(t *testing.T) {
+	// Consistent hashing's point: adding a worker moves only the digests
+	// the new worker captures; assignments between surviving workers
+	// never shuffle.
+	two, err := NewRing([]string{"http://a:1", "http://b:2"}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := NewRing([]string{"http://a:1", "http://b:2", "http://c:3"}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	moved := 0
+	for i := 0; i < n; i++ {
+		d := testDigest(i)
+		o2, _ := two.Owner(d)
+		o3, _ := three.Owner(d)
+		if o2 != o3 {
+			if o3 != 2 {
+				t.Fatalf("digest %s moved from worker %d to surviving worker %d", d, o2, o3)
+			}
+			moved++
+		}
+	}
+	if moved == 0 || moved > n*2/3 {
+		t.Errorf("adding a third worker moved %d/%d digests, want roughly a third", moved, n)
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("NewRing(nil) succeeded, want error")
+	}
+	r, err := NewRing([]string{"http://a:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "xyz", "ABCDEF", testDigest(0)[:63], testDigest(0) + "0"} {
+		if _, err := r.Owner(bad); err == nil {
+			t.Errorf("Owner(%q) succeeded, want malformed-digest error", bad)
+		}
+	}
+}

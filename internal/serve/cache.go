@@ -42,11 +42,6 @@ type lru[V any] struct {
 	ll        *list.List // front = most recently used
 	items     map[string]*list.Element
 	evictions uint64
-	// onEvict observes capacity evictions (not refreshes). It is invoked
-	// after the cache lock is released, so the hook may re-enter the cache
-	// or take the store lock; the verdict cache uses it to delete evicted
-	// digests from the persistent store.
-	onEvict func(key string)
 }
 
 type lruEntry[V any] struct {
@@ -75,32 +70,26 @@ func (c *lru[V]) get(key string) (V, bool) {
 }
 
 // add inserts (or refreshes) key → val, evicting the least recently used
-// entry when the cache is full.
+// entry when the cache is full. Eviction is memory-only: the persistent
+// verdict store keeps its copy, and the read-through path restores an
+// evicted digest on its next request.
 func (c *lru[V]) add(key string, val V) {
-	var evictedKey string
-	var evicted bool
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*lruEntry[V]).val = val
-		c.mu.Unlock()
 		return
 	}
 	if c.ll.Len() >= c.cap {
 		oldest := c.ll.Back()
 		if oldest != nil {
 			c.ll.Remove(oldest)
-			evictedKey = oldest.Value.(*lruEntry[V]).key
-			evicted = true
-			delete(c.items, evictedKey)
+			delete(c.items, oldest.Value.(*lruEntry[V]).key)
 			c.evictions++
 		}
 	}
 	c.items[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
-	c.mu.Unlock()
-	if evicted && c.onEvict != nil {
-		c.onEvict(evictedKey)
-	}
 }
 
 // len reports the number of cached values.

@@ -24,7 +24,7 @@ const netLintClean = "process P { start s1; s1 a s2 }\nprocess Q { start t1; t1 
 
 func postLint(t *testing.T, url, network string) (*http.Response, lintResponse, string) {
 	t.Helper()
-	body, err := json.Marshal(analyzeRequest{Network: network})
+	body, err := json.Marshal(AnalyzeRequest{Network: network})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestLintCleanNetwork(t *testing.T) {
 func TestLintDirtyNetworkAndInvalidNetworks(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 	// The analyze endpoint refuses this network outright...
-	resp, _ := postJSON(t, ts.URL, analyzeRequest{Network: netDirty})
+	resp, _ := postJSON(t, ts.URL, AnalyzeRequest{Network: netDirty})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("analyze of invalid network: status %d, want 400", resp.StatusCode)
 	}
@@ -181,11 +181,11 @@ func TestAnalyzeWarnings(t *testing.T) {
 		}
 		return false
 	}
-	_, miss := postJSON(t, ts.URL, analyzeRequest{Network: warned, Lint: true})
+	_, miss := postJSON(t, ts.URL, AnalyzeRequest{Network: warned, Lint: true})
 	if miss.Cached || !hasTaudiv(miss.Warnings) {
 		t.Fatalf("miss response warnings: %+v", miss)
 	}
-	_, hit := postJSON(t, ts.URL, analyzeRequest{Network: warned, Lint: true})
+	_, hit := postJSON(t, ts.URL, AnalyzeRequest{Network: warned, Lint: true})
 	if !hit.Cached || !hasTaudiv(hit.Warnings) {
 		t.Fatalf("hit response warnings: %+v", hit)
 	}
@@ -193,7 +193,7 @@ func TestAnalyzeWarnings(t *testing.T) {
 		t.Errorf("warnings differ between miss and hit:\n%v\n%v", miss.Warnings, hit.Warnings)
 	}
 	// Without lint=true the response carries no warnings at all.
-	_, plain := postJSON(t, ts.URL, analyzeRequest{Network: warned})
+	_, plain := postJSON(t, ts.URL, AnalyzeRequest{Network: warned})
 	if plain.Warnings != nil {
 		t.Errorf("warnings attached without lint=true: %v", plain.Warnings)
 	}

@@ -32,6 +32,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -58,9 +59,20 @@ const (
 	DefaultQueueDepth = 64
 	// DefaultCacheEntries bounds the verdict LRU.
 	DefaultCacheEntries = 1024
-	// maxNetworkBytes bounds the request body; fsplang sources are small.
-	maxNetworkBytes = 1 << 20
+	// DefaultMaxBodyBytes bounds a single /v1/analyze or /v1/lint body
+	// (and each item's network inside a batch); fsplang sources are small,
+	// and an oversized body is refused with 413 before any parsing.
+	DefaultMaxBodyBytes = 1 << 20
+	// DefaultMaxBatchBytes bounds the whole /v1/analyze/batch body.
+	DefaultMaxBatchBytes = 8 << 20
+	// DefaultMaxBatchItems bounds the item count of one batch request.
+	DefaultMaxBatchItems = 256
 )
+
+// ErrBodyTooLarge marks a request body over the configured byte cap; the
+// handlers map it to 413 Content Too Large. Wrapped errors carry the
+// limit that was exceeded.
+var ErrBodyTooLarge = errors.New("request body too large")
 
 // Predicate sets a request may ask for.
 const (
@@ -90,6 +102,16 @@ type Config struct {
 	// MaxBudget caps (and, when a request names none, supplies) the
 	// per-request joint state budget; 0 means no server-imposed budget.
 	MaxBudget int
+	// MaxBodyBytes bounds a single request body (and each batch item's
+	// network text); ≤ 0 means DefaultMaxBodyBytes. Oversized bodies are
+	// refused with 413.
+	MaxBodyBytes int64
+	// MaxBatchBytes bounds the whole /v1/analyze/batch body; ≤ 0 means
+	// DefaultMaxBatchBytes.
+	MaxBatchBytes int64
+	// MaxBatchItems bounds the item count of one batch; ≤ 0 means
+	// DefaultMaxBatchItems.
+	MaxBatchItems int
 	// Hook is installed into every request governor — the fault-injection
 	// seam the serve tests drive with guard/faultinject. Production
 	// configurations leave it nil.
@@ -141,6 +163,15 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = DefaultCacheEntries
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxBatchBytes <= 0 {
+		cfg.MaxBatchBytes = DefaultMaxBatchBytes
+	}
+	if cfg.MaxBatchItems <= 0 {
+		cfg.MaxBatchItems = DefaultMaxBatchItems
+	}
 	s := &Server{
 		cfg:   cfg,
 		cache: newLRU[verdictjson.Record](cfg.CacheEntries),
@@ -153,15 +184,17 @@ func New(cfg Config) *Server {
 	s.start = time.Now() //fsplint:ignore detrand uptime anchor for /statusz
 	s.cancels = make(map[int64]context.CancelFunc)
 	s.store = newStoreKeeper(cfg.Store, cfg.Logf)
-	// Evictions flow through to disk so the store tracks the cache's
-	// working set; the hook must be armed before the warm load, whose own
-	// adds may overflow the cache.
-	s.cache.onEvict = s.store.delete
+	// The store is an L2 under the LRU: an eviction drops only the
+	// in-memory copy, and the next request for the digest reads through to
+	// disk instead of recomputing. The on-disk set is bounded separately by
+	// the store's own record cap (compaction drops oldest beyond it), so a
+	// warm-load overflow past CacheEntries loses nothing durable.
 	if n := s.store.warmLoad(s.cache); n > 0 && cfg.Logf != nil {
 		cfg.Logf("verdict store: warm-loaded %d verdicts from %s", n, cfg.Store.Dir)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/analyze/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("GET /v1/verdict/{digest}", s.handleVerdict)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -231,8 +264,11 @@ func (s *Server) Snapshot() Stats {
 	return Stats{
 		Requests:      s.c.requests.Load(),
 		Hits:          s.c.hits.Load(),
+		DiskHits:      s.c.diskHits.Load(),
 		Misses:        s.c.misses.Load(),
 		Evictions:     int64(s.cache.evicted()),
+		Batches:       s.c.batches.Load(),
+		BatchItems:    s.c.batchItems.Load(),
 		Rejected:      s.c.rejected.Load(),
 		Canceled:      s.c.canceled.Load(),
 		Partials:      s.c.partials.Load(),
@@ -247,15 +283,16 @@ func (s *Server) Snapshot() Stats {
 		LintEvictions: int64(s.lints.evicted()),
 		Store:         s.store.snapshot(),
 		Uptime:        time.Since(s.start).Round(time.Millisecond).String(), //fsplint:ignore detrand uptime for /statusz
+		Runtime:       ReadRuntime(),
 		Latency:       s.lat.snapshot(),
 		Belief:        s.bel.snapshot(),
 	}
 }
 
-// analyzeRequest is the POST /v1/analyze JSON body. A request may instead
+// AnalyzeRequest is the POST /v1/analyze JSON body. A request may instead
 // send the fsplang source as a raw (non-JSON) body and the remaining
 // fields as query parameters, which keeps curl invocations one-liners.
-type analyzeRequest struct {
+type AnalyzeRequest struct {
 	// Network is the fsplang source text.
 	Network string `json:"network"`
 	// Process is the distinguished process index (default 0).
@@ -276,9 +313,9 @@ type analyzeRequest struct {
 	Lint bool `json:"lint,omitempty"`
 }
 
-// analyzeResponse is the POST /v1/analyze (and GET /v1/verdict) reply
+// AnalyzeResponse is the POST /v1/analyze (and GET /v1/verdict) reply
 // envelope around the shared verdictjson.Record.
-type analyzeResponse struct {
+type AnalyzeResponse struct {
 	Digest     string             `json:"digest"`
 	Mode       string             `json:"mode,omitempty"`
 	Predicates string             `json:"predicates,omitempty"`
@@ -328,29 +365,72 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
+// WellFormedDigest reports whether digest looks like a verdict digest:
+// 64 lowercase hex characters, the fixed SHA-256 form Digest emits. The
+// verdict endpoints 400 anything else before touching the cache, and the
+// router refuses to hash a malformed digest onto the ring.
+func WellFormedDigest(digest string) bool {
+	if len(digest) != 64 {
+		return false
+	}
+	for i := 0; i < len(digest); i++ {
+		c := digest[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleVerdict(w http.ResponseWriter, r *http.Request) {
 	digest := r.PathValue("digest")
+	if !WellFormedDigest(digest) {
+		writeError(w, http.StatusBadRequest, "malformed digest %q (want 64 lowercase hex characters)", digest)
+		return
+	}
 	rec, ok := s.cache.get(digest)
+	if !ok {
+		// Read through to the persistent store: the digest may have been
+		// evicted from memory while its record is still on disk.
+		if rec, ok = s.store.get(digest); ok {
+			s.c.diskHits.Add(1)
+			s.cache.add(digest, rec)
+		}
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, "no cached verdict for digest %s", digest)
 		return
 	}
-	writeJSON(w, http.StatusOK, analyzeResponse{Digest: digest, Cached: true, Record: rec})
+	writeJSON(w, http.StatusOK, AnalyzeResponse{Digest: digest, Cached: true, Record: rec})
 }
 
-// parseAnalyzeRequest decodes either encoding of the request body.
-func parseAnalyzeRequest(r *http.Request) (analyzeRequest, error) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxNetworkBytes+1))
+// ReadBody drains r's body up to limit bytes; one byte over returns
+// ErrBodyTooLarge (the 413 path).
+func ReadBody(r *http.Request, limit int64) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
 	if err != nil {
-		return analyzeRequest{}, fmt.Errorf("reading body: %w", err)
+		return nil, fmt.Errorf("reading body: %w", err)
 	}
-	if len(body) > maxNetworkBytes {
-		return analyzeRequest{}, fmt.Errorf("body exceeds %d bytes", maxNetworkBytes)
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("%w: body exceeds %d bytes", ErrBodyTooLarge, limit)
 	}
-	var req analyzeRequest
+	return body, nil
+}
+
+// ParseAnalyzeBody decodes either encoding of an analyze request body —
+// a JSON AnalyzeRequest, or a raw fsplang source with the parameters in
+// the query string — enforcing the byte cap. cmd/fsprouter parses with
+// the same function the workers use, so the two tiers can never disagree
+// about what a request means.
+func ParseAnalyzeBody(r *http.Request, limit int64) (AnalyzeRequest, error) {
+	body, err := ReadBody(r, limit)
+	if err != nil {
+		return AnalyzeRequest{}, err
+	}
+	var req AnalyzeRequest
 	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		if err := json.Unmarshal(body, &req); err != nil {
-			return analyzeRequest{}, fmt.Errorf("decoding JSON body: %w", err)
+			return AnalyzeRequest{}, fmt.Errorf("decoding JSON body: %w", err)
 		}
 	} else {
 		// Raw fsplang body; parameters ride in the query string.
@@ -359,7 +439,7 @@ func parseAnalyzeRequest(r *http.Request) (analyzeRequest, error) {
 		if v := q.Get("process"); v != "" {
 			p, err := strconv.Atoi(v)
 			if err != nil {
-				return analyzeRequest{}, fmt.Errorf("bad process parameter %q", v)
+				return AnalyzeRequest{}, fmt.Errorf("bad process parameter %q", v)
 			}
 			req.Process = p
 		}
@@ -369,14 +449,14 @@ func parseAnalyzeRequest(r *http.Request) (analyzeRequest, error) {
 		if v := q.Get("lint"); v != "" {
 			b, err := strconv.ParseBool(v)
 			if err != nil {
-				return analyzeRequest{}, fmt.Errorf("bad lint parameter %q", v)
+				return AnalyzeRequest{}, fmt.Errorf("bad lint parameter %q", v)
 			}
 			req.Lint = b
 		}
 		if v := q.Get("budget"); v != "" {
 			b, err := strconv.Atoi(v)
 			if err != nil {
-				return analyzeRequest{}, fmt.Errorf("bad budget parameter %q", v)
+				return AnalyzeRequest{}, fmt.Errorf("bad budget parameter %q", v)
 			}
 			req.Budget = b
 		}
@@ -384,10 +464,36 @@ func parseAnalyzeRequest(r *http.Request) (analyzeRequest, error) {
 	return req, nil
 }
 
+// Canonicalize parses, resolves, and canonicalizes one analyze request:
+// req's defaulted fields (mode, predicates) are replaced by their
+// resolved values, and the canonical text plus content digest come back.
+// This is the routing primitive — the digest it returns is the cache key
+// on whichever worker owns it on the ring — and the validation primitive:
+// any error is a client error (the single-request handlers answer 400,
+// the batch handler a per-item error record).
+func Canonicalize(req *AnalyzeRequest) (canonical, digest string, err error) {
+	_, canonical, digest, err = canonicalizeNetwork(req)
+	return canonical, digest, err
+}
+
+// canonicalizeNetwork is Canonicalize keeping the parsed network, which
+// the analysis path needs.
+func canonicalizeNetwork(req *AnalyzeRequest) (*network.Network, string, string, error) {
+	n, err := fsplang.ParseString(req.Network)
+	if err != nil {
+		return nil, "", "", fmt.Errorf("parsing network: %w", err)
+	}
+	if err := resolve(req, n); err != nil {
+		return nil, "", "", err
+	}
+	canonical := fsplang.Format(n)
+	return n, canonical, Digest(canonical, req.Process, req.Mode, req.Predicates), nil
+}
+
 // resolve validates the request against the parsed network and fixes the
 // defaulted parameters, so the digest is computed over resolved values:
 // "auto" and an explicit matching mode share cache entries.
-func resolve(req *analyzeRequest, n *network.Network) error {
+func resolve(req *AnalyzeRequest, n *network.Network) error {
 	if req.Process < 0 || req.Process >= n.Len() {
 		return fmt.Errorf("process index %d out of range [0,%d)", req.Process, n.Len())
 	}
@@ -414,7 +520,7 @@ func resolve(req *analyzeRequest, n *network.Network) error {
 
 // requestDeadline lowers the request timeout onto an absolute deadline,
 // capped by the server-wide maximum.
-func (s *Server) requestDeadline(req analyzeRequest) (time.Time, error) {
+func (s *Server) requestDeadline(req AnalyzeRequest) (time.Time, error) {
 	limit := s.cfg.MaxTimeout
 	if req.Timeout != "" {
 		d, err := time.ParseDuration(req.Timeout)
@@ -446,7 +552,7 @@ func (s *Server) retryAfterSeconds(class string) int {
 
 // requestBudget lowers the request budget, capped by the server-wide
 // maximum.
-func (s *Server) requestBudget(req analyzeRequest) int {
+func (s *Server) requestBudget(req AnalyzeRequest) int {
 	budget := s.cfg.MaxBudget
 	if req.Budget > 0 && (budget == 0 || req.Budget < budget) {
 		budget = req.Budget
@@ -483,9 +589,9 @@ func (s *Server) lintCanonical(canonical string) (digest string, diags []speclin
 }
 
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
-	req, err := parseAnalyzeRequest(r)
+	req, err := ParseAnalyzeBody(r, s.cfg.MaxBodyBytes)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, bodyErrorCode(err), "%v", err)
 		return
 	}
 	// The validation-free spec layer accepts every network the analyze
@@ -504,18 +610,23 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// bodyErrorCode maps a body-read or decode failure to its HTTP status:
+// over-cap is 413, everything else 400.
+func bodyErrorCode(err error) int {
+	if errors.Is(err, ErrBodyTooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	req, err := parseAnalyzeRequest(r)
+	req, err := ParseAnalyzeBody(r, s.cfg.MaxBodyBytes)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, bodyErrorCode(err), "%v", err)
 		return
 	}
-	n, err := fsplang.ParseString(req.Network)
+	n, canonical, digest, err := canonicalizeNetwork(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "parsing network: %v", err)
-		return
-	}
-	if err := resolve(&req, n); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -526,21 +637,84 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.c.requests.Add(1)
 
-	canonical := fsplang.Format(n)
-	digest := Digest(canonical, req.Process, req.Mode, req.Predicates)
 	var warnings []speclint.Diagnostic
 	if req.Lint {
 		_, warnings, _ = s.lintCanonical(canonical)
 	}
-	if rec, ok := s.cache.get(digest); ok {
+	if rec, ok := s.lookup(digest); ok {
 		s.c.hits.Add(1)
-		writeJSON(w, http.StatusOK, analyzeResponse{
+		writeJSON(w, http.StatusOK, AnalyzeResponse{
 			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: true, Record: rec,
 			Warnings: warnings,
 		})
 		return
 	}
 
+	res := s.runAnalysis(r.Context(), n, req, digest, deadline)
+	switch res.outcome {
+	case runOK:
+		writeJSON(w, http.StatusOK, AnalyzeResponse{
+			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false, Record: res.rec,
+			Warnings: warnings,
+		})
+	case runRejected:
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(req.Mode+"/"+req.Predicates)))
+		writeError(w, http.StatusTooManyRequests, "analysis queue is full (%d in flight or queued)", cap(s.admit))
+	case runCanceled:
+		// The client is gone; there is no one left to answer.
+	case runPartial:
+		writeJSON(w, http.StatusOK, AnalyzeResponse{
+			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false, Record: res.rec,
+			Warnings: warnings,
+		})
+	default: // runError
+		writeJSON(w, http.StatusUnprocessableEntity, AnalyzeResponse{
+			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false, Record: res.rec,
+			Warnings: warnings,
+		})
+	}
+}
+
+// lookup serves a digest from the LRU or, failing that, from the
+// persistent store (promoting the record back into memory). The second
+// path is what makes the disk an L2: an eviction costs one read-through,
+// not a recomputation.
+func (s *Server) lookup(digest string) (verdictjson.Record, bool) {
+	if rec, ok := s.cache.get(digest); ok {
+		return rec, true
+	}
+	rec, ok := s.store.get(digest)
+	if ok {
+		s.c.diskHits.Add(1)
+		s.cache.add(digest, rec)
+	}
+	return rec, ok
+}
+
+// Outcomes of one governed analysis attempt.
+type runOutcome int
+
+const (
+	runOK       runOutcome = iota // completed; rec cached and persisted
+	runRejected                   // admission refused: queue saturated
+	runCanceled                   // caller's context died first
+	runPartial                    // governor stop; rec is the partial record
+	runError                      // failed outside the governor; rec is the error record
+)
+
+type runResult struct {
+	rec     verdictjson.Record
+	outcome runOutcome
+}
+
+// runAnalysis charges one cache miss against the worker pool: admission
+// ticket, slot, governed run, cache/store population, and the counter
+// bookkeeping. Both the single-request handler and each batch item pass
+// through here, so admission control cannot be starved by a batch — every
+// item pays for its own ticket, and a saturated queue rejects the item,
+// not the connection.
+func (s *Server) runAnalysis(ctx context.Context, n *network.Network, req AnalyzeRequest, digest string, deadline time.Time) runResult {
+	name := n.Process(req.Process).Name()
 	// Admission: a ticket covers the whole stay (queued + running); none
 	// free means the queue is saturated.
 	select {
@@ -548,32 +722,30 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.admit }()
 	default:
 		s.c.rejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(req.Mode+"/"+req.Predicates)))
-		writeError(w, http.StatusTooManyRequests, "analysis queue is full (%d in flight or queued)", cap(s.admit))
-		return
+		return runResult{outcome: runRejected}
 	}
 	s.c.queued.Add(1)
 	select {
 	case s.slots <- struct{}{}:
 		s.c.queued.Add(-1)
 		defer func() { <-s.slots }()
-	case <-r.Context().Done():
+	case <-ctx.Done():
 		s.c.queued.Add(-1)
 		s.c.canceled.Add(1)
-		return // client is gone; nothing to write
+		return runResult{outcome: runCanceled}
 	}
 	s.c.inflight.Add(1)
 	defer s.c.inflight.Add(-1)
 
-	// The governor watches both the client connection and the drain
-	// path, so either stops the run at its next poll. Registration keeps
+	// The governor watches both the caller's context and the drain path,
+	// so either stops the run at its next poll. Registration keeps
 	// CancelInflight synchronous: when it returns, this context is done.
-	ctx, cancel := context.WithCancel(r.Context())
+	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	unregister := s.registerCancel(cancel)
 	defer unregister()
 	g := guard.New(guard.Config{
-		Context:  ctx,
+		Context:  runCtx,
 		Deadline: deadline,
 		Budget:   s.requestBudget(req),
 		Hook:     s.cfg.Hook,
@@ -587,34 +759,24 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.c.misses.Add(1)
 		s.cache.add(digest, rec)
 		s.store.put(digest, rec)
-		writeJSON(w, http.StatusOK, analyzeResponse{
-			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false, Record: rec,
-			Warnings: warnings,
-		})
+		return runResult{rec: rec, outcome: runOK}
 	case guard.IsLimit(err):
-		if r.Context().Err() != nil {
-			// The client disconnected; the governor stopped the run for us
-			// and there is no one left to answer.
+		if ctx.Err() != nil {
+			// The caller disconnected; the governor stopped the run for us.
 			s.c.canceled.Add(1)
-			return
+			return runResult{outcome: runCanceled}
 		}
 		s.c.partials.Add(1)
-		writeJSON(w, http.StatusOK, analyzeResponse{
-			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false,
-			Record: verdictjson.FromError(n.Process(req.Process).Name(), err), Warnings: warnings,
-		})
+		return runResult{rec: verdictjson.FromError(name, err), outcome: runPartial}
 	default:
 		s.c.errors.Add(1)
-		writeJSON(w, http.StatusUnprocessableEntity, analyzeResponse{
-			Digest: digest, Mode: req.Mode, Predicates: req.Predicates, Cached: false,
-			Record: verdictjson.FromError(n.Process(req.Process).Name(), err), Warnings: warnings,
-		})
+		return runResult{rec: verdictjson.FromError(name, err), outcome: runError}
 	}
 }
 
 // analyze dispatches the resolved request onto the governed library entry
 // points.
-func (s *Server) analyze(n *network.Network, req analyzeRequest, g *guard.G) (verdictjson.Record, error) {
+func (s *Server) analyze(n *network.Network, req AnalyzeRequest, g *guard.G) (verdictjson.Record, error) {
 	name := n.Process(req.Process).Name()
 	cyclic := req.Mode == "cyclic"
 	if req.Predicates == PredicatesReach {

@@ -62,7 +62,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func postJSON(t *testing.T, url string, req analyzeRequest) (*http.Response, analyzeResponse) {
+func postJSON(t *testing.T, url string, req AnalyzeRequest) (*http.Response, AnalyzeResponse) {
 	t.Helper()
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -73,7 +73,7 @@ func postJSON(t *testing.T, url string, req analyzeRequest) (*http.Response, ana
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var ar analyzeResponse
+	var ar AnalyzeResponse
 	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusUnprocessableEntity {
 		if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
 			t.Fatalf("decoding response: %v", err)
@@ -147,7 +147,7 @@ func TestHealthz(t *testing.T) {
 func TestHitMissCanonicalization(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
-	resp, first := postJSON(t, ts.URL, analyzeRequest{Network: netA})
+	resp, first := postJSON(t, ts.URL, AnalyzeRequest{Network: netA})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("first POST = %d, want 200", resp.StatusCode)
 	}
@@ -170,7 +170,7 @@ func TestHitMissCanonicalization(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp2.Body.Close()
-	var second analyzeResponse
+	var second AnalyzeResponse
 	if err := json.NewDecoder(resp2.Body).Decode(&second); err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestHitMissCanonicalization(t *testing.T) {
 
 func TestVerdictLookup(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	_, first := postJSON(t, ts.URL, analyzeRequest{Network: netA})
+	_, first := postJSON(t, ts.URL, AnalyzeRequest{Network: netA})
 
 	resp, err := http.Get(ts.URL + "/v1/verdict/" + first.Digest)
 	if err != nil {
@@ -208,7 +208,7 @@ func TestVerdictLookup(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("lookup = %d, want 200", resp.StatusCode)
 	}
-	var got analyzeResponse
+	var got AnalyzeResponse
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +241,7 @@ func TestEvictionDeterminism(t *testing.T) {
 		{netA, true},  // hit
 	}
 	for i, step := range sequence {
-		resp, ar := postJSON(t, ts.URL, analyzeRequest{Network: step.net})
+		resp, ar := postJSON(t, ts.URL, AnalyzeRequest{Network: step.net})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("step %d: status %d", i, resp.StatusCode)
 		}
@@ -269,7 +269,7 @@ func TestRejectWhenSaturated(t *testing.T) {
 	second := postAsync(t, ts.URL, netB)
 	waitStats(t, ts.URL, func(st Stats) bool { return st.Queued == 1 })
 
-	resp, _ := postJSON(t, ts.URL, analyzeRequest{Network: netC})
+	resp, _ := postJSON(t, ts.URL, AnalyzeRequest{Network: netC})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated POST = %d, want 429", resp.StatusCode)
 	}
@@ -363,7 +363,7 @@ func TestClientCancelMidAnalysis(t *testing.T) {
 		t.Errorf("canceled run must not populate the cache: %+v", st)
 	}
 	// The worker is free again: a fresh request completes normally.
-	resp, _ := postJSON(t, ts.URL, analyzeRequest{Network: netB})
+	resp, _ := postJSON(t, ts.URL, AnalyzeRequest{Network: netB})
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("post-cancel request = %d, want 200", resp.StatusCode)
 	}
@@ -401,7 +401,7 @@ func assertPartial(t *testing.T, rec verdictjson.Record, wantReason string) {
 func TestPartialVerdictFaultInject(t *testing.T) {
 	_, ts := newTestServer(t, Config{Hook: faultinject.DeadlineAt("bfs", 0)})
 	for i := 0; i < 2; i++ {
-		resp, ar := postJSON(t, ts.URL, analyzeRequest{Network: netA})
+		resp, ar := postJSON(t, ts.URL, AnalyzeRequest{Network: netA})
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("POST %d = %d, want 200 (partial is a result, not an error)", i, resp.StatusCode)
 		}
@@ -425,11 +425,11 @@ func TestRequestDeadlinePartial(t *testing.T) {
 
 	type result struct {
 		code int
-		ar   analyzeResponse
+		ar   AnalyzeResponse
 	}
 	resc := make(chan result, 1)
 	go func() {
-		resp, ar := postJSON(t, ts.URL, analyzeRequest{Network: netA, Timeout: "50ms"})
+		resp, ar := postJSON(t, ts.URL, AnalyzeRequest{Network: netA, Timeout: "50ms"})
 		resc <- result{resp.StatusCode, ar}
 	}()
 	<-hook.entered
@@ -453,11 +453,11 @@ func TestDrainCancelInflight(t *testing.T) {
 
 	type result struct {
 		code int
-		ar   analyzeResponse
+		ar   AnalyzeResponse
 	}
 	resc := make(chan result, 1)
 	go func() {
-		resp, ar := postJSON(t, ts.URL, analyzeRequest{Network: netA})
+		resp, ar := postJSON(t, ts.URL, AnalyzeRequest{Network: netA})
 		resc <- result{resp.StatusCode, ar}
 	}()
 	<-hook.entered
@@ -480,15 +480,15 @@ func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cases := []struct {
 		name string
-		req  analyzeRequest
+		req  AnalyzeRequest
 	}{
-		{"empty network", analyzeRequest{}},
-		{"parse error", analyzeRequest{Network: "process {"}},
-		{"process out of range", analyzeRequest{Network: netA, Process: 7}},
-		{"negative process", analyzeRequest{Network: netA, Process: -1}},
-		{"bad mode", analyzeRequest{Network: netA, Mode: "sideways"}},
-		{"bad predicates", analyzeRequest{Network: netA, Predicates: "none"}},
-		{"bad timeout", analyzeRequest{Network: netA, Timeout: "soon"}},
+		{"empty network", AnalyzeRequest{}},
+		{"parse error", AnalyzeRequest{Network: "process {"}},
+		{"process out of range", AnalyzeRequest{Network: netA, Process: 7}},
+		{"negative process", AnalyzeRequest{Network: netA, Process: -1}},
+		{"bad mode", AnalyzeRequest{Network: netA, Mode: "sideways"}},
+		{"bad predicates", AnalyzeRequest{Network: netA, Predicates: "none"}},
+		{"bad timeout", AnalyzeRequest{Network: netA, Timeout: "soon"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -508,7 +508,7 @@ func TestBadRequests(t *testing.T) {
 // digest of the same network (different answer shape, different address).
 func TestReachPredicates(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	_, reach := postJSON(t, ts.URL, analyzeRequest{Network: netA, Predicates: PredicatesReach})
+	_, reach := postJSON(t, ts.URL, AnalyzeRequest{Network: netA, Predicates: PredicatesReach})
 	if reach.Record.Status != verdictjson.StatusOK {
 		t.Fatalf("reach record = %+v", reach.Record)
 	}
@@ -518,12 +518,12 @@ func TestReachPredicates(t *testing.T) {
 	if reach.Record.Su == nil || !*reach.Record.Su || reach.Record.Sc == nil || !*reach.Record.Sc {
 		t.Errorf("reach verdict = %+v, want S_u=S_c=true", reach.Record)
 	}
-	_, all := postJSON(t, ts.URL, analyzeRequest{Network: netA})
+	_, all := postJSON(t, ts.URL, AnalyzeRequest{Network: netA})
 	if all.Digest == reach.Digest {
 		t.Error("reach and all analyses share a digest")
 	}
 	// Explicit mode equal to the auto-resolved one shares the cache line.
-	_, explicit := postJSON(t, ts.URL, analyzeRequest{Network: netA, Mode: "acyclic", Predicates: PredicatesReach})
+	_, explicit := postJSON(t, ts.URL, AnalyzeRequest{Network: netA, Mode: "acyclic", Predicates: PredicatesReach})
 	if !explicit.Cached || explicit.Digest != reach.Digest {
 		t.Errorf("explicit acyclic mode missed the auto-resolved cache entry: %+v", explicit)
 	}
@@ -543,7 +543,7 @@ func TestLargeFixtureAllPredicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, ts := newTestServer(t, Config{MaxTimeout: 60 * time.Second})
-	resp, ar := postJSON(t, ts.URL, analyzeRequest{Network: string(src)})
+	resp, ar := postJSON(t, ts.URL, AnalyzeRequest{Network: string(src)})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
@@ -564,7 +564,7 @@ func TestLargeFixtureAllPredicates(t *testing.T) {
 func TestShapeError(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cyclicNet := "process P { start s0; s0 a s0 }\nprocess Q { start t0; t0 a t0 }"
-	resp, ar := postJSON(t, ts.URL, analyzeRequest{Network: cyclicNet, Mode: "acyclic"})
+	resp, ar := postJSON(t, ts.URL, AnalyzeRequest{Network: cyclicNet, Mode: "acyclic"})
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("status = %d, want 422", resp.StatusCode)
 	}
@@ -589,7 +589,7 @@ func TestConcurrentIdenticalRequests(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, ar := postJSON(t, ts.URL, analyzeRequest{Network: netC})
+			resp, ar := postJSON(t, ts.URL, AnalyzeRequest{Network: netC})
 			if resp.StatusCode != http.StatusOK {
 				t.Errorf("status = %d", resp.StatusCode)
 			}
@@ -617,10 +617,10 @@ func TestConcurrentIdenticalRequests(t *testing.T) {
 // predicates=reach analyses to stay invisible to the belief map.
 func TestStatuszBeliefTotals(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
-	if resp, _ := postJSON(t, ts.URL, analyzeRequest{Network: netA}); resp.StatusCode != http.StatusOK {
+	if resp, _ := postJSON(t, ts.URL, AnalyzeRequest{Network: netA}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("analyze all: status %d", resp.StatusCode)
 	}
-	if resp, _ := postJSON(t, ts.URL, analyzeRequest{Network: netB, Predicates: PredicatesReach}); resp.StatusCode != http.StatusOK {
+	if resp, _ := postJSON(t, ts.URL, AnalyzeRequest{Network: netB, Predicates: PredicatesReach}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("analyze reach: status %d", resp.StatusCode)
 	}
 	st := getStats(t, ts.URL)
@@ -635,7 +635,7 @@ func TestStatuszBeliefTotals(t *testing.T) {
 		t.Fatalf("reach class leaked belief totals: %+v", st.Belief)
 	}
 	// A cache hit must not re-count.
-	if resp, _ := postJSON(t, ts.URL, analyzeRequest{Network: netA}); resp.StatusCode != http.StatusOK {
+	if resp, _ := postJSON(t, ts.URL, AnalyzeRequest{Network: netA}); resp.StatusCode != http.StatusOK {
 		t.Fatalf("analyze repeat: status %d", resp.StatusCode)
 	}
 	if bt := getStats(t, ts.URL).Belief["acyclic/all"]; bt.Analyses != 1 {
@@ -657,7 +657,7 @@ func TestPhilosophers12AllPredicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, ts := newTestServer(t, Config{MaxTimeout: 60 * time.Second})
-	resp, ar := postJSON(t, ts.URL, analyzeRequest{Network: string(src)})
+	resp, ar := postJSON(t, ts.URL, AnalyzeRequest{Network: string(src)})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}

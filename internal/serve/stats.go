@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,13 +18,22 @@ type Stats struct {
 	// Requests counts POST /v1/analyze requests accepted for processing
 	// (including ones later rejected by admission control).
 	Requests int64 `json:"requests"`
-	// Hits counts requests answered from the verdict cache.
+	// Hits counts requests answered from the verdict cache (memory or
+	// disk read-through).
 	Hits int64 `json:"hits"`
+	// DiskHits counts the subset of lookups the persistent store answered
+	// after the LRU had evicted the digest — the read-through path.
+	DiskHits int64 `json:"diskHits"`
 	// Misses counts requests that ran an analysis to completion and
 	// populated the cache.
 	Misses int64 `json:"misses"`
-	// Evictions counts verdicts dropped by the LRU bound.
+	// Evictions counts verdicts dropped from memory by the LRU bound; the
+	// persistent store keeps its copy for read-through.
 	Evictions int64 `json:"evictions"`
+	// Batches counts POST /v1/analyze/batch requests; BatchItems the items
+	// they carried. Each valid item also counts into Requests.
+	Batches    int64 `json:"batches"`
+	BatchItems int64 `json:"batchItems"`
 	// Rejected counts requests turned away with 429 by admission control.
 	Rejected int64 `json:"rejected"`
 	// Canceled counts requests whose client disconnected mid-analysis.
@@ -56,6 +66,9 @@ type Stats struct {
 	Store *StoreStats `json:"store"`
 	// Uptime is wall time since the server was built.
 	Uptime string `json:"uptime"`
+	// Runtime is the Go runtime's view of this process, sampled at
+	// snapshot time — the fields fspload runs correlate with latency.
+	Runtime RuntimeStats `json:"runtime"`
 	// Latency maps "<mode>/<predicates>" (e.g. "cyclic/all",
 	// "acyclic/reach") to quantiles over the most recent completed
 	// analyses of that class. Cache hits are not included — they measure
@@ -65,6 +78,39 @@ type Stats struct {
 	// counters of completed analyses of that class. predicates=reach
 	// classes never run the belief engine and report nothing.
 	Belief map[string]BeliefTotals `json:"belief,omitempty"`
+}
+
+// RuntimeStats is the process-level runtime sample attached to every
+// /statusz snapshot (fspd and fsprouter alike): scheduler shape and heap
+// pressure, so a load run can tell queueing delay from GC pressure.
+type RuntimeStats struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+	// Gomaxprocs is the scheduler's processor limit.
+	Gomaxprocs int `json:"gomaxprocs"`
+	// HeapInuseBytes and HeapAllocBytes are runtime.MemStats.HeapInuse and
+	// .HeapAlloc; SysBytes is total memory obtained from the OS.
+	HeapInuseBytes uint64 `json:"heapInuseBytes"`
+	HeapAllocBytes uint64 `json:"heapAllocBytes"`
+	SysBytes       uint64 `json:"sysBytes"`
+	// NumGC counts completed GC cycles since process start.
+	NumGC uint32 `json:"numGC"`
+}
+
+// ReadRuntime samples the Go runtime. Exported so cmd/fsprouter's status
+// aggregator reports the router process with the same fields as its
+// workers.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		Gomaxprocs:     runtime.GOMAXPROCS(0),
+		HeapInuseBytes: ms.HeapInuse,
+		HeapAllocBytes: ms.HeapAlloc,
+		SysBytes:       ms.Sys,
+		NumGC:          ms.NumGC,
+	}
 }
 
 // BeliefTotals accumulates belief-engine counters over one class's
@@ -90,15 +136,18 @@ type Quantiles struct {
 
 // counters are the server's atomic tallies.
 type counters struct {
-	requests atomic.Int64
-	hits     atomic.Int64
-	misses   atomic.Int64
-	rejected atomic.Int64
-	canceled atomic.Int64
-	partials atomic.Int64
-	errors   atomic.Int64
-	inflight atomic.Int64
-	queued   atomic.Int64
+	requests   atomic.Int64
+	hits       atomic.Int64
+	diskHits   atomic.Int64
+	misses     atomic.Int64
+	rejected   atomic.Int64
+	canceled   atomic.Int64
+	partials   atomic.Int64
+	errors     atomic.Int64
+	inflight   atomic.Int64
+	queued     atomic.Int64
+	batches    atomic.Int64
+	batchItems atomic.Int64
 
 	lints      atomic.Int64
 	lintHits   atomic.Int64

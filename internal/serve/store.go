@@ -62,8 +62,9 @@ type StoreStats struct {
 	// Compactions and Dropped mirror the store's compaction counters.
 	Compactions int64 `json:"compactions"`
 	Dropped     int64 `json:"dropped"`
-	// WriteErrors counts store operations that failed (each rolled back).
-	WriteErrors int64 `json:"writeErrors"`
+	// IOErrors counts store operations that failed — failed writes (each
+	// rolled back) and failed read-throughs alike.
+	IOErrors int64 `json:"ioErrors"`
 	// DroppedWrites counts write-throughs skipped while not StoreOK.
 	DroppedWrites int64 `json:"droppedWrites"`
 	// Quarantines counts transitions into degraded mode.
@@ -91,7 +92,7 @@ type storeKeeper struct {
 	nextReopen  time.Time
 	reopening   bool
 
-	writeErrors   int64
+	ioErrors      int64
 	droppedWrites int64
 	quarantines   int64
 	reopens       int64
@@ -141,8 +142,9 @@ func newStoreKeeper(cfg StoreConfig, logf func(string, ...any)) *storeKeeper {
 
 // warmLoad replays the persisted verdicts into the cache, oldest first,
 // so the LRU keeps the newest when the disk set exceeds the memory cap.
-// Must run after the cache's eviction hook is installed: an overflow
-// evicts through the keeper back to disk.
+// Overflowing the cache during the load is harmless: eviction is
+// memory-only and the read-through path restores the evicted digests on
+// demand.
 func (k *storeKeeper) warmLoad(cache *lru[verdictjson.Record]) int {
 	k.mu.Lock()
 	st := k.st
@@ -151,8 +153,6 @@ func (k *storeKeeper) warmLoad(cache *lru[verdictjson.Record]) int {
 		return 0
 	}
 	n := 0
-	// Range decodes outside the store lock, so the eviction-driven Delete
-	// re-entering the store cannot deadlock.
 	if err := st.Range(func(digest string, rec verdictjson.Record) bool {
 		cache.add(digest, rec)
 		n++
@@ -168,10 +168,34 @@ func (k *storeKeeper) put(digest string, rec verdictjson.Record) {
 	k.withStore(func(st *store.Store) error { return st.Put(digest, rec) })
 }
 
-// delete removes an LRU-evicted digest from disk so the store tracks the
-// cache's working set. Failures are absorbed.
-func (k *storeKeeper) delete(digest string) {
-	k.withStore(func(st *store.Store) error { return st.Delete(digest) })
+// get is the read-through under the LRU: it serves a digest that is
+// still on disk after a memory eviction (or that another life of this
+// process persisted). A miss is a clean false; an I/O failure counts
+// toward quarantine exactly like a failed write and reports a miss, so
+// a dying disk degrades to recomputation, never to request failures.
+func (k *storeKeeper) get(digest string) (verdictjson.Record, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.st == nil {
+		if k.state == StoreDegraded {
+			k.maybeReopenLocked()
+		}
+		return verdictjson.Record{}, false
+	}
+	rec, ok, err := k.st.Get(digest)
+	if err != nil {
+		k.ioErrors++
+		k.consecFails++
+		k.lastErr = err.Error()
+		if k.consecFails >= k.cfg.FailThreshold {
+			k.quarantineLocked()
+		}
+		return verdictjson.Record{}, false
+	}
+	if ok {
+		k.consecFails = 0
+	}
+	return rec, ok
 }
 
 // withStore runs op against the live store, applying the failure policy.
@@ -189,7 +213,7 @@ func (k *storeKeeper) withStore(op func(*store.Store) error) {
 	// call keeps the error accounting exact and is safe because the store
 	// never calls back into the keeper.
 	if err := op(k.st); err != nil {
-		k.writeErrors++
+		k.ioErrors++
 		k.consecFails++
 		k.lastErr = err.Error()
 		if k.consecFails >= k.cfg.FailThreshold {
@@ -264,7 +288,7 @@ func (k *storeKeeper) snapshot() *StoreStats {
 	defer k.mu.Unlock()
 	out := &StoreStats{
 		State:         k.state,
-		WriteErrors:   k.writeErrors,
+		IOErrors:      k.ioErrors,
 		DroppedWrites: k.droppedWrites,
 		Quarantines:   k.quarantines,
 		Reopens:       k.reopens,

@@ -441,9 +441,43 @@ func (s *Store) Put(digest string, rec verdictjson.Record) error {
 	return nil
 }
 
+// Get reads the live record for digest, if any. The boolean reports
+// whether the digest is present; a non-nil error means the digest is
+// present but its frame could not be read back (an I/O failure, not a
+// miss). Get is the read-through path under the serve layer's LRU: an
+// eviction only drops the in-memory copy, and the next request for the
+// digest comes back here instead of recomputing the analysis.
+func (s *Store) Get(digest string) (verdictjson.Record, bool, error) {
+	s.mu.Lock()
+	l, ok := s.index[digest]
+	if !ok {
+		s.mu.Unlock()
+		return verdictjson.Record{}, false, nil
+	}
+	seg := s.segByID(l.segID)
+	if seg == nil {
+		s.mu.Unlock()
+		return verdictjson.Record{}, true, fmt.Errorf("store: record references missing segment %d", l.segID)
+	}
+	buf := make([]byte, l.n)
+	_, err := seg.f.ReadAt(buf, l.off)
+	s.mu.Unlock()
+	if err != nil {
+		return verdictjson.Record{}, true, fmt.Errorf("store: %w", err)
+	}
+	var e entry
+	if err := json.Unmarshal(buf[headerLen:], &e); err != nil {
+		return verdictjson.Record{}, true, fmt.Errorf("store: %w", err)
+	}
+	rec, err := verdictjson.UnmarshalRecord(e.Record)
+	if err != nil {
+		return verdictjson.Record{}, true, fmt.Errorf("store: %w", err)
+	}
+	return rec, true, nil
+}
+
 // Delete appends a tombstone for digest; unknown digests are a no-op.
-// The serve layer calls this when its LRU evicts a verdict, keeping the
-// durable set a mirror of the warm set.
+// Compaction treats the killed record as dead weight to reclaim.
 func (s *Store) Delete(digest string) error {
 	payload, err := json.Marshal(entry{Digest: digest, Deleted: true})
 	if err != nil {

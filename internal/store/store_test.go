@@ -92,6 +92,49 @@ func TestRoundTripAcrossReopen(t *testing.T) {
 	}
 }
 
+func TestGetPointLookup(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, store.Options{})
+	for i := 0; i < 4; i++ {
+		if err := s.Put(digest(i), rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrite must be visible through Get (last-wins).
+	if err := s.Put(digest(2), rec(9)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(digest(2))
+	if err != nil || !ok {
+		t.Fatalf("Get(d2) = ok=%t err=%v", ok, err)
+	}
+	if !bytes.Equal(mustMarshal(t, got), mustMarshal(t, rec(9))) {
+		t.Errorf("Get returned the superseded record: %+v", got)
+	}
+	if _, ok, err := s.Get("absent"); ok || err != nil {
+		t.Errorf("Get(absent) = ok=%t err=%v, want miss", ok, err)
+	}
+	if err := s.Delete(digest(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(digest(1)); ok {
+		t.Error("Get found a deleted digest")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Point lookups survive a reopen byte-identically.
+	s2 := mustOpen(t, dir, store.Options{})
+	defer s2.Close()
+	got2, ok, err := s2.Get(digest(2))
+	if err != nil || !ok {
+		t.Fatalf("reopened Get(d2) = ok=%t err=%v", ok, err)
+	}
+	if !bytes.Equal(mustMarshal(t, got2), mustMarshal(t, rec(9))) {
+		t.Errorf("reopened Get not byte-identical: %+v", got2)
+	}
+}
+
 func TestRangeInsertionOrder(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), store.Options{})
 	defer s.Close()

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# bench_fspload.sh — regenerate BENCH_fspload.json, the scale-out
+# regression artifact: the same seeded fspload run against fsprouter
+# fronting one fspd worker and then three.
+#
+# The corpus (192 mostly-distinct networks of ~18 processes each)
+# deliberately exceeds one worker's verdict LRU (-cache 96) but fits
+# the three-worker aggregate: the consistent-hash ring turns three
+# small caches into one large one, so the single-worker tier keeps
+# re-analyzing evicted networks (and shedding with 429 once its queue
+# fills) while the three-worker tier serves the same offered load from
+# warm shards. On a single-core host the ≥2× aggregate-throughput win
+# is cache capacity, not CPU parallelism.
+#
+# Run from the repository root: bash scripts/bench_fspload.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+RATE="${RATE:-150}"
+DURATION="${DURATION:-10s}"
+CORPUS="${CORPUS:-192}"
+CACHE="${CACHE:-96}"
+PROCS="${PROCS:-18}"
+OUT="${OUT:-BENCH_fspload.json}"
+
+echo "== building fspd, fsprouter, fspload"
+go build -o "$workdir/fspd" ./cmd/fspd
+go build -o "$workdir/fsprouter" ./cmd/fsprouter
+go build -o "$workdir/fspload" ./cmd/fspload
+
+# start_worker LOG: memory-only fspd with the small LRU; sets wpid/wurl.
+start_worker() {
+    local log="$1"
+    "$workdir/fspd" -addr 127.0.0.1:0 -cache "$CACHE" -grace 2s >"$log" 2>&1 &
+    wpid=$!
+    pids+=("$wpid")
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^fspd: listening on //p' "$log" | head -n1)"
+        [ -n "$addr" ] && break
+        kill -0 "$wpid" 2>/dev/null || { echo "worker died:"; cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "worker never bound"; cat "$log"; exit 1; }
+    wurl="http://$addr"
+}
+
+# start_router LOG URL...: fsprouter over the given workers; sets rpid/rurl.
+start_router() {
+    local log="$1"; shift
+    local args=()
+    for u in "$@"; do args+=(-worker "$u"); done
+    "$workdir/fsprouter" -addr 127.0.0.1:0 "${args[@]}" >"$log" 2>&1 &
+    rpid=$!
+    pids+=("$rpid")
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^fsprouter: listening on \([^,]*\),.*/\1/p' "$log" | head -n1)"
+        [ -n "$addr" ] && break
+        kill -0 "$rpid" 2>/dev/null || { echo "router died:"; cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "router never bound"; cat "$log"; exit 1; }
+    rurl="http://$addr"
+}
+
+load() {
+    "$workdir/fspload" -url "$rurl" -rate "$RATE" -duration "$DURATION" \
+        -corpus "$CORPUS" -seed 1 -procs "$PROCS" -warmup -json "$1"
+}
+
+echo "== tier 1: one worker (cache $CACHE < $CORPUS-network corpus)"
+start_worker "$workdir/w0.log"
+start_router "$workdir/r1.log" "$wurl"
+load "$workdir/one.json"
+kill "$rpid" "$wpid" 2>/dev/null || true
+
+echo "== tier 2: three workers (aggregate cache covers the corpus)"
+start_worker "$workdir/w1.log"; u1=$wurl
+start_worker "$workdir/w2.log"; u2=$wurl
+start_worker "$workdir/w3.log"; u3=$wurl
+start_router "$workdir/r3.log" "$u1" "$u2" "$u3"
+load "$workdir/three.json"
+
+printf '{\n  "oneWorker": %s,\n  "threeWorkers": %s\n}\n' \
+    "$(cat "$workdir/one.json")" "$(cat "$workdir/three.json")" >"$OUT"
+echo "== wrote $OUT"

@@ -104,4 +104,101 @@ if [ "$rc" -ne 0 ]; then
     echo "fspd exited $rc after SIGTERM:"; cat "$workdir/fspd2.log"; exit 1
 fi
 
+# ---------------------------------------------------------------------
+# Cluster case: fsprouter over two fspd workers. The router must shard
+# by digest, aggregate /statusz, and answer a batch byte-identically to
+# the same requests issued as single calls.
+
+echo "== cluster: building fsprouter and the smokebatch helper"
+go build -o "$workdir/fsprouter" ./cmd/fsprouter
+go build -o "$workdir/smokebatch" ./scripts/smokebatch
+
+# start_worker LOGFILE: a memory-only fspd worker; sets wpid/waddr.
+start_worker() {
+    local log="$1"
+    "$workdir/fspd" -addr 127.0.0.1:0 -grace 5s >"$log" 2>&1 &
+    wpid=$!
+    waddr=""
+    for _ in $(seq 1 100); do
+        waddr="$(sed -n 's/^fspd: listening on //p' "$log" | head -n1)"
+        [ -n "$waddr" ] && break
+        if ! kill -0 "$wpid" 2>/dev/null; then
+            echo "worker died during startup:"; cat "$log"; exit 1
+        fi
+        sleep 0.1
+    done
+    [ -n "$waddr" ] || { echo "worker never reported its address"; cat "$log"; exit 1; }
+}
+
+echo "== cluster: starting two workers"
+start_worker "$workdir/worker1.log"; w1pid=$wpid; w1="http://$waddr"
+start_worker "$workdir/worker2.log"; w2pid=$wpid; w2="http://$waddr"
+trap 'kill "$w1pid" "$w2pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+echo "   workers at $w1 and $w2"
+
+echo "== cluster: starting fsprouter"
+"$workdir/fsprouter" -addr 127.0.0.1:0 -worker "$w1" -worker "$w2" \
+    -probe-interval 200ms >"$workdir/router.log" 2>&1 &
+rpid=$!
+raddr=""
+for _ in $(seq 1 100); do
+    raddr="$(sed -n 's/^fsprouter: listening on \([^,]*\),.*/\1/p' "$workdir/router.log" | head -n1)"
+    [ -n "$raddr" ] && break
+    if ! kill -0 "$rpid" 2>/dev/null; then
+        echo "fsprouter died during startup:"; cat "$workdir/router.log"; exit 1
+    fi
+    sleep 0.1
+done
+[ -n "$raddr" ] || { echo "fsprouter never reported its address"; cat "$workdir/router.log"; exit 1; }
+rurl="http://$raddr"
+echo "   up at $rurl"
+curl -fsS "$rurl/healthz" >/dev/null
+
+# A second fixture so the two batch items can land on different shards.
+cat >"$workdir/pair.fsp" <<'EOF'
+process Producer { start p0; p0 put p1; p1 ack p0 }
+process Consumer { start c0; c0 put c1; c1 ack c0 }
+EOF
+
+echo "== cluster: single calls through the router (expect misses)"
+router_analyze() {
+    curl -fsS --data-binary @"$1" "$rurl/v1/analyze?predicates=reach&timeout=60s"
+}
+router_analyze testdata/philosophers10.fsp >"$workdir/s1-miss.json"
+router_analyze "$workdir/pair.fsp"         >"$workdir/s2-miss.json"
+grep -q '"cached": false' "$workdir/s1-miss.json" || { echo "first routed request was not a miss"; exit 1; }
+grep -q '"cached": false' "$workdir/s2-miss.json" || { echo "second routed request was not a miss"; exit 1; }
+
+echo "== cluster: batch of the same two networks (expect hits on both shards)"
+"$workdir/smokebatch" -build testdata/philosophers10.fsp "$workdir/pair.fsp" >"$workdir/batch-req.json"
+curl -fsS -H 'Content-Type: application/json' --data-binary @"$workdir/batch-req.json" \
+    "$rurl/v1/analyze/batch" >"$workdir/batch-resp.json"
+grep -q '"uniques": 2' "$workdir/batch-resp.json" || { echo "batch did not see 2 uniques:"; cat "$workdir/batch-resp.json"; exit 1; }
+
+echo "== cluster: batch items must be byte-identical to single calls"
+router_analyze testdata/philosophers10.fsp >"$workdir/s1-hit.json"
+router_analyze "$workdir/pair.fsp"         >"$workdir/s2-hit.json"
+grep -q '"cached": true' "$workdir/s1-hit.json" || { echo "repeat routed request missed the cache"; exit 1; }
+"$workdir/smokebatch" "$workdir/batch-resp.json" "$workdir/s1-hit.json" "$workdir/s2-hit.json"
+
+echo "== cluster: aggregated /statusz sees both workers healthy"
+rstatus="$(curl -fsS "$rurl/statusz")"
+echo "$rstatus" | grep -q '"healthy": true' || { echo "no healthy worker in router status: $rstatus"; exit 1; }
+if echo "$rstatus" | grep -q '"healthy": false'; then
+    echo "router reports an unhealthy worker: $rstatus"; exit 1
+fi
+echo "$rstatus" | grep -q '"totals"' || { echo "router status missing cluster totals: $rstatus"; exit 1; }
+
+echo "== cluster: SIGTERM drain of the router (expect exit 0)"
+kill -TERM "$rpid"
+rc=0
+wait "$rpid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "fsprouter exited $rc after SIGTERM:"; cat "$workdir/router.log"; exit 1
+fi
+grep -q "fsprouter: drained" "$workdir/router.log" || { echo "no router drain line:"; cat "$workdir/router.log"; exit 1; }
+
+kill -TERM "$w1pid" "$w2pid" 2>/dev/null || true
+wait "$w1pid" "$w2pid" 2>/dev/null || true
+
 echo "ok: smoke test passed"

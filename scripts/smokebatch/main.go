@@ -1,0 +1,105 @@
+// Command smokebatch is the serve_smoke.sh helper for the batch API:
+// shell quoting cannot safely embed multi-line networks in JSON, and
+// the smoke test must compare a batch's items against single-call
+// responses byte for byte, which needs a JSON-aware canonical form.
+//
+//	smokebatch -build a.fsp b.fsp   # emit a BatchRequest for the files
+//	smokebatch batch.json s1.json s2.json ...
+//	                                # compare response items to singles
+//
+// In compare mode the batch response's items and the single responses
+// are each re-marshaled compactly from the shared wire structs and must
+// match byte for byte, item i against single i. Exit 0 on match, 1 on
+// any difference.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"fspnet/internal/serve"
+)
+
+func main() {
+	build := flag.Bool("build", false, "emit a BatchRequest for the given .fsp files instead of comparing")
+	predicates := flag.String("predicates", "reach", "predicate set for built batch items")
+	flag.Parse()
+	if err := run(*build, *predicates, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "smokebatch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(build bool, predicates string, args []string) error {
+	if build {
+		return buildBatch(predicates, args)
+	}
+	return compare(args)
+}
+
+func buildBatch(predicates string, files []string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("usage: smokebatch -build FILE.fsp [FILE.fsp ...]")
+	}
+	var breq serve.BatchRequest
+	for _, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		breq.Items = append(breq.Items, serve.AnalyzeRequest{
+			Network:    string(text),
+			Predicates: predicates,
+		})
+	}
+	out, err := json.Marshal(breq)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(out)
+	return err
+}
+
+func compare(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: smokebatch BATCH.json SINGLE.json [SINGLE.json ...]")
+	}
+	raw, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	var bresp serve.BatchResponse
+	if err := json.Unmarshal(raw, &bresp); err != nil {
+		return fmt.Errorf("parsing batch response %s: %w", args[0], err)
+	}
+	singles := args[1:]
+	if len(bresp.Items) != len(singles) {
+		return fmt.Errorf("batch has %d items, %d single responses given", len(bresp.Items), len(singles))
+	}
+	for i, f := range singles {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var single serve.AnalyzeResponse
+		if err := json.Unmarshal(raw, &single); err != nil {
+			return fmt.Errorf("parsing single response %s: %w", f, err)
+		}
+		got, err := json.Marshal(bresp.Items[i])
+		if err != nil {
+			return err
+		}
+		want, err := json.Marshal(single)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("batch item %d differs from single call %s:\nbatch:  %s\nsingle: %s", i, f, got, want)
+		}
+	}
+	fmt.Printf("ok: %d batch items byte-identical to single calls\n", len(singles))
+	return nil
+}
