@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"fspnet/internal/explore"
+	"fspnet/internal/game"
+	"fspnet/internal/game/belief"
+	"fspnet/internal/guard"
+	"fspnet/internal/network"
+)
+
+// E13 measures the orbit-canonical state interning: the explore engine
+// and the belief game's context BFS with the symmetry quotient (probes
+// off, so the reduced space is genuinely enumerated) against the same
+// engines unreduced. The families are the symmetric workloads — the
+// dining-philosophers ring, whose C_m rotation group divides the joint
+// space by ~m, and the hub-and-spoke clique, whose leaf-permutation
+// subgroup survives into the distinguished process's stabilizer and
+// collapses the context. Verdicts must agree on every row; the quotient
+// changes only what is enumerated, never what is decided.
+func E13(quick bool, g *guard.G) (*Table, error) {
+	type fam struct {
+		name  string
+		sizes []int
+		build func(m int) (*network.Network, error)
+	}
+	families := []fam{
+		{"philosophers", []int{4, 6, 8, 10, 12},
+			func(m int) (*network.Network, error) { return Philosophers(m) }},
+		{"clique", []int{3, 4, 5, 6},
+			func(m int) (*network.Network, error) { return SymmetricClique(m) }},
+	}
+	if quick {
+		families[0].sizes = []int{4, 6}
+		families[1].sizes = []int{3, 4}
+	}
+	raw := explore.Tuning{NoSymmetry: true, NoProbe: true}
+	quot := explore.Tuning{NoProbe: true}
+	rawB := belief.Tuning{NoSymmetry: true, NoProbe: true}
+	quotB := belief.Tuning{NoProbe: true}
+	t := &Table{Header: []string{"family", "m", "group order",
+		"states (raw)", "states (quotient)", "reduction", "orbit hits",
+		"ctx (raw)", "ctx (quotient)", "verdicts agree", "time (raw)", "time (quotient)"}}
+	for _, f := range families {
+		for _, m := range f.sizes {
+			if err := rowPoll(g, t); err != nil {
+				return t, err
+			}
+			n, err := f.build(m)
+			if err != nil {
+				return nil, err
+			}
+			run := func(et explore.Tuning, bt belief.Tuning) (res explore.Result, sa bool, bst belief.Stats, d time.Duration, err error) {
+				d, err = timed(func() error {
+					var err error
+					res, err = explore.AnalyzeCyclic(n, 0, explore.Options{Guard: g, Tune: et})
+					if err != nil {
+						return err
+					}
+					sa, bst, err = belief.SolveCyclicTuned(n, 0, game.Options{Guard: g}, bt)
+					return err
+				})
+				return res, sa, bst, d, err
+			}
+			rawRes, rawSa, rawBst, rawD, err := run(raw, rawB)
+			if err != nil {
+				return t, err
+			}
+			quotRes, quotSa, quotBst, quotD, err := run(quot, quotB)
+			if err != nil {
+				return t, err
+			}
+			agree := rawRes.Su == quotRes.Su && rawRes.Sc == quotRes.Sc && rawSa == quotSa
+			reduction := fmt.Sprintf("%.1fx", float64(rawRes.Stats.States)/float64(quotRes.Stats.States))
+			t.Add(f.name, m, quotRes.Stats.GroupOrder,
+				rawRes.Stats.States, quotRes.Stats.States, reduction, quotRes.Stats.OrbitHits,
+				rawBst.CtxStates, quotBst.CtxStates, agree, rawD, quotD)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,99 @@
+package bench_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"fspnet/internal/bench"
+	"fspnet/internal/explore"
+	"fspnet/internal/fsptest"
+	"fspnet/internal/game"
+	"fspnet/internal/game/belief"
+	"fspnet/internal/network"
+	"fspnet/internal/success"
+)
+
+// FuzzDifferentialSymmetry cross-checks the orbit-canonical engines
+// against the unreduced oracle on randomized instances, over all three
+// predicates. mode selects the generator: random tree networks (both
+// semantics), the dining-philosophers ring, and the symmetric clique —
+// the latter two are where the discovered groups are large and a
+// canonicalization bug would actually bite. The quotient and the probes
+// are pure how-optimizations; any verdict divergence is a soundness bug.
+func FuzzDifferentialSymmetry(f *testing.F) {
+	for seed := int64(0); seed < 6; seed++ {
+		f.Add(seed, uint8(seed), uint8(0))
+		f.Add(seed, uint8(seed), uint8(1))
+		f.Add(seed, uint8(seed), uint8(2))
+		f.Add(seed, uint8(seed), uint8(3))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, size, mode uint8) {
+		var (
+			n      *network.Network
+			cyclic bool
+			err    error
+		)
+		switch mode % 4 {
+		case 0, 1:
+			cyclic = mode%4 == 1
+			r := rand.New(rand.NewSource(seed))
+			n = fsptest.TreeNetwork(r, fsptest.NetConfig{
+				Procs:          2 + int(size)%4,
+				ActionsPerEdge: 1 + int(size)%2,
+				MaxStates:      3 + int(size)%3,
+				TauProb:        0.2,
+				Cyclic:         cyclic,
+			})
+		case 2:
+			cyclic = true
+			n, err = bench.Philosophers(3 + int(size)%4)
+		case 3:
+			cyclic = true
+			n, err = bench.SymmetricClique(2 + int(size)%5)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		analyze := success.AnalyzeAcyclicOpts
+		if cyclic {
+			analyze = success.AnalyzeCyclicOpts
+		}
+		var oracleExp explore.Stats
+		want, err := analyze(n, 0, success.Options{NoSymmetry: true, ExploreStats: &oracleExp})
+		if err != nil {
+			t.Skip() // instance too large for the oracle's default budget
+		}
+		var bst belief.Stats
+		var est explore.Stats
+		got, err := analyze(n, 0, success.Options{BeliefStats: &bst, ExploreStats: &est})
+		if err != nil {
+			t.Fatalf("reduced engine failed where the oracle succeeded: %v", err)
+		}
+		if got != want {
+			t.Fatalf("divergence: reduced %+v, oracle %+v (seed=%d size=%d mode=%d, explore %+v, belief %+v)",
+				got, want, seed, size, mode, est, bst)
+		}
+		// The quotient partitions the raw space: representative count plus
+		// the states they stand for must reproduce the oracle's count
+		// whenever both engines actually enumerated (probes may decide the
+		// reduced run from the raw space first, reporting zero states).
+		if est.States > 0 && est.States+int(est.SymStates) != oracleExp.States {
+			t.Fatalf("orbit partition broken: %d reps + %d collapsed != %d raw (seed=%d size=%d mode=%d)",
+				est.States, est.SymStates, oracleExp.States, seed, size, mode)
+		}
+		// The belief engine alone, quotient on but probe off, must agree
+		// too — this path genuinely enumerates the quotient context.
+		solve := belief.SolveAcyclicTuned
+		if cyclic {
+			solve = belief.SolveCyclicTuned
+		}
+		quot, _, err := solve(n, 0, game.Options{}, belief.Tuning{NoProbe: true})
+		if err != nil {
+			t.Fatalf("quotient belief engine failed where the oracle succeeded: %v", err)
+		}
+		if quot != want.Sa {
+			t.Fatalf("belief quotient divergence: S_a=%v, oracle S_a=%v (seed=%d size=%d mode=%d)",
+				quot, want.Sa, seed, size, mode)
+		}
+	})
+}

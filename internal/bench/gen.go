@@ -133,6 +133,48 @@ func PhilosophersPolite(m int) (*network.Network, error) {
 	return network.New(procs...)
 }
 
+// SymmetricClique builds the E13 symmetry family: a hub-and-spoke
+// network of k interchangeable leaves around a hub, with a distinguished
+// client P talking only to the hub. The k leaves are pairwise swappable
+// (relabeling ask_i/done_i), and none of those actions is owned by P, so
+// the full transposition class survives into P's dist-stabilizer
+// subgroup — the belief engine's context quotient collapses the leaf
+// vectors. P carries an extra req self-loop so it can never be mistaken
+// for a leaf by shape (the hub is symmetric between its neighbours).
+func SymmetricClique(k int) (*network.Network, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("bench: symmetric clique needs at least 2 leaves, got %d", k)
+	}
+	ask := func(i int) fsp.Action { return fsp.Action(fmt.Sprintf("ask%d", i)) }
+	done := func(i int) fsp.Action { return fsp.Action(fmt.Sprintf("done%d", i)) }
+	procs := make([]*fsp.FSP, 0, k+2)
+	bp := fsp.NewBuilder("P")
+	p0, p1 := bp.State("idle"), bp.State("wait")
+	bp.Add(p0, "req", p1)
+	bp.Add(p1, "req", p1)
+	bp.Add(p1, "ack", p0)
+	procs = append(procs, bp.MustBuild())
+	bh := fsp.NewBuilder("Hub")
+	h0, h1 := bh.State("idle"), bh.State("busy")
+	bh.Add(h0, "req", h1)
+	bh.Add(h1, "req", h1)
+	bh.Add(h1, "ack", h0)
+	for i := 0; i < k; i++ {
+		serve := bh.State(fmt.Sprintf("serve%d", i))
+		bh.Add(h0, ask(i), serve)
+		bh.Add(serve, done(i), h0)
+	}
+	procs = append(procs, bh.MustBuild())
+	for i := 0; i < k; i++ {
+		bl := fsp.NewBuilder(fmt.Sprintf("Leaf%d", i))
+		l0, l1 := bl.State("idle"), bl.State("served")
+		bl.Add(l0, ask(i), l1)
+		bl.Add(l1, done(i), l0)
+		procs = append(procs, bl.MustBuild())
+	}
+	return network.New(procs...)
+}
+
 // DoublingChain builds the E8 family: root loops on x0; m multiply-by-2
 // machines; a base process granting its channel `base` times (or forever
 // when inf). The interface count at the root is base·2^m.

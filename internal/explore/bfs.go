@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"fspnet/internal/guard"
+	"fspnet/internal/symred"
 )
 
 // numShards is the visited-set sharding factor; a power of two so the
@@ -127,11 +128,12 @@ type bfsFlags struct {
 }
 
 type workerOut struct {
-	next     []uint32
-	flags    bfsFlags
-	fresh    int
-	moves    int64
-	panicked error
+	next      []uint32
+	flags     bfsFlags
+	fresh     int
+	moves     int64
+	orbitHits int64
+	panicked  error
 }
 
 // bfs runs the level-synchronized parallel exploration from the joint
@@ -148,7 +150,7 @@ type workerOut struct {
 // surface at the barrier as a guard.ErrPanic reason; the merge of a
 // panicked level is discarded because a half-expanded level would make
 // flags and fresh counts depend on scheduling.
-func (mc *machine) bfs(cyclic bool, o Options, done func(bfsFlags) bool) (*interner, bfsFlags, Stats, error) {
+func (mc *machine) bfs(cyclic bool, o Options, sy *symState, done func(bfsFlags) bool) (*interner, bfsFlags, Stats, error) {
 	in := newInterner(mc.m)
 	limit := maxStates(o)
 	g := o.Guard
@@ -157,6 +159,15 @@ func (mc *machine) bfs(cyclic bool, o Options, done func(bfsFlags) bool) (*inter
 		workers = runtime.GOMAXPROCS(0)
 	}
 	start := mc.startVec()
+	if sy != nil {
+		// An automorphism fixes every component's start state, so the
+		// joint start is its own orbit representative; canonicalize anyway
+		// so the invariant "everything interned is canonical" has a single
+		// enforcement point.
+		canon := make([]uint32, mc.m)
+		sy.grp.NewCanonizer().Canon(start, canon)
+		start = canon
+	}
 	in.intern(keyBytes(make([]byte, 4*mc.m), start), start)
 	frontier := append([]uint32(nil), start...)
 	var flags bfsFlags
@@ -193,7 +204,7 @@ func (mc *machine) bfs(cyclic bool, o Options, done func(bfsFlags) bool) (*inter
 					panic("faultinject: synthetic worker panic")
 				}
 				lo, hi := wi*nvecs/w, (wi+1)*nvecs/w
-				outs[wi] = mc.expandChunk(cyclic, in, frontier, lo, hi)
+				outs[wi] = mc.expandChunk(cyclic, in, sy, frontier, lo, hi)
 			}(wi)
 		}
 		wg.Wait()
@@ -215,6 +226,7 @@ func (mc *machine) bfs(cyclic bool, o Options, done func(bfsFlags) bool) (*inter
 			flags.blocked = flags.blocked || outs[i].flags.blocked
 			fresh += outs[i].fresh
 			stats.Moves += outs[i].moves
+			stats.OrbitHits += outs[i].orbitHits
 		}
 		stats.States += fresh
 		frontier = next
@@ -227,15 +239,32 @@ func (mc *machine) bfs(cyclic bool, o Options, done func(bfsFlags) bool) (*inter
 }
 
 // expandChunk expands frontier vectors [lo, hi) into a worker-local next
-// frontier, interning successors and classifying moveless vectors.
-func (mc *machine) expandChunk(cyclic bool, in *interner, frontier []uint32, lo, hi int) workerOut {
+// frontier, interning successors and classifying moveless vectors. With
+// symmetry active, successors are canonicalized before interning —
+// frontiers then carry orbit representatives only — and a stuck
+// representative is classified once per position the distinguished
+// process's role can occupy in it (every such raw stuck state is
+// genuinely reachable: automorphisms fix the start vector).
+func (mc *machine) expandChunk(cyclic bool, in *interner, sy *symState, frontier []uint32, lo, hi int) workerOut {
 	var out workerOut
 	scratch := make([]uint32, mc.m)
 	kb := make([]byte, 4*mc.m)
+	var cz *symred.Canonizer
+	var canon []uint32
+	if sy != nil {
+		cz = sy.grp.NewCanonizer()
+		canon = make([]uint32, mc.m)
+	}
 	for v := lo; v < hi; v++ {
 		vec := frontier[v*mc.m : (v+1)*mc.m]
 		moved := mc.expand(vec, scratch, func(succ []uint32, kind int) bool {
 			out.moves++
+			if cz != nil {
+				if cz.Canon(succ, canon) {
+					out.orbitHits++
+				}
+				succ = canon
+			}
 			if in.intern(keyBytes(kb, succ), succ) {
 				out.fresh++
 				out.next = append(out.next, succ...)
@@ -247,11 +276,20 @@ func (mc *machine) expandChunk(cyclic bool, in *interner, frontier []uint32, lo,
 			// the blocking condition: Q stable (no context τ, no
 			// context-internal handshake) and the offered action sets
 			// disjoint (no enabled P-handshake).
-			if cyclic {
+			switch {
+			case cyclic:
 				out.flags.blocked = true
-			} else if mc.distLeaf[vec[mc.dist]] {
+			case sy != nil:
+				for _, j := range sy.distOrbit {
+					if sy.procLeaf[j][vec[j]] {
+						out.flags.stuckLeaf = true
+					} else {
+						out.flags.stuckNonLeaf = true
+					}
+				}
+			case mc.distLeaf[vec[mc.dist]]:
 				out.flags.stuckLeaf = true
-			} else {
+			default:
 				out.flags.stuckNonLeaf = true
 			}
 		}

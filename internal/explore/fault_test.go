@@ -25,6 +25,14 @@ func faultOpts(h guard.Hook) explore.Options {
 	return explore.Options{Workers: 4, Guard: guard.New(guard.Config{Hook: h})}
 }
 
+// faultOptsTuned is faultOpts with explicit symmetry tuning, for sweeps
+// that must reach the exhaustive passes the witness probes would skip.
+func faultOptsTuned(h guard.Hook, tune explore.Tuning) explore.Options {
+	o := faultOpts(h)
+	o.Tune = tune
+	return o
+}
+
 // acyclicFixture is an 8-process tree network; the seed is fixed so every
 // sweep sees the same joint graph.
 func acyclicFixture() *network.Network {
@@ -88,17 +96,20 @@ func TestFaultInjectAcyclicCancelSweep(t *testing.T) {
 }
 
 // TestFaultInjectCyclicCancelSweep is the cancel sweep under the Section
-// 4 semantics, which runs the BFS to completion plus two sequential
-// post-passes.
+// 4 semantics, which runs the BFS to completion plus the sequential
+// post-passes. The witness probes are tuned off so the sweep actually
+// reaches the BFS barriers (with probes on, the ring is decided before
+// any barrier and every injected run completes with the full verdict).
 func TestFaultInjectCyclicCancelSweep(t *testing.T) {
 	n := cyclicFixture(t)
-	full, err := explore.AnalyzeCyclic(n, 0, explore.Options{Workers: 4})
+	noProbe := explore.Tuning{NoProbe: true}
+	full, err := explore.AnalyzeCyclic(n, 0, explore.Options{Workers: 4, Tune: noProbe})
 	if err != nil {
 		t.Fatal(err)
 	}
 	prevStates := -1
 	for lvl := 0; lvl <= full.Stats.Depth+1; lvl++ {
-		res, err := explore.AnalyzeCyclic(n, 0, faultOpts(faultinject.CancelAt("bfs", lvl)))
+		res, err := explore.AnalyzeCyclic(n, 0, faultOptsTuned(faultinject.CancelAt("bfs", lvl), noProbe))
 		if err == nil {
 			if res.Su != full.Su || res.Sc != full.Sc {
 				t.Fatalf("level %d: completed run disagrees: got (%v,%v), want (%v,%v)",
@@ -131,41 +142,79 @@ func TestFaultInjectCyclicCancelSweep(t *testing.T) {
 }
 
 // TestFaultInjectCyclicPassBoundaries cancels at the boundary of each
-// cyclic post-pass. The handshake-cycle pass always runs when S_c is
-// wanted, so that injection must fire; a τ-cycle injection may be skipped
-// (the pass is elided once a blocking witness decides ¬S_u), in which
-// case the run must complete with the full verdict.
+// cyclic post-pass, in both the symmetry-reduced shape (sym-adj builds
+// the quotient adjacency, the cycle passes run on the j-tracking cover,
+// canon sums the collapsed states) and the unreduced legacy shape. The
+// handshake-cycle pass always runs when S_c is wanted, so that
+// injection must fire; a τ-cycle injection may be skipped (the pass is
+// elided once a blocking witness decides ¬S_u), in which case the run
+// must complete with the full verdict.
 func TestFaultInjectCyclicPassBoundaries(t *testing.T) {
+	n := cyclicFixture(t)
+	for _, tc := range []struct {
+		name   string
+		tune   explore.Tuning
+		passes []string
+	}{
+		{"sym", explore.Tuning{NoProbe: true}, []string{"sym-adj", "tau-cycle", "handshake-cycle", "canon"}},
+		{"legacy", explore.Tuning{NoProbe: true, NoSymmetry: true}, []string{"tau-cycle", "handshake-cycle"}},
+	} {
+		full, err := explore.AnalyzeCyclic(n, 0, explore.Options{Workers: 4, Tune: tc.tune})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pass := range tc.passes {
+			res, err := explore.AnalyzeCyclic(n, 0, faultOptsTuned(faultinject.CancelAt(pass, 0), tc.tune))
+			if err == nil {
+				if pass == "handshake-cycle" || pass == "sym-adj" || pass == "canon" {
+					t.Fatalf("%s/%s injection never fired", tc.name, pass)
+				}
+				if res.Su != full.Su || res.Sc != full.Sc {
+					t.Fatalf("%s/%s: completed run disagrees with full run", tc.name, pass)
+				}
+				continue
+			}
+			var le *guard.LimitErr
+			if !errors.As(err, &le) || !errors.Is(err, guard.ErrCanceled) {
+				t.Fatalf("%s/%s: error %v, want LimitErr wrapping ErrCanceled", tc.name, pass, err)
+			}
+			if le.Partial.Pass != pass {
+				t.Errorf("%s/%s: partial reports pass=%s", tc.name, pass, le.Partial.Pass)
+			}
+			if le.Partial.Su.Contradicts(full.Su) || le.Partial.Sc.Contradicts(full.Sc) {
+				t.Errorf("%s/%s: partial (%s,%s) contradicts full (%v,%v)",
+					tc.name, pass, le.Partial.Su, le.Partial.Sc, full.Su, full.Sc)
+			}
+			if pass == "handshake-cycle" && !le.Partial.Su.Known() {
+				t.Errorf("%s: handshake-cycle partial must carry the already-decided S_u", tc.name)
+			}
+			if pass == "canon" && (!le.Partial.Su.Known() || !le.Partial.Sc.Known()) {
+				t.Errorf("%s: canon partial must carry the fully decided verdict", tc.name)
+			}
+		}
+	}
+}
+
+// TestFaultInjectProbeCancel cancels inside the witness probes (the
+// default cyclic fast path): the partial must name the probe pass and
+// never contradict the full verdict.
+func TestFaultInjectProbeCancel(t *testing.T) {
 	n := cyclicFixture(t)
 	full, err := explore.AnalyzeCyclic(n, 0, explore.Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pass := range []string{"tau-cycle", "handshake-cycle"} {
-		res, err := explore.AnalyzeCyclic(n, 0, faultOpts(faultinject.CancelAt(pass, 0)))
-		if err == nil {
-			if pass == "handshake-cycle" {
-				t.Fatalf("handshake-cycle injection never fired")
-			}
-			if res.Su != full.Su || res.Sc != full.Sc {
-				t.Fatalf("%s: completed run disagrees with full run", pass)
-			}
-			continue
-		}
-		var le *guard.LimitErr
-		if !errors.As(err, &le) || !errors.Is(err, guard.ErrCanceled) {
-			t.Fatalf("%s: error %v, want LimitErr wrapping ErrCanceled", pass, err)
-		}
-		if le.Partial.Pass != pass {
-			t.Errorf("%s: partial reports pass=%s", pass, le.Partial.Pass)
-		}
-		if le.Partial.Su.Contradicts(full.Su) || le.Partial.Sc.Contradicts(full.Sc) {
-			t.Errorf("%s: partial (%s,%s) contradicts full (%v,%v)",
-				pass, le.Partial.Su, le.Partial.Sc, full.Su, full.Sc)
-		}
-		if pass == "handshake-cycle" && !le.Partial.Su.Known() {
-			t.Errorf("handshake-cycle partial must carry the already-decided S_u")
-		}
+	_, err = explore.AnalyzeCyclic(n, 0, faultOpts(faultinject.CancelAt("probe", 0)))
+	var le *guard.LimitErr
+	if !errors.As(err, &le) || !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("error %v, want LimitErr wrapping ErrCanceled", err)
+	}
+	if le.Partial.Pass != "probe" {
+		t.Errorf("partial reports pass=%s, want probe", le.Partial.Pass)
+	}
+	if le.Partial.Su.Contradicts(full.Su) || le.Partial.Sc.Contradicts(full.Sc) {
+		t.Errorf("probe partial (%s,%s) contradicts full (%v,%v)",
+			le.Partial.Su, le.Partial.Sc, full.Su, full.Sc)
 	}
 }
 
@@ -222,10 +271,11 @@ func TestFaultInjectDeadline(t *testing.T) {
 }
 
 // TestFaultInjectCyclicPanic exercises barrier recovery on the cyclic
-// path too.
+// path too (probes off, so the BFS actually runs).
 func TestFaultInjectCyclicPanic(t *testing.T) {
 	n := cyclicFixture(t)
-	_, err := explore.AnalyzeCyclic(n, 0, faultOpts(faultinject.PanicAt("bfs", 0)))
+	_, err := explore.AnalyzeCyclic(n, 0,
+		faultOptsTuned(faultinject.PanicAt("bfs", 0), explore.Tuning{NoProbe: true}))
 	var le *guard.LimitErr
 	if !errors.As(err, &le) || !errors.Is(err, guard.ErrPanic) {
 		t.Fatalf("error %v, want LimitErr wrapping ErrPanic", err)

@@ -1,0 +1,233 @@
+package explore
+
+import (
+	"fmt"
+
+	"fspnet/internal/guard"
+)
+
+// This file holds the bounded witness probes of the cyclic analysis.
+// Both cyclic predicates have one polarity that a small witness decides:
+//
+//	¬S_u — a reachable context-move cycle (silent divergence, m ≥ 3), or
+//	        a reachable vector with no joint move at all (blocking);
+//	 S_c — a reachable cycle containing a P-handshake edge.
+//
+// On the fully symmetric families those witnesses sit within a handful
+// of moves of the start (one philosopher's eat cycle), while the raw
+// joint space is astronomically large — so a deterministic depth-first
+// probe with a small node budget decides philosophers20 instantly where
+// even the quotiented exhaustive BFS could not finish. The probes walk
+// the RAW space (no canonicalization), so their witnesses are genuine
+// runs and need no symmetry soundness argument. A probe that exhausts
+// its budget decides nothing and the exhaustive passes take over.
+
+// probeBudget bounds the visited vectors of each probe walk.
+const probeBudget = 4096
+
+// probeResult carries what the probes decided. Only the witnessed
+// polarities can ever be set; the opposite polarities need exhaustion.
+type probeResult struct {
+	states  int  // raw vectors visited across both walks
+	suFalse bool // ¬S_u witnessed
+	scTrue  bool // S_c witnessed
+}
+
+// probeCyclic runs the two witness walks under pass "probe". It never
+// decides S_u = true or S_c = false. Deterministic: fixed expansion
+// order, fixed budget, no parallelism.
+func (mc *machine) probeCyclic(needSu, needSc bool, g *guard.G) (probeResult, error) {
+	var pr probeResult
+	if err := g.Poll("probe", 0); err != nil {
+		return pr, fmt.Errorf("explore: probe pass: %w", err)
+	}
+	// Walk 1: gray-path DFS over context moves only. A back-edge is a
+	// reachable silent divergence of the context — the ⊥ rule, which only
+	// applies when the context is a real composition (m ≥ 3).
+	if needSu && mc.m >= 3 {
+		if err := mc.probeCtxCycle(&pr, g); err != nil {
+			return pr, err
+		}
+	}
+	// Walk 2: gray-path DFS over the full joint relation. Every back-edge
+	// closes a stack cycle that either contains a P-handshake edge (an
+	// S_c witness) or consists of context moves alone (¬S_u when m ≥ 3);
+	// a moveless vector on the way is a blocking ¬S_u witness.
+	if (needSc && !pr.scTrue) || (needSu && !pr.suFalse) {
+		if err := mc.probeFullCycle(needSu, needSc, &pr, g); err != nil {
+			return pr, err
+		}
+	}
+	return pr, nil
+}
+
+// probePoll polls the governor every pollStride visited vectors.
+func probePoll(g *guard.G, visited int) error {
+	if visited%pollStride != 0 {
+		return nil
+	}
+	if err := g.Poll("probe", visited/pollStride); err != nil {
+		return fmt.Errorf("explore: probe pass: %w", err)
+	}
+	return nil
+}
+
+// probeCtxCycle looks for a context-move cycle reachable from the start.
+func (mc *machine) probeCtxCycle(pr *probeResult, g *guard.G) error {
+	const black = -2
+	depth := make(map[string]int32) // packed vec → gray depth, or black
+	scratch := make([]uint32, mc.m)
+	kb := make([]byte, 4*mc.m)
+	succs := func(vec []uint32) []string {
+		var out []string
+		mc.expand(vec, scratch, func(succ []uint32, kind int) bool {
+			if kind == moveCtxTau || kind == moveCtxHandshake {
+				out = append(out, string(keyBytes(kb, succ)))
+			}
+			return true
+		})
+		return out
+	}
+	type frame struct {
+		key  string
+		succ []string
+		next int
+	}
+	start := mc.startVec()
+	startKey := string(keyBytes(kb, start))
+	depth[startKey] = 0
+	pr.states++
+	stack := []frame{{startKey, succs(start), 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next >= len(f.succ) {
+			depth[f.key] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		key := f.succ[f.next]
+		f.next++
+		d, seen := depth[key]
+		switch {
+		case seen && d >= 0:
+			pr.suFalse = true
+			return nil
+		case seen: // black
+		default:
+			if len(depth) >= probeBudget {
+				return nil // budget spent without a witness: undecided
+			}
+			pr.states++
+			if err := probePoll(g, len(depth)); err != nil {
+				return err
+			}
+			depth[key] = int32(len(stack))
+			stack = append(stack, frame{key, succs(unpackKey(key, mc.m)), 0})
+		}
+	}
+	return nil
+}
+
+// probeFullCycle walks the full joint relation, classifying every
+// back-edge by whether the stack cycle it closes contains a P-handshake
+// edge — tracked as the deepest stack frame entered over one (hsDepth).
+func (mc *machine) probeFullCycle(needSu, needSc bool, pr *probeResult, g *guard.G) error {
+	const black = -2
+	depth := make(map[string]int32)
+	scratch := make([]uint32, mc.m)
+	kb := make([]byte, 4*mc.m)
+	type edge struct {
+		key string
+		hs  bool // the edge is a P-handshake
+	}
+	succs := func(vec []uint32) ([]edge, bool) {
+		var out []edge
+		moved := mc.expand(vec, scratch, func(succ []uint32, kind int) bool {
+			out = append(out, edge{string(keyBytes(kb, succ)), kind == moveDistHandshake})
+			return true
+		})
+		return out, moved
+	}
+	type frame struct {
+		key  string
+		succ []edge
+		next int
+		// hsDepth is the deepest frame index ≤ this one whose incoming
+		// edge is a P-handshake (−1: none on the path). A back-edge from
+		// this frame to gray depth d closes a cycle containing a
+		// P-handshake iff the closing edge is one or hsDepth > d.
+		hsDepth int32
+	}
+	done := func() bool {
+		return (!needSu || pr.suFalse) && (!needSc || pr.scTrue)
+	}
+	start := mc.startVec()
+	startKey := string(keyBytes(kb, start))
+	depth[startKey] = 0
+	pr.states++
+	ss, moved := succs(start)
+	if !moved {
+		pr.suFalse = true // the start itself is a blocking vector
+		if done() {
+			return nil
+		}
+	}
+	stack := []frame{{key: startKey, succ: ss, hsDepth: -1}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next >= len(f.succ) {
+			depth[f.key] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		e := f.succ[f.next]
+		f.next++
+		d, seen := depth[e.key]
+		switch {
+		case seen && d >= 0:
+			if e.hs || f.hsDepth > d {
+				pr.scTrue = true
+			} else if mc.m >= 3 {
+				// No P-handshake anywhere on the cycle, and P is τ-free,
+				// so every edge of it is a context move: silent divergence.
+				pr.suFalse = true
+			}
+			if done() {
+				return nil
+			}
+		case seen: // black
+		default:
+			if len(depth) >= probeBudget {
+				return nil
+			}
+			pr.states++
+			if err := probePoll(g, len(depth)); err != nil {
+				return err
+			}
+			hs := f.hsDepth
+			if e.hs {
+				hs = int32(len(stack))
+			}
+			depth[e.key] = int32(len(stack))
+			ss, moved := succs(unpackKey(e.key, mc.m))
+			if !moved {
+				pr.suFalse = true // a blocking vector
+				if done() {
+					return nil
+				}
+			}
+			stack = append(stack, frame{key: e.key, succ: ss, hsDepth: hs})
+		}
+	}
+	return nil
+}
+
+// unpackKey reverses keyBytes for a packed m-component vector key.
+func unpackKey(key string, m int) []uint32 {
+	vec := make([]uint32, m)
+	for i := range vec {
+		vec[i] = uint32(key[4*i]) | uint32(key[4*i+1])<<8 |
+			uint32(key[4*i+2])<<16 | uint32(key[4*i+3])<<24
+	}
+	return vec
+}

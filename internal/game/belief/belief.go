@@ -57,6 +57,7 @@ import (
 	"fspnet/internal/game"
 	"fspnet/internal/guard"
 	"fspnet/internal/network"
+	"fspnet/internal/symred"
 )
 
 // pollStride amortizes governor polls inside the sequential worklists:
@@ -89,6 +90,16 @@ type Stats struct {
 	// Workers is the resolved cyclic-sweep parallelism (1 for the
 	// acyclic DFS and the sequential oracle configuration).
 	Workers int
+	// GroupOrder is the discovered order of the dist-stabilizer symmetry
+	// subgroup the context quotient used (a lower bound from the element
+	// set; 1 when symmetry is off or the subgroup is trivial).
+	GroupOrder int
+	// SymHits counts context successors the canonicalization moved onto a
+	// different orbit representative during the context BFS.
+	SymHits int
+	// ProbeStates is the number of raw context vectors the cyclic witness
+	// probe visited (0 when the probe is off or the game is acyclic).
+	ProbeStates int
 }
 
 // Tuning selects engine variants. The zero value is the production
@@ -103,6 +114,14 @@ type Tuning struct {
 	// elimination; ≤ 0 means runtime.GOMAXPROCS(0), 1 runs the sweep
 	// inline. The acyclic DFS is always sequential.
 	Workers int
+	// NoSymmetry disables the dist-stabilizer orbit quotient of the
+	// context graph. Like NoAntichain it changes only how the verdict is
+	// computed, never the verdict.
+	NoSymmetry bool
+	// NoProbe disables the bounded cyclic witness probe that can decide
+	// S_a = false from a handful of raw context vectors before the
+	// context is enumerated.
+	NoProbe bool
 }
 
 // workers resolves the cyclic sweep parallelism.
@@ -138,7 +157,7 @@ func SolveAcyclicTuned(n *network.Network, i int, o game.Options, t Tuning) (boo
 		}
 		return false, Stats{}, err
 	}
-	sv, err := newSolver(M, false, o, t)
+	sv, err := newSolver(M, false, o, t, distSubgroup(n, i, t))
 	if err != nil {
 		return false, sv.stats, err
 	}
@@ -165,13 +184,48 @@ func SolveCyclicTuned(n *network.Network, i int, o game.Options, t Tuning) (bool
 	if err := checkP(n.Process(i)); err != nil {
 		return false, Stats{}, err
 	}
-	sv, err := newSolver(M, true, o, t)
+	grp := distSubgroup(n, i, t)
+	order := 1
+	if grp != nil {
+		order = grp.Order()
+	}
+	var probed int
+	if !t.NoProbe {
+		pr, perr := probeCtx(M, o.Guard)
+		probed = pr.states
+		if perr != nil {
+			return false, Stats{GroupOrder: order, ProbeStates: probed, Workers: t.workers()}, perr
+		}
+		if pr.saFalse {
+			// The probe's witness (reachable context divergence, a stable
+			// refusing state in the start closure, or P starting at a leaf)
+			// kills the start position outright; no enumeration needed.
+			return false, Stats{GroupOrder: order, ProbeStates: probed, Workers: t.workers()}, nil
+		}
+	}
+	sv, err := newSolver(M, true, o, t, grp)
+	sv.stats.ProbeStates = probed
 	if err != nil {
 		return false, sv.stats, err
 	}
 	win, err := sv.solveCyclic()
 	sv.finishStats()
 	return win, sv.stats, err
+}
+
+// distSubgroup discovers the network's automorphism group and cuts it
+// down to the elements that fix the distinguished process and every
+// action it owns — the part of the symmetry the Game(P, Q) semantics
+// cannot observe. Returns nil when tuning disables symmetry or the
+// subgroup is trivial.
+func distSubgroup(n *network.Network, i int, t Tuning) *symred.Group {
+	if t.NoSymmetry {
+		return nil
+	}
+	if g := symred.Discover(n).DistSubgroup(i); !g.Trivial() {
+		return g
+	}
+	return nil
 }
 
 // checkP validates the Figure 4 assumption on the distinguished process,
@@ -212,6 +266,10 @@ type solver struct {
 	memo *stepTable // (belief, action) → stepped belief (−1: no offer)
 	sc   *scratch   // the sequential passes' scratch
 
+	// grp is the dist-stabilizer symmetry subgroup the context BFS
+	// quotients by; nil when symmetry is off or the subgroup is trivial.
+	grp *symred.Group
+
 	// Subsumption antichains, per P state; nil when tune.NoAntichain.
 	// winAC holds ⊆-maximal winning beliefs (fed by the acyclic DFS
 	// only), loseAC ⊆-minimal losing beliefs (acyclic: any lost
@@ -226,8 +284,12 @@ type solver struct {
 // newSolver enumerates the context graph and prepares the P tables. A
 // partially initialized solver (with barrier-accurate stats) is returned
 // even on error so callers can report them.
-func newSolver(M *explore.Machine, cyclic bool, o game.Options, t Tuning) (*solver, error) {
-	sv := &solver{M: M, g: o.Guard, budget: budget(o), tune: t, memo: newStepTable()}
+func newSolver(M *explore.Machine, cyclic bool, o game.Options, t Tuning, grp *symred.Group) (*solver, error) {
+	sv := &solver{M: M, g: o.Guard, budget: budget(o), tune: t, memo: newStepTable(), grp: grp}
+	sv.stats.GroupOrder = 1
+	if grp != nil {
+		sv.stats.GroupOrder = grp.Order()
+	}
 	cg, startGid, err := sv.buildCtx(cyclic)
 	if err != nil {
 		return sv, err

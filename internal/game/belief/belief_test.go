@@ -122,17 +122,20 @@ func TestDifferentialPhilosophers(t *testing.T) {
 }
 
 // TestDeterministicStats reruns one instance and requires identical
-// statistics — the engine's worklists are sequential and ordered.
+// statistics — the engine's worklists are sequential and ordered. The
+// probe is pinned off so the run exercises the enumeration passes (on
+// the ring it would otherwise decide from a handful of raw vectors).
 func TestDeterministicStats(t *testing.T) {
 	n, err := bench.Philosophers(3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, st1, err := belief.SolveCyclic(n, 0, game.Options{})
+	noProbe := belief.Tuning{NoProbe: true}
+	_, st1, err := belief.SolveCyclicTuned(n, 0, game.Options{}, noProbe)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, st2, err := belief.SolveCyclic(n, 0, game.Options{})
+	_, st2, err := belief.SolveCyclicTuned(n, 0, game.Options{}, noProbe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +154,7 @@ func TestBudgetExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = belief.SolveCyclic(n, 0, game.Options{Budget: 8})
+	_, _, err = belief.SolveCyclicTuned(n, 0, game.Options{Budget: 8}, belief.Tuning{NoProbe: true})
 	if !errors.Is(err, game.ErrBudget) {
 		t.Fatalf("err = %v, want game.ErrBudget", err)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"fspnet/internal/explore"
 	"fspnet/internal/game"
+	"fspnet/internal/symred"
 )
 
 // visMove is one visible context move, compiled to a dense action id and
@@ -128,7 +129,28 @@ func (sv *solver) buildCtx(cyclic bool) (*ctxGraph, int32, error) {
 	ci := newCtxInterner(M)
 	kb := make([]byte, ci.width*m)
 	scratch := make([]uint32, m)
+	// With a nontrivial dist-stabilizer subgroup the BFS interns orbit
+	// representatives instead of raw vectors. Every element of the
+	// subgroup fixes the distinguished process and acts as the identity
+	// on its alphabet, so orbit members are strongly bisimilar context
+	// states with identical visible labels, stability, and offers: the
+	// quotient graph induces the same belief game. Successors are
+	// canonicalized before interning, which is the only change — the
+	// adjacency, divergence, and belief passes all run on the quotient
+	// unmodified.
+	var cz *symred.Canonizer
+	var canon []uint32
+	if sv.grp != nil {
+		cz = sv.grp.NewCanonizer()
+		canon = make([]uint32, m)
+	}
 	start := M.StartVec()
+	if cz != nil {
+		// Automorphisms fix component starts, so this is the identity;
+		// keep the single enforcement point for "interned ⇒ canonical".
+		cz.Canon(start, canon)
+		start = canon
+	}
 	ci.intern(ci.pack(kb, start), start)
 	sv.stats.CtxStates = 1
 	// One edge run per expanded state — states are expanded in id order,
@@ -155,6 +177,12 @@ func (sv *solver) buildCtx(cyclic bool) (*ctxGraph, int32, error) {
 		for _, src := range frontier {
 			deg := int32(0)
 			M.CtxMoves(ci.vec(src), scratch, func(succ []uint32, aid int32) bool {
+				if cz != nil {
+					if cz.Canon(succ, canon) {
+						sv.stats.SymHits++
+					}
+					succ = canon
+				}
 				id, isFresh := ci.intern(ci.pack(kb, succ), succ)
 				if isFresh {
 					fresh++

@@ -23,6 +23,11 @@ func faultOpts(h guard.Hook) game.Options {
 	return game.Options{Guard: guard.New(guard.Config{Hook: h})}
 }
 
+// noProbe pins the witness probe off so the cyclic sweeps exercise the
+// enumeration passes — on the ring fixture the probe otherwise decides
+// the game before any injectable barrier is reached.
+var noProbe = belief.Tuning{NoProbe: true}
+
 // beliefPasses are every governor pass the engine polls, in run order for
 // the cyclic semantics ("ctx-scc", "fixpoint", and the two worker passes
 // are cyclic-only, "shape" acyclic-only). "game-worker" and
@@ -42,14 +47,14 @@ func TestFaultInjectBeliefCyclicCancelSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, fullStats, err := belief.SolveCyclic(n, 0, game.Options{})
+	full, fullStats, err := belief.SolveCyclicTuned(n, 0, game.Options{}, noProbe)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fired := map[string]bool{}
 	for _, pass := range beliefPasses {
 		for lvl := 0; lvl <= 3; lvl++ {
-			got, _, err := belief.SolveCyclic(n, 0, faultOpts(faultinject.CancelAt(pass, lvl)))
+			got, _, err := belief.SolveCyclicTuned(n, 0, faultOpts(faultinject.CancelAt(pass, lvl)), noProbe)
 			if err == nil {
 				if got != full {
 					t.Fatalf("%s@%d: completed run disagrees: got %v, want %v", pass, lvl, got, full)
@@ -110,6 +115,25 @@ func TestFaultInjectBeliefAcyclicCancelSweep(t *testing.T) {
 	}
 }
 
+// TestFaultInjectBeliefProbeCancel cancels the default configuration at
+// the "probe" pass, which on the ring fires before any other barrier:
+// the stop must surface as a LimitErr naming the probe, never as a
+// decided (and thus potentially wrong) verdict.
+func TestFaultInjectBeliefProbeCancel(t *testing.T) {
+	n, err := bench.Philosophers(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = belief.SolveCyclic(n, 0, faultOpts(faultinject.CancelAt("probe", 0)))
+	var le *guard.LimitErr
+	if !errors.As(err, &le) || !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("error %v, want LimitErr wrapping ErrCanceled", err)
+	}
+	if le.Partial.Pass != "probe" {
+		t.Errorf("partial names pass %q, want probe", le.Partial.Pass)
+	}
+}
+
 // TestFaultInjectBeliefDeadline spot-checks that an injected deadline
 // surfaces as ErrDeadline with the pass recorded.
 func TestFaultInjectBeliefDeadline(t *testing.T) {
@@ -117,7 +141,7 @@ func TestFaultInjectBeliefDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, err = belief.SolveCyclic(n, 0, faultOpts(faultinject.DeadlineAt("ctx-bfs", 1)))
+	_, _, err = belief.SolveCyclicTuned(n, 0, faultOpts(faultinject.DeadlineAt("ctx-bfs", 1)), noProbe)
 	var le *guard.LimitErr
 	if !errors.As(err, &le) || !errors.Is(err, guard.ErrDeadline) {
 		t.Fatalf("error %v, want LimitErr wrapping ErrDeadline", err)
@@ -137,7 +161,7 @@ func TestFaultInjectBeliefPartialDeterminism(t *testing.T) {
 	}
 	partial := func() guard.Partial {
 		t.Helper()
-		_, _, err := belief.SolveCyclic(n, 0, faultOpts(faultinject.CancelAt("ctx-bfs", 2)))
+		_, _, err := belief.SolveCyclicTuned(n, 0, faultOpts(faultinject.CancelAt("ctx-bfs", 2)), noProbe)
 		var le *guard.LimitErr
 		if !errors.As(err, &le) {
 			t.Fatalf("error %v is not a *guard.LimitErr", err)
@@ -165,7 +189,7 @@ func TestFaultInjectBeliefWorkerPartialDeterminism(t *testing.T) {
 		partial := func(workers int) guard.Partial {
 			t.Helper()
 			_, _, err := belief.SolveCyclicTuned(n, 0,
-				faultOpts(faultinject.CancelAt(pass, 0)), belief.Tuning{Workers: workers})
+				faultOpts(faultinject.CancelAt(pass, 0)), belief.Tuning{Workers: workers, NoProbe: true})
 			var le *guard.LimitErr
 			if !errors.As(err, &le) {
 				t.Fatalf("%s workers=%d: error %v is not a *guard.LimitErr", pass, workers, err)

@@ -1,0 +1,163 @@
+package belief
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fspnet/internal/explore"
+	"fspnet/internal/guard"
+)
+
+// The cyclic belief game has one polarity a small raw witness decides:
+// S_a = false. The start position (P's start state, τ-closure of the
+// context start) dies outright when
+//
+//   - P starts at a leaf (the cyclic game demands infinite play);
+//   - the context can silently diverge from its start (m ≥ 3): the
+//     synthetic ⊥ then sits in the start belief and blocks every
+//     proposal; or
+//   - the start closure contains a stable context state offering none
+//     of P's start actions: the adversary steers there and stops.
+//
+// All three witnesses live inside the τ-closure of the context start —
+// on the symmetric ring families a handful of vectors deep, while the
+// full reachable context is astronomically large. probeCtx therefore
+// walks that closure depth-first on RAW vectors (no canonicalization,
+// so witnesses are genuine runs) under a small node budget, before any
+// context enumeration. It never decides S_a = true; a probe that
+// exhausts its budget decides nothing and the exhaustive engine takes
+// over.
+
+// ctxProbeBudget bounds the context vectors one probe walk visits.
+const ctxProbeBudget = 4096
+
+// ctxProbeResult carries what the probe decided.
+type ctxProbeResult struct {
+	states  int  // raw context vectors visited
+	saFalse bool // S_a = false witnessed
+}
+
+// probeCtx runs the witness walk under pass "probe". Deterministic:
+// fixed expansion order, fixed budget, no parallelism.
+func probeCtx(M *explore.Machine, g *guard.G) (ctxProbeResult, error) {
+	var pr ctxProbeResult
+	if err := g.Poll("probe", 0); err != nil {
+		return pr, g.Limit(fmt.Errorf("belief: probe stopped: %w", err),
+			guard.Partial{Pass: "probe"})
+	}
+	pstart := uint32(M.DistStart())
+	if M.DistLeaf(pstart) {
+		pr.saFalse = true
+		return pr, nil
+	}
+	var pacts []int32
+	for _, t := range M.DistMoves(pstart) {
+		if len(pacts) == 0 || pacts[len(pacts)-1] != t.Aid {
+			pacts = append(pacts, t.Aid)
+		}
+	}
+	m := M.NumProcs()
+	const black = -2
+	depth := make(map[string]int32) // packed vec → gray depth, or black
+	scratch := make([]uint32, m)
+	kb := make([]byte, 4*m)
+	pack := func(vec []uint32) string {
+		for i, v := range vec {
+			binary.LittleEndian.PutUint32(kb[i*4:], v)
+		}
+		return string(kb)
+	}
+	// expand enumerates one vector's context moves: the τ-successor keys
+	// (aid < 0), whether any action in acts is offered, and stability.
+	expand := func(vec []uint32, acts []int32) (taus []string, offered, stable bool) {
+		stable = true
+		M.CtxMoves(vec, scratch, func(succ []uint32, aid int32) bool {
+			if aid < 0 {
+				stable = false
+				taus = append(taus, pack(succ))
+				return true
+			}
+			for _, a := range acts {
+				if a == aid {
+					offered = true
+					break
+				}
+			}
+			return true
+		})
+		return taus, offered, stable
+	}
+	type frame struct {
+		key  string
+		succ []string
+		next int
+	}
+	enter := func(key string, vec []uint32) (frame, bool) {
+		taus, offered, stable := expand(vec, pacts)
+		if stable && !offered {
+			pr.saFalse = true // a refusing stable state in the start closure
+			return frame{}, false
+		}
+		return frame{key: key, succ: taus}, true
+	}
+	start := M.StartVec()
+	startKey := pack(start)
+	depth[startKey] = 0
+	pr.states++
+	f, ok := enter(startKey, start)
+	if !ok {
+		return pr, nil
+	}
+	stack := []frame{f}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next >= len(f.succ) {
+			depth[f.key] = black
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		key := f.succ[f.next]
+		f.next++
+		d, seen := depth[key]
+		switch {
+		case seen && d >= 0:
+			// A context-τ cycle reachable from the start via τ-moves: the
+			// start state is silently divergent. ComposeAllCyclic inserts ⊥
+			// only when the context really composes (m ≥ 3).
+			if m >= 3 {
+				pr.saFalse = true
+				return pr, nil
+			}
+		case seen: // black
+		default:
+			if len(depth) >= ctxProbeBudget {
+				return pr, nil // budget spent without a witness: undecided
+			}
+			pr.states++
+			if len(depth)%pollStride == 0 {
+				if err := g.Poll("probe", len(depth)/pollStride); err != nil {
+					return pr, g.Limit(
+						fmt.Errorf("belief: probe stopped at %d context vectors: %w", len(depth), err),
+						guard.Partial{States: pr.states, Pass: "probe"})
+				}
+			}
+			depth[key] = int32(len(stack))
+			nf, ok := enter(key, unpackCtxKey(key, m))
+			if !ok {
+				return pr, nil
+			}
+			stack = append(stack, nf)
+		}
+	}
+	return pr, nil
+}
+
+// unpackCtxKey reverses the probe's 4-byte little-endian vector packing.
+func unpackCtxKey(key string, m int) []uint32 {
+	vec := make([]uint32, m)
+	for i := range vec {
+		vec[i] = uint32(key[4*i]) | uint32(key[4*i+1])<<8 |
+			uint32(key[4*i+2])<<16 | uint32(key[4*i+3])<<24
+	}
+	return vec
+}

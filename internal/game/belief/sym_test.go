@@ -1,0 +1,167 @@
+// Tests pinning the symmetry quotient and the witness probe of the
+// belief engine: both are pure how-optimizations, so every configuration
+// must return the oracle's verdict, and the quotient must genuinely
+// shrink the context on the symmetric families.
+package belief_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fspnet/internal/bench"
+	"fspnet/internal/fsp"
+	"fspnet/internal/game"
+	"fspnet/internal/game/belief"
+	"fspnet/internal/network"
+)
+
+// TestProbeDecidesPhilosophers pins the probe fast path on the ring: the
+// context diverges (any other philosopher's eat cycle is context-τ), so
+// S_a is false from a handful of raw vectors, with no context
+// enumeration at all — which is what makes philosophers20 feasible.
+func TestProbeDecidesPhilosophers(t *testing.T) {
+	for _, m := range []int{4, 10, 20} {
+		n, err := bench.Philosophers(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := belief.SolveCyclic(n, 0, game.Options{})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if got {
+			t.Fatalf("m=%d: S_a=true, want false", m)
+		}
+		if st.CtxStates != 0 {
+			t.Errorf("m=%d: probe decided, yet %d context states enumerated", m, st.CtxStates)
+		}
+		if st.ProbeStates == 0 || st.ProbeStates > 64 {
+			t.Errorf("m=%d: ProbeStates=%d, want a handful", m, st.ProbeStates)
+		}
+	}
+	// The probe's verdict must match the full engine where the latter is
+	// feasible.
+	n, err := bench.Philosophers(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := belief.SolveCyclicTuned(n, 0, game.Options{}, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want {
+		t.Fatalf("oracle disagrees: S_a=%v, probe said false", want)
+	}
+}
+
+// TestSymmetricCliqueQuotient compares the quotiented engine (probe off,
+// so the context is actually enumerated) against the unreduced oracle on
+// the hub-and-spoke family, and requires a real context reduction.
+func TestSymmetricCliqueQuotient(t *testing.T) {
+	for _, k := range []int{3, 5} {
+		n, err := bench.SymmetricClique(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, raw, err := belief.SolveCyclicTuned(n, 0, game.Options{}, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := belief.SolveCyclicTuned(n, 0, game.Options{}, belief.Tuning{NoProbe: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("k=%d: quotient S_a=%v, oracle S_a=%v", k, got, want)
+		}
+		if wantOrder := k*(k-1)/2 + 1; st.GroupOrder < wantOrder {
+			t.Errorf("k=%d: GroupOrder=%d, want ≥ %d (the leaf transpositions)", k, st.GroupOrder, wantOrder)
+		}
+		if st.SymHits == 0 {
+			t.Errorf("k=%d: quotient run reports zero canonicalization hits", k)
+		}
+		if st.CtxStates >= raw.CtxStates {
+			t.Errorf("k=%d: quotient kept %d context states, oracle %d — no reduction",
+				k, st.CtxStates, raw.CtxStates)
+		}
+		// The default configuration (probe on) must agree too.
+		def, _, err := belief.SolveCyclic(n, 0, game.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if def != want {
+			t.Fatalf("k=%d: default S_a=%v, oracle S_a=%v", k, def, want)
+		}
+	}
+}
+
+// acyclicFork builds an acyclic network whose two leaves are swappable
+// without touching the distinguished process's alphabet: P nudges the
+// hub with go, the hub then serves exactly one of two identical leaves.
+func acyclicFork(t *testing.T) *network.Network {
+	t.Helper()
+	bp := fsp.NewBuilder("P")
+	bp.Add(bp.State("p0"), "go", bp.State("p1"))
+	bh := fsp.NewBuilder("Hub")
+	h0, h1, h2 := bh.State("h0"), bh.State("h1"), bh.State("h2")
+	bh.Add(h0, "go", h1)
+	bh.Add(h1, "a1", h2)
+	bh.Add(h1, "a2", h2)
+	procs := []*fsp.FSP{bp.MustBuild(), bh.MustBuild()}
+	for i := 1; i <= 2; i++ {
+		bl := fsp.NewBuilder(fmt.Sprintf("Leaf%d", i))
+		bl.Add(bl.State("l0"), fsp.Action(fmt.Sprintf("a%d", i)), bl.State("l1"))
+		procs = append(procs, bl.MustBuild())
+	}
+	n, err := network.New(procs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestAcyclicSymmetryQuotient runs the acyclic solver on the fork: the
+// two post-handshake context vectors collapse to one representative and
+// the verdict must survive.
+func TestAcyclicSymmetryQuotient(t *testing.T) {
+	n := acyclicFork(t)
+	want, raw, err := belief.SolveAcyclicTuned(n, 0, game.Options{}, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := belief.SolveAcyclic(n, 0, game.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("quotient S_a=%v, oracle S_a=%v", got, want)
+	}
+	if st.GroupOrder < 2 {
+		t.Fatalf("GroupOrder=%d, want the leaf swap discovered", st.GroupOrder)
+	}
+	if st.SymHits == 0 || st.CtxStates >= raw.CtxStates {
+		t.Errorf("no context reduction: %d vs %d (SymHits=%d)", st.CtxStates, raw.CtxStates, st.SymHits)
+	}
+}
+
+// TestSymmetryWorkerDeterminism requires identical verdicts and stats
+// from the quotiented cyclic engine across worker counts.
+func TestSymmetryWorkerDeterminism(t *testing.T) {
+	n, err := bench.SymmetricClique(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base belief.Stats
+	for i, w := range []int{1, 2, 3, 8} {
+		_, st, err := belief.SolveCyclicTuned(n, 0, game.Options{}, belief.Tuning{Workers: w, NoProbe: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Workers = 0
+		if i == 0 {
+			base = st
+		} else if st != base {
+			t.Fatalf("stats differ at %d workers: %+v vs %+v", w, st, base)
+		}
+	}
+}

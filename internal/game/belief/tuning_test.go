@@ -17,8 +17,8 @@ import (
 )
 
 // oracle is the differential reference configuration: no antichain
-// pruning, one worker.
-var oracle = belief.Tuning{NoAntichain: true, Workers: 1}
+// pruning, no symmetry quotient, no witness probe, one worker.
+var oracle = belief.Tuning{NoAntichain: true, Workers: 1, NoSymmetry: true, NoProbe: true}
 
 // tunedPair runs the tuned engine and the oracle on one instance and
 // requires the same verdict.
@@ -53,7 +53,7 @@ func TestWorkerCountDeterminism(t *testing.T) {
 		}
 		var base belief.Stats
 		for i, w := range []int{1, 2, 3, 8} {
-			_, st, err := belief.SolveCyclicTuned(n, 0, game.Options{}, belief.Tuning{Workers: w})
+			_, st, err := belief.SolveCyclicTuned(n, 0, game.Options{}, belief.Tuning{Workers: w, NoProbe: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -98,7 +98,7 @@ func TestAntichainPrunes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, st, err := belief.SolveCyclicTuned(n, 0, game.Options{}, belief.Tuning{Workers: 1})
+	_, st, err := belief.SolveCyclicTuned(n, 0, game.Options{}, belief.Tuning{Workers: 1, NoProbe: true})
 	if err != nil {
 		t.Fatal(err)
 	}

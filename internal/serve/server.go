@@ -137,9 +137,13 @@ type Server struct {
 	c     counters
 	lat   *latencyRecorder
 	bel   *beliefRecorder
+	exp   *exploreRecorder
 	store *storeKeeper
 	start time.Time
 	mux   *http.ServeMux
+
+	flightMu sync.Mutex         // guards flights and every flight's waiters
+	flights  map[string]*flight // in-progress analyses by dedup key
 
 	mu       sync.Mutex // guards the drain flags and cancels
 	draining bool       // in-flight analyses are being canceled
@@ -180,7 +184,9 @@ func New(cfg Config) *Server {
 		slots: make(chan struct{}, cfg.Workers),
 		lat:   newLatencyRecorder(),
 		bel:   newBeliefRecorder(),
+		exp:   newExploreRecorder(),
 	}
+	s.flights = make(map[string]*flight)
 	s.start = time.Now() //fsplint:ignore detrand uptime anchor for /statusz
 	s.cancels = make(map[int64]context.CancelFunc)
 	s.store = newStoreKeeper(cfg.Store, cfg.Logf)
@@ -266,6 +272,7 @@ func (s *Server) Snapshot() Stats {
 		Hits:          s.c.hits.Load(),
 		DiskHits:      s.c.diskHits.Load(),
 		Misses:        s.c.misses.Load(),
+		Deduped:       s.c.deduped.Load(),
 		Evictions:     int64(s.cache.evicted()),
 		Batches:       s.c.batches.Load(),
 		BatchItems:    s.c.batchItems.Load(),
@@ -286,6 +293,7 @@ func (s *Server) Snapshot() Stats {
 		Runtime:       ReadRuntime(),
 		Latency:       s.lat.snapshot(),
 		Belief:        s.bel.snapshot(),
+		Explore:       s.exp.snapshot(),
 	}
 }
 
@@ -707,13 +715,102 @@ type runResult struct {
 	outcome runOutcome
 }
 
+// flight is one in-progress analysis shared by every concurrent request
+// for the same dedup key. The first arrival is the leader and runs the
+// governed analysis; later arrivals wait on done and reuse its result.
+// waiters counts every request still listening, leader included; when it
+// reaches zero nobody wants the answer, and cancel stops the run at its
+// next governor poll. All fields except done/cancel are guarded by the
+// server's flightMu; res is published by the close of done.
+type flight struct {
+	done    chan struct{}
+	res     runResult
+	cancel  context.CancelFunc
+	waiters int
+}
+
+// flightKey is the single-flight dedup key: two requests share a run only
+// when they share the verdict digest (canonical text + resolved
+// parameters) and the request-supplied limits, so a follower never
+// receives a verdict computed under looser bounds than it asked for.
+func flightKey(digest string, req AnalyzeRequest) string {
+	return digest + "\x00" + req.Timeout + "\x00" + strconv.Itoa(req.Budget)
+}
+
+// dropWaiter records that one request stopped listening to f; the last
+// one out cancels the flight's run context.
+func (s *Server) dropWaiter(f *flight) {
+	s.flightMu.Lock()
+	f.waiters--
+	if f.waiters == 0 {
+		f.cancel()
+	}
+	s.flightMu.Unlock()
+}
+
+// listening reports whether any request still waits for f's result —
+// what separates a canceled run (every client gone) from a drained one
+// (stopped by CancelInflight with clients attached, who get the partial
+// verdict).
+func (s *Server) listening(f *flight) bool {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	return f.waiters > 0
+}
+
 // runAnalysis charges one cache miss against the worker pool: admission
 // ticket, slot, governed run, cache/store population, and the counter
 // bookkeeping. Both the single-request handler and each batch item pass
 // through here, so admission control cannot be starved by a batch — every
 // item pays for its own ticket, and a saturated queue rejects the item,
 // not the connection.
+//
+// Concurrent identical misses are single-flighted: the first request for
+// a (digest, limits) key runs the analysis, later arrivals wait for its
+// result — one solver run, one misses increment, identical records for
+// every caller. A follower whose client disconnects stops waiting
+// without disturbing the run; the run itself is canceled only when every
+// interested request is gone or the drain path fires.
 func (s *Server) runAnalysis(ctx context.Context, n *network.Network, req AnalyzeRequest, digest string, deadline time.Time) runResult {
+	key := flightKey(digest, req)
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		f.waiters++
+		s.flightMu.Unlock()
+		s.c.deduped.Add(1)
+		select {
+		case <-f.done:
+			return f.res
+		case <-ctx.Done():
+			s.dropWaiter(f)
+			s.c.canceled.Add(1)
+			return runResult{outcome: runCanceled}
+		}
+	}
+	// Leader: the run context deliberately does not descend from the
+	// caller's — followers joining later must be able to keep the run
+	// alive after the leader's client disconnects. Drain and
+	// last-waiter-out are the only cancellation paths.
+	runCtx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	res := s.leadFlight(runCtx, ctx, f, n, req, digest, deadline)
+
+	s.flightMu.Lock()
+	f.res = res
+	close(f.done)
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	cancel()
+	return res
+}
+
+// leadFlight is the leader's half of runAnalysis: the pre-single-flight
+// admission/slot/governor pipeline, now watching the flight's shared run
+// context instead of the leader's own.
+func (s *Server) leadFlight(runCtx, callerCtx context.Context, f *flight, n *network.Network, req AnalyzeRequest, digest string, deadline time.Time) runResult {
 	name := n.Process(req.Process).Name()
 	// Admission: a ticket covers the whole stay (queued + running); none
 	// free means the queue is saturated.
@@ -724,26 +821,40 @@ func (s *Server) runAnalysis(ctx context.Context, n *network.Network, req Analyz
 		s.c.rejected.Add(1)
 		return runResult{outcome: runRejected}
 	}
+	// The leader holds one waiter reference on behalf of its own client;
+	// a disconnect releases it, and the run stops only if no follower
+	// still wants the answer. Registration keeps CancelInflight
+	// synchronous: when it returns, this context is done.
+	stop := context.AfterFunc(callerCtx, func() { s.dropWaiter(f) })
+	defer stop()
+	unregister := s.registerCancel(f.cancel)
+	defer unregister()
+
 	s.c.queued.Add(1)
-	select {
-	case s.slots <- struct{}{}:
-		s.c.queued.Add(-1)
-		defer func() { <-s.slots }()
-	case <-ctx.Done():
-		s.c.queued.Add(-1)
-		s.c.canceled.Add(1)
-		return runResult{outcome: runCanceled}
+	done := runCtx.Done()
+acquire:
+	for {
+		select {
+		case s.slots <- struct{}{}:
+			s.c.queued.Add(-1)
+			defer func() { <-s.slots }()
+			break acquire
+		case <-done:
+			if !s.listening(f) {
+				// Every client is gone; the analysis never starts.
+				s.c.queued.Add(-1)
+				s.c.canceled.Add(1)
+				return runResult{outcome: runCanceled}
+			}
+			// Drain fired with clients still attached: keep waiting for a
+			// slot (the running analyses stop at their next poll, freeing
+			// one), and the governed run below answers partial immediately.
+			done = nil
+		}
 	}
 	s.c.inflight.Add(1)
 	defer s.c.inflight.Add(-1)
 
-	// The governor watches both the caller's context and the drain path,
-	// so either stops the run at its next poll. Registration keeps
-	// CancelInflight synchronous: when it returns, this context is done.
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	unregister := s.registerCancel(cancel)
-	defer unregister()
 	g := guard.New(guard.Config{
 		Context:  runCtx,
 		Deadline: deadline,
@@ -761,11 +872,14 @@ func (s *Server) runAnalysis(ctx context.Context, n *network.Network, req Analyz
 		s.store.put(digest, rec)
 		return runResult{rec: rec, outcome: runOK}
 	case guard.IsLimit(err):
-		if ctx.Err() != nil {
-			// The caller disconnected; the governor stopped the run for us.
+		if runCtx.Err() != nil && !s.listening(f) {
+			// Every interested client is gone; the governor stopped the run
+			// for us and nobody wants the partial.
 			s.c.canceled.Add(1)
 			return runResult{outcome: runCanceled}
 		}
+		// Deadline, budget, or a drain with clients attached: the waiters
+		// receive the partial verdict the truncated run still proved.
 		s.c.partials.Add(1)
 		return runResult{rec: verdictjson.FromError(name, err), outcome: runPartial}
 	default:
@@ -778,6 +892,7 @@ func (s *Server) runAnalysis(ctx context.Context, n *network.Network, req Analyz
 // points.
 func (s *Server) analyze(n *network.Network, req AnalyzeRequest, g *guard.G) (verdictjson.Record, error) {
 	name := n.Process(req.Process).Name()
+	class := req.Mode + "/" + req.Predicates
 	cyclic := req.Mode == "cyclic"
 	if req.Predicates == PredicatesReach {
 		var (
@@ -792,14 +907,16 @@ func (s *Server) analyze(n *network.Network, req AnalyzeRequest, g *guard.G) (ve
 		if err != nil {
 			return verdictjson.Record{}, err
 		}
+		s.exp.record(class, res.Stats)
 		return verdictjson.Reach(name, res.Su, res.Sc), nil
 	}
 	var (
 		v   success.Verdict
 		bst belief.Stats
+		est explore.Stats
 		err error
 	)
-	o := success.Options{Guard: g, BeliefStats: &bst}
+	o := success.Options{Guard: g, BeliefStats: &bst, ExploreStats: &est}
 	if cyclic {
 		v, err = success.AnalyzeCyclicOpts(n, req.Process, o)
 	} else {
@@ -808,6 +925,7 @@ func (s *Server) analyze(n *network.Network, req AnalyzeRequest, g *guard.G) (ve
 	if err != nil {
 		return verdictjson.Record{}, err
 	}
-	s.bel.record(req.Mode+"/"+req.Predicates, bst)
+	s.exp.record(class, est)
+	s.bel.record(class, bst)
 	return verdictjson.OK(name, v), nil
 }

@@ -606,9 +606,13 @@ func TestConcurrentIdenticalRequests(t *testing.T) {
 			t.Errorf("digest mismatch: %s vs %s", first, d)
 		}
 	}
-	if st := getStats(t, ts.URL); st.CacheEntries != 1 || st.Hits+st.Misses != clients {
-		t.Errorf("stats = entries=%d hits=%d misses=%d, want 1 entry and %d answers",
-			st.CacheEntries, st.Hits, st.Misses, clients)
+	st := getStats(t, ts.URL)
+	if st.CacheEntries != 1 || st.Hits+st.Misses+st.Deduped != clients {
+		t.Errorf("stats = entries=%d hits=%d misses=%d deduped=%d, want 1 entry and %d answers",
+			st.CacheEntries, st.Hits, st.Misses, st.Deduped, clients)
+	}
+	if st.Misses < 1 {
+		t.Errorf("misses = %d, want at least the first flight's run", st.Misses)
 	}
 }
 
@@ -640,6 +644,46 @@ func TestStatuszBeliefTotals(t *testing.T) {
 	}
 	if bt := getStats(t, ts.URL).Belief["acyclic/all"]; bt.Analyses != 1 {
 		t.Fatalf("cache hit perturbed belief totals: %+v", bt)
+	}
+}
+
+// TestPhilosophers20AllPredicates serves the 40-process philosophers20
+// fixture with predicates=all under the fspd defaults (60s max timeout,
+// no state budget). The raw joint space is astronomically past any
+// budget; the C_20-orbit quotient and the witness probes decide all
+// three predicates in milliseconds — the tentpole acceptance check.
+func TestPhilosophers20AllPredicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large fixture in -short mode")
+	}
+	src, err := os.ReadFile("../../testdata/philosophers20.fsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{MaxTimeout: 60 * time.Second})
+	resp, ar := postJSON(t, ts.URL, AnalyzeRequest{Network: string(src)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ar.Record.Status != verdictjson.StatusOK {
+		t.Fatalf("record = %+v, want a complete verdict", ar.Record)
+	}
+	if ar.Record.Su == nil || ar.Record.Sa == nil || ar.Record.Sc == nil {
+		t.Fatalf("record = %+v, want all three predicates decided", ar.Record)
+	}
+	if *ar.Record.Su || *ar.Record.Sa || !*ar.Record.Sc {
+		t.Errorf("verdict (Su=%v Sa=%v Sc=%v), want (false,false,true)",
+			*ar.Record.Su, *ar.Record.Sa, *ar.Record.Sc)
+	}
+	// The run's symmetry yield is visible on /statusz: the ring's C_20
+	// rotation group and the probes' raw-space visits.
+	st := getStats(t, ts.URL)
+	et, ok := st.Explore["cyclic/all"]
+	if !ok {
+		t.Fatalf("no explore totals for cyclic/all: %+v", st.Explore)
+	}
+	if et.GroupOrder != 20 || et.ProbeStates == 0 {
+		t.Errorf("explore totals = %+v, want groupOrder 20 and probe activity", et)
 	}
 }
 

@@ -1,0 +1,204 @@
+// Tests pinning the single-flight contract: concurrent identical cache
+// misses share one governed solver run — one misses increment,
+// byte-identical response bodies — while requests that differ in their
+// limits, and followers that disconnect, never disturb the shared run.
+// Run under -race via the package's normal test invocation.
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// postRaw issues a raw-body analyze POST and returns the status code and
+// the exact response bytes (the single-flight tests compare bodies, not
+// decoded structs).
+func postRaw(t *testing.T, url, net string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/analyze", "text/plain", strings.NewReader(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestSingleFlightDedup parks the first request for a network inside the
+// governor, piles follower requests for the same network on top, and
+// requires one solver run to answer everyone with the same bytes.
+func TestSingleFlightDedup(t *testing.T) {
+	hook := newBlockHook()
+	_, ts := newTestServer(t, Config{Workers: 4, Hook: hook})
+	const clients = 8
+
+	type reply struct {
+		code int
+		body string
+	}
+	replies := make(chan reply, clients)
+	post := func() {
+		code, body := postRaw(t, ts.URL, netA)
+		replies <- reply{code, string(body)}
+	}
+	go post()
+	<-hook.entered // the leader is parked inside its analysis
+	for i := 1; i < clients; i++ {
+		go post()
+	}
+	// Every follower has joined the flight (none may start its own run:
+	// Workers is 4, so a second run would enter the hook, not queue).
+	waitStats(t, ts.URL, func(st Stats) bool { return st.Deduped == clients-1 })
+	close(hook.release)
+
+	first := reply{}
+	for i := 0; i < clients; i++ {
+		r := <-replies
+		if r.code != http.StatusOK {
+			t.Fatalf("reply %d: status %d, want 200", i, r.code)
+		}
+		if i == 0 {
+			first = r
+		} else if r.body != first.body {
+			t.Errorf("reply %d body differs:\n%s\nvs\n%s", i, r.body, first.body)
+		}
+	}
+	st := getStats(t, ts.URL)
+	if st.Misses != 1 || st.Hits != 0 || st.Deduped != clients-1 {
+		t.Errorf("stats = misses=%d hits=%d deduped=%d, want 1/0/%d",
+			st.Misses, st.Hits, st.Deduped, clients-1)
+	}
+	if st.CacheEntries != 1 {
+		t.Errorf("cache entries = %d, want 1", st.CacheEntries)
+	}
+}
+
+// TestSingleFlightDistinctLimits sends the same network with different
+// budgets: the limits are part of the dedup key, so both requests must
+// run their own analysis.
+func TestSingleFlightDistinctLimits(t *testing.T) {
+	hook := newBlockHook()
+	_, ts := newTestServer(t, Config{Workers: 2, Hook: hook})
+
+	a := postAsync(t, ts.URL, netA)
+	<-hook.entered
+	b := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/analyze?budget=100000", "text/plain", strings.NewReader(netA))
+		if err != nil {
+			b <- -1
+			return
+		}
+		resp.Body.Close()
+		b <- resp.StatusCode
+	}()
+	// Both analyses are in flight at once: no dedup across budgets.
+	waitStats(t, ts.URL, func(st Stats) bool { return st.Inflight == 2 })
+	close(hook.release)
+	for i, codes := range []chan int{a, b} {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("request %d: status %d, want 200", i, code)
+		}
+	}
+	st := getStats(t, ts.URL)
+	if st.Deduped != 0 || st.Misses != 2 {
+		t.Errorf("stats = deduped=%d misses=%d, want 0/2", st.Deduped, st.Misses)
+	}
+}
+
+// TestSingleFlightFollowerCancel disconnects a follower mid-flight: the
+// follower tallies as canceled, and the leader's run — which the follower
+// merely observed — completes undisturbed.
+func TestSingleFlightFollowerCancel(t *testing.T) {
+	hook := newBlockHook()
+	_, ts := newTestServer(t, Config{Workers: 1, Hook: hook})
+
+	leader := postAsync(t, ts.URL, netA)
+	<-hook.entered
+	ctx, cancel := context.WithCancel(context.Background())
+	followerErr := cancelablePost(t, ctx, ts.URL, netA)
+	waitStats(t, ts.URL, func(st Stats) bool { return st.Deduped == 1 })
+
+	cancel() // the follower walks away
+	if err := <-followerErr; err == nil {
+		t.Error("canceled follower returned no client-side error")
+	}
+	waitStats(t, ts.URL, func(st Stats) bool { return st.Canceled == 1 })
+
+	close(hook.release)
+	if code := <-leader; code != http.StatusOK {
+		t.Fatalf("leader finished with %d, want 200", code)
+	}
+	st := getStats(t, ts.URL)
+	if st.Misses != 1 || st.CacheEntries != 1 {
+		t.Errorf("follower cancel disturbed the run: misses=%d entries=%d, want 1/1", st.Misses, st.CacheEntries)
+	}
+}
+
+// TestSingleFlightLeaderDisconnect walks the leader's client away while a
+// follower still wants the answer: the run must survive on the
+// follower's behalf and deliver it the complete verdict.
+func TestSingleFlightLeaderDisconnect(t *testing.T) {
+	hook := newBlockHook()
+	_, ts := newTestServer(t, Config{Workers: 1, Hook: hook})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	leaderErr := cancelablePost(t, ctx, ts.URL, netA)
+	<-hook.entered
+	follower := postAsync(t, ts.URL, netA)
+	waitStats(t, ts.URL, func(st Stats) bool { return st.Deduped == 1 })
+
+	cancel() // the leader's client walks away; the follower keeps the run alive
+	if err := <-leaderErr; err == nil {
+		t.Error("canceled leader returned no client-side error")
+	}
+	close(hook.release)
+	if code := <-follower; code != http.StatusOK {
+		t.Fatalf("follower finished with %d, want 200", code)
+	}
+	st := getStats(t, ts.URL)
+	if st.Misses != 1 || st.CacheEntries != 1 {
+		t.Errorf("leader disconnect killed the shared run: misses=%d entries=%d, want 1/1", st.Misses, st.CacheEntries)
+	}
+}
+
+// TestSingleFlightConcurrentStress is the -race workout: many goroutines,
+// few distinct networks, no hook — every reply must be a 200 or a 429,
+// the answer accounting must balance, and the detector must stay quiet
+// across the flight map, the waiter counts, and the result publication.
+func TestSingleFlightConcurrentStress(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	nets := []string{netA, netB, netC}
+	const perNet = 12
+	var wg sync.WaitGroup
+	for _, net := range nets {
+		for i := 0; i < perNet; i++ {
+			wg.Add(1)
+			go func(net string) {
+				defer wg.Done()
+				code, _ := postRaw(t, ts.URL, net)
+				if code != http.StatusOK {
+					t.Errorf("status %d, want 200", code)
+				}
+			}(net)
+		}
+	}
+	wg.Wait()
+	st := getStats(t, ts.URL)
+	if got := st.Hits + st.Misses + st.Deduped; got != int64(len(nets))*perNet {
+		t.Errorf("hits+misses+deduped = %d, want %d (stats %+v)", got, len(nets)*perNet, st)
+	}
+	if st.Misses < int64(len(nets)) {
+		t.Errorf("misses = %d, want at least one per distinct network", st.Misses)
+	}
+	if st.CacheEntries != len(nets) {
+		t.Errorf("cache entries = %d, want %d", st.CacheEntries, len(nets))
+	}
+}

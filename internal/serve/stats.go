@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fspnet/internal/explore"
 	"fspnet/internal/game/belief"
 )
 
@@ -27,6 +28,11 @@ type Stats struct {
 	// Misses counts requests that ran an analysis to completion and
 	// populated the cache.
 	Misses int64 `json:"misses"`
+	// Deduped counts requests that joined an identical in-flight analysis
+	// instead of starting their own — the single-flight path. A deduped
+	// request increments neither Hits nor Misses; the flight's leader
+	// accounts for the one run.
+	Deduped int64 `json:"deduped"`
 	// Evictions counts verdicts dropped from memory by the LRU bound; the
 	// persistent store keeps its copy for read-through.
 	Evictions int64 `json:"evictions"`
@@ -78,6 +84,11 @@ type Stats struct {
 	// counters of completed analyses of that class. predicates=reach
 	// classes never run the belief engine and report nothing.
 	Belief map[string]BeliefTotals `json:"belief,omitempty"`
+	// Explore maps "<mode>/<predicates>" to running totals of the S_u/S_c
+	// explore-engine counters of completed analyses of that class,
+	// including the symmetry-reduction yield (orbit hits, states the
+	// representatives stand for, probe visits).
+	Explore map[string]ExploreTotals `json:"explore,omitempty"`
 }
 
 // RuntimeStats is the process-level runtime sample attached to every
@@ -114,8 +125,8 @@ func ReadRuntime() RuntimeStats {
 }
 
 // BeliefTotals accumulates belief-engine counters over one class's
-// completed analyses; Workers is the most recent run's resolved sweep
-// parallelism (a configuration echo, not a sum).
+// completed analyses; Workers and GroupOrder are the most recent run's
+// values (configuration echoes, not sums).
 type BeliefTotals struct {
 	Analyses      int64 `json:"analyses"`
 	CtxStates     int64 `json:"ctxStates"`
@@ -124,6 +135,29 @@ type BeliefTotals struct {
 	AntichainHits int64 `json:"antichainHits"`
 	Pruned        int64 `json:"pruned"`
 	Workers       int   `json:"workers"`
+	// GroupOrder echoes the last run's dist-stabilizer subgroup order;
+	// SymHits sums context canonicalization hits and ProbeStates the raw
+	// vectors the witness probes visited.
+	GroupOrder  int   `json:"groupOrder"`
+	SymHits     int64 `json:"symHits"`
+	ProbeStates int64 `json:"probeStates"`
+}
+
+// ExploreTotals accumulates S_u/S_c explore-engine counters over one
+// class's completed analyses; GroupOrder is the most recent run's
+// discovered automorphism group order (an echo, not a sum).
+type ExploreTotals struct {
+	Analyses int64 `json:"analyses"`
+	States   int64 `json:"states"`
+	Moves    int64 `json:"moves"`
+	// GroupOrder echoes the last run's automorphism group order; OrbitHits
+	// sums successor canonicalizations that moved a vector, SymStates the
+	// extra raw states the interned representatives stand for, and
+	// ProbeStates the raw vectors the witness probes visited.
+	GroupOrder  int   `json:"groupOrder"`
+	OrbitHits   int64 `json:"orbitHits"`
+	SymStates   int64 `json:"symStates"`
+	ProbeStates int64 `json:"probeStates"`
 }
 
 // Quantiles summarize a latency sample window.
@@ -140,6 +174,7 @@ type counters struct {
 	hits       atomic.Int64
 	diskHits   atomic.Int64
 	misses     atomic.Int64
+	deduped    atomic.Int64
 	rejected   atomic.Int64
 	canceled   atomic.Int64
 	partials   atomic.Int64
@@ -250,6 +285,9 @@ func (b *beliefRecorder) record(class string, st belief.Stats) {
 	t.AntichainHits += int64(st.AntichainHits)
 	t.Pruned += int64(st.Pruned)
 	t.Workers = st.Workers
+	t.GroupOrder = st.GroupOrder
+	t.SymHits += int64(st.SymHits)
+	t.ProbeStates += int64(st.ProbeStates)
 	b.totals[class] = t
 }
 
@@ -261,6 +299,44 @@ func (b *beliefRecorder) snapshot() map[string]BeliefTotals {
 	}
 	out := make(map[string]BeliefTotals, len(b.totals))
 	for class, t := range b.totals {
+		out[class] = t
+	}
+	return out
+}
+
+// exploreRecorder accumulates per-class explore-engine counters, the
+// same class keys the latency recorder uses.
+type exploreRecorder struct {
+	mu     sync.Mutex
+	totals map[string]ExploreTotals
+}
+
+func newExploreRecorder() *exploreRecorder {
+	return &exploreRecorder{totals: make(map[string]ExploreTotals)}
+}
+
+func (e *exploreRecorder) record(class string, st explore.Stats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.totals[class]
+	t.Analyses++
+	t.States += int64(st.States)
+	t.Moves += st.Moves
+	t.GroupOrder = st.GroupOrder
+	t.OrbitHits += st.OrbitHits
+	t.SymStates += st.SymStates
+	t.ProbeStates += int64(st.ProbeStates)
+	e.totals[class] = t
+}
+
+func (e *exploreRecorder) snapshot() map[string]ExploreTotals {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.totals) == 0 {
+		return nil
+	}
+	out := make(map[string]ExploreTotals, len(e.totals))
+	for class, t := range e.totals {
 		out[class] = t
 	}
 	return out

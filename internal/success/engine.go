@@ -41,16 +41,39 @@ type Options struct {
 	Guard *guard.G
 	// BeliefStats, when non-nil, receives the S_a belief-engine counters
 	// of the run (context states, beliefs, positions, antichain activity,
-	// sweep workers). The compose backend never touches it.
+	// sweep workers, symmetry quotient, probe). The compose backend never
+	// touches it.
 	BeliefStats *belief.Stats
+	// ExploreStats, when non-nil, receives the S_u/S_c explore-engine
+	// counters of the last engine run (states, moves, symmetry group
+	// order, orbit hits, probe). The compose backend never touches it.
+	ExploreStats *explore.Stats
+	// NoSymmetry disables orbit-canonical state interning in both the
+	// explore engine and the belief engine's context quotient, and the
+	// witness probes with it — the unreduced differential oracle. It
+	// changes only how verdicts are computed, never the verdicts.
+	NoSymmetry bool
 }
 
 func engineOpts(o Options) explore.Options {
-	return explore.Options{Workers: o.Workers, MaxStates: o.MaxStates, Guard: o.Guard}
+	return explore.Options{Workers: o.Workers, MaxStates: o.MaxStates, Guard: o.Guard,
+		Tune: explore.Tuning{NoSymmetry: o.NoSymmetry, NoProbe: o.NoSymmetry}}
 }
 
 func gameOpts(o Options) game.Options {
 	return game.Options{Guard: o.Guard}
+}
+
+func beliefTuning(o Options) belief.Tuning {
+	return belief.Tuning{NoSymmetry: o.NoSymmetry, NoProbe: o.NoSymmetry}
+}
+
+// recordExplore copies the engine counters out for callers that asked
+// for them.
+func recordExplore(o Options, st explore.Stats) {
+	if o.ExploreStats != nil {
+		*o.ExploreStats = st
+	}
 }
 
 // composePoll is the compose-path governor check: one poll per stage
@@ -98,9 +121,10 @@ func AnalyzeAcyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
 	if err != nil {
 		return Verdict{}, wrapEngineErr(err)
 	}
+	recordExplore(o, res.Stats)
 	v := Verdict{Su: res.Su, Sc: res.Sc}
 	var st belief.Stats
-	if v.Sa, st, err = belief.SolveAcyclic(n, i, gameOpts(o)); err != nil {
+	if v.Sa, st, err = belief.SolveAcyclicTuned(n, i, gameOpts(o), beliefTuning(o)); err != nil {
 		return Verdict{}, enrichGameLimit(err, v.Su, v.Sc)
 	}
 	if o.BeliefStats != nil {
@@ -118,9 +142,10 @@ func AnalyzeCyclicOpts(n *network.Network, i int, o Options) (Verdict, error) {
 	if err != nil {
 		return Verdict{}, wrapEngineErr(err)
 	}
+	recordExplore(o, res.Stats)
 	v := Verdict{Su: res.Su, Sc: res.Sc}
 	var st belief.Stats
-	if v.Sa, st, err = belief.SolveCyclic(n, i, gameOpts(o)); err != nil {
+	if v.Sa, st, err = belief.SolveCyclicTuned(n, i, gameOpts(o), beliefTuning(o)); err != nil {
 		return Verdict{}, enrichGameLimit(err, v.Su, v.Sc)
 	}
 	if o.BeliefStats != nil {
@@ -135,7 +160,8 @@ func UnavoidableAcyclicNetOpts(n *network.Network, i int, o Options) (bool, erro
 	if o.Backend == BackendCompose {
 		return unavoidableAcyclicNetCompose(n, i, o)
 	}
-	su, _, err := explore.UnavoidableAcyclic(n, i, engineOpts(o))
+	su, st, err := explore.UnavoidableAcyclic(n, i, engineOpts(o))
+	recordExplore(o, st)
 	return su, wrapEngineErr(err)
 }
 
@@ -145,7 +171,8 @@ func CollaborationAcyclicNetOpts(n *network.Network, i int, o Options) (bool, er
 	if o.Backend == BackendCompose {
 		return collaborationAcyclicNetCompose(n, i, o)
 	}
-	sc, _, err := explore.CollaborationAcyclic(n, i, engineOpts(o))
+	sc, st, err := explore.CollaborationAcyclic(n, i, engineOpts(o))
+	recordExplore(o, st)
 	return sc, wrapEngineErr(err)
 }
 
@@ -155,7 +182,8 @@ func UnavoidableCyclicNetOpts(n *network.Network, i int, o Options) (bool, error
 	if o.Backend == BackendCompose {
 		return unavoidableCyclicNetCompose(n, i, o)
 	}
-	su, _, err := explore.UnavoidableCyclic(n, i, engineOpts(o))
+	su, st, err := explore.UnavoidableCyclic(n, i, engineOpts(o))
+	recordExplore(o, st)
 	return su, wrapEngineErr(err)
 }
 
@@ -165,7 +193,8 @@ func CollaborationCyclicNetOpts(n *network.Network, i int, o Options) (bool, err
 	if o.Backend == BackendCompose {
 		return collaborationCyclicNetCompose(n, i, o)
 	}
-	sc, _, err := explore.CollaborationCyclic(n, i, engineOpts(o))
+	sc, st, err := explore.CollaborationCyclic(n, i, engineOpts(o))
+	recordExplore(o, st)
 	return sc, wrapEngineErr(err)
 }
 
